@@ -1,0 +1,252 @@
+(** Benchmark harness: regenerates every table and figure of the paper's
+    evaluation (§5) from the simulated platforms, and runs Bechamel
+    micro-benchmarks of the compiler pipeline itself.
+
+    Usage:
+      dune exec bench/main.exe            — everything
+      dune exec bench/main.exe -- table1 table2 table3 fig7a fig7b fig8 fig9
+                                           marshal-ablation glue compiler
+*)
+
+module E = Lime_benchmarks.Experiments
+module Device = Gpusim.Device
+
+let section title =
+  Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
+
+let run_table1 () =
+  section "Table 1 — programming model comparison";
+  print_endline (E.table1 ())
+
+let run_table2 () =
+  section "Table 2 — evaluation platforms";
+  print_endline (E.table2 ())
+
+let run_table3 () =
+  section "Table 3 — benchmark suite";
+  print_endline (E.table3 ())
+
+let run_fig7a () =
+  section "Figure 7(a) — end-to-end speedup, CPU (Core i7)";
+  print_endline (E.render_fig7 ~title:"CPU (Core i7), OpenCL multicore runtime" (E.fig7a ()))
+
+let run_fig7b () =
+  section "Figure 7(b) — end-to-end speedup, GPU";
+  print_endline (E.render_fig7 ~title:"GPU co-execution" (E.fig7b ()))
+
+let run_fig8 () =
+  section "Figure 8 — Lime vs hand-tuned OpenCL kernel times";
+  List.iter
+    (fun d -> print_endline (E.render_fig8 d (E.fig8_for d)); print_newline ())
+    E.gpu_devices
+
+let run_fig9 () =
+  section "Figure 9 — computation and communication costs";
+  print_endline (E.render_fig9 Device.core_i7 (E.fig9 Device.core_i7));
+  print_newline ();
+  print_endline (E.render_fig9 Device.gtx580 (E.fig9 Device.gtx580))
+
+let run_marshal_ablation () =
+  section "Marshaling ablation (§4.3)";
+  print_endline (E.render_marshal_ablation (E.marshal_ablation Device.gtx580))
+
+(* Correctness evidence in the bench log: run the differential checks at
+   test scale for all nine benchmarks. *)
+let run_validate () =
+  section "Validation — kernels vs independent OCaml references (small inputs)";
+  Printf.printf "%-22s %10s
+" "Benchmark" "match";
+  List.iter
+    (fun (b : Lime_benchmarks.Bench_def.t) ->
+      let open Lime_benchmarks.Bench_def in
+      let c = Lime_benchmarks.Registry.compile_small b in
+      let input = b.input_small () in
+      let st = Lime_ir.Interp.create c.Lime_gpu.Pipeline.cp_module in
+      let cls, meth =
+        match String.split_on_char '.' b.worker with
+        | [ c; m ] -> (c, m)
+        | _ -> assert false
+      in
+      let got = Lime_ir.Interp.run st ~cls ~meth [ input ] in
+      let ok =
+        Lime_ir.Value.approx_equal ~rtol:2e-4 ~atol:1e-5 got
+          (b.reference input)
+      in
+      Printf.printf "%-22s %10s
+" b.name (if ok then "ok" else "MISMATCH");
+      if not ok then exit 1)
+    Lime_benchmarks.Registry.all
+
+let run_overlap () =
+  section "Future work (§5.3) — overlap + direct marshaling ablation";
+  print_endline (E.render_overlap Device.gtx580 (E.overlap Device.gtx580))
+
+let run_glue () =
+  section "Host-glue volume (§2: 'a dozen OpenCL procedures, 182 lines')";
+  Printf.printf "%-22s %12s %12s\n" "Benchmark" "glue lines" "kernel lines";
+  List.iter
+    (fun (name, glue, kern) ->
+      Printf.printf "%-22s %12d %12d\n" name glue kern)
+    (E.glue_volume ());
+  let c = Lime_benchmarks.Registry.compile Lime_benchmarks.Nbody.single in
+  let glue = Lime_gpu.Hostgen.generate c.Lime_gpu.Pipeline.cp_kernel in
+  Printf.printf "\nDistinct OpenCL API procedures used by the glue: %d\n"
+    (List.length (Lime_gpu.Hostgen.api_calls_used glue))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the compiler pipeline                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_compiler_benches () =
+  section "Compiler pipeline micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let open Toolkit in
+  let b = Lime_benchmarks.Nbody.single in
+  let src = b.Lime_benchmarks.Bench_def.source in
+  let worker = b.Lime_benchmarks.Bench_def.worker in
+  let tp = Lime_typecheck.Check.check_string src in
+  let md = Lime_ir.Lower.lower_program tp in
+  let kernel = Lime_gpu.Kernel.extract md ~worker in
+  let decisions = Lime_gpu.Memopt.optimize Lime_gpu.Memopt.config_all kernel in
+  let tests =
+    [
+      Test.make ~name:"parse" (Staged.stage (fun () ->
+          ignore (Lime_frontend.Parser.program_of_string src)));
+      Test.make ~name:"typecheck" (Staged.stage (fun () ->
+          ignore (Lime_typecheck.Check.check_string src)));
+      Test.make ~name:"lower" (Staged.stage (fun () ->
+          ignore (Lime_ir.Lower.lower_program tp)));
+      Test.make ~name:"kernel-extract" (Staged.stage (fun () ->
+          ignore (Lime_gpu.Kernel.extract md ~worker)));
+      Test.make ~name:"memopt" (Staged.stage (fun () ->
+          ignore (Lime_gpu.Memopt.optimize Lime_gpu.Memopt.config_all kernel)));
+      Test.make ~name:"opencl-codegen" (Staged.stage (fun () ->
+          ignore (Lime_gpu.Opencl.generate kernel decisions)));
+      Test.make ~name:"full-pipeline" (Staged.stage (fun () ->
+          ignore (Lime_gpu.Pipeline.compile ~worker src)));
+    ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"pipeline" tests)
+  in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false
+         ~predictors:[| Measure.run |])
+      Instance.monotonic_clock raw
+  in
+  let rows =
+    Hashtbl.fold
+      (fun name r acc ->
+        let est =
+          match Analyze.OLS.estimates r with
+          | Some (est :: _) -> est
+          | _ -> Float.nan
+        in
+        (name, est) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, est) -> Printf.printf "%-40s %14.1f ns/run\n" name est)
+    rows
+
+(* Bechamel micro-benchmarks of the runtime primitives: the real marshaling
+   implementations (Fig 6) and the reference interpreter. *)
+let run_runtime_benches () =
+  section "Runtime micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let open Toolkit in
+  let v =
+    Lime_ir.Value.VArr
+      (Lime_ir.Value.of_float_matrix 256 4
+         (Array.init 1024 float_of_int))
+  in
+  let encoded = Lime_runtime.Marshal.encode v in
+  let nb = Lime_benchmarks.Nbody.single in
+  let compiled =
+    Lime_gpu.Pipeline.compile ~worker:nb.Lime_benchmarks.Bench_def.worker
+      nb.Lime_benchmarks.Bench_def.source
+  in
+  let kmod = Lime_gpu.Kernel.to_module compiled.Lime_gpu.Pipeline.cp_kernel in
+  let small = nb.Lime_benchmarks.Bench_def.input_small () in
+  let tests =
+    [
+      Test.make ~name:"marshal-encode-custom (4KB)" (Staged.stage (fun () ->
+          ignore (Lime_runtime.Marshal.encode v)));
+      Test.make ~name:"marshal-encode-generic (4KB)" (Staged.stage (fun () ->
+          ignore (Lime_runtime.Marshal.encode_generic v)));
+      Test.make ~name:"marshal-encode-direct (4KB)" (Staged.stage (fun () ->
+          ignore (Lime_runtime.Marshal.encode_direct v)));
+      Test.make ~name:"marshal-decode (4KB)" (Staged.stage (fun () ->
+          ignore (Lime_runtime.Marshal.decode encoded)));
+      Test.make ~name:"interp-nbody-64 (kernel)" (Staged.stage (fun () ->
+          let st = Lime_ir.Interp.create kmod in
+          ignore
+            (Lime_ir.Interp.call_function st "NBody.computeForces" None
+               [ small ])));
+      Test.make ~name:"profile-nbody (analytic)" (Staged.stage (fun () ->
+          let k = compiled.Lime_gpu.Pipeline.cp_kernel in
+          ignore
+            (Gpusim.Profile.profile k compiled.cp_decisions
+               ~shapes:[ ("particles", [| 4096; 4 |]) ]
+               ~scalars:[])));
+    ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"runtime" tests) in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      Instance.monotonic_clock raw
+  in
+  Hashtbl.fold
+    (fun name r acc ->
+      let est =
+        match Analyze.OLS.estimates r with
+        | Some (est :: _) -> est
+        | _ -> Float.nan
+      in
+      (name, est) :: acc)
+    results []
+  |> List.sort compare
+  |> List.iter (fun (name, est) ->
+         Printf.printf "%-44s %14.1f ns/run
+" name est)
+
+let all_experiments =
+  [
+    ("validate", run_validate);
+    ("table1", run_table1);
+    ("table2", run_table2);
+    ("table3", run_table3);
+    ("fig7a", run_fig7a);
+    ("fig7b", run_fig7b);
+    ("fig8", run_fig8);
+    ("fig9", run_fig9);
+    ("marshal-ablation", run_marshal_ablation);
+    ("overlap", run_overlap);
+    ("glue", run_glue);
+    ("compiler", run_compiler_benches);
+    ("runtime", run_runtime_benches);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst all_experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all_experiments with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %s; available: %s\n" name
+            (String.concat ", " (List.map fst all_experiments));
+          exit 1)
+    requested

@@ -1,0 +1,221 @@
+(** [limec] — the Lime-for-GPUs command-line compiler.
+
+    Compiles a Lime source file, offloads the requested filter worker, and
+    prints any of: the parsed program, the typed summary, the mid-level IR,
+    the memory-placement decisions, the generated OpenCL kernel, the host
+    glue, or a device-time estimate on one of the Table 2 platforms.
+
+    Examples:
+
+      limec nbody.lime --worker NBody.computeForces --emit-opencl
+      limec nbody.lime --worker NBody.computeForces --config local+pad+vec \
+            --placements
+      limec nbody.lime --worker NBody.computeForces --estimate gtx580 \
+            --shape particles=4096x4
+*)
+
+module Memopt = Lime_gpu.Memopt
+module Pipeline = Lime_gpu.Pipeline
+
+let configs =
+  [
+    ("global", Memopt.config_global);
+    ("global+vec", Memopt.config_global_vector);
+    ("local", Memopt.config_local);
+    ("local+pad", Memopt.config_local_noconflict);
+    ("local+pad+vec", Memopt.config_local_noconflict_vector);
+    ("constant", Memopt.config_constant);
+    ("constant+vec", Memopt.config_constant_vector);
+    ("texture", Memopt.config_image);
+    ("all", Memopt.config_all);
+  ]
+
+let devices =
+  [
+    ("gtx8800", Gpusim.Device.gtx8800);
+    ("gtx580", Gpusim.Device.gtx580);
+    ("hd5970", Gpusim.Device.hd5970);
+    ("corei7", Gpusim.Device.core_i7);
+  ]
+
+let parse_shape s =
+  (* particles=4096x4 *)
+  match String.split_on_char '=' s with
+  | [ name; dims ] ->
+      let shape =
+        String.split_on_char 'x' dims |> List.map int_of_string
+        |> Array.of_list
+      in
+      (name, shape)
+  | _ -> failwith ("bad --shape (expected name=DIMxDIM...): " ^ s)
+
+let run file worker config_name dump_ast dump_ir placements emit_opencl
+    emit_glue estimate sweep shapes =
+  let source =
+    if file = "-" then In_channel.input_all In_channel.stdin
+    else In_channel.with_open_text file In_channel.input_all
+  in
+  let config =
+    match List.assoc_opt config_name configs with
+    | Some c -> c
+    | None ->
+        Printf.eprintf "unknown config %s; available: %s\n" config_name
+          (String.concat ", " (List.map fst configs));
+        exit 2
+  in
+  match
+    Lime_support.Diag.protect (fun () ->
+        Pipeline.compile ~config ~name:file ~worker source)
+  with
+  | Error d ->
+      Printf.eprintf "%s\n" (Lime_support.Diag.to_string d);
+      exit 1
+  | Ok c ->
+      let kernel = c.Pipeline.cp_kernel in
+      if dump_ast then
+        print_endline
+          (Lime_frontend.Ast.program_to_string
+             (Lime_frontend.Parser.program_of_string ~name:file source));
+      if dump_ir then
+        List.iter
+          (fun s -> print_endline (Lime_ir.Ir.stmt_str s))
+          kernel.Lime_gpu.Kernel.k_body;
+      if placements then
+        print_endline (Memopt.describe c.Pipeline.cp_decisions);
+      if emit_opencl then print_string c.Pipeline.cp_opencl;
+      if emit_glue then
+        print_string (Lime_gpu.Hostgen.generate kernel);
+      (match sweep with
+      | None -> ()
+      | Some dev_name -> (
+          match List.assoc_opt dev_name devices with
+          | None ->
+              Printf.eprintf "unknown device %s\n" dev_name;
+              exit 2
+          | Some d ->
+              let shapes = List.map parse_shape shapes in
+              if shapes = [] then begin
+                Printf.eprintf "--sweep requires at least one --shape\n";
+                exit 2
+              end;
+              Printf.printf
+                "memory-mapping exploration on %s (fastest first):\n"
+                d.Gpusim.Device.name;
+              print_endline
+                (Gpusim.Autotune.describe
+                   (Gpusim.Autotune.sweep d kernel ~shapes ~scalars:[]))));
+      (match estimate with
+      | None -> ()
+      | Some dev_name ->
+          let d =
+            match List.assoc_opt dev_name devices with
+            | Some d -> d
+            | None ->
+                Printf.eprintf "unknown device %s; available: %s\n" dev_name
+                  (String.concat ", " (List.map fst devices));
+                exit 2
+          in
+          let shapes = List.map parse_shape shapes in
+          if shapes = [] then begin
+            Printf.eprintf
+              "--estimate requires at least one --shape name=DIMS\n";
+            exit 2
+          end;
+          let prof =
+            Gpusim.Profile.profile kernel c.Pipeline.cp_decisions ~shapes
+              ~scalars:[]
+          in
+          let bindings =
+            List.filter_map
+              (fun (name, shape) ->
+                match List.assoc_opt name kernel.Lime_gpu.Kernel.k_params with
+                | Some (Lime_ir.Ir.TArr aty) ->
+                    Some
+                      (Gpusim.Model.binding_of_shape ~name
+                         ~elem:aty.Lime_ir.Ir.elem ~shape
+                         (Memopt.placement_for c.Pipeline.cp_decisions name))
+                | _ -> None)
+              shapes
+          in
+          let bd = Gpusim.Model.kernel_time d prof bindings in
+          Format.printf "device: %s@." d.Gpusim.Device.name;
+          Format.printf "profile: %s@." (Gpusim.Profile.to_string prof);
+          Format.printf "estimate: %a@." Gpusim.Model.pp_breakdown bd);
+      if
+        (not dump_ast) && (not dump_ir) && (not placements)
+        && (not emit_opencl) && (not emit_glue)
+        && estimate = None && sweep = None
+      then begin
+        Printf.printf "compiled %s: kernel %s (%s)\n" file
+          kernel.Lime_gpu.Kernel.k_name
+          (if kernel.Lime_gpu.Kernel.k_parallel then "data-parallel"
+           else "sequential");
+        print_endline (Memopt.describe c.Pipeline.cp_decisions)
+      end
+
+open Cmdliner
+
+let file =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Lime source file ('-' for stdin).")
+
+let worker =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "worker"; "w" ] ~docv:"CLASS.METHOD"
+        ~doc:"Filter worker method to offload.")
+
+let config_name =
+  Arg.(
+    value & opt string "all"
+    & info [ "config"; "c" ] ~docv:"CONFIG"
+        ~doc:
+          "Memory configuration: global, global+vec, local, local+pad, \
+           local+pad+vec, constant, constant+vec, texture, all.")
+
+let dump_ast = Arg.(value & flag & info [ "dump-ast" ] ~doc:"Print the parsed program.")
+let dump_ir = Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the extracted kernel IR.")
+
+let placements =
+  Arg.(value & flag & info [ "placements" ] ~doc:"Print memory placements.")
+
+let emit_opencl =
+  Arg.(value & flag & info [ "emit-opencl" ] ~doc:"Print the OpenCL kernel.")
+
+let emit_glue =
+  Arg.(value & flag & info [ "emit-glue" ] ~doc:"Print the host glue C code.")
+
+let estimate =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "estimate" ] ~docv:"DEVICE"
+        ~doc:"Estimate kernel time on a device: gtx8800, gtx580, hd5970, corei7.")
+
+let sweep_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "sweep" ] ~docv:"DEVICE"
+        ~doc:
+          "Explore all eight memory configurations on a device model and \
+           rank them (the paper's §4.2.1 automated exploration).")
+
+let shapes =
+  Arg.(
+    value & opt_all string []
+    & info [ "shape" ] ~docv:"NAME=DIMS"
+        ~doc:"Argument shape for --estimate, e.g. particles=4096x4.")
+
+let cmd =
+  let doc = "Lime-for-GPUs compiler (PLDI 2012 reproduction)" in
+  Cmd.v
+    (Cmd.info "limec" ~version:"1.0.0" ~doc)
+    Term.(
+      const run $ file $ worker $ config_name $ dump_ast $ dump_ir
+      $ placements $ emit_opencl $ emit_glue $ estimate $ sweep_arg $ shapes)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/autotune.ml: Array Float Gpusim Lime_benchmarks Lime_gpu List Printf String Sys

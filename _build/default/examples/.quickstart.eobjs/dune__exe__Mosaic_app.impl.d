@@ -1,0 +1,1 @@
+examples/mosaic_app.ml: Array Gpusim Lime_benchmarks Lime_gpu Lime_ir List Printf

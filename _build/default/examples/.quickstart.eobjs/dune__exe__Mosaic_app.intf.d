@@ -1,0 +1,1 @@
+examples/mosaic_app.mli:

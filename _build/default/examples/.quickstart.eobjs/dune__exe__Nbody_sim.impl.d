@@ -1,0 +1,1 @@
+examples/nbody_sim.ml: Array Gpusim Lime_benchmarks Lime_gpu Lime_ir Lime_runtime List Printf Sys

@@ -1,0 +1,1 @@
+examples/overlap_pipeline.ml: Array Gpusim Lime_benchmarks List Printf Sys

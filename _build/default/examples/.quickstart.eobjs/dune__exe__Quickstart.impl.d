@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Lime_gpu Lime_ir Lime_runtime Printf String

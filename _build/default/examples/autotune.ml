@@ -1,0 +1,55 @@
+(** Memory-mapping autotuner.
+
+    Run with:  dune exec examples/autotune.exe -- [benchmark]
+
+    The paper notes the compiler "permits any of the optimizations to be
+    enabled and disabled so that it is possible to perform an automated
+    exploration of the memory mapping and layout" (§4.2.1).  This example
+    is that exploration: for every benchmark and device, it sweeps the
+    eight Fig 8 configurations on the device model and reports the winner —
+    which is how each benchmark's `best_config` was chosen. *)
+
+module E = Lime_benchmarks.Experiments
+module B = Lime_benchmarks.Bench_def
+module Memopt = Lime_gpu.Memopt
+
+let () =
+  let which =
+    if Array.length Sys.argv > 1 then
+      match Lime_benchmarks.Registry.find Sys.argv.(1) with
+      | Some b -> [ b ]
+      | None ->
+          Printf.eprintf "unknown benchmark %S; available:\n  %s\n"
+            Sys.argv.(1)
+            (String.concat "\n  "
+               (List.map
+                  (fun (b : B.t) -> b.B.name)
+                  Lime_benchmarks.Registry.all));
+          exit 2
+    else Lime_benchmarks.Registry.all
+  in
+  List.iter
+    (fun (b : B.t) ->
+      Printf.printf "=== %s ===\n" b.B.name;
+      let p = E.prepare b in
+      List.iter
+        (fun d ->
+          let timed =
+            List.map
+              (fun (name, cfg) -> (name, E.kernel_time_under p d cfg))
+              Memopt.fig8_configs
+          in
+          let best_name, best_t =
+            List.fold_left
+              (fun (bn, bt) (n, t) -> if t < bt then (n, t) else (bn, bt))
+              ("", infinity) timed
+          in
+          let worst_t =
+            List.fold_left (fun acc (_, t) -> Float.max acc t) 0.0 timed
+          in
+          Printf.printf "  %-28s best: %-32s %8.3f ms (worst/best %.1fx)\n"
+            d.Gpusim.Device.name best_name (best_t *. 1e3)
+            (worst_t /. best_t))
+        E.gpu_devices;
+      print_newline ())
+    which

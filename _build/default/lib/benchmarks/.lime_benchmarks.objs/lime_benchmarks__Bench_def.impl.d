@@ -1,0 +1,1 @@
+lib/benchmarks/bench_def.ml: Array Lime_gpu Lime_ir Lime_support Option

@@ -1,0 +1,1 @@
+lib/benchmarks/cp.ml: Array Bench_def Lime_gpu Lime_ir Str_replace

@@ -1,0 +1,1 @@
+lib/benchmarks/experiments.ml: Array Bench_def Float Gpusim Lime_gpu Lime_ir Lime_runtime Lime_support List Printf Registry String

@@ -1,0 +1,1 @@
+lib/benchmarks/experiments.mli: Bench_def Gpusim Lime_gpu Lime_ir Lime_runtime

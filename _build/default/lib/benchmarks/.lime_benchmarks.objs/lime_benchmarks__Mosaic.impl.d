@@ -1,0 +1,1 @@
+lib/benchmarks/mosaic.ml: Array Bench_def Int64 Lime_gpu Lime_ir Lime_support

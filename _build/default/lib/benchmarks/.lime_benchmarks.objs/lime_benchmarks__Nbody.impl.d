@@ -1,0 +1,1 @@
+lib/benchmarks/nbody.ml: Array Bench_def Buffer Lime_gpu Lime_ir String

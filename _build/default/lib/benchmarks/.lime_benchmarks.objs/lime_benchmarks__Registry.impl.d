@@ -1,0 +1,1 @@
+lib/benchmarks/registry.ml: Bench_def Cp Crypt Lime_gpu List Mosaic Mriq Nbody Option Rpes Series

@@ -1,0 +1,1 @@
+lib/benchmarks/registry.mli: Bench_def Lime_gpu

@@ -1,0 +1,1 @@
+lib/benchmarks/rpes.ml: Array Bench_def Lime_gpu Lime_ir Str_replace

@@ -1,0 +1,1 @@
+lib/benchmarks/series.ml: Array Bench_def Lime_gpu Lime_ir Nbody

@@ -1,0 +1,1 @@
+lib/benchmarks/str_replace.ml: Buffer String

@@ -1,0 +1,129 @@
+(** Parboil-CP: Coulombic Potential (Table 3).
+
+    Computes the electrostatic potential on a 2-D grid slice induced by a
+    set of point charges.  Every grid point loops over all atoms — the
+    atoms array is read identically by every thread at each step, which is
+    the canonical constant-memory workload (and fits: 4000 atoms x 16B =
+    62.5KB ≤ 64KB, matching the paper's 62KB input).  Output: 512x512
+    floats = 1MB. *)
+
+open Bench_def
+module Value = Lime_ir.Value
+module Memopt = Lime_gpu.Memopt
+
+let n_atoms = 4000
+let grid = 512
+let grid_small = 32
+
+let source =
+  {|
+class CP {
+  static final int GRID = 512;
+  static final float SPACING = 0.05f;
+  static final float SOFTEN = 0.0001f;
+
+  static local float potentialAt(float[[][4]] atoms, int g) {
+    float x = (float)(g % GRID) * SPACING;
+    float y = (float)(g / GRID) * SPACING;
+    float en = 0.0f;
+    for (int j = 0; j < atoms.length; j++) {
+      float dx = atoms[j][0] - x;
+      float dy = atoms[j][1] - y;
+      float dz = atoms[j][2];
+      float r2 = dx*dx + dy*dy + dz*dz + SOFTEN;
+      en += atoms[j][3] / Math.sqrt(r2);
+    }
+    return en;
+  }
+
+  static local float[[]] computeGrid(float[[][4]] atoms) {
+    return CP.potentialAt(atoms) @ Lime.range(GRID * GRID);
+  }
+
+  static local float[[4]] genAtom(int seed, int i) {
+    int h = (i * 747796405 + seed) ^ (i << 7);
+    float ax = (float)(h & 8191) / 8192.0f * 25.6f;
+    float ay = (float)((h >>> 13) & 8191) / 8192.0f * 25.6f;
+    float az = (float)((h >>> 26) & 31) / 32.0f * 4.0f;
+    float q = (float)((h & 7) - 3);
+    return { ax, ay, az, q };
+  }
+}
+
+class CPApp {
+  int atoms;
+  float total;
+
+  CPApp(int count) {
+    atoms = count;
+  }
+
+  local float[[][4]] atomGen() {
+    return CP.genAtom(424242) @ Lime.range(atoms);
+  }
+
+  void collect(float[[]] grid) {
+    float t = 0.0f;
+    for (int i = 0; i < grid.length; i++) {
+      t += grid[i];
+    }
+    total = t;
+  }
+
+  static void main(int count, int steps) {
+    (task CPApp(count).atomGen
+       => task CP.computeGrid
+       => task CPApp(count).collect).finish(steps);
+  }
+}
+|}
+
+let input_of ~n ?(seed = 11) () : Value.t =
+  rand_matrix ~seed ~rows:n ~cols:4 ~lo:0.0 ~hi:12.8 ()
+
+let reference_of ~grid (input : Value.t) : Value.t =
+  let a = arr_of input in
+  let n = a.Value.shape.(0) in
+  let g2 = grid * grid in
+  let out = Value.make_arr ~is_value:true Lime_ir.Ir.SFloat [| g2 |] in
+  let spacing = f32 0.05 and soften = f32 0.0001 in
+  for g = 0 to g2 - 1 do
+    let x = f32 (float_of_int (g mod grid) *. spacing) in
+    let y = f32 (float_of_int (g / grid) *. spacing) in
+    let en = ref 0.0 in
+    for j = 0 to n - 1 do
+      let dx = f32 (get2 a j 0 -. x) in
+      let dy = f32 (get2 a j 1 -. y) in
+      let dz = get2 a j 2 in
+      let r2 =
+        f32 (f32 (f32 (f32 (dx *. dx) +. f32 (dy *. dy)) +. f32 (dz *. dz)) +. soften)
+      in
+      en := f32 (!en +. f32 (get2 a j 3 /. f32 (sqrt r2)))
+    done;
+    Value.store out [ g ] (Value.VFloat (f32 !en))
+  done;
+  Value.VArr out
+
+(* the test-scale variant shrinks the grid so the reference interpreter can
+   execute the kernel in milliseconds *)
+let source_small =
+  Str_replace.all ~from:"GRID = 512" ~into:"GRID = 32" source
+
+let bench : Bench_def.t =
+  mk ~name:"Parboil-CP" ~description:"Coulombic Potential"
+    ~source ~worker:"CP.computeGrid" ~datatype:"Float"
+    ~source_small
+    ~input:(fun ?(seed = 11) () -> input_of ~n:n_atoms ~seed ())
+    ~input_small:(fun ?(seed = 11) () -> input_of ~n:32 ~seed ())
+    ~reference:(reference_of ~grid:grid_small)
+    ~best_config:Memopt.config_constant_vector ~in_fig8:true
+    ~hand:
+      [
+        ( "NVidia GeForce GTX 8800",
+          { ht_config = Memopt.config_constant_vector; ht_factor = 0.93 } );
+        ( "NVidia GeForce GTX 580",
+          { ht_config = Memopt.config_constant_vector; ht_factor = 0.95 } );
+        ( "AMD Radeon HD 5970",
+          { ht_config = Memopt.config_constant_vector; ht_factor = 0.95 } );
+      ]
+    ()

@@ -1,0 +1,183 @@
+(** JG-Crypt: IDEA encryption from the Java Grande suite (Table 3).
+
+    Byte-array workload (3MB in, 3MB out), no floating point — the paper's
+    lowest end-to-end GPU speedup, with a particularly low
+    computation-per-byte ratio (Fig 9's CPU exception).  Each 8-byte block
+    goes through 8 rounds of IDEA-style mixing: 16-bit multiplication
+    modulo 65537, addition modulo 65536 and XOR, with the round subkeys
+    expanded in-kernel from a seed (LCG key schedule).
+
+    The Lime-bytecode baseline for Crypt runs about half the speed of the
+    pure-Java original because of Java↔Lime byte-array conversion at the
+    interop boundary (§5.1) — captured by [interop_factor]. *)
+
+open Bench_def
+module Value = Lime_ir.Value
+module Memopt = Lime_gpu.Memopt
+module Prng = Lime_support.Prng
+
+let data_bytes = 3 * 1024 * 1024
+let data_bytes_small = 4096
+
+let source =
+  {|
+class Crypt {
+  static final int ROUNDS = 8;
+  static final int KEYSEED = 11731;
+
+  static local int mulMod(int a, int b) {
+    int x = a & 65535;
+    int y = b & 65535;
+    if (x == 0) { x = 65536; }
+    if (y == 0) { y = 65536; }
+    long p = ((long) x * (long) y) % 65537L;
+    return (int) (p & 65535L);
+  }
+
+  static local byte[[8]] encryptBlock(byte[[]] data, int b) {
+    int base = b * 8;
+    int x1 = ((int) data[base]     & 255) | (((int) data[base + 1] & 255) << 8);
+    int x2 = ((int) data[base + 2] & 255) | (((int) data[base + 3] & 255) << 8);
+    int x3 = ((int) data[base + 4] & 255) | (((int) data[base + 5] & 255) << 8);
+    int x4 = ((int) data[base + 6] & 255) | (((int) data[base + 7] & 255) << 8);
+    int ks = KEYSEED;
+    for (int r = 0; r < ROUNDS; r++) {
+      ks = ks * 1103515245 + 12345;
+      int k1 = (ks >>> 16) & 65535;
+      ks = ks * 1103515245 + 12345;
+      int k2 = (ks >>> 16) & 65535;
+      ks = ks * 1103515245 + 12345;
+      int k3 = (ks >>> 16) & 65535;
+      ks = ks * 1103515245 + 12345;
+      int k4 = (ks >>> 16) & 65535;
+      x1 = Crypt.mulMod(x1, k1);
+      x2 = (x2 + k2) & 65535;
+      x3 = (x3 + k3) & 65535;
+      x4 = Crypt.mulMod(x4, k4);
+      int t1 = x1 ^ x3;
+      int t2 = x2 ^ x4;
+      t1 = Crypt.mulMod(t1, k1 ^ 21845);
+      t2 = (t1 + t2) & 65535;
+      t2 = Crypt.mulMod(t2, k4 ^ 21845);
+      t1 = (t1 + t2) & 65535;
+      x1 = x1 ^ t2;
+      x3 = x3 ^ t2;
+      x2 = x2 ^ t1;
+      x4 = x4 ^ t1;
+    }
+    return { (byte) x1, (byte) (x1 >>> 8),
+             (byte) x2, (byte) (x2 >>> 8),
+             (byte) x3, (byte) (x3 >>> 8),
+             (byte) x4, (byte) (x4 >>> 8) };
+  }
+
+  static local byte[[][8]] encrypt(byte[[]] data) {
+    return Crypt.encryptBlock(data) @ Lime.range(data.length / 8);
+  }
+
+  static local byte genByte(int seed, int i) {
+    int h = (i * 1664525 + seed) ^ (i >>> 5);
+    return (byte) (h >>> 13);
+  }
+}
+
+class CryptApp {
+  int bytes;
+  int checksum;
+
+  CryptApp(int count) {
+    bytes = count;
+  }
+
+  local byte[[]] dataGen() {
+    return Crypt.genByte(20011) @ Lime.range(bytes);
+  }
+
+  void collect(byte[[][8]] blocks) {
+    int c = 0;
+    for (int i = 0; i < blocks.length; i++) {
+      for (int j = 0; j < 8; j++) {
+        c = c + ((int) blocks[i][j] & 255);
+      }
+    }
+    checksum = c;
+  }
+
+  static void main(int count, int steps) {
+    (task CryptApp(count).dataGen
+       => task Crypt.encrypt
+       => task CryptApp(count).collect).finish(steps);
+  }
+}
+|}
+
+let input_of ~n ?(seed = 3) () : Value.t =
+  let rng = Prng.create seed in
+  let a = Value.make_arr ~is_value:true Lime_ir.Ir.SByte [| n |] in
+  (match a.Value.buf with
+  | Value.BInt b ->
+      Array.iteri (fun i _ -> b.(i) <- Value.i8 (Prng.byte rng)) b
+  | _ -> assert false);
+  Value.VArr a
+
+(* OCaml reference mirrors the kernel exactly (integer arithmetic) *)
+let reference (input : Value.t) : Value.t =
+  let a = arr_of input in
+  let n = a.Value.shape.(0) in
+  let blocks = n / 8 in
+  let out = Value.make_arr ~is_value:true Lime_ir.Ir.SByte [| blocks; 8 |] in
+  let i32 = Value.i32 in
+  let mul_mod x y =
+    let x = x land 65535 and y = y land 65535 in
+    let x = if x = 0 then 65536 else x in
+    let y = if y = 0 then 65536 else y in
+    Int64.to_int (Int64.rem (Int64.mul (Int64.of_int x) (Int64.of_int y)) 65537L)
+    land 65535
+  in
+  for b = 0 to blocks - 1 do
+    let byte_at k = get1i a ((b * 8) + k) land 255 in
+    let x = [| byte_at 0 lor (byte_at 1 lsl 8);
+               byte_at 2 lor (byte_at 3 lsl 8);
+               byte_at 4 lor (byte_at 5 lsl 8);
+               byte_at 6 lor (byte_at 7 lsl 8) |] in
+    let ks = ref 11731 in
+    for _ = 1 to 8 do
+      let next () =
+        ks := i32 ((!ks * 1103515245) + 12345);
+        (!ks land 0xFFFFFFFF) lsr 16 land 65535
+      in
+      let k1 = next () in
+      let k2 = next () in
+      let k3 = next () in
+      let k4 = next () in
+      x.(0) <- mul_mod x.(0) k1;
+      x.(1) <- (x.(1) + k2) land 65535;
+      x.(2) <- (x.(2) + k3) land 65535;
+      x.(3) <- mul_mod x.(3) k4;
+      let t1 = ref (x.(0) lxor x.(2)) in
+      let t2 = ref (x.(1) lxor x.(3)) in
+      t1 := mul_mod !t1 (k1 lxor 21845);
+      t2 := (!t1 + !t2) land 65535;
+      t2 := mul_mod !t2 (k4 lxor 21845);
+      t1 := (!t1 + !t2) land 65535;
+      x.(0) <- x.(0) lxor !t2;
+      x.(2) <- x.(2) lxor !t2;
+      x.(1) <- x.(1) lxor !t1;
+      x.(3) <- x.(3) lxor !t1
+    done;
+    for w = 0 to 3 do
+      Value.store out [ b; 2 * w ] (Value.VInt (Value.i8 x.(w)));
+      Value.store out
+        [ b; (2 * w) + 1 ]
+        (Value.VInt (Value.i8 (x.(w) lsr 8)))
+    done
+  done;
+  Value.VArr out
+
+let bench : Bench_def.t =
+  mk ~name:"JG-Crypt" ~description:"IDEA encryption"
+    ~source ~worker:"Crypt.encrypt" ~datatype:"Byte" ~interop_factor:2.0
+    ~input:(fun ?(seed = 3) () -> input_of ~n:data_bytes ~seed ())
+    ~input_small:(fun ?(seed = 3) () -> input_of ~n:data_bytes_small ~seed ())
+    ~reference
+    ~best_config:Memopt.config_global ()

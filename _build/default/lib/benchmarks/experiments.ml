@@ -1,0 +1,498 @@
+(** Experiment generators: one function per table/figure of the paper's
+    evaluation (§5).  Each returns structured data plus a plain-text
+    rendering; `bench/main.exe` drives them and EXPERIMENTS.md records the
+    paper-vs-measured comparison. *)
+
+module Ir = Lime_ir.Ir
+module Value = Lime_ir.Value
+module Device = Gpusim.Device
+module Model = Gpusim.Model
+module Profile = Gpusim.Profile
+module Memopt = Lime_gpu.Memopt
+module Pipeline = Lime_gpu.Pipeline
+module Kernel = Lime_gpu.Kernel
+module Comm = Lime_runtime.Comm
+module Marshal_ = Lime_runtime.Marshal
+module B = Bench_def
+
+let gpu_devices = [ Device.gtx8800; Device.gtx580; Device.hd5970 ]
+let core_i7_1core = { Device.core_i7 with Device.sms = 1 }
+
+(* ------------------------------------------------------------------ *)
+(* Shared machinery                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type prepared = {
+  p_bench : B.t;
+  p_compiled : Pipeline.compiled;
+  p_input : Value.t;
+  p_in_bytes : int;
+  p_out_bytes : int;
+  p_out_shape : int array option;
+}
+
+(** Compile at paper scale and build the paper-scale input. *)
+let prepare ?config (b : B.t) : prepared =
+  let c = Registry.compile ?config b in
+  let input = b.B.input () in
+  let k = c.Pipeline.cp_kernel in
+  (* the output-producing loop's trip count sizes the result buffer *)
+  let shapes, scalars = Lime_runtime.Engine.shapes_of_args k [ input ] in
+  let prof = Profile.profile k c.Pipeline.cp_decisions ~shapes ~scalars in
+  let rows = int_of_float prof.Profile.p_last_parfor_items in
+  let out_shape = Lime_runtime.Engine.output_shape ~rows k input in
+  let out_bytes =
+    match (k.Kernel.k_ret, out_shape) with
+    | Ir.TArr aty, Some shape ->
+        Array.fold_left ( * ) 1 shape * Ir.scalar_size_bytes aty.Ir.elem
+    | _ -> 8
+  in
+  {
+    p_bench = b;
+    p_compiled = c;
+    p_input = input;
+    p_in_bytes = Marshal_.wire_size input;
+    p_out_bytes = out_bytes;
+    p_out_shape = out_shape;
+  }
+
+let profile_of (p : prepared) (decisions : Memopt.decision list) : Profile.t =
+  let k = p.p_compiled.Pipeline.cp_kernel in
+  let shapes, scalars =
+    Lime_runtime.Engine.shapes_of_args k [ p.p_input ]
+  in
+  Profile.profile k decisions ~shapes ~scalars
+
+let bindings_of (p : prepared) (decisions : Memopt.decision list) :
+    Model.array_binding list =
+  Lime_runtime.Engine.array_bindings p.p_compiled.Pipeline.cp_kernel decisions
+    [ p.p_input ] p.p_out_shape
+
+(** Kernel-only time under a memory configuration. *)
+let kernel_time_under (p : prepared) (d : Device.t) (cfg : Memopt.config) :
+    float =
+  let decisions = Memopt.optimize cfg p.p_compiled.Pipeline.cp_kernel in
+  let prof = profile_of p decisions in
+  (Model.kernel_time d prof (bindings_of p decisions)).Model.bd_total_s
+
+(** Host-side (source + sink) bytecode work: proportional to the data
+    produced and consumed — a few JVM-weighted ops per element. *)
+let host_task_seconds (p : prepared) : float =
+  let elems = float_of_int (p.p_in_bytes + p.p_out_bytes) /. 4.0 in
+  elems *. 10.0 (* gen hash / accumulate ops *) /. 3.46e9
+
+(** The Fig 7 baseline: the whole program as bytecode on one core. *)
+let baseline_seconds (p : prepared) : float =
+  let decisions =
+    Memopt.optimize Memopt.config_global p.p_compiled.Pipeline.cp_kernel
+  in
+  let prof = profile_of p decisions in
+  (Model.jvm_time_profile prof *. p.p_bench.B.interop_factor)
+  +. host_task_seconds p
+
+(** End-to-end time on a device, including all communication. *)
+type endtoend = {
+  ee_total_s : float;
+  ee_kernel_s : float;
+  ee_phases : Comm.phases;
+}
+
+let elem_bytes_of (p : prepared) : int =
+  match p.p_input with
+  | Value.VArr a -> Ir.scalar_size_bytes a.Value.elem
+  | _ -> 4
+
+let endtoend (p : prepared) (d : Device.t) (cfg : Memopt.config) : endtoend =
+  let kernel_s = kernel_time_under p d cfg in
+  let elem_bytes = elem_bytes_of p in
+  let phases =
+    if d.Device.kind = Device.Cpu then begin
+      (* shared memory: no PCIe transfer and cheap buffer setup, but the
+         Java <-> native marshaling remains (Fig 9a) *)
+      let ph =
+        Comm.offload_phases d ~elem_bytes ~in_bytes:p.p_in_bytes
+          ~out_bytes:p.p_out_bytes ()
+      in
+      ph.Comm.setup_s <- 6.0e-6;
+      ph
+    end
+    else
+      Comm.offload_phases d ~elem_bytes ~in_bytes:p.p_in_bytes
+        ~out_bytes:p.p_out_bytes ()
+  in
+  phases.Comm.kernel_s <- kernel_s;
+  phases.Comm.host_s <- host_task_seconds p;
+  { ee_total_s = Comm.total phases; ee_kernel_s = kernel_s; ee_phases = phases }
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: OpenCL vs Lime programming model                           *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () : string =
+  String.concat "\n"
+    [
+      "Table 1. GPU programming in OpenCL vs. Lime.";
+      "";
+      Printf.sprintf "%-18s %-22s %-22s" "" "OpenCL" "Lime";
+      Printf.sprintf "%-18s %-22s %-22s" "offload unit" "kernel" "filter";
+      Printf.sprintf "%-18s %-22s %-22s" "communication" "API" "=> operator";
+      Printf.sprintf "%-18s %-22s %-22s" "data parallelism" "manual"
+        "map & reduce";
+      Printf.sprintf "%-18s %-22s %-22s" "memory qualifiers" "manual"
+        "compiler";
+      Printf.sprintf "%-18s %-22s %-22s" "synchronization" "manual" "compiler";
+      Printf.sprintf "%-18s %-22s %-22s" "scheduling" "manual" "compiler";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: evaluation platforms                                       *)
+(* ------------------------------------------------------------------ *)
+
+let table2 () : string =
+  let row (d : Device.t) =
+    Printf.sprintf "%-4s %-26s %5d %9d %8s %9s %8s %7s %6s"
+      (match d.Device.kind with Device.Cpu -> "CPU" | Device.Gpu -> "GPU")
+      d.Device.name d.Device.sms d.Device.fp32_lanes d.Device.info_const_mem
+      d.Device.info_local_mem d.Device.info_l1 d.Device.info_l2
+      d.Device.info_l3
+  in
+  String.concat "\n"
+    ([
+       "Table 2. Evaluation platforms (simulated device models).";
+       "";
+       Printf.sprintf "%-4s %-26s %5s %9s %8s %9s %8s %7s %6s" "Type" "Model"
+         "Cores" "FP/core" "Const" "Local" "L1" "L2" "L3";
+     ]
+    @ List.map row Device.all)
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: benchmark suite                                            *)
+(* ------------------------------------------------------------------ *)
+
+let table3 () : string =
+  let row (b : B.t) =
+    let p = prepare b in
+    Printf.sprintf "%-20s %-34s %10s %10s  %s" b.B.name b.B.description
+      (Lime_support.Util.bytes_to_string p.p_in_bytes)
+      (Lime_support.Util.bytes_to_string p.p_out_bytes)
+      b.B.datatype
+  in
+  String.concat "\n"
+    ([
+       "Table 3. Benchmarks used in the evaluation (our input sizes).";
+       "";
+       Printf.sprintf "%-20s %-34s %10s %10s  %s" "Name" "Description"
+         "Input" "Output" "Data type";
+     ]
+    @ List.map row Registry.all)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: end-to-end speedups                                       *)
+(* ------------------------------------------------------------------ *)
+
+type fig7_row = {
+  f7_bench : string;
+  f7_series : (string * float) list;  (** platform/config -> speedup *)
+}
+
+let fig7a () : fig7_row list =
+  Registry.all
+  |> List.map (fun b ->
+         let p = prepare b in
+         let base = baseline_seconds p in
+         let one = endtoend p core_i7_1core b.B.best_config in
+         let six = endtoend p Device.core_i7 b.B.best_config in
+         {
+           f7_bench = b.B.name;
+           f7_series =
+             [
+               ("1 core", base /. one.ee_total_s);
+               ("6 cores", base /. six.ee_total_s);
+             ];
+         })
+
+let fig7b () : fig7_row list =
+  Registry.all
+  |> List.map (fun b ->
+         let p = prepare b in
+         let base = baseline_seconds p in
+         let gtx = endtoend p Device.gtx580 b.B.best_config in
+         let amd = endtoend p Device.hd5970 b.B.best_config in
+         {
+           f7_bench = b.B.name;
+           f7_series =
+             [
+               ("GTX580", base /. gtx.ee_total_s);
+               ("HD5970", base /. amd.ee_total_s);
+             ];
+         })
+
+let render_fig7 ~title (rows : fig7_row list) : string =
+  let headers =
+    match rows with
+    | r :: _ -> List.map fst r.f7_series
+    | [] -> []
+  in
+  let header_line =
+    Printf.sprintf "%-22s %s" "Benchmark"
+      (String.concat " "
+         (List.map (fun h -> Printf.sprintf "%12s" h) headers))
+  in
+  let lines =
+    List.map
+      (fun r ->
+        Printf.sprintf "%-22s %s" r.f7_bench
+          (String.concat " "
+             (List.map
+                (fun (_, s) -> Printf.sprintf "%11.1fx" s)
+                r.f7_series)))
+      rows
+  in
+  String.concat "\n" ((title ^ " (speedup over Lime bytecode)") :: "" :: header_line :: lines)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: kernel quality vs hand-tuned, 8 memory configurations     *)
+(* ------------------------------------------------------------------ *)
+
+type fig8_cell = {
+  f8_config : string;
+  f8_rel : float;  (** speedup relative to hand-tuned (>1 = Lime faster) *)
+}
+
+type fig8_row = { f8_bench : string; f8_cells : fig8_cell list }
+
+let fig8_for (d : Device.t) : fig8_row list =
+  Registry.fig8
+  |> List.map (fun b ->
+         let p = prepare b in
+         let hand =
+           match List.assoc_opt d.Device.name b.B.hand with
+           | Some h -> h
+           | None ->
+               { B.ht_config = b.B.best_config; ht_factor = 1.0 }
+         in
+         let hand_s =
+           kernel_time_under p d hand.B.ht_config *. hand.B.ht_factor
+         in
+         let cells =
+           List.map
+             (fun (cname, cfg) ->
+               let lime_s = kernel_time_under p d cfg in
+               { f8_config = cname; f8_rel = hand_s /. lime_s })
+             Memopt.fig8_configs
+         in
+         { f8_bench = b.B.name; f8_cells = cells })
+
+let render_fig8 (d : Device.t) (rows : fig8_row list) : string =
+  let header =
+    Printf.sprintf "%-32s %s" "Configuration"
+      (String.concat " "
+         (List.map
+            (fun r ->
+              Printf.sprintf "%13s"
+                (if String.length r.f8_bench > 13 then
+                   String.sub r.f8_bench 0 13
+                 else r.f8_bench))
+            rows))
+  in
+  let config_names = List.map fst Memopt.fig8_configs in
+  let lines =
+    List.map
+      (fun cname ->
+        let cells =
+          List.map
+            (fun r ->
+              let c = List.find (fun c -> c.f8_config = cname) r.f8_cells in
+              Printf.sprintf "%13.2f" c.f8_rel)
+            rows
+        in
+        Printf.sprintf "%-32s %s" cname (String.concat " " cells))
+      config_names
+  in
+  let best_line =
+    let cells =
+      List.map
+        (fun r ->
+          let best =
+            List.fold_left (fun acc c -> Float.max acc c.f8_rel) 0.0 r.f8_cells
+          in
+          Printf.sprintf "%13.2f" best)
+        rows
+    in
+    Printf.sprintf "%-32s %s" "Best (paper: 0.75-1.40)"
+      (String.concat " " cells)
+  in
+  let lines = lines @ [ String.make 32 '-'; best_line ] in
+  String.concat "\n"
+    (Printf.sprintf
+       "Figure 8 (%s): Lime vs hand-tuned kernel times\n(speedup relative to \
+        hand-tuned; >1.00 means the generated kernel is faster)\n"
+       d.Device.name
+    :: header :: lines)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: computation vs communication                              *)
+(* ------------------------------------------------------------------ *)
+
+type fig9_row = {
+  f9_bench : string;
+  f9_phases : Comm.phases;
+}
+
+let fig9 (d : Device.t) : fig9_row list =
+  Registry.all
+  |> List.map (fun b ->
+         let p = prepare b in
+         let ee = endtoend p d b.B.best_config in
+         { f9_bench = b.B.name; f9_phases = ee.ee_phases })
+
+let render_fig9 (d : Device.t) (rows : fig9_row list) : string =
+  let header =
+    Printf.sprintf "%-22s %8s %8s %8s %8s %8s %8s %8s" "Benchmark" "kernel%"
+      "javaM%" "jni%" "cM%" "setup%" "pcie%" "host%"
+  in
+  let lines =
+    List.map
+      (fun r ->
+        let t = Comm.total r.f9_phases in
+        let pct x = 100.0 *. x /. t in
+        Printf.sprintf "%-22s %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f"
+          r.f9_bench
+          (pct r.f9_phases.Comm.kernel_s)
+          (pct r.f9_phases.Comm.java_marshal_s)
+          (pct r.f9_phases.Comm.jni_s)
+          (pct r.f9_phases.Comm.c_marshal_s)
+          (pct r.f9_phases.Comm.setup_s)
+          (pct r.f9_phases.Comm.pcie_s)
+          (pct r.f9_phases.Comm.host_s))
+      rows
+  in
+  String.concat "\n"
+    (Printf.sprintf "Figure 9 (%s): computation and communication costs\n"
+       d.Device.name
+    :: header :: lines)
+
+(* ------------------------------------------------------------------ *)
+(* §4.3 ablation: generic vs custom marshaling                         *)
+(* ------------------------------------------------------------------ *)
+
+type marshal_ablation = {
+  ma_bench : string;
+  ma_custom_pct : float;  (** marshaling share of total, custom serializers *)
+  ma_generic_pct : float;  (** same with the generic marshaller *)
+}
+
+let marshal_ablation (d : Device.t) : marshal_ablation list =
+  Registry.all
+  |> List.map (fun b ->
+         let p = prepare b in
+         let pct serializer =
+           let kernel_s = kernel_time_under p d b.B.best_config in
+           let ph =
+             Comm.offload_phases d ~serializer ~elem_bytes:(elem_bytes_of p)
+               ~in_bytes:p.p_in_bytes ~out_bytes:p.p_out_bytes ()
+           in
+           ph.Comm.kernel_s <- kernel_s;
+           100.0 *. ph.Comm.java_marshal_s /. Comm.total ph
+         in
+         {
+           ma_bench = b.B.name;
+           ma_custom_pct = pct Marshal_.Custom;
+           ma_generic_pct = pct Marshal_.Generic;
+         })
+
+let render_marshal_ablation (rows : marshal_ablation list) : string =
+  let lines =
+    List.map
+      (fun r ->
+        Printf.sprintf "%-22s %14.1f%% %14.1f%%" r.ma_bench r.ma_custom_pct
+          r.ma_generic_pct)
+      rows
+  in
+  String.concat "\n"
+    ("Marshaling ablation (§4.3): Java marshaling share of end-to-end time"
+    :: Printf.sprintf "%-22s %15s %15s" "Benchmark" "custom" "generic"
+    :: lines)
+
+(* ------------------------------------------------------------------ *)
+(* §2: host-glue boilerplate volume                                    *)
+(* ------------------------------------------------------------------ *)
+
+let glue_volume () : (string * int * int) list =
+  Registry.all
+  |> List.map (fun b ->
+         let c = Registry.compile b in
+         let glue = Lime_gpu.Hostgen.generate c.Pipeline.cp_kernel in
+         ( b.B.name,
+           Lime_support.Util.count_lines glue,
+           Lime_support.Util.count_lines c.Pipeline.cp_opencl ))
+
+(* ------------------------------------------------------------------ *)
+(* §5.3 future work: overlap + direct marshaling                       *)
+(* ------------------------------------------------------------------ *)
+
+type overlap_row = {
+  ov_bench : string;
+  ov_serial_ms : float;  (** n firings, serial schedule *)
+  ov_pipelined_speedup : float;  (** double-buffered overlap *)
+  ov_direct_speedup : float;  (** overlap + direct-to-device marshaling *)
+  ov_comm_share : float;  (** communication share in the serial schedule *)
+}
+
+(** Projected gains of the two §5.3 "future work" optimizations the
+    runtime implements: pipelined double buffering and the direct-to-device
+    serializer.  [firings] models a streaming execution (e.g. simulation
+    steps); the gains grow with the communication share of Fig 9. *)
+let overlap ?(firings = 32) (d : Device.t) : overlap_row list =
+  Registry.all
+  |> List.map (fun b ->
+         let p = prepare b in
+         let mk serializer =
+           let kernel_s = kernel_time_under p d b.B.best_config in
+           let ph =
+             Comm.offload_phases d ~serializer ~elem_bytes:(elem_bytes_of p)
+               ~in_bytes:p.p_in_bytes ~out_bytes:p.p_out_bytes ()
+           in
+           ph.Comm.kernel_s <- kernel_s;
+           ph.Comm.host_s <- host_task_seconds p;
+           ph
+         in
+         let ph = mk Marshal_.Custom in
+         let st =
+           Lime_runtime.Schedule.stages_of_phases ~firings:1 ph
+         in
+         let serial = Lime_runtime.Schedule.serial_time ~firings st in
+         let piped = Lime_runtime.Schedule.pipelined_time ~firings st in
+         let ph_direct = mk Marshal_.Direct in
+         let st_direct =
+           Lime_runtime.Schedule.stages_of_phases ~firings:1 ph_direct
+         in
+         let piped_direct =
+           Lime_runtime.Schedule.pipelined_time ~firings st_direct
+         in
+         {
+           ov_bench = b.B.name;
+           ov_serial_ms = serial *. 1e3;
+           ov_pipelined_speedup = serial /. piped;
+           ov_direct_speedup = serial /. piped_direct;
+           ov_comm_share = Comm.communication ph /. Comm.total ph;
+         })
+
+let render_overlap ?(firings = 32) (d : Device.t) (rows : overlap_row list) :
+    string =
+  let lines =
+    List.map
+      (fun r ->
+        Printf.sprintf "%-22s %10.2f %8.0f%% %12.2fx %12.2fx" r.ov_bench
+          r.ov_serial_ms
+          (100.0 *. r.ov_comm_share)
+          r.ov_pipelined_speedup r.ov_direct_speedup)
+      rows
+  in
+  String.concat "\n"
+    (Printf.sprintf
+       "§5.3 future work on %s (%d firings): overlap + direct marshaling"
+       d.Device.name firings
+    :: Printf.sprintf "%-22s %10s %9s %13s %13s" "Benchmark" "serial ms"
+         "comm%" "pipelined" "+direct"
+    :: lines)

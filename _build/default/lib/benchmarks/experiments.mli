@@ -1,0 +1,120 @@
+(** Experiment generators: one entry per table/figure of the paper's
+    evaluation (§5), plus the §4.3/§5.3 ablations.  `bench/main.exe` drives
+    the renderers; `test/test_experiments.ml` asserts the shapes. *)
+
+module Device = Gpusim.Device
+module Profile = Gpusim.Profile
+module Model = Gpusim.Model
+module Memopt = Lime_gpu.Memopt
+module Pipeline = Lime_gpu.Pipeline
+module Comm = Lime_runtime.Comm
+module B = Bench_def
+
+val gpu_devices : Device.t list
+(** GTX8800, GTX580, HD5970 — the Fig 8 platforms. *)
+
+val core_i7_1core : Device.t
+(** The single-core CPU variant of Fig 7(a). *)
+
+(** {2 Shared machinery} *)
+
+type prepared = {
+  p_bench : B.t;
+  p_compiled : Pipeline.compiled;
+  p_input : Lime_ir.Value.t;  (** paper-scale input *)
+  p_in_bytes : int;  (** wire size *)
+  p_out_bytes : int;
+  p_out_shape : int array option;
+}
+
+val prepare : ?config:Memopt.config -> B.t -> prepared
+(** Compile at paper scale (under the benchmark's best config by default)
+    and build the paper-scale input. *)
+
+val profile_of : prepared -> Memopt.decision list -> Profile.t
+val bindings_of : prepared -> Memopt.decision list -> Model.array_binding list
+
+val kernel_time_under : prepared -> Device.t -> Memopt.config -> float
+(** Kernel-only device time under one memory configuration. *)
+
+val host_task_seconds : prepared -> float
+val baseline_seconds : prepared -> float
+(** The Fig 7 baseline: the whole program as bytecode on one core. *)
+
+type endtoend = {
+  ee_total_s : float;
+  ee_kernel_s : float;
+  ee_phases : Comm.phases;
+}
+
+val elem_bytes_of : prepared -> int
+val endtoend : prepared -> Device.t -> Memopt.config -> endtoend
+
+(** {2 Tables} *)
+
+val table1 : unit -> string
+val table2 : unit -> string
+val table3 : unit -> string
+
+(** {2 Figure 7 — end-to-end speedups} *)
+
+type fig7_row = {
+  f7_bench : string;
+  f7_series : (string * float) list;  (** platform → speedup over bytecode *)
+}
+
+val fig7a : unit -> fig7_row list
+(** CPU: 1 core and 6 cores. *)
+
+val fig7b : unit -> fig7_row list
+(** GPU: GTX580 and HD5970. *)
+
+val render_fig7 : title:string -> fig7_row list -> string
+
+(** {2 Figure 8 — kernel quality vs hand-tuned} *)
+
+type fig8_cell = {
+  f8_config : string;
+  f8_rel : float;  (** speedup relative to hand-tuned (>1 = Lime faster) *)
+}
+
+type fig8_row = { f8_bench : string; f8_cells : fig8_cell list }
+
+val fig8_for : Device.t -> fig8_row list
+val render_fig8 : Device.t -> fig8_row list -> string
+
+(** {2 Figure 9 — computation vs communication} *)
+
+type fig9_row = { f9_bench : string; f9_phases : Comm.phases }
+
+val fig9 : Device.t -> fig9_row list
+val render_fig9 : Device.t -> fig9_row list -> string
+
+(** {2 §4.3 marshaling ablation} *)
+
+type marshal_ablation = {
+  ma_bench : string;
+  ma_custom_pct : float;
+  ma_generic_pct : float;
+}
+
+val marshal_ablation : Device.t -> marshal_ablation list
+val render_marshal_ablation : marshal_ablation list -> string
+
+(** {2 §2 host-glue volume} *)
+
+val glue_volume : unit -> (string * int * int) list
+(** benchmark, glue lines, kernel lines. *)
+
+(** {2 §5.3 future work: overlap + direct marshaling} *)
+
+type overlap_row = {
+  ov_bench : string;
+  ov_serial_ms : float;
+  ov_pipelined_speedup : float;
+  ov_direct_speedup : float;
+  ov_comm_share : float;
+}
+
+val overlap : ?firings:int -> Device.t -> overlap_row list
+val render_overlap : ?firings:int -> Device.t -> overlap_row list -> string

@@ -1,0 +1,182 @@
+(** N-Body simulation (paper §2, §3, Table 3).
+
+    The n² force calculation, in single- and double-precision variants.
+    Input: [n x 4] particles (position + mass, the paper's float4 layout);
+    output: [n x 3] forces.  Paper input sizes: 64KB single (4096
+    particles), 128KB double. *)
+
+open Bench_def
+module Value = Lime_ir.Value
+module Memopt = Lime_gpu.Memopt
+
+(** Substitute [$T] (scalar type) and [$S] (literal suffix) in a template. *)
+let subst ~ty ~suf (template : string) : string =
+  let buf = Buffer.create (String.length template) in
+  let n = String.length template in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && template.[!i] = '$' && template.[!i + 1] = 'T' then begin
+      Buffer.add_string buf ty;
+      i := !i + 2
+    end
+    else if !i + 1 < n && template.[!i] = '$' && template.[!i + 1] = 'S' then begin
+      Buffer.add_string buf suf;
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char buf template.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let template =
+  {|
+class NBody {
+  static final $T EPS = 1.0e-9$S;
+
+  static local $T[[3]] forceOne($T[[][4]] particles, $T[[4]] p) {
+    $T fx = 0.0$S; $T fy = 0.0$S; $T fz = 0.0$S;
+    for (int j = 0; j < particles.length; j++) {
+      $T[[4]] q = particles[j];
+      $T dx = q[0] - p[0];
+      $T dy = q[1] - p[1];
+      $T dz = q[2] - p[2];
+      $T r2 = dx*dx + dy*dy + dz*dz + EPS;
+      $T inv = 1.0$S / Math.sqrt(r2*r2*r2);
+      $T s = q[3] * inv;
+      fx += s * dx; fy += s * dy; fz += s * dz;
+    }
+    return { fx, fy, fz };
+  }
+
+  static local $T[[][3]] computeForces($T[[][4]] particles) {
+    return NBody.forceOne(particles) @ particles;
+  }
+
+  static local $T[[4]] genOne(int seed, int i) {
+    int h = i * 1103515245 + seed;
+    h = (h ^ (h >>> 16)) * 65599 + i;
+    int hx = h & 1023;
+    int hy = (h >>> 10) & 1023;
+    int hz = (h >>> 20) & 1023;
+    $T x = ($T)hx / 512.0$S - 1.0$S;
+    $T y = ($T)hy / 512.0$S - 1.0$S;
+    $T z = ($T)hz / 512.0$S - 1.0$S;
+    $T m = 1.0$S + ($T)(h & 255) / 256.0$S;
+    return { x, y, z, m };
+  }
+}
+
+class NBodySim {
+  int n;
+  int seed;
+  $T total;
+
+  NBodySim(int count) {
+    n = count;
+    seed = 12345;
+  }
+
+  local $T[[][4]] particleGen() {
+    return NBody.genOne(seed) @ Lime.range(n);
+  }
+
+  void accumulate($T[[][3]] forces) {
+    $T t = 0.0$S;
+    for (int i = 0; i < forces.length; i++) {
+      t += forces[i][0] + forces[i][1] + forces[i][2];
+    }
+    total = t;
+  }
+
+  static void main(int count, int steps) {
+    (task NBodySim(count).particleGen
+       => task NBody.computeForces
+       => task NBodySim(count).accumulate).finish(steps);
+  }
+}
+|}
+
+let source_for ~ty ~suf = subst ~ty ~suf template
+
+(* reference: plain OCaml n^2 force computation *)
+let reference_of ~single (input : Value.t) : Value.t =
+  let a = arr_of input in
+  let n = a.Value.shape.(0) in
+  let round x = if single then f32 x else x in
+  let out =
+    Value.make_arr ~is_value:true
+      (if single then Lime_ir.Ir.SFloat else Lime_ir.Ir.SDouble)
+      [| n; 3 |]
+  in
+  let eps = if single then f32 1.0e-9 else 1.0e-9 in
+  for i = 0 to n - 1 do
+    let px = get2 a i 0 and py = get2 a i 1 and pz = get2 a i 2 in
+    let fx = ref 0.0 and fy = ref 0.0 and fz = ref 0.0 in
+    for j = 0 to n - 1 do
+      let dx = round (get2 a j 0 -. px) in
+      let dy = round (get2 a j 1 -. py) in
+      let dz = round (get2 a j 2 -. pz) in
+      let r2 =
+        round
+          (round (round (round (dx *. dx) +. round (dy *. dy)) +. round (dz *. dz))
+          +. eps)
+      in
+      let inv = round (1.0 /. round (sqrt (round (round (r2 *. r2) *. r2)))) in
+      let s = round (get2 a j 3 *. inv) in
+      fx := round (!fx +. round (s *. dx));
+      fy := round (!fy +. round (s *. dy));
+      fz := round (!fz +. round (s *. dz))
+    done;
+    let set c v =
+      Value.store out [ i; c ]
+        (if single then Value.VFloat (f32 v) else Value.VDouble v)
+    in
+    set 0 !fx;
+    set 1 !fy;
+    set 2 !fz
+  done;
+  Value.VArr out
+
+let input_of ~elem ~n ?(seed = 42) () =
+  rand_matrix ~elem ~seed ~rows:n ~cols:4 ~lo:(-1.0) ~hi:1.0 ()
+
+let hand_local factor =
+  { ht_config = Memopt.config_local_noconflict_vector; ht_factor = factor }
+
+let single : Bench_def.t =
+  mk ~name:"N-Body (Single)" ~description:"N-Body simulation"
+    ~source:(source_for ~ty:"float" ~suf:"f")
+    ~worker:"NBody.computeForces" ~datatype:"Float"
+    ~input:(fun ?(seed = 42) () ->
+      input_of ~elem:Lime_ir.Ir.SFloat ~n:4096 ~seed ())
+    ~input_small:(fun ?(seed = 42) () ->
+      input_of ~elem:Lime_ir.Ir.SFloat ~n:64 ~seed ())
+    ~reference:(reference_of ~single:true)
+    ~best_config:Memopt.config_local_noconflict_vector ~in_fig8:true
+    ~hand:
+      [
+        ("NVidia GeForce GTX 8800", hand_local 1.0);
+        ("NVidia GeForce GTX 580", hand_local 0.92);
+        ("AMD Radeon HD 5970", hand_local 0.95);
+      ]
+    ()
+
+let double : Bench_def.t =
+  mk ~name:"N-Body (Double)" ~description:"N-Body simulation"
+    ~source:(source_for ~ty:"double" ~suf:"")
+    ~worker:"NBody.computeForces" ~datatype:"Double" ~uses_double:true
+    ~input:(fun ?(seed = 42) () ->
+      input_of ~elem:Lime_ir.Ir.SDouble ~n:4096 ~seed ())
+    ~input_small:(fun ?(seed = 42) () ->
+      input_of ~elem:Lime_ir.Ir.SDouble ~n:64 ~seed ())
+    ~reference:(reference_of ~single:false)
+    ~best_config:Memopt.config_local_noconflict_vector
+    ~hand:
+      [
+        ("NVidia GeForce GTX 8800", hand_local 1.0);
+        ("NVidia GeForce GTX 580", hand_local 0.92);
+        ("AMD Radeon HD 5970", hand_local 0.95);
+      ]
+    ()

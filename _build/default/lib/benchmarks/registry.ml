@@ -1,0 +1,32 @@
+(** The nine-benchmark suite of Table 3, in the paper's order. *)
+
+let all : Bench_def.t list =
+  [
+    Nbody.single;
+    Nbody.double;
+    Mosaic.bench;
+    Cp.bench;
+    Mriq.bench;
+    Rpes.bench;
+    Crypt.bench;
+    Series.single;
+    Series.double;
+  ]
+
+let find name =
+  List.find_opt (fun (b : Bench_def.t) -> b.Bench_def.name = name) all
+
+(** The five benchmarks of the Fig 8 kernel-quality comparison. *)
+let fig8 = List.filter (fun (b : Bench_def.t) -> b.Bench_def.in_fig8) all
+
+(** Compile a benchmark (paper-scale constants) under its best config. *)
+let compile ?config (b : Bench_def.t) : Lime_gpu.Pipeline.compiled =
+  let config = Option.value config ~default:b.Bench_def.best_config in
+  Lime_gpu.Pipeline.compile ~config ~worker:b.Bench_def.worker
+    b.Bench_def.source
+
+(** Compile the test-scale variant. *)
+let compile_small ?config (b : Bench_def.t) : Lime_gpu.Pipeline.compiled =
+  let config = Option.value config ~default:b.Bench_def.best_config in
+  Lime_gpu.Pipeline.compile ~config ~worker:b.Bench_def.worker
+    b.Bench_def.source_small

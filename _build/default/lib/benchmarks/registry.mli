@@ -1,0 +1,16 @@
+(** The nine-benchmark suite of Table 3, in the paper's order. *)
+
+val all : Bench_def.t list
+val find : string -> Bench_def.t option
+
+val fig8 : Bench_def.t list
+(** The five benchmarks of the Fig 8 kernel-quality comparison. *)
+
+val compile :
+  ?config:Lime_gpu.Memopt.config -> Bench_def.t -> Lime_gpu.Pipeline.compiled
+(** Compile the paper-scale program (under the benchmark's best
+    configuration by default). *)
+
+val compile_small :
+  ?config:Lime_gpu.Memopt.config -> Bench_def.t -> Lime_gpu.Pipeline.compiled
+(** Compile the test-scale variant (matches [Bench_def.reference]). *)

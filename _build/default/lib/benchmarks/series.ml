@@ -1,0 +1,133 @@
+(** JG-Series: Fourier coefficient analysis from the Java Grande suite
+    (Table 3), in single- and double-precision variants.
+
+    Computes the first N Fourier coefficient pairs of f(x) = (x+1)^x on
+    [0,2] by numerical integration; each coefficient evaluates pow, sin and
+    cos in the inner loop.  Transcendental-dominated: the paper attributes
+    its very large CPU and GPU gains to OpenCL's faster transcendental
+    implementations compared to Java's strict [Math.*]. *)
+
+open Bench_def
+module Value = Lime_ir.Value
+module Memopt = Lime_gpu.Memopt
+
+let n_coeff = 100_000
+let n_points = 100
+let n_coeff_small = 64
+
+let template =
+  {|
+class Series {
+  static final int POINTS = 100;
+  static final $T PI = 3.141592653589793$S;
+
+  static local $T[[2]] coeff($T[[]] seeds, int n) {
+    $T range = 2.0$S;
+    $T dx = range / ($T) POINTS;
+    $T ar = 0.0$S;
+    $T ai = 0.0$S;
+    for (int j = 0; j < POINTS; j++) {
+      $T x = (($T) j + 0.5$S) * dx;
+      $T fx = Math.pow(x + 1.0$S, x) + seeds[n] * 0.0$S;
+      $T w = ($T) (n + 1) * PI * x;
+      ar += fx * Math.cos(w) * dx;
+      ai += fx * Math.sin(w) * dx;
+    }
+    return { ar, ai };
+  }
+
+  static local $T[[][2]] computeSeries($T[[]] seeds) {
+    return Series.coeff(seeds) @ Lime.range(seeds.length);
+  }
+
+  static local $T genSeed(int base, int i) {
+    return ($T) ((i * 31 + base) & 1023) / 1024.0$S;
+  }
+}
+
+class SeriesApp {
+  int coeffs;
+  $T first;
+
+  SeriesApp(int count) {
+    coeffs = count;
+  }
+
+  local $T[[]] seedGen() {
+    return Series.genSeed(17) @ Lime.range(coeffs);
+  }
+
+  void collect($T[[][2]] c) {
+    first = c[0][0];
+  }
+
+  static void main(int count, int steps) {
+    (task SeriesApp(count).seedGen
+       => task Series.computeSeries
+       => task SeriesApp(count).collect).finish(steps);
+  }
+}
+|}
+
+let source_for ~ty ~suf = Nbody.subst ~ty ~suf template
+
+let input_of ~elem ~n ?(seed = 17) () : Value.t =
+  rand_floats ~elem ~seed ~n ~lo:0.0 ~hi:1.0 ()
+
+let reference_of ~single (input : Value.t) : Value.t =
+  let a = arr_of input in
+  let n = a.Value.shape.(0) in
+  let round x = if single then f32 x else x in
+  let out =
+    Value.make_arr ~is_value:true
+      (if single then Lime_ir.Ir.SFloat else Lime_ir.Ir.SDouble)
+      [| n; 2 |]
+  in
+  let pi = round 3.141592653589793 in
+  let range = 2.0 in
+  let dx = round (range /. float_of_int n_points) in
+  for c = 0 to n - 1 do
+    let ar = ref 0.0 and ai = ref 0.0 in
+    for j = 0 to n_points - 1 do
+      let x = round (round (float_of_int j +. round 0.5) *. dx) in
+      let fx =
+        round
+          (round (round (x +. 1.0) ** x)
+          +. round (get1 a c *. 0.0))
+      in
+      let w = round (round (float_of_int (c + 1) *. pi) *. x) in
+      ar := round (!ar +. round (round (fx *. round (cos w)) *. dx));
+      ai := round (!ai +. round (round (fx *. round (sin w)) *. dx))
+    done;
+    let set k v =
+      Value.store out [ c; k ]
+        (if single then Value.VFloat (f32 v) else Value.VDouble v)
+    in
+    set 0 !ar;
+    set 1 !ai
+  done;
+  Value.VArr out
+
+let hand = []
+
+let single : Bench_def.t =
+  mk ~name:"JG-Series (Single)" ~description:"Fourier coefficient analysis"
+    ~source:(source_for ~ty:"float" ~suf:"f")
+    ~worker:"Series.computeSeries" ~datatype:"Float"
+    ~input:(fun ?(seed = 17) () ->
+      input_of ~elem:Lime_ir.Ir.SFloat ~n:n_coeff ~seed ())
+    ~input_small:(fun ?(seed = 17) () ->
+      input_of ~elem:Lime_ir.Ir.SFloat ~n:n_coeff_small ~seed ())
+    ~reference:(reference_of ~single:true)
+    ~best_config:Memopt.config_global ~hand ()
+
+let double : Bench_def.t =
+  mk ~name:"JG-Series (Double)" ~description:"Fourier coefficient analysis"
+    ~source:(source_for ~ty:"double" ~suf:"")
+    ~worker:"Series.computeSeries" ~datatype:"Double" ~uses_double:true
+    ~input:(fun ?(seed = 17) () ->
+      input_of ~elem:Lime_ir.Ir.SDouble ~n:n_coeff ~seed ())
+    ~input_small:(fun ?(seed = 17) () ->
+      input_of ~elem:Lime_ir.Ir.SDouble ~n:n_coeff_small ~seed ())
+    ~reference:(reference_of ~single:false)
+    ~best_config:Memopt.config_global ~hand ()

@@ -1,0 +1,21 @@
+(** Tiny literal string replacement (no Str/Re dependency). *)
+
+let all ~from ~into (s : string) : string =
+  let flen = String.length from in
+  if flen = 0 then s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let i = ref 0 in
+    let n = String.length s in
+    while !i < n do
+      if !i + flen <= n && String.sub s !i flen = from then begin
+        Buffer.add_string buf into;
+        i := !i + flen
+      end
+      else begin
+        Buffer.add_char buf s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  end

@@ -1,0 +1,1 @@
+lib/core/clcheck.ml: Fmt Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/core/hostgen.ml: Buffer Kernel Lime_ir Lime_support List Opencl Printf String

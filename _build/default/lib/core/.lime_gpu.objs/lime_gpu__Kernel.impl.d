@@ -1,0 +1,1 @@
+lib/core/kernel.ml: Diag Hashtbl Int64 Lime_frontend Lime_ir Lime_support Lime_typecheck List Loc Option Printf

@@ -1,0 +1,1 @@
+lib/core/memopt.ml: Hashtbl Kernel Lime_frontend Lime_ir List Option Printf String Taint

@@ -1,0 +1,1 @@
+lib/core/memopt.mli: Kernel Lime_ir

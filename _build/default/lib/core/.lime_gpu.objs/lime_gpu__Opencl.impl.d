@@ -1,0 +1,1 @@
+lib/core/opencl.ml: Array Buffer Hashtbl Int64 Kernel Lime_frontend Lime_ir Lime_support Lime_typecheck List Memopt Printf String

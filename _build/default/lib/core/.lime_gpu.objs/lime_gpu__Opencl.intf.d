@@ -1,0 +1,1 @@
+lib/core/opencl.mli: Kernel Lime_ir Memopt

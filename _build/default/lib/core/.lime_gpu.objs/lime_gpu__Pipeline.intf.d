@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Kernel Lime_ir Lime_typecheck Memopt

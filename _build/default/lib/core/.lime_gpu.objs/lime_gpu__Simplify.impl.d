@@ -1,0 +1,1 @@
+lib/core/simplify.ml: Hashtbl Int64 Kernel Lime_frontend Lime_ir Lime_typecheck List Option

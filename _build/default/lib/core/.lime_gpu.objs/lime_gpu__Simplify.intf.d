@@ -1,0 +1,1 @@
+lib/core/simplify.mli: Kernel Lime_ir

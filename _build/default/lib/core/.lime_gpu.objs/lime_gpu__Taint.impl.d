@@ -1,0 +1,1 @@
+lib/core/taint.ml: Hashtbl Lime_ir List

@@ -1,0 +1,10 @@
+(** Host-side OpenCL glue generation (paper §2, Figure 3): device
+    discovery, program build, buffer creation, argument binding, enqueues
+    and teardown — the boilerplate the paper quantifies as "at least a
+    dozen OpenCL procedures" plus "182 lines" of setup. *)
+
+val generate : Kernel.kernel -> string
+(** The C host program offloading one kernel. *)
+
+val api_calls_used : string -> string list
+(** Distinct OpenCL API procedures referenced by a glue listing. *)

@@ -1,0 +1,22 @@
+(** OpenCL C code generation (paper §4.2, Fig 4/5).
+
+    Emits the kernel source for an extracted kernel under a set of
+    placement decisions: the robust thread loop, the bookkeeping struct,
+    address-space qualifiers, local staging with barriers, image reads,
+    vector types, and private arrays.  Validated by {!Clcheck} and the
+    structural tests. *)
+
+val generate : ?group_size:int -> Kernel.kernel -> Memopt.decision list -> string
+(** [generate kernel decisions] returns the OpenCL source text.
+    [group_size] sets the work-group size baked into the staging tiles
+    (default 256). *)
+
+val float_lit : float -> string
+(** A C floating literal that always contains a ['.'] or an exponent. *)
+
+val cname : string -> string
+(** IR temporary name → valid C identifier. *)
+
+val scratch_buffers : Kernel.kernel -> (string * Lime_ir.Ir.aty) list
+(** Dynamically sized kernel intermediates the host must allocate (they
+    appear as extra [__global] kernel parameters). *)

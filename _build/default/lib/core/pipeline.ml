@@ -1,0 +1,52 @@
+(** End-to-end compilation pipeline: Lime source → typed AST → IR →
+    extracted kernel → memory placements → OpenCL source.
+
+    This is the public entry point a downstream user of the library calls;
+    the stages mirror Figure 3 of the paper. *)
+
+module Ir = Lime_ir.Ir
+
+type compiled = {
+  cp_program : Lime_typecheck.Tast.tprogram;
+  cp_module : Ir.modul;
+  cp_kernel : Kernel.kernel;
+  cp_decisions : Memopt.decision list;
+  cp_opencl : string;
+  cp_config : Memopt.config;
+}
+
+(** Compile [source], offloading the filter whose worker is
+    ["Class.method"], under the given optimization configuration.
+    [simplify] (default on) runs constant folding and dead-code
+    elimination over the extracted kernel. *)
+let compile ?(config = Memopt.config_all) ?(simplify = true)
+    ?(name = "<inline>") ~(worker : string) (source : string) : compiled =
+  let tp = Lime_typecheck.Check.check_string ~name source in
+  let md = Lime_ir.Lower.lower_program tp in
+  let kernel = Kernel.extract md ~worker in
+  let kernel = if simplify then Simplify.kernel kernel else kernel in
+  let decisions = Memopt.optimize config kernel in
+  let opencl = Opencl.generate kernel decisions in
+  {
+    cp_program = tp;
+    cp_module = md;
+    cp_kernel = kernel;
+    cp_decisions = decisions;
+    cp_opencl = opencl;
+    cp_config = config;
+  }
+
+(** Re-optimize an already compiled program under a different memory
+    configuration (used by the Fig 8 sweep and the autotuner). *)
+let reoptimize (c : compiled) (config : Memopt.config) : compiled =
+  let decisions = Memopt.optimize config c.cp_kernel in
+  {
+    c with
+    cp_decisions = decisions;
+    cp_opencl = Opencl.generate c.cp_kernel decisions;
+    cp_config = config;
+  }
+
+(** All Fig 8 variants of a compiled program. *)
+let sweep (c : compiled) : (string * compiled) list =
+  List.map (fun (n, cfg) -> (n, reoptimize c cfg)) Memopt.fig8_configs

@@ -1,0 +1,31 @@
+(** End-to-end compilation pipeline: Lime source → typed AST → IR →
+    extracted kernel → memory placements → OpenCL source (Figure 3 of the
+    paper).  This is the primary entry point for downstream users. *)
+
+type compiled = {
+  cp_program : Lime_typecheck.Tast.tprogram;  (** typed program *)
+  cp_module : Lime_ir.Ir.modul;  (** lowered IR, executable by the interpreter *)
+  cp_kernel : Kernel.kernel;  (** extracted, self-contained kernel *)
+  cp_decisions : Memopt.decision list;  (** memory placements *)
+  cp_opencl : string;  (** generated OpenCL kernel source *)
+  cp_config : Memopt.config;
+}
+
+val compile :
+  ?config:Memopt.config ->
+  ?simplify:bool ->
+  ?name:string ->
+  worker:string ->
+  string ->
+  compiled
+(** [compile ~worker:"Class.method" source] runs the whole pipeline,
+    offloading the given filter worker under [config] (default
+    {!Memopt.config_all}).  Raises {!Lime_support.Diag.Error_exn} on any
+    front-end or kernel-legality error. *)
+
+val reoptimize : compiled -> Memopt.config -> compiled
+(** Re-run only the memory optimizer and code generator under a different
+    configuration (the Fig 8 sweep / autotuning building block). *)
+
+val sweep : compiled -> (string * compiled) list
+(** All eight Fig 8 configurations of an already compiled program. *)

@@ -1,0 +1,19 @@
+(** Kernel IR simplifier: constant folding, exact algebraic identities and
+    dead declaration elimination — semantics-preserving under the
+    interpreter's Java numerics (differential-tested across the whole
+    benchmark suite). *)
+
+val simp_expr : Lime_ir.Ir.expr -> Lime_ir.Ir.expr
+
+val pure : Lime_ir.Ir.expr -> bool
+(** Free of side effects: no prints, no possible traps.  Conservative. *)
+
+val stmts : Lime_ir.Ir.stmt list -> Lime_ir.Ir.stmt list
+(** Fold and prune one statement list (no dead-code pass). *)
+
+val eliminate_dead : Lime_ir.Ir.stmt list -> Lime_ir.Ir.stmt list
+(** Remove declarations and assignments of never-read variables whose
+    initializers are pure; iterates to a fixpoint. *)
+
+val kernel : Kernel.kernel -> Kernel.kernel
+(** The full pipeline pass: fold, then eliminate dead code. *)

@@ -1,0 +1,90 @@
+(** Thread-dependence analysis.
+
+    Computes, for a kernel body, the set of variables whose values depend on
+    the parallel index — the information the memory optimizer and the
+    profiler need to classify an index expression as per-thread versus
+    shared across threads.  Pointer-free value semantics make this a small
+    forward dataflow to a fixpoint:
+
+    - the parallel index itself is thread-dependent;
+    - a scalar is tainted if its initializer or any assignment to it
+      mentions a tainted variable;
+    - an array *declared inside* the parallel loop holds per-thread data
+      (each iteration owns an instance), so its name is tainted and so is
+      any scalar loaded from it (loads mention the array's name);
+    - the destination of a reduce over a tainted array is tainted;
+    - uninitialized declarations inside the parallel loop are conservatively
+      tainted (their single assignment may come from an early-returning
+      inline block).
+
+    Sequential loop variables ([SFor]) are *not* tainted — they advance
+    identically in every thread, which is exactly what makes the Fig 5(c)
+    stream pattern shared. *)
+
+module Ir = Lime_ir.Ir
+
+let expr_vars (e : Ir.expr) : string list =
+  let acc = ref [] in
+  Ir.iter_expr
+    (fun e -> match e with Ir.Var v -> acc := v :: !acc | _ -> ())
+    e;
+  !acc
+
+(** The tainted-variable set of a kernel body.  Includes the parallel index
+    variables themselves. *)
+let thread_dependent (body : Ir.stmt list) : (string, unit) Hashtbl.t =
+  let tainted = Hashtbl.create 32 in
+  let changed = ref true in
+  let mentions e =
+    List.exists (Hashtbl.mem tainted) (expr_vars e)
+  in
+  let add v =
+    if not (Hashtbl.mem tainted v) then begin
+      Hashtbl.replace tainted v ();
+      changed := true
+    end
+  in
+  let rec walk ~in_par (s : Ir.stmt) =
+    match s with
+    | Ir.SDecl (v, Ir.TArr _, init) ->
+        if in_par then add v;
+        (match init with
+        | Some e when mentions e -> add v
+        | _ -> ())
+    | Ir.SDecl (v, _, init) -> (
+        match init with
+        | Some e -> if mentions e then add v
+        | None -> if in_par then add v)
+    | Ir.SAssign (Ir.LVar v, e) -> if mentions e then add v
+    | Ir.SAssign (_, _) -> ()
+    | Ir.SArrStore (_, _, _) -> ()
+    | Ir.SIf (_, a, b) ->
+        List.iter (walk ~in_par) a;
+        List.iter (walk ~in_par) b
+    | Ir.SWhile (_, b) -> List.iter (walk ~in_par) b
+    | Ir.SFor (_, _, _, b) -> List.iter (walk ~in_par) b
+    | Ir.SParFor p ->
+        add p.Ir.pf_var;
+        List.iter (walk ~in_par:true) p.Ir.pf_body
+    | Ir.SReduce r -> if mentions r.Ir.rd_arr then add r.Ir.rd_dst
+    | Ir.SInlineBlock (res, b) ->
+        List.iter (walk ~in_par) b;
+        (* the block's returns feed [res] *)
+        let returns_tainted = ref false in
+        List.iter
+          (Ir.iter_stmt
+             ~stmt:(fun s ->
+               match s with
+               | Ir.SReturn (Some e) when mentions e -> returns_tainted := true
+               | _ -> ())
+             ~expr:(fun _ -> ()))
+          b;
+        if !returns_tainted then add res
+    | Ir.SReturn _ | Ir.SExpr _ | Ir.SBreak | Ir.SContinue | Ir.SFinish _ ->
+        ()
+  in
+  while !changed do
+    changed := false;
+    List.iter (walk ~in_par:false) body
+  done;
+  tainted

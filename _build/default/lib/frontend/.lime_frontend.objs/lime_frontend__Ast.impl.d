@@ -1,0 +1,1 @@
+lib/frontend/ast.ml: Buffer Int64 Lime_support List Loc Printf String

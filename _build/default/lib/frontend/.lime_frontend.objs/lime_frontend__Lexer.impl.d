@@ -1,0 +1,1 @@
+lib/frontend/lexer.ml: Buffer Diag Int64 Lime_support List Loc String Token

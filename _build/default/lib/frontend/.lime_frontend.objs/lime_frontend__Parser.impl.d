@@ -1,0 +1,1 @@
+lib/frontend/parser.ml: Array Ast Diag Int64 Lexer Lime_support List Loc Token

@@ -1,0 +1,404 @@
+(** Abstract syntax for the Lime subset.
+
+    The subset covers everything the paper's nine benchmarks need: Java-like
+    classes, methods and statements, plus the Lime extensions — [value]
+    (deeply immutable) types, value arrays with bounded dimensions
+    ([float[[][4]]]), [local] methods, the [task] operator, the [=>]
+    (connect) operator, [@] (map) and [!] (reduce). *)
+
+open Lime_support
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type prim = PInt | PFloat | PDouble | PByte | PLong | PBoolean | PChar
+
+(** One array dimension.  [DimDyn] is a plain mutable Java array ([T\[\]]);
+    the other two are Lime value-array dimensions ([T\[\[\]\]] unbounded and
+    [T\[\[n\]\]] bounded to a compile-time size). *)
+type dim =
+  | DimDyn
+  | DimValUnbounded
+  | DimValBounded of int
+
+type ty =
+  | TPrim of prim
+  | TNamed of string  (** class type, resolved during type checking *)
+  | TArray of ty * dim
+      (** [TArray (elt, d)]: the outermost dimension is [d]; e.g.
+          [float[[][4]]] is [TArray (TArray (TPrim PFloat, DimValBounded 4),
+          DimValUnbounded)]. *)
+  | TVoid
+  | TTask of ty * ty
+      (** semantic-only type of task-graph expressions: input and output
+          port types; never written in source syntax *)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+  | BitAnd | BitOr | BitXor
+  | Shl | Shr | Ushr
+
+type unop = Neg | Not | BitNot
+
+type lit =
+  | LInt of int64
+  | LFloat of float  (** [float] literal, e.g. [1.0f] *)
+  | LDouble of float
+  | LBool of bool
+  | LChar of char
+  | LString of string
+  | LNull
+
+(** Reference to a worker method used by [task]: [Class.method] for a
+    static worker, [Class(args).method] for an instance worker. *)
+type task_ref = {
+  tr_class : string;
+  tr_ctor_args : expr list option;  (** [Some args] = instance worker *)
+  tr_method : string;
+}
+
+and expr = { e : expr_kind; eloc : Loc.t }
+
+and expr_kind =
+  | ELit of lit
+  | EVar of string
+  | EBinop of binop * expr * expr
+  | EUnop of unop * expr
+  | ECond of expr * expr * expr  (** [c ? a : b] *)
+  | EIndex of expr * expr  (** [a\[i\]] *)
+  | EField of expr * string  (** [e.f]; [Class.f] parses as [EField (EVar _, _)] *)
+  | ECall of expr * string * expr list
+      (** [ECall (recv, name, args)]: method call [recv.name(args)];
+          [recv] may be [EVar "Class"] for static calls — resolution happens
+          during type checking. *)
+  | ELocalCall of string * string list * expr list
+      (** placeholder used by desugaring; not produced by the parser *)
+  | ENewArray of ty * expr list
+      (** [new T\[e1\]\[e2\]...]; [ty] is the full array type, the list gives
+          the sizes of the leading dimensions *)
+  | ENewObject of string * expr list  (** [new C(args)] *)
+  | EArrayLit of expr list  (** [{ e1, e2, ... }] *)
+  | ECast of ty * expr  (** primitive casts only: [(float) x] *)
+  | EMap of expr * expr
+      (** [f(captured...) @ arr] — the left side is an [ECall] or a method
+          reference ([EField]); the element is appended as the final
+          argument of the map function *)
+  | EReduce of reducer * expr  (** [g ! arr] *)
+  | ETask of task_ref  (** [task Class.method] / [task Class(args).method] *)
+  | EConnect of expr * expr  (** [a => b] *)
+
+and reducer =
+  | RBinop of binop  (** e.g. [+ ! arr] *)
+  | RMethod of string * string  (** [Math.max ! arr] *)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type stmt = { s : stmt_kind; sloc : Loc.t }
+
+and stmt_kind =
+  | SVarDecl of ty * string * expr option
+  | SAssign of expr * expr  (** lvalue = rvalue (compound ops are desugared) *)
+  | SIf of expr * stmt * stmt option
+  | SWhile of expr * stmt
+  | SFor of stmt option * expr option * stmt option * stmt
+      (** [for (init; cond; step) body]; [init]/[step] are restricted to
+          declarations/assignments/expressions by the parser *)
+  | SReturn of expr option
+  | SExpr of expr
+  | SBlock of stmt list
+  | SBreak
+  | SContinue
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type modifier = MStatic | MLocal | MFinal | MPublic | MPrivate
+
+type param = { p_ty : ty; p_name : string; p_loc : Loc.t }
+
+type method_decl = {
+  m_mods : modifier list;
+  m_ret : ty;  (** [TVoid] for void methods *)
+  m_name : string;
+  m_params : param list;
+  m_body : stmt list;
+  m_loc : Loc.t;
+}
+
+type field_decl = {
+  f_mods : modifier list;
+  f_ty : ty;
+  f_name : string;
+  f_init : expr option;
+  f_loc : Loc.t;
+}
+
+type class_decl = {
+  c_value : bool;  (** declared with the [value] modifier *)
+  c_name : string;
+  c_fields : field_decl list;
+  c_methods : method_decl list;
+  c_loc : Loc.t;
+}
+
+type program = class_decl list
+
+(* ------------------------------------------------------------------ *)
+(* Constructors                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let mk ?(loc = Loc.dummy) e = { e; eloc = loc }
+let mks ?(loc = Loc.dummy) s = { s; sloc = loc }
+
+let has_mod m mods = List.mem m mods
+let is_static mods = has_mod MStatic mods
+let is_local mods = has_mod MLocal mods
+let is_final mods = has_mod MFinal mods
+
+(* ------------------------------------------------------------------ *)
+(* Type predicates and helpers                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec ty_equal a b =
+  match (a, b) with
+  | TPrim p, TPrim q -> p = q
+  | TNamed n, TNamed m -> n = m
+  | TArray (t, d), TArray (u, e) -> d = e && ty_equal t u
+  | TVoid, TVoid -> true
+  | TTask (a, b), TTask (c, d) -> ty_equal a c && ty_equal b d
+  | _ -> false
+
+(** Element type after stripping [n] array dimensions. *)
+let rec strip_dims n ty =
+  if n = 0 then Some ty
+  else match ty with TArray (t, _) -> strip_dims (n - 1) t | _ -> None
+
+(** Base scalar type of a (possibly nested) array type. *)
+let rec base_ty = function TArray (t, _) -> base_ty t | t -> t
+
+(** Number of array dimensions. *)
+let rec rank = function TArray (t, _) -> 1 + rank t | _ -> 0
+
+(** The list of dimensions of an array type, outermost first. *)
+let rec dims_of = function
+  | TArray (t, d) -> d :: dims_of t
+  | _ -> []
+
+(** A type is a value type if it contains no mutable ([DimDyn]) dimension and
+    its base is a primitive or a value class (the latter is checked by the
+    type checker; syntactically we only rule out [DimDyn]). *)
+let rec syntactically_value = function
+  | TPrim _ -> true
+  | TVoid -> false
+  | TTask _ -> false
+  | TNamed _ -> true (* refined by the type checker using the class table *)
+  | TArray (_, DimDyn) -> false
+  | TArray (t, _) -> syntactically_value t
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let prim_name = function
+  | PInt -> "int"
+  | PFloat -> "float"
+  | PDouble -> "double"
+  | PByte -> "byte"
+  | PLong -> "long"
+  | PBoolean -> "boolean"
+  | PChar -> "char"
+
+let dim_to_string = function
+  | DimDyn -> "[]"
+  | DimValUnbounded -> "[[]]"
+  | DimValBounded n -> Printf.sprintf "[[%d]]" n
+
+(** Print a dimension list in the paper's concrete syntax: consecutive value
+    dimensions share one double-bracket group, e.g. [\[\[\]\[4\]\]]. *)
+let dims_to_string ds =
+  let buf = Buffer.create 16 in
+  let rec go = function
+    | [] -> ()
+    | DimDyn :: rest ->
+        Buffer.add_string buf "[]";
+        go rest
+    | (DimValUnbounded | DimValBounded _) :: _ as l ->
+        let rec value_run acc = function
+          | DimValUnbounded :: rest -> value_run ("" :: acc) rest
+          | DimValBounded n :: rest -> value_run (string_of_int n :: acc) rest
+          | rest -> (List.rev acc, rest)
+        in
+        let run, rest = value_run [] l in
+        Buffer.add_string buf "[[";
+        Buffer.add_string buf (String.concat "][" run);
+        Buffer.add_string buf "]]";
+        go rest
+  in
+  go ds;
+  Buffer.contents buf
+
+let rec ty_to_string = function
+  | TPrim p -> prim_name p
+  | TNamed n -> n
+  | TVoid -> "void"
+  | TTask (a, b) ->
+      Printf.sprintf "task(%s => %s)" (ty_to_string a) (ty_to_string b)
+  | TArray _ as t ->
+      let b = base_ty t and ds = dims_of t in
+      ty_to_string b ^ dims_to_string ds
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | And -> "&&" | Or -> "||"
+  | BitAnd -> "&" | BitOr -> "|" | BitXor -> "^"
+  | Shl -> "<<" | Shr -> ">>" | Ushr -> ">>>"
+
+let unop_name = function Neg -> "-" | Not -> "!" | BitNot -> "~"
+
+let modifier_name = function
+  | MStatic -> "static"
+  | MLocal -> "local"
+  | MFinal -> "final"
+  | MPublic -> "public"
+  | MPrivate -> "private"
+
+let lit_to_string = function
+  | LInt i -> Int64.to_string i
+  | LFloat f -> Printf.sprintf "%gf" f
+  | LDouble f -> Printf.sprintf "%g" f
+  | LBool b -> string_of_bool b
+  | LChar c -> Printf.sprintf "'%c'" c
+  | LString s -> Printf.sprintf "%S" s
+  | LNull -> "null"
+
+let rec expr_to_string e =
+  match e.e with
+  | ELit l -> lit_to_string l
+  | EVar v -> v
+  | EBinop (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_name op)
+        (expr_to_string b)
+  | EUnop (op, a) -> Printf.sprintf "(%s%s)" (unop_name op) (expr_to_string a)
+  | ECond (c, a, b) ->
+      Printf.sprintf "(%s ? %s : %s)" (expr_to_string c) (expr_to_string a)
+        (expr_to_string b)
+  | EIndex (a, i) ->
+      Printf.sprintf "%s[%s]" (expr_to_string a) (expr_to_string i)
+  | EField (a, f) -> Printf.sprintf "%s.%s" (expr_to_string a) f
+  | ECall (r, m, args) ->
+      Printf.sprintf "%s.%s(%s)" (expr_to_string r) m (args_to_string args)
+  | ELocalCall (m, _, args) ->
+      Printf.sprintf "%s(%s)" m (args_to_string args)
+  | ENewArray (t, sizes) ->
+      Printf.sprintf "new %s{%s}" (ty_to_string t) (args_to_string sizes)
+  | ENewObject (c, args) ->
+      Printf.sprintf "new %s(%s)" c (args_to_string args)
+  | EArrayLit es -> Printf.sprintf "{ %s }" (args_to_string es)
+  | ECast (t, a) ->
+      Printf.sprintf "((%s) %s)" (ty_to_string t) (expr_to_string a)
+  | EMap (f, arr) ->
+      Printf.sprintf "(%s @ %s)" (expr_to_string f) (expr_to_string arr)
+  | EReduce (r, arr) ->
+      Printf.sprintf "(%s ! %s)" (reducer_to_string r) (expr_to_string arr)
+  | ETask tr ->
+      let inst =
+        match tr.tr_ctor_args with
+        | None -> ""
+        | Some args -> Printf.sprintf "(%s)" (args_to_string args)
+      in
+      Printf.sprintf "task %s%s.%s" tr.tr_class inst tr.tr_method
+  | EConnect (a, b) ->
+      Printf.sprintf "(%s => %s)" (expr_to_string a) (expr_to_string b)
+
+and args_to_string args = String.concat ", " (List.map expr_to_string args)
+
+and reducer_to_string = function
+  | RBinop op -> binop_name op
+  | RMethod (c, m) -> Printf.sprintf "%s.%s" c m
+
+let rec stmt_to_string ?(ind = 0) st =
+  let pad = String.make ind ' ' in
+  match st.s with
+  | SVarDecl (t, n, init) ->
+      let init =
+        match init with None -> "" | Some e -> " = " ^ expr_to_string e
+      in
+      Printf.sprintf "%s%s %s%s;" pad (ty_to_string t) n init
+  | SAssign (l, r) ->
+      Printf.sprintf "%s%s = %s;" pad (expr_to_string l) (expr_to_string r)
+  | SIf (c, a, b) ->
+      let els =
+        match b with
+        | None -> ""
+        | Some b -> Printf.sprintf " else %s" (String.trim (stmt_to_string ~ind b))
+      in
+      Printf.sprintf "%sif (%s) %s%s" pad (expr_to_string c)
+        (String.trim (stmt_to_string ~ind a))
+        els
+  | SWhile (c, b) ->
+      Printf.sprintf "%swhile (%s) %s" pad (expr_to_string c)
+        (String.trim (stmt_to_string ~ind b))
+  | SFor (init, cond, step, body) ->
+      let s_of_opt f = function None -> "" | Some x -> f x in
+      Printf.sprintf "%sfor (%s %s; %s) %s" pad
+        (s_of_opt (fun s -> String.trim (stmt_to_string s)) init)
+        (s_of_opt expr_to_string cond)
+        (s_of_opt (fun s -> String.trim (stmt_to_string s)) step
+        |> fun s -> (try String.sub s 0 (String.length s - 1) with _ -> s))
+        (String.trim (stmt_to_string ~ind body))
+  | SReturn None -> pad ^ "return;"
+  | SReturn (Some e) -> Printf.sprintf "%sreturn %s;" pad (expr_to_string e)
+  | SExpr e -> Printf.sprintf "%s%s;" pad (expr_to_string e)
+  | SBlock body ->
+      let inner =
+        List.map (stmt_to_string ~ind:(ind + 2)) body |> String.concat "\n"
+      in
+      Printf.sprintf "%s{\n%s\n%s}" pad inner pad
+  | SBreak -> pad ^ "break;"
+  | SContinue -> pad ^ "continue;"
+
+let method_to_string (m : method_decl) =
+  let mods = List.map modifier_name m.m_mods |> String.concat " " in
+  let params =
+    m.m_params
+    |> List.map (fun p -> ty_to_string p.p_ty ^ " " ^ p.p_name)
+    |> String.concat ", "
+  in
+  Printf.sprintf "  %s %s %s(%s) {\n%s\n  }"
+    (if mods = "" then "" else mods)
+    (ty_to_string m.m_ret) m.m_name params
+    (List.map (stmt_to_string ~ind:4) m.m_body |> String.concat "\n")
+
+let class_to_string (c : class_decl) =
+  let fields =
+    c.c_fields
+    |> List.map (fun f ->
+           let mods =
+             List.map modifier_name f.f_mods |> String.concat " "
+           in
+           let init =
+             match f.f_init with
+             | None -> ""
+             | Some e -> " = " ^ expr_to_string e
+           in
+           Printf.sprintf "  %s %s %s%s;" mods (ty_to_string f.f_ty) f.f_name
+             init)
+    |> String.concat "\n"
+  in
+  let methods = List.map method_to_string c.c_methods |> String.concat "\n\n" in
+  Printf.sprintf "%sclass %s {\n%s\n\n%s\n}"
+    (if c.c_value then "value " else "")
+    c.c_name fields methods
+
+let program_to_string p = List.map class_to_string p |> String.concat "\n\n"

@@ -1,0 +1,10 @@
+(** Hand-written lexer for the Lime subset.
+
+    Adjacent brackets fuse into the value-array tokens ([\[\[] / [\]\]]);
+    the parser re-splits them on demand (e.g. in [a\[b\[i\]\]]). *)
+
+type located = { tok : Token.t; loc : Lime_support.Loc.t }
+
+val tokenize : ?name:string -> string -> located list
+(** Tokenize a whole source; the final element is always {!Token.EOF}.
+    Raises {!Lime_support.Diag.Error_exn} on lexical errors. *)

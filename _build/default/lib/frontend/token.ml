@@ -1,0 +1,79 @@
+(** Tokens produced by the Lime lexer. *)
+
+type t =
+  (* literals / identifiers *)
+  | INT of int64
+  | FLOAT of float  (** literal with [f]/[F] suffix *)
+  | DOUBLE of float
+  | CHARLIT of char
+  | STRINGLIT of string
+  | IDENT of string
+  (* keywords *)
+  | KW_CLASS | KW_VALUE | KW_STATIC | KW_LOCAL | KW_FINAL
+  | KW_PUBLIC | KW_PRIVATE
+  | KW_NEW | KW_IF | KW_ELSE | KW_WHILE | KW_FOR | KW_RETURN
+  | KW_BREAK | KW_CONTINUE | KW_TASK
+  | KW_TRUE | KW_FALSE | KW_NULL
+  | KW_INT | KW_FLOAT | KW_DOUBLE | KW_BYTE | KW_LONG | KW_BOOLEAN
+  | KW_CHAR | KW_VOID
+  (* punctuation *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | DLBRACKET | DRBRACKET  (** [[ and ]] *)
+  | SEMI | COMMA | DOT | QUESTION | COLON
+  | AT  (** [@] map *)
+  | BANG  (** [!] reduce / logical not *)
+  | CONNECT  (** [=>] *)
+  | ASSIGN
+  | PLUS_ASSIGN | MINUS_ASSIGN | STAR_ASSIGN | SLASH_ASSIGN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQ | NE | LT | LE | GT | GE
+  | ANDAND | OROR
+  | AMP | PIPE | CARET | TILDE
+  | SHL | SHR | USHR
+  | PLUSPLUS | MINUSMINUS
+  | EOF
+
+let keyword_table : (string * t) list =
+  [
+    ("class", KW_CLASS); ("value", KW_VALUE); ("static", KW_STATIC);
+    ("local", KW_LOCAL); ("final", KW_FINAL); ("public", KW_PUBLIC);
+    ("private", KW_PRIVATE); ("new", KW_NEW); ("if", KW_IF);
+    ("else", KW_ELSE); ("while", KW_WHILE); ("for", KW_FOR);
+    ("return", KW_RETURN); ("break", KW_BREAK); ("continue", KW_CONTINUE);
+    ("task", KW_TASK); ("true", KW_TRUE); ("false", KW_FALSE);
+    ("null", KW_NULL); ("int", KW_INT); ("float", KW_FLOAT);
+    ("double", KW_DOUBLE); ("byte", KW_BYTE); ("long", KW_LONG);
+    ("boolean", KW_BOOLEAN); ("char", KW_CHAR); ("void", KW_VOID);
+  ]
+
+let to_string = function
+  | INT i -> Int64.to_string i
+  | FLOAT f -> Printf.sprintf "%gf" f
+  | DOUBLE f -> Printf.sprintf "%g" f
+  | CHARLIT c -> Printf.sprintf "'%c'" c
+  | STRINGLIT s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW_CLASS -> "class" | KW_VALUE -> "value" | KW_STATIC -> "static"
+  | KW_LOCAL -> "local" | KW_FINAL -> "final" | KW_PUBLIC -> "public"
+  | KW_PRIVATE -> "private" | KW_NEW -> "new" | KW_IF -> "if"
+  | KW_ELSE -> "else" | KW_WHILE -> "while" | KW_FOR -> "for"
+  | KW_RETURN -> "return" | KW_BREAK -> "break" | KW_CONTINUE -> "continue"
+  | KW_TASK -> "task" | KW_TRUE -> "true" | KW_FALSE -> "false"
+  | KW_NULL -> "null" | KW_INT -> "int" | KW_FLOAT -> "float"
+  | KW_DOUBLE -> "double" | KW_BYTE -> "byte" | KW_LONG -> "long"
+  | KW_BOOLEAN -> "boolean" | KW_CHAR -> "char" | KW_VOID -> "void"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | DLBRACKET -> "[[" | DRBRACKET -> "]]"
+  | SEMI -> ";" | COMMA -> "," | DOT -> "." | QUESTION -> "?" | COLON -> ":"
+  | AT -> "@" | BANG -> "!" | CONNECT -> "=>"
+  | ASSIGN -> "="
+  | PLUS_ASSIGN -> "+=" | MINUS_ASSIGN -> "-=" | STAR_ASSIGN -> "*="
+  | SLASH_ASSIGN -> "/="
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | EQ -> "==" | NE -> "!=" | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">="
+  | ANDAND -> "&&" | OROR -> "||"
+  | AMP -> "&" | PIPE -> "|" | CARET -> "^" | TILDE -> "~"
+  | SHL -> "<<" | SHR -> ">>" | USHR -> ">>>"
+  | PLUSPLUS -> "++" | MINUSMINUS -> "--"
+  | EOF -> "<eof>"

@@ -1,0 +1,1 @@
+lib/gpusim/autotune.ml: Array Device Float Lime_gpu Lime_ir List Model Printf Profile String

@@ -1,0 +1,1 @@
+lib/gpusim/autotune.mli: Device Lime_gpu Model

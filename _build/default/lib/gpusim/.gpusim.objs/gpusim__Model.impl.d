@@ -1,0 +1,1 @@
+lib/gpusim/model.ml: Array Device Float Fmt Lime_ir Lime_support List Profile

@@ -1,0 +1,1 @@
+lib/gpusim/model.mli: Device Format Lime_ir Profile

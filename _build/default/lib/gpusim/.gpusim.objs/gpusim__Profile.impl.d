@@ -1,0 +1,1 @@
+lib/gpusim/profile.ml: Array Buffer Float Hashtbl Int64 Lime_frontend Lime_gpu Lime_ir Lime_typecheck List Option Printf

@@ -1,0 +1,111 @@
+(** Automated exploration of the memory mapping (paper §4.2.1).
+
+    The compiler "permits for any of the optimizations to be enabled and
+    disabled so that it is possible to perform an automated exploration of
+    the memory mapping and layout".  This module is that exploration as a
+    library: given a kernel, a device and the launch shapes, it times every
+    Fig 8 configuration on the device model and returns the ranking.
+
+    The paper notes such auto-tuning "falls outside the scope of this
+    paper" for the thread-count dimension; here we cover the dimension the
+    paper's compiler does expose — the memory configuration — and the
+    `examples/autotune.exe` demo drives it over the whole benchmark
+    suite. *)
+
+module Ir = Lime_ir.Ir
+module Memopt = Lime_gpu.Memopt
+module Kernel = Lime_gpu.Kernel
+
+type entry = {
+  at_name : string;
+  at_config : Memopt.config;
+  at_time_s : float;
+  at_breakdown : Model.breakdown;
+}
+
+(** Array bindings for the timing model, derived from launch shapes and the
+    optimizer's decisions (kernel-local arrays use their static shapes; the
+    result array takes [out_shape]). *)
+let bindings_of (k : Kernel.kernel) (decisions : Memopt.decision list)
+    ~(shapes : (string * int array) list) ~(out_shape : int array option) :
+    Model.array_binding list =
+  let param_bindings =
+    List.filter_map
+      (fun (p, t) ->
+        match (t, List.assoc_opt p shapes) with
+        | Ir.TArr aty, Some shape ->
+            Some
+              (Model.binding_of_shape ~name:p ~elem:aty.Ir.elem ~shape
+                 (Memopt.placement_for decisions p))
+        | _ -> None)
+      k.Kernel.k_params
+  in
+  let local_bindings =
+    List.filter_map
+      (fun (d : Memopt.decision) ->
+        if List.mem_assoc d.Memopt.d_array k.Kernel.k_params then None
+        else
+          let info = d.Memopt.d_info in
+          let shape =
+            match (Ir.static_elem_count info.Memopt.ai_ty, out_shape) with
+            | Some _, _ ->
+                Array.of_list
+                  (List.map
+                     (function Ir.DFixed n -> n | Ir.DDyn -> 0)
+                     info.Memopt.ai_ty.Ir.dims)
+            | None, Some s -> s
+            | None, None -> [| 0 |]
+          in
+          Some
+            (Model.binding_of_shape ~name:d.Memopt.d_array
+               ~elem:info.Memopt.ai_ty.Ir.elem ~shape d.Memopt.d_placement))
+      decisions
+  in
+  param_bindings @ local_bindings
+
+(** Time one configuration. *)
+let time_config (d : Device.t) (k : Kernel.kernel) (cfg : Memopt.config)
+    ~(shapes : (string * int array) list)
+    ~(scalars : (string * float) list) : Model.breakdown =
+  let decisions = Memopt.optimize cfg k in
+  let prof = Profile.profile k decisions ~shapes ~scalars in
+  let out_shape =
+    match k.Kernel.k_ret with
+    | Ir.TArr aty ->
+        Some
+          (Array.of_list
+             (List.map
+                (function
+                  | Ir.DFixed n -> n
+                  | Ir.DDyn -> int_of_float prof.Profile.p_last_parfor_items)
+                aty.Ir.dims))
+    | _ -> None
+  in
+  Model.kernel_time d prof (bindings_of k decisions ~shapes ~out_shape)
+
+(** Sweep the eight Fig 8 configurations; result sorted fastest first. *)
+let sweep (d : Device.t) (k : Kernel.kernel)
+    ~(shapes : (string * int array) list)
+    ~(scalars : (string * float) list) : entry list =
+  Memopt.fig8_configs
+  |> List.map (fun (name, cfg) ->
+         let bd = time_config d k cfg ~shapes ~scalars in
+         {
+           at_name = name;
+           at_config = cfg;
+           at_time_s = bd.Model.bd_total_s;
+           at_breakdown = bd;
+         })
+  |> List.sort (fun a b -> Float.compare a.at_time_s b.at_time_s)
+
+(** The winning configuration for a device. *)
+let best (d : Device.t) (k : Kernel.kernel)
+    ~(shapes : (string * int array) list)
+    ~(scalars : (string * float) list) : entry =
+  List.hd (sweep d k ~shapes ~scalars)
+
+let describe (entries : entry list) : string =
+  entries
+  |> List.map (fun e ->
+         Printf.sprintf "%-32s %10.3f ms" e.at_name (e.at_time_s *. 1e3))
+  |> String.concat "\n"

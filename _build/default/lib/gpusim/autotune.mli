@@ -1,0 +1,42 @@
+(** Automated exploration of the memory mapping (paper §4.2.1): time every
+    Fig 8 configuration of a kernel on a device model and rank them.
+    Driven by `limec --sweep` and `examples/autotune.exe`. *)
+
+type entry = {
+  at_name : string;  (** configuration name, e.g. ["Local+Conflicts removed"] *)
+  at_config : Lime_gpu.Memopt.config;
+  at_time_s : float;
+  at_breakdown : Model.breakdown;
+}
+
+val bindings_of :
+  Lime_gpu.Kernel.kernel ->
+  Lime_gpu.Memopt.decision list ->
+  shapes:(string * int array) list ->
+  out_shape:int array option ->
+  Model.array_binding list
+
+val time_config :
+  Device.t ->
+  Lime_gpu.Kernel.kernel ->
+  Lime_gpu.Memopt.config ->
+  shapes:(string * int array) list ->
+  scalars:(string * float) list ->
+  Model.breakdown
+
+val sweep :
+  Device.t ->
+  Lime_gpu.Kernel.kernel ->
+  shapes:(string * int array) list ->
+  scalars:(string * float) list ->
+  entry list
+(** All eight configurations, fastest first. *)
+
+val best :
+  Device.t ->
+  Lime_gpu.Kernel.kernel ->
+  shapes:(string * int array) list ->
+  scalars:(string * float) list ->
+  entry
+
+val describe : entry list -> string

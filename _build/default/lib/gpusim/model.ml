@@ -1,0 +1,344 @@
+(** Device timing model: converts a kernel {!Profile.t} plus memory
+    placements into an execution-time estimate for a {!Device.t}.
+
+    The model is throughput-based with latency-style penalties for the
+    memory-system effects the paper's optimizations target:
+
+    - {b compute}: total issue slots over all lanes, with double-precision
+      work scaled by the device's fp64 ratio and transcendentals priced at
+      the SFU/native cost;
+    - {b global memory}: bytes moved / bandwidth, where the bytes depend on
+      coalescing (access pattern), vector width, and — on Fermi — the L1/L2
+      hit rate for data re-read across threads;
+    - {b constant memory}: broadcast accesses cost a cached read; accesses
+      that diverge across the warp serialize;
+    - {b local memory}: per-access cost times the bank-conflict degree
+      (gcd of row stride and bank count), plus the staging traffic through
+      global memory;
+    - {b image}: texture-cache model, intrinsically vectorized texels;
+    - {b private}: register cost only.
+
+    The kernel time is [max(compute, memory) + launch overhead] — the
+    standard roofline assumption that a well-occupied GPU overlaps the two.
+
+    Absolute numbers are estimates; what the test-suite and EXPERIMENTS.md
+    check is the *shape*: which placement wins on which device, by roughly
+    which factor (Fig 7/8/9). *)
+
+module Ir = Lime_ir.Ir
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+type breakdown = {
+  bd_compute_s : float;
+  bd_global_s : float;
+  bd_local_s : float;
+  bd_constant_s : float;
+  bd_image_s : float;
+  bd_launch_s : float;
+  bd_total_s : float;
+}
+
+let pp_breakdown ppf b =
+  Fmt.pf ppf
+    "total=%.3gs (compute=%.3g global=%.3g local=%.3g const=%.3g image=%.3g \
+     launch=%.3g)"
+    b.bd_total_s b.bd_compute_s b.bd_global_s b.bd_local_s b.bd_constant_s
+    b.bd_image_s b.bd_launch_s
+
+(** Information about an array argument needed by the memory model. *)
+type array_binding = {
+  ab_name : string;
+  ab_elem_bytes : int;
+  ab_total_bytes : int;  (** full array size *)
+  ab_row_len : int;  (** innermost dimension length (1 if rank 1) *)
+  ab_placement : Ir.placement;
+}
+
+let group_size = 256
+
+let kernel_time (d : Device.t) (p : Profile.t)
+    (arrays : array_binding list) : breakdown =
+  let clock = d.Device.clock_ghz *. 1e9 in
+  let lanes = float_of_int (d.Device.sms * d.Device.fp32_lanes) in
+  let cpu_threads =
+    match d.Device.kind with
+    | Device.Cpu -> float_of_int (d.Device.sms * d.Device.threads_per_core)
+    | Device.Gpu -> 1.0
+  in
+  (* ---- compute ---- *)
+  let df = Profile.double_frac p in
+  let fp64_scale = 1.0 +. (df *. ((1.0 /. d.Device.fp64_ratio) -. 1.0)) in
+  let issue_slots =
+    ((p.Profile.p_alu *. d.Device.alu_cost)
+    +. (p.Profile.p_div *. d.Device.div_cost)
+    +. (p.Profile.p_sqrt *. d.Device.sqrt_cost)
+    +. (p.Profile.p_trans *. d.Device.trans_cost)
+    +. (p.Profile.p_private_accesses *. 1.0))
+    *. fp64_scale
+  in
+  (* total non-private access slots, used by the CPU path *)
+  let access_slots =
+    List.fold_left (fun acc a -> acc +. a.Profile.ac_count) 0.0
+      p.Profile.p_accesses
+  in
+  let compute_s =
+    match d.Device.kind with
+    | Device.Gpu -> issue_slots /. (lanes *. clock)
+    | Device.Cpu ->
+        (* CPU OpenCL: compiled scalar-ish code (auto-vectorization rarely
+           fires on these kernels), parallel over cores at ~85% efficiency
+           with a modest hyperthreading bonus.  Memory accesses are cached
+           loads costing about one issue slot. *)
+        let par_eff = 0.85 in
+        let ht =
+          1.0
+          +. ((cpu_threads /. float_of_int d.Device.sms -. 1.0) *. 0.06)
+        in
+        (issue_slots +. (access_slots *. 1.2))
+        /. (float_of_int d.Device.sms *. par_eff *. ht *. clock)
+  in
+  (* ---- memory ---- *)
+  let binding name =
+    List.find_opt (fun a -> a.ab_name = name) arrays
+  in
+  let global_s = ref 0.0
+  and local_s = ref 0.0
+  and constant_s = ref 0.0
+  and image_s = ref 0.0 in
+  let global_bytes = ref 0.0 in
+  let bw = d.Device.global_bw_gbs *. 1e9 in
+  (* exposed memory latency: each transaction stalls its warp for the full
+     global latency; an SM hides up to [inflight_warps] such stalls
+     concurrently.  This is what makes un-cached global access on the
+     GTX8800 so much slower than constant/local/texture (Fig 8a). *)
+  let lat_s = ref 0.0 in
+  let latency_seconds transactions =
+    transactions *. d.Device.global_lat_cycles
+    /. (float_of_int (d.Device.sms * d.Device.inflight_warps) *. clock)
+  in
+  if d.Device.kind = Device.Cpu then
+    (* all spaces are cached RAM on a CPU: only cache misses hit the bus *)
+    List.iter
+      (fun (a : Profile.access) ->
+        match binding a.Profile.ac_root with
+        | None -> ()
+        | Some ab ->
+            let miss = 1.0 -. d.Device.cache_hit_shared in
+            global_bytes :=
+              !global_bytes
+              +. (a.Profile.ac_count
+                 *. float_of_int ab.ab_elem_bytes
+                 *. miss))
+      p.Profile.p_accesses
+  else
+  List.iter
+    (fun (a : Profile.access) ->
+      match binding a.Profile.ac_root with
+      | None -> ()
+      | Some ab ->
+          let pl = ab.ab_placement in
+          let vw = float_of_int (max 1 pl.Ir.vector_width) in
+          (* vectorization folds [vw] scalar accesses into one *)
+          let count =
+            if pl.Ir.vector_width > 1 && a.Profile.ac_last_const then
+              a.Profile.ac_count /. vw
+            else a.Profile.ac_count
+          in
+          let elem_b = float_of_int ab.ab_elem_bytes in
+          let access_bytes = elem_b *. vw in
+          (match pl.Ir.space with
+          | Ir.MGlobal | Ir.MHost
+            when d.Device.has_l2 && ab.ab_total_bytes <= d.Device.l2_bytes ->
+              (* the whole array is L2-resident after the first pass: global
+                 accesses behave like a slightly slower on-chip memory —
+                 this is what flattens Fig 8(b) on Fermi *)
+              global_s :=
+                !global_s +. (count *. 2.0 /. (lanes *. clock));
+              global_bytes :=
+                !global_bytes +. float_of_int ab.ab_total_bytes
+          | Ir.MGlobal | Ir.MHost ->
+              (* coalescing: bytes actually moved per useful byte *)
+              let waste =
+                match a.Profile.ac_pattern with
+                | Profile.PThreadLinear ->
+                    (* consecutive threads access consecutive *rows*: the
+                       memory stride is the row length, so scalar component
+                       accesses of wide rows fetch mostly-unused segment
+                       bytes (the paper's motivation for float4
+                       vectorization) *)
+                    let stride_bytes =
+                      if a.Profile.ac_last_const then
+                        elem_b *. float_of_int (max 1 ab.ab_row_len)
+                      else access_bytes
+                    in
+                    Float.max 1.0
+                      (Float.min (128.0 /. access_bytes)
+                         (stride_bytes /. access_bytes))
+                | Profile.PThreadStrided ->
+                    (* each lane touches its own memory segment *)
+                    Float.min
+                      (128.0 /. access_bytes)
+                      (Float.max 2.0 (float_of_int ab.ab_row_len))
+                | Profile.PStream | Profile.PBroadcast ->
+                    (* whole warp reads the same address: one segment *)
+                    1.0 /. float_of_int d.Device.warp
+              in
+              (* cache filtering of re-read data *)
+              let miss =
+                match a.Profile.ac_pattern with
+                | Profile.PStream | Profile.PBroadcast ->
+                    1.0 -. d.Device.cache_hit_shared
+                | Profile.PThreadLinear when d.Device.has_l1 ->
+                    (* an L1 line holds whole rows: after the first
+                       component read the rest of the row hits cache *)
+                    1.0 /. waste
+                | Profile.PThreadStrided when d.Device.has_l1 ->
+                    (* strided rows often refetched from L1 lines *)
+                    0.5
+                | _ -> 1.0
+              in
+              let bytes =
+                match a.Profile.ac_pattern with
+                | Profile.PStream | Profile.PBroadcast ->
+                    (* one transaction per warp, with a minimum transaction
+                       granularity on the memory bus *)
+                    count /. float_of_int d.Device.warp
+                    *. Float.max 32.0 access_bytes
+                    *. miss
+                | _ -> count *. access_bytes *. waste *. miss
+              in
+              global_bytes := !global_bytes +. bytes;
+              (* exposed latency: transactions per warp access grow with the
+                 coalescing waste *)
+              let tx_per_warp_access =
+                match a.Profile.ac_pattern with
+                | Profile.PStream | Profile.PBroadcast -> miss
+                | _ ->
+                    Lime_support.Util.clampf 1.0
+                      (float_of_int d.Device.warp)
+                      waste
+                    *. miss
+              in
+              let transactions =
+                count /. float_of_int d.Device.warp *. tx_per_warp_access
+              in
+              lat_s := !lat_s +. latency_seconds transactions;
+              (* cached hits still pay an L1 access slot *)
+              if d.Device.has_l1 then
+                global_s :=
+                  !global_s +. (count *. 1.0 /. (lanes *. clock))
+          | Ir.MConstant ->
+              let cost =
+                match a.Profile.ac_pattern with
+                | Profile.PStream | Profile.PBroadcast ->
+                    d.Device.const_cost
+                | _ ->
+                    (* divergent constant access serializes the warp *)
+                    float_of_int d.Device.warp *. 0.5
+              in
+              constant_s :=
+                !constant_s +. (count *. cost /. (lanes *. clock))
+          | Ir.MLocal ->
+              let stride =
+                if pl.Ir.padded then ab.ab_row_len + 1 else ab.ab_row_len
+              in
+              let conflict =
+                match a.Profile.ac_pattern with
+                | Profile.PStream | Profile.PBroadcast -> 1.0
+                | _ ->
+                    float_of_int
+                      (max 1 (gcd (max 1 stride) d.Device.local_banks))
+              in
+              local_s :=
+                !local_s
+                +. (count *. d.Device.local_cost *. conflict
+                   /. (lanes *. clock));
+              (* staging traffic: each work group streams the array through
+                 its tile once *)
+              let groups =
+                Float.max 1.0 (p.Profile.p_items /. float_of_int group_size)
+              in
+              global_bytes :=
+                !global_bytes +. (float_of_int ab.ab_total_bytes *. groups)
+          | Ir.MImage ->
+              let hit = d.Device.tex_hit_rate in
+              let texel_w =
+                Float.min 4.0 (float_of_int (max 1 ab.ab_row_len))
+              in
+              let tex_count = count /. texel_w in
+              image_s :=
+                !image_s
+                +. (tex_count *. d.Device.tex_cost /. (lanes *. clock));
+              lat_s :=
+                !lat_s
+                +. latency_seconds
+                     (tex_count /. float_of_int d.Device.warp
+                     *. (1.0 -. hit));
+              global_bytes :=
+                !global_bytes
+                +. (tex_count *. (1.0 -. hit) *. elem_b *. texel_w)
+          | Ir.MPrivate -> ()))
+    p.Profile.p_accesses;
+  let global_s = !global_s +. (!global_bytes /. bw) in
+  let mem_s = global_s +. !local_s +. !constant_s +. !image_s in
+  let launch_s = d.Device.launch_overhead_us *. 1e-6 in
+  (* reductions add a log-depth second phase *)
+  let reduce_s =
+    if p.Profile.p_reduce_elems > 0.0 then
+      (p.Profile.p_reduce_elems /. (lanes *. clock)) +. launch_s
+    else 0.0
+  in
+  (* exposed latency is additive: dependent loads in tight loops stall
+     warps beyond what the in-flight pool can hide *)
+  let total =
+    Float.max compute_s mem_s +. !lat_s +. launch_s +. reduce_s
+  in
+  {
+    bd_compute_s = compute_s;
+    bd_global_s = global_s +. !lat_s;
+    bd_local_s = !local_s;
+    bd_constant_s = !constant_s;
+    bd_image_s = !image_s;
+    bd_launch_s = launch_s;
+    bd_total_s = total;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Array bindings from runtime values                                  *)
+(* ------------------------------------------------------------------ *)
+
+let binding_of_shape ~name ~elem ~(shape : int array)
+    (pl : Ir.placement) : array_binding =
+  let total = Array.fold_left ( * ) 1 shape in
+  {
+    ab_name = name;
+    ab_elem_bytes = Ir.scalar_size_bytes elem;
+    ab_total_bytes = total * Ir.scalar_size_bytes elem;
+    ab_row_len = (if Array.length shape <= 1 then 1 else shape.(Array.length shape - 1));
+    ab_placement = pl;
+  }
+
+
+(* ------------------------------------------------------------------ *)
+(* Bytecode time from an analytic profile                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Estimate the "Lime compiled to bytecode" (JVM) execution time of the
+    same work, from the analytic profile — the Fig 7 baseline.  Matches the
+    weights of {!Device.jvm_time} used when counting a real interpreter
+    run. *)
+let jvm_time_profile ?(m = Device.jvm_default) (p : Profile.t) : float =
+  let accesses =
+    List.fold_left (fun acc a -> acc +. a.Profile.ac_count) 0.0
+      p.Profile.p_accesses
+    +. p.Profile.p_private_accesses
+  in
+  let cycles =
+    (p.Profile.p_alu *. m.Device.jvm_alu)
+    +. (p.Profile.p_div *. m.Device.jvm_div)
+    +. (p.Profile.p_sqrt *. m.Device.jvm_sqrt)
+    +. (p.Profile.p_trans *. m.Device.jvm_trans)
+    +. (accesses *. (m.Device.jvm_mem +. 0.3 (* bounds check *)))
+  in
+  cycles /. (m.Device.jvm_clock_ghz *. 1e9)

@@ -1,0 +1,41 @@
+(** Device timing model: converts a kernel {!Profile.t} plus memory
+    placements into an execution-time estimate for a {!Device.t}.
+    Throughput-based (roofline) with additive exposed-latency penalties —
+    see the module implementation header for the modelling assumptions. *)
+
+type breakdown = {
+  bd_compute_s : float;
+  bd_global_s : float;  (** bandwidth + exposed latency *)
+  bd_local_s : float;
+  bd_constant_s : float;
+  bd_image_s : float;
+  bd_launch_s : float;
+  bd_total_s : float;
+}
+
+val pp_breakdown : Format.formatter -> breakdown -> unit
+
+(** What the memory model needs to know about one array argument. *)
+type array_binding = {
+  ab_name : string;
+  ab_elem_bytes : int;
+  ab_total_bytes : int;
+  ab_row_len : int;  (** innermost dimension length (1 if rank 1) *)
+  ab_placement : Lime_ir.Ir.placement;
+}
+
+val group_size : int
+(** Work-group size assumed by the local-memory staging model. *)
+
+val kernel_time : Device.t -> Profile.t -> array_binding list -> breakdown
+
+val binding_of_shape :
+  name:string ->
+  elem:Lime_ir.Ir.scalar ->
+  shape:int array ->
+  Lime_ir.Ir.placement ->
+  array_binding
+
+val jvm_time_profile : ?m:Device.jvm_model -> Profile.t -> float
+(** The "Lime compiled to bytecode" time of the same work — the Fig 7
+    baseline. *)

@@ -1,0 +1,479 @@
+(** Analytic kernel profiler.
+
+    Computes the dynamic operation mix of a kernel launch from the kernel IR
+    and the actual argument shapes, without executing every work item: each
+    access site and arithmetic node is weighted by the product of enclosing
+    loop trip counts.  All the paper's benchmarks are affine (loop bounds
+    are array lengths or constants), so the profile is exact; data-dependent
+    loops fall back to a trip-count estimate and set {!t.p_approx}.
+
+    Functional correctness is validated separately by executing the same IR
+    in the reference interpreter — this module is only about *time*. *)
+
+module Ir = Lime_ir.Ir
+module B = Lime_typecheck.Tast
+
+type pattern =
+  | PThreadLinear  (** coalesced: leading index = thread id *)
+  | PThreadStrided  (** thread-dependent, non-unit stride *)
+  | PStream  (** same address across threads, varying over an inner loop *)
+  | PBroadcast  (** loop-invariant address *)
+
+let pattern_name = function
+  | PThreadLinear -> "thread-linear"
+  | PThreadStrided -> "thread-strided"
+  | PStream -> "stream"
+  | PBroadcast -> "broadcast"
+
+type access = {
+  ac_root : string;
+  ac_pattern : pattern;
+  ac_store : bool;
+  ac_last_const : bool;  (** innermost index is a compile-time constant *)
+  mutable ac_count : float;  (** dynamic accesses over the whole launch *)
+}
+
+type t = {
+  p_items : float;  (** work items of the top-level parallel loop *)
+  p_alu : float;
+  p_div : float;
+  p_sqrt : float;
+  p_trans : float;
+  p_double_ops : float;
+  p_total_fp : float;
+  p_accesses : access list;
+  p_private_accesses : float;
+  p_reduce_elems : float;
+  p_last_parfor_items : float;
+      (** trip count of the *last* top-level parallel loop — the one that
+          fills the kernel result, used to size the output buffer *)
+  p_approx : bool;  (** a trip count had to be estimated *)
+}
+
+let double_frac p = if p.p_total_fp = 0.0 then 0.0 else p.p_double_ops /. p.p_total_fp
+
+(* ------------------------------------------------------------------ *)
+(* Profiling walker                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  kernel : Lime_gpu.Kernel.kernel;
+  shapes : (string * int array) list;  (** array param -> shape *)
+  scalars : (string * float) list;  (** scalar param -> value *)
+  placements : (string * Ir.placement) list;
+  views : (string, string * Ir.expr list) Hashtbl.t;
+  accs : (string * pattern * bool * bool, access) Hashtbl.t;
+  mutable alu : float;
+  mutable div : float;
+  mutable sqrt_ : float;
+  mutable trans : float;
+  mutable double_ops : float;
+  mutable total_fp : float;
+  mutable private_accs : float;
+  mutable reduce_elems : float;
+  mutable items : float;
+  mutable last_items : float;
+  mutable approx : bool;
+  mutable par_vars : string list;
+  mutable seq_vars : string list;
+  thread_vars : (string, unit) Hashtbl.t;
+  (* local (non-param) array shapes discovered from declarations *)
+  local_shapes : (string, int array) Hashtbl.t;
+  (* scalar variables with statically known values (e.g. n = arr.length) *)
+  scalar_env : (string, float) Hashtbl.t;
+}
+
+let rec resolve ctx (e : Ir.expr) (suffix : Ir.expr list) :
+    (string * Ir.expr list) option =
+  match e with
+  | Ir.Var v -> (
+      match Hashtbl.find_opt ctx.views v with
+      | Some (root, prefix) -> Some (root, prefix @ suffix)
+      | None -> Some (v, suffix))
+  | Ir.Load (b, idx) -> resolve ctx b (idx @ suffix)
+  | _ -> None
+
+let root_shape ctx root : int array option =
+  match List.assoc_opt root ctx.shapes with
+  | Some s -> Some s
+  | None -> Hashtbl.find_opt ctx.local_shapes root
+
+let placement_of ctx root : Ir.placement =
+  match List.assoc_opt root ctx.placements with
+  | Some p -> p
+  | None -> Ir.default_placement
+
+(** Best-effort static evaluation of an integer expression given known
+    shapes and scalar parameter values. *)
+let rec eval_int ctx (e : Ir.expr) : float option =
+  match e with
+  | Ir.Const (Ir.CInt i) -> Some (float_of_int i)
+  | Ir.Const (Ir.CLong l) -> Some (Int64.to_float l)
+  | Ir.Var v -> (
+      match Hashtbl.find_opt ctx.scalar_env v with
+      | Some x -> Some x
+      | None -> List.assoc_opt v ctx.scalars)
+  | Ir.Len (a, d) -> (
+      match resolve ctx a [] with
+      | Some (root, prefix) -> (
+          match root_shape ctx root with
+          | Some shape ->
+              let dim = List.length prefix + d in
+              if dim < Array.length shape then
+                Some (float_of_int shape.(dim))
+              else None
+          | None -> None)
+      | None -> None)
+  | Ir.Bin (op, _, a, b) -> (
+      match (eval_int ctx a, eval_int ctx b) with
+      | Some x, Some y -> (
+          match op with
+          | Lime_frontend.Ast.Add -> Some (x +. y)
+          | Lime_frontend.Ast.Sub -> Some (x -. y)
+          | Lime_frontend.Ast.Mul -> Some (x *. y)
+          | Lime_frontend.Ast.Div when y <> 0.0 -> Some (Float.of_int (int_of_float (x /. y)))
+          | _ -> None)
+      | _ -> None)
+  | Ir.Cast (_, _, a) -> eval_int ctx a
+  | _ -> None
+
+let expr_vars (e : Ir.expr) : string list =
+  let acc = ref [] in
+  Ir.iter_expr
+    (fun e -> match e with Ir.Var v -> acc := v :: !acc | _ -> ())
+    e;
+  !acc
+
+let classify ctx (idx : Ir.expr) : pattern =
+  let vars = expr_vars idx in
+  let is_par v = List.mem v ctx.par_vars || Hashtbl.mem ctx.thread_vars v in
+  let mentions_par = List.exists is_par vars in
+  let mentions_seq = List.exists (fun v -> List.mem v ctx.seq_vars) vars in
+  let pure_of r = not (List.exists is_par (expr_vars r)) in
+  if mentions_par then
+    match idx with
+    | Ir.Var v when List.mem v ctx.par_vars -> PThreadLinear
+    | Ir.Bin ((Lime_frontend.Ast.Add | Lime_frontend.Ast.Sub), _, Ir.Var v, r)
+      when List.mem v ctx.par_vars && pure_of r ->
+        PThreadLinear
+    | Ir.Bin (Lime_frontend.Ast.Add, _, r, Ir.Var v)
+      when List.mem v ctx.par_vars && pure_of r ->
+        PThreadLinear
+    | _ -> PThreadStrided
+  else if mentions_seq then PStream
+  else PBroadcast
+
+let record_access ctx ~mult root (full : Ir.expr list) ~store =
+  let p = placement_of ctx root in
+  if p.Ir.space = Ir.MPrivate then
+    ctx.private_accs <- ctx.private_accs +. mult
+  else begin
+    let pattern =
+      (* arrays allocated inside the parallel loop that did not fit in
+         private memory are per-thread spills: every thread touches its own
+         instance *)
+      if Hashtbl.mem ctx.local_shapes root && ctx.par_vars <> [] then
+        PThreadStrided
+      else
+        match full with lead :: _ -> classify ctx lead | [] -> PBroadcast
+    in
+    let last_const =
+      match List.rev full with
+      | Ir.Const _ :: _ when List.length full > 1 -> true
+      | _ -> false
+    in
+    let key = (root, pattern, store, last_const) in
+    match Hashtbl.find_opt ctx.accs key with
+    | Some a -> a.ac_count <- a.ac_count +. mult
+    | None ->
+        Hashtbl.add ctx.accs key
+          {
+            ac_root = root;
+            ac_pattern = pattern;
+            ac_store = store;
+            ac_last_const = last_const;
+            ac_count = mult;
+          }
+  end
+
+let is_double = function Ir.SDouble -> true | _ -> false
+let is_fp = function Ir.SDouble | Ir.SFloat -> true | _ -> false
+
+let rec walk_expr ctx ~mult (e : Ir.expr) : unit =
+  match e with
+  | Ir.Const _ | Ir.Var _ | Ir.This | Ir.StaticGet _ -> ()
+  | Ir.Bin (_, s, a, b) ->
+      ctx.alu <- ctx.alu +. mult;
+      if is_fp s then ctx.total_fp <- ctx.total_fp +. mult;
+      if is_double s then ctx.double_ops <- ctx.double_ops +. mult;
+      (match e with
+      | Ir.Bin ((Lime_frontend.Ast.Div | Lime_frontend.Ast.Mod), _, _, _) ->
+          ctx.div <- ctx.div +. mult
+      | _ -> ());
+      walk_expr ctx ~mult a;
+      walk_expr ctx ~mult b
+  | Ir.Un (_, s, a) | Ir.Cast (s, _, a) ->
+      ctx.alu <- ctx.alu +. mult;
+      if is_double s then ctx.double_ops <- ctx.double_ops +. mult;
+      walk_expr ctx ~mult a
+  | Ir.Load (b, idx) ->
+      (match resolve ctx b idx with
+      | Some (root, full) -> record_access ctx ~mult root full ~store:false
+      | None -> ());
+      (match b with Ir.Var _ -> () | _ -> ());
+      List.iter (walk_expr ctx ~mult) idx
+  | Ir.Len _ -> ()
+  | Ir.Intrinsic (b, s, args) ->
+      (match b with
+      | B.BSin | B.BCos | B.BTan | B.BExp | B.BLog | B.BPow | B.BAtan2 ->
+          ctx.trans <- ctx.trans +. mult
+      | B.BSqrt | B.BRsqrt -> ctx.sqrt_ <- ctx.sqrt_ +. mult
+      | _ -> ctx.alu <- ctx.alu +. mult);
+      if is_fp s then ctx.total_fp <- ctx.total_fp +. mult;
+      if is_double s then ctx.double_ops <- ctx.double_ops +. mult;
+      List.iter (walk_expr ctx ~mult) args
+  | Ir.NewArr (_, sizes) -> List.iter (walk_expr ctx ~mult) sizes
+  | Ir.ArrLit (_, es) -> List.iter (walk_expr ctx ~mult) es
+  | Ir.RangeE n -> walk_expr ctx ~mult n
+  | Ir.ToValueE a -> walk_expr ctx ~mult a
+  | Ir.CallF (_, args) | Ir.NewObj (_, args) ->
+      List.iter (walk_expr ctx ~mult) args
+  | Ir.CallM (_, r, args) ->
+      walk_expr ctx ~mult r;
+      List.iter (walk_expr ctx ~mult) args
+  | Ir.FieldGet (r, _) -> walk_expr ctx ~mult r
+  | Ir.TaskE _ | Ir.ConnectE _ -> ()
+
+let rec walk_stmt ctx ~mult (s : Ir.stmt) : unit =
+  match s with
+  | Ir.SDecl (v, Ir.TArr aty, init) -> (
+      match init with
+      | Some (Ir.Load (b, idx)) -> (
+          match resolve ctx b idx with
+          | Some entry ->
+              Hashtbl.replace ctx.views v entry;
+              (* loading a row view costs one access of the row width *)
+              let root, prefix = entry in
+              record_access ctx ~mult root prefix ~store:false;
+              List.iter (walk_expr ctx ~mult) idx
+          | None -> ())
+      | Some (Ir.Var src) ->
+          (match Hashtbl.find_opt ctx.views src with
+          | Some entry -> Hashtbl.replace ctx.views v entry
+          | None -> Hashtbl.replace ctx.views v (src, []))
+      | Some (Ir.NewArr (_, sizes) as e) ->
+          (* record the shape when resolvable *)
+          let dims =
+            List.map
+              (function
+                | Ir.DFixed n -> Some (float_of_int n)
+                | Ir.DDyn -> None)
+              aty.Ir.dims
+          in
+          let sizes_v = List.map (eval_int ctx) sizes in
+          let rec fill dims sizes =
+            match (dims, sizes) with
+            | [], _ -> []
+            | Some d :: rest, s -> d :: fill rest s
+            | None :: rest, Some s :: srest -> s :: fill rest srest
+            | None :: rest, _ -> 0.0 :: fill rest []
+          in
+          let shape = fill dims sizes_v in
+          Hashtbl.replace ctx.local_shapes v
+            (Array.of_list (List.map int_of_float shape));
+          walk_expr ctx ~mult e
+      | Some e -> walk_expr ctx ~mult e
+      | None -> ())
+  | Ir.SDecl (v, Ir.TScalar _, init) ->
+      (match init with
+      | Some e -> (
+          match eval_int ctx e with
+          | Some x -> Hashtbl.replace ctx.scalar_env v x
+          | None -> ())
+      | None -> ());
+      Option.iter (walk_expr ctx ~mult) init
+  | Ir.SDecl (_, _, init) -> Option.iter (walk_expr ctx ~mult) init
+  | Ir.SAssign (lv, e) ->
+      (* a re-assigned scalar no longer has a single static value *)
+      (match lv with
+      | Ir.LVar v -> Hashtbl.remove ctx.scalar_env v
+      | _ -> ());
+      (* deferred map-output allocation carries the result shape *)
+      (match (lv, e) with
+      | Ir.LVar v, Ir.NewArr (aty, sizes) ->
+          let dims =
+            List.map
+              (function
+                | Ir.DFixed n -> Some (float_of_int n)
+                | Ir.DDyn -> None)
+              aty.Ir.dims
+          in
+          let sizes_v = List.map (eval_int ctx) sizes in
+          let rec fill dims sizes =
+            match (dims, sizes) with
+            | [], _ -> []
+            | Some d :: rest, s -> d :: fill rest s
+            | None :: rest, Some s :: srest -> s :: fill rest srest
+            | None :: rest, _ -> 0.0 :: fill rest []
+          in
+          Hashtbl.replace ctx.local_shapes v
+            (Array.of_list
+               (List.map int_of_float (fill dims sizes_v)))
+      | _ -> ());
+      ctx.alu <- ctx.alu +. mult;
+      walk_expr ctx ~mult e
+  | Ir.SArrStore (b, idx, v) ->
+      (match resolve ctx b idx with
+      | Some (root, full) ->
+          (* row stores count one access per scalar element *)
+          let width =
+            match root_shape ctx root with
+            | Some shape when List.length full < Array.length shape ->
+                let rec prod d =
+                  if d >= Array.length shape then 1.0
+                  else float_of_int shape.(d) *. prod (d + 1)
+                in
+                prod (List.length full)
+            | _ -> 1.0
+          in
+          record_access ctx ~mult:(mult *. width) root full ~store:true
+      | None -> ());
+      List.iter (walk_expr ctx ~mult) idx;
+      walk_expr ctx ~mult v
+  | Ir.SIf (c, a, b) ->
+      walk_expr ctx ~mult c;
+      ctx.alu <- ctx.alu +. mult;
+      List.iter (walk_stmt ctx ~mult:(mult *. 0.5)) a;
+      List.iter (walk_stmt ctx ~mult:(mult *. 0.5)) b
+  | Ir.SWhile (c, b) ->
+      (* data-dependent loop: estimate 16 trips and mark approximate *)
+      ctx.approx <- true;
+      let trips = 16.0 in
+      walk_expr ctx ~mult:(mult *. trips) c;
+      List.iter (walk_stmt ctx ~mult:(mult *. trips)) b
+  | Ir.SFor (v, lo, hi, b) ->
+      let trips =
+        match (eval_int ctx lo, eval_int ctx hi) with
+        | Some l, Some h -> Float.max 0.0 (h -. l)
+        | _ ->
+            ctx.approx <- true;
+            16.0
+      in
+      ctx.alu <- ctx.alu +. (mult *. trips);  (* loop increment+compare *)
+      ctx.seq_vars <- v :: ctx.seq_vars;
+      List.iter (walk_stmt ctx ~mult:(mult *. trips)) b;
+      ctx.seq_vars <- List.tl ctx.seq_vars
+  | Ir.SParFor p ->
+      let trips =
+        match eval_int ctx p.Ir.pf_count with
+        | Some n -> n
+        | None ->
+            ctx.approx <- true;
+            1024.0
+      in
+      if ctx.par_vars = [] then begin
+        ctx.items <- Float.max ctx.items trips;
+        ctx.last_items <- trips
+      end;
+      ctx.par_vars <- p.Ir.pf_var :: ctx.par_vars;
+      List.iter (walk_stmt ctx ~mult:(mult *. trips)) p.Ir.pf_body;
+      ctx.par_vars <- List.tl ctx.par_vars
+  | Ir.SReduce r ->
+      let n =
+        match resolve ctx r.Ir.rd_arr [] with
+        | Some (root, _) -> (
+            match root_shape ctx root with
+            | Some shape when Array.length shape > 0 ->
+                float_of_int shape.(0)
+            | _ ->
+                ctx.approx <- true;
+                1024.0)
+        | None ->
+            ctx.approx <- true;
+            1024.0
+      in
+      ctx.reduce_elems <- ctx.reduce_elems +. (mult *. n);
+      ctx.alu <- ctx.alu +. (mult *. n);
+      (match resolve ctx r.Ir.rd_arr [] with
+      | Some (root, _) ->
+          (* a parallel reduction reads its input coalesced (grid-stride):
+             classify the synthetic index as the thread id *)
+          ctx.par_vars <- "%reduce" :: ctx.par_vars;
+          record_access ctx ~mult:(mult *. n) root [ Ir.Var "%reduce" ]
+            ~store:false;
+          ctx.par_vars <- List.tl ctx.par_vars
+      | None -> ())
+  | Ir.SInlineBlock (_, b) -> List.iter (walk_stmt ctx ~mult) b
+  | Ir.SReturn e -> Option.iter (walk_expr ctx ~mult) e
+  | Ir.SExpr e -> walk_expr ctx ~mult e
+  | Ir.SBreak | Ir.SContinue -> ()
+  | Ir.SFinish _ -> ()
+
+(** Profile one kernel launch.
+
+    [shapes] gives the actual shape of each array argument; [scalars] gives
+    the value of scalar arguments that appear in loop bounds. *)
+let profile (k : Lime_gpu.Kernel.kernel)
+    (decisions : Lime_gpu.Memopt.decision list)
+    ~(shapes : (string * int array) list)
+    ~(scalars : (string * float) list) : t =
+  let ctx =
+    {
+      kernel = k;
+      shapes;
+      scalars;
+      placements = Lime_gpu.Memopt.placements decisions;
+      views = Hashtbl.create 16;
+      accs = Hashtbl.create 16;
+      alu = 0.0;
+      div = 0.0;
+      sqrt_ = 0.0;
+      trans = 0.0;
+      double_ops = 0.0;
+      total_fp = 0.0;
+      private_accs = 0.0;
+      reduce_elems = 0.0;
+      items = 1.0;
+      last_items = 1.0;
+      approx = false;
+      par_vars = [];
+      seq_vars = [];
+      local_shapes = Hashtbl.create 8;
+      scalar_env = Hashtbl.create 8;
+      thread_vars = Lime_gpu.Taint.thread_dependent k.Lime_gpu.Kernel.k_body;
+    }
+  in
+  List.iter (walk_stmt ctx ~mult:1.0) k.Lime_gpu.Kernel.k_body;
+  {
+    p_items = ctx.items;
+    p_alu = ctx.alu;
+    p_div = ctx.div;
+    p_sqrt = ctx.sqrt_;
+    p_trans = ctx.trans;
+    p_double_ops = ctx.double_ops;
+    p_total_fp = ctx.total_fp;
+    p_accesses = Hashtbl.fold (fun _ a l -> a :: l) ctx.accs [];
+    p_private_accesses = ctx.private_accs;
+    p_reduce_elems = ctx.reduce_elems;
+    p_last_parfor_items = ctx.last_items;
+    p_approx = ctx.approx;
+  }
+
+let to_string (p : t) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "items=%.0f alu=%.3g div=%.3g sqrt=%.3g trans=%.3g double=%.0f%%%s\n"
+       p.p_items p.p_alu p.p_div p.p_sqrt p.p_trans
+       (100.0 *. double_frac p)
+       (if p.p_approx then " (approx)" else ""));
+  List.iter
+    (fun a ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-14s %-14s %s%s count=%.4g\n" a.ac_root
+           (pattern_name a.ac_pattern)
+           (if a.ac_store then "store" else "load ")
+           (if a.ac_last_const then " const-lane" else "")
+           a.ac_count))
+    p.p_accesses;
+  Buffer.contents b

@@ -1,0 +1,53 @@
+(** Analytic kernel profiler: the dynamic operation mix of a kernel launch,
+    computed from the kernel IR and the actual argument shapes by weighting
+    every site with its enclosing loop trip counts.  Exact for the affine
+    benchmarks; data-dependent loops fall back to estimates and set
+    {!t.p_approx}. *)
+
+type pattern =
+  | PThreadLinear  (** coalesced: leading index = thread id *)
+  | PThreadStrided  (** thread-dependent, non-unit stride *)
+  | PStream  (** same address across threads, varying over an inner loop *)
+  | PBroadcast  (** loop-invariant address *)
+
+val pattern_name : pattern -> string
+
+type access = {
+  ac_root : string;
+  ac_pattern : pattern;
+  ac_store : bool;
+  ac_last_const : bool;  (** innermost index is a compile-time constant *)
+  mutable ac_count : float;  (** dynamic accesses over the whole launch *)
+}
+
+type t = {
+  p_items : float;  (** work items of the widest top-level parallel loop *)
+  p_alu : float;
+  p_div : float;
+  p_sqrt : float;
+  p_trans : float;
+  p_double_ops : float;
+  p_total_fp : float;
+  p_accesses : access list;
+  p_private_accesses : float;
+  p_reduce_elems : float;
+  p_last_parfor_items : float;
+      (** trip count of the *last* top-level parallel loop — sizes the
+          kernel result buffer *)
+  p_approx : bool;  (** a trip count had to be estimated *)
+}
+
+val double_frac : t -> float
+(** Fraction of floating-point work executed in double precision. *)
+
+val profile :
+  Lime_gpu.Kernel.kernel ->
+  Lime_gpu.Memopt.decision list ->
+  shapes:(string * int array) list ->
+  scalars:(string * float) list ->
+  t
+(** [profile kernel decisions ~shapes ~scalars] profiles one launch;
+    [shapes] gives each array argument's shape, [scalars] the value of
+    scalar arguments appearing in loop bounds. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Float Hashtbl Int64 Ir Lime_frontend Lime_typecheck List Option Printf Value

@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Hashtbl Int64 Lime_frontend Lime_typecheck List Option Printf String

@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Char Diag Hashtbl Int64 Ir Lime_frontend Lime_support Lime_typecheck List Option Printf String

@@ -1,0 +1,1 @@
+lib/ir/value.ml: Array Float Hashtbl Int32 Int64 Ir List Option Printf String

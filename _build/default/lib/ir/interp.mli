@@ -1,0 +1,64 @@
+(** Reference interpreter for the IR — the "bytecode" execution engine of
+    the reproduction (the JVM of the paper's evaluation), with operation
+    counters that feed the Java cost model. *)
+
+exception Runtime_error of string
+
+type counters = {
+  mutable alu : int;
+  mutable divs : int;
+  mutable sqrts : int;
+  mutable transcendentals : int;
+  mutable mem_reads : int;
+  mutable mem_writes : int;
+  mutable bounds_checks : int;
+  mutable field_accesses : int;
+  mutable branches : int;
+  mutable calls : int;
+  mutable alloc_bytes : int;
+  mutable double_ops : int;
+}
+
+val fresh_counters : unit -> counters
+val add_counters : counters -> counters -> unit
+
+type state = {
+  md : Ir.modul;
+  statics : (string * string, Value.t ref) Hashtbl.t;
+  counters : counters;
+  mutable finish_hook : state -> Value.task_node list -> int option -> unit;
+      (** invoked by [graph.finish(n)]; the task-graph runtime installs
+          itself here (see [Lime_runtime.Engine.attach]) *)
+  mutable print_hook : string -> unit;
+}
+
+type frame = { vars : (string, Value.t) Hashtbl.t; this : Value.obj option }
+
+exception Return_exn of Value.t
+exception Break_exn
+exception Continue_exn
+
+val default_value : Ir.ty -> Value.t
+
+val eval : state -> frame -> Ir.expr -> Value.t
+val exec : state -> frame -> Ir.stmt -> unit
+val exec_list : state -> frame -> Ir.stmt list -> unit
+
+val instantiate : state -> string -> Value.t list -> Value.obj
+(** Allocate an object, run field initializers and the constructor. *)
+
+val call_function :
+  state -> string -> Value.obj option -> Value.t list -> Value.t
+(** Invoke a function by qualified name (["Class.method"]). *)
+
+val invoke : state -> Ir.func -> Value.obj option -> Value.t list -> Value.t
+
+val create : Ir.modul -> state
+(** Load a module: registers statics and runs their initializers. *)
+
+val run : state -> cls:string -> meth:string -> Value.t list -> Value.t
+
+val run_instance :
+  state -> cls:string -> ctor_args:Value.t list -> meth:string ->
+  Value.t list -> Value.t
+(** Call an instance method on a freshly constructed instance. *)

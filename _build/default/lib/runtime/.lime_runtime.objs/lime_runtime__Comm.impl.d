@@ -1,0 +1,1 @@
+lib/runtime/comm.ml: Fmt Gpusim Marshal

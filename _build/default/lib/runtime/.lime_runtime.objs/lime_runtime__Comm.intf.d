@@ -1,0 +1,1 @@
+lib/runtime/comm.mli: Format Gpusim Marshal

@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: Array Bytes Comm Gpusim Int64 Lime_gpu Lime_ir List Logs Marshal Option

@@ -1,0 +1,1 @@
+lib/runtime/engine.mli: Comm Gpusim Lime_gpu Lime_ir Marshal

@@ -1,0 +1,1 @@
+lib/runtime/marshal.ml: Array Buffer Bytes Char Int32 Int64 Lime_ir Printf

@@ -1,0 +1,1 @@
+lib/runtime/marshal.mli: Lime_ir

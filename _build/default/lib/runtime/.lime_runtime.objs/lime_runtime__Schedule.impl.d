@@ -1,0 +1,1 @@
+lib/runtime/schedule.ml: Comm Float

@@ -1,0 +1,91 @@
+(** Communication cost accounting (paper §4.3, §5.3 / Fig 9).
+
+    Offloading a filter firing moves data Java → C → device and back
+    (Fig 6).  Each leg is accounted separately so the harness can print the
+    Fig 9 breakdown:
+
+    - Java-side marshaling (serialize to the wire format),
+    - the JNI crossing,
+    - C-side marshaling (wire format → device layout),
+    - OpenCL API setup (buffers, kernel arguments, enqueues) — mostly
+      constant, but buffer registration grows with very large buffers,
+      which reproduces the paper's JG-RPES "anomaly" (40% setup),
+    - the PCIe transfer,
+    - kernel execution. *)
+
+type phases = {
+  mutable java_marshal_s : float;
+  mutable jni_s : float;
+  mutable c_marshal_s : float;
+  mutable setup_s : float;
+  mutable pcie_s : float;
+  mutable kernel_s : float;
+  mutable host_s : float;  (** host-resident task work (bytecode) *)
+}
+
+let zero () =
+  {
+    java_marshal_s = 0.0;
+    jni_s = 0.0;
+    c_marshal_s = 0.0;
+    setup_s = 0.0;
+    pcie_s = 0.0;
+    kernel_s = 0.0;
+    host_s = 0.0;
+  }
+
+let add a b =
+  a.java_marshal_s <- a.java_marshal_s +. b.java_marshal_s;
+  a.jni_s <- a.jni_s +. b.jni_s;
+  a.c_marshal_s <- a.c_marshal_s +. b.c_marshal_s;
+  a.setup_s <- a.setup_s +. b.setup_s;
+  a.pcie_s <- a.pcie_s +. b.pcie_s;
+  a.kernel_s <- a.kernel_s +. b.kernel_s;
+  a.host_s <- a.host_s +. b.host_s
+
+let total p =
+  p.java_marshal_s +. p.jni_s +. p.c_marshal_s +. p.setup_s +. p.pcie_s
+  +. p.kernel_s +. p.host_s
+
+let communication p = total p -. p.kernel_s -. p.host_s
+
+(** OpenCL API setup time for one buffer of [bytes].  The constant covers
+    the create/set-arg/enqueue calls; very large buffers additionally pay
+    per-byte registration/pinning — the JG-RPES anomaly of Fig 9 (its
+    12.8MB input buffer is the only one to cross the threshold). *)
+let setup_seconds (bytes : int) : float =
+  let base = 9.0e-6 in
+  let large_penalty =
+    if bytes > 8 * 1024 * 1024 then float_of_int bytes *. 1.5e-9 else 0.0
+  in
+  base +. (float_of_int bytes *. 0.05e-9) +. large_penalty
+
+let pcie_seconds (d : Gpusim.Device.t) (bytes : int) : float =
+  if d.Gpusim.Device.pcie_gbs <= 0.0 then 0.0
+  else
+    8.0e-6 +. (float_of_int bytes /. (d.Gpusim.Device.pcie_gbs *. 1e9))
+
+(** Cost of one offloaded firing, excluding the kernel itself. *)
+let offload_phases (d : Gpusim.Device.t) ?(serializer = Marshal.Custom)
+    ?(elem_bytes = 4) ~(in_bytes : int) ~(out_bytes : int) () : phases =
+  let p = zero () in
+  p.java_marshal_s <-
+    Marshal.java_marshal_seconds ~serializer ~elem_bytes in_bytes
+    +. Marshal.java_marshal_seconds ~serializer ~elem_bytes out_bytes;
+  p.jni_s <- 2.0 *. Marshal.jni_seconds;
+  p.c_marshal_s <-
+    (if Marshal.needs_c_marshal serializer then
+       Marshal.c_marshal_seconds in_bytes +. Marshal.c_marshal_seconds out_bytes
+     else 0.0);
+  p.setup_s <- setup_seconds in_bytes +. setup_seconds out_bytes;
+  p.pcie_s <- pcie_seconds d in_bytes +. pcie_seconds d out_bytes;
+  p
+
+let pp ppf p =
+  let t = total p in
+  let pct x = if t <= 0.0 then 0.0 else 100.0 *. x /. t in
+  Fmt.pf ppf
+    "total %.3gms: kernel %.1f%%, java-marshal %.1f%%, jni %.1f%%, c-marshal \
+     %.1f%%, setup %.1f%%, pcie %.1f%%, host %.1f%%"
+    (t *. 1e3) (pct p.kernel_s) (pct p.java_marshal_s) (pct p.jni_s)
+    (pct p.c_marshal_s) (pct p.setup_s) (pct p.pcie_s) (pct p.host_s)

@@ -1,0 +1,38 @@
+(** Communication cost accounting (paper §4.3, §5.3 / Fig 9): per-leg time
+    of an offloaded firing — Java marshal, JNI, C marshal, OpenCL setup,
+    PCIe, kernel, and host-resident task work. *)
+
+type phases = {
+  mutable java_marshal_s : float;
+  mutable jni_s : float;
+  mutable c_marshal_s : float;
+  mutable setup_s : float;
+  mutable pcie_s : float;
+  mutable kernel_s : float;
+  mutable host_s : float;
+}
+
+val zero : unit -> phases
+val add : phases -> phases -> unit
+val total : phases -> float
+
+val communication : phases -> float
+(** Everything except kernel and host-task time. *)
+
+val setup_seconds : int -> float
+(** OpenCL API setup for one buffer of the given size; very large buffers
+    pay per-byte registration (the JG-RPES anomaly of Fig 9). *)
+
+val pcie_seconds : Gpusim.Device.t -> int -> float
+
+val offload_phases :
+  Gpusim.Device.t ->
+  ?serializer:Marshal.serializer ->
+  ?elem_bytes:int ->
+  in_bytes:int ->
+  out_bytes:int ->
+  unit ->
+  phases
+(** Cost of one offloaded firing, excluding the kernel itself. *)
+
+val pp : Format.formatter -> phases -> unit

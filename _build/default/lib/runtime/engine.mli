@@ -1,0 +1,65 @@
+(** Task-graph execution engine: the semantics of [task], [=>] and
+    [finish].  Filters classified offloadable run "on the device" — real
+    marshaling, functional kernel execution through the reference
+    interpreter, and device-model timing; everything else runs as bytecode
+    on the host.  Attaches to an interpreter state as its [finish] hook. *)
+
+type config = {
+  device : Gpusim.Device.t option;  (** [None] = run everything as bytecode *)
+  opt_config : Lime_gpu.Memopt.config;
+  functional : bool;
+      (** execute offloaded kernels for real (validation) rather than
+          producing a zero-filled result of the right shape *)
+  serializer : Marshal.serializer;
+}
+
+val default_config : config
+(** GTX 580, all optimizations, functional execution, custom serializer. *)
+
+type offloaded = {
+  of_kernel : Lime_gpu.Kernel.kernel;
+  of_decisions : Lime_gpu.Memopt.decision list;
+  of_module : Lime_ir.Ir.modul;
+}
+
+type report = {
+  mutable firings : int;
+  mutable offloaded_tasks : string list;
+  mutable host_tasks : string list;
+  phases : Comm.phases;  (** accumulated across firings *)
+  mutable last_value : Lime_ir.Value.t;
+      (** the value that reached the final (sink) task *)
+}
+
+val fresh_report : unit -> report
+
+val output_shape :
+  ?rows:int -> Lime_gpu.Kernel.kernel -> Lime_ir.Value.t -> int array option
+(** Shape of the kernel result; dynamic dimensions take [rows] (the trip
+    count of the output-producing parallel loop). *)
+
+val shapes_of_args :
+  Lime_gpu.Kernel.kernel ->
+  Lime_ir.Value.t list ->
+  (string * int array) list * (string * float) list
+
+val array_bindings :
+  Lime_gpu.Kernel.kernel ->
+  Lime_gpu.Memopt.decision list ->
+  Lime_ir.Value.t list ->
+  int array option ->
+  Gpusim.Model.array_binding list
+
+val attach : config -> Lime_ir.Interp.state -> report
+(** Install the engine as the interpreter's [finish] hook; Lime-level
+    [graph.finish(n)] calls then execute through the engine and accumulate
+    into the returned report. *)
+
+val run_program :
+  config ->
+  Lime_ir.Ir.modul ->
+  cls:string ->
+  meth:string ->
+  Lime_ir.Value.t list ->
+  Lime_ir.Value.t * report
+(** Create an interpreter, attach the engine, and call [cls.meth]. *)

@@ -1,0 +1,25 @@
+(** Pipelined (double-buffered) firing schedule — the paper's §5.3 future
+    work: overlap communication with computation across consecutive
+    firings of a task pipeline. *)
+
+type stages = {
+  st_host_s : float;  (** Java marshal + JNI + C marshal + setup, per firing *)
+  st_link_s : float;  (** PCIe up + down, per firing *)
+  st_kernel_s : float;  (** device execution, per firing *)
+  st_source_sink_s : float;  (** host-resident task work, per firing *)
+}
+
+val stages_of_phases : firings:int -> Comm.phases -> stages
+(** Decompose accumulated phase totals into per-firing pipeline stages. *)
+
+val serial_time : firings:int -> stages -> float
+(** Wall-clock of [n] firings executed back to back (the baseline engine). *)
+
+val pipelined_time : firings:int -> stages -> float
+(** Wall-clock with double-buffered overlap: fill + (n-1) x max-stage. *)
+
+val overlap_speedup : firings:int -> stages -> float
+
+val worthwhile : ?threshold:float -> firings:int -> stages -> bool
+(** Should the runtime enable pipelining?  True when the projected gain
+    exceeds [threshold] (default 1.1). *)

@@ -1,0 +1,79 @@
+(** Compiler diagnostics.
+
+    Every user-facing error in the pipeline (lexing, parsing, typing, kernel
+    identification) is reported as a {!t} carrying a location, a severity, a
+    phase tag and a message.  Fatal conditions raise {!Error}; non-fatal
+    warnings accumulate in a {!collector}. *)
+
+type severity = Error | Warning | Note
+
+type phase =
+  | Lexer
+  | Parser
+  | Typecheck
+  | Lowering
+  | Kernel  (** kernel identification / offload legality *)
+  | Optimizer
+  | Codegen
+  | Runtime
+
+type t = {
+  severity : severity;
+  phase : phase;
+  loc : Loc.t;
+  message : string;
+}
+
+exception Error_exn of t
+
+let phase_name = function
+  | Lexer -> "lexer"
+  | Parser -> "parser"
+  | Typecheck -> "typecheck"
+  | Lowering -> "lowering"
+  | Kernel -> "kernel"
+  | Optimizer -> "optimizer"
+  | Codegen -> "codegen"
+  | Runtime -> "runtime"
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+let make ?(severity = Error) ~phase ~loc fmt =
+  Format.kasprintf (fun message -> { severity; phase; loc; message }) fmt
+
+let pp ppf d =
+  Fmt.pf ppf "%a: %s: [%s] %s" Loc.pp d.loc (severity_name d.severity)
+    (phase_name d.phase) d.message
+
+let to_string d = Fmt.str "%a" pp d
+
+(** [error ~phase ~loc fmt ...] raises {!Error_exn} with a formatted message. *)
+let error ~phase ~loc fmt =
+  Format.kasprintf
+    (fun message ->
+      raise (Error_exn { severity = Error; phase; loc; message }))
+    fmt
+
+(** Collector for non-fatal diagnostics (warnings / notes). *)
+type collector = { mutable items : t list }
+
+let collector () = { items = [] }
+let add c d = c.items <- d :: c.items
+let items c = List.rev c.items
+
+let warn c ~phase ~loc fmt =
+  Format.kasprintf
+    (fun message ->
+      add c { severity = Warning; phase; loc; message })
+    fmt
+
+(** Run [f ()]; return [Ok result] or [Error diag] if it raised. *)
+let protect f = try Ok (f ()) with Error_exn d -> Error d
+
+let () =
+  Printexc.register_printer (function
+    | Error_exn d -> Some (to_string d)
+    | _ -> None)

@@ -1,0 +1,52 @@
+(** Source locations for the Lime front end.
+
+    A {!t} is a half-open span [\[start, stop)] within a named source (a file
+    or an inline snippet).  Positions are tracked as (line, column) pairs with
+    1-based lines and 0-based columns, matching most editors. *)
+
+type pos = {
+  line : int;  (** 1-based line number *)
+  col : int;  (** 0-based column *)
+  offset : int;  (** byte offset from the start of the source *)
+}
+
+type t = {
+  source : string;  (** source name, e.g. a file name or ["<inline>"] *)
+  start_pos : pos;
+  end_pos : pos;
+}
+
+let start_pos_of t = t.start_pos
+let end_pos_of t = t.end_pos
+
+let dummy_pos = { line = 0; col = 0; offset = 0 }
+let dummy = { source = "<none>"; start_pos = dummy_pos; end_pos = dummy_pos }
+
+let is_dummy t = t.source = "<none>"
+
+let make ~source ~start_pos ~end_pos = { source; start_pos; end_pos }
+
+let of_positions source (l1, c1, o1) (l2, c2, o2) =
+  {
+    source;
+    start_pos = { line = l1; col = c1; offset = o1 };
+    end_pos = { line = l2; col = c2; offset = o2 };
+  }
+
+(** [merge a b] spans from the start of [a] to the end of [b]. *)
+let merge a b =
+  if is_dummy a then b
+  else if is_dummy b then a
+  else { a with end_pos = b.end_pos }
+
+let pp_pos ppf p = Fmt.pf ppf "%d:%d" p.line p.col
+
+let pp ppf t =
+  if is_dummy t then Fmt.string ppf "<unknown location>"
+  else if t.start_pos.line = t.end_pos.line then
+    Fmt.pf ppf "%s:%d:%d-%d" t.source t.start_pos.line t.start_pos.col
+      t.end_pos.col
+  else
+    Fmt.pf ppf "%s:%a-%a" t.source pp_pos t.start_pos pp_pos t.end_pos
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,52 @@
+(** Deterministic splitmix64 pseudo-random generator.
+
+    Used by workload generators and the test suite so that every benchmark
+    input and every property-test corpus is reproducible across runs and
+    machines, independent of the OCaml stdlib [Random] state. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(** Uniform int in [\[0, bound)]. [bound] must be positive. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+(** Uniform float in [\[0, 1)]. *)
+let float01 t =
+  let r = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float r /. 9007199254740992.0 (* 2^53 *)
+
+(** Uniform float in [\[lo, hi)]. *)
+let float_range t lo hi = lo +. (float01 t *. (hi -. lo))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(** Gaussian via Box-Muller (one sample per call; simple, deterministic). *)
+let gaussian t =
+  let u1 = max 1e-12 (float01 t) in
+  let u2 = float01 t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let byte t = int t 256
+
+let shuffle_in_place t arr =
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,1 @@
+lib/typecheck/check.ml: Diag Hashtbl Int32 Int64 Lime_frontend Lime_support List Option Printf Tast

@@ -1,0 +1,1 @@
+lib/typecheck/check.mli: Lime_frontend Tast

@@ -1,0 +1,1 @@
+lib/typecheck/tast.ml: Lime_frontend Lime_support List Loc

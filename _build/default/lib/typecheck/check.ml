@@ -1,0 +1,1143 @@
+(** Type checker for the Lime subset.
+
+    Beyond ordinary Java-style typing, this pass enforces the invariants that
+    the paper's compiler exploits (§3, §4.1):
+
+    - [value] types are deeply immutable: elements of value arrays cannot be
+      assigned, value arrays must be initialized at construction (array
+      literals, map results, [Lime.range], or a copying [Lime.toValue]
+      conversion), and fields of [value] classes are final.
+    - [local] methods may only call other [local] methods (including the
+      [Math.*] builtins) and may not read non-final static fields nor write
+      any static field.  Instance field access inside a [local] method is
+      restricted to the method's own receiver (task-private state).
+    - A task is *isolated* (a filter) iff its worker is [local] and its
+      input/output port types are value types; the kernel identifier
+      additionally requires a static worker for offload.
+    - [f @ arr] is provably data-parallel iff [f] is static and [local] and
+      its parameters are value types; this fact is recorded on the typed
+      node so later passes never re-derive it.
+
+    The checker produces a {!Tast.tprogram} in which every call is resolved
+    and every expression carries its type. *)
+
+open Lime_support
+open Lime_frontend.Ast
+open Tast
+
+let err ~loc fmt = Diag.error ~phase:Diag.Typecheck ~loc fmt
+
+(* ------------------------------------------------------------------ *)
+(* Class table                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type class_table = (string, class_decl) Hashtbl.t
+
+let build_class_table (p : program) : class_table =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem tbl c.c_name then
+        err ~loc:c.c_loc "duplicate class '%s'" c.c_name;
+      if c.c_name = "Math" || c.c_name = "Lime" then
+        err ~loc:c.c_loc "'%s' is a reserved builtin class name" c.c_name;
+      Hashtbl.add tbl c.c_name c)
+    p;
+  tbl
+
+let lookup_class tbl name = Hashtbl.find_opt tbl name
+
+let lookup_method tbl cls name =
+  match lookup_class tbl cls with
+  | None -> None
+  | Some c -> List.find_opt (fun m -> m.m_name = name) c.c_methods
+
+let lookup_field tbl cls name =
+  match lookup_class tbl cls with
+  | None -> None
+  | Some c -> List.find_opt (fun f -> f.f_name = name) c.c_fields
+
+(* ------------------------------------------------------------------ *)
+(* Type predicates                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let is_numeric = function
+  | TPrim (PInt | PFloat | PDouble | PByte | PLong | PChar) -> true
+  | _ -> false
+
+let is_integer = function
+  | TPrim (PInt | PByte | PLong | PChar) -> true
+  | _ -> false
+
+let is_boolean = function TPrim PBoolean -> true | _ -> false
+
+(** Numeric promotion rank (Java-style widening). *)
+let rank_of = function
+  | TPrim PByte -> 1
+  | TPrim PChar -> 2
+  | TPrim PInt -> 3
+  | TPrim PLong -> 4
+  | TPrim PFloat -> 5
+  | TPrim PDouble -> 6
+  | _ -> 0
+
+(** Result type of arithmetic on [a] and [b] (both numeric). *)
+let promote a b =
+  let r = max (rank_of a) (rank_of b) in
+  if r <= 3 then TPrim PInt (* byte/char/int arithmetic yields int *)
+  else if r = 4 then TPrim PLong
+  else if r = 5 then TPrim PFloat
+  else TPrim PDouble
+
+(** Can a value of type [src] be used where [dst] is expected without an
+    explicit cast?  Numeric widening, plus bounded→unbounded value-array
+    dimensions (covariant: a [float[[4]]] is a [float[[]]]). *)
+let rec assignable ~(dst : ty) ~(src : ty) =
+  if ty_equal dst src then true
+  else
+    match (dst, src) with
+    | TPrim _, TPrim _ ->
+        is_numeric dst && is_numeric src && rank_of dst >= rank_of src
+    | TArray (d, dd), TArray (s, sd) ->
+        let dim_ok =
+          match (dd, sd) with
+          | a, b when a = b -> true
+          | DimValUnbounded, DimValBounded _ -> true
+          | _ -> false
+        in
+        dim_ok && assignable ~dst:d ~src:s
+    | _ -> false
+
+(** Deep value-type check: primitives, value arrays of value element types,
+    and [value] classes. *)
+let rec is_value_ty tbl = function
+  | TPrim _ -> true
+  | TVoid | TTask _ -> false
+  | TArray (_, DimDyn) -> false
+  | TArray (t, _) -> is_value_ty tbl t
+  | TNamed n -> (
+      match lookup_class tbl n with Some c -> c.c_value | None -> false)
+
+(** Validate that a syntactic type refers only to known classes. *)
+let rec validate_ty tbl ~loc = function
+  | TPrim _ | TVoid -> ()
+  | TTask _ -> err ~loc "task types cannot be written in source"
+  | TArray (t, _) -> validate_ty tbl ~loc t
+  | TNamed n ->
+      if lookup_class tbl n = None then err ~loc "unknown class '%s'" n
+
+(* ------------------------------------------------------------------ *)
+(* Builtins                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let float_or_double t =
+  match t with TPrim PFloat | TPrim PDouble -> true | _ -> false
+
+(** Resolve a [Math.*] / [Lime.*] builtin call; returns the builtin and the
+    result type, or raises. *)
+let resolve_builtin ~loc cls name (arg_tys : ty list) : builtin * ty =
+  let unary_fp b =
+    match arg_tys with
+    | [ t ] when float_or_double t -> (b, t)
+    | [ TPrim PInt ] -> (b, TPrim PDouble)
+    | _ -> err ~loc "Math.%s expects one floating-point argument" name
+  in
+  let binary_fp b =
+    match arg_tys with
+    | [ a; b' ] when float_or_double a && float_or_double b' ->
+        (b, promote a b')
+    | _ -> err ~loc "Math.%s expects two floating-point arguments" name
+  in
+  let binary_num b =
+    match arg_tys with
+    | [ a; b' ] when is_numeric a && is_numeric b' -> (b, promote a b')
+    | _ -> err ~loc "Math.%s expects two numeric arguments" name
+  in
+  match (cls, name) with
+  | "Math", "sqrt" -> unary_fp BSqrt
+  | "Math", "sin" -> unary_fp BSin
+  | "Math", "cos" -> unary_fp BCos
+  | "Math", "tan" -> unary_fp BTan
+  | "Math", "exp" -> unary_fp BExp
+  | "Math", "log" -> unary_fp BLog
+  | "Math", "floor" -> unary_fp BFloor
+  | "Math", "ceil" -> unary_fp BCeil
+  | "Math", "rsqrt" -> unary_fp BRsqrt
+  | "Math", "pow" -> binary_fp BPow
+  | "Math", "atan2" -> binary_fp BAtan2
+  | "Math", "min" -> binary_num BMin
+  | "Math", "max" -> binary_num BMax
+  | "Math", "abs" -> (
+      match arg_tys with
+      | [ t ] when is_numeric t -> (BAbs, t)
+      | _ -> err ~loc "Math.abs expects one numeric argument")
+  | "Lime", "range" -> (
+      match arg_tys with
+      | [ TPrim (PInt | PByte | PChar) ] ->
+          (* the caller refines the dimension when the bound is a
+             compile-time constant *)
+          (BRange, TArray (TPrim PInt, DimValUnbounded))
+      | _ -> err ~loc "Lime.range expects one int argument")
+  | "Lime", "print" -> (
+      match arg_tys with
+      | [ _ ] -> (BPrint, TVoid)
+      | _ -> err ~loc "Lime.print expects one argument")
+  | _ -> err ~loc "unknown builtin %s.%s" cls name
+
+(** [Lime.toValue] — copying conversion from a mutable array of primitives to
+    the corresponding value array (models Lime's Java interop conversion). *)
+let to_value_result ~loc = function
+  | [ src ] ->
+      let rec conv = function
+        | TArray (t, DimDyn) -> TArray (conv t, DimValUnbounded)
+        | TPrim p -> TPrim p
+        | _ -> err ~loc "Lime.toValue expects a mutable array of primitives"
+      in
+      (match src with
+      | TArray (_, DimDyn) -> conv src
+      | _ -> err ~loc "Lime.toValue expects a mutable array of primitives")
+  | _ -> err ~loc "Lime.toValue expects one argument"
+
+(* ------------------------------------------------------------------ *)
+(* Checking context                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  tbl : class_table;
+  cls : string;  (** enclosing class *)
+  in_static : bool;
+  in_local : bool;
+  in_ctor : bool;
+  ret : ty;
+  mutable vars : (string * ty) list list;  (** scope stack *)
+}
+
+let push_scope ctx = ctx.vars <- [] :: ctx.vars
+let pop_scope ctx = ctx.vars <- List.tl ctx.vars
+
+let declare ctx ~loc name ty =
+  (match ctx.vars with
+  | scope :: _ when List.mem_assoc name scope ->
+      err ~loc "variable '%s' is already declared in this scope" name
+  | _ -> ());
+  match ctx.vars with
+  | scope :: rest -> ctx.vars <- ((name, ty) :: scope) :: rest
+  | [] -> ctx.vars <- [ [ (name, ty) ] ]
+
+let lookup_var ctx name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+        match List.assoc_opt name scope with
+        | Some t -> Some t
+        | None -> go rest)
+  in
+  go ctx.vars
+
+(* ------------------------------------------------------------------ *)
+(* Expression checking                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let require_assignable ~loc ~what ~dst ~src =
+  if not (assignable ~dst ~src) then
+    err ~loc "%s: expected %s but found %s" what (ty_to_string dst)
+      (ty_to_string src)
+
+(** Insert an implicit widening cast if [src]'s type differs from [dst].
+    Arrays keep their precise type (e.g. a bounded [float[[512]]] assigned
+    to a [float[[]]] variable stays bounded): later passes exploit the
+    static bound. *)
+let coerce ~dst (e : texpr) =
+  if ty_equal dst e.ety then e
+  else
+    match (dst, e.ety) with
+    | TPrim _, TPrim _ -> { te = TCast (dst, e); ety = dst; tloc = e.tloc }
+    | _ -> e
+
+let rec check_expr ctx (e : expr) : texpr =
+  let loc = e.eloc in
+  let mk te ety = { te; ety; tloc = loc } in
+  match e.e with
+  | ELit l ->
+      let ty =
+        match l with
+        | LInt i ->
+            if
+              Int64.compare i (Int64.of_int32 Int32.max_int) > 0
+              || Int64.compare i (Int64.of_int32 Int32.min_int) < 0
+            then TPrim PLong
+            else TPrim PInt
+        | LFloat _ -> TPrim PFloat
+        | LDouble _ -> TPrim PDouble
+        | LBool _ -> TPrim PBoolean
+        | LChar _ -> TPrim PChar
+        | LString _ -> TNamed "String"
+        | LNull -> TNamed "null"
+      in
+      mk (TLit l) ty
+  | EVar name -> (
+      match lookup_var ctx name with
+      | Some ty -> mk (TLocal name) ty
+      | None -> (
+          (* implicit this.field or Class.field of the enclosing class *)
+          match lookup_field ctx.tbl ctx.cls name with
+          | Some f when is_static f.f_mods ->
+              check_static_field_read ctx ~loc ctx.cls f;
+              mk (TFieldStatic (ctx.cls, name)) f.f_ty
+          | Some f ->
+              if ctx.in_static then
+                err ~loc "instance field '%s' referenced from a static method"
+                  name;
+              mk
+                (TFieldInstance (mk TThis (TNamed ctx.cls), name))
+                f.f_ty
+          | None -> err ~loc "unknown variable '%s'" name))
+  | EBinop (op, a, b) -> check_binop ctx ~loc op a b
+  | EUnop (op, a) -> (
+      let ta = check_expr ctx a in
+      match op with
+      | Neg ->
+          if not (is_numeric ta.ety) then
+            err ~loc "operand of unary '-' must be numeric";
+          let ty = promote ta.ety ta.ety in
+          mk (TUnop (Neg, coerce ~dst:ty ta)) ty
+      | Not ->
+          if not (is_boolean ta.ety) then
+            err ~loc "operand of '!' must be boolean";
+          mk (TUnop (Not, ta)) (TPrim PBoolean)
+      | BitNot ->
+          if not (is_integer ta.ety) then
+            err ~loc "operand of '~' must be an integer type";
+          let ty = promote ta.ety ta.ety in
+          mk (TUnop (BitNot, coerce ~dst:ty ta)) ty)
+  | ECond (c, a, b) ->
+      let tc = check_expr ctx c in
+      if not (is_boolean tc.ety) then
+        err ~loc "condition of '?:' must be boolean";
+      let ta = check_expr ctx a and tb = check_expr ctx b in
+      let ty =
+        if ty_equal ta.ety tb.ety then ta.ety
+        else if is_numeric ta.ety && is_numeric tb.ety then
+          promote ta.ety tb.ety
+        else if assignable ~dst:ta.ety ~src:tb.ety then ta.ety
+        else if assignable ~dst:tb.ety ~src:ta.ety then tb.ety
+        else
+          err ~loc "branches of '?:' have incompatible types %s and %s"
+            (ty_to_string ta.ety) (ty_to_string tb.ety)
+      in
+      mk (TCond (tc, coerce ~dst:ty ta, coerce ~dst:ty tb)) ty
+  | EIndex (a, i) -> (
+      let ta = check_expr ctx a in
+      let ti = check_expr ctx i in
+      if not (is_integer ti.ety) then err ~loc "array index must be an integer";
+      match ta.ety with
+      | TArray (elem, _) ->
+          mk (TIndex (ta, coerce ~dst:(TPrim PInt) ti)) elem
+      | t -> err ~loc "cannot index a value of type %s" (ty_to_string t))
+  | EField (a, "length") when field_receiver_is_array ctx a ->
+      let ta = check_expr ctx a in
+      mk (TArrayLen ta) (TPrim PInt)
+  | EField (a, fname) -> check_field ctx ~loc a fname
+  | ECall (recv, m, args) -> check_call ctx ~loc recv m args
+  | ELocalCall _ -> err ~loc "internal: ELocalCall in source"
+  | ENewArray (ty, sizes) ->
+      validate_ty ctx.tbl ~loc ty;
+      let rec has_value_dim = function
+        | TArray (_, (DimValUnbounded | DimValBounded _)) -> true
+        | TArray (t, _) -> has_value_dim t
+        | _ -> false
+      in
+      if has_value_dim ty then
+        err ~loc
+          "value arrays must be initialized at construction; use an array \
+           literal, a map over Lime.range, or Lime.toValue";
+      let tsizes =
+        List.map
+          (fun s ->
+            let ts = check_expr ctx s in
+            if not (is_integer ts.ety) then
+              err ~loc "array dimension size must be an integer";
+            coerce ~dst:(TPrim PInt) ts)
+          sizes
+      in
+      if tsizes = [] then
+        err ~loc "array creation requires at least one dimension size";
+      mk (TNewArray (ty, tsizes)) ty
+  | ENewObject (cname, args) ->
+      let targs = List.map (check_expr ctx) args in
+      check_ctor ctx ~loc cname targs;
+      mk (TNewObject (cname, targs)) (TNamed cname)
+  | EArrayLit es ->
+      if es = [] then err ~loc "empty array literals are not supported";
+      let tes = List.map (check_expr ctx) es in
+      let ty =
+        List.fold_left
+          (fun acc (t : texpr) ->
+            if ty_equal acc t.ety then acc
+            else if is_numeric acc && is_numeric t.ety then promote acc t.ety
+            else if assignable ~dst:acc ~src:t.ety then acc
+            else if assignable ~dst:t.ety ~src:acc then t.ety
+            else
+              err ~loc "array literal elements have incompatible types %s/%s"
+                (ty_to_string acc) (ty_to_string t.ety))
+          (List.hd tes).ety tes
+      in
+      let tes = List.map (coerce ~dst:ty) tes in
+      mk (TArrayLit tes) (TArray (ty, DimValBounded (List.length tes)))
+  | ECast (ty, a) ->
+      let ta = check_expr ctx a in
+      (match (ty, ta.ety) with
+      | TPrim _, TPrim _ when is_numeric ty && is_numeric ta.ety -> ()
+      | _ ->
+          err ~loc "only numeric primitive casts are supported (%s from %s)"
+            (ty_to_string ty) (ty_to_string ta.ety));
+      mk (TCast (ty, ta)) ty
+  | EMap (fn, arr) -> check_map ctx ~loc fn arr
+  | EReduce (r, arr) -> check_reduce ctx ~loc r arr
+  | ETask tr -> check_task ctx ~loc tr
+  | EConnect (a, b) -> (
+      let ta = check_expr ctx a and tb = check_expr ctx b in
+      match (ta.ety, tb.ety) with
+      | TTask (i, o1), TTask (i2, o) ->
+          if ty_equal o1 i2 then mk (TConnect (ta, tb)) (TTask (i, o))
+          else
+            err ~loc
+              "connected tasks have mismatched port types: upstream produces \
+               %s but downstream consumes %s"
+              (ty_to_string o1) (ty_to_string i2)
+      | _ ->
+          err ~loc "'=>' expects task operands, found %s and %s"
+            (ty_to_string ta.ety) (ty_to_string tb.ety))
+
+(** Small constant evaluator over typed expressions: integer literals,
+    [static final] int fields with literal-ish initializers, and the basic
+    arithmetic over them.  Used to refine [Lime.range] bounds. *)
+and const_int_of ctx (e : texpr) : int option =
+  match e.te with
+  | TLit (LInt i) -> Some (Int64.to_int i)
+  | TFieldStatic (cls, f) -> (
+      match lookup_field ctx.tbl cls f with
+      | Some fd when is_static fd.f_mods && is_final fd.f_mods -> (
+          match fd.f_init with
+          | Some init -> const_int_of_expr ctx init
+          | None -> None)
+      | _ -> None)
+  | TBinop (op, a, b) -> (
+      match (const_int_of ctx a, const_int_of ctx b) with
+      | Some x, Some y -> (
+          match op with
+          | Add -> Some (x + y)
+          | Sub -> Some (x - y)
+          | Mul -> Some (x * y)
+          | Div when y <> 0 -> Some (x / y)
+          | _ -> None)
+      | _ -> None)
+  | TCast (TPrim PInt, a) -> const_int_of ctx a
+  | _ -> None
+
+and const_int_of_expr ctx (e : expr) : int option =
+  match e.e with
+  | ELit (LInt i) -> Some (Int64.to_int i)
+  | EBinop (op, a, b) -> (
+      match (const_int_of_expr ctx a, const_int_of_expr ctx b) with
+      | Some x, Some y -> (
+          match op with
+          | Add -> Some (x + y)
+          | Sub -> Some (x - y)
+          | Mul -> Some (x * y)
+          | Div when y <> 0 -> Some (x / y)
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+and field_receiver_is_array ctx (a : expr) =
+  match Diag.protect (fun () -> (check_expr { ctx with vars = ctx.vars } a).ety) with
+  | Ok (TArray _) -> true
+  | _ -> false
+
+and check_static_field_read ctx ~loc cls (f : field_decl) =
+  if ctx.in_local && not (is_final f.f_mods) then
+    err ~loc
+      "local method cannot read non-final static field '%s.%s' (isolation)"
+      cls f.f_name
+
+and check_field ctx ~loc (a : expr) fname : texpr =
+  let mk te ety = { te; ety; tloc = loc } in
+  match a.e with
+  | EVar name when lookup_var ctx name = None && lookup_class ctx.tbl name <> None
+    -> (
+      (* Class.field — static access *)
+      match lookup_field ctx.tbl name fname with
+      | Some f when is_static f.f_mods ->
+          check_static_field_read ctx ~loc name f;
+          mk (TFieldStatic (name, fname)) f.f_ty
+      | Some _ -> err ~loc "field '%s.%s' is not static" name fname
+      | None -> err ~loc "unknown field '%s.%s'" name fname)
+  | _ -> (
+      let ta = check_expr ctx a in
+      match ta.ety with
+      | TNamed cname -> (
+          match lookup_field ctx.tbl cname fname with
+          | Some f when not (is_static f.f_mods) ->
+              if ctx.in_local && ta.te <> TThis then
+                err ~loc
+                  "local method may only access fields of its own receiver \
+                   (isolation)";
+              mk (TFieldInstance (ta, fname)) f.f_ty
+          | Some _ ->
+              err ~loc "static field '%s.%s' accessed via an instance" cname
+                fname
+          | None -> err ~loc "unknown field '%s.%s'" cname fname)
+      | t -> err ~loc "cannot access field of type %s" (ty_to_string t))
+
+and check_binop ctx ~loc op a b : texpr =
+  let mk te ety = { te; ety; tloc = loc } in
+  let ta = check_expr ctx a and tb = check_expr ctx b in
+  match op with
+  | Add | Sub | Mul | Div | Mod ->
+      if not (is_numeric ta.ety && is_numeric tb.ety) then
+        err ~loc "operands of '%s' must be numeric (found %s, %s)"
+          (binop_name op) (ty_to_string ta.ety) (ty_to_string tb.ety);
+      let ty = promote ta.ety tb.ety in
+      mk (TBinop (op, coerce ~dst:ty ta, coerce ~dst:ty tb)) ty
+  | Lt | Le | Gt | Ge ->
+      if not (is_numeric ta.ety && is_numeric tb.ety) then
+        err ~loc "operands of '%s' must be numeric" (binop_name op);
+      let ty = promote ta.ety tb.ety in
+      mk (TBinop (op, coerce ~dst:ty ta, coerce ~dst:ty tb)) (TPrim PBoolean)
+  | Eq | Ne ->
+      let ty =
+        if is_numeric ta.ety && is_numeric tb.ety then promote ta.ety tb.ety
+        else if ty_equal ta.ety tb.ety then ta.ety
+        else
+          err ~loc "cannot compare %s with %s" (ty_to_string ta.ety)
+            (ty_to_string tb.ety)
+      in
+      mk (TBinop (op, coerce ~dst:ty ta, coerce ~dst:ty tb)) (TPrim PBoolean)
+  | And | Or ->
+      if not (is_boolean ta.ety && is_boolean tb.ety) then
+        err ~loc "operands of '%s' must be boolean" (binop_name op);
+      mk (TBinop (op, ta, tb)) (TPrim PBoolean)
+  | BitAnd | BitOr | BitXor ->
+      if not (is_integer ta.ety && is_integer tb.ety) then
+        err ~loc "operands of '%s' must be integers" (binop_name op);
+      let ty = promote ta.ety tb.ety in
+      mk (TBinop (op, coerce ~dst:ty ta, coerce ~dst:ty tb)) ty
+  | Shl | Shr | Ushr ->
+      if not (is_integer ta.ety && is_integer tb.ety) then
+        err ~loc "operands of '%s' must be integers" (binop_name op);
+      let ty = promote ta.ety ta.ety in
+      mk (TBinop (op, coerce ~dst:ty ta, coerce ~dst:(TPrim PInt) tb)) ty
+
+and check_ctor ctx ~loc cname (targs : texpr list) =
+  match lookup_class ctx.tbl cname with
+  | None -> err ~loc "unknown class '%s'" cname
+  | Some c -> (
+      match List.find_opt (fun m -> m.m_name = "<init>") c.c_methods with
+      | None ->
+          if targs <> [] then
+            err ~loc "class '%s' has no constructor taking %d argument(s)"
+              cname (List.length targs)
+      | Some ctor ->
+          if List.length ctor.m_params <> List.length targs then
+            err ~loc "constructor '%s' expects %d argument(s), got %d" cname
+              (List.length ctor.m_params)
+              (List.length targs);
+          List.iter2
+            (fun (p : param) (a : texpr) ->
+              require_assignable ~loc ~what:"constructor argument"
+                ~dst:p.p_ty ~src:a.ety)
+            ctor.m_params targs)
+
+and check_call ctx ~loc (recv : expr) mname (args : expr list) : texpr =
+  let mk te ety = { te; ety; tloc = loc } in
+  let targs () = List.map (check_expr ctx) args in
+  let static_call cls =
+    match lookup_method ctx.tbl cls mname with
+    | None -> err ~loc "unknown method '%s.%s'" cls mname
+    | Some m ->
+        if not (is_static m.m_mods) then
+          err ~loc "method '%s.%s' is not static" cls mname;
+        if ctx.in_local && not (is_local m.m_mods) then
+          err ~loc
+            "local method cannot call non-local method '%s.%s' (isolation)"
+            cls mname;
+        let ta = targs () in
+        check_args ~loc cls mname m.m_params ta;
+        mk
+          (TCallStatic (cls, mname, coerce_args m.m_params ta))
+          m.m_ret
+  in
+  let instance_call (tr : texpr) cname =
+    match lookup_method ctx.tbl cname mname with
+    | None -> err ~loc "unknown method '%s.%s'" cname mname
+    | Some m ->
+        if is_static m.m_mods then
+          err ~loc "static method '%s.%s' called via an instance" cname mname;
+        if ctx.in_local && not (is_local m.m_mods) then
+          err ~loc
+            "local method cannot call non-local method '%s.%s' (isolation)"
+            cname mname;
+        if ctx.in_local && tr.te <> TThis then
+          err ~loc
+            "local method may only invoke methods on its own receiver \
+             (isolation)";
+        let ta = targs () in
+        check_args ~loc cname mname m.m_params ta;
+        mk (TCallInstance (tr, mname, coerce_args m.m_params ta)) m.m_ret
+  in
+  match recv.e with
+  | EVar "<this-class>" -> (
+      (* unqualified call *)
+      match lookup_method ctx.tbl ctx.cls mname with
+      | Some m when is_static m.m_mods -> static_call ctx.cls
+      | Some _ ->
+          if ctx.in_static then
+            err ~loc "instance method '%s' called from a static context" mname;
+          instance_call (mk TThis (TNamed ctx.cls)) ctx.cls
+      | None -> err ~loc "unknown method '%s' in class '%s'" mname ctx.cls)
+  | EVar ("Math" as cls) | EVar ("Lime" as cls) when lookup_var ctx cls = None
+    -> (
+      if cls = "Lime" && mname = "toValue" then begin
+        let ta = targs () in
+        let ret = to_value_result ~loc (List.map (fun (t : texpr) -> t.ety) ta) in
+        (* toValue is host-only: it reads a mutable array *)
+        if ctx.in_local then
+          err ~loc "Lime.toValue cannot be used inside a local method";
+        mk (TCallBuiltin (BToValue, ta)) ret
+      end
+      else begin
+        let ta = targs () in
+        let b, ret =
+          resolve_builtin ~loc cls mname (List.map (fun (t : texpr) -> t.ety) ta)
+        in
+        if ctx.in_local && not (builtin_is_local b) then
+          err ~loc "builtin %s.%s cannot be used inside a local method" cls
+            mname;
+        (* Lime.range with a compile-time-constant bound has a *bounded*
+           value-array type, so maps over it build bounded rows — the only
+           way to construct e.g. an int[[64]] procedurally. *)
+        let ret =
+          match (b, ta) with
+          | BRange, [ n ] -> (
+              match const_int_of ctx n with
+              | Some k when k > 0 -> TArray (TPrim PInt, DimValBounded k)
+              | _ -> ret)
+          | _ -> ret
+        in
+        mk (TCallBuiltin (b, ta)) ret
+      end)
+  | EVar name when lookup_var ctx name = None && lookup_class ctx.tbl name <> None
+    ->
+      static_call name
+  | _ -> (
+      let tr = check_expr ctx recv in
+      match tr.ety with
+      | TNamed cname -> instance_call tr cname
+      | TTask (i, o) when mname = "finish" -> (
+          if not (ty_equal i TVoid && ty_equal o TVoid) then
+            err ~loc
+              "finish() requires a complete task graph (source through sink); \
+               this graph has ports %s => %s"
+              (ty_to_string i) (ty_to_string o);
+          match args with
+          | [] -> mk (TFinish (tr, None)) TVoid
+          | [ n ] ->
+              let tn = check_expr ctx n in
+              if not (is_integer tn.ety) then
+                err ~loc "finish(n) expects an integer iteration count";
+              mk (TFinish (tr, Some (coerce ~dst:(TPrim PInt) tn))) TVoid
+          | _ -> err ~loc "finish takes at most one argument")
+      | t -> err ~loc "cannot call method on a value of type %s" (ty_to_string t)
+      )
+
+and check_args ~loc cls mname (params : param list) (targs : texpr list) =
+  if List.length params <> List.length targs then
+    err ~loc "method '%s.%s' expects %d argument(s), got %d" cls mname
+      (List.length params) (List.length targs);
+  List.iter2
+    (fun (p : param) (a : texpr) ->
+      require_assignable ~loc ~what:(Printf.sprintf "argument '%s'" p.p_name)
+        ~dst:p.p_ty ~src:a.ety)
+    params targs
+
+and coerce_args params targs =
+  List.map2 (fun (p : param) a -> coerce ~dst:p.p_ty a) params targs
+
+and check_map ctx ~loc (fn : expr) (arr : expr) : texpr =
+  let mk te ety = { te; ety; tloc = loc } in
+  (* The mapped function: Class.m(captured...) or Class.m (method ref). *)
+  let cls, mname, captured_exprs =
+    match fn.e with
+    | ECall ({ e = EVar "<this-class>"; _ }, m, args) -> (ctx.cls, m, args)
+    | ECall ({ e = EVar c; _ }, m, args) when lookup_class ctx.tbl c <> None ->
+        (c, m, args)
+    | EField ({ e = EVar c; _ }, m) when lookup_class ctx.tbl c <> None ->
+        (c, m, [])
+    | _ ->
+        err ~loc:fn.eloc
+          "the left operand of '@' must be a static method reference or a \
+           partial application Class.method(captured...)"
+  in
+  let m =
+    match lookup_method ctx.tbl cls mname with
+    | Some m -> m
+    | None -> err ~loc "unknown map function '%s.%s'" cls mname
+  in
+  if not (is_static m.m_mods) then
+    err ~loc "map function '%s.%s' must be static" cls mname;
+  if ctx.in_local && not (is_local m.m_mods) then
+    err ~loc "local method cannot map a non-local function (isolation)";
+  if m.m_params = [] then
+    err ~loc "map function '%s.%s' must take at least one parameter" cls mname;
+  if ty_equal m.m_ret TVoid then
+    err ~loc "map function '%s.%s' must return a value" cls mname;
+  let n = List.length m.m_params in
+  let k = List.length captured_exprs in
+  if k <> n - 1 then
+    err ~loc
+      "map partial application of '%s.%s' binds %d of %d parameters; exactly \
+       the final parameter must remain free"
+      cls mname k n;
+  let captured = List.map (check_expr ctx) captured_exprs in
+  let leading = List.filteri (fun i _ -> i < n - 1) m.m_params in
+  check_args ~loc cls mname leading captured;
+  let captured = coerce_args leading captured in
+  let elem_param = (List.nth m.m_params (n - 1)).p_ty in
+  let tarr = check_expr ctx arr in
+  let outer_dim, arr_elem =
+    match tarr.ety with
+    | TArray (elem, d) -> (d, elem)
+    | t -> err ~loc "'@' expects an array operand, found %s" (ty_to_string t)
+  in
+  (match outer_dim with
+  | DimDyn ->
+      err ~loc
+        "'@' requires a value array (immutable); found a mutable array — use \
+         Lime.toValue first"
+  | _ -> ());
+  if not (assignable ~dst:elem_param ~src:arr_elem) then
+    err ~loc "map function parameter has type %s but array elements are %s"
+      (ty_to_string elem_param) (ty_to_string arr_elem);
+  let parallel =
+    is_local m.m_mods
+    && List.for_all (fun (p : param) -> is_value_ty ctx.tbl p.p_ty) m.m_params
+    && is_value_ty ctx.tbl m.m_ret
+  in
+  let info =
+    {
+      mi_class = cls;
+      mi_method = mname;
+      mi_elem_ty = elem_param;
+      mi_ret_ty = m.m_ret;
+      mi_parallel = parallel;
+    }
+  in
+  mk (TMap (info, captured, tarr)) (TArray (m.m_ret, outer_dim))
+
+and check_reduce ctx ~loc (r : reducer) (arr : expr) : texpr =
+  let mk te ety = { te; ety; tloc = loc } in
+  let tarr = check_expr ctx arr in
+  let elem =
+    match tarr.ety with
+    | TArray (elem, (DimValBounded _ | DimValUnbounded)) -> elem
+    | TArray (_, DimDyn) ->
+        err ~loc "'!' (reduce) requires a value array (immutable)"
+    | t -> err ~loc "'!' expects an array operand, found %s" (ty_to_string t)
+  in
+  let op =
+    match r with
+    | RBinop op ->
+        (match op with
+        | Add | Mul ->
+            if not (is_numeric elem) then
+              err ~loc "reduction '%s!' requires numeric elements"
+                (binop_name op)
+        | BitAnd | BitOr | BitXor ->
+            if not (is_integer elem) then
+              err ~loc "reduction '%s!' requires integer elements"
+                (binop_name op)
+        | _ -> err ~loc "operator '%s' cannot be used as a reduction"
+                 (binop_name op));
+        RO_Binop op
+    | RMethod ("Math", "min") -> RO_Builtin BMin
+    | RMethod ("Math", "max") -> RO_Builtin BMax
+    | RMethod (cls, mname) -> (
+        match lookup_method ctx.tbl cls mname with
+        | None -> err ~loc "unknown reduction method '%s.%s'" cls mname
+        | Some m ->
+            if not (is_static m.m_mods && is_local m.m_mods) then
+              err ~loc "reduction method '%s.%s' must be static and local" cls
+                mname;
+            (match m.m_params with
+            | [ p1; p2 ]
+              when ty_equal p1.p_ty p2.p_ty && ty_equal m.m_ret p1.p_ty ->
+                if not (ty_equal p1.p_ty elem) then
+                  err ~loc
+                    "reduction method combines %s but array elements are %s"
+                    (ty_to_string p1.p_ty) (ty_to_string elem)
+            | _ ->
+                err ~loc
+                  "a reduction method must have signature (t, t) -> t");
+            RO_Method (cls, mname))
+  in
+  mk (TReduce ({ ri_op = op; ri_elem_ty = elem }, tarr)) elem
+
+and check_task ctx ~loc (tr : task_ref) : texpr =
+  let mk te ety = { te; ety; tloc = loc } in
+  let m =
+    match lookup_method ctx.tbl tr.tr_class tr.tr_method with
+    | Some m -> m
+    | None -> err ~loc "unknown worker method '%s.%s'" tr.tr_class tr.tr_method
+  in
+  if m.m_name = "<init>" then err ~loc "a constructor cannot be a worker";
+  let ctor_args =
+    match tr.tr_ctor_args with
+    | None ->
+        if not (is_static m.m_mods) then
+          err ~loc
+            "worker '%s.%s' is an instance method; use task %s(...).%s to \
+             create the worker instance"
+            tr.tr_class tr.tr_method tr.tr_class tr.tr_method;
+        None
+    | Some args ->
+        if is_static m.m_mods then
+          err ~loc
+            "worker '%s.%s' is static; instance creation arguments are not \
+             allowed"
+            tr.tr_class tr.tr_method;
+        let targs = List.map (check_expr ctx) args in
+        check_ctor ctx ~loc tr.tr_class targs;
+        Some targs
+  in
+  let input =
+    match m.m_params with
+    | [] -> TVoid
+    | [ p ] -> p.p_ty
+    | _ ->
+        err ~loc "worker '%s.%s' must take at most one input parameter"
+          tr.tr_class tr.tr_method
+  in
+  let output = m.m_ret in
+  let port_ok t = ty_equal t TVoid || is_value_ty ctx.tbl t in
+  let isolated = is_local m.m_mods && port_ok input && port_ok output in
+  mk
+    (TTaskE
+       {
+         tt_class = tr.tr_class;
+         tt_ctor_args = ctor_args;
+         tt_method = tr.tr_method;
+         tt_input = input;
+         tt_output = output;
+         tt_isolated = isolated;
+       })
+    (TTask (input, output))
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec check_lvalue ctx (e : expr) : tlvalue =
+  let loc = e.eloc in
+  match e.e with
+  | EVar name -> (
+      match lookup_var ctx name with
+      | Some ty -> LVar (name, ty)
+      | None -> (
+          match lookup_field ctx.tbl ctx.cls name with
+          | Some f when is_static f.f_mods ->
+              check_static_field_write ctx ~loc ctx.cls f;
+              LFieldStatic (ctx.cls, name, f.f_ty)
+          | Some f ->
+              if ctx.in_static then
+                err ~loc "instance field '%s' assigned from a static method"
+                  name;
+              check_instance_field_write ctx ~loc ctx.cls f;
+              LFieldInstance
+                ({ te = TThis; ety = TNamed ctx.cls; tloc = loc }, name, f.f_ty)
+          | None -> err ~loc "unknown variable '%s'" name))
+  | EIndex (a, i) -> (
+      let ta = check_expr ctx a in
+      let ti = check_expr ctx i in
+      if not (is_integer ti.ety) then err ~loc "array index must be an integer";
+      match ta.ety with
+      | TArray (elem, DimDyn) ->
+          LIndex (ta, coerce ~dst:(TPrim PInt) ti, elem)
+      | TArray (_, (DimValBounded _ | DimValUnbounded)) ->
+          err ~loc "value arrays are deeply immutable; elements cannot be \
+                    assigned"
+      | t -> err ~loc "cannot index a value of type %s" (ty_to_string t))
+  | EField ({ e = EVar cname; _ }, fname)
+    when lookup_var ctx cname = None && lookup_class ctx.tbl cname <> None -> (
+      match lookup_field ctx.tbl cname fname with
+      | Some f when is_static f.f_mods ->
+          check_static_field_write ctx ~loc cname f;
+          LFieldStatic (cname, fname, f.f_ty)
+      | Some _ -> err ~loc "field '%s.%s' is not static" cname fname
+      | None -> err ~loc "unknown field '%s.%s'" cname fname)
+  | EField (a, fname) -> (
+      let ta = check_expr ctx a in
+      match ta.ety with
+      | TNamed cname -> (
+          match lookup_field ctx.tbl cname fname with
+          | Some f when not (is_static f.f_mods) ->
+              if ctx.in_local && ta.te <> TThis then
+                err ~loc
+                  "local method may only assign fields of its own receiver \
+                   (isolation)";
+              check_instance_field_write ctx ~loc cname f;
+              LFieldInstance (ta, fname, f.f_ty)
+          | Some _ ->
+              err ~loc "static field '%s.%s' assigned via an instance" cname
+                fname
+          | None -> err ~loc "unknown field '%s.%s'" cname fname)
+      | t -> err ~loc "cannot assign a field of type %s" (ty_to_string t))
+  | _ -> err ~loc "invalid assignment target"
+
+and check_static_field_write ctx ~loc cls (f : field_decl) =
+  if ctx.in_local then
+    err ~loc "local method cannot write static field '%s.%s' (isolation)" cls
+      f.f_name;
+  if is_final f.f_mods then
+    err ~loc "cannot assign final field '%s.%s'" cls f.f_name
+
+and check_instance_field_write ctx ~loc cls (f : field_decl) =
+  let c = Option.get (lookup_class ctx.tbl cls) in
+  if c.c_value then
+    err ~loc "fields of value class '%s' are immutable" cls;
+  if is_final f.f_mods && not ctx.in_ctor then
+    err ~loc "final field '%s.%s' can only be assigned in a constructor" cls
+      f.f_name
+
+let lvalue_ty = function
+  | LVar (_, t) | LIndex (_, _, t) | LFieldStatic (_, _, t)
+  | LFieldInstance (_, _, t) ->
+      t
+
+let rec check_stmt ctx (st : stmt) : tstmt =
+  let loc = st.sloc in
+  let mks ts = { ts; tsloc = loc } in
+  match st.s with
+  | SVarDecl (ty, name, init) ->
+      validate_ty ctx.tbl ~loc ty;
+      if ty_equal ty TVoid then err ~loc "variables cannot have type void";
+      let tinit =
+        match init with
+        | None -> None
+        | Some e ->
+            let te = check_expr ctx e in
+            (* Allow 'var'-free inference for task graphs is not needed:
+               task-typed variables are declared with a class placeholder.
+               Instead, permit declarations whose declared type is a task
+               placeholder class named "Task". *)
+            require_assignable ~loc
+              ~what:(Printf.sprintf "initializer of '%s'" name)
+              ~dst:ty ~src:te.ety;
+            Some (coerce ~dst:ty te)
+      in
+      declare ctx ~loc name ty;
+      mks (TSVarDecl (ty, name, tinit))
+  | SAssign (l, r) ->
+      let tl = check_lvalue ctx l in
+      let tr = check_expr ctx r in
+      require_assignable ~loc ~what:"assignment" ~dst:(lvalue_ty tl)
+        ~src:tr.ety;
+      mks (TSAssign (tl, coerce ~dst:(lvalue_ty tl) tr))
+  | SIf (c, a, b) ->
+      let tc = check_expr ctx c in
+      if not (is_boolean tc.ety) then err ~loc "if condition must be boolean";
+      let ta = check_in_scope ctx a in
+      let tb = Option.map (check_in_scope ctx) b in
+      mks (TSIf (tc, ta, tb))
+  | SWhile (c, b) ->
+      let tc = check_expr ctx c in
+      if not (is_boolean tc.ety) then
+        err ~loc "while condition must be boolean";
+      mks (TSWhile (tc, check_in_scope ctx b))
+  | SFor (init, cond, step, body) ->
+      push_scope ctx;
+      let tinit = Option.map (check_stmt ctx) init in
+      let tcond =
+        Option.map
+          (fun c ->
+            let tc = check_expr ctx c in
+            if not (is_boolean tc.ety) then
+              err ~loc "for condition must be boolean";
+            tc)
+          cond
+      in
+      let tstep = Option.map (check_stmt ctx) step in
+      let tbody = check_in_scope ctx body in
+      pop_scope ctx;
+      mks (TSFor (tinit, tcond, tstep, tbody))
+  | SReturn None ->
+      if not (ty_equal ctx.ret TVoid) then
+        err ~loc "non-void method must return a value of type %s"
+          (ty_to_string ctx.ret);
+      mks (TSReturn None)
+  | SReturn (Some e) ->
+      if ty_equal ctx.ret TVoid then
+        err ~loc "void method cannot return a value";
+      let te = check_expr ctx e in
+      require_assignable ~loc ~what:"return value" ~dst:ctx.ret ~src:te.ety;
+      mks (TSReturn (Some (coerce ~dst:ctx.ret te)))
+  | SExpr e -> mks (TSExpr (check_expr ctx e))
+  | SBlock body ->
+      push_scope ctx;
+      let tbody = List.map (check_stmt ctx) body in
+      pop_scope ctx;
+      mks (TSBlock tbody)
+  | SBreak -> mks TSBreak
+  | SContinue -> mks TSContinue
+
+and check_in_scope ctx st =
+  push_scope ctx;
+  let t = check_stmt ctx st in
+  pop_scope ctx;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Return-path analysis                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Conservative: does execution of [st] always return? *)
+let rec always_returns (st : tstmt) =
+  match st.ts with
+  | TSReturn _ -> true
+  | TSBlock body -> List.exists always_returns body
+  | TSIf (_, a, Some b) -> always_returns a && always_returns b
+  | TSWhile ({ te = TLit (LBool true); _ }, _) -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let check_method tbl (c : class_decl) (m : method_decl) : tmethod =
+  let loc = m.m_loc in
+  List.iter (fun (p : param) -> validate_ty tbl ~loc:p.p_loc p.p_ty) m.m_params;
+  (match m.m_ret with TVoid -> () | t -> validate_ty tbl ~loc t);
+  if is_local m.m_mods && not (is_static m.m_mods) && c.c_value then
+    err ~loc "value classes cannot declare instance workers";
+  let ctx =
+    {
+      tbl;
+      cls = c.c_name;
+      in_static = is_static m.m_mods;
+      in_local = is_local m.m_mods;
+      in_ctor = m.m_name = "<init>";
+      ret = m.m_ret;
+      vars = [ [] ];
+    }
+  in
+  (* Parameters of local methods must be value types (paper §3.1): data
+     exchanged with an isolated worker cannot mutate in flight. *)
+  List.iter
+    (fun (p : param) ->
+      if ty_equal p.p_ty TVoid then
+        err ~loc:p.p_loc "parameter '%s' cannot have type void" p.p_name;
+      if List.mem_assoc p.p_name (List.hd ctx.vars) then
+        err ~loc:p.p_loc "duplicate parameter '%s'" p.p_name;
+      if ctx.in_local && not (is_value_ty tbl p.p_ty) then
+        err ~loc:p.p_loc
+          "parameter '%s' of local method '%s.%s' must be a value type"
+          p.p_name c.c_name m.m_name;
+      declare ctx ~loc:p.p_loc p.p_name p.p_ty)
+    m.m_params;
+  if ctx.in_local && not (ty_equal m.m_ret TVoid) && not (is_value_ty tbl m.m_ret)
+  then
+    err ~loc "local method '%s.%s' must return a value type" c.c_name m.m_name;
+  let body = List.map (check_stmt ctx) m.m_body in
+  if (not (ty_equal m.m_ret TVoid)) && not (List.exists always_returns body)
+  then
+    err ~loc "method '%s.%s' may complete without returning a value" c.c_name
+      m.m_name;
+  {
+    tm_class = c.c_name;
+    tm_name = m.m_name;
+    tm_mods = m.m_mods;
+    tm_params = List.map (fun (p : param) -> (p.p_name, p.p_ty)) m.m_params;
+    tm_ret = m.m_ret;
+    tm_body = body;
+    tm_loc = loc;
+  }
+
+let check_field_decl tbl (c : class_decl) (f : field_decl) : tfield =
+  let loc = f.f_loc in
+  validate_ty tbl ~loc f.f_ty;
+  if ty_equal f.f_ty TVoid then err ~loc "fields cannot have type void";
+  if c.c_value && not (is_final f.f_mods) then
+    err ~loc "field '%s' of value class '%s' must be final" f.f_name c.c_name;
+  if c.c_value && not (is_value_ty tbl f.f_ty) then
+    err ~loc "field '%s' of value class '%s' must have a value type" f.f_name
+      c.c_name;
+  let ctx =
+    {
+      tbl;
+      cls = c.c_name;
+      in_static = is_static f.f_mods;
+      in_local = false;
+      in_ctor = false;
+      ret = TVoid;
+      vars = [ [] ];
+    }
+  in
+  let tinit =
+    match f.f_init with
+    | None ->
+        if is_final f.f_mods && is_static f.f_mods then
+          err ~loc "static final field '%s.%s' requires an initializer"
+            c.c_name f.f_name;
+        None
+    | Some e ->
+        let te = check_expr ctx e in
+        require_assignable ~loc
+          ~what:(Printf.sprintf "initializer of field '%s'" f.f_name)
+          ~dst:f.f_ty ~src:te.ety;
+        Some (coerce ~dst:f.f_ty te)
+  in
+  {
+    tf_class = c.c_name;
+    tf_name = f.f_name;
+    tf_mods = f.f_mods;
+    tf_ty = f.f_ty;
+    tf_init = tinit;
+    tf_loc = loc;
+  }
+
+let check_class tbl (c : class_decl) : tclass =
+  (* duplicate member detection *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (f : field_decl) ->
+      if Hashtbl.mem seen f.f_name then
+        err ~loc:f.f_loc "duplicate field '%s.%s'" c.c_name f.f_name;
+      Hashtbl.add seen f.f_name ())
+    c.c_fields;
+  let seen_m = Hashtbl.create 8 in
+  List.iter
+    (fun (m : method_decl) ->
+      if Hashtbl.mem seen_m m.m_name then
+        err ~loc:m.m_loc "duplicate method '%s.%s' (no overloading)" c.c_name
+          m.m_name;
+      Hashtbl.add seen_m m.m_name ())
+    c.c_methods;
+  (match List.find_opt (fun m -> m.m_name = "<init>") c.c_methods with
+  | Some ctor when is_static ctor.m_mods ->
+      err ~loc:ctor.m_loc "constructors cannot be static"
+  | _ -> ());
+  {
+    tc_name = c.c_name;
+    tc_value = c.c_value;
+    tc_fields = List.map (check_field_decl tbl c) c.c_fields;
+    tc_methods = List.map (check_method tbl c) c.c_methods;
+  }
+
+(** Type check a whole program. *)
+let check_program (p : program) : tprogram =
+  let tbl = build_class_table p in
+  { tp_classes = List.map (check_class tbl) p }
+
+(** Convenience: parse and check a source string. *)
+let check_string ?name src =
+  check_program (Lime_frontend.Parser.program_of_string ?name src)

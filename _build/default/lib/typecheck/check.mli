@@ -1,0 +1,14 @@
+(** Type checker for the Lime subset.
+
+    Enforces the invariants the paper's compiler exploits (§3, §4.1): deep
+    immutability of [value] types, [local]-method isolation, task/connect
+    port typing, and the map/reduce rules — recording on each typed node
+    whether a map is provably data-parallel and whether a task is an
+    isolated filter.  See the implementation header for the full rule
+    list; every rule has accept/reject tests. *)
+
+val check_program : Lime_frontend.Ast.program -> Tast.tprogram
+(** Raises {!Lime_support.Diag.Error_exn} on the first type error. *)
+
+val check_string : ?name:string -> string -> Tast.tprogram
+(** Parse and check a source string. *)

@@ -1,0 +1,212 @@
+(** Typed abstract syntax, produced by the {!Check} pass.
+
+    Every expression carries its resolved type; calls are resolved to static,
+    instance or builtin targets; map and reduce carry the information the
+    kernel identifier (lib/core) needs: whether the mapped function is a
+    static [local] method over value arguments, making the map provably
+    data-parallel without alias analysis (paper §4.1). *)
+
+open Lime_support
+open Lime_frontend.Ast
+
+(** Built-in methods.  [Math.*] and [Lime.range] are [local] (callable from
+    kernels); [Lime.print]/[Lime.printString] are host-only. *)
+type builtin =
+  | BSqrt | BSin | BCos | BTan | BExp | BLog | BPow | BAtan2
+  | BAbs | BMin | BMax | BFloor | BCeil | BRsqrt
+  | BRange  (** [Lime.range n : int[[]]] = [{0, 1, ..., n-1}] *)
+  | BToValue
+      (** [Lime.toValue arr]: copying conversion from a mutable array of
+          primitives to the corresponding value array (Java interop) *)
+  | BPrint  (** host-only debug printing *)
+
+let builtin_is_local = function BPrint | BToValue -> false | _ -> true
+
+let builtin_name = function
+  | BSqrt -> "sqrt" | BSin -> "sin" | BCos -> "cos" | BTan -> "tan"
+  | BExp -> "exp" | BLog -> "log" | BPow -> "pow" | BAtan2 -> "atan2"
+  | BAbs -> "abs" | BMin -> "min" | BMax -> "max"
+  | BFloor -> "floor" | BCeil -> "ceil" | BRsqrt -> "rsqrt"
+  | BRange -> "range" | BToValue -> "toValue" | BPrint -> "print"
+
+(** Resolved task reference. *)
+type ttask_ref = {
+  tt_class : string;
+  tt_ctor_args : texpr list option;  (** [Some] = stateful instance worker *)
+  tt_method : string;
+  tt_input : ty;  (** [TVoid] for sources *)
+  tt_output : ty;  (** [TVoid] for sinks *)
+  tt_isolated : bool;
+      (** true iff the worker is [local] with value-typed ports — a
+          *filter*, eligible for offload (paper §4.1) *)
+}
+
+and texpr = { te : tekind; ety : ty; tloc : Loc.t }
+
+and tekind =
+  | TLit of lit
+  | TLocal of string  (** local variable or parameter *)
+  | TThis
+  | TBinop of binop * texpr * texpr
+  | TUnop of unop * texpr
+  | TCond of texpr * texpr * texpr
+  | TIndex of texpr * texpr
+  | TArrayLen of texpr  (** [arr.length] *)
+  | TFieldStatic of string * string
+  | TFieldInstance of texpr * string
+  | TCallStatic of string * string * texpr list
+  | TCallInstance of texpr * string * texpr list
+  | TCallBuiltin of builtin * texpr list
+  | TNewArray of ty * texpr list  (** sizes of the leading dimensions *)
+  | TNewObject of string * texpr list
+  | TArrayLit of texpr list
+  | TCast of ty * texpr
+  | TMap of map_info * texpr list * texpr
+      (** [TMap (info, captured, arr)]: apply [info] to each element of
+          [arr] with [captured] bound to the leading parameters *)
+  | TReduce of red_info * texpr
+  | TTaskE of ttask_ref
+  | TConnect of texpr * texpr
+  | TFinish of texpr * texpr option  (** [graph.finish()] / [finish(n)] *)
+
+and map_info = {
+  mi_class : string;
+  mi_method : string;
+  mi_elem_ty : ty;  (** type of the element parameter (the last one) *)
+  mi_ret_ty : ty;
+  mi_parallel : bool;
+      (** the invariants of §4.1 hold: static, local, value-typed args *)
+}
+
+and red_info = { ri_op : red_op; ri_elem_ty : ty }
+
+and red_op =
+  | RO_Binop of binop
+  | RO_Method of string * string  (** class, method — e.g. Math.max *)
+  | RO_Builtin of builtin  (** Math.min / Math.max as combinators *)
+
+type tstmt = { ts : tskind; tsloc : Loc.t }
+
+and tskind =
+  | TSVarDecl of ty * string * texpr option
+  | TSAssign of tlvalue * texpr
+  | TSIf of texpr * tstmt * tstmt option
+  | TSWhile of texpr * tstmt
+  | TSFor of tstmt option * texpr option * tstmt option * tstmt
+  | TSReturn of texpr option
+  | TSExpr of texpr
+  | TSBlock of tstmt list
+  | TSBreak
+  | TSContinue
+
+and tlvalue =
+  | LVar of string * ty
+  | LIndex of texpr * texpr * ty  (** array, index, element type *)
+  | LFieldStatic of string * string * ty
+  | LFieldInstance of texpr * string * ty
+
+type tmethod = {
+  tm_class : string;
+  tm_name : string;
+  tm_mods : modifier list;
+  tm_params : (string * ty) list;
+  tm_ret : ty;
+  tm_body : tstmt list;
+  tm_loc : Loc.t;
+}
+
+type tfield = {
+  tf_class : string;
+  tf_name : string;
+  tf_mods : modifier list;
+  tf_ty : ty;
+  tf_init : texpr option;
+  tf_loc : Loc.t;
+}
+
+type tclass = {
+  tc_name : string;
+  tc_value : bool;
+  tc_fields : tfield list;
+  tc_methods : tmethod list;
+}
+
+type tprogram = {
+  tp_classes : tclass list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Lookup helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let find_class p name = List.find_opt (fun c -> c.tc_name = name) p.tp_classes
+
+let find_method p cls name =
+  match find_class p cls with
+  | None -> None
+  | Some c -> List.find_opt (fun m -> m.tm_name = name) c.tc_methods
+
+let find_field p cls name =
+  match find_class p cls with
+  | None -> None
+  | Some c -> List.find_opt (fun f -> f.tf_name = name) c.tc_fields
+
+let method_is_local (m : tmethod) = is_local m.tm_mods
+let method_is_static (m : tmethod) = is_static m.tm_mods
+
+(* ------------------------------------------------------------------ *)
+(* Traversal helpers used by later passes                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Fold over all sub-expressions of [e], including [e] itself. *)
+let rec fold_expr f acc e =
+  let acc = f acc e in
+  match e.te with
+  | TLit _ | TLocal _ | TThis | TFieldStatic _ -> acc
+  | TBinop (_, a, b) | TConnect (a, b) -> fold_expr f (fold_expr f acc a) b
+  | TUnop (_, a) | TCast (_, a) | TArrayLen a | TFieldInstance (a, _) ->
+      fold_expr f acc a
+  | TCond (a, b, c) -> fold_expr f (fold_expr f (fold_expr f acc a) b) c
+  | TIndex (a, i) -> fold_expr f (fold_expr f acc a) i
+  | TCallStatic (_, _, args) | TCallBuiltin (_, args) | TNewObject (_, args)
+  | TNewArray (_, args) | TArrayLit args ->
+      List.fold_left (fold_expr f) acc args
+  | TCallInstance (r, _, args) ->
+      List.fold_left (fold_expr f) (fold_expr f acc r) args
+  | TMap (_, captured, arr) ->
+      fold_expr f (List.fold_left (fold_expr f) acc captured) arr
+  | TReduce (_, arr) -> fold_expr f acc arr
+  | TTaskE tr -> (
+      match tr.tt_ctor_args with
+      | None -> acc
+      | Some args -> List.fold_left (fold_expr f) acc args)
+  | TFinish (g, n) -> (
+      let acc = fold_expr f acc g in
+      match n with None -> acc | Some n -> fold_expr f acc n)
+
+(** Fold over all statements and expressions of a statement tree. *)
+let rec fold_stmt ~stmt ~expr acc st =
+  let acc = stmt acc st in
+  let fe = fold_expr expr in
+  match st.ts with
+  | TSVarDecl (_, _, None) | TSBreak | TSContinue | TSReturn None -> acc
+  | TSVarDecl (_, _, Some e) | TSReturn (Some e) | TSExpr e -> fe acc e
+  | TSAssign (lv, e) ->
+      let acc =
+        match lv with
+        | LVar _ -> acc
+        | LIndex (a, i, _) -> fe (fe acc a) i
+        | LFieldStatic _ -> acc
+        | LFieldInstance (r, _, _) -> fe acc r
+      in
+      fe acc e
+  | TSIf (c, a, b) -> (
+      let acc = fold_stmt ~stmt ~expr (fe acc c) a in
+      match b with None -> acc | Some b -> fold_stmt ~stmt ~expr acc b)
+  | TSWhile (c, b) -> fold_stmt ~stmt ~expr (fe acc c) b
+  | TSFor (i, c, s, b) ->
+      let acc = match i with None -> acc | Some i -> fold_stmt ~stmt ~expr acc i in
+      let acc = match c with None -> acc | Some c -> fe acc c in
+      let acc = match s with None -> acc | Some s -> fold_stmt ~stmt ~expr acc s in
+      fold_stmt ~stmt ~expr acc b
+  | TSBlock body -> List.fold_left (fold_stmt ~stmt ~expr) acc body

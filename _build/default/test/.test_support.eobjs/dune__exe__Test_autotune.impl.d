@@ -1,0 +1,1 @@
+test/test_autotune.ml: Alcotest Gpusim Lime_benchmarks Lime_gpu Lime_runtime Lime_support List

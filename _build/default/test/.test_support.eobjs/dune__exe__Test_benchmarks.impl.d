@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Lime_benchmarks Lime_gpu Lime_ir Lime_support List Option Printf String

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Gpusim Hashtbl Lime_benchmarks Lime_gpu Lime_ir Lime_runtime List String

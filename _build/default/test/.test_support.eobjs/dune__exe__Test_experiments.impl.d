@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Float Gpusim Lazy Lime_benchmarks Lime_runtime Lime_support List Printf

@@ -1,0 +1,1 @@
+test/test_fuzz_kernels.ml: Alcotest Array Float Lime_gpu Lime_ir Lime_support List Printf

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Int32 Int64 Lime_ir Lime_support Lime_typecheck

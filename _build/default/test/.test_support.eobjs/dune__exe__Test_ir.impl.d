@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Lime_ir Lime_support Lime_typecheck List Option

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Lime_gpu Lime_ir Lime_support Lime_typecheck List Option

@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Fmt Int64 Lexer Lime_frontend Lime_support List Token

@@ -1,0 +1,1 @@
+test/test_lime_examples.ml: Alcotest Array Filename In_channel Lime_gpu Lime_ir Lime_runtime List Sys

@@ -1,0 +1,1 @@
+test/test_lime_examples.mli:

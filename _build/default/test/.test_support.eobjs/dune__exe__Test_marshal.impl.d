@@ -1,0 +1,1 @@
+test/test_marshal.ml: Alcotest Array Bytes Hashtbl Int64 Lime_ir Lime_runtime List Printf

@@ -1,0 +1,1 @@
+test/test_memopt.ml: Alcotest Lime_gpu Lime_ir Lime_typecheck List

@@ -1,0 +1,1 @@
+test/test_model_properties.ml: Alcotest Array Gpusim Lazy Lime_benchmarks Lime_gpu Lime_ir Lime_runtime Lime_typecheck List Printf Unix

@@ -1,0 +1,1 @@
+test/test_opencl.ml: Alcotest Lime_benchmarks Lime_gpu Lime_support List Printf String

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Lime_frontend Lime_support List Parser

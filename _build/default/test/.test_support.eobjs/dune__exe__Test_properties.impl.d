@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Bytes Float Gen Gpusim Int32 Lazy Lime_benchmarks Lime_frontend Lime_gpu Lime_ir Lime_runtime Lime_support List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Array Bytes Gpusim Lime_benchmarks Lime_gpu Lime_ir Lime_runtime List

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Int32 Int64 Lime_ir Lime_typecheck List Printf String

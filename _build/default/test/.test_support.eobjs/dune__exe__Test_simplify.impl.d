@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Gpusim Lime_benchmarks Lime_gpu Lime_ir Lime_runtime Lime_typecheck List

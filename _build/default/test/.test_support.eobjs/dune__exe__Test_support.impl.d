@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Diag Fun Lime_support List Loc Prng Util

@@ -1,0 +1,1 @@
+test/test_taint.ml: Alcotest Hashtbl Lime_gpu Lime_ir Lime_support Lime_typecheck List

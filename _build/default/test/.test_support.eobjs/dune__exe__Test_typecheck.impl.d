@@ -1,0 +1,1 @@
+test/test_typecheck.ml: Alcotest Check Lime_support Lime_typecheck List Option Printf Tast

@@ -1,0 +1,167 @@
+(* Integration tests over the nine Table 3 benchmarks: compilation through
+   the full pipeline, differential testing against independent OCaml
+   reference implementations, placement expectations, and placement
+   independence of results. *)
+
+module Ir = Lime_ir.Ir
+module V = Lime_ir.Value
+module B = Lime_benchmarks.Bench_def
+module R = Lime_benchmarks.Registry
+module Memopt = Lime_gpu.Memopt
+
+let split_worker (b : B.t) =
+  match String.split_on_char '.' b.B.worker with
+  | [ c; m ] -> (c, m)
+  | _ -> assert false
+
+let run_kernel (b : B.t) input =
+  let c = R.compile_small b in
+  let st = Lime_ir.Interp.create c.Lime_gpu.Pipeline.cp_module in
+  let cls, meth = split_worker b in
+  Lime_ir.Interp.run st ~cls ~meth [ input ]
+
+let test_suite_complete () =
+  Alcotest.(check int) "nine benchmarks" 9 (List.length R.all);
+  Alcotest.(check int) "five in Fig 8" 5 (List.length R.fig8);
+  (* the Table 3 names *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " present") true (R.find name <> None))
+    [
+      "N-Body (Single)"; "N-Body (Double)"; "Mosaic"; "Parboil-CP";
+      "Parboil-MRIQ"; "Parboil-RPES"; "JG-Crypt"; "JG-Series (Single)";
+      "JG-Series (Double)";
+    ]
+
+let differential (b : B.t) () =
+  let input = b.B.input_small () in
+  let got = run_kernel b input in
+  let want = b.B.reference input in
+  if not (V.approx_equal ~rtol:2e-4 ~atol:1e-5 got want) then
+    Alcotest.failf "%s: kernel result differs from the reference" b.B.name
+
+let compiles_at_paper_scale (b : B.t) () =
+  let c = R.compile b in
+  Alcotest.(check bool) "kernel is parallel" true
+    c.Lime_gpu.Pipeline.cp_kernel.Lime_gpu.Kernel.k_parallel;
+  Alcotest.(check bool) "OpenCL generated" true
+    (Lime_support.Util.contains_substring ~sub:"__kernel"
+       c.Lime_gpu.Pipeline.cp_opencl)
+
+let test_input_determinism () =
+  List.iter
+    (fun (b : B.t) ->
+      let a = b.B.input_small ~seed:9 () in
+      let c = b.B.input_small ~seed:9 () in
+      Alcotest.(check bool) (b.B.name ^ " inputs deterministic") true
+        (V.approx_equal ~rtol:0.0 ~atol:0.0 a c))
+    R.all
+
+let test_placement_expectations () =
+  let placement (b : B.t) array =
+    let c = R.compile b in
+    (Memopt.placement_for c.Lime_gpu.Pipeline.cp_decisions array).Ir.space
+  in
+  (* the best configs reproduce the paper's per-benchmark winners *)
+  Alcotest.(check string) "N-Body particles in local" "local"
+    (Ir.mem_space_name (placement Lime_benchmarks.Nbody.single "particles"));
+  Alcotest.(check string) "CP atoms in constant" "constant"
+    (Ir.mem_space_name (placement Lime_benchmarks.Cp.bench "atoms"));
+  Alcotest.(check string) "MRIQ k-data in constant" "constant"
+    (Ir.mem_space_name (placement Lime_benchmarks.Mriq.bench "kdata"));
+  Alcotest.(check string) "RPES shells in image" "image"
+    (Ir.mem_space_name (placement Lime_benchmarks.Rpes.bench "shells"));
+  Alcotest.(check string) "Mosaic tiles in local" "local"
+    (Ir.mem_space_name (placement Lime_benchmarks.Mosaic.bench "packed"))
+
+let test_cp_constant_fits () =
+  (* the CP atoms array must actually fit the 64KB constant budget, like
+     the real Parboil-CP dataset (62KB) *)
+  let input = Lime_benchmarks.Cp.bench.B.input () in
+  match input with
+  | V.VArr a ->
+      let bytes = V.total_bytes a in
+      Alcotest.(check bool)
+        (Printf.sprintf "atoms %dB <= 64KB" bytes)
+        true (bytes <= 65536)
+  | _ -> Alcotest.fail "expected array"
+
+let test_placement_independence (b : B.t) () =
+  (* results cannot depend on the memory configuration: the optimizer only
+     annotates placements *)
+  let input = b.B.input_small () in
+  let base = run_kernel b input in
+  List.iter
+    (fun (_, cfg) ->
+      let c = R.compile_small ~config:cfg b in
+      let st = Lime_ir.Interp.create c.Lime_gpu.Pipeline.cp_module in
+      let cls, meth = split_worker b in
+      let got = Lime_ir.Interp.run st ~cls ~meth [ input ] in
+      Alcotest.(check bool) "identical across configs" true
+        (V.approx_equal ~rtol:0.0 ~atol:0.0 base got))
+    Memopt.fig8_configs
+
+let test_uses_reduce () =
+  (* Mosaic's kernel must contain a real reduction (map-and-reduce) *)
+  let c = R.compile Lime_benchmarks.Mosaic.bench in
+  let reduces = ref 0 in
+  List.iter
+    (Ir.iter_stmt
+       ~stmt:(fun s -> match s with Ir.SReduce _ -> incr reduces | _ -> ())
+       ~expr:(fun _ -> ()))
+    c.Lime_gpu.Pipeline.cp_kernel.Lime_gpu.Kernel.k_body;
+  Alcotest.(check bool) "reduce present" true (!reduces >= 1)
+
+let test_doubles_flagged () =
+  let check (b : B.t) expected =
+    let c = R.compile b in
+    Alcotest.(check bool)
+      (b.B.name ^ " double flag")
+      expected c.Lime_gpu.Pipeline.cp_kernel.Lime_gpu.Kernel.k_uses_double
+  in
+  check Lime_benchmarks.Nbody.single false;
+  check Lime_benchmarks.Nbody.double true;
+  check Lime_benchmarks.Series.double true;
+  check Lime_benchmarks.Crypt.bench false
+
+let test_table3_datatypes () =
+  let dt name =
+    (Option.get (R.find name)).B.datatype
+  in
+  Alcotest.(check string) "crypt bytes" "Byte" (dt "JG-Crypt");
+  Alcotest.(check string) "mosaic ints" "Integer" (dt "Mosaic");
+  Alcotest.(check string) "nbody double" "Double" (dt "N-Body (Double)")
+
+let () =
+  Alcotest.run "benchmarks"
+    [
+      ("suite", [ Alcotest.test_case "complete" `Quick test_suite_complete ]);
+      ( "differential",
+        List.map
+          (fun (b : B.t) ->
+            Alcotest.test_case b.B.name `Quick (differential b))
+          R.all );
+      ( "compilation",
+        List.map
+          (fun (b : B.t) ->
+            Alcotest.test_case b.B.name `Quick (compiles_at_paper_scale b))
+          R.all );
+      ( "inputs",
+        [ Alcotest.test_case "deterministic" `Quick test_input_determinism ] );
+      ( "placements",
+        [
+          Alcotest.test_case "paper winners" `Quick test_placement_expectations;
+          Alcotest.test_case "CP fits constant" `Quick test_cp_constant_fits;
+        ] );
+      ( "placement independence",
+        List.map
+          (fun (b : B.t) ->
+            Alcotest.test_case b.B.name `Slow (test_placement_independence b))
+          [ Lime_benchmarks.Nbody.single; Lime_benchmarks.Crypt.bench ] );
+      ( "structure",
+        [
+          Alcotest.test_case "mosaic reduces" `Quick test_uses_reduce;
+          Alcotest.test_case "double flags" `Quick test_doubles_flagged;
+          Alcotest.test_case "datatypes" `Quick test_table3_datatypes;
+        ] );
+    ]

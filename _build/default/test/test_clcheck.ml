@@ -1,0 +1,88 @@
+(* Tests for the OpenCL static validator, and validation of every kernel the
+   compiler generates (9 benchmarks x 8 memory configurations). *)
+
+module C = Lime_gpu.Clcheck
+
+let check_ok name src =
+  let r = C.check src in
+  if not (C.ok r) then
+    Alcotest.failf "%s: expected clean, got:\n%s" name (C.report r)
+
+let check_bad name sub src =
+  let r = C.check src in
+  if C.ok r then Alcotest.failf "%s: expected issues" name
+  else if
+    not
+      (Lime_support.Util.contains_substring ~sub (C.report r))
+  then Alcotest.failf "%s: wanted %S in:\n%s" name sub (C.report r)
+
+let minimal_kernel =
+  {|__kernel void f(__global const float* restrict xs,
+                  __global float* restrict _out)
+{
+  for (int i = get_global_id(0); i < 10; i += get_global_size(0)) {
+    float v = xs[i] * 2.0f;
+    _out[i] = v;
+  }
+}
+|}
+
+let test_accepts_valid () = check_ok "minimal kernel" minimal_kernel
+
+let test_rejects_unbalanced () =
+  check_bad "missing brace" "unclosed"
+    "__kernel void f(__global float* restrict a) { if (1) { a[0] = 1.0f; }";
+  check_bad "stray close" "unmatched"
+    "__kernel void f(__global float* restrict a) { } }"
+
+let test_rejects_bad_float () =
+  check_bad "0f literal" "needs '.'"
+    "__kernel void f(__global float* restrict a) { a[0] = 0f; }"
+
+let test_rejects_undeclared () =
+  check_bad "undeclared identifier" "before declaration"
+    "__kernel void f(__global float* restrict a) { a[0] = mystery; }"
+
+let test_rejects_no_kernel () =
+  check_bad "no kernel" "exactly one __kernel" "void f(void) { }"
+
+let test_rejects_unterminated_comment () =
+  check_bad "unterminated comment" "unterminated"
+    "__kernel void f(__global float* restrict a) { /* oops }"
+
+let test_all_generated_kernels_valid () =
+  List.iter
+    (fun (b : Lime_benchmarks.Bench_def.t) ->
+      List.iter
+        (fun (cname, cfg) ->
+          let c =
+            Lime_gpu.Pipeline.compile ~config:cfg
+              ~worker:b.Lime_benchmarks.Bench_def.worker
+              b.Lime_benchmarks.Bench_def.source
+          in
+          let r = C.check c.Lime_gpu.Pipeline.cp_opencl in
+          if not (C.ok r) then
+            Alcotest.failf "%s under %s:\n%s" b.Lime_benchmarks.Bench_def.name
+              cname (C.report r))
+        Lime_gpu.Memopt.fig8_configs)
+    Lime_benchmarks.Registry.all
+
+let () =
+  Alcotest.run "clcheck"
+    [
+      ( "validator",
+        [
+          Alcotest.test_case "accepts valid" `Quick test_accepts_valid;
+          Alcotest.test_case "unbalanced" `Quick test_rejects_unbalanced;
+          Alcotest.test_case "bad float literal" `Quick test_rejects_bad_float;
+          Alcotest.test_case "undeclared id" `Quick test_rejects_undeclared;
+          Alcotest.test_case "kernel count" `Quick test_rejects_no_kernel;
+          Alcotest.test_case "unterminated comment" `Quick
+            test_rejects_unterminated_comment;
+        ] );
+      ( "generated",
+        [
+          Alcotest.test_case "all 72 kernels validate" `Slow
+            test_all_generated_kernels_valid;
+        ] );
+    ]

@@ -1,0 +1,108 @@
+(* End-to-end tests of the limec command-line compiler: drive the real
+   binary over the shipped .lime programs and check its outputs. *)
+
+let find candidates = List.find_opt Sys.file_exists candidates
+
+let limec =
+  find [ "../bin/limec.exe"; "bin/limec.exe"; "_build/default/bin/limec.exe" ]
+
+let nbody =
+  find
+    [
+      "../examples/lime/nbody.lime"; "examples/lime/nbody.lime";
+      "_build/default/examples/lime/nbody.lime";
+    ]
+
+let available = limec <> None && nbody <> None
+let limec = Option.value limec ~default:"limec"
+let nbody = Option.value nbody ~default:"nbody.lime"
+
+let capture args =
+  let out = Filename.temp_file "limec" ".out" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1" (Filename.quote limec) args
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let text = In_channel.with_open_text out In_channel.input_all in
+  Sys.remove out;
+  (code, text)
+
+let skip_unless_available () =
+  if not available then
+    Alcotest.skip ()
+
+let contains sub text = Lime_support.Util.contains_substring ~sub text
+
+let test_default_summary () =
+  skip_unless_available ();
+  let code, out = capture (nbody ^ " -w NBody.computeForces") in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "kernel named" true
+    (contains "NBody.computeForces" out);
+  Alcotest.(check bool) "placements shown" true (contains "particles" out)
+
+let test_emit_opencl () =
+  skip_unless_available ();
+  let code, out =
+    capture (nbody ^ " -w NBody.computeForces --emit-opencl -c constant+vec")
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "kernel source" true (contains "__kernel void" out);
+  Alcotest.(check bool) "constant float4" true
+    (contains "__constant float4" out)
+
+let test_estimate () =
+  skip_unless_available ();
+  let code, out =
+    capture
+      (nbody
+     ^ " -w NBody.computeForces --estimate gtx580 --shape particles=1024x4")
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "device named" true (contains "GTX 580" out);
+  Alcotest.(check bool) "estimate printed" true (contains "estimate: total=" out)
+
+let test_sweep () =
+  skip_unless_available ();
+  let code, out =
+    capture
+      (nbody ^ " -w NBody.computeForces --sweep gtx8800 --shape particles=1024x4")
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "eight rows" true (contains "Texture" out);
+  Alcotest.(check bool) "exploration banner" true
+    (contains "memory-mapping exploration" out)
+
+let test_error_reporting () =
+  skip_unless_available ();
+  (* a type error must exit 1 with a located diagnostic *)
+  let bad = Filename.temp_file "bad" ".lime" in
+  Out_channel.with_open_text bad (fun oc ->
+      Out_channel.output_string oc
+        "class C { static local int f(float[[]] xs) { xs[0] = 1.0f; return \
+         0; } }");
+  let code, out = capture (bad ^ " -w C.f") in
+  Sys.remove bad;
+  Alcotest.(check int) "exit 1" 1 code;
+  Alcotest.(check bool) "diagnostic shown" true (contains "immutable" out);
+  Alcotest.(check bool) "location shown" true (contains ".lime:" out)
+
+let test_unknown_worker () =
+  skip_unless_available ();
+  let code, _ = capture (nbody ^ " -w NBody.missing") in
+  Alcotest.(check int) "exit 1" 1 code
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "limec",
+        [
+          Alcotest.test_case "default summary" `Quick test_default_summary;
+          Alcotest.test_case "emit-opencl" `Quick test_emit_opencl;
+          Alcotest.test_case "estimate" `Quick test_estimate;
+          Alcotest.test_case "sweep" `Quick test_sweep;
+          Alcotest.test_case "error reporting" `Quick test_error_reporting;
+          Alcotest.test_case "unknown worker" `Quick test_unknown_worker;
+        ] );
+    ]

@@ -1,0 +1,300 @@
+(* Shape tests for the experiment generators: the qualitative claims of the
+   paper's evaluation (§5) must hold in our reproduction.  These are the
+   "does the figure look right" assertions recorded in EXPERIMENTS.md. *)
+
+module E = Lime_benchmarks.Experiments
+module B = Lime_benchmarks.Bench_def
+module Device = Gpusim.Device
+module Comm = Lime_runtime.Comm
+
+let speedup_of rows bench series =
+  let r = List.find (fun (x : E.fig7_row) -> x.E.f7_bench = bench) rows in
+  List.assoc series r.E.f7_series
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7(a): CPU                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fig7a = lazy (E.fig7a ())
+
+let test_one_core_near_baseline () =
+  (* paper: "the 1-core performance is generally the same as the baseline";
+     transcendental-heavy benchmarks gain from OpenCL's faster math *)
+  let rows = Lazy.force fig7a in
+  List.iter
+    (fun bench ->
+      let s = speedup_of rows bench "1 core" in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s 1-core %.2f in [0.5, 2.0]" bench s)
+        true
+        (s >= 0.5 && s <= 2.0))
+    [ "N-Body (Single)"; "Mosaic"; "Parboil-CP"; "JG-Crypt" ]
+
+let test_six_core_scaling () =
+  let rows = Lazy.force fig7a in
+  (* normal benchmarks scale roughly with cores *)
+  List.iter
+    (fun bench ->
+      let s = speedup_of rows bench "6 cores" in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s 6-core %.1f in [3, 8]" bench s)
+        true
+        (s >= 3.0 && s <= 8.0))
+    [ "N-Body (Single)"; "Mosaic"; "Parboil-CP"; "JG-Crypt" ];
+  (* transcendental-heavy ones are super-linear (paper: 13.6x-32.5x) *)
+  List.iter
+    (fun bench ->
+      let s = speedup_of rows bench "6 cores" in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s 6-core %.1f super-linear" bench s)
+        true (s > 8.0 && s < 40.0))
+    [ "Parboil-MRIQ"; "Parboil-RPES"; "JG-Series (Single)" ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7(b): GPU                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fig7b = lazy (E.fig7b ())
+
+let test_gpu_speedup_range () =
+  (* paper: 12x to 431x across benchmarks and GPUs *)
+  let rows = Lazy.force fig7b in
+  List.iter
+    (fun (r : E.fig7_row) ->
+      List.iter
+        (fun (series, s) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s %.0fx in [3, 700]" r.E.f7_bench series s)
+            true
+            (s >= 3.0 && s <= 700.0))
+        r.E.f7_series)
+    rows
+
+let test_gpu_ordering () =
+  (* lowest speedups: the non-FP benchmarks (Crypt, Mosaic); highest: the
+     transcendental-heavy ones *)
+  let rows = Lazy.force fig7b in
+  let g bench = speedup_of rows bench "GTX580" in
+  Alcotest.(check bool) "Crypt lowest" true
+    (g "JG-Crypt" < g "N-Body (Single)");
+  Alcotest.(check bool) "Mosaic low" true
+    (g "Mosaic" < g "Parboil-CP");
+  Alcotest.(check bool) "MRIQ highest tier" true
+    (g "Parboil-MRIQ" > g "N-Body (Single)");
+  Alcotest.(check bool) "transcendental beats crypt by >10x" true
+    (g "Parboil-MRIQ" > 10.0 *. g "JG-Crypt")
+
+let test_double_vs_single () =
+  (* paper: doubles ~2-3x slower on GTX580, ~1.5x on HD5970 *)
+  let rows = Lazy.force fig7b in
+  let ratio series =
+    speedup_of rows "JG-Series (Single)" series
+    /. speedup_of rows "JG-Series (Double)" series
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "GTX580 double penalty %.2f in [1.5, 3.5]" (ratio "GTX580"))
+    true
+    (ratio "GTX580" >= 1.5 && ratio "GTX580" <= 3.5);
+  Alcotest.(check bool) "HD5970 penalty smaller" true
+    (ratio "HD5970" < ratio "GTX580")
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_best_config_competitive () =
+  (* paper: with the best choices the compiler attains 75%-140% of
+     hand-tuned *)
+  List.iter
+    (fun d ->
+      List.iter
+        (fun (r : E.fig8_row) ->
+          let best =
+            List.fold_left
+              (fun acc c -> Float.max acc c.E.f8_rel)
+              0.0 r.E.f8_cells
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s on %s best %.2f in [0.75, 1.40]" r.E.f8_bench
+               d.Device.name best)
+            true
+            (best >= 0.75 && best <= 1.40))
+        (E.fig8_for d))
+    [ Device.gtx8800; Device.gtx580 ]
+
+let test_global_worst () =
+  (* global-only is the worst configuration on the cache-less GTX8800 *)
+  List.iter
+    (fun (r : E.fig8_row) ->
+      let cell name = (List.find (fun c -> c.E.f8_config = name) r.E.f8_cells).E.f8_rel in
+      let global = cell "Global" in
+      List.iter
+        (fun c ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: global <= %s" r.E.f8_bench c.E.f8_config)
+            true
+            (global <= c.E.f8_rel +. 1e-9))
+        r.E.f8_cells)
+    (E.fig8_for Device.gtx8800)
+
+let test_mosaic_beats_hand_tuned () =
+  (* paper: "the compiled code surprisingly outperforms the hand-tuned
+     versions for the Mosaic benchmark" (better bank-conflict removal) *)
+  List.iter
+    (fun d ->
+      let rows = E.fig8_for d in
+      let r = List.find (fun (x : E.fig8_row) -> x.E.f8_bench = "Mosaic") rows in
+      let cell =
+        List.find (fun c -> c.E.f8_config = "Local+Conflicts removed") r.E.f8_cells
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "Mosaic local+pad beats hand on %s" d.Device.name)
+        true (cell.E.f8_rel > 1.0))
+    E.gpu_devices
+
+let test_mriq_constant_beats_hand () =
+  (* paper: MRIQ with constant memory slightly outperforms hand-tuned *)
+  let rows = E.fig8_for Device.gtx580 in
+  let r = List.find (fun (x : E.fig8_row) -> x.E.f8_bench = "Parboil-MRIQ") rows in
+  let cell = List.find (fun c -> c.E.f8_config = "Constant") r.E.f8_cells in
+  Alcotest.(check bool) "MRIQ constant > 1.0" true (cell.E.f8_rel > 1.0)
+
+let test_fermi_less_sensitive () =
+  (* paper: on the GTX580, global is within ~20% for the cache-resident
+     benchmarks *)
+  let rows = E.fig8_for Device.gtx580 in
+  List.iter
+    (fun bench ->
+      let r = List.find (fun (x : E.fig8_row) -> x.E.f8_bench = bench) rows in
+      let cell n = (List.find (fun c -> c.E.f8_config = n) r.E.f8_cells).E.f8_rel in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s global within 20%% on Fermi" bench)
+        true
+        (cell "Global" >= 0.75))
+    [ "N-Body (Single)"; "Parboil-CP"; "Parboil-MRIQ" ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_cpu_compute_dominates () =
+  (* paper: on the multicore, computation dominates — JG-Crypt excepted *)
+  let rows = E.fig9 Device.core_i7 in
+  List.iter
+    (fun (r : E.fig9_row) ->
+      let t = Comm.total r.E.f9_phases in
+      let kernel_pct = r.E.f9_phases.Comm.kernel_s /. t in
+      if r.E.f9_bench = "JG-Crypt" then
+        Alcotest.(check bool) "crypt is the exception" true (kernel_pct < 0.8)
+      else
+        Alcotest.(check bool)
+          (Printf.sprintf "%s compute-dominated (%.0f%%)" r.E.f9_bench
+             (100.0 *. kernel_pct))
+          true (kernel_pct > 0.7))
+    rows
+
+let test_rpes_setup_anomaly () =
+  (* paper: OpenCL setup is typically ~5%, except RPES (~40%) *)
+  let rows = E.fig9 Device.gtx580 in
+  let setup_pct name =
+    let r = List.find (fun (x : E.fig9_row) -> x.E.f9_bench = name) rows in
+    Comm.(r.E.f9_phases.setup_s /. total r.E.f9_phases)
+  in
+  Alcotest.(check bool) "RPES setup large" true (setup_pct "Parboil-RPES" > 0.2);
+  Alcotest.(check bool) "CP setup small" true (setup_pct "Parboil-CP" < 0.05);
+  Alcotest.(check bool) "MRIQ setup small" true (setup_pct "Parboil-MRIQ" < 0.05)
+
+let test_gpu_comm_share_substantial () =
+  (* paper: communication averages ~40% on the GPU *)
+  let rows = E.fig9 Device.gtx580 in
+  let shares =
+    List.map
+      (fun (r : E.fig9_row) ->
+        Comm.communication r.E.f9_phases /. Comm.total r.E.f9_phases)
+      rows
+  in
+  let avg = List.fold_left ( +. ) 0.0 shares /. float_of_int (List.length shares) in
+  Alcotest.(check bool)
+    (Printf.sprintf "average comm share %.0f%% in [10%%, 60%%]" (100.0 *. avg))
+    true
+    (avg > 0.10 && avg < 0.60)
+
+(* ------------------------------------------------------------------ *)
+(* §4.3 ablation and §2 glue                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_marshal_ablation () =
+  (* paper: with the generic marshaller, "more than 90% of the time was
+     spent marshaling" for communication-bound benchmarks *)
+  let rows = E.marshal_ablation Device.gtx580 in
+  List.iter
+    (fun (r : E.marshal_ablation) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s generic >= custom" r.E.ma_bench)
+        true
+        (r.E.ma_generic_pct >= r.E.ma_custom_pct))
+    rows;
+  let crypt = List.find (fun r -> r.E.ma_bench = "JG-Crypt") rows in
+  Alcotest.(check bool)
+    (Printf.sprintf "crypt generic marshaling dominates (%.0f%%)"
+       crypt.E.ma_generic_pct)
+    true
+    (crypt.E.ma_generic_pct > 75.0)
+
+let test_glue_volume () =
+  List.iter
+    (fun (name, glue_lines, kernel_lines) ->
+      Alcotest.(check bool) (name ^ " glue >100 lines") true (glue_lines > 100);
+      Alcotest.(check bool) (name ^ " kernel nonempty") true (kernel_lines > 10))
+    (E.glue_volume ())
+
+let test_tables_render () =
+  Alcotest.(check bool) "table1" true
+    (Lime_support.Util.contains_substring ~sub:"map & reduce" (E.table1 ()));
+  Alcotest.(check bool) "table2" true
+    (Lime_support.Util.contains_substring ~sub:"GTX 580" (E.table2 ()));
+  Alcotest.(check bool) "table3" true
+    (Lime_support.Util.contains_substring ~sub:"JG-Crypt" (E.table3 ()))
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "fig7a",
+        [
+          Alcotest.test_case "1-core near baseline" `Quick
+            test_one_core_near_baseline;
+          Alcotest.test_case "6-core scaling" `Quick test_six_core_scaling;
+        ] );
+      ( "fig7b",
+        [
+          Alcotest.test_case "speedup range" `Quick test_gpu_speedup_range;
+          Alcotest.test_case "ordering" `Quick test_gpu_ordering;
+          Alcotest.test_case "double penalty" `Quick test_double_vs_single;
+        ] );
+      ( "fig8",
+        [
+          Alcotest.test_case "best competitive (75-140%)" `Slow
+            test_best_config_competitive;
+          Alcotest.test_case "global worst on G80" `Slow test_global_worst;
+          Alcotest.test_case "Mosaic beats hand" `Quick
+            test_mosaic_beats_hand_tuned;
+          Alcotest.test_case "MRIQ constant beats hand" `Quick
+            test_mriq_constant_beats_hand;
+          Alcotest.test_case "Fermi less sensitive" `Quick
+            test_fermi_less_sensitive;
+        ] );
+      ( "fig9",
+        [
+          Alcotest.test_case "CPU compute dominates" `Quick
+            test_cpu_compute_dominates;
+          Alcotest.test_case "RPES setup anomaly" `Quick test_rpes_setup_anomaly;
+          Alcotest.test_case "GPU comm share" `Quick
+            test_gpu_comm_share_substantial;
+        ] );
+      ( "extras",
+        [
+          Alcotest.test_case "marshal ablation" `Quick test_marshal_ablation;
+          Alcotest.test_case "glue volume" `Quick test_glue_volume;
+          Alcotest.test_case "tables render" `Quick test_tables_render;
+        ] );
+    ]

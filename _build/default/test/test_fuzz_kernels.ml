@@ -1,0 +1,183 @@
+(* Differential fuzzing of the whole compiler: generate random well-typed
+   map kernels as Lime source, compile them through the full pipeline, run
+   them in the interpreter, and compare against direct OCaml evaluation of
+   the same expression tree.  Every mismatch is a real compiler bug
+   (parser, type checker, lowering, inlining or interpreter semantics). *)
+
+module V = Lime_ir.Value
+module Prng = Lime_support.Prng
+
+(* ------------------------------------------------------------------ *)
+(* Random float expressions over: x (the element), c (captured scalar), a
+   constant pool, and a second array read ys[i & mask].                 *)
+(* ------------------------------------------------------------------ *)
+
+type fexpr =
+  | X
+  | C
+  | Lit of float
+  | Add of fexpr * fexpr
+  | Sub of fexpr * fexpr
+  | Mul of fexpr * fexpr
+  | Neg of fexpr
+  | Sqrt of fexpr  (** applied to e*e + 1 to stay in domain *)
+  | MinE of fexpr * fexpr
+  | MaxE of fexpr * fexpr
+  | AbsE of fexpr
+  | Cond of fexpr * fexpr * fexpr  (** if a < b then t else e *)
+
+let rec gen_expr rng depth : fexpr =
+  if depth = 0 then
+    match Prng.int rng 3 with
+    | 0 -> X
+    | 1 -> C
+    | _ -> Lit (Float.of_int (Prng.int rng 9) *. 0.25)
+  else
+    let sub () = gen_expr rng (depth - 1) in
+    match Prng.int rng 10 with
+    | 0 -> Add (sub (), sub ())
+    | 1 -> Sub (sub (), sub ())
+    | 2 -> Mul (sub (), sub ())
+    | 3 -> Neg (sub ())
+    | 4 -> Sqrt (sub ())
+    | 5 -> MinE (sub (), sub ())
+    | 6 -> MaxE (sub (), sub ())
+    | 7 -> AbsE (sub ())
+    | 8 -> Cond (sub (), sub (), sub ())
+    | _ -> X
+
+let rec to_lime (e : fexpr) : string =
+  match e with
+  | X -> "x"
+  | C -> "c"
+  | Lit f -> Printf.sprintf "%.2ff" f
+  | Add (a, b) -> Printf.sprintf "(%s + %s)" (to_lime a) (to_lime b)
+  | Sub (a, b) -> Printf.sprintf "(%s - %s)" (to_lime a) (to_lime b)
+  | Mul (a, b) -> Printf.sprintf "(%s * %s)" (to_lime a) (to_lime b)
+  | Neg a -> Printf.sprintf "(-%s)" (to_lime a)
+  | Sqrt a -> Printf.sprintf "Math.sqrt(%s * %s + 1.0f)" (to_lime a) (to_lime a)
+  | MinE (a, b) -> Printf.sprintf "Math.min(%s, %s)" (to_lime a) (to_lime b)
+  | MaxE (a, b) -> Printf.sprintf "Math.max(%s, %s)" (to_lime a) (to_lime b)
+  | AbsE a -> Printf.sprintf "Math.abs(%s)" (to_lime a)
+  | Cond (a, b, t) ->
+      Printf.sprintf "(%s < %s ? %s : %s)" (to_lime a) (to_lime b) (to_lime t)
+        (to_lime a)
+
+(* direct evaluation with the interpreter's single-precision semantics:
+   round after every operation, like Java/OpenCL float *)
+let rec eval (e : fexpr) ~x ~c : float =
+  let f32 = V.f32 in
+  match e with
+  | X -> x
+  | C -> c
+  | Lit f -> f32 f
+  | Add (a, b) -> f32 (eval a ~x ~c +. eval b ~x ~c)
+  | Sub (a, b) -> f32 (eval a ~x ~c -. eval b ~x ~c)
+  | Mul (a, b) -> f32 (eval a ~x ~c *. eval b ~x ~c)
+  | Neg a -> f32 (-.eval a ~x ~c)
+  | Sqrt a ->
+      let v = eval a ~x ~c in
+      f32 (sqrt (f32 (f32 (v *. v) +. 1.0)))
+  | MinE (a, b) -> f32 (Float.min (eval a ~x ~c) (eval b ~x ~c))
+  | MaxE (a, b) -> f32 (Float.max (eval a ~x ~c) (eval b ~x ~c))
+  | AbsE a -> f32 (Float.abs (eval a ~x ~c))
+  | Cond (a, b, t) ->
+      let va = eval a ~x ~c and vb = eval b ~x ~c in
+      if va < vb then eval t ~x ~c else va
+
+let program_of (e : fexpr) : string =
+  Printf.sprintf
+    {|class Fuzz {
+  static local float f(float c, float x) {
+    return %s;
+  }
+  static local float[[]] work(float c, float[[]] xs) {
+    return Fuzz.f(c) @ xs;
+  }
+}|}
+    (to_lime e)
+
+(* ------------------------------------------------------------------ *)
+(* The differential property                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_case rng : bool =
+  let e = gen_expr rng 4 in
+  let src = program_of e in
+  match
+    Lime_support.Diag.protect (fun () ->
+        Lime_gpu.Pipeline.compile ~worker:"Fuzz.work" src)
+  with
+  | Error d ->
+      Alcotest.failf "generated program rejected:\n%s\n---\n%s"
+        (Lime_support.Diag.to_string d)
+        src
+  | Ok compiled ->
+      let n = 8 + Prng.int rng 24 in
+      let xs = Array.init n (fun _ -> V.f32 (Prng.float_range rng (-4.0) 4.0)) in
+      let c = V.f32 (Prng.float_range rng (-2.0) 2.0) in
+      (* run the extracted, simplified kernel (the full pipeline output) *)
+      let st =
+        Lime_ir.Interp.create
+          (Lime_gpu.Kernel.to_module compiled.Lime_gpu.Pipeline.cp_kernel)
+      in
+      let got =
+        Lime_ir.Interp.call_function st "Fuzz.work" None
+          [ V.VFloat c; V.VArr (V.of_float_array xs) ]
+      in
+      let want = Array.map (fun x -> eval e ~x ~c) xs in
+      let ok =
+        V.approx_equal ~rtol:0.0 ~atol:0.0 got (V.VArr (V.of_float_array want))
+      in
+      if not ok then
+        Alcotest.failf "kernel result differs from direct evaluation for:\n%s"
+          src;
+      (* and the generated OpenCL must be validator-clean *)
+      let r = Lime_gpu.Clcheck.check compiled.cp_opencl in
+      if not (Lime_gpu.Clcheck.ok r) then
+        Alcotest.failf "invalid OpenCL for:\n%s\n---\n%s" src
+          (Lime_gpu.Clcheck.report r);
+      true
+
+let test_fuzz_differential () =
+  let rng = Prng.create 20120611 (* the paper's conference date *) in
+  for _ = 1 to 150 do
+    ignore (run_case rng)
+  done
+
+let test_fuzz_placement_independent () =
+  (* random kernels produce identical results under every memory config *)
+  let rng = Prng.create 99 in
+  for _ = 1 to 20 do
+    let e = gen_expr rng 3 in
+    let src = program_of e in
+    let n = 8 in
+    let xs = V.of_float_array (Array.init n (fun i -> float_of_int i *. 0.3)) in
+    let run cfg =
+      let c = Lime_gpu.Pipeline.compile ~config:cfg ~worker:"Fuzz.work" src in
+      let st =
+        Lime_ir.Interp.create
+          (Lime_gpu.Kernel.to_module c.Lime_gpu.Pipeline.cp_kernel)
+      in
+      Lime_ir.Interp.call_function st "Fuzz.work" None
+        [ V.VFloat 1.5; V.VArr xs ]
+    in
+    let base = run Lime_gpu.Memopt.config_global in
+    List.iter
+      (fun (_, cfg) ->
+        if not (V.approx_equal ~rtol:0.0 ~atol:0.0 base (run cfg)) then
+          Alcotest.failf "config changed results for:\n%s" src)
+      Lime_gpu.Memopt.fig8_configs
+  done
+
+let () =
+  Alcotest.run "fuzz-kernels"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "150 random kernels vs direct eval" `Slow
+            test_fuzz_differential;
+          Alcotest.test_case "placement independence" `Slow
+            test_fuzz_placement_independent;
+        ] );
+    ]

@@ -1,0 +1,80 @@
+(* Structural tests for the generated OpenCL host glue (§2: "at least a
+   dozen OpenCL procedures", "182 lines of code" for setup). *)
+
+module Hostgen = Lime_gpu.Hostgen
+module Util = Lime_support.Util
+
+let glue_for (b : Lime_benchmarks.Bench_def.t) =
+  let c =
+    Lime_gpu.Pipeline.compile ~worker:b.Lime_benchmarks.Bench_def.worker
+      b.Lime_benchmarks.Bench_def.source
+  in
+  Hostgen.generate c.Lime_gpu.Pipeline.cp_kernel
+
+let test_api_procedure_count () =
+  let glue = glue_for Lime_benchmarks.Nbody.single in
+  let used = Hostgen.api_calls_used glue in
+  Alcotest.(check bool)
+    (Printf.sprintf "at least a dozen OpenCL procedures (got %d)"
+       (List.length used))
+    true
+    (List.length used >= 12)
+
+let test_setup_volume () =
+  (* the discovery/build prologue alone approaches the paper's "additional
+     182 lines" figure *)
+  let glue = glue_for Lime_benchmarks.Nbody.single in
+  Alcotest.(check bool) "substantial glue" true (Util.count_lines glue > 100)
+
+let test_buffer_per_array_param () =
+  let glue = glue_for Lime_benchmarks.Nbody.single in
+  Alcotest.(check bool) "input buffer" true
+    (Util.contains_substring ~sub:"buf_particles" glue);
+  Alcotest.(check bool) "output buffer" true
+    (Util.contains_substring ~sub:"buf_out" glue);
+  Alcotest.(check bool) "read-only input" true
+    (Util.contains_substring ~sub:"CL_MEM_READ_ONLY" glue)
+
+let test_error_checking () =
+  let glue = glue_for Lime_benchmarks.Cp.bench in
+  Alcotest.(check bool) "build log on failure" true
+    (Util.contains_substring ~sub:"CL_PROGRAM_BUILD_LOG" glue);
+  Alcotest.(check bool) "status checks" true
+    (Util.contains_substring ~sub:"check(st" glue)
+
+let test_cleanup () =
+  let glue = glue_for Lime_benchmarks.Mosaic.bench in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) (sub ^ " released") true
+        (Util.contains_substring ~sub glue))
+    [
+      "clReleaseMemObject"; "clReleaseKernel"; "clReleaseProgram";
+      "clReleaseCommandQueue"; "clReleaseContext";
+    ]
+
+let test_all_benchmarks () =
+  List.iter
+    (fun (b : Lime_benchmarks.Bench_def.t) ->
+      let glue = glue_for b in
+      Alcotest.(check bool)
+        (b.Lime_benchmarks.Bench_def.name ^ " enqueues kernel")
+        true
+        (Util.contains_substring ~sub:"clEnqueueNDRangeKernel" glue))
+    Lime_benchmarks.Registry.all
+
+let () =
+  Alcotest.run "hostgen"
+    [
+      ( "glue",
+        [
+          Alcotest.test_case "dozen API procedures" `Quick
+            test_api_procedure_count;
+          Alcotest.test_case "setup volume" `Quick test_setup_volume;
+          Alcotest.test_case "buffers per param" `Quick
+            test_buffer_per_array_param;
+          Alcotest.test_case "error checking" `Quick test_error_checking;
+          Alcotest.test_case "cleanup" `Quick test_cleanup;
+          Alcotest.test_case "all benchmarks" `Quick test_all_benchmarks;
+        ] );
+    ]

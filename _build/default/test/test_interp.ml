@@ -1,0 +1,252 @@
+(* Unit tests for the reference interpreter: Java numeric semantics (32-bit
+   wraparound, unsigned shift, byte narrowing, single-precision rounding),
+   arrays and views, objects, counters. *)
+
+module Ir = Lime_ir.Ir
+module V = Lime_ir.Value
+module Interp = Lime_ir.Interp
+module Check = Lime_typecheck.Check
+module Lower = Lime_ir.Lower
+
+let run_fn src ~meth args =
+  let md = Lower.lower_program (Check.check_string src) in
+  let st = Interp.create md in
+  (Interp.run st ~cls:"C" ~meth args, st)
+
+let run1 src ~meth args = fst (run_fn src ~meth args)
+
+let vint = function
+  | V.VInt i -> i
+  | v -> Alcotest.failf "expected int, got %s" (V.to_string v)
+
+let vfloat = function
+  | V.VFloat f | V.VDouble f -> f
+  | v -> Alcotest.failf "expected float, got %s" (V.to_string v)
+
+let test_int32_wraparound () =
+  let v =
+    run1 "class C { static int f(int x) { return x * 1103515245 + 12345; } }"
+      ~meth:"f" [ V.VInt 987654321 ]
+  in
+  (* Java semantics: (987654321 * 1103515245 + 12345) as int32 *)
+  let expected =
+    Int32.to_int
+      (Int32.add
+         (Int32.mul (Int32.of_int 987654321) (Int32.of_int 1103515245))
+         (Int32.of_int 12345))
+  in
+  Alcotest.(check int) "wraps like Java" expected (vint v)
+
+let test_ushr () =
+  let v =
+    run1 "class C { static int f(int x) { return x >>> 16; } }" ~meth:"f"
+      [ V.VInt (-1) ]
+  in
+  Alcotest.(check int) "-1 >>> 16" 65535 (vint v)
+
+let test_byte_narrowing () =
+  let v =
+    run1 "class C { static byte f(int x) { return (byte) x; } }" ~meth:"f"
+      [ V.VInt 200 ]
+  in
+  Alcotest.(check int) "200 narrows to -56" (-56) (vint v)
+
+let test_single_precision () =
+  (* float arithmetic rounds to 32 bits after each op *)
+  let v =
+    run1 "class C { static float f(float a, float b) { return a + b; } }"
+      ~meth:"f"
+      [ V.VFloat (V.f32 0.1); V.VFloat (V.f32 0.2) ]
+  in
+  Alcotest.(check (float 0.0)) "f32 rounding" (V.f32 (V.f32 0.1 +. V.f32 0.2))
+    (vfloat v)
+
+let test_integer_division () =
+  let v = run1 "class C { static int f(int a, int b) { return a / b; } }"
+      ~meth:"f" [ V.VInt 7; V.VInt 2 ] in
+  Alcotest.(check int) "7/2" 3 (vint v);
+  match
+    Lime_support.Diag.protect (fun () ->
+        run1 "class C { static int f(int a) { return a / 0; } }" ~meth:"f"
+          [ V.VInt 1 ])
+  with
+  | Ok _ -> Alcotest.fail "expected division by zero"
+  | Error _ -> ()
+  | exception Interp.Runtime_error _ -> ()
+
+let test_long_ops () =
+  let v =
+    run1
+      "class C { static long f(int a) { return ((long) a << 32) | (long) a; \
+       } }"
+      ~meth:"f" [ V.VInt 3 ]
+  in
+  Alcotest.(check bool) "long shift/or" true
+    (v = V.VLong (Int64.logor (Int64.shift_left 3L 32) 3L))
+
+let test_math_builtins () =
+  let v =
+    run1 "class C { static double f(double x) { return Math.sqrt(x); } }"
+      ~meth:"f" [ V.VDouble 9.0 ]
+  in
+  Alcotest.(check (float 1e-12)) "sqrt" 3.0 (vfloat v);
+  let v =
+    run1 "class C { static int f(int a, int b) { return Math.max(a, b); } }"
+      ~meth:"f" [ V.VInt 2; V.VInt 5 ]
+  in
+  Alcotest.(check int) "max" 5 (vint v)
+
+let test_arrays_views () =
+  let src =
+    {|class C {
+  static float f(float[[][4]] m) {
+    float[[4]] row = m[1];
+    return row[2];
+  }
+}|}
+  in
+  let m = V.of_float_matrix 3 4 (Array.init 12 float_of_int) in
+  let v = run1 src ~meth:"f" [ V.VArr m ] in
+  Alcotest.(check (float 0.0)) "view element" 6.0 (vfloat v)
+
+let test_bounds_check () =
+  let src = "class C { static float f(float[[]] xs) { return xs[10]; } }" in
+  let xs = V.of_float_array [| 1.0; 2.0 |] in
+  match
+    Lime_support.Diag.protect (fun () -> run1 src ~meth:"f" [ V.VArr xs ])
+  with
+  | Ok _ -> Alcotest.fail "expected bounds error"
+  | Error _ -> ()
+  | exception Interp.Runtime_error m ->
+      Alcotest.(check bool) "message mentions bounds" true
+        (Lime_support.Util.contains_substring ~sub:"out of bounds" m)
+
+let test_mutable_array_roundtrip () =
+  let src =
+    {|class C {
+  static int f(int n) {
+    int[] a = new int[n];
+    for (int i = 0; i < n; i++) { a[i] = i * i; }
+    int s = 0;
+    for (int i = 0; i < n; i++) { s += a[i]; }
+    return s;
+  }
+}|}
+  in
+  Alcotest.(check int) "sum of squares" 285 (vint (run1 src ~meth:"f" [ V.VInt 10 ]))
+
+let test_objects () =
+  let src =
+    {|class C {
+  int acc;
+  C(int start) { acc = start; }
+  void bump(int k) { acc = acc + k; }
+  int get() { return acc; }
+  static int f() {
+    C c = new C(5);
+    c.bump(3);
+    c.bump(2);
+    return c.get();
+  }
+}|}
+  in
+  Alcotest.(check int) "stateful object" 10 (vint (run1 src ~meth:"f" []))
+
+let test_static_state () =
+  let src =
+    {|class C {
+  static int counter = 100;
+  static int f() { counter = counter + 1; return counter; }
+}|}
+  in
+  let md = Lower.lower_program (Check.check_string src) in
+  let st = Interp.create md in
+  ignore (Interp.run st ~cls:"C" ~meth:"f" []);
+  let v = Interp.run st ~cls:"C" ~meth:"f" [] in
+  Alcotest.(check int) "static persists" 102 (vint v)
+
+let test_counters () =
+  let src =
+    {|class C {
+  static float f(float[[]] xs) {
+    float s = 0.0f;
+    for (int i = 0; i < xs.length; i++) { s += Math.sqrt(xs[i]); }
+    return s;
+  }
+}|}
+  in
+  let xs = V.of_float_array (Array.make 8 4.0) in
+  let _, st = run_fn src ~meth:"f" [ V.VArr xs ] in
+  let c = st.Interp.counters in
+  Alcotest.(check int) "8 sqrts" 8 c.Interp.sqrts;
+  Alcotest.(check bool) "memory reads counted" true (c.Interp.mem_reads >= 8);
+  Alcotest.(check bool) "branches counted" true (c.Interp.branches >= 8)
+
+let test_range_and_tovalue () =
+  let src =
+    {|class C {
+  static int f(int n) {
+    int[[]] r = Lime.range(n);
+    return r[n - 1];
+  }
+  static float g(int n) {
+    float[] a = new float[n];
+    a[2] = 7.5f;
+    float[[]] v = Lime.toValue(a);
+    a[2] = 0.0f;
+    return v[2];
+  }
+}|}
+  in
+  Alcotest.(check int) "range last" 9 (vint (run1 src ~meth:"f" [ V.VInt 10 ]));
+  (* toValue is a *copy*: later mutation of the source is invisible *)
+  Alcotest.(check (float 0.0)) "toValue copies" 7.5
+    (vfloat (run1 src ~meth:"g" [ V.VInt 5 ]))
+
+let test_break_continue () =
+  let src =
+    {|class C {
+  static int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+      if (i == 3) { continue; }
+      if (i == 7) { break; }
+      s += i;
+    }
+    return s;
+  }
+}|}
+  in
+  (* 0+1+2+4+5+6 = 18 *)
+  Alcotest.(check int) "break/continue" 18 (vint (run1 src ~meth:"f" [ V.VInt 100 ]))
+
+let () =
+  Alcotest.run "interp"
+    [
+      ( "numerics",
+        [
+          Alcotest.test_case "int32 wraparound" `Quick test_int32_wraparound;
+          Alcotest.test_case "ushr" `Quick test_ushr;
+          Alcotest.test_case "byte narrowing" `Quick test_byte_narrowing;
+          Alcotest.test_case "single precision" `Quick test_single_precision;
+          Alcotest.test_case "integer division" `Quick test_integer_division;
+          Alcotest.test_case "long ops" `Quick test_long_ops;
+          Alcotest.test_case "math builtins" `Quick test_math_builtins;
+        ] );
+      ( "arrays",
+        [
+          Alcotest.test_case "views" `Quick test_arrays_views;
+          Alcotest.test_case "bounds" `Quick test_bounds_check;
+          Alcotest.test_case "mutable roundtrip" `Quick
+            test_mutable_array_roundtrip;
+          Alcotest.test_case "range/toValue" `Quick test_range_and_tovalue;
+        ] );
+      ( "objects/state",
+        [
+          Alcotest.test_case "objects" `Quick test_objects;
+          Alcotest.test_case "statics" `Quick test_static_state;
+        ] );
+      ( "control",
+        [ Alcotest.test_case "break/continue" `Quick test_break_continue ] );
+      ( "counters", [ Alcotest.test_case "counts" `Quick test_counters ] );
+    ]

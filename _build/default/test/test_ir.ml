@@ -1,0 +1,158 @@
+(* Unit tests for IR lowering: canonical loop recognition, map inlining,
+   reduce lowering, conditional laziness, renaming hygiene. *)
+
+module Ir = Lime_ir.Ir
+module Lower = Lime_ir.Lower
+module Check = Lime_typecheck.Check
+
+let lower src = Lower.lower_program (Check.check_string src)
+
+let func md name = Option.get (Ir.find_func md name)
+
+let count_stmts pred (f : Ir.func) =
+  let n = ref 0 in
+  List.iter
+    (Ir.iter_stmt
+       ~stmt:(fun s -> if pred s then incr n)
+       ~expr:(fun _ -> ()))
+    f.Ir.fn_body;
+  !n
+
+let test_canonical_for () =
+  let md =
+    lower
+      "class C { static int f(int n) { int s = 0; for (int i = 0; i < n; \
+       i++) { s += i; } return s; } }"
+  in
+  let f = func md "C.f" in
+  Alcotest.(check int) "one SFor" 1
+    (count_stmts (function Ir.SFor _ -> true | _ -> false) f);
+  Alcotest.(check int) "no SWhile" 0
+    (count_stmts (function Ir.SWhile _ -> true | _ -> false) f)
+
+let test_noncanonical_for () =
+  let md =
+    lower
+      "class C { static int f(int n) { int s = 0; for (int i = 0; i < n; i \
+       += 2) { s += i; } return s; } }"
+  in
+  let f = func md "C.f" in
+  Alcotest.(check int) "desugars to while" 1
+    (count_stmts (function Ir.SWhile _ -> true | _ -> false) f)
+
+let test_continue_rejected_in_noncanonical () =
+  match
+    Lime_support.Diag.protect (fun () ->
+        lower
+          "class C { static void f(int n) { for (int i = 0; i < n; i += 2) \
+           { continue; } } }")
+  with
+  | Ok _ -> Alcotest.fail "expected lowering error"
+  | Error d ->
+      Alcotest.(check bool) "mentions continue" true
+        (Lime_support.Util.contains_substring ~sub:"continue"
+           d.Lime_support.Diag.message)
+
+let map_src =
+  {|class C {
+  static local float sq(float x) { return x * x; }
+  static local float[[]] f(float[[]] xs) { return C.sq @ xs; }
+  static local float[[]] g(int n) { return C.ofi @ Lime.range(n); }
+  static local float ofi(int i) { return (float) i; }
+  static local float r(float[[]] xs) { return + ! xs; }
+}|}
+
+let test_map_lowering () =
+  let md = lower map_src in
+  let f = func md "C.f" in
+  Alcotest.(check int) "parfor generated" 1
+    (count_stmts (function Ir.SParFor _ -> true | _ -> false) f);
+  Alcotest.(check int) "inline block generated" 1
+    (count_stmts (function Ir.SInlineBlock _ -> true | _ -> false) f);
+  (* the map output is declared and returned *)
+  match List.rev f.Ir.fn_body with
+  | Ir.SReturn (Some (Ir.Var _)) :: _ -> ()
+  | _ -> Alcotest.fail "map result returned"
+
+let test_map_over_range_binds_index () =
+  let md = lower map_src in
+  let g = func md "C.g" in
+  (* no materialized range array: no RangeE left in the body *)
+  let ranges = ref 0 in
+  List.iter
+    (Ir.iter_stmt
+       ~stmt:(fun _ -> ())
+       ~expr:(fun e -> match e with Ir.RangeE _ -> incr ranges | _ -> ()))
+    g.Ir.fn_body;
+  Alcotest.(check int) "range not materialized" 0 !ranges;
+  Alcotest.(check int) "parfor present" 1
+    (count_stmts (function Ir.SParFor _ -> true | _ -> false) g)
+
+let test_reduce_lowering () =
+  let md = lower map_src in
+  let r = func md "C.r" in
+  Alcotest.(check int) "reduce node" 1
+    (count_stmts (function Ir.SReduce _ -> true | _ -> false) r)
+
+let test_cond_lowered_lazily () =
+  let md =
+    lower
+      "class C { static int f(boolean b, int x) { return b ? x / 0 : 1; } }"
+  in
+  let f = func md "C.f" in
+  (* the division must live inside an SIf branch, not be pre-evaluated *)
+  Alcotest.(check int) "if emitted" 1
+    (count_stmts (function Ir.SIf _ -> true | _ -> false) f);
+  (* executing with b=false must not divide by zero *)
+  let st = Lime_ir.Interp.create md in
+  let v =
+    Lime_ir.Interp.run st ~cls:"C" ~meth:"f"
+      [ Lime_ir.Value.VInt 0; Lime_ir.Value.VInt 5 ]
+  in
+  Alcotest.(check bool) "lazy branch" true (v = Lime_ir.Value.VInt 1)
+
+let test_field_inits_and_statics () =
+  let md =
+    lower
+      "class C { static final int N = 2 + 3; int state = 7; static int g() \
+       { return C.N; } }"
+  in
+  Alcotest.(check int) "one static init" 1 (List.length md.Ir.md_static_inits);
+  let inits = List.assoc "C" md.Ir.md_field_inits in
+  Alcotest.(check int) "one field init" 1 (List.length inits)
+
+let test_shadowing_renamed () =
+  (* two variables named x in different scopes become distinct IR names *)
+  let md =
+    lower
+      "class C { static int f() { int x = 1; if (x > 0) { int y = x + 1; x \
+       = y; } return x; } }"
+  in
+  let st = Lime_ir.Interp.create md in
+  let v = Lime_ir.Interp.run st ~cls:"C" ~meth:"f" [] in
+  Alcotest.(check bool) "result 2" true (v = Lime_ir.Value.VInt 2)
+
+let () =
+  Alcotest.run "ir-lowering"
+    [
+      ( "loops",
+        [
+          Alcotest.test_case "canonical for" `Quick test_canonical_for;
+          Alcotest.test_case "non-canonical for" `Quick test_noncanonical_for;
+          Alcotest.test_case "continue rejected" `Quick
+            test_continue_rejected_in_noncanonical;
+        ] );
+      ( "map/reduce",
+        [
+          Alcotest.test_case "map lowering" `Quick test_map_lowering;
+          Alcotest.test_case "map over range" `Quick
+            test_map_over_range_binds_index;
+          Alcotest.test_case "reduce lowering" `Quick test_reduce_lowering;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "lazy conditional" `Quick test_cond_lowered_lazily;
+          Alcotest.test_case "inits" `Quick test_field_inits_and_statics;
+          Alcotest.test_case "shadowing" `Quick test_shadowing_renamed;
+        ] );
+    ]

@@ -1,0 +1,102 @@
+(* Unit tests for the Lime lexer. *)
+
+open Lime_frontend
+
+let toks src = List.map (fun l -> l.Lexer.tok) (Lexer.tokenize src)
+
+let tok = Alcotest.testable (Fmt.of_to_string Token.to_string) ( = )
+
+let check_toks name src expected =
+  Alcotest.(check (list tok)) name (expected @ [ Token.EOF ]) (toks src)
+
+let test_idents_keywords () =
+  check_toks "keywords vs identifiers" "class value foo task taskx"
+    Token.[ KW_CLASS; KW_VALUE; IDENT "foo"; KW_TASK; IDENT "taskx" ]
+
+let test_numbers () =
+  check_toks "ints and floats" "0 42 1.5f 2.5 1e3 7L 0x1F 2.0d"
+    Token.
+      [
+        INT 0L; INT 42L; FLOAT 1.5; DOUBLE 2.5; DOUBLE 1000.0; INT 7L;
+        INT 31L; DOUBLE 2.0;
+      ]
+
+let test_hex_long () =
+  check_toks "hex with long suffix" "0xFFL" Token.[ INT 255L ];
+  check_toks "big hex" "0x7FFFFFFFFFFFFFFF"
+    Token.[ INT Int64.max_int ]
+
+let test_operators () =
+  check_toks "compound operators" "== != <= >= && || << >> >>> => ++ -- += @ !"
+    Token.
+      [
+        EQ; NE; LE; GE; ANDAND; OROR; SHL; SHR; USHR; CONNECT; PLUSPLUS;
+        MINUSMINUS; PLUS_ASSIGN; AT; BANG;
+      ]
+
+let test_brackets () =
+  (* adjacent brackets fuse; separated ones do not *)
+  check_toks "fused" "[[ ]]" Token.[ DLBRACKET; DRBRACKET ];
+  check_toks "split" "[ [ ] ]"
+    Token.[ LBRACKET; LBRACKET; RBRACKET; RBRACKET ];
+  check_toks "value array type" "float[[][4]]"
+    Token.
+      [
+        KW_FLOAT; DLBRACKET; RBRACKET; LBRACKET; INT 4L; DRBRACKET;
+      ]
+
+let test_nested_index () =
+  (* a[b[i]] ends with a fused ]] the parser re-splits *)
+  check_toks "nested index" "a[b[i]]"
+    Token.
+      [
+        IDENT "a"; LBRACKET; IDENT "b"; LBRACKET; IDENT "i"; DRBRACKET;
+      ]
+
+let test_comments () =
+  check_toks "line comment" "a // comment here\n b"
+    Token.[ IDENT "a"; IDENT "b" ];
+  check_toks "block comment" "a /* x\n y */ b" Token.[ IDENT "a"; IDENT "b" ]
+
+let test_strings_chars () =
+  check_toks "char and string" {|'x' "hi\n"|}
+    Token.[ CHARLIT 'x'; STRINGLIT "hi\n" ];
+  check_toks "escaped char" {|'\n'|} Token.[ CHARLIT '\n' ]
+
+let test_positions () =
+  let ls = Lexer.tokenize ~name:"t" "ab\n  cd" in
+  let second = List.nth ls 1 in
+  Alcotest.(check int) "line" 2
+    (Lime_support.Loc.start_pos_of second.Lexer.loc).Lime_support.Loc.line;
+  Alcotest.(check int) "col" 2
+    (Lime_support.Loc.start_pos_of second.Lexer.loc).Lime_support.Loc.col
+
+let expect_lex_error src =
+  match Lime_support.Diag.protect (fun () -> Lexer.tokenize src) with
+  | Ok _ -> Alcotest.fail ("expected lex error for: " ^ src)
+  | Error d ->
+      Alcotest.(check bool) "lexer phase" true (d.Lime_support.Diag.phase = Lime_support.Diag.Lexer)
+
+let test_errors () =
+  expect_lex_error "a $ b";
+  expect_lex_error "\"unterminated";
+  expect_lex_error "'a";
+  expect_lex_error "/* unterminated"
+
+let () =
+  Alcotest.run "lexer"
+    [
+      ( "tokens",
+        [
+          Alcotest.test_case "idents/keywords" `Quick test_idents_keywords;
+          Alcotest.test_case "numbers" `Quick test_numbers;
+          Alcotest.test_case "hex/long" `Quick test_hex_long;
+          Alcotest.test_case "operators" `Quick test_operators;
+          Alcotest.test_case "brackets" `Quick test_brackets;
+          Alcotest.test_case "nested index" `Quick test_nested_index;
+          Alcotest.test_case "comments" `Quick test_comments;
+          Alcotest.test_case "strings/chars" `Quick test_strings_chars;
+          Alcotest.test_case "positions" `Quick test_positions;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+    ]

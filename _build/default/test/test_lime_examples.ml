@@ -1,0 +1,129 @@
+(* The shipped .lime example programs must compile through the full
+   pipeline, produce validator-clean OpenCL, and (where meaningful) execute
+   correctly through the interpreter. *)
+
+module V = Lime_ir.Value
+
+let dir =
+  (* dune copies the examples next to the workspace root inside _build *)
+  let candidates =
+    [ "../examples/lime"; "examples/lime"; "../../examples/lime" ]
+  in
+  List.find Sys.file_exists candidates
+
+let read name =
+  In_channel.with_open_text (Filename.concat dir name) In_channel.input_all
+
+let compile name worker =
+  Lime_gpu.Pipeline.compile ~name ~worker (read name)
+
+let test_compiles name worker () =
+  let c = compile name worker in
+  let r = Lime_gpu.Clcheck.check c.Lime_gpu.Pipeline.cp_opencl in
+  if not (Lime_gpu.Clcheck.ok r) then
+    Alcotest.failf "%s: invalid OpenCL:\n%s" name (Lime_gpu.Clcheck.report r)
+
+let test_histogram_executes () =
+  let c = compile "histogram.lime" "Hist.maxBinCount" in
+  let st = Lime_ir.Interp.create c.Lime_gpu.Pipeline.cp_module in
+  (* all samples in bin 0 -> the max bin count equals the array length *)
+  let data = V.of_float_array (Array.make 10 0.01) in
+  let v =
+    Lime_ir.Interp.run st ~cls:"Hist" ~meth:"maxBinCount" [ V.VArr data ]
+  in
+  Alcotest.(check bool) "max bin count" true (v = V.VInt 10)
+
+let test_saxpy_executes () =
+  let c = compile "saxpy.lime" "Saxpy.run" in
+  let st = Lime_ir.Interp.create c.Lime_gpu.Pipeline.cp_module in
+  let xs = V.of_float_array [| 1.0; 2.0; 4.0 |] in
+  let v = Lime_ir.Interp.run st ~cls:"Saxpy" ~meth:"run" [ V.VArr xs ] in
+  (* y = 0.5 x, result = 2x + y = 2.5x *)
+  let want = V.of_float_array [| 2.5; 5.0; 10.0 |] in
+  Alcotest.(check bool) "saxpy values" true
+    (V.approx_equal ~rtol:1e-6 ~atol:0.0 v (V.VArr want))
+
+let test_matmul_executes () =
+  (* run the matmul task graph end-to-end and validate against a direct
+     OCaml multiply *)
+  let c = compile "matmul.lime" "MatMul.multiply" in
+  let n = 6 in
+  let _, r =
+    Lime_runtime.Engine.run_program Lime_runtime.Engine.default_config
+      c.Lime_gpu.Pipeline.cp_module ~cls:"MatMulApp" ~meth:"main"
+      [ V.VInt n; V.VInt 1 ]
+  in
+  (* rebuild the generated matrices and multiply directly *)
+  let st = Lime_ir.Interp.create c.Lime_gpu.Pipeline.cp_module in
+  let packed =
+    Lime_ir.Interp.run_instance st ~cls:"MatMulApp" ~ctor_args:[ V.VInt n ]
+      ~meth:"matrixGen" []
+  in
+  let pa = match packed with V.VArr a -> a | _ -> assert false in
+  let get i k =
+    match V.index pa [ i; k ] with
+    | V.VFloat f -> f
+    | _ -> assert false
+  in
+  let want = V.make_arr ~is_value:true Lime_ir.Ir.SFloat [| n; n |] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for k = 0 to 31 do
+        acc := V.f32 (!acc +. V.f32 (get i k *. get (n + j) k))
+      done;
+      V.store want [ i; j ] (V.VFloat (V.f32 !acc))
+    done
+  done;
+  Alcotest.(check bool) "matmul values" true
+    (V.approx_equal ~rtol:1e-5 ~atol:1e-6 r.Lime_runtime.Engine.last_value
+       (V.VArr want))
+
+let test_matmul_uses_local_memory () =
+  (* under the local configuration the streamed operand is staged in local
+     memory (under config_all, constant memory wins the priority order) *)
+  let c =
+    Lime_gpu.Pipeline.compile ~config:Lime_gpu.Memopt.config_local_noconflict
+      ~name:"matmul.lime" ~worker:"MatMul.multiply" (read "matmul.lime")
+  in
+  let space =
+    (Lime_gpu.Memopt.placement_for c.Lime_gpu.Pipeline.cp_decisions "packed")
+      .Lime_ir.Ir.space
+  in
+  Alcotest.(check string) "B^T stream staged in local" "local"
+    (Lime_ir.Ir.mem_space_name space)
+
+let test_histogram_uses_constant_memory () =
+  let c = compile "histogram.lime" "Hist.maxBinCount" in
+  let space =
+    (Lime_gpu.Memopt.placement_for c.Lime_gpu.Pipeline.cp_decisions "data")
+      .Lime_ir.Ir.space
+  in
+  Alcotest.(check string) "broadcast data in constant" "constant"
+    (Lime_ir.Ir.mem_space_name space)
+
+let () =
+  Alcotest.run "lime-examples"
+    [
+      ( "compile",
+        [
+          Alcotest.test_case "nbody.lime" `Quick
+            (test_compiles "nbody.lime" "NBody.computeForces");
+          Alcotest.test_case "saxpy.lime" `Quick
+            (test_compiles "saxpy.lime" "Saxpy.run");
+          Alcotest.test_case "histogram.lime" `Quick
+            (test_compiles "histogram.lime" "Hist.maxBinCount");
+          Alcotest.test_case "matmul.lime" `Quick
+            (test_compiles "matmul.lime" "MatMul.multiply");
+        ] );
+      ( "execute",
+        [
+          Alcotest.test_case "histogram" `Quick test_histogram_executes;
+          Alcotest.test_case "saxpy" `Quick test_saxpy_executes;
+          Alcotest.test_case "histogram placement" `Quick
+            test_histogram_uses_constant_memory;
+          Alcotest.test_case "matmul" `Quick test_matmul_executes;
+          Alcotest.test_case "matmul placement" `Quick
+            test_matmul_uses_local_memory;
+        ] );
+    ]

@@ -1,0 +1,209 @@
+(* Table-driven semantics tests: every binary/unary operator and cast, for
+   every scalar type, executed through the FULL pipeline (parse → check →
+   lower → interpret) and compared against independently computed Java
+   semantics.  This pins down the numeric model the differential tests and
+   the simulator rely on. *)
+
+module V = Lime_ir.Value
+
+let run ~ret ~ty ~expr args =
+  let params =
+    args
+    |> List.mapi (fun i _ -> Printf.sprintf "%s p%d" ty i)
+    |> String.concat ", "
+  in
+  let src =
+    Printf.sprintf "class T { static %s f(%s) { return %s; } }" ret params
+      expr
+  in
+  let md =
+    Lime_ir.Lower.lower_program (Lime_typecheck.Check.check_string src)
+  in
+  let st = Lime_ir.Interp.create md in
+  Lime_ir.Interp.run st ~cls:"T" ~meth:"f" args
+
+let int_case name expr args expected =
+  Alcotest.test_case name `Quick (fun () ->
+      match run ~ret:"int" ~ty:"int" ~expr (List.map (fun i -> V.VInt i) args) with
+      | V.VInt got -> Alcotest.(check int) name expected got
+      | v -> Alcotest.failf "expected int, got %s" (V.to_string v))
+
+let bool_case name expr args expected =
+  Alcotest.test_case name `Quick (fun () ->
+      match
+        run ~ret:"boolean" ~ty:"int" ~expr (List.map (fun i -> V.VInt i) args)
+      with
+      | V.VInt got -> Alcotest.(check int) name (if expected then 1 else 0) got
+      | v -> Alcotest.failf "expected bool, got %s" (V.to_string v))
+
+let long_case name expr args expected =
+  Alcotest.test_case name `Quick (fun () ->
+      match
+        run ~ret:"long" ~ty:"long" ~expr (List.map (fun i -> V.VLong i) args)
+      with
+      | V.VLong got ->
+          Alcotest.(check int64) name expected got
+      | v -> Alcotest.failf "expected long, got %s" (V.to_string v))
+
+let float_case name expr args expected =
+  Alcotest.test_case name `Quick (fun () ->
+      match
+        run ~ret:"float" ~ty:"float" ~expr
+          (List.map (fun f -> V.VFloat (V.f32 f)) args)
+      with
+      | V.VFloat got -> Alcotest.(check (float 0.0)) name (V.f32 expected) got
+      | v -> Alcotest.failf "expected float, got %s" (V.to_string v))
+
+let double_case name expr args expected =
+  Alcotest.test_case name `Quick (fun () ->
+      match
+        run ~ret:"double" ~ty:"double" ~expr
+          (List.map (fun f -> V.VDouble f) args)
+      with
+      | V.VDouble got -> Alcotest.(check (float 1e-15)) name expected got
+      | v -> Alcotest.failf "expected double, got %s" (V.to_string v))
+
+(* Java reference semantics via Int32 *)
+let j op a b = Int32.to_int (op (Int32.of_int a) (Int32.of_int b))
+
+let int_arith =
+  [
+    int_case "add wrap" "p0 + p1" [ 2147483647; 1 ] (j Int32.add 2147483647 1);
+    int_case "sub wrap" "p0 - p1" [ -2147483648; 1 ] (j Int32.sub (-2147483648) 1);
+    int_case "mul wrap" "p0 * p1" [ 123456789; 987654321 ]
+      (j Int32.mul 123456789 987654321);
+    int_case "div trunc toward zero" "p0 / p1" [ -7; 2 ] (-3);
+    int_case "mod sign follows dividend" "p0 % p1" [ -7; 2 ] (-1);
+    int_case "neg" "-p0" [ 5 ] (-5);
+    int_case "neg min wraps" "-p0" [ -2147483648 ] (-2147483648);
+    int_case "bitand" "p0 & p1" [ 0b1100; 0b1010 ] 0b1000;
+    int_case "bitor" "p0 | p1" [ 0b1100; 0b1010 ] 0b1110;
+    int_case "bitxor" "p0 ^ p1" [ 0b1100; 0b1010 ] 0b0110;
+    int_case "bitnot" "~p0" [ 0 ] (-1);
+    int_case "shl wraps" "p0 << p1" [ 1; 31 ] (-2147483648);
+    int_case "shl shift masked" "p0 << p1" [ 1; 33 ] 2;
+    int_case "shr sign extends" "p0 >> p1" [ -8; 1 ] (-4);
+    int_case "ushr zero fills" "p0 >>> p1" [ -1; 28 ] 15;
+    int_case "precedence" "p0 + p1 * 3" [ 1; 2 ] 7;
+    int_case "ternary" "p0 > p1 ? p0 : p1" [ 3; 9 ] 9;
+  ]
+
+let comparisons =
+  [
+    bool_case "lt" "p0 < p1" [ 1; 2 ] true;
+    bool_case "le eq" "p0 <= p1" [ 2; 2 ] true;
+    bool_case "gt" "p0 > p1" [ 1; 2 ] false;
+    bool_case "ge" "p0 >= p1" [ 3; 2 ] true;
+    bool_case "eq" "p0 == p1" [ 4; 4 ] true;
+    bool_case "ne" "p0 != p1" [ 4; 4 ] false;
+    bool_case "and short" "p0 != 0 && 10 / p0 > 1" [ 0 ] false;
+    bool_case "or" "p0 == 0 || p0 > 5" [ 7 ] true;
+    bool_case "not" "!(p0 == 1)" [ 2 ] true;
+  ]
+
+let long_arith =
+  [
+    long_case "add" "p0 + p1" [ 0x7FFF_FFFF_FFFF_FFFFL; 1L ] Int64.min_int;
+    long_case "mul" "p0 * p1" [ 3_000_000_000L; 3L ] 9_000_000_000L;
+    long_case "shl" "p0 << 32" [ 5L ] (Int64.shift_left 5L 32);
+    long_case "ushr" "p0 >>> 60" [ -1L ] 15L;
+    long_case "and" "p0 & p1" [ 0xFF00L; 0x0FF0L ] 0x0F00L;
+    long_case "div" "p0 / p1" [ -9L; 2L ] (-4L);
+  ]
+
+let float_arith =
+  [
+    float_case "add rounds" "p0 + p1" [ 0.1; 0.2 ] (V.f32 0.1 +. V.f32 0.2);
+    float_case "mul" "p0 * p1" [ 1.5; 2.0 ] 3.0;
+    float_case "div" "p0 / p1" [ 1.0; 3.0 ] (1.0 /. 3.0);
+    float_case "chain rounds each step" "p0 * p1 * p1" [ 1.0000001; 3.1415927 ]
+      (V.f32 (V.f32 (V.f32 1.0000001 *. V.f32 3.1415927) *. V.f32 3.1415927));
+    float_case "sub" "p0 - p1" [ 10.5; 0.25 ] 10.25;
+  ]
+
+let double_arith =
+  [
+    double_case "add exact" "p0 + p1" [ 0.1; 0.2 ] (0.1 +. 0.2);
+    double_case "no f32 rounding" "p0 * p1" [ 1.0000001; 3.1415927 ]
+      (1.0000001 *. 3.1415927);
+    double_case "sqrt" "Math.sqrt(p0)" [ 2.0 ] (sqrt 2.0);
+    double_case "pow" "Math.pow(p0, p1)" [ 2.0; 10.0 ] 1024.0;
+    double_case "atan2" "Math.atan2(p0, p1)" [ 1.0; 1.0 ] (atan2 1.0 1.0);
+  ]
+
+let casts =
+  [
+    Alcotest.test_case "double->int truncates" `Quick (fun () ->
+        match
+          run ~ret:"int" ~ty:"double" ~expr:"(int) p0" [ V.VDouble 3.99 ]
+        with
+        | V.VInt 3 -> ()
+        | v -> Alcotest.failf "got %s" (V.to_string v));
+    Alcotest.test_case "negative double->int toward zero" `Quick (fun () ->
+        match
+          run ~ret:"int" ~ty:"double" ~expr:"(int) p0" [ V.VDouble (-3.99) ]
+        with
+        | V.VInt -3 -> ()
+        | v -> Alcotest.failf "got %s" (V.to_string v));
+    Alcotest.test_case "int->byte truncates" `Quick (fun () ->
+        match run ~ret:"byte" ~ty:"int" ~expr:"(byte) p0" [ V.VInt 0x1FF ] with
+        | V.VInt (-1) -> ()
+        | v -> Alcotest.failf "got %s" (V.to_string v));
+    Alcotest.test_case "int->char wraps unsigned" `Quick (fun () ->
+        match run ~ret:"char" ~ty:"int" ~expr:"(char) p0" [ V.VInt (-1) ] with
+        | V.VInt 65535 -> ()
+        | v -> Alcotest.failf "got %s" (V.to_string v));
+    Alcotest.test_case "float widening is implicit" `Quick (fun () ->
+        match
+          run ~ret:"double" ~ty:"float" ~expr:"p0 + 1.0" [ V.VFloat 0.5 ]
+        with
+        | V.VDouble 1.5 -> ()
+        | v -> Alcotest.failf "got %s" (V.to_string v));
+    Alcotest.test_case "int literal to float ctx" `Quick (fun () ->
+        match run ~ret:"float" ~ty:"int" ~expr:"(float) p0 / 4.0f" [ V.VInt 10 ] with
+        | V.VFloat f -> Alcotest.(check (float 0.0)) "2.5" 2.5 f
+        | v -> Alcotest.failf "got %s" (V.to_string v));
+  ]
+
+(* byte/char arithmetic promotes to int, like Java *)
+let promotion =
+  [
+    Alcotest.test_case "byte + byte = int" `Quick (fun () ->
+        let src =
+          "class T { static int f(byte a, byte b) { return a + b; } }"
+        in
+        let md =
+          Lime_ir.Lower.lower_program (Lime_typecheck.Check.check_string src)
+        in
+        let st = Lime_ir.Interp.create md in
+        match
+          Lime_ir.Interp.run st ~cls:"T" ~meth:"f" [ V.VInt 100; V.VInt 100 ]
+        with
+        | V.VInt 200 -> () (* no byte wraparound: promoted to int first *)
+        | v -> Alcotest.failf "got %s" (V.to_string v));
+    Alcotest.test_case "byte sum narrowed back" `Quick (fun () ->
+        let src =
+          "class T { static byte f(byte a, byte b) { return (byte)(a + b); } }"
+        in
+        let md =
+          Lime_ir.Lower.lower_program (Lime_typecheck.Check.check_string src)
+        in
+        let st = Lime_ir.Interp.create md in
+        match
+          Lime_ir.Interp.run st ~cls:"T" ~meth:"f" [ V.VInt 100; V.VInt 100 ]
+        with
+        | V.VInt (-56) -> ()
+        | v -> Alcotest.failf "got %s" (V.to_string v));
+  ]
+
+let () =
+  Alcotest.run "semantics"
+    [
+      ("int", int_arith);
+      ("comparisons", comparisons);
+      ("long", long_arith);
+      ("float", float_arith);
+      ("double", double_arith);
+      ("casts", casts);
+      ("promotion", promotion);
+    ]

@@ -1,0 +1,126 @@
+(* Unit tests for lib/support: locations, diagnostics, PRNG, utilities. *)
+
+open Lime_support
+
+let test_loc_merge () =
+  let a = Loc.of_positions "f.lime" (1, 0, 0) (1, 5, 5) in
+  let b = Loc.of_positions "f.lime" (2, 3, 10) (2, 8, 15) in
+  let m = Loc.merge a b in
+  Alcotest.(check int) "start line" 1 (Loc.start_pos_of m).Loc.line;
+  Alcotest.(check int) "end line" 2 (Loc.end_pos_of m).Loc.line;
+  Alcotest.(check bool) "dummy merge keeps other" true
+    (Loc.merge Loc.dummy b = b)
+
+let test_loc_pp () =
+  let a = Loc.of_positions "f.lime" (3, 2, 12) (3, 7, 17) in
+  Alcotest.(check string) "single-line span" "f.lime:3:2-7" (Loc.to_string a);
+  Alcotest.(check bool) "dummy prints" true
+    (Loc.to_string Loc.dummy = "<unknown location>")
+
+let test_diag_error () =
+  match
+    Diag.protect (fun () ->
+        Diag.error ~phase:Diag.Typecheck ~loc:Loc.dummy "bad %s" "thing")
+  with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error d ->
+      Alcotest.(check string) "message" "bad thing" d.Diag.message;
+      Alcotest.(check bool) "phase in rendering" true
+        (Util.contains_substring ~sub:"[typecheck]" (Diag.to_string d))
+
+let test_diag_collector () =
+  let c = Diag.collector () in
+  Diag.warn c ~phase:Diag.Parser ~loc:Loc.dummy "w1";
+  Diag.warn c ~phase:Diag.Parser ~loc:Loc.dummy "w2";
+  Alcotest.(check int) "two warnings" 2 (List.length (Diag.items c));
+  Alcotest.(check string) "order preserved" "w1"
+    (List.hd (Diag.items c)).Diag.message
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  let xs = List.init 100 (fun _ -> Prng.int a 1000) in
+  let ys = List.init 100 (fun _ -> Prng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys
+
+let test_prng_ranges () =
+  let r = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Prng.int r 17 in
+    Alcotest.(check bool) "int in range" true (x >= 0 && x < 17);
+    let f = Prng.float01 r in
+    Alcotest.(check bool) "float01 in range" true (f >= 0.0 && f < 1.0);
+    let g = Prng.float_range r (-2.0) 3.0 in
+    Alcotest.(check bool) "float_range in range" true (g >= -2.0 && g < 3.0)
+  done
+
+let test_prng_copy () =
+  let a = Prng.create 9 in
+  ignore (Prng.int a 100);
+  let b = Prng.copy a in
+  Alcotest.(check int) "copy continues identically" (Prng.int a 1000)
+    (Prng.int b 1000)
+
+let test_prng_shuffle () =
+  let r = Prng.create 3 in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle_in_place r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_util_arith () =
+  Alcotest.(check int) "round_up" 12 (Util.round_up 9 4);
+  Alcotest.(check int) "round_up exact" 8 (Util.round_up 8 4);
+  Alcotest.(check int) "ceil_div" 3 (Util.ceil_div 9 4);
+  Alcotest.(check bool) "is_pow2" true (Util.is_pow2 64);
+  Alcotest.(check bool) "is_pow2 false" false (Util.is_pow2 48);
+  Alcotest.(check int) "next_pow2" 64 (Util.next_pow2 33);
+  Alcotest.(check int) "clamp" 5 (Util.clamp 0 5 9)
+
+let test_util_strings () =
+  Alcotest.(check bool) "starts_with" true
+    (Util.starts_with ~prefix:"__kernel" "__kernel void f()");
+  Alcotest.(check bool) "contains" true
+    (Util.contains_substring ~sub:"float4" "__global float4* p");
+  Alcotest.(check bool) "not contains" false
+    (Util.contains_substring ~sub:"double" "float");
+  Alcotest.(check int) "count_lines" 3 (Util.count_lines "a\nb\nc");
+  Alcotest.(check int) "count_lines empty" 0 (Util.count_lines "")
+
+let test_util_bytes () =
+  Alcotest.(check string) "KB" "64KB" (Util.bytes_to_string 65536);
+  Alcotest.(check string) "MB" "3MB" (Util.bytes_to_string (3 * 1024 * 1024));
+  Alcotest.(check string) "B" "100B" (Util.bytes_to_string 100)
+
+let test_util_geomean () =
+  let g = Util.geomean [ 1.0; 4.0 ] in
+  Alcotest.(check (float 1e-9)) "geomean" 2.0 g
+
+let () =
+  Alcotest.run "support"
+    [
+      ( "loc",
+        [
+          Alcotest.test_case "merge" `Quick test_loc_merge;
+          Alcotest.test_case "pp" `Quick test_loc_pp;
+        ] );
+      ( "diag",
+        [
+          Alcotest.test_case "error" `Quick test_diag_error;
+          Alcotest.test_case "collector" `Quick test_diag_collector;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "ranges" `Quick test_prng_ranges;
+          Alcotest.test_case "copy" `Quick test_prng_copy;
+          Alcotest.test_case "shuffle" `Quick test_prng_shuffle;
+        ] );
+      ( "util",
+        [
+          Alcotest.test_case "arith" `Quick test_util_arith;
+          Alcotest.test_case "strings" `Quick test_util_strings;
+          Alcotest.test_case "bytes" `Quick test_util_bytes;
+          Alcotest.test_case "geomean" `Quick test_util_geomean;
+        ] );
+    ]

@@ -1,0 +1,136 @@
+(* Unit tests for the thread-dependence dataflow (Lime_gpu.Taint): the
+   classification backbone of the memory optimizer and the profiler. *)
+
+module Ir = Lime_ir.Ir
+module Taint = Lime_gpu.Taint
+
+let body_of src ~worker =
+  (Lime_gpu.Kernel.extract
+     (Lime_ir.Lower.lower_program (Lime_typecheck.Check.check_string src))
+     ~worker)
+    .Lime_gpu.Kernel.k_body
+
+(* find the IR name a source variable was renamed to (first match) *)
+let ir_name_of body src_name =
+  let found = ref None in
+  List.iter
+    (Ir.iter_stmt
+       ~stmt:(fun s ->
+         match s with
+         | Ir.SDecl (v, _, _)
+           when !found = None
+                && Lime_support.Util.contains_substring
+                     ~sub:("%" ^ src_name) v ->
+             found := Some v
+         | _ -> ())
+       ~expr:(fun _ -> ()))
+    body;
+  !found
+
+let src =
+  {|class K {
+  static local float f(float[[]] shared, int n, int i) {
+    int untainted = n * 2;
+    int derived = i * 3;
+    float acc = 0.0f;
+    for (int j = 0; j < n; j++) {
+      acc += shared[untainted + j];
+    }
+    float viaAcc = acc + (float) derived;
+    return viaAcc;
+  }
+  static local float[[]] work(float[[]] shared, int n) {
+    return K.f(shared, n) @ Lime.range(n);
+  }
+}|}
+
+let test_flow () =
+  let body = body_of src ~worker:"K.work" in
+  let t = Taint.thread_dependent body in
+  let tainted name =
+    match ir_name_of body name with
+    | Some v -> Hashtbl.mem t v
+    | None -> Alcotest.failf "variable %s not found in IR" name
+  in
+  Alcotest.(check bool) "n-derived scalar untainted" false
+    (tainted "untainted");
+  Alcotest.(check bool) "index-derived scalar tainted" true
+    (tainted "derived");
+  Alcotest.(check bool) "accumulator fed by shared loads untainted" false
+    (tainted "acc");
+  Alcotest.(check bool) "value through tainted operand tainted" true
+    (tainted "viaAcc")
+
+let test_reduce_dst_tainted () =
+  let src =
+    {|class K {
+  static local long score(int[[]] data, int refIdx, int t) {
+    return ((long) data[t] << 32) | (long) t;
+  }
+  static local int f(int[[]] data, int r) {
+    long[[]] scores = K.score(data, r) @ Lime.range(8);
+    long best = Math.min ! scores;
+    return (int) (best & 0xFFFFFFFFL);
+  }
+  static local int[[]] work(int[[]] data) {
+    return K.f(data) @ Lime.range(data.length);
+  }
+}|}
+  in
+  let body = body_of src ~worker:"K.work" in
+  let t = Taint.thread_dependent body in
+  (* the per-thread scores array and the reduce destination are tainted *)
+  let any_tainted prefix =
+    Hashtbl.fold
+      (fun v () acc ->
+        acc || Lime_support.Util.contains_substring ~sub:prefix v)
+      t false
+  in
+  Alcotest.(check bool) "per-thread map output tainted" true
+    (any_tainted "mapout");
+  Alcotest.(check bool) "reduce destination tainted" true (any_tainted "red")
+
+let test_seq_loop_vars_not_tainted () =
+  let body = body_of src ~worker:"K.work" in
+  let t = Taint.thread_dependent body in
+  (* sequential loop counters stay shared *)
+  List.iter
+    (Ir.iter_stmt
+       ~stmt:(fun s ->
+         match s with
+         | Ir.SFor (v, _, _, _) ->
+             Alcotest.(check bool)
+               (v ^ " seq loop var untainted")
+               false (Hashtbl.mem t v)
+         | _ -> ())
+       ~expr:(fun _ -> ()))
+    body
+
+let test_parallel_index_tainted () =
+  let body = body_of src ~worker:"K.work" in
+  let t = Taint.thread_dependent body in
+  List.iter
+    (Ir.iter_stmt
+       ~stmt:(fun s ->
+         match s with
+         | Ir.SParFor p ->
+             Alcotest.(check bool) "pf var tainted" true
+               (Hashtbl.mem t p.Ir.pf_var)
+         | _ -> ())
+       ~expr:(fun _ -> ()))
+    body
+
+let () =
+  Alcotest.run "taint"
+    [
+      ( "dataflow",
+        [
+          Alcotest.test_case "flow rules" `Quick test_flow;
+          Alcotest.test_case "reduce destination" `Quick
+            test_reduce_dst_tainted;
+          Alcotest.test_case "seq loop vars" `Quick
+            test_seq_loop_vars_not_tainted;
+          Alcotest.test_case "parallel index" `Quick
+            test_parallel_index_tainted;
+        ] );
+    ]

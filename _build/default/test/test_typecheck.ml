@@ -1,0 +1,327 @@
+(* Unit tests for the type checker: every acceptance and rejection rule the
+   paper's compiler relies on (§3): value immutability, local-method
+   isolation, map/reduce typing, task/connect typing, numeric promotion. *)
+
+open Lime_typecheck
+module D = Lime_support.Diag
+
+let ok name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match D.protect (fun () -> Check.check_string src) with
+      | Ok _ -> ()
+      | Error d -> Alcotest.fail (D.to_string d))
+
+(* [reject name fragment src]: type checking must fail with a message
+   containing [fragment]. *)
+let reject name fragment src =
+  Alcotest.test_case name `Quick (fun () ->
+      match D.protect (fun () -> Check.check_string src) with
+      | Ok _ -> Alcotest.fail "expected a type error"
+      | Error d ->
+          if
+            not
+              (Lime_support.Util.contains_substring ~sub:fragment
+                 d.D.message)
+          then
+            Alcotest.fail
+              (Printf.sprintf "expected error mentioning %S, got: %s" fragment
+                 d.D.message))
+
+let wrap body = Printf.sprintf "class C { %s }" body
+
+(* ------------------------------------------------------------------ *)
+(* Basic typing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let basics =
+  [
+    ok "arithmetic promotion"
+      (wrap "double f(int a, float b) { return a + b * 2.0f; }");
+    ok "widening assignment" (wrap "double f(int x) { double d = x; return d; }");
+    reject "narrowing needs cast" "expected int"
+      (wrap "int f(double d) { int x = d; return x; }");
+    ok "explicit cast" (wrap "int f(double d) { return (int) d; }");
+    reject "boolean arithmetic" "must be numeric"
+      (wrap "int f(boolean b) { return b + 1; }");
+    reject "if condition type" "must be boolean"
+      (wrap "void f(int x) { if (x) { } }");
+    reject "unknown variable" "unknown variable"
+      (wrap "int f() { return y; }");
+    reject "duplicate variable" "already declared"
+      (wrap "void f() { int x = 1; int x = 2; }");
+    ok "shadowing in inner scope"
+      (wrap "void f() { int x = 1; if (x > 0) { int y = x; x = y; } }");
+    reject "unknown class" "unknown class"
+      (wrap "void f(Foo x) { }");
+    reject "void parameter" "void"
+      (wrap "void f(void v) { }");
+    reject "missing return" "without returning"
+      (wrap "int f(boolean b) { if (b) return 1; }");
+    ok "return on both branches"
+      (wrap "int f(boolean b) { if (b) return 1; else return 2; }");
+    reject "duplicate method" "duplicate method"
+      "class C { void f() { } void f() { } }";
+    reject "duplicate class" "duplicate class" "class C { } class C { }";
+    reject "reserved class name" "reserved" "class Math { }";
+    ok "string in print" (wrap {|void f() { Lime.print("hello"); }|});
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Value types and immutability                                        *)
+(* ------------------------------------------------------------------ *)
+
+let values =
+  [
+    reject "value array element assignment" "immutable"
+      (wrap "void f(float[[]] xs) { xs[0] = 1.0f; }");
+    reject "2d value array element assignment" "immutable"
+      (wrap "void f(float[[][4]] xs) { xs[0][1] = 1.0f; }");
+    ok "mutable array element assignment"
+      (wrap "void f(float[] xs) { xs[0] = 1.0f; }");
+    ok "value array rebinding"
+      (wrap "void f(float[[]] xs, float[[]] ys) { xs = ys; }");
+    reject "new value array" "initialized at construction"
+      (wrap "void f() { float[[]] xs = new float[[10]]; }");
+    ok "array literal builds bounded value array"
+      (wrap "float[[3]] f(float x) { return { x, x, x }; }");
+    ok "bounded to unbounded widening"
+      (wrap "float[[]] f(float x) { return { x, x }; }");
+    reject "unbounded to bounded" "expected float[[2]]"
+      (wrap "float[[2]] f(float[[]] xs) { return xs; }");
+    ok "toValue conversion"
+      (wrap
+         "float[[]] f(int n) { float[] a = new float[n]; return \
+          Lime.toValue(a); }");
+    reject "toValue of value array" "mutable array"
+      (wrap "float[[]] f(float[[]] a) { return Lime.toValue(a); }");
+    reject "value class mutable field" "must be final"
+      "value class V { int x; }";
+    reject "assign final field" "final field"
+      "class C { static final int N = 1; void f() { C.N = 2; } }";
+    ok "final instance field assigned in constructor"
+      "class C { final int n; C(int m) { n = m; } }";
+    reject "final instance field assigned elsewhere" "constructor"
+      "class C { final int n; void f() { n = 3; } }";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Local methods (isolation)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let locals =
+  [
+    ok "local calls local"
+      (wrap
+         "static local int g(int x) { return x; } static local int f(int x) \
+          { return C.g(x); }");
+    reject "local calls non-local" "isolation"
+      (wrap
+         "static int g(int x) { return x; } static local int f(int x) { \
+          return C.g(x); }");
+    ok "local calls Math"
+      (wrap "static local float f(float x) { return Math.sqrt(x); }");
+    reject "local uses print" "cannot be used inside a local method"
+      (wrap "static local int f(int x) { Lime.print(x); return x; }");
+    reject "local reads mutable static" "isolation"
+      (wrap
+         "static int counter; static local int f(int x) { return counter; }");
+    ok "local reads final static"
+      (wrap
+         "static final int N = 10; static local int f(int x) { return x + N; \
+          }");
+    reject "local writes static" "isolation"
+      (wrap
+         "static final int N = 1; static int m; static local int f(int x) { \
+          m = x; return x; }");
+    reject "local param must be value" "value type"
+      (wrap "static local int f(int[] xs) { return xs[0]; }");
+    reject "local return must be value" "value type"
+      (wrap "static local int[] f(int x) { return new int[x]; }");
+    ok "local instance method reads own field"
+      "class C { int n; C(int m) { n = m; } local int f(int x) { return n + \
+       x; } }";
+    reject "local uses toValue" "local method"
+      (wrap
+         "static local float[[]] f(int n) { return Lime.toValue(new \
+          float[n]); }");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Map and reduce                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let mapreduce_src body =
+  Printf.sprintf
+    {|class M {
+  static local float sq(float x) { return x * x; }
+  static local float addc(float c, float x) { return x + c; }
+  float inst(float x) { return x; }
+  %s
+}|}
+    body
+
+let mapreduce =
+  [
+    ok "simple map"
+      (mapreduce_src
+         "static local float[[]] f(float[[]] xs) { return M.sq @ xs; }");
+    ok "map with captured arg"
+      (mapreduce_src
+         "static local float[[]] f(float[[]] xs) { return M.addc(1.0f) @ xs; \
+          }");
+    ok "map over range"
+      (mapreduce_src
+         "static local float[[]] f(int n) { return M.ofint @ Lime.range(n); \
+          } static local float ofint(int i) { return (float) i; }");
+    reject "map function must be static" "must be static"
+      (mapreduce_src
+         "static local float[[]] f(float[[]] xs) { return M.inst @ xs; }");
+    reject "map over mutable array" "value array"
+      (mapreduce_src
+         "static float[[]] f(float[] xs) { return M.sq @ xs; }");
+    reject "map wrong arity" "binds"
+      (mapreduce_src
+         "static local float[[]] f(float[[]] xs) { return M.addc @ xs; }");
+    reject "map elem type mismatch" "array elements"
+      (mapreduce_src
+         "static local float[[]] g(double[[]] xs) { return M.sq @ xs; }");
+    ok "reduce plus"
+      (mapreduce_src "static local float f(float[[]] xs) { return + ! xs; }");
+    ok "reduce max"
+      (mapreduce_src
+         "static local float f(float[[]] xs) { return Math.max ! xs; }");
+    ok "reduce custom combinator"
+      (mapreduce_src
+         "static local float comb(float a, float b) { return a + b; } static \
+          local float f(float[[]] xs) { return M.comb ! xs; }");
+    reject "reduce combinator signature" "signature"
+      (mapreduce_src
+         "static local float bad(float a, int b) { return a; } static local \
+          float f(float[[]] xs) { return M.bad ! xs; }");
+    reject "reduce over mutable" "value array"
+      (mapreduce_src "static float f(float[] xs) { return + ! xs; }");
+    reject "bitwise reduce needs ints" "integer elements"
+      (mapreduce_src "static local float f(float[[]] xs) { return ^ ! xs; }");
+    ok "bounded range has bounded type"
+      (mapreduce_src
+         "static local float[[8]] g() { return M.ofint2 @ Lime.range(8); } \
+          static local float ofint2(int i) { return (float) i; }");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Tasks and connect                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let task_src body =
+  Printf.sprintf
+    {|class T {
+  int n;
+  T(int m) { n = m; }
+  local float[[]] src() { return T.gen @ Lime.range(n); }
+  static local float gen(int i) { return (float) i; }
+  static local float[[]] work(float[[]] xs) { return T.gen @ Lime.range(xs.length); }
+  void sink(float[[]] xs) { }
+  int[[]] intsrc() { return Lime.range(n); }
+  %s
+}|}
+    body
+
+let tasks =
+  [
+    ok "full graph with finish"
+      (task_src
+         "static void main(int n) { (task T(n).src => task T.work => task \
+          T(n).sink).finish(3); }");
+    reject "connect type mismatch" "mismatched port types"
+      (task_src
+         "static void main(int n) { (task T(n).intsrc => task \
+          T.work).finish(); }");
+    reject "finish on incomplete graph" "complete task graph"
+      (task_src
+         "static void main(int n) { (task T(n).src => task T.work).finish(); \
+          }");
+    reject "instance worker without instance" "instance method"
+      (task_src "static void main(int n) { (task T.src).finish(); }");
+    reject "static worker with ctor args" "is static"
+      (task_src "static void main(int n) { (task T(n).work).finish(); }");
+    reject "unknown worker" "unknown worker"
+      (task_src "static void main(int n) { (task T.missing).finish(); }");
+    reject "ctor arity" "expects 1 argument"
+      (task_src "static void main(int n) { (task T(n, n).src).finish(); }");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Isolation verdicts recorded on typed tasks                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_isolation_flag () =
+  let tp =
+    Check.check_string
+      {|class T {
+  int n;
+  T(int m) { n = m; }
+  local float[[]] src() { return T.gen @ Lime.range(n); }
+  static local float gen(int i) { return (float) i; }
+  static local float[[]] work(float[[]] xs) { return T.gen @ Lime.range(xs.length); }
+  static float[[]] notlocal(float[[]] xs) { return xs; }
+  void sink(float[[]] xs) { }
+  static void main(int n) {
+    (task T(n).src => task T.work => task T(n).sink).finish(1);
+    (task T(n).src => task T.notlocal => task T(n).sink).finish(1);
+  }
+}|}
+  in
+  let main = Option.get (Tast.find_method tp "T" "main") in
+  let flags = ref [] in
+  List.iter
+    (Tast.fold_stmt
+       ~stmt:(fun () _ -> ())
+       ~expr:(fun () e ->
+         match e.Tast.te with
+         | Tast.TTaskE tr ->
+             flags := (tr.Tast.tt_method, tr.Tast.tt_isolated) :: !flags
+         | _ -> ())
+       ())
+    main.Tast.tm_body;
+  let get m = List.assoc m !flags in
+  Alcotest.(check bool) "work is isolated" true (get "work");
+  Alcotest.(check bool) "src is isolated (local instance)" true (get "src");
+  Alcotest.(check bool) "notlocal not isolated" false (get "notlocal");
+  Alcotest.(check bool) "sink not isolated" false (get "sink")
+
+let test_map_parallel_flag () =
+  let tp =
+    Check.check_string
+      (mapreduce_src
+         "static local float[[]] f(float[[]] xs) { return M.sq @ xs; }")
+  in
+  let f = Option.get (Tast.find_method tp "M" "f") in
+  let found = ref false in
+  List.iter
+    (Tast.fold_stmt
+       ~stmt:(fun () _ -> ())
+       ~expr:(fun () e ->
+         match e.Tast.te with
+         | Tast.TMap (mi, _, _) ->
+             found := true;
+             Alcotest.(check bool) "map is provably parallel" true
+               mi.Tast.mi_parallel
+         | _ -> ())
+       ())
+    f.Tast.tm_body;
+  Alcotest.(check bool) "map found" true !found
+
+let () =
+  Alcotest.run "typecheck"
+    [
+      ("basics", basics);
+      ("values", values);
+      ("locals", locals);
+      ("mapreduce", mapreduce);
+      ("tasks", tasks);
+      ( "flags",
+        [
+          Alcotest.test_case "isolation" `Quick test_isolation_flag;
+          Alcotest.test_case "map parallel" `Quick test_map_parallel_flag;
+        ] );
+    ]
