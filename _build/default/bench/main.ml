@@ -93,6 +93,50 @@ let run_glue () =
   Printf.printf "\nDistinct OpenCL API procedures used by the glue: %d\n"
     (List.length (Lime_gpu.Hostgen.api_calls_used glue))
 
+(* Cache effectiveness of the compile service: compile the whole suite
+   cold, then again warm, and report the hit rate and the amortized
+   compile-time saving. *)
+let run_service () =
+  section "Compile service — cache hit rate, warm vs cold";
+  let module Service = Lime_service.Service in
+  let module Kcache = Lime_service.Kcache in
+  let svc = Service.create ~capacity:32 () in
+  let compile_suite () =
+    let t0 = Sys.time () in
+    List.iter
+      (fun (b : Lime_benchmarks.Bench_def.t) ->
+        ignore
+          (Service.compile svc ~name:b.Lime_benchmarks.Bench_def.name
+             ~worker:b.Lime_benchmarks.Bench_def.worker
+             b.Lime_benchmarks.Bench_def.source))
+      Lime_benchmarks.Registry.all;
+    Sys.time () -. t0
+  in
+  let cold = compile_suite () in
+  let warm = compile_suite () in
+  let s = Service.stats svc in
+  Printf.printf "suite size:        %d benchmarks\n"
+    (List.length Lime_benchmarks.Registry.all);
+  Printf.printf "cold pass:         %.2f ms (%d misses)\n" (cold *. 1e3)
+    s.Kcache.misses;
+  Printf.printf "warm pass:         %.2f ms (%d hits)\n" (warm *. 1e3)
+    s.Kcache.hits;
+  Printf.printf "hit rate:          %.0f%%\n"
+    (100.0 *. float_of_int s.Kcache.hits
+    /. float_of_int (s.Kcache.hits + s.Kcache.misses));
+  Printf.printf "warm/cold ratio:   %.3f\n"
+    (if cold > 0.0 then warm /. cold else 0.0);
+  (* coalescing: a burst of identical in-flight requests compiles once *)
+  let b = Lime_benchmarks.Nbody.single in
+  let burst =
+    List.init 8 (fun _ ->
+        Service.request ~worker:b.Lime_benchmarks.Bench_def.worker
+          b.Lime_benchmarks.Bench_def.source)
+  in
+  ignore (Service.compile_many svc burst);
+  Printf.printf "coalesced burst:   8 identical requests -> %d coalesced\n"
+    s.Kcache.coalesced
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the compiler pipeline                  *)
 (* ------------------------------------------------------------------ *)
@@ -231,6 +275,7 @@ let all_experiments =
     ("marshal-ablation", run_marshal_ablation);
     ("overlap", run_overlap);
     ("glue", run_glue);
+    ("service", run_service);
     ("compiler", run_compiler_benches);
     ("runtime", run_runtime_benches);
   ]

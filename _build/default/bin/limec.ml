@@ -16,6 +16,8 @@
 
 module Memopt = Lime_gpu.Memopt
 module Pipeline = Lime_gpu.Pipeline
+module Service = Lime_service.Service
+module Metrics = Lime_service.Metrics
 
 let configs =
   [
@@ -40,17 +42,34 @@ let devices =
 
 let parse_shape s =
   (* particles=4096x4 *)
+  let fail msg =
+    Printf.eprintf "bad --shape %s: %s (expected NAME=DIMxDIM..., e.g. particles=4096x4)\n" s msg;
+    exit 2
+  in
   match String.split_on_char '=' s with
-  | [ name; dims ] ->
+  | [ name; dims ] when name <> "" && dims <> "" ->
+      let parse_dim tok =
+        match int_of_string_opt tok with
+        | Some n when n > 0 -> n
+        | Some n -> fail (Printf.sprintf "dimension %d must be positive" n)
+        | None -> fail (Printf.sprintf "%S is not an integer dimension" tok)
+      in
       let shape =
-        String.split_on_char 'x' dims |> List.map int_of_string
-        |> Array.of_list
+        String.split_on_char 'x' dims |> List.map parse_dim |> Array.of_list
       in
       (name, shape)
-  | _ -> failwith ("bad --shape (expected name=DIMxDIM...): " ^ s)
+  | _ -> fail "missing NAME= or DIMS"
+
+let lookup_device flag dev_name =
+  match List.assoc_opt dev_name devices with
+  | Some d -> d
+  | None ->
+      Printf.eprintf "unknown device %s for %s; available: %s\n" dev_name flag
+        (String.concat ", " (List.map fst devices));
+      exit 2
 
 let run file worker config_name dump_ast dump_ir placements emit_opencl
-    emit_glue estimate sweep shapes =
+    emit_glue estimate sweep shapes cache_dir stats run_target run_args =
   let source =
     if file = "-" then In_channel.input_all In_channel.stdin
     else In_channel.with_open_text file In_channel.input_all
@@ -63,14 +82,25 @@ let run file worker config_name dump_ast dump_ir placements emit_opencl
           (String.concat ", " (List.map fst configs));
         exit 2
   in
+  (match cache_dir with
+  | Some d when Sys.file_exists d && not (Sys.is_directory d) ->
+      Printf.eprintf "bad --cache-dir %s: not a directory\n" d;
+      exit 2
+  | _ -> ());
+  if stats then Service.instrument ();
+  let svc = Service.create ?cache_dir ~capacity:16 () in
   match
     Lime_support.Diag.protect (fun () ->
-        Pipeline.compile ~config ~name:file ~worker source)
+        Service.compile_ex svc ~config ~name:file ~worker source)
   with
   | Error d ->
       Printf.eprintf "%s\n" (Lime_support.Diag.to_string d);
       exit 1
-  | Ok c ->
+  | Ok (c, origin) ->
+      if cache_dir <> None then
+        Printf.printf "kernel cache: %s (%s)\n"
+          (match origin with Service.Compiled -> "miss" | _ -> "hit")
+          (Service.origin_name origin);
       let kernel = c.Pipeline.cp_kernel in
       if dump_ast then
         print_endline
@@ -87,34 +117,37 @@ let run file worker config_name dump_ast dump_ir placements emit_opencl
         print_string (Lime_gpu.Hostgen.generate kernel);
       (match sweep with
       | None -> ()
-      | Some dev_name -> (
-          match List.assoc_opt dev_name devices with
-          | None ->
-              Printf.eprintf "unknown device %s\n" dev_name;
-              exit 2
-          | Some d ->
-              let shapes = List.map parse_shape shapes in
-              if shapes = [] then begin
-                Printf.eprintf "--sweep requires at least one --shape\n";
-                exit 2
-              end;
-              Printf.printf
-                "memory-mapping exploration on %s (fastest first):\n"
-                d.Gpusim.Device.name;
-              print_endline
-                (Gpusim.Autotune.describe
-                   (Gpusim.Autotune.sweep d kernel ~shapes ~scalars:[]))));
+      | Some dev_name ->
+          let d = lookup_device "--sweep" dev_name in
+          let shapes = List.map parse_shape shapes in
+          if shapes = [] then begin
+            Printf.eprintf "--sweep requires at least one --shape\n";
+            exit 2
+          end;
+          Printf.printf "memory-mapping exploration on %s (fastest first):\n"
+            d.Gpusim.Device.name;
+          let digest =
+            Service.request_digest ~device:dev_name ~config ~worker source
+          in
+          let entries, status =
+            Service.sweep svc d ~device_key:dev_name ~digest kernel ~shapes
+              ~scalars:[]
+          in
+          if cache_dir <> None then
+            (match status with
+            | `Hit r ->
+                Printf.printf
+                  "tunestore: hit — re-timed stored best %s only\n"
+                  r.Lime_service.Tunestore.tr_config_name
+            | `Miss ->
+                Printf.printf
+                  "tunestore: miss — swept %d configurations, stored best\n"
+                  (List.length entries));
+          print_endline (Gpusim.Autotune.describe entries));
       (match estimate with
       | None -> ()
       | Some dev_name ->
-          let d =
-            match List.assoc_opt dev_name devices with
-            | Some d -> d
-            | None ->
-                Printf.eprintf "unknown device %s; available: %s\n" dev_name
-                  (String.concat ", " (List.map fst devices));
-                exit 2
-          in
+          let d = lookup_device "--estimate" dev_name in
           let shapes = List.map parse_shape shapes in
           if shapes = [] then begin
             Printf.eprintf
@@ -141,16 +174,48 @@ let run file worker config_name dump_ast dump_ir placements emit_opencl
           Format.printf "device: %s@." d.Gpusim.Device.name;
           Format.printf "profile: %s@." (Gpusim.Profile.to_string prof);
           Format.printf "estimate: %a@." Gpusim.Model.pp_breakdown bd);
+      (match run_target with
+      | None -> ()
+      | Some target ->
+          let cls, meth =
+            match String.split_on_char '.' target with
+            | [ cls; meth ] -> (cls, meth)
+            | _ ->
+                Printf.eprintf "bad --run %s (expected CLASS.METHOD)\n" target;
+                exit 2
+          in
+          let args =
+            List.map (fun i -> Lime_ir.Value.VInt i) run_args
+          in
+          let ecfg = Lime_runtime.Engine.default_config in
+          let _, report =
+            try
+              Lime_runtime.Engine.run_program ecfg c.Pipeline.cp_module ~cls
+                ~meth args
+            with Lime_ir.Interp.Runtime_error msg ->
+              Printf.eprintf "cannot run %s: %s\n" target msg;
+              exit 1
+          in
+          Printf.printf "run %s: %d firings (%d offloaded, %d host tasks)\n"
+            target report.Lime_runtime.Engine.firings
+            (List.length report.Lime_runtime.Engine.offloaded_tasks)
+            (List.length report.Lime_runtime.Engine.host_tasks);
+          Format.printf "phases: %a@." Lime_runtime.Comm.pp
+            report.Lime_runtime.Engine.phases);
       if
         (not dump_ast) && (not dump_ir) && (not placements)
         && (not emit_opencl) && (not emit_glue)
-        && estimate = None && sweep = None
+        && estimate = None && sweep = None && run_target = None
       then begin
         Printf.printf "compiled %s: kernel %s (%s)\n" file
           kernel.Lime_gpu.Kernel.k_name
           (if kernel.Lime_gpu.Kernel.k_parallel then "data-parallel"
            else "sequential");
         print_endline (Memopt.describe c.Pipeline.cp_decisions)
+      end;
+      if stats then begin
+        print_endline "--- metrics ---";
+        print_string (Service.expose svc)
       end
 
 open Cmdliner
@@ -210,12 +275,47 @@ let shapes =
     & info [ "shape" ] ~docv:"NAME=DIMS"
         ~doc:"Argument shape for --estimate, e.g. particles=4096x4.")
 
+let cache_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Compile-service cache directory: compiled kernels are stored \
+           content-addressed under DIR/kernels and --sweep results persist \
+           in the DIR/tune tunestore, so repeated invocations start warm.")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print the service metrics exposition (compile counters and \
+           latency histograms; with --run, also the per-leg communication \
+           histograms) after the requested actions.")
+
+let run_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "run" ] ~docv:"CLASS.METHOD"
+        ~doc:
+          "Execute an entry point through the task-graph engine on the \
+           simulated GTX 580 (pass integer arguments with --arg).")
+
+let run_args =
+  Arg.(
+    value & opt_all int []
+    & info [ "arg" ] ~docv:"INT"
+        ~doc:"Integer argument for --run (repeatable, in order).")
+
 let cmd =
   let doc = "Lime-for-GPUs compiler (PLDI 2012 reproduction)" in
   Cmd.v
     (Cmd.info "limec" ~version:"1.0.0" ~doc)
     Term.(
       const run $ file $ worker $ config_name $ dump_ast $ dump_ir
-      $ placements $ emit_opencl $ emit_glue $ estimate $ sweep_arg $ shapes)
+      $ placements $ emit_opencl $ emit_glue $ estimate $ sweep_arg $ shapes
+      $ cache_dir $ stats_arg $ run_arg $ run_args)
 
 let () = exit (Cmd.eval cmd)

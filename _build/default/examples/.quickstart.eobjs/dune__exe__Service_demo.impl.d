@@ -1,0 +1,1 @@
+examples/service_demo.ml: Filename Gpusim Lime_benchmarks Lime_gpu Lime_ir Lime_runtime Lime_service List Printf String Sys

@@ -1,0 +1,1 @@
+examples/service_demo.mli:

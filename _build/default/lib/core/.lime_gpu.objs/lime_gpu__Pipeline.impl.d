@@ -1,1 +1,1 @@
-lib/core/pipeline.ml: Kernel Lime_ir Lime_typecheck List Memopt Opencl Simplify
+lib/core/pipeline.ml: Kernel Lime_ir Lime_typecheck List Memopt Opencl Simplify Sys

@@ -15,18 +15,27 @@ type compiled = {
   cp_config : Memopt.config;
 }
 
+(** Observation hook for compile-service instrumentation: called once per
+    completed {!compile} with the worker name and the elapsed CPU time.
+    The service layer ([lime.service]) installs its metrics here; the
+    default is a no-op so this library stays dependency-free. *)
+let compile_observer : (worker:string -> seconds:float -> unit) ref =
+  ref (fun ~worker:_ ~seconds:_ -> ())
+
 (** Compile [source], offloading the filter whose worker is
     ["Class.method"], under the given optimization configuration.
     [simplify] (default on) runs constant folding and dead-code
     elimination over the extracted kernel. *)
 let compile ?(config = Memopt.config_all) ?(simplify = true)
     ?(name = "<inline>") ~(worker : string) (source : string) : compiled =
+  let t0 = Sys.time () in
   let tp = Lime_typecheck.Check.check_string ~name source in
   let md = Lime_ir.Lower.lower_program tp in
   let kernel = Kernel.extract md ~worker in
   let kernel = if simplify then Simplify.kernel kernel else kernel in
   let decisions = Memopt.optimize config kernel in
   let opencl = Opencl.generate kernel decisions in
+  !compile_observer ~worker ~seconds:(Sys.time () -. t0);
   {
     cp_program = tp;
     cp_module = md;

@@ -11,6 +11,11 @@ type compiled = {
   cp_config : Memopt.config;
 }
 
+val compile_observer : (worker:string -> seconds:float -> unit) ref
+(** Called once per completed {!compile} with the elapsed CPU seconds.
+    No-op by default; the [lime.service] metrics layer installs itself
+    here (this library cannot depend on it). *)
+
 val compile :
   ?config:Memopt.config ->
   ?simplify:bool ->

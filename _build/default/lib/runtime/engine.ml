@@ -47,6 +47,14 @@ type offloaded = {
   of_module : Ir.modul;  (** kernel wrapped for functional execution *)
 }
 
+(** Observation hook for service instrumentation: called once per task
+    firing with that firing's own phase breakdown (device firings carry
+    the marshal/JNI/setup/PCIe/kernel legs; host firings only [host_s]).
+    No-op by default; [lime.service] installs its metrics here. *)
+let firing_observer :
+    (task:string -> device:bool -> phases:Comm.phases -> unit) ref =
+  ref (fun ~task:_ ~device:_ ~phases:_ -> ())
+
 type report = {
   mutable firings : int;
   mutable offloaded_tasks : string list;
@@ -224,6 +232,7 @@ let fire_device (cfg : config) (report : report) (off : offloaded)
   in
   ph.Comm.kernel_s <- bd.Gpusim.Model.bd_total_s;
   Comm.add report.phases ph;
+  !firing_observer ~task:k.Kernel.k_name ~device:true ~phases:ph;
   result
 
 (* ------------------------------------------------------------------ *)
@@ -260,8 +269,11 @@ let fire_host (st : Interp.state) (report : report)
     Interp.call_function st fname node.Value.tk_instance args
   in
   let delta = counters_delta before st.Interp.counters in
-  report.phases.Comm.host_s <-
-    report.phases.Comm.host_s +. Gpusim.Device.jvm_time delta;
+  let host_s = Gpusim.Device.jvm_time delta in
+  report.phases.Comm.host_s <- report.phases.Comm.host_s +. host_s;
+  let ph = Comm.zero () in
+  ph.Comm.host_s <- host_s;
+  !firing_observer ~task:fname ~device:false ~phases:ph;
   result
 
 (* ------------------------------------------------------------------ *)

@@ -22,6 +22,13 @@ type offloaded = {
   of_module : Lime_ir.Ir.modul;
 }
 
+val firing_observer :
+  (task:string -> device:bool -> phases:Comm.phases -> unit) ref
+(** Called once per task firing with that firing's own phase breakdown
+    (device firings carry the marshal/JNI/setup/PCIe/kernel legs; host
+    firings only [host_s]).  No-op by default; the [lime.service] metrics
+    layer installs itself here. *)
+
 type report = {
   mutable firings : int;
   mutable offloaded_tasks : string list;

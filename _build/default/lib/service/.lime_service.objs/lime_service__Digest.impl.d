@@ -1,0 +1,1 @@
+lib/service/digest.ml: Buffer Lime_gpu List Stdlib String

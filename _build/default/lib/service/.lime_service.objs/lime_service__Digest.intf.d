@@ -1,0 +1,1 @@
+lib/service/digest.mli: Lime_gpu

@@ -1,0 +1,1 @@
+lib/service/kcache.ml: Hashtbl List

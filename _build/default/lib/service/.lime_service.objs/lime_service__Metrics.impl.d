@@ -1,0 +1,1 @@
+lib/service/metrics.ml: Array Buffer Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/service/metrics.mli:

@@ -1,0 +1,1 @@
+lib/service/service.ml: Digest Filename Gpusim In_channel Kcache Lime_gpu Lime_runtime List Metrics Option Out_channel Stdlib String Sys Tunestore

@@ -1,0 +1,1 @@
+lib/service/service.mli: Digest Gpusim Kcache Lime_gpu Metrics Tunestore

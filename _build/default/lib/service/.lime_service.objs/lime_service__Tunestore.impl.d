@@ -1,0 +1,1 @@
+lib/service/tunestore.ml: Digest Filename Gpusim In_channel Lime_gpu List Out_channel Printf String Sys

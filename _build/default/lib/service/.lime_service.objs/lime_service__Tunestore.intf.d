@@ -1,0 +1,1 @@
+lib/service/tunestore.mli: Digest Gpusim Lime_gpu

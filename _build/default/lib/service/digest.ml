@@ -1,0 +1,106 @@
+(** Content-addressed keys for the compile service.
+
+    See the interface for the key scheme.  The hash is the stdlib MD5
+    ({!Stdlib.Digest}) over a canonical, length-framed rendering of the
+    request fields — collision resistance against adversaries is not a goal
+    here (the cache is trusted, local state); stability and cheapness
+    are. *)
+
+module Memopt = Lime_gpu.Memopt
+
+type t = string (* 32 lowercase hex characters *)
+
+(* Fields listed in their canonical (alphabetical) order. *)
+let config_fields (c : Memopt.config) : (string * bool) list =
+  [
+    ("pad_local", c.Memopt.pad_local);
+    ("use_constant", c.Memopt.use_constant);
+    ("use_image", c.Memopt.use_image);
+    ("use_local", c.Memopt.use_local);
+    ("use_private", c.Memopt.use_private);
+    ("vectorize", c.Memopt.vectorize);
+  ]
+
+let canonical_config (c : Memopt.config) : string =
+  config_fields c
+  |> List.map (fun (k, v) -> k ^ "=" ^ string_of_bool v)
+  |> String.concat ";"
+
+let config_of_canonical (s : string) : Memopt.config option =
+  let parse_pair p =
+    match String.split_on_char '=' p with
+    | [ k; v ] -> (
+        match bool_of_string_opt v with
+        | Some b -> Some (k, b)
+        | None -> None)
+    | _ -> None
+  in
+  let pairs =
+    String.split_on_char ';' s |> List.map parse_pair
+    |> List.fold_left
+         (fun acc p ->
+           match (acc, p) with
+           | Some l, Some p -> Some (p :: l)
+           | _ -> None)
+         (Some [])
+  in
+  match pairs with
+  | None -> None
+  | Some pairs -> (
+      let get k = List.assoc_opt k pairs in
+      match
+        ( get "use_private",
+          get "use_local",
+          get "pad_local",
+          get "use_image",
+          get "use_constant",
+          get "vectorize" )
+      with
+      | ( Some use_private,
+          Some use_local,
+          Some pad_local,
+          Some use_image,
+          Some use_constant,
+          Some vectorize ) ->
+          Some
+            {
+              Memopt.use_private;
+              use_local;
+              pad_local;
+              use_image;
+              use_constant;
+              vectorize;
+            }
+      | _ -> None)
+
+let of_fields (fields : (string * string) list) : t =
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) fields
+  in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (k, v) ->
+      (* length framing: ("ab","c") and ("a","bc") must differ *)
+      Buffer.add_string buf (string_of_int (String.length k));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf k;
+      Buffer.add_string buf (string_of_int (String.length v));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf v)
+    sorted;
+  Stdlib.Digest.to_hex (Stdlib.Digest.string (Buffer.contents buf))
+
+let of_request ?(device = "-") ?(config = Memopt.config_all)
+    ~(worker : string) (source : string) : t =
+  of_fields
+    [
+      ("source", source);
+      ("worker", worker);
+      ("config", canonical_config config);
+      ("device", device);
+    ]
+
+let to_hex (t : t) : string = t
+let short (t : t) : string = String.sub t 0 12
+let equal = String.equal
+let compare = String.compare

@@ -1,0 +1,94 @@
+(** Bounded LRU cache of compiled artifacts, with accounting.
+
+    Recency is tracked with a monotonically increasing tick per slot;
+    eviction scans for the minimum.  That makes eviction O(n) in the number
+    of cached entries, which is fine at the capacities a compile cache
+    runs at (tens to hundreds) and keeps the structure a single hash
+    table. *)
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable coalesced : int;
+}
+
+type 'a slot = { value : 'a; mutable last_use : int }
+
+type 'a t = {
+  cap : int;
+  tbl : (string, 'a slot) Hashtbl.t;
+  mutable tick : int;
+  st : stats;
+}
+
+let create ?(capacity = 64) () =
+  {
+    cap = max 1 capacity;
+    tbl = Hashtbl.create 64;
+    tick = 0;
+    st = { hits = 0; misses = 0; evictions = 0; coalesced = 0 };
+  }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.tbl
+let stats t = t.st
+let mem t key = Hashtbl.mem t.tbl key
+
+let touch t (s : 'a slot) =
+  t.tick <- t.tick + 1;
+  s.last_use <- t.tick
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key s acc ->
+        match acc with
+        | Some (_, best) when best <= s.last_use -> acc
+        | _ -> Some (key, s.last_use))
+      t.tbl None
+  in
+  match victim with
+  | None -> ()
+  | Some (key, _) ->
+      Hashtbl.remove t.tbl key;
+      t.st.evictions <- t.st.evictions + 1
+
+let find_or_add t key f =
+  match Hashtbl.find_opt t.tbl key with
+  | Some s ->
+      t.st.hits <- t.st.hits + 1;
+      touch t s;
+      s.value
+  | None ->
+      t.st.misses <- t.st.misses + 1;
+      let v = f () in
+      while Hashtbl.length t.tbl >= t.cap do
+        evict_lru t
+      done;
+      let s = { value = v; last_use = 0 } in
+      Hashtbl.replace t.tbl key s;
+      touch t s;
+      v
+
+let find_or_add_many t reqs =
+  (* keys already resolved earlier in this batch: the coalescing window *)
+  let in_flight = Hashtbl.create 8 in
+  List.map
+    (fun (key, f) ->
+      match Hashtbl.find_opt in_flight key with
+      | Some v ->
+          t.st.coalesced <- t.st.coalesced + 1;
+          v
+      | None ->
+          let v = find_or_add t key f in
+          Hashtbl.replace in_flight key v;
+          v)
+    reqs
+
+let keys_by_recency t =
+  Hashtbl.fold (fun key s acc -> (key, s.last_use) :: acc) t.tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.map fst
+
+let clear t = Hashtbl.reset t.tbl

@@ -1,0 +1,48 @@
+(** Bounded LRU cache of compiled artifacts, with accounting.
+
+    The service keeps {!Lime_gpu.Pipeline.compiled} values in one of these,
+    keyed by {!Digest.t}; the container itself is polymorphic so it can be
+    unit-tested without running the compiler.  Every lookup is counted
+    (hit/miss/eviction/coalesced) so cache effectiveness is observable
+    rather than inferred from timing.
+
+    {!find_or_add_many} is the request-coalescing entry point: a batch of N
+    in-flight requests for the same key performs the expensive computation
+    once — the duplicates are counted as [coalesced], not as hits. *)
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable coalesced : int;  (** duplicate in-flight requests served by one computation *)
+}
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** An empty cache holding at most [capacity] entries (default 64;
+    [capacity] is clamped to at least 1). *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val stats : 'a t -> stats
+val mem : 'a t -> string -> bool
+(** Membership test; does not touch recency or counters. *)
+
+val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
+(** [find_or_add t key f] returns the cached value for [key] (a hit,
+    refreshing its recency) or computes it with [f], inserts it, and evicts
+    the least-recently-used entry if the cache is over capacity (a miss).
+    If [f] raises, nothing is inserted and the miss is still counted. *)
+
+val find_or_add_many : 'a t -> (string * (unit -> 'a)) list -> 'a list
+(** Serve a batch of in-flight requests, coalescing duplicates: the first
+    occurrence of each key goes through {!find_or_add}; subsequent
+    occurrences in the same batch reuse its result and count as
+    [coalesced].  Results are returned in request order. *)
+
+val keys_by_recency : 'a t -> string list
+(** Cached keys, most recently used first (for tests and introspection). *)
+
+val clear : 'a t -> unit
+(** Drop all entries; counters are preserved. *)

@@ -1,0 +1,125 @@
+(** Counter/gauge/histogram registry — see the interface. *)
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+type histogram = {
+  h_name : string;
+  h_bounds : float array;  (** ascending upper bounds, excluding +Inf *)
+  h_counts : int array;  (** one per bound, plus the +Inf bucket at the end *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type registry = {
+  tbl : (string, metric) Hashtbl.t;
+  help : (string, string) Hashtbl.t;
+}
+
+let create () = { tbl = Hashtbl.create 32; help = Hashtbl.create 32 }
+let default = create ()
+
+let default_buckets = [ 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.0 ]
+
+let register reg ?(help = "") name make =
+  (match Hashtbl.find_opt reg.tbl name with
+  | None ->
+      Hashtbl.replace reg.tbl name (make ());
+      if help <> "" then Hashtbl.replace reg.help name help
+  | Some _ -> ());
+  Hashtbl.find reg.tbl name
+
+let counter reg ?help name =
+  match register reg ?help name (fun () -> Counter { c_name = name; c_value = 0 }) with
+  | Counter c -> c
+  | _ -> invalid_arg ("Metrics.counter: " ^ name ^ " is not a counter")
+
+let gauge reg ?help name =
+  match register reg ?help name (fun () -> Gauge { g_name = name; g_value = 0.0 }) with
+  | Gauge g -> g
+  | _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " is not a gauge")
+
+let histogram reg ?help ?(buckets = default_buckets) name =
+  let make () =
+    let bounds = Array.of_list buckets in
+    Array.iteri
+      (fun i b ->
+        if i > 0 && b <= bounds.(i - 1) then
+          invalid_arg ("Metrics.histogram: buckets not ascending: " ^ name))
+      bounds;
+    Histogram
+      {
+        h_name = name;
+        h_bounds = bounds;
+        h_counts = Array.make (Array.length bounds + 1) 0;
+        h_sum = 0.0;
+        h_count = 0;
+      }
+  in
+  match register reg ?help name make with
+  | Histogram h -> h
+  | _ -> invalid_arg ("Metrics.histogram: " ^ name ^ " is not a histogram")
+
+let inc ?(by = 1) c = c.c_value <- c.c_value + by
+let counter_value c = c.c_value
+let set g v = g.g_value <- v
+
+let observe h v =
+  let n = Array.length h.h_bounds in
+  let rec bucket i = if i >= n || v <= h.h_bounds.(i) then i else bucket (i + 1) in
+  h.h_counts.(bucket 0) <- h.h_counts.(bucket 0) + 1;
+  h.h_sum <- h.h_sum +. v;
+  h.h_count <- h.h_count + 1
+
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+
+(* %g keeps 1e-06-style bounds and integral counts compact and stable. *)
+let expose reg =
+  let buf = Buffer.create 1024 in
+  let names =
+    Hashtbl.fold (fun name _ acc -> name :: acc) reg.tbl []
+    |> List.sort String.compare
+  in
+  List.iter
+    (fun name ->
+      (match Hashtbl.find_opt reg.help name with
+      | Some help -> Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help)
+      | None -> ());
+      match Hashtbl.find reg.tbl name with
+      | Counter c ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" name);
+          Buffer.add_string buf (Printf.sprintf "%s %d\n" c.c_name c.c_value)
+      | Gauge g ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" name);
+          Buffer.add_string buf (Printf.sprintf "%s %g\n" g.g_name g.g_value)
+      | Histogram h ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+          let cum = ref 0 in
+          Array.iteri
+            (fun i bound ->
+              cum := !cum + h.h_counts.(i);
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{le=\"%g\"} %d\n" name bound !cum))
+            h.h_bounds;
+          cum := !cum + h.h_counts.(Array.length h.h_bounds);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name !cum);
+          Buffer.add_string buf (Printf.sprintf "%s_sum %g\n" name h.h_sum);
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name h.h_count))
+    names;
+  Buffer.contents buf
+
+let reset reg =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.c_value <- 0
+      | Gauge g -> g.g_value <- 0.0
+      | Histogram h ->
+          Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+          h.h_sum <- 0.0;
+          h.h_count <- 0)
+    reg.tbl

@@ -1,0 +1,48 @@
+(** A small counter/gauge/histogram registry with deterministic text
+    exposition.
+
+    The exposition format is Prometheus-flavoured text: metrics sorted by
+    name, one [# TYPE] line each, histograms as cumulative [_bucket{le=..}]
+    lines plus [_sum] and [_count].  Deterministic output (stable ordering,
+    fixed bucket bounds) is what lets tests snapshot it.
+
+    Registries are explicit values; {!default} is the process-wide one the
+    instrumentation hooks write to. *)
+
+type registry
+type counter
+type gauge
+type histogram
+
+val create : unit -> registry
+
+val default : registry
+(** The process-wide registry used by {!Service.instrument}. *)
+
+val counter : registry -> ?help:string -> string -> counter
+(** Register (or retrieve) the counter of that name.  Re-registration with
+    the same name returns the existing metric; registering a name already
+    used by a different metric kind raises [Invalid_argument]. *)
+
+val gauge : registry -> ?help:string -> string -> gauge
+
+val histogram :
+  registry -> ?help:string -> ?buckets:float list -> string -> histogram
+(** Buckets are upper bounds in ascending order; a [+Inf] bucket is always
+    appended.  Default buckets span 1µs..1s decades — sized for the
+    compile and communication latencies this repo measures. *)
+
+val default_buckets : float list
+
+val inc : ?by:int -> counter -> unit
+val counter_value : counter -> int
+val set : gauge -> float -> unit
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val expose : registry -> string
+(** The full registry as deterministic exposition text. *)
+
+val reset : registry -> unit
+(** Zero every metric's value; registrations are kept. *)

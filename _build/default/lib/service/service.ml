@@ -1,0 +1,231 @@
+(** Compile-and-run service façade — see the interface. *)
+
+module Pipeline = Lime_gpu.Pipeline
+module Memopt = Lime_gpu.Memopt
+module Comm = Lime_runtime.Comm
+module Engine = Lime_runtime.Engine
+
+type origin = Memory | Disk | Compiled
+
+let origin_name = function
+  | Memory -> "memory"
+  | Disk -> "disk"
+  | Compiled -> "compiled"
+
+type t = {
+  sv_cache : Pipeline.compiled Kcache.t;
+  sv_kernel_dir : string option;
+  sv_tunes : Tunestore.t option;
+  sv_registry : Metrics.registry;
+  mutable sv_disk_hits : int;
+}
+
+(* Bump when the shape of Pipeline.compiled changes: artifacts are
+   Stdlib.Marshal snapshots and must not be read across layouts.  A stale
+   or unreadable artifact is simply a miss. *)
+let artifact_magic = "lime-kernel-artifact 1\n"
+
+let mkdir_p = Tunestore.(fun dir -> ignore (open_ dir))
+
+let create ?cache_dir ?(capacity = 64) ?(registry = Metrics.default) () =
+  let sv_kernel_dir =
+    Option.map
+      (fun d ->
+        let dir = Filename.concat d "kernels" in
+        mkdir_p dir;
+        dir)
+      cache_dir
+  in
+  let sv_tunes =
+    Option.map (fun d -> Tunestore.open_ (Filename.concat d "tune")) cache_dir
+  in
+  {
+    sv_cache = Kcache.create ~capacity ();
+    sv_kernel_dir;
+    sv_tunes;
+    sv_registry = registry;
+    sv_disk_hits = 0;
+  }
+
+let cache t = t.sv_cache
+let tunestore t = t.sv_tunes
+let registry t = t.sv_registry
+let stats t = Kcache.stats t.sv_cache
+
+let request_digest ?device ?config ~worker source =
+  Digest.of_request ?device ?config ~worker source
+
+(* ------------------------------------------------------------------ *)
+(* Content-addressed artifact store                                    *)
+(* ------------------------------------------------------------------ *)
+
+let artifact_path dir key = Filename.concat dir (Digest.to_hex key ^ ".art")
+let opencl_path dir key = Filename.concat dir (Digest.to_hex key ^ ".cl")
+
+let disk_load t key : Pipeline.compiled option =
+  match t.sv_kernel_dir with
+  | None -> None
+  | Some dir -> (
+      let file = artifact_path dir key in
+      if not (Sys.file_exists file) then None
+      else
+        try
+          In_channel.with_open_bin file (fun ic ->
+              let magic =
+                really_input_string ic (String.length artifact_magic)
+              in
+              if magic <> artifact_magic then None
+              else Some (Stdlib.Marshal.from_channel ic : Pipeline.compiled))
+        with _ -> None)
+
+let disk_store t key (c : Pipeline.compiled) =
+  match t.sv_kernel_dir with
+  | None -> ()
+  | Some dir -> (
+      try
+        Out_channel.with_open_bin (artifact_path dir key) (fun oc ->
+            Out_channel.output_string oc artifact_magic;
+            Stdlib.Marshal.to_channel oc c []);
+        (* the generated OpenCL rides along in the clear, so the cache
+           doubles as a browsable content-addressed kernel store *)
+        Out_channel.with_open_text (opencl_path dir key) (fun oc ->
+            Out_channel.output_string oc c.Pipeline.cp_opencl)
+      with Sys_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Cached compilation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let compile_ex t ?(config = Memopt.config_all) ?(name = "<service>") ~worker
+    source =
+  let key = Digest.of_request ~config ~worker source in
+  let origin = ref Memory in
+  let c =
+    Kcache.find_or_add t.sv_cache (Digest.to_hex key) (fun () ->
+        match disk_load t key with
+        | Some c ->
+            t.sv_disk_hits <- t.sv_disk_hits + 1;
+            origin := Disk;
+            c
+        | None ->
+            let c = Pipeline.compile ~config ~name ~worker source in
+            disk_store t key c;
+            origin := Compiled;
+            c)
+  in
+  (c, !origin)
+
+let compile t ?config ?name ~worker source =
+  fst (compile_ex t ?config ?name ~worker source)
+
+type request = {
+  rq_source : string;
+  rq_worker : string;
+  rq_config : Memopt.config;
+  rq_name : string;
+}
+
+let request ?(config = Memopt.config_all) ?(name = "<service>") ~worker
+    source =
+  { rq_source = source; rq_worker = worker; rq_config = config; rq_name = name }
+
+let compile_many t (reqs : request list) =
+  Kcache.find_or_add_many t.sv_cache
+    (List.map
+       (fun r ->
+         let key =
+           Digest.of_request ~config:r.rq_config ~worker:r.rq_worker
+             r.rq_source
+         in
+         ( Digest.to_hex key,
+           fun () ->
+             match disk_load t key with
+             | Some c ->
+                 t.sv_disk_hits <- t.sv_disk_hits + 1;
+                 c
+             | None ->
+                 let c =
+                   Pipeline.compile ~config:r.rq_config ~name:r.rq_name
+                     ~worker:r.rq_worker r.rq_source
+                 in
+                 disk_store t key c;
+                 c ))
+       reqs)
+
+(* ------------------------------------------------------------------ *)
+(* Tunestore-aware sweep                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sweep t d ~device_key ~digest kernel ~shapes ~scalars =
+  match t.sv_tunes with
+  | Some ts ->
+      Tunestore.cached_sweep ts d ~digest ~device:device_key kernel ~shapes
+        ~scalars
+  | None -> (Gpusim.Autotune.sweep d kernel ~shapes ~scalars, `Miss)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let export_stats t =
+  let reg = t.sv_registry in
+  let s = Kcache.stats t.sv_cache in
+  Metrics.set (Metrics.gauge reg "lime_kcache_hits") (float_of_int s.Kcache.hits);
+  Metrics.set (Metrics.gauge reg "lime_kcache_misses") (float_of_int s.Kcache.misses);
+  Metrics.set (Metrics.gauge reg "lime_kcache_evictions") (float_of_int s.Kcache.evictions);
+  Metrics.set (Metrics.gauge reg "lime_kcache_coalesced") (float_of_int s.Kcache.coalesced);
+  Metrics.set (Metrics.gauge reg "lime_kcache_disk_hits") (float_of_int t.sv_disk_hits);
+  Metrics.set (Metrics.gauge reg "lime_kcache_entries") (float_of_int (Kcache.length t.sv_cache))
+
+let expose t =
+  export_stats t;
+  Metrics.expose t.sv_registry
+
+let instrument ?(registry = Metrics.default) () =
+  let compile_total =
+    Metrics.counter registry ~help:"completed Pipeline.compile calls"
+      "lime_compile_total"
+  in
+  let compile_seconds =
+    Metrics.histogram registry ~help:"Pipeline.compile CPU seconds"
+      "lime_compile_seconds"
+  in
+  Pipeline.compile_observer :=
+    (fun ~worker:_ ~seconds ->
+      Metrics.inc compile_total;
+      Metrics.observe compile_seconds seconds);
+  let device_firings =
+    Metrics.counter registry ~help:"task firings offloaded to the device"
+      "lime_firings_device_total"
+  in
+  let host_firings =
+    Metrics.counter registry ~help:"task firings run as host bytecode"
+      "lime_firings_host_total"
+  in
+  let leg name =
+    Metrics.histogram registry
+      ~help:("per-firing " ^ name ^ " leg of Comm.phases, seconds")
+      ("lime_comm_" ^ name ^ "_seconds")
+  in
+  let java_marshal = leg "java_marshal"
+  and jni = leg "jni"
+  and c_marshal = leg "c_marshal"
+  and setup = leg "setup"
+  and pcie = leg "pcie"
+  and kernel = leg "kernel"
+  and host = leg "host" in
+  Engine.firing_observer :=
+    (fun ~task:_ ~device ~phases ->
+      if device then begin
+        Metrics.inc device_firings;
+        Metrics.observe java_marshal phases.Comm.java_marshal_s;
+        Metrics.observe jni phases.Comm.jni_s;
+        Metrics.observe c_marshal phases.Comm.c_marshal_s;
+        Metrics.observe setup phases.Comm.setup_s;
+        Metrics.observe pcie phases.Comm.pcie_s;
+        Metrics.observe kernel phases.Comm.kernel_s
+      end
+      else begin
+        Metrics.inc host_firings;
+        Metrics.observe host phases.Comm.host_s
+      end)

@@ -1,0 +1,107 @@
+(** The compile-and-run service: content-addressed kernel cache +
+    persistent autotune store + metrics, behind one façade.
+
+    A {!t} turns the one-shot {!Lime_gpu.Pipeline.compile} into a reusable
+    service: repeated requests for the same (source, worker, config) are
+    served from a bounded in-memory LRU ({!Kcache}); when a [cache_dir] is
+    given, compiled artifacts are also persisted content-addressed on disk
+    (so a *second process* starts warm) and sweep results go through the
+    {!Tunestore}.  {!instrument} wires the {!Metrics} registry into
+    {!Lime_gpu.Pipeline.compile}, {!Lime_runtime.Engine} firings and
+    {!Lime_runtime.Comm.phases}. *)
+
+type t
+
+type origin =
+  | Memory  (** served from the in-process LRU *)
+  | Disk  (** deserialized from the content-addressed artifact store *)
+  | Compiled  (** freshly compiled (and persisted when [cache_dir] is set) *)
+
+val origin_name : origin -> string
+
+val create :
+  ?cache_dir:string ->
+  ?capacity:int ->
+  ?registry:Metrics.registry ->
+  unit ->
+  t
+(** [cache_dir] enables the on-disk artifact store ([<dir>/kernels/]) and
+    the tunestore ([<dir>/tune/]); without it the service is purely
+    in-memory.  [capacity] bounds the LRU (default 64).  [registry]
+    defaults to {!Metrics.default}. *)
+
+val cache : t -> Lime_gpu.Pipeline.compiled Kcache.t
+val tunestore : t -> Tunestore.t option
+val registry : t -> Metrics.registry
+
+val request_digest :
+  ?device:string ->
+  ?config:Lime_gpu.Memopt.config ->
+  worker:string ->
+  string ->
+  Digest.t
+(** The cache key {!compile} uses for this request. *)
+
+val compile :
+  t ->
+  ?config:Lime_gpu.Memopt.config ->
+  ?name:string ->
+  worker:string ->
+  string ->
+  Lime_gpu.Pipeline.compiled
+(** Cached {!Lime_gpu.Pipeline.compile}. *)
+
+val compile_ex :
+  t ->
+  ?config:Lime_gpu.Memopt.config ->
+  ?name:string ->
+  worker:string ->
+  string ->
+  Lime_gpu.Pipeline.compiled * origin
+(** Like {!compile}, also reporting where the artifact came from. *)
+
+type request = {
+  rq_source : string;
+  rq_worker : string;
+  rq_config : Lime_gpu.Memopt.config;
+  rq_name : string;
+}
+
+val request :
+  ?config:Lime_gpu.Memopt.config ->
+  ?name:string ->
+  worker:string ->
+  string ->
+  request
+
+val compile_many : t -> request list -> Lime_gpu.Pipeline.compiled list
+(** Serve a batch of in-flight requests, coalescing duplicates: N
+    identical requests perform one compile (see {!Kcache.find_or_add_many}).
+    Results are in request order. *)
+
+val sweep :
+  t ->
+  Gpusim.Device.t ->
+  device_key:string ->
+  digest:Digest.t ->
+  Lime_gpu.Kernel.kernel ->
+  shapes:(string * int array) list ->
+  scalars:(string * float) list ->
+  Gpusim.Autotune.entry list * [ `Hit of Tunestore.record | `Miss ]
+(** Tunestore-aware autotune sweep: with a [cache_dir], a repeated sweep of
+    the same kernel digest on the same [device_key] consults the stored
+    best configuration instead of re-timing all eight.  Without a
+    [cache_dir] this is exactly {!Gpusim.Autotune.sweep} (always [`Miss]). *)
+
+val stats : t -> Kcache.stats
+
+val expose : t -> string
+(** Refresh the cache gauges and render the service's registry
+    ({!Metrics.expose}). *)
+
+val instrument : ?registry:Metrics.registry -> unit -> unit
+(** Install the metrics observers into {!Lime_gpu.Pipeline.compile_observer}
+    and {!Lime_runtime.Engine.firing_observer}: compile counts/latency
+    histograms, firing counters, and one histogram per
+    {!Lime_runtime.Comm.phases} leg.  Idempotent per registry (calling it
+    again just re-installs the same observers). *)

@@ -1,0 +1,42 @@
+(** File-backed store of autotuning results.
+
+    Maps kernel digest × device to the best {!Gpusim.Autotune} entry found
+    by a previous sweep, so a second run of the same kernel on the same
+    device starts from the known-best memory configuration instead of
+    re-timing all eight Fig 8 configurations.  One small text file per
+    (digest, device) pair; the format is documented in [doc/SERVICE.md]
+    and any malformed file is treated as a miss. *)
+
+type record = {
+  tr_config_name : string;  (** display name, e.g. ["Local+Conflicts removed"] *)
+  tr_config : Lime_gpu.Memopt.config;
+  tr_time_s : float;  (** modelled kernel time when the tuning was recorded *)
+}
+
+type t
+
+val open_ : string -> t
+(** Open (creating if needed) a store rooted at the given directory. *)
+
+val root : t -> string
+
+val path : t -> digest:Digest.t -> device:string -> string
+(** On-disk path for one entry (device names are sanitized for use in
+    filenames). *)
+
+val store : t -> digest:Digest.t -> device:string -> record -> unit
+val load : t -> digest:Digest.t -> device:string -> record option
+
+val cached_sweep :
+  t ->
+  Gpusim.Device.t ->
+  digest:Digest.t ->
+  device:string ->
+  Lime_gpu.Kernel.kernel ->
+  shapes:(string * int array) list ->
+  scalars:(string * float) list ->
+  Gpusim.Autotune.entry list * [ `Hit of record | `Miss ]
+(** The tunestore-aware version of {!Gpusim.Autotune.sweep}.  On a hit the
+    stored best configuration is re-timed alone and returned as a single
+    entry; on a miss all eight configurations are swept and the winner is
+    persisted for next time. *)

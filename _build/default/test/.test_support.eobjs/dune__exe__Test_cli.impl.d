@@ -1,1 +1,1 @@
-test/test_cli.ml: Alcotest Filename In_channel Lime_support List Option Out_channel Printf Sys
+test/test_cli.ml: Alcotest Array Filename In_channel Lime_support List Option Out_channel Printf Sys

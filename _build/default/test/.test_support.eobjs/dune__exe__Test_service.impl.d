@@ -1,0 +1,1 @@
+test/test_service.ml: Alcotest Array Filename Fun Gpusim Lime_benchmarks Lime_gpu Lime_ir Lime_runtime Lime_service Lime_support List Out_channel Sys

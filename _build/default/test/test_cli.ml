@@ -93,6 +93,98 @@ let test_unknown_worker () =
   let code, _ = capture (nbody ^ " -w NBody.missing") in
   Alcotest.(check int) "exit 1" 1 code
 
+let test_bad_shape () =
+  skip_unless_available ();
+  (* a malformed dimension must be a diagnostic, not an uncaught Failure *)
+  let code, out =
+    capture
+      (nbody
+     ^ " -w NBody.computeForces --estimate gtx580 --shape particles=4096xK")
+  in
+  Alcotest.(check int) "exit 2" 2 code;
+  Alcotest.(check bool) "names the flag" true (contains "bad --shape" out);
+  Alcotest.(check bool) "shows the offending token" true (contains "\"K\"" out);
+  Alcotest.(check bool) "no raw exception" false (contains "int_of_string" out);
+  let code, out =
+    capture
+      (nbody ^ " -w NBody.computeForces --estimate gtx580 --shape particles=0")
+  in
+  Alcotest.(check int) "zero dim exits 2" 2 code;
+  Alcotest.(check bool) "positivity stated" true (contains "positive" out)
+
+let test_unknown_device () =
+  skip_unless_available ();
+  List.iter
+    (fun flag ->
+      let code, out =
+        capture
+          (Printf.sprintf "%s -w NBody.computeForces --%s tpu --shape particles=1024x4"
+             nbody flag)
+      in
+      Alcotest.(check int) (flag ^ " exits 2") 2 code;
+      Alcotest.(check bool) (flag ^ " names the device") true
+        (contains "unknown device tpu" out);
+      Alcotest.(check bool) (flag ^ " lists alternatives") true
+        (contains "gtx8800, gtx580, hd5970, corei7" out))
+    [ "estimate"; "sweep" ]
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let test_cache_dir_warm_sweep () =
+  skip_unless_available ();
+  let dir = Filename.temp_file "limec_cache" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let args =
+    Printf.sprintf
+      "%s -w NBody.computeForces --sweep gtx8800 --shape particles=1024x4 \
+       --cache-dir %s"
+      nbody (Filename.quote dir)
+  in
+  let code1, out1 = capture args in
+  let code2, out2 = capture args in
+  rm_rf dir;
+  Alcotest.(check int) "cold run exits 0" 0 code1;
+  Alcotest.(check int) "warm run exits 0" 0 code2;
+  Alcotest.(check bool) "cold run misses the tunestore" true
+    (contains "tunestore: miss" out1);
+  Alcotest.(check bool) "warm run hits the tunestore" true
+    (contains "tunestore: hit" out2);
+  Alcotest.(check bool) "warm run loads the kernel from disk" true
+    (contains "kernel cache: hit (disk)" out2)
+
+let test_run_with_stats () =
+  skip_unless_available ();
+  let matmul =
+    find
+      [
+        "../examples/lime/matmul.lime"; "examples/lime/matmul.lime";
+        "_build/default/examples/lime/matmul.lime";
+      ]
+  in
+  match matmul with
+  | None -> Alcotest.skip ()
+  | Some matmul ->
+      let code, out =
+        capture
+          (matmul
+         ^ " -w MatMul.multiply --run MatMulApp.main --arg 6 --arg 2 --stats")
+      in
+      Alcotest.(check int) "exit 0" 0 code;
+      Alcotest.(check bool) "firing summary" true
+        (contains "run MatMulApp.main: 2 firings" out);
+      Alcotest.(check bool) "comm leg histograms exposed" true
+        (contains "lime_comm_pcie_seconds_bucket" out);
+      Alcotest.(check bool) "kernel leg counted" true
+        (contains "lime_comm_kernel_seconds_count 2" out);
+      Alcotest.(check bool) "compile histogram exposed" true
+        (contains "lime_compile_seconds_count 1" out)
+
 let () =
   Alcotest.run "cli"
     [
@@ -104,5 +196,10 @@ let () =
           Alcotest.test_case "sweep" `Quick test_sweep;
           Alcotest.test_case "error reporting" `Quick test_error_reporting;
           Alcotest.test_case "unknown worker" `Quick test_unknown_worker;
+          Alcotest.test_case "bad shape" `Quick test_bad_shape;
+          Alcotest.test_case "unknown device" `Quick test_unknown_device;
+          Alcotest.test_case "cache-dir warm sweep" `Quick
+            test_cache_dir_warm_sweep;
+          Alcotest.test_case "run with stats" `Quick test_run_with_stats;
         ] );
     ]

@@ -1,0 +1,373 @@
+(* The compile service layer (lib/service): content-addressed digests,
+   the LRU kernel cache with request coalescing, the file-backed tunestore,
+   the metrics registry, and the wired-up instrumentation. *)
+
+module Digest = Lime_service.Digest
+module Kcache = Lime_service.Kcache
+module Tunestore = Lime_service.Tunestore
+module Metrics = Lime_service.Metrics
+module Service = Lime_service.Service
+module Memopt = Lime_gpu.Memopt
+
+let doubler_source =
+  {|
+class Doubler {
+  static local float twice(float x) { return x * 2.0f; }
+  static local float[[]] apply(float[[]] xs) { return Doubler.twice @ xs; }
+}
+|}
+
+let temp_dir prefix =
+  let f = Filename.temp_file prefix "" in
+  Sys.remove f;
+  Sys.mkdir f 0o755;
+  f
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Digest                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_digest_field_order () =
+  let a = Digest.of_fields [ ("worker", "W"); ("source", "S"); ("device", "d") ]
+  and b = Digest.of_fields [ ("device", "d"); ("source", "S"); ("worker", "W") ] in
+  Alcotest.(check bool) "field order irrelevant" true (Digest.equal a b);
+  let c = Digest.of_fields [ ("worker", "W2"); ("source", "S"); ("device", "d") ] in
+  Alcotest.(check bool) "different field -> different digest" false
+    (Digest.equal a c);
+  (* length framing: moving a character across a field boundary must not
+     collide *)
+  let d = Digest.of_fields [ ("a", "bc") ] and e = Digest.of_fields [ ("ab", "c") ] in
+  Alcotest.(check bool) "length-framed" false (Digest.equal d e)
+
+let test_digest_config_canonical () =
+  (* structurally equal configs digest equally however they were built *)
+  let via_record =
+    {
+      Memopt.use_private = true;
+      use_local = true;
+      pad_local = true;
+      use_image = false;
+      use_constant = false;
+      vectorize = false;
+    }
+  in
+  let via_updates = { Memopt.config_local with pad_local = true } in
+  let k1 = Digest.of_request ~config:via_record ~worker:"W" "src"
+  and k2 = Digest.of_request ~config:via_updates ~worker:"W" "src" in
+  Alcotest.(check string) "canonical config digests" (Digest.to_hex k1)
+    (Digest.to_hex k2);
+  let k3 = Digest.of_request ~config:Memopt.config_all ~worker:"W" "src" in
+  Alcotest.(check bool) "config matters" false (Digest.equal k1 k3)
+
+let test_config_roundtrip () =
+  List.iter
+    (fun (name, cfg) ->
+      match Digest.config_of_canonical (Digest.canonical_config cfg) with
+      | Some cfg' ->
+          Alcotest.(check bool) (name ^ " round-trips") true (cfg = cfg')
+      | None -> Alcotest.failf "%s: canonical form did not parse" name)
+    (("All", Memopt.config_all) :: Memopt.fig8_configs);
+  Alcotest.(check bool) "garbage rejected" true
+    (Digest.config_of_canonical "use_private=yes" = None);
+  Alcotest.(check bool) "incomplete rejected" true
+    (Digest.config_of_canonical "use_private=true" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Kcache                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_lru_eviction_order () =
+  let c = Kcache.create ~capacity:2 () in
+  ignore (Kcache.find_or_add c "k1" (fun () -> 1));
+  ignore (Kcache.find_or_add c "k2" (fun () -> 2));
+  (* touch k1 so k2 becomes the LRU victim *)
+  ignore (Kcache.find_or_add c "k1" (fun () -> assert false));
+  ignore (Kcache.find_or_add c "k3" (fun () -> 3));
+  Alcotest.(check bool) "k2 evicted" false (Kcache.mem c "k2");
+  Alcotest.(check bool) "k1 kept" true (Kcache.mem c "k1");
+  Alcotest.(check bool) "k3 kept" true (Kcache.mem c "k3");
+  Alcotest.(check int) "one eviction" 1 (Kcache.stats c).Kcache.evictions;
+  Alcotest.(check (list string)) "recency order" [ "k3"; "k1" ]
+    (Kcache.keys_by_recency c)
+
+let test_hit_miss_counters () =
+  let c = Kcache.create ~capacity:4 () in
+  let compiles = ref 0 in
+  let get k = Kcache.find_or_add c k (fun () -> incr compiles; k) in
+  ignore (get "a");
+  ignore (get "a");
+  ignore (get "b");
+  ignore (get "a");
+  let s = Kcache.stats c in
+  Alcotest.(check int) "misses" 2 s.Kcache.misses;
+  Alcotest.(check int) "hits" 2 s.Kcache.hits;
+  Alcotest.(check int) "compiles" 2 !compiles
+
+let test_coalescing () =
+  let c = Kcache.create ~capacity:4 () in
+  let compiles = ref 0 in
+  let burst =
+    List.init 5 (fun _ -> ("same-key", fun () -> incr compiles; 42))
+  in
+  let results = Kcache.find_or_add_many c burst in
+  Alcotest.(check (list int)) "all served" [ 42; 42; 42; 42; 42 ] results;
+  Alcotest.(check int) "one compile" 1 !compiles;
+  let s = Kcache.stats c in
+  Alcotest.(check int) "one miss" 1 s.Kcache.misses;
+  Alcotest.(check int) "rest coalesced" 4 s.Kcache.coalesced;
+  Alcotest.(check int) "no hits during the burst" 0 s.Kcache.hits
+
+(* ------------------------------------------------------------------ *)
+(* Tunestore                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_tunestore_roundtrip () =
+  let dir = temp_dir "lime_tunestore" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let ts = Tunestore.open_ dir in
+      let digest = Digest.of_request ~worker:"W" "src" in
+      let r =
+        {
+          Tunestore.tr_config_name = "Local+Conflicts removed";
+          tr_config = Memopt.config_local_noconflict;
+          tr_time_s = 3.25e-4;
+        }
+      in
+      Alcotest.(check bool) "empty store misses" true
+        (Tunestore.load ts ~digest ~device:"gtx8800" = None);
+      Tunestore.store ts ~digest ~device:"gtx8800" r;
+      (match Tunestore.load ts ~digest ~device:"gtx8800" with
+      | Some r' ->
+          Alcotest.(check string) "name" r.Tunestore.tr_config_name
+            r'.Tunestore.tr_config_name;
+          Alcotest.(check bool) "config" true
+            (r.Tunestore.tr_config = r'.Tunestore.tr_config);
+          Alcotest.(check (float 1e-9)) "time" r.Tunestore.tr_time_s
+            r'.Tunestore.tr_time_s
+      | None -> Alcotest.fail "stored entry did not load");
+      Alcotest.(check bool) "other device misses" true
+        (Tunestore.load ts ~digest ~device:"gtx580" = None);
+      (* corrupt file -> miss, not crash *)
+      Out_channel.with_open_text
+        (Tunestore.path ts ~digest ~device:"gtx8800")
+        (fun oc -> Out_channel.output_string oc "garbage\n");
+      Alcotest.(check bool) "corrupt file is a miss" true
+        (Tunestore.load ts ~digest ~device:"gtx8800" = None))
+
+let test_sweep_consults_tunestore () =
+  let dir = temp_dir "lime_svc_sweep" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let svc = Service.create ~cache_dir:dir () in
+      let c = Service.compile svc ~worker:"Doubler.apply" doubler_source in
+      let digest =
+        Service.request_digest ~device:"gtx8800" ~worker:"Doubler.apply"
+          doubler_source
+      in
+      let kernel = c.Lime_gpu.Pipeline.cp_kernel in
+      let shapes = [ ("xs", [| 4096 |]) ] in
+      let entries1, status1 =
+        Service.sweep svc Gpusim.Device.gtx8800 ~device_key:"gtx8800" ~digest
+          kernel ~shapes ~scalars:[]
+      in
+      Alcotest.(check bool) "cold sweep misses" true (status1 = `Miss);
+      Alcotest.(check int) "cold sweep times all eight" 8
+        (List.length entries1);
+      let entries2, status2 =
+        Service.sweep svc Gpusim.Device.gtx8800 ~device_key:"gtx8800" ~digest
+          kernel ~shapes ~scalars:[]
+      in
+      (match status2 with
+      | `Hit r ->
+          Alcotest.(check string) "stored best is the sweep winner"
+            (List.hd entries1).Gpusim.Autotune.at_name
+            r.Tunestore.tr_config_name
+      | `Miss -> Alcotest.fail "warm sweep should hit the tunestore");
+      Alcotest.(check int) "warm sweep times only the stored best" 1
+        (List.length entries2);
+      Alcotest.(check (float 1e-9)) "same winning time"
+        (List.hd entries1).Gpusim.Autotune.at_time_s
+        (List.hd entries2).Gpusim.Autotune.at_time_s)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_exposition_snapshot () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg ~help:"requests served" "svc_requests_total" in
+  Metrics.inc c;
+  Metrics.inc ~by:2 c;
+  let g = Metrics.gauge reg "svc_queue_depth" in
+  Metrics.set g 3.5;
+  let h =
+    Metrics.histogram reg ~buckets:[ 0.001; 0.1 ] "svc_latency_seconds"
+  in
+  Metrics.observe h 0.0005;
+  Metrics.observe h 0.05;
+  Metrics.observe h 7.0;
+  let want =
+    "# TYPE svc_latency_seconds histogram\n\
+     svc_latency_seconds_bucket{le=\"0.001\"} 1\n\
+     svc_latency_seconds_bucket{le=\"0.1\"} 2\n\
+     svc_latency_seconds_bucket{le=\"+Inf\"} 3\n\
+     svc_latency_seconds_sum 7.0505\n\
+     svc_latency_seconds_count 3\n\
+     # TYPE svc_queue_depth gauge\n\
+     svc_queue_depth 3.5\n\
+     # HELP svc_requests_total requests served\n\
+     # TYPE svc_requests_total counter\n\
+     svc_requests_total 3\n"
+  in
+  Alcotest.(check string) "exposition snapshot" want (Metrics.expose reg);
+  Metrics.reset reg;
+  Alcotest.(check int) "reset zeroes counters" 0 (Metrics.counter_value c);
+  Alcotest.(check int) "reset zeroes histograms" 0 (Metrics.histogram_count h)
+
+let test_metric_kind_collision () =
+  let reg = Metrics.create () in
+  ignore (Metrics.counter reg "m");
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument "Metrics.gauge: m is not a gauge") (fun () ->
+      ignore (Metrics.gauge reg "m"))
+
+(* ------------------------------------------------------------------ *)
+(* Service end-to-end                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_repeat_compile_served_from_cache () =
+  let svc = Service.create () in
+  let c1, o1 = Service.compile_ex svc ~worker:"Doubler.apply" doubler_source in
+  let c2, o2 = Service.compile_ex svc ~worker:"Doubler.apply" doubler_source in
+  Alcotest.(check bool) "first compile is fresh" true (o1 = Service.Compiled);
+  Alcotest.(check bool) "second is a memory hit" true (o2 = Service.Memory);
+  Alcotest.(check string) "same artifact" c1.Lime_gpu.Pipeline.cp_opencl
+    c2.Lime_gpu.Pipeline.cp_opencl;
+  let s = Service.stats svc in
+  Alcotest.(check int) "one miss" 1 s.Kcache.misses;
+  Alcotest.(check int) "one hit" 1 s.Kcache.hits;
+  (* a different config is a different artifact, not a hit *)
+  ignore
+    (Service.compile svc ~config:Memopt.config_global ~worker:"Doubler.apply"
+       doubler_source);
+  Alcotest.(check int) "different config misses" 2 (Service.stats svc).Kcache.misses
+
+let test_disk_cache_across_services () =
+  let dir = temp_dir "lime_svc_disk" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let svc1 = Service.create ~cache_dir:dir () in
+      let c1, o1 =
+        Service.compile_ex svc1 ~worker:"Doubler.apply" doubler_source
+      in
+      Alcotest.(check bool) "cold process compiles" true (o1 = Service.Compiled);
+      (* a second service over the same directory models a new process *)
+      let svc2 = Service.create ~cache_dir:dir () in
+      let c2, o2 =
+        Service.compile_ex svc2 ~worker:"Doubler.apply" doubler_source
+      in
+      Alcotest.(check bool) "warm process loads from disk" true
+        (o2 = Service.Disk);
+      Alcotest.(check string) "identical artifact" c1.Lime_gpu.Pipeline.cp_opencl
+        c2.Lime_gpu.Pipeline.cp_opencl;
+      (* the artifact is executable, not just storable: run the kernel *)
+      let st = Lime_ir.Interp.create (Lime_gpu.Kernel.to_module c2.Lime_gpu.Pipeline.cp_kernel) in
+      let xs = Lime_ir.Value.of_float_array [| 1.0; 2.5 |] in
+      let v =
+        Lime_ir.Interp.call_function st "Doubler.apply" None
+          [ Lime_ir.Value.VArr xs ]
+      in
+      let want = Lime_ir.Value.of_float_array [| 2.0; 5.0 |] in
+      Alcotest.(check bool) "cached kernel computes" true
+        (Lime_ir.Value.approx_equal ~rtol:0.0 ~atol:0.0 v
+           (Lime_ir.Value.VArr want)))
+
+let test_instrumented_engine_run () =
+  let reg = Metrics.create () in
+  Service.instrument ~registry:reg ();
+  Fun.protect
+    ~finally:(fun () ->
+      (* restore the no-op observers for other tests *)
+      Lime_gpu.Pipeline.compile_observer := (fun ~worker:_ ~seconds:_ -> ());
+      Lime_runtime.Engine.firing_observer :=
+        (fun ~task:_ ~device:_ ~phases:_ -> ()))
+    (fun () ->
+      let b = Lime_benchmarks.Nbody.single in
+      let c =
+        Lime_gpu.Pipeline.compile ~worker:b.Lime_benchmarks.Bench_def.worker
+          b.Lime_benchmarks.Bench_def.source
+      in
+      let _, report =
+        Lime_runtime.Engine.run_program Lime_runtime.Engine.default_config
+          c.Lime_gpu.Pipeline.cp_module ~cls:"NBodySim" ~meth:"main"
+          [ Lime_ir.Value.VInt 64; Lime_ir.Value.VInt 3 ]
+      in
+      Alcotest.(check int) "three firings" 3
+        report.Lime_runtime.Engine.firings;
+      Alcotest.(check int) "compile counted" 1
+        (Metrics.counter_value (Metrics.counter reg "lime_compile_total"));
+      Alcotest.(check int) "device firings counted" 3
+        (Metrics.counter_value
+           (Metrics.counter reg "lime_firings_device_total"));
+      Alcotest.(check int) "host firings counted" 6
+        (Metrics.counter_value (Metrics.counter reg "lime_firings_host_total"));
+      let kernel_h = Metrics.histogram reg "lime_comm_kernel_seconds" in
+      Alcotest.(check int) "kernel leg observed per device firing" 3
+        (Metrics.histogram_count kernel_h);
+      Alcotest.(check bool) "kernel leg times are positive" true
+        (Metrics.histogram_sum kernel_h > 0.0);
+      let exposed = Metrics.expose reg in
+      Alcotest.(check bool) "exposition names the comm legs" true
+        (Lime_support.Util.contains_substring
+           ~sub:"lime_comm_pcie_seconds_count" exposed))
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "digest",
+        [
+          Alcotest.test_case "field order" `Quick test_digest_field_order;
+          Alcotest.test_case "canonical config" `Quick
+            test_digest_config_canonical;
+          Alcotest.test_case "config round-trip" `Quick test_config_roundtrip;
+        ] );
+      ( "kcache",
+        [
+          Alcotest.test_case "lru eviction order" `Quick
+            test_lru_eviction_order;
+          Alcotest.test_case "hit/miss counters" `Quick test_hit_miss_counters;
+          Alcotest.test_case "coalescing" `Quick test_coalescing;
+        ] );
+      ( "tunestore",
+        [
+          Alcotest.test_case "round trip" `Quick test_tunestore_roundtrip;
+          Alcotest.test_case "sweep consults store" `Quick
+            test_sweep_consults_tunestore;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "exposition snapshot" `Quick
+            test_metrics_exposition_snapshot;
+          Alcotest.test_case "kind collision" `Quick test_metric_kind_collision;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "repeat compile cached" `Quick
+            test_repeat_compile_served_from_cache;
+          Alcotest.test_case "disk cache across services" `Quick
+            test_disk_cache_across_services;
+          Alcotest.test_case "instrumented engine run" `Quick
+            test_instrumented_engine_run;
+        ] );
+    ]

@@ -1,0 +1,40 @@
+#!/bin/sh
+# CI entry point: full build + test suite, then a smoke test of the compile
+# service's persistence guarantees — a second limec invocation against the
+# same --cache-dir must load the kernel from the artifact store and answer
+# the sweep from the tunestore instead of re-timing all eight configs.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== compile-service smoke test =="
+cache_dir=$(mktemp -d)
+trap 'rm -rf "$cache_dir"' EXIT
+
+sweep() {
+  dune exec --no-build bin/limec.exe -- examples/lime/nbody.lime \
+    -w NBody.computeForces --sweep gtx8800 --shape particles=4096x4 \
+    --cache-dir "$cache_dir"
+}
+
+cold=$(sweep)
+echo "$cold" | grep -q "tunestore: miss" \
+  || { echo "FAIL: cold run should miss the tunestore"; echo "$cold"; exit 1; }
+
+warm=$(sweep)
+echo "$warm" | grep -q "tunestore: hit" \
+  || { echo "FAIL: warm run should hit the tunestore"; echo "$warm"; exit 1; }
+echo "$warm" | grep -q "kernel cache: hit (disk)" \
+  || { echo "FAIL: warm run should load the kernel from disk"; echo "$warm"; exit 1; }
+# a tunestore hit times only the stored best: exactly one ranking row
+rows=$(echo "$warm" | grep -c " ms$" || true)
+[ "$rows" -eq 1 ] \
+  || { echo "FAIL: warm sweep should re-time 1 config, got $rows"; echo "$warm"; exit 1; }
+
+echo "ci.sh: OK (cold sweep populated the cache; warm run served from it)"

@@ -1,0 +1,44 @@
+(** Content-addressed keys for the compile service.
+
+    A compile request is identified by what actually determines its output:
+    the source text, the worker being offloaded, the memory-optimizer
+    configuration, and (for device-specific artifacts such as tunings) the
+    device.  The key is stable under formatting-irrelevant variation — the
+    configuration is rendered canonically (fields sorted by name) and
+    request fields are length-framed before hashing, so reordering the
+    fields of a request cannot change the digest. *)
+
+type t
+(** An opaque 128-bit digest, rendered as 32 lowercase hex characters. *)
+
+val canonical_config : Lime_gpu.Memopt.config -> string
+(** Canonical rendering of a configuration: [key=bool] pairs sorted by key
+    and joined with [";"].  Equal configs always render identically. *)
+
+val config_of_canonical : string -> Lime_gpu.Memopt.config option
+(** Inverse of {!canonical_config}; [None] on any malformed or incomplete
+    input (used by the tunestore to reject corrupt files). *)
+
+val of_fields : (string * string) list -> t
+(** Digest of a set of named fields.  Fields are sorted by name and
+    length-framed, so the digest is independent of field order and immune
+    to concatenation ambiguity. *)
+
+val of_request :
+  ?device:string ->
+  ?config:Lime_gpu.Memopt.config ->
+  worker:string ->
+  string ->
+  t
+(** [of_request ~worker source] keys a compile request.  [device] defaults
+    to ["-"] (device-independent: the generated OpenCL does not depend on
+    it); [config] defaults to {!Lime_gpu.Memopt.config_all}. *)
+
+val to_hex : t -> string
+(** The full 32-character hex form (also the on-disk artifact name). *)
+
+val short : t -> string
+(** The first 12 hex characters, for human-facing log lines. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
