@@ -137,6 +137,34 @@ let run_service () =
   Printf.printf "coalesced burst:   8 identical requests -> %d coalesced\n"
     s.Kcache.coalesced
 
+(* Span timeline of a cold-vs-warm compile through the service: the cold
+   request shows the full pipeline phase breakdown nested under the cache
+   lookup; the warm request is a bare hit with no pipeline spans at all. *)
+let run_trace () =
+  section "Observability — cold vs warm compile timeline";
+  let module Service = Lime_service.Service in
+  let module Trace = Lime_service.Trace in
+  let b = Lime_benchmarks.Nbody.single in
+  (* the service/cache spans always target the default tracer, so trace
+     through it rather than a private instance *)
+  let tr = Trace.default in
+  Trace.reset tr;
+  let svc = Service.create ~capacity:4 () in
+  Trace.with_observers (fun () ->
+      Trace.with_span tr ~cat:"bench" "cold" (fun () ->
+          ignore
+            (Service.compile svc ~name:"nbody"
+               ~worker:b.Lime_benchmarks.Bench_def.worker
+               b.Lime_benchmarks.Bench_def.source));
+      Trace.with_span tr ~cat:"bench" "warm" (fun () ->
+          ignore
+            (Service.compile svc ~name:"nbody"
+               ~worker:b.Lime_benchmarks.Bench_def.worker
+               b.Lime_benchmarks.Bench_def.source)));
+  print_string (Trace.flame tr);
+  print_newline ();
+  print_string (Trace.summary tr)
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the compiler pipeline                  *)
 (* ------------------------------------------------------------------ *)
@@ -276,6 +304,7 @@ let all_experiments =
     ("overlap", run_overlap);
     ("glue", run_glue);
     ("service", run_service);
+    ("trace", run_trace);
     ("compiler", run_compiler_benches);
     ("runtime", run_runtime_benches);
   ]

@@ -18,6 +18,7 @@ module Memopt = Lime_gpu.Memopt
 module Pipeline = Lime_gpu.Pipeline
 module Service = Lime_service.Service
 module Metrics = Lime_service.Metrics
+module Trace = Lime_service.Trace
 
 let configs =
   [
@@ -69,7 +70,8 @@ let lookup_device flag dev_name =
       exit 2
 
 let run file worker config_name dump_ast dump_ir placements emit_opencl
-    emit_glue estimate sweep shapes cache_dir stats run_target run_args =
+    emit_glue estimate sweep shapes cache_dir stats run_target run_args
+    trace_out profile trace_summary =
   let source =
     if file = "-" then In_channel.input_all In_channel.stdin
     else In_channel.with_open_text file In_channel.input_all
@@ -87,7 +89,13 @@ let run file worker config_name dump_ast dump_ir placements emit_opencl
       Printf.eprintf "bad --cache-dir %s: not a directory\n" d;
       exit 2
   | _ -> ());
+  (* metrics and tracing compose: both observers are keyed, so enabling
+     one never clobbers the other *)
   if stats then Service.instrument ();
+  if trace_out <> None || trace_summary then begin
+    Trace.set_enabled Trace.default true;
+    Trace.install ()
+  end;
   let svc = Service.create ?cache_dir ~capacity:16 () in
   match
     Lime_support.Diag.protect (fun () ->
@@ -174,6 +182,14 @@ let run file worker config_name dump_ast dump_ir placements emit_opencl
           Format.printf "device: %s@." d.Gpusim.Device.name;
           Format.printf "profile: %s@." (Gpusim.Profile.to_string prof);
           Format.printf "estimate: %a@." Gpusim.Model.pp_breakdown bd);
+      if profile then begin
+        let shapes = List.map parse_shape shapes in
+        let prof =
+          Gpusim.Profile.profile kernel c.Pipeline.cp_decisions ~shapes
+            ~scalars:[]
+        in
+        print_string (Gpusim.Profile.report prof)
+      end;
       (match run_target with
       | None -> ()
       | Some target ->
@@ -204,7 +220,7 @@ let run file worker config_name dump_ast dump_ir placements emit_opencl
             report.Lime_runtime.Engine.phases);
       if
         (not dump_ast) && (not dump_ir) && (not placements)
-        && (not emit_opencl) && (not emit_glue)
+        && (not emit_opencl) && (not emit_glue) && (not profile)
         && estimate = None && sweep = None && run_target = None
       then begin
         Printf.printf "compiled %s: kernel %s (%s)\n" file
@@ -216,7 +232,17 @@ let run file worker config_name dump_ast dump_ir placements emit_opencl
       if stats then begin
         print_endline "--- metrics ---";
         print_string (Service.expose svc)
-      end
+      end;
+      if trace_summary then begin
+        print_endline "--- trace summary ---";
+        print_string (Trace.summary Trace.default)
+      end;
+      (match trace_out with
+      | None -> ()
+      | Some f ->
+          Trace.write_chrome Trace.default f;
+          Printf.eprintf "trace: wrote %s (%d spans)\n" f
+            (List.length (Trace.spans Trace.default)))
 
 open Cmdliner
 
@@ -309,6 +335,34 @@ let run_args =
     & info [ "arg" ] ~docv:"INT"
         ~doc:"Integer argument for --run (repeatable, in order).")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a span trace of everything this invocation does (compile \
+           phases, cache lookups, artifact store, engine firings with their \
+           per-leg communication breakdown) and write it to FILE as Chrome \
+           trace-event JSON, loadable in chrome://tracing or Perfetto.")
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Print the per-kernel profile report: FLOP mix and per-array \
+           memory-access table (use --shape to profile concrete extents; \
+           without shapes the counts are the symbolic approximation).")
+
+let trace_summary_arg =
+  Arg.(
+    value & flag
+    & info [ "trace-summary" ]
+        ~doc:
+          "Print a human-readable aggregate of the recorded spans (per-name \
+           inclusive time, share, count) after the requested actions.")
+
 let cmd =
   let doc = "Lime-for-GPUs compiler (PLDI 2012 reproduction)" in
   Cmd.v
@@ -316,6 +370,7 @@ let cmd =
     Term.(
       const run $ file $ worker $ config_name $ dump_ast $ dump_ir
       $ placements $ emit_opencl $ emit_glue $ estimate $ sweep_arg $ shapes
-      $ cache_dir $ stats_arg $ run_arg $ run_args)
+      $ cache_dir $ stats_arg $ run_arg $ run_args $ trace_arg $ profile_arg
+      $ trace_summary_arg)
 
 let () = exit (Cmd.eval cmd)

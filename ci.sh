@@ -37,4 +37,52 @@ rows=$(echo "$warm" | grep -c " ms$" || true)
 [ "$rows" -eq 1 ] \
   || { echo "FAIL: warm sweep should re-time 1 config, got $rows"; echo "$warm"; exit 1; }
 
-echo "ci.sh: OK (cold sweep populated the cache; warm run served from it)"
+echo "== trace smoke test =="
+# a traced run must produce loadable Chrome trace-event JSON covering the
+# whole stack: the compile pipeline span and the simulated PCIe leg of a
+# device firing
+trace_json="$cache_dir/trace.json"
+dune exec --no-build bin/limec.exe -- examples/lime/nbody.lime \
+  -w NBody.computeForces --run NBodyApp.main --arg 16 --arg 1 \
+  --trace "$trace_json" > /dev/null 2>&1
+
+[ -s "$trace_json" ] \
+  || { echo "FAIL: --trace wrote nothing"; exit 1; }
+case "$(head -c 1 "$trace_json")" in
+  "{") ;;
+  *) echo "FAIL: trace is not a JSON object"; head -c 200 "$trace_json"; exit 1 ;;
+esac
+grep -q '"traceEvents"' "$trace_json" \
+  || { echo "FAIL: trace lacks a traceEvents array"; exit 1; }
+grep -q '"pipeline.compile"' "$trace_json" \
+  || { echo "FAIL: trace lacks the pipeline.compile span"; exit 1; }
+grep -q '"comm.pcie"' "$trace_json" \
+  || { echo "FAIL: trace lacks the comm.pcie firing leg"; exit 1; }
+# brackets/braces must balance outside of strings — a cheap well-formedness
+# check with no JSON tooling required
+cat > "$cache_dir/jsoncheck.ml" <<'EOF'
+let () =
+  let json = In_channel.with_open_text Sys.argv.(1) In_channel.input_all in
+  let depth = ref 0 and in_str = ref false and esc = ref false in
+  String.iter
+    (fun ch ->
+      if !in_str then
+        if !esc then esc := false
+        else if ch = '\\' then esc := true
+        else (if ch = '"' then in_str := false)
+      else
+        match ch with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+            decr depth;
+            if !depth < 0 then exit 1
+        | _ -> ())
+    json;
+  if !depth <> 0 || !in_str then exit 1
+EOF
+ocaml "$cache_dir/jsoncheck.ml" "$trace_json" \
+  || { echo "FAIL: trace JSON is not well-formed"; exit 1; }
+
+echo "ci.sh: OK (cold sweep populated the cache; warm run served from it;"
+echo "        traced run exported well-formed Chrome JSON)"

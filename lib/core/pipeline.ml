@@ -15,12 +15,65 @@ type compiled = {
   cp_config : Memopt.config;
 }
 
-(** Observation hook for compile-service instrumentation: called once per
-    completed {!compile} with the worker name and the elapsed CPU time.
-    The service layer ([lime.service]) installs its metrics here; the
-    default is a no-op so this library stays dependency-free. *)
+(* ------------------------------------------------------------------ *)
+(* Observation hooks                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Legacy single-slot observation hook, kept for backward compatibility.
+    Prefer {!on_compile}, which composes: the service metrics layer and the
+    tracer can both be installed without clobbering each other. *)
 let compile_observer : (worker:string -> seconds:float -> unit) ref =
   ref (fun ~worker:_ ~seconds:_ -> ())
+
+let compile_hooks :
+    (string * (worker:string -> seconds:float -> unit)) list ref =
+  ref []
+
+let on_compile ~key f =
+  compile_hooks := (key, f) :: List.remove_assoc key !compile_hooks
+
+let remove_compile_observer key =
+  compile_hooks := List.remove_assoc key !compile_hooks
+
+let notify_compile ~worker ~seconds =
+  !compile_observer ~worker ~seconds;
+  List.iter (fun (_, f) -> f ~worker ~seconds) !compile_hooks
+
+type phase_event = [ `Begin | `End of float ]
+
+let phase_hooks : (string * (phase:string -> phase_event -> unit)) list ref =
+  ref []
+
+let on_phase ~key f =
+  phase_hooks := (key, f) :: List.remove_assoc key !phase_hooks
+
+let remove_phase_observer key =
+  phase_hooks := List.remove_assoc key !phase_hooks
+
+(** Run one named pipeline phase, notifying every phase observer of its
+    begin and end (exception-safe: a diagnostic raised mid-phase still
+    closes the phase).  With no observers installed this is just [f ()]. *)
+let run_phase (phase : string) (f : unit -> 'a) : 'a =
+  match !phase_hooks with
+  | [] -> f ()
+  | hooks ->
+      List.iter (fun (_, h) -> h ~phase `Begin) hooks;
+      let t0 = Sys.time () in
+      Fun.protect
+        ~finally:(fun () ->
+          let dt = Sys.time () -. t0 in
+          List.iter (fun (_, h) -> h ~phase (`End dt)) !phase_hooks)
+        f
+
+(** Like {!run_phase} for phases that exist purely for observability (the
+    standalone lex pass, the OpenCL validator): skipped entirely when no
+    phase observer is installed, so the untraced hot path pays nothing. *)
+let probe_phase (phase : string) (f : unit -> unit) : unit =
+  if !phase_hooks <> [] then run_phase phase f
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
 
 (** Compile [source], offloading the filter whose worker is
     ["Class.method"], under the given optimization configuration.
@@ -29,21 +82,39 @@ let compile_observer : (worker:string -> seconds:float -> unit) ref =
 let compile ?(config = Memopt.config_all) ?(simplify = true)
     ?(name = "<inline>") ~(worker : string) (source : string) : compiled =
   let t0 = Sys.time () in
-  let tp = Lime_typecheck.Check.check_string ~name source in
-  let md = Lime_ir.Lower.lower_program tp in
-  let kernel = Kernel.extract md ~worker in
-  let kernel = if simplify then Simplify.kernel kernel else kernel in
-  let decisions = Memopt.optimize config kernel in
-  let opencl = Opencl.generate kernel decisions in
-  !compile_observer ~worker ~seconds:(Sys.time () -. t0);
-  {
-    cp_program = tp;
-    cp_module = md;
-    cp_kernel = kernel;
-    cp_decisions = decisions;
-    cp_opencl = opencl;
-    cp_config = config;
-  }
+  run_phase "compile" (fun () ->
+      probe_phase "lex" (fun () ->
+          ignore (Lime_frontend.Lexer.tokenize ~name source));
+      let ast =
+        run_phase "parse" (fun () ->
+            Lime_frontend.Parser.program_of_string ~name source)
+      in
+      let tp =
+        run_phase "typecheck" (fun () ->
+            Lime_typecheck.Check.check_program ast)
+      in
+      let md = run_phase "lower" (fun () -> Lime_ir.Lower.lower_program tp) in
+      let kernel = run_phase "extract" (fun () -> Kernel.extract md ~worker) in
+      let kernel =
+        if simplify then run_phase "simplify" (fun () -> Simplify.kernel kernel)
+        else kernel
+      in
+      let decisions =
+        run_phase "memopt" (fun () -> Memopt.optimize config kernel)
+      in
+      let opencl =
+        run_phase "codegen" (fun () -> Opencl.generate kernel decisions)
+      in
+      probe_phase "clcheck" (fun () -> ignore (Clcheck.check opencl));
+      notify_compile ~worker ~seconds:(Sys.time () -. t0);
+      {
+        cp_program = tp;
+        cp_module = md;
+        cp_kernel = kernel;
+        cp_decisions = decisions;
+        cp_opencl = opencl;
+        cp_config = config;
+      })
 
 (** Re-optimize an already compiled program under a different memory
     configuration (used by the Fig 8 sweep and the autotuner). *)

@@ -12,9 +12,36 @@ type compiled = {
 }
 
 val compile_observer : (worker:string -> seconds:float -> unit) ref
-(** Called once per completed {!compile} with the elapsed CPU seconds.
-    No-op by default; the [lime.service] metrics layer installs itself
-    here (this library cannot depend on it). *)
+(** Legacy single-slot hook, called once per completed {!compile} with the
+    elapsed CPU seconds.  Kept for backward compatibility; writing it
+    clobbers whatever was installed before.  New instrumentation should use
+    {!on_compile}, which composes. *)
+
+val on_compile :
+  key:string -> (worker:string -> seconds:float -> unit) -> unit
+(** Register a keyed compile observer.  Observers with distinct keys
+    compose (all are called per compile); re-registering the same key
+    replaces that observer, making installation idempotent.  The
+    [lime.service] metrics layer uses key ["metrics"], the tracer
+    ["trace"]. *)
+
+val remove_compile_observer : string -> unit
+(** Remove the compile observer registered under this key (no-op if
+    absent). *)
+
+type phase_event = [ `Begin | `End of float ]
+(** [`End dt] carries the phase's elapsed CPU seconds. *)
+
+val on_phase : key:string -> (phase:string -> phase_event -> unit) -> unit
+(** Register a keyed phase observer: called with [`Begin] and [`End]
+    around every pipeline phase of {!compile} ("compile" wrapping "lex",
+    "parse", "typecheck", "lower", "extract", "simplify", "memopt",
+    "codegen", "clcheck").  Phases nest: "compile" begins before and ends
+    after all the others.  The observability-only probe phases ("lex",
+    "clcheck") only run while at least one phase observer is installed, so
+    the untraced path pays nothing for them. *)
+
+val remove_phase_observer : string -> unit
 
 val compile :
   ?config:Memopt.config ->

@@ -305,6 +305,50 @@ let kernel_time (d : Device.t) (p : Profile.t)
   }
 
 (* ------------------------------------------------------------------ *)
+(* Launch attributes for tracing                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Key/value description of one kernel launch for trace attachments:
+    work-group geometry, warp count, an occupancy estimate (in-flight warp
+    demand vs. the device's latency-hiding pool), and the worst local-memory
+    bank-conflict degree among the bound arrays — the same gcd(stride,
+    banks) rule the timing model charges. *)
+let launch_attrs (d : Device.t) (p : Profile.t)
+    (arrays : array_binding list) : (string * string) list =
+  let items = Float.max 1.0 p.Profile.p_items in
+  let groups = ceil (items /. float_of_int group_size) in
+  let warps_per_group =
+    (group_size + d.Device.warp - 1) / d.Device.warp
+  in
+  let total_warps = groups *. float_of_int warps_per_group in
+  let pool = float_of_int (d.Device.sms * d.Device.inflight_warps) in
+  let occupancy = Float.min 1.0 (total_warps /. pool) in
+  let bank_conflict =
+    List.fold_left
+      (fun acc ab ->
+        match ab.ab_placement.Ir.space with
+        | Ir.MLocal ->
+            let stride =
+              if ab.ab_placement.Ir.padded then ab.ab_row_len + 1
+              else ab.ab_row_len
+            in
+            max acc (max 1 (gcd (max 1 stride) d.Device.local_banks))
+        | _ -> acc)
+      1 arrays
+  in
+  [
+    ("device", d.Device.name);
+    ("work_items", Printf.sprintf "%.0f" items);
+    ("work_group_size", string_of_int group_size);
+    ("work_groups", Printf.sprintf "%.0f" groups);
+    ("warps_per_group", string_of_int warps_per_group);
+    ("occupancy", Printf.sprintf "%.2f" occupancy);
+    ("bank_conflict_degree", string_of_int bank_conflict);
+    ("double_frac", Printf.sprintf "%.2f" (Profile.double_frac p));
+    ("approx", if p.Profile.p_approx then "true" else "false");
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Array bindings from runtime values                                  *)
 (* ------------------------------------------------------------------ *)
 

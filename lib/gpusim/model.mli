@@ -29,6 +29,13 @@ val group_size : int
 
 val kernel_time : Device.t -> Profile.t -> array_binding list -> breakdown
 
+val launch_attrs :
+  Device.t -> Profile.t -> array_binding list -> (string * string) list
+(** Key/value description of one launch for trace attachments: device
+    name, work-group geometry, warps, an occupancy estimate, the worst
+    local-memory bank-conflict degree (gcd of row stride and bank count,
+    the factor the timing model charges), double fraction, approx flag. *)
+
 val binding_of_shape :
   name:string ->
   elem:Lime_ir.Ir.scalar ->

@@ -459,6 +459,50 @@ let profile (k : Lime_gpu.Kernel.kernel)
     p_approx = ctx.approx;
   }
 
+(** Aligned per-kernel profile report: the FLOP mix and the access-pattern
+    mix the memory optimizer reasons about, as a table a human can read off
+    a terminal. *)
+let report (p : t) : string =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "kernel profile%s" (if p.p_approx then " (approximate trip counts)" else "");
+  line "  work items        %12.0f" p.p_items;
+  line "  FLOP mix:";
+  let flop name v =
+    let pct =
+      let tot = p.p_alu +. p.p_div +. p.p_sqrt +. p.p_trans in
+      if tot <= 0.0 then 0.0 else 100.0 *. v /. tot
+    in
+    line "    %-16s %12.4g  %5.1f%%" name v pct
+  in
+  flop "alu" p.p_alu;
+  flop "div" p.p_div;
+  flop "sqrt" p.p_sqrt;
+  flop "transcendental" p.p_trans;
+  line "    %-16s %12.4g  %5.1f%% of FP work" "double-precision" p.p_double_ops
+    (100.0 *. double_frac p);
+  let total_mem =
+    List.fold_left (fun acc a -> acc +. a.ac_count) 0.0 p.p_accesses
+  in
+  line "  memory accesses (total %.4g, private %.4g, reduce %.4g):" total_mem
+    p.p_private_accesses p.p_reduce_elems;
+  line "    %-14s %-14s %-5s %-10s %12s %7s" "array" "pattern" "kind"
+    "lane" "count" "share";
+  let sorted =
+    List.sort (fun a b -> compare (b.ac_count, a.ac_root) (a.ac_count, b.ac_root))
+      p.p_accesses
+  in
+  List.iter
+    (fun a ->
+      line "    %-14s %-14s %-5s %-10s %12.4g %6.1f%%" a.ac_root
+        (pattern_name a.ac_pattern)
+        (if a.ac_store then "store" else "load")
+        (if a.ac_last_const then "const-lane" else "-")
+        a.ac_count
+        (if total_mem <= 0.0 then 0.0 else 100.0 *. a.ac_count /. total_mem))
+    sorted;
+  Buffer.contents b
+
 let to_string (p : t) : string =
   let b = Buffer.create 256 in
   Buffer.add_string b

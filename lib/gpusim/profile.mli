@@ -51,3 +51,9 @@ val profile :
     scalar arguments appearing in loop bounds. *)
 
 val to_string : t -> string
+
+val report : t -> string
+(** Aligned multi-line profile report: work items, the FLOP mix
+    (alu/div/sqrt/transcendental with shares, double-precision fraction)
+    and the per-array access-pattern table (pattern, load/store,
+    const-lane, dynamic count, share of all accesses). *)

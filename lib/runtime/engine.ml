@@ -50,10 +50,36 @@ type offloaded = {
 (** Observation hook for service instrumentation: called once per task
     firing with that firing's own phase breakdown (device firings carry
     the marshal/JNI/setup/PCIe/kernel legs; host firings only [host_s]).
-    No-op by default; [lime.service] installs its metrics here. *)
+    No-op by default; [lime.service] installs its metrics here.  This is
+    the legacy single-slot hook — prefer {!on_firing}, which composes. *)
 let firing_observer :
     (task:string -> device:bool -> phases:Comm.phases -> unit) ref =
   ref (fun ~task:_ ~device:_ ~phases:_ -> ())
+
+(** Everything observable about one task firing.  Device firings carry the
+    device model, the analytic launch profile and the kernel-time
+    breakdown; host firings only the task name and its [host_s] leg. *)
+type firing_info = {
+  fi_task : string;
+  fi_device : bool;
+  fi_phases : Comm.phases;
+  fi_dev : Gpusim.Device.t option;
+  fi_profile : Gpusim.Profile.t option;
+  fi_breakdown : Gpusim.Model.breakdown option;
+  fi_bindings : Gpusim.Model.array_binding list;
+}
+
+let firing_hooks : (string * (firing_info -> unit)) list ref = ref []
+
+let on_firing ~key f =
+  firing_hooks := (key, f) :: List.remove_assoc key !firing_hooks
+
+let remove_firing_observer key =
+  firing_hooks := List.remove_assoc key !firing_hooks
+
+let notify_firing (fi : firing_info) =
+  !firing_observer ~task:fi.fi_task ~device:fi.fi_device ~phases:fi.fi_phases;
+  List.iter (fun (_, f) -> f fi) !firing_hooks
 
 type report = {
   mutable firings : int;
@@ -232,7 +258,16 @@ let fire_device (cfg : config) (report : report) (off : offloaded)
   in
   ph.Comm.kernel_s <- bd.Gpusim.Model.bd_total_s;
   Comm.add report.phases ph;
-  !firing_observer ~task:k.Kernel.k_name ~device:true ~phases:ph;
+  notify_firing
+    {
+      fi_task = k.Kernel.k_name;
+      fi_device = true;
+      fi_phases = ph;
+      fi_dev = Some d;
+      fi_profile = Some prof;
+      fi_breakdown = Some bd;
+      fi_bindings = bindings;
+    };
   result
 
 (* ------------------------------------------------------------------ *)
@@ -273,7 +308,16 @@ let fire_host (st : Interp.state) (report : report)
   report.phases.Comm.host_s <- report.phases.Comm.host_s +. host_s;
   let ph = Comm.zero () in
   ph.Comm.host_s <- host_s;
-  !firing_observer ~task:fname ~device:false ~phases:ph;
+  notify_firing
+    {
+      fi_task = fname;
+      fi_device = false;
+      fi_phases = ph;
+      fi_dev = None;
+      fi_profile = None;
+      fi_breakdown = None;
+      fi_bindings = [];
+    };
   result
 
 (* ------------------------------------------------------------------ *)

@@ -26,8 +26,31 @@ val firing_observer :
   (task:string -> device:bool -> phases:Comm.phases -> unit) ref
 (** Called once per task firing with that firing's own phase breakdown
     (device firings carry the marshal/JNI/setup/PCIe/kernel legs; host
-    firings only [host_s]).  No-op by default; the [lime.service] metrics
-    layer installs itself here. *)
+    firings only [host_s]).  Legacy single-slot hook — writing it clobbers
+    the previous occupant.  Prefer {!on_firing}, which composes. *)
+
+type firing_info = {
+  fi_task : string;
+  fi_device : bool;
+  fi_phases : Comm.phases;
+  fi_dev : Gpusim.Device.t option;  (** the device a device firing ran on *)
+  fi_profile : Gpusim.Profile.t option;  (** analytic launch profile *)
+  fi_breakdown : Gpusim.Model.breakdown option;  (** kernel-time breakdown *)
+  fi_bindings : Gpusim.Model.array_binding list;
+      (** the launch's array bindings (empty for host firings) *)
+}
+(** Everything observable about one task firing.  [fi_dev], [fi_profile]
+    and [fi_breakdown] are [Some] exactly for device firings. *)
+
+val on_firing : key:string -> (firing_info -> unit) -> unit
+(** Register a keyed firing observer.  Distinct keys compose (all fire per
+    firing); re-registering a key replaces that observer.  The
+    [lime.service] metrics layer uses key ["metrics"], the tracer
+    ["trace"]. *)
+
+val remove_firing_observer : string -> unit
+(** Remove the firing observer registered under this key (no-op if
+    absent). *)
 
 type report = {
   mutable firings : int;

@@ -54,22 +54,36 @@ let evict_lru t =
       Hashtbl.remove t.tbl key;
       t.st.evictions <- t.st.evictions + 1
 
+(* Lookups run inside a trace span so cache behaviour shows up on the
+   timeline; the result (hit/miss) is attached as the span closes.  On a
+   miss the compute [f] nests under the lookup span. *)
 let find_or_add t key f =
-  match Hashtbl.find_opt t.tbl key with
-  | Some s ->
-      t.st.hits <- t.st.hits + 1;
-      touch t s;
-      s.value
-  | None ->
-      t.st.misses <- t.st.misses + 1;
-      let v = f () in
-      while Hashtbl.length t.tbl >= t.cap do
-        evict_lru t
-      done;
-      let s = { value = v; last_use = 0 } in
-      Hashtbl.replace t.tbl key s;
-      touch t s;
-      v
+  Trace.begin_span Trace.default ~cat:"service"
+    ~args:[ ("key", key) ]
+    "kcache.lookup";
+  let result = ref "hit" in
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.end_span Trace.default
+        ~args:[ ("result", !result) ]
+        "kcache.lookup")
+    (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some s ->
+          t.st.hits <- t.st.hits + 1;
+          touch t s;
+          s.value
+      | None ->
+          result := "miss";
+          t.st.misses <- t.st.misses + 1;
+          let v = f () in
+          while Hashtbl.length t.tbl >= t.cap do
+            evict_lru t
+          done;
+          let s = { value = v; last_use = 0 } in
+          Hashtbl.replace t.tbl key s;
+          touch t s;
+          v)
 
 let find_or_add_many t reqs =
   (* keys already resolved earlier in this batch: the coalescing window *)

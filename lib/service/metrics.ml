@@ -76,6 +76,19 @@ let observe h v =
 let histogram_count h = h.h_count
 let histogram_sum h = h.h_sum
 
+(* Escaping for HELP docstrings per the Prometheus text format: backslash
+   and newline only. *)
+let escape_help s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
 (* %g keeps 1e-06-style bounds and integral counts compact and stable. *)
 let expose reg =
   let buf = Buffer.create 1024 in
@@ -85,9 +98,14 @@ let expose reg =
   in
   List.iter
     (fun name ->
+      (* canonical exposition order: HELP, then TYPE, then the samples —
+         and a HELP line for *every* metric, registered with ~help or not,
+         so scrapers see a uniform metadata block *)
       (match Hashtbl.find_opt reg.help name with
-      | Some help -> Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help)
-      | None -> ());
+      | Some help when help <> "" ->
+          Buffer.add_string buf
+            (Printf.sprintf "# HELP %s %s\n" name (escape_help help))
+      | _ -> Buffer.add_string buf (Printf.sprintf "# HELP %s\n" name));
       match Hashtbl.find reg.tbl name with
       | Counter c ->
           Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" name);

@@ -2,9 +2,12 @@
     exposition.
 
     The exposition format is Prometheus-flavoured text: metrics sorted by
-    name, one [# TYPE] line each, histograms as cumulative [_bucket{le=..}]
-    lines plus [_sum] and [_count].  Deterministic output (stable ordering,
-    fixed bucket bounds) is what lets tests snapshot it.
+    name, each prefixed by a [# HELP] line (present for every metric,
+    registered with [~help] or not, with backslash/newline escaped) and a
+    [# TYPE] line, histograms as cumulative [_bucket{le=..}] lines ending
+    in the [+Inf] bucket plus [_sum] and [_count] — the canonical order.
+    Deterministic output (stable ordering, fixed bucket bounds) is what
+    lets tests snapshot it.
 
     Registries are explicit values; {!default} is the process-wide one the
     instrumentation hooks write to. *)

@@ -65,32 +65,41 @@ let opencl_path dir key = Filename.concat dir (Digest.to_hex key ^ ".cl")
 let disk_load t key : Pipeline.compiled option =
   match t.sv_kernel_dir with
   | None -> None
-  | Some dir -> (
-      let file = artifact_path dir key in
-      if not (Sys.file_exists file) then None
-      else
-        try
-          In_channel.with_open_bin file (fun ic ->
-              let magic =
-                really_input_string ic (String.length artifact_magic)
-              in
-              if magic <> artifact_magic then None
-              else Some (Stdlib.Marshal.from_channel ic : Pipeline.compiled))
-        with _ -> None)
+  | Some dir ->
+      Trace.with_span Trace.default ~cat:"service"
+        ~args:[ ("key", Digest.to_hex key) ]
+        "service.artifact_load"
+        (fun () ->
+          let file = artifact_path dir key in
+          if not (Sys.file_exists file) then None
+          else
+            try
+              In_channel.with_open_bin file (fun ic ->
+                  let magic =
+                    really_input_string ic (String.length artifact_magic)
+                  in
+                  if magic <> artifact_magic then None
+                  else
+                    Some (Stdlib.Marshal.from_channel ic : Pipeline.compiled))
+            with _ -> None)
 
 let disk_store t key (c : Pipeline.compiled) =
   match t.sv_kernel_dir with
   | None -> ()
-  | Some dir -> (
-      try
-        Out_channel.with_open_bin (artifact_path dir key) (fun oc ->
-            Out_channel.output_string oc artifact_magic;
-            Stdlib.Marshal.to_channel oc c []);
-        (* the generated OpenCL rides along in the clear, so the cache
-           doubles as a browsable content-addressed kernel store *)
-        Out_channel.with_open_text (opencl_path dir key) (fun oc ->
-            Out_channel.output_string oc c.Pipeline.cp_opencl)
-      with Sys_error _ -> ())
+  | Some dir ->
+      Trace.with_span Trace.default ~cat:"service"
+        ~args:[ ("key", Digest.to_hex key) ]
+        "service.artifact_store"
+        (fun () ->
+          try
+            Out_channel.with_open_bin (artifact_path dir key) (fun oc ->
+                Out_channel.output_string oc artifact_magic;
+                Stdlib.Marshal.to_channel oc c []);
+            (* the generated OpenCL rides along in the clear, so the cache
+               doubles as a browsable content-addressed kernel store *)
+            Out_channel.with_open_text (opencl_path dir key) (fun oc ->
+                Out_channel.output_string oc c.Pipeline.cp_opencl)
+          with Sys_error _ -> ())
 
 (* ------------------------------------------------------------------ *)
 (* Cached compilation                                                  *)
@@ -100,18 +109,27 @@ let compile_ex t ?(config = Memopt.config_all) ?(name = "<service>") ~worker
     source =
   let key = Digest.of_request ~config ~worker source in
   let origin = ref Memory in
+  Trace.begin_span Trace.default ~cat:"service"
+    ~args:[ ("worker", worker); ("key", Digest.to_hex key) ]
+    "service.compile";
   let c =
-    Kcache.find_or_add t.sv_cache (Digest.to_hex key) (fun () ->
-        match disk_load t key with
-        | Some c ->
-            t.sv_disk_hits <- t.sv_disk_hits + 1;
-            origin := Disk;
-            c
-        | None ->
-            let c = Pipeline.compile ~config ~name ~worker source in
-            disk_store t key c;
-            origin := Compiled;
-            c)
+    Fun.protect
+      ~finally:(fun () ->
+        Trace.end_span Trace.default
+          ~args:[ ("origin", origin_name !origin) ]
+          "service.compile")
+      (fun () ->
+        Kcache.find_or_add t.sv_cache (Digest.to_hex key) (fun () ->
+            match disk_load t key with
+            | Some c ->
+                t.sv_disk_hits <- t.sv_disk_hits + 1;
+                origin := Disk;
+                c
+            | None ->
+                let c = Pipeline.compile ~config ~name ~worker source in
+                disk_store t key c;
+                origin := Compiled;
+                c))
   in
   (c, !origin)
 
@@ -190,8 +208,7 @@ let instrument ?(registry = Metrics.default) () =
     Metrics.histogram registry ~help:"Pipeline.compile CPU seconds"
       "lime_compile_seconds"
   in
-  Pipeline.compile_observer :=
-    (fun ~worker:_ ~seconds ->
+  Pipeline.on_compile ~key:"metrics" (fun ~worker:_ ~seconds ->
       Metrics.inc compile_total;
       Metrics.observe compile_seconds seconds);
   let device_firings =
@@ -214,9 +231,9 @@ let instrument ?(registry = Metrics.default) () =
   and pcie = leg "pcie"
   and kernel = leg "kernel"
   and host = leg "host" in
-  Engine.firing_observer :=
-    (fun ~task:_ ~device ~phases ->
-      if device then begin
+  Engine.on_firing ~key:"metrics" (fun fi ->
+      let phases = fi.Engine.fi_phases in
+      if fi.Engine.fi_device then begin
         Metrics.inc device_firings;
         Metrics.observe java_marshal phases.Comm.java_marshal_s;
         Metrics.observe jni phases.Comm.jni_s;
@@ -229,3 +246,7 @@ let instrument ?(registry = Metrics.default) () =
         Metrics.inc host_firings;
         Metrics.observe host phases.Comm.host_s
       end)
+
+let uninstrument () =
+  Pipeline.remove_compile_observer "metrics";
+  Engine.remove_firing_observer "metrics"

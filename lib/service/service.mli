@@ -100,8 +100,12 @@ val expose : t -> string
     ({!Metrics.expose}). *)
 
 val instrument : ?registry:Metrics.registry -> unit -> unit
-(** Install the metrics observers into {!Lime_gpu.Pipeline.compile_observer}
-    and {!Lime_runtime.Engine.firing_observer}: compile counts/latency
-    histograms, firing counters, and one histogram per
-    {!Lime_runtime.Comm.phases} leg.  Idempotent per registry (calling it
-    again just re-installs the same observers). *)
+(** Install the metrics observers (keyed ["metrics"]) through
+    {!Lime_gpu.Pipeline.on_compile} and {!Lime_runtime.Engine.on_firing}:
+    compile counts/latency histograms, firing counters, and one histogram
+    per {!Lime_runtime.Comm.phases} leg.  Keyed registration makes this
+    idempotent and lets it compose with the tracer's observers
+    ({!Trace.install}) — metrics and tracing can be on at once. *)
+
+val uninstrument : unit -> unit
+(** Remove the observers {!instrument} registered. *)

@@ -1,0 +1,331 @@
+(** Span-based tracer with Chrome trace-event export — see the interface. *)
+
+module Pipeline = Lime_gpu.Pipeline
+module Engine = Lime_runtime.Engine
+module Comm = Lime_runtime.Comm
+
+type span = {
+  sp_id : int;
+  sp_parent : int;
+  sp_name : string;
+  sp_cat : string;
+  mutable sp_args : (string * string) list;
+  sp_begin_us : float;
+  mutable sp_end_us : float;
+}
+
+type t = {
+  mutable tr_enabled : bool;
+  mutable tr_spans : span list;  (** reverse begin order *)
+  mutable tr_stack : span list;  (** innermost open span first *)
+  mutable tr_next_id : int;
+  mutable tr_last_us : float;  (** last timestamp handed out *)
+  mutable tr_skew_us : float;  (** added to the clock by {!advance_to} *)
+  mutable tr_t0 : float;
+  tr_clock : unit -> float;
+}
+
+let create ?(clock = Sys.time) () =
+  {
+    tr_enabled = true;
+    tr_spans = [];
+    tr_stack = [];
+    tr_next_id = 0;
+    tr_last_us = 0.0;
+    tr_skew_us = 0.0;
+    tr_t0 = clock ();
+    tr_clock = clock;
+  }
+
+let default = { (create ()) with tr_enabled = false }
+let enabled t = t.tr_enabled
+let set_enabled t on = t.tr_enabled <- on
+
+let reset t =
+  t.tr_spans <- [];
+  t.tr_stack <- [];
+  t.tr_next_id <- 0;
+  t.tr_last_us <- 0.0;
+  t.tr_skew_us <- 0.0;
+  t.tr_t0 <- t.tr_clock ()
+
+(* Strictly monotonic: coarse clocks (Sys.time often ticks in ms) are
+   nudged forward 10ns per event so span ordering is always well-formed. *)
+let now_us t =
+  let real = ((t.tr_clock () -. t.tr_t0) *. 1e6) +. t.tr_skew_us in
+  let v = if real <= t.tr_last_us then t.tr_last_us +. 0.01 else real in
+  t.tr_last_us <- v;
+  v
+
+let advance_to t ts_us =
+  if ts_us > t.tr_last_us then begin
+    t.tr_skew_us <- t.tr_skew_us +. (ts_us -. t.tr_last_us);
+    t.tr_last_us <- ts_us
+  end
+
+let push t ~cat ~args ~begin_us ~end_us name =
+  let sp =
+    {
+      sp_id = t.tr_next_id;
+      sp_parent =
+        (match t.tr_stack with [] -> -1 | p :: _ -> p.sp_id);
+      sp_name = name;
+      sp_cat = cat;
+      sp_args = args;
+      sp_begin_us = begin_us;
+      sp_end_us = end_us;
+    }
+  in
+  t.tr_next_id <- t.tr_next_id + 1;
+  t.tr_spans <- sp :: t.tr_spans;
+  sp
+
+let begin_span t ?(cat = "") ?(args = []) ?ts_us name =
+  if t.tr_enabled then begin
+    let ts = match ts_us with Some ts -> ts | None -> now_us t in
+    let sp = push t ~cat ~args ~begin_us:ts ~end_us:(-1.0) name in
+    t.tr_stack <- sp :: t.tr_stack
+  end
+
+let end_span t ?(args = []) ?ts_us name =
+  if t.tr_enabled && List.exists (fun s -> s.sp_name = name) t.tr_stack
+  then begin
+    let ts = match ts_us with Some ts -> ts | None -> now_us t in
+    advance_to t ts;
+    let rec pop = function
+      | [] -> []
+      | sp :: rest ->
+          sp.sp_end_us <- ts;
+          if sp.sp_name = name then begin
+            sp.sp_args <- sp.sp_args @ args;
+            rest
+          end
+          else pop rest (* close abandoned children at the same instant *)
+    in
+    t.tr_stack <- pop t.tr_stack
+  end
+
+let with_span t ?cat ?args name f =
+  if not t.tr_enabled then f ()
+  else begin
+    begin_span t ?cat ?args name;
+    Fun.protect ~finally:(fun () -> end_span t name) f
+  end
+
+let complete t ?(cat = "") ?(args = []) ?ts_us ~dur_us name =
+  if t.tr_enabled then begin
+    let ts = match ts_us with Some ts -> ts | None -> now_us t in
+    ignore (push t ~cat ~args ~begin_us:ts ~end_us:(ts +. dur_us) name)
+  end
+
+let spans t = List.rev t.tr_spans
+let open_depth t = List.length t.tr_stack
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export                                           *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_chrome_json t =
+  let now = t.tr_last_us in
+  let closed_end sp = if sp.sp_end_us < 0.0 then now else sp.sp_end_us in
+  let sorted =
+    List.sort
+      (fun a b -> compare (a.sp_begin_us, a.sp_id) (b.sp_begin_us, b.sp_id))
+      (spans t)
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  Buffer.add_string b
+    "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"process_name\",\
+     \"args\":{\"name\":\"lime\"}}";
+  List.iter
+    (fun sp ->
+      Buffer.add_string b
+        (Printf.sprintf
+           ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"name\":\"%s\",\
+            \"cat\":\"%s\",\"ts\":%.3f,\"dur\":%.3f"
+           (json_escape sp.sp_name)
+           (json_escape (if sp.sp_cat = "" then "default" else sp.sp_cat))
+           sp.sp_begin_us
+           (closed_end sp -. sp.sp_begin_us));
+      if sp.sp_args <> [] then begin
+        Buffer.add_string b ",\"args\":{";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_string b
+              (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+          sp.sp_args;
+        Buffer.add_char b '}'
+      end;
+      Buffer.add_char b '}')
+    sorted;
+  Buffer.add_string b "]}\n";
+  Buffer.contents b
+
+let write_chrome t file =
+  Out_channel.with_open_text file (fun oc ->
+      Out_channel.output_string oc (to_chrome_json t))
+
+(* ------------------------------------------------------------------ *)
+(* Terminal views                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let duration_us t sp =
+  (if sp.sp_end_us < 0.0 then t.tr_last_us else sp.sp_end_us)
+  -. sp.sp_begin_us
+
+let pretty_us us =
+  if us >= 1e6 then Printf.sprintf "%.2fs" (us /. 1e6)
+  else if us >= 1e3 then Printf.sprintf "%.2fms" (us /. 1e3)
+  else Printf.sprintf "%.2fus" us
+
+let summary ?(top = 10) t =
+  let all = spans t in
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun sp ->
+      let dur, n =
+        Option.value (Hashtbl.find_opt tbl sp.sp_name) ~default:(0.0, 0)
+      in
+      Hashtbl.replace tbl sp.sp_name (dur +. duration_us t sp, n + 1))
+    all;
+  let timeline =
+    List.fold_left (fun acc sp -> Float.max acc
+        (if sp.sp_end_us < 0.0 then t.tr_last_us else sp.sp_end_us))
+      0.0 all
+  in
+  let rows =
+    Hashtbl.fold (fun name (dur, n) acc -> (name, dur, n) :: acc) tbl []
+    |> List.sort (fun (an, a, _) (bn, b, _) -> compare (b, an) (a, bn))
+  in
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "top spans by inclusive time (%d distinct, timeline %s):\n"
+       (List.length rows) (pretty_us timeline));
+  Buffer.add_string b
+    (Printf.sprintf "  %10s %6s %6s  %s\n" "inclusive" "share" "count" "span");
+  List.iteri
+    (fun i (name, dur, n) ->
+      if i < top then
+        Buffer.add_string b
+          (Printf.sprintf "  %10s %5.1f%% %6d  %s\n" (pretty_us dur)
+             (if timeline <= 0.0 then 0.0 else 100.0 *. dur /. timeline)
+             n name))
+    rows;
+  Buffer.contents b
+
+let flame t =
+  let all = spans t in
+  let b = Buffer.create 512 in
+  let rec walk depth parent =
+    List.iter
+      (fun sp ->
+        if sp.sp_parent = parent then begin
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %s[%s]\n"
+               (String.make (2 * depth) ' ')
+               sp.sp_name
+               (pretty_us (duration_us t sp) ^ " ")
+               (if sp.sp_cat = "" then "default" else sp.sp_cat));
+          walk (depth + 1) sp.sp_id
+        end)
+      all
+  in
+  walk 0 (-1);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let leg_order ph =
+  [
+    ("java_marshal", ph.Comm.java_marshal_s);
+    ("jni", ph.Comm.jni_s);
+    ("c_marshal", ph.Comm.c_marshal_s);
+    ("setup", ph.Comm.setup_s);
+    ("pcie", ph.Comm.pcie_s);
+    ("kernel", ph.Comm.kernel_s);
+    ("host", ph.Comm.host_s);
+  ]
+
+(** One task firing as a model-time span tree: the firing span covers the
+    modelled total, each {!Comm.phases} leg is a child laid out
+    sequentially in Fig 6 order, and the kernel leg of a device firing
+    carries the launch attributes from the device model. *)
+let emit_firing tracer (fi : Engine.firing_info) =
+  if tracer.tr_enabled then begin
+    let total_us = Comm.total fi.fi_phases *. 1e6 in
+    let t0 = now_us tracer in
+    begin_span tracer ~cat:"firing" ~ts_us:t0
+      ~args:
+        [
+          ("task", fi.fi_task);
+          ("device", if fi.fi_device then "true" else "false");
+        ]
+      ("firing." ^ fi.fi_task);
+    let off = ref t0 in
+    List.iter
+      (fun (leg, seconds) ->
+        let dur_us = seconds *. 1e6 in
+        let args =
+          match (leg, fi.fi_dev, fi.fi_profile, fi.fi_breakdown) with
+          | "kernel", Some d, Some prof, Some bd ->
+              Gpusim.Model.launch_attrs d prof fi.fi_bindings
+              @ [
+                  ("compute_s", Printf.sprintf "%.3g" bd.Gpusim.Model.bd_compute_s);
+                  ("global_s", Printf.sprintf "%.3g" bd.Gpusim.Model.bd_global_s);
+                  ("local_s", Printf.sprintf "%.3g" bd.Gpusim.Model.bd_local_s);
+                  ("constant_s", Printf.sprintf "%.3g" bd.Gpusim.Model.bd_constant_s);
+                  ("image_s", Printf.sprintf "%.3g" bd.Gpusim.Model.bd_image_s);
+                  ("launch_s", Printf.sprintf "%.3g" bd.Gpusim.Model.bd_launch_s);
+                ]
+          | _ -> []
+        in
+        complete tracer ~cat:"comm" ~args ~ts_us:!off ~dur_us ("comm." ^ leg);
+        off := !off +. dur_us)
+      (leg_order fi.fi_phases);
+    end_span tracer ~ts_us:(t0 +. total_us) ("firing." ^ fi.fi_task);
+    advance_to tracer (t0 +. total_us)
+  end
+
+let install ?(tracer = default) () =
+  Pipeline.on_phase ~key:"trace" (fun ~phase ev ->
+      match ev with
+      | `Begin -> begin_span tracer ~cat:"compile" ("pipeline." ^ phase)
+      | `End seconds ->
+          end_span tracer
+            ~args:[ ("cpu_s", Printf.sprintf "%.3g" seconds) ]
+            ("pipeline." ^ phase));
+  Engine.on_firing ~key:"trace" (emit_firing tracer)
+
+let uninstall () =
+  Pipeline.remove_phase_observer "trace";
+  Engine.remove_firing_observer "trace"
+
+let with_observers ?(tracer = default) f =
+  let was = tracer.tr_enabled in
+  tracer.tr_enabled <- true;
+  install ~tracer ();
+  Fun.protect
+    ~finally:(fun () ->
+      uninstall ();
+      tracer.tr_enabled <- was)
+    f

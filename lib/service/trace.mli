@@ -1,0 +1,129 @@
+(** Span-based end-to-end tracer with Chrome trace-event export.
+
+    A {!t} records a tree of named, categorized spans with key/value
+    attributes on one timeline.  Two kinds of span coexist:
+
+    - {b wall-clock spans} ({!begin_span}/{!end_span}/{!with_span}) measure
+      real elapsed work — the compiler pipeline phases, cache lookups,
+      artifact stores;
+    - {b model-time spans} ({!complete}) carry an explicit start and
+      duration — the simulated communication legs and kernel time of an
+      offloaded firing, which never ran on a wall clock.
+
+    Timestamps are microseconds from tracer creation and strictly
+    monotonic per event (coarse clocks are nudged forward), so exported
+    traces are always well-formed.  The export format is Chrome
+    trace-event JSON ("X" complete events), loadable in [chrome://tracing]
+    and {{:https://ui.perfetto.dev}Perfetto}; {!summary} and {!flame} are
+    terminal-friendly views of the same data.
+
+    {!default} is the process-wide tracer the instrumentation hooks write
+    to.  It starts {e disabled}: every recording call on a disabled tracer
+    is a cheap no-op, so instrumented code paths cost nothing until
+    tracing is switched on.  Explicit {!create}d instances (for tests)
+    start enabled. *)
+
+type t
+
+type span = {
+  sp_id : int;
+  sp_parent : int;  (** [-1] for roots *)
+  sp_name : string;
+  sp_cat : string;
+  mutable sp_args : (string * string) list;
+  sp_begin_us : float;
+  mutable sp_end_us : float;  (** negative while still open *)
+}
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** A fresh, enabled tracer.  [clock] returns seconds (default
+    [Sys.time]); timestamps are relative to creation. *)
+
+val default : t
+(** The process-wide tracer; starts disabled. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val reset : t -> unit
+(** Drop all recorded spans and re-zero the timeline. *)
+
+val now_us : t -> float
+(** Current trace time in microseconds; strictly monotonic across calls. *)
+
+(** {1 Recording} *)
+
+val begin_span :
+  t -> ?cat:string -> ?args:(string * string) list -> ?ts_us:float ->
+  string -> unit
+(** Open a span nested under the innermost open span.  [ts_us] overrides
+    the wall clock (for model-time timelines). *)
+
+val end_span :
+  t -> ?args:(string * string) list -> ?ts_us:float -> string -> unit
+(** Close the innermost open span with this name (closing any nested
+    still-open spans at the same instant); extra [args] are merged in.
+    Unknown names are ignored. *)
+
+val with_span :
+  t -> ?cat:string -> ?args:(string * string) list -> string ->
+  (unit -> 'a) -> 'a
+(** [with_span t name f] wraps [f] in a span; exception-safe. *)
+
+val complete :
+  t -> ?cat:string -> ?args:(string * string) list -> ?ts_us:float ->
+  dur_us:float -> string -> unit
+(** Record an already-delimited span (explicit start and duration) under
+    the innermost open span — the model-time primitive. *)
+
+val advance_to : t -> float -> unit
+(** Move the trace clock forward to at least this microsecond mark, so
+    wall-clock events recorded after a batch of model-time spans land
+    after them. *)
+
+(** {1 Inspection and export} *)
+
+val spans : t -> span list
+(** All recorded spans in begin order (open spans included). *)
+
+val open_depth : t -> int
+(** Number of currently open spans (0 when balanced). *)
+
+val to_chrome_json : t -> string
+(** The whole trace as Chrome trace-event JSON: an object with a
+    [traceEvents] array of "X" complete events sorted by timestamp (open
+    spans are closed at the current instant).  Loadable in
+    [chrome://tracing] / Perfetto. *)
+
+val write_chrome : t -> string -> unit
+(** {!to_chrome_json} to a file. *)
+
+val summary : ?top:int -> t -> string
+(** The [top] (default 10) spans by inclusive duration, one aligned row
+    each: inclusive time, share of the timeline, count, name. Spans of the
+    same name aggregate. *)
+
+val flame : t -> string
+(** Indented tree of the whole trace — span name, category, inclusive
+    duration — a poor man's flame graph for terminals. *)
+
+(** {1 Instrumentation} *)
+
+val install : ?tracer:t -> unit -> unit
+(** Register trace observers (key ["trace"]) into
+    {!Lime_gpu.Pipeline.on_phase} and {!Lime_runtime.Engine.on_firing}:
+    every compile phase becomes a wall-clock span ([pipeline.<phase>]
+    under [pipeline.compile]) and every firing becomes a model-time span
+    ([firing.<task>]) with one child span per {!Lime_runtime.Comm.phases}
+    leg ([comm.java_marshal] … [comm.host]); device firings attach the
+    launch attributes from {!Gpusim.Model.launch_attrs}.  Keyed
+    registration composes with the metrics observers and is idempotent. *)
+
+val uninstall : unit -> unit
+(** Remove the observers {!install} registered. *)
+
+val with_observers : ?tracer:t -> (unit -> 'a) -> 'a
+(** [with_observers ~tracer f] runs [f] with the trace observers installed
+    (and the tracer enabled), then uninstalls them and restores the
+    tracer's previous enabled state — the scoped form of {!install} for
+    tests and one-shot tooling. *)

@@ -185,6 +185,92 @@ let test_run_with_stats () =
       Alcotest.(check bool) "compile histogram exposed" true
         (contains "lime_compile_seconds_count 1" out)
 
+let test_trace_output () =
+  skip_unless_available ();
+  let tracefile = Filename.temp_file "limec_trace" ".json" in
+  let code, _ =
+    capture
+      (Printf.sprintf
+         "%s -w NBody.computeForces --run NBodyApp.main --arg 16 --arg 1 \
+          --trace %s"
+         nbody (Filename.quote tracefile))
+  in
+  let json = In_channel.with_open_text tracefile In_channel.input_all in
+  Sys.remove tracefile;
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "json object" true
+    (String.length json > 2 && json.[0] = '{');
+  Alcotest.(check bool) "traceEvents array" true
+    (contains "\"traceEvents\"" json);
+  (* the full compile nests in the trace... *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " span present") true (contains name json))
+    [
+      "pipeline.compile"; "pipeline.parse"; "pipeline.codegen";
+      "service.compile"; "kcache.lookup";
+    ];
+  (* ...and so do all seven communication legs of the firings *)
+  List.iter
+    (fun leg ->
+      Alcotest.(check bool) ("comm." ^ leg ^ " present") true
+        (contains ("comm." ^ leg) json))
+    [ "java_marshal"; "jni"; "c_marshal"; "setup"; "pcie"; "kernel"; "host" ]
+
+let test_trace_summary_flag () =
+  skip_unless_available ();
+  let code, out =
+    capture (nbody ^ " -w NBody.computeForces --trace-summary")
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "summary banner" true (contains "trace summary" out);
+  Alcotest.(check bool) "compile span aggregated" true
+    (contains "pipeline.compile" out)
+
+let test_profile_report () =
+  skip_unless_available ();
+  let code, out =
+    capture
+      (nbody ^ " -w NBody.computeForces --profile --shape particles=1024x4")
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "profile header" true (contains "kernel profile" out);
+  Alcotest.(check bool) "flop mix" true (contains "FLOP mix" out);
+  Alcotest.(check bool) "access table names the array" true
+    (contains "particles" out);
+  (* without --shape the report still renders, marked approximate *)
+  let code, out = capture (nbody ^ " -w NBody.computeForces --profile") in
+  Alcotest.(check int) "approx exit 0" 0 code;
+  Alcotest.(check bool) "approximate counts flagged" true
+    (contains "approximate" out)
+
+let test_stats_unaffected_by_trace () =
+  skip_unless_available ();
+  (* tracing must not disturb the metrics: every deterministic sample
+     (counters, firing counts, histogram observation counts — everything
+     except the wall-clock-dependent sums/buckets) is identical with and
+     without --trace *)
+  let deterministic_lines out =
+    String.split_on_char '\n' out
+    |> List.filter (fun l ->
+           contains "_count " l || contains "_total " l
+           || contains "lime_firings" l)
+    |> String.concat "\n"
+  in
+  let tracefile = Filename.temp_file "limec_trace" ".json" in
+  let base = nbody ^ " -w NBody.computeForces --run NBodyApp.main --arg 8 --arg 1 --stats" in
+  let code1, out1 = capture base in
+  let code2, out2 =
+    capture (base ^ " --trace " ^ Filename.quote tracefile)
+  in
+  Sys.remove tracefile;
+  Alcotest.(check int) "plain exit 0" 0 code1;
+  Alcotest.(check int) "traced exit 0" 0 code2;
+  Alcotest.(check bool) "some samples compared" true
+    (deterministic_lines out1 <> "");
+  Alcotest.(check string) "identical metric counts" (deterministic_lines out1)
+    (deterministic_lines out2)
+
 let () =
   Alcotest.run "cli"
     [
@@ -201,5 +287,11 @@ let () =
           Alcotest.test_case "cache-dir warm sweep" `Quick
             test_cache_dir_warm_sweep;
           Alcotest.test_case "run with stats" `Quick test_run_with_stats;
+          Alcotest.test_case "trace output" `Quick test_trace_output;
+          Alcotest.test_case "trace summary flag" `Quick
+            test_trace_summary_flag;
+          Alcotest.test_case "profile report" `Quick test_profile_report;
+          Alcotest.test_case "stats unaffected by trace" `Quick
+            test_stats_unaffected_by_trace;
         ] );
     ]

@@ -217,12 +217,14 @@ let test_metrics_exposition_snapshot () =
   Metrics.observe h 0.05;
   Metrics.observe h 7.0;
   let want =
-    "# TYPE svc_latency_seconds histogram\n\
+    "# HELP svc_latency_seconds\n\
+     # TYPE svc_latency_seconds histogram\n\
      svc_latency_seconds_bucket{le=\"0.001\"} 1\n\
      svc_latency_seconds_bucket{le=\"0.1\"} 2\n\
      svc_latency_seconds_bucket{le=\"+Inf\"} 3\n\
      svc_latency_seconds_sum 7.0505\n\
      svc_latency_seconds_count 3\n\
+     # HELP svc_queue_depth\n\
      # TYPE svc_queue_depth gauge\n\
      svc_queue_depth 3.5\n\
      # HELP svc_requests_total requests served\n\
@@ -240,6 +242,17 @@ let test_metric_kind_collision () =
   Alcotest.check_raises "kind mismatch"
     (Invalid_argument "Metrics.gauge: m is not a gauge") (fun () ->
       ignore (Metrics.gauge reg "m"))
+
+let test_metrics_help_escaping () =
+  let reg = Metrics.create () in
+  ignore (Metrics.counter reg ~help:"line one\nback\\slash" "esc_total");
+  let want =
+    "# HELP esc_total line one\\nback\\\\slash\n\
+     # TYPE esc_total counter\n\
+     esc_total 0\n"
+  in
+  Alcotest.(check string) "help escapes newline and backslash" want
+    (Metrics.expose reg)
 
 (* ------------------------------------------------------------------ *)
 (* Service end-to-end                                                  *)
@@ -298,10 +311,8 @@ let test_instrumented_engine_run () =
   Service.instrument ~registry:reg ();
   Fun.protect
     ~finally:(fun () ->
-      (* restore the no-op observers for other tests *)
-      Lime_gpu.Pipeline.compile_observer := (fun ~worker:_ ~seconds:_ -> ());
-      Lime_runtime.Engine.firing_observer :=
-        (fun ~task:_ ~device:_ ~phases:_ -> ()))
+      (* remove the keyed observers for other tests *)
+      Service.uninstrument ())
     (fun () ->
       let b = Lime_benchmarks.Nbody.single in
       let c =
@@ -360,6 +371,7 @@ let () =
           Alcotest.test_case "exposition snapshot" `Quick
             test_metrics_exposition_snapshot;
           Alcotest.test_case "kind collision" `Quick test_metric_kind_collision;
+          Alcotest.test_case "help escaping" `Quick test_metrics_help_escaping;
         ] );
       ( "service",
         [

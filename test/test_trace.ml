@@ -1,0 +1,344 @@
+(** Tests for the span tracer: nesting/ordering invariants, Chrome
+    trace-event export well-formedness, and the end-to-end instrumentation
+    of the pipeline and the task-graph engine. *)
+
+module Trace = Lime_service.Trace
+module Service = Lime_service.Service
+module Pipeline = Lime_gpu.Pipeline
+module Engine = Lime_runtime.Engine
+module Metrics = Lime_service.Metrics
+
+let contains = Lime_support.Util.contains_substring
+
+(* ------------------------------------------------------------------ *)
+(* A tiny deterministic clock                                          *)
+(* ------------------------------------------------------------------ *)
+
+let ticking ?(step = 1e-3) () =
+  let t = ref 0.0 in
+  fun () ->
+    t := !t +. step;
+    !t
+
+(* ------------------------------------------------------------------ *)
+(* Span recording invariants                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_nesting () =
+  let tr = Trace.create ~clock:(ticking ()) () in
+  Trace.begin_span tr ~cat:"a" "outer";
+  Trace.begin_span tr ~cat:"b" "inner";
+  Trace.end_span tr "inner";
+  Trace.end_span tr "outer";
+  Alcotest.(check int) "balanced" 0 (Trace.open_depth tr);
+  match Trace.spans tr with
+  | [ outer; inner ] ->
+      Alcotest.(check string) "outer name" "outer" outer.Trace.sp_name;
+      Alcotest.(check int) "outer is a root" (-1) outer.Trace.sp_parent;
+      Alcotest.(check int) "inner nests under outer" outer.Trace.sp_id
+        inner.Trace.sp_parent;
+      Alcotest.(check bool) "inner begins after outer" true
+        (inner.Trace.sp_begin_us > outer.Trace.sp_begin_us);
+      Alcotest.(check bool) "inner ends before outer" true
+        (inner.Trace.sp_end_us < outer.Trace.sp_end_us);
+      Alcotest.(check bool) "spans have positive duration" true
+        (outer.Trace.sp_end_us > outer.Trace.sp_begin_us)
+  | spans ->
+      Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_end_closes_abandoned_children () =
+  let tr = Trace.create ~clock:(ticking ()) () in
+  Trace.begin_span tr "outer";
+  Trace.begin_span tr "child";
+  (* ending the outer span must close the still-open child too *)
+  Trace.end_span tr "outer";
+  Alcotest.(check int) "balanced" 0 (Trace.open_depth tr);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (s.Trace.sp_name ^ " closed") true
+        (s.Trace.sp_end_us >= 0.0))
+    (Trace.spans tr)
+
+let test_end_unknown_name_ignored () =
+  let tr = Trace.create ~clock:(ticking ()) () in
+  Trace.begin_span tr "only";
+  Trace.end_span tr "never-opened";
+  Alcotest.(check int) "still open" 1 (Trace.open_depth tr);
+  Trace.end_span tr "only";
+  Alcotest.(check int) "balanced" 0 (Trace.open_depth tr)
+
+let test_disabled_records_nothing () =
+  let tr = Trace.create ~clock:(ticking ()) () in
+  Trace.set_enabled tr false;
+  Trace.with_span tr "invisible" (fun () -> ());
+  Trace.complete tr ~dur_us:5.0 "also-invisible";
+  Alcotest.(check int) "no spans" 0 (List.length (Trace.spans tr))
+
+let test_with_span_exception_safe () =
+  let tr = Trace.create ~clock:(ticking ()) () in
+  (try Trace.with_span tr "boom" (fun () -> failwith "x") with _ -> ());
+  Alcotest.(check int) "balanced after raise" 0 (Trace.open_depth tr);
+  match Trace.spans tr with
+  | [ s ] -> Alcotest.(check bool) "closed" true (s.Trace.sp_end_us >= 0.0)
+  | _ -> Alcotest.fail "expected one span"
+
+let test_monotonic_now () =
+  (* a constant clock still yields strictly increasing timestamps *)
+  let tr = Trace.create ~clock:(fun () -> 1.0) () in
+  let a = Trace.now_us tr in
+  let b = Trace.now_us tr in
+  let c = Trace.now_us tr in
+  Alcotest.(check bool) "strictly increasing" true (a < b && b < c)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome JSON export                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* a micro JSON validator: brackets/braces balance outside of strings,
+   strings close, and no raw control characters appear *)
+let check_json_well_formed json =
+  let depth = ref 0 and in_str = ref false and escaped = ref false in
+  String.iter
+    (fun ch ->
+      if !in_str then
+        if !escaped then escaped := false
+        else if ch = '\\' then escaped := true
+        else if ch = '"' then in_str := false
+        else if Char.code ch < 0x20 then
+          Alcotest.failf "raw control char %d inside a JSON string"
+            (Char.code ch)
+        else ()
+      else
+        match ch with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+            decr depth;
+            if !depth < 0 then Alcotest.fail "unbalanced brackets"
+        | _ -> ())
+    json;
+  Alcotest.(check bool) "string closed" false !in_str;
+  Alcotest.(check int) "brackets balanced" 0 !depth
+
+let test_chrome_export_shape () =
+  let tr = Trace.create ~clock:(ticking ()) () in
+  Trace.with_span tr ~cat:"c" ~args:[ ("k", "v\"quoted\\") ] "root"
+    (fun () -> Trace.complete tr ~cat:"m" ~dur_us:3.0 "leaf");
+  let json = Trace.to_chrome_json tr in
+  check_json_well_formed json;
+  Alcotest.(check bool) "has traceEvents" true
+    (contains ~sub:"\"traceEvents\"" json);
+  Alcotest.(check bool) "complete events" true (contains ~sub:"\"ph\":\"X\"" json);
+  Alcotest.(check bool) "args escaped" true
+    (contains ~sub:"\\\"quoted\\\\" json);
+  Alcotest.(check bool) "names exported" true
+    (contains ~sub:"\"root\"" json && contains ~sub:"\"leaf\"" json)
+
+let test_chrome_export_monotonic_ts () =
+  let tr = Trace.create ~clock:(ticking ()) () in
+  for i = 0 to 4 do
+    Trace.with_span tr (Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  let json = Trace.to_chrome_json tr in
+  (* pull every "ts":N field out and check the export order is sorted *)
+  let ts = ref [] in
+  let re_prefix = "\"ts\":" in
+  let n = String.length json in
+  let i = ref 0 in
+  while !i < n - String.length re_prefix do
+    if String.sub json !i (String.length re_prefix) = re_prefix then begin
+      let j = ref (!i + String.length re_prefix) in
+      let start = !j in
+      while
+        !j < n && (json.[!j] = '.' || json.[!j] = '-'
+                  || (json.[!j] >= '0' && json.[!j] <= '9'))
+      do
+        incr j
+      done;
+      ts := float_of_string (String.sub json start (!j - start)) :: !ts;
+      i := !j
+    end
+    else incr i
+  done;
+  let ts = List.rev !ts in
+  Alcotest.(check bool) "at least 5 events" true (List.length ts >= 5);
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a <= b && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "timestamps sorted" true (sorted ts)
+
+let test_open_spans_closed_on_export () =
+  let tr = Trace.create ~clock:(ticking ()) () in
+  Trace.begin_span tr "dangling";
+  let json = Trace.to_chrome_json tr in
+  check_json_well_formed json;
+  Alcotest.(check bool) "open span exported" true
+    (contains ~sub:"\"dangling\"" json);
+  Alcotest.(check bool) "no negative durations" false
+    (contains ~sub:"\"dur\":-" json)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end instrumentation                                          *)
+(* ------------------------------------------------------------------ *)
+
+let nbody = Lime_benchmarks.Nbody.single
+
+let traced_run () =
+  let tr = Trace.create () in
+  Trace.with_observers ~tracer:tr (fun () ->
+      let c =
+        Pipeline.compile ~worker:nbody.Lime_benchmarks.Bench_def.worker
+          nbody.Lime_benchmarks.Bench_def.source
+      in
+      ignore
+        (Engine.run_program Engine.default_config c.Pipeline.cp_module
+           ~cls:"NBodySim" ~meth:"main"
+           [ Lime_ir.Value.VInt 32; Lime_ir.Value.VInt 1 ]));
+  tr
+
+let test_pipeline_phases_traced () =
+  let tr = traced_run () in
+  let names = List.map (fun s -> s.Trace.sp_name) (Trace.spans tr) in
+  List.iter
+    (fun phase ->
+      Alcotest.(check bool)
+        ("pipeline." ^ phase ^ " present")
+        true
+        (List.mem ("pipeline." ^ phase) names))
+    [
+      "compile"; "lex"; "parse"; "typecheck"; "lower"; "extract"; "simplify";
+      "memopt"; "codegen"; "clcheck";
+    ];
+  (* phases nest under pipeline.compile *)
+  let spans = Trace.spans tr in
+  let compile =
+    List.find (fun s -> s.Trace.sp_name = "pipeline.compile") spans
+  in
+  let parse = List.find (fun s -> s.Trace.sp_name = "pipeline.parse") spans in
+  Alcotest.(check int) "parse under compile" compile.Trace.sp_id
+    parse.Trace.sp_parent
+
+let test_firing_has_all_comm_legs () =
+  let tr = traced_run () in
+  let spans = Trace.spans tr in
+  let device_firing =
+    List.find
+      (fun s ->
+        s.Trace.sp_name = "firing.NBody.computeForces"
+        && List.assoc_opt "device" s.Trace.sp_args = Some "true")
+      spans
+  in
+  let legs =
+    List.filter
+      (fun s -> s.Trace.sp_parent = device_firing.Trace.sp_id)
+      spans
+    |> List.map (fun s -> s.Trace.sp_name)
+  in
+  List.iter
+    (fun leg ->
+      Alcotest.(check bool) ("comm." ^ leg) true (List.mem ("comm." ^ leg) legs))
+    [ "java_marshal"; "jni"; "c_marshal"; "setup"; "pcie"; "kernel"; "host" ];
+  (* the device kernel leg carries the launch attributes *)
+  let kernel =
+    List.find
+      (fun s ->
+        s.Trace.sp_name = "comm.kernel"
+        && s.Trace.sp_parent = device_firing.Trace.sp_id)
+      spans
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " attr present") true
+        (List.mem_assoc k kernel.Trace.sp_args))
+    [ "device"; "work_items"; "occupancy"; "bank_conflict_degree" ];
+  (* legs lie inside the firing on the model timeline *)
+  List.iter
+    (fun s ->
+      if s.Trace.sp_parent = device_firing.Trace.sp_id then begin
+        Alcotest.(check bool) "leg starts within firing" true
+          (s.Trace.sp_begin_us >= device_firing.Trace.sp_begin_us);
+        Alcotest.(check bool) "leg ends within firing" true
+          (s.Trace.sp_end_us <= device_firing.Trace.sp_end_us +. 1e-6)
+      end)
+    spans
+
+let test_observers_uninstalled_after () =
+  let tr = traced_run () in
+  let before = List.length (Trace.spans tr) in
+  ignore
+    (Pipeline.compile ~worker:nbody.Lime_benchmarks.Bench_def.worker
+       nbody.Lime_benchmarks.Bench_def.source);
+  Alcotest.(check int) "no spans recorded after with_observers" before
+    (List.length (Trace.spans tr))
+
+let test_metrics_and_trace_compose () =
+  (* both observers keyed => enabling tracing must not disable metrics *)
+  let reg = Metrics.create () in
+  Service.instrument ~registry:reg ();
+  let tr = Trace.create () in
+  Fun.protect
+    ~finally:(fun () -> Service.uninstrument ())
+    (fun () ->
+      Trace.with_observers ~tracer:tr (fun () ->
+          ignore
+            (Pipeline.compile ~worker:nbody.Lime_benchmarks.Bench_def.worker
+               nbody.Lime_benchmarks.Bench_def.source));
+      Alcotest.(check int) "metrics still counted" 1
+        (Metrics.counter_value (Metrics.counter reg "lime_compile_total"));
+      Alcotest.(check bool) "trace recorded" true
+        (List.exists
+           (fun s -> s.Trace.sp_name = "pipeline.compile")
+           (Trace.spans tr)))
+
+let test_summary_and_flame () =
+  let tr = traced_run () in
+  let summary = Trace.summary tr in
+  Alcotest.(check bool) "summary mentions pipeline.compile" true
+    (contains ~sub:"pipeline.compile" summary);
+  let flame = Trace.flame tr in
+  Alcotest.(check bool) "flame indents phases under compile" true
+    (contains ~sub:"\n  pipeline.lex" flame
+    || contains ~sub:"\n    pipeline.lex" flame);
+  Alcotest.(check bool) "flame shows a firing" true
+    (contains ~sub:"firing.NBody.computeForces" flame)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_nesting;
+          Alcotest.test_case "end closes abandoned children" `Quick
+            test_end_closes_abandoned_children;
+          Alcotest.test_case "end of unknown name ignored" `Quick
+            test_end_unknown_name_ignored;
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_disabled_records_nothing;
+          Alcotest.test_case "with_span exception-safe" `Quick
+            test_with_span_exception_safe;
+          Alcotest.test_case "now_us strictly monotonic" `Quick
+            test_monotonic_now;
+        ] );
+      ( "chrome",
+        [
+          Alcotest.test_case "export shape" `Quick test_chrome_export_shape;
+          Alcotest.test_case "timestamps sorted" `Quick
+            test_chrome_export_monotonic_ts;
+          Alcotest.test_case "open spans closed on export" `Quick
+            test_open_spans_closed_on_export;
+        ] );
+      ( "instrumentation",
+        [
+          Alcotest.test_case "pipeline phases traced" `Quick
+            test_pipeline_phases_traced;
+          Alcotest.test_case "firing has all comm legs" `Quick
+            test_firing_has_all_comm_legs;
+          Alcotest.test_case "observers uninstalled after" `Quick
+            test_observers_uninstalled_after;
+          Alcotest.test_case "metrics and trace compose" `Quick
+            test_metrics_and_trace_compose;
+          Alcotest.test_case "summary and flame" `Quick test_summary_and_flame;
+        ] );
+    ]
