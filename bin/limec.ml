@@ -5,6 +5,9 @@
     the memory-placement decisions, the generated OpenCL kernel, the host
     glue, or a device-time estimate on one of the Table 2 platforms.
 
+    Several source files (or a --batch manifest) compile as one batch
+    through the parallel compile service; --jobs picks the parallelism.
+
     Examples:
 
       limec nbody.lime --worker NBody.computeForces --emit-opencl
@@ -12,6 +15,8 @@
             --placements
       limec nbody.lime --worker NBody.computeForces --estimate gtx580 \
             --shape particles=4096x4
+      limec a.lime b.lime c.lime --worker Filter.run --jobs 4
+      limec --batch programs.manifest --jobs 4
 *)
 
 module Memopt = Lime_gpu.Memopt
@@ -69,34 +74,62 @@ let lookup_device flag dev_name =
         (String.concat ", " (List.map fst devices));
       exit 2
 
-let run file worker config_name dump_ast dump_ir placements emit_opencl
-    emit_glue estimate sweep shapes cache_dir stats run_target run_args
-    trace_out profile trace_summary =
-  let source =
-    if file = "-" then In_channel.input_all In_channel.stdin
-    else In_channel.with_open_text file In_channel.input_all
-  in
-  let config =
-    match List.assoc_opt config_name configs with
-    | Some c -> c
-    | None ->
-        Printf.eprintf "unknown config %s; available: %s\n" config_name
-          (String.concat ", " (List.map fst configs));
-        exit 2
-  in
-  (match cache_dir with
+let lookup_config config_name =
+  match List.assoc_opt config_name configs with
+  | Some c -> c
+  | None ->
+      Printf.eprintf "unknown config %s; available: %s\n" config_name
+        (String.concat ", " (List.map fst configs));
+      exit 2
+
+let check_cache_dir cache_dir =
+  match cache_dir with
   | Some d when Sys.file_exists d && not (Sys.is_directory d) ->
       Printf.eprintf "bad --cache-dir %s: not a directory\n" d;
       exit 2
-  | _ -> ());
+  | _ -> ()
+
+let read_source file =
+  try
+    if file = "-" then In_channel.input_all In_channel.stdin
+    else In_channel.with_open_text file In_channel.input_all
+  with Sys_error msg ->
+    Printf.eprintf "cannot read %s: %s\n" file msg;
+    exit 2
+
+let setup_observers ~stats ~trace_out ~trace_summary =
   (* metrics and tracing compose: both observers are keyed, so enabling
      one never clobbers the other *)
   if stats then Service.instrument ();
   if trace_out <> None || trace_summary then begin
     Trace.set_enabled Trace.default true;
     Trace.install ()
+  end
+
+let finish_observers svc ~stats ~trace_out ~trace_summary =
+  if stats then begin
+    print_endline "--- metrics ---";
+    print_string (Service.expose svc)
   end;
-  let svc = Service.create ?cache_dir ~capacity:16 () in
+  if trace_summary then begin
+    print_endline "--- trace summary ---";
+    print_string (Trace.summary Trace.default)
+  end;
+  match trace_out with
+  | None -> ()
+  | Some f ->
+      Trace.write_chrome Trace.default f;
+      Printf.eprintf "trace: wrote %s (%d spans)\n" f
+        (List.length (Trace.spans Trace.default))
+
+let run_single file worker config_name jobs dump_ast dump_ir placements
+    emit_opencl emit_glue estimate sweep shapes cache_dir stats run_target
+    run_args trace_out profile trace_summary =
+  let source = read_source file in
+  let config = lookup_config config_name in
+  check_cache_dir cache_dir;
+  setup_observers ~stats ~trace_out ~trace_summary;
+  let svc = Service.create ?cache_dir ~capacity:16 ~jobs () in
   match
     Lime_support.Diag.protect (fun () ->
         Service.compile_ex svc ~config ~name:file ~worker source)
@@ -229,35 +262,184 @@ let run file worker config_name dump_ast dump_ir placements emit_opencl
            else "sequential");
         print_endline (Memopt.describe c.Pipeline.cp_decisions)
       end;
-      if stats then begin
-        print_endline "--- metrics ---";
-        print_string (Service.expose svc)
+      finish_observers svc ~stats ~trace_out ~trace_summary;
+      Service.shutdown svc
+
+(* ------------------------------------------------------------------ *)
+(* Batch mode                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type batch_entry = {
+  bt_file : string;
+  bt_worker : string;
+  bt_config_name : string;
+}
+
+(* Manifest format: one "FILE WORKER [CONFIG]" entry per line; '#' starts
+   a comment, blank lines are skipped.  Documented in doc/SERVICE.md. *)
+let parse_manifest file =
+  let text =
+    try In_channel.with_open_text file In_channel.input_all
+    with Sys_error msg ->
+      Printf.eprintf "cannot read --batch %s: %s\n" file msg;
+      exit 2
+  in
+  let entries = ref [] in
+  List.iteri
+    (fun i line ->
+      let line =
+        match String.index_opt line '#' with
+        | Some j -> String.sub line 0 j
+        | None -> line
+      in
+      let words =
+        String.map (fun c -> if c = '\t' then ' ' else c) line
+        |> String.split_on_char ' '
+        |> List.filter (fun w -> w <> "")
+      in
+      match words with
+      | [] -> ()
+      | [ bt_file; bt_worker ] ->
+          entries := { bt_file; bt_worker; bt_config_name = "all" } :: !entries
+      | [ bt_file; bt_worker; bt_config_name ] ->
+          entries := { bt_file; bt_worker; bt_config_name } :: !entries
+      | _ ->
+          Printf.eprintf
+            "bad --batch %s line %d: expected FILE WORKER [CONFIG]\n" file
+            (i + 1);
+          exit 2)
+    (String.split_on_char '\n' text);
+  List.rev !entries
+
+let run_batch entries jobs cache_dir stats trace_out trace_summary =
+  check_cache_dir cache_dir;
+  setup_observers ~stats ~trace_out ~trace_summary;
+  let svc =
+    Service.create ?cache_dir
+      ~capacity:(max 16 (List.length entries))
+      ~jobs ()
+  in
+  let reqs =
+    List.map
+      (fun e ->
+        Service.request
+          ~config:(lookup_config e.bt_config_name)
+          ~name:e.bt_file ~worker:e.bt_worker (read_source e.bt_file))
+      entries
+  in
+  let results = Service.compile_many svc reqs in
+  let failed = ref 0 in
+  List.iter2
+    (fun e r ->
+      match r with
+      | Ok c ->
+          Printf.printf "compiled %s (%s): kernel %s\n" e.bt_file e.bt_worker
+            c.Pipeline.cp_kernel.Lime_gpu.Kernel.k_name
+      | Error d ->
+          incr failed;
+          Printf.eprintf "%s: %s\n" e.bt_file (Lime_support.Diag.to_string d))
+    entries results;
+  let s = Service.stats svc in
+  Printf.printf "batch: %d compiled, %d failed (jobs %d, %d cache hits)\n"
+    (List.length entries - !failed)
+    !failed (Service.jobs svc) s.Lime_service.Kcache.hits;
+  finish_observers svc ~stats ~trace_out ~trace_summary;
+  Service.shutdown svc;
+  if !failed > 0 then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run files worker config_name jobs batch dump_ast dump_ir placements
+    emit_opencl emit_glue estimate sweep shapes cache_dir stats run_target
+    run_args trace_out profile trace_summary =
+  if jobs < 1 then begin
+    Printf.eprintf "bad --jobs %d: must be at least 1\n" jobs;
+    exit 2
+  end;
+  let require_worker () =
+    match worker with
+    | Some w -> w
+    | None ->
+        Printf.eprintf "missing --worker CLASS.METHOD\n";
+        exit 2
+  in
+  match (files, batch) with
+  | [], None ->
+      Printf.eprintf "no input: pass a FILE ('-' for stdin) or --batch\n";
+      exit 2
+  | [ file ], None ->
+      (* the one-file invocation is the classic compiler path: every
+         flag applies, output is unchanged *)
+      run_single file (require_worker ()) config_name jobs dump_ast dump_ir
+        placements emit_opencl emit_glue estimate sweep shapes cache_dir
+        stats run_target run_args trace_out profile trace_summary
+  | files, batch ->
+      if
+        dump_ast || dump_ir || placements || emit_opencl || emit_glue
+        || profile || estimate <> None || sweep <> None || run_target <> None
+      then begin
+        Printf.eprintf
+          "batch compilation only compiles; per-artifact actions \
+           (--dump-ast, --dump-ir, --placements, --emit-opencl, \
+           --emit-glue, --estimate, --sweep, --profile, --run) need a \
+           single FILE\n";
+        exit 2
       end;
-      if trace_summary then begin
-        print_endline "--- trace summary ---";
-        print_string (Trace.summary Trace.default)
-      end;
-      (match trace_out with
-      | None -> ()
-      | Some f ->
-          Trace.write_chrome Trace.default f;
-          Printf.eprintf "trace: wrote %s (%d spans)\n" f
-            (List.length (Trace.spans Trace.default)))
+      let from_files =
+        match files with
+        | [] -> []
+        | _ ->
+            let w = require_worker () in
+            List.map
+              (fun f ->
+                { bt_file = f; bt_worker = w; bt_config_name = config_name })
+              files
+      in
+      let from_manifest =
+        match batch with Some m -> parse_manifest m | None -> []
+      in
+      run_batch (from_files @ from_manifest) jobs cache_dir stats trace_out
+        trace_summary
 
 open Cmdliner
 
-let file =
+let files =
   Arg.(
-    required
-    & pos 0 (some string) None
-    & info [] ~docv:"FILE" ~doc:"Lime source file ('-' for stdin).")
+    value & pos_all string []
+    & info [] ~docv:"FILE"
+        ~doc:
+          "Lime source file(s) ('-' for stdin).  One file compiles with \
+           the full flag set; several compile as a batch (see --jobs).")
 
 let worker =
   Arg.(
-    required
+    value
     & opt (some string) None
     & info [ "worker"; "w" ] ~docv:"CLASS.METHOD"
-        ~doc:"Filter worker method to offload.")
+        ~doc:
+          "Filter worker method to offload (required unless every request \
+           comes from a --batch manifest).")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Compile with N-way parallelism: batches fan out across N - 1 \
+           worker domains plus the caller, and --sweep times the eight \
+           configurations in parallel.  --jobs 1 (the default) is exactly \
+           the sequential compiler.")
+
+let batch_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "batch" ] ~docv:"MANIFEST"
+        ~doc:
+          "Compile every entry of MANIFEST (one 'FILE WORKER [CONFIG]' per \
+           line, '#' comments) as one batch through the compile service.")
 
 let config_name =
   Arg.(
@@ -368,9 +550,9 @@ let cmd =
   Cmd.v
     (Cmd.info "limec" ~version:"1.0.0" ~doc)
     Term.(
-      const run $ file $ worker $ config_name $ dump_ast $ dump_ir
-      $ placements $ emit_opencl $ emit_glue $ estimate $ sweep_arg $ shapes
-      $ cache_dir $ stats_arg $ run_arg $ run_args $ trace_arg $ profile_arg
-      $ trace_summary_arg)
+      const run $ files $ worker $ config_name $ jobs_arg $ batch_arg
+      $ dump_ast $ dump_ir $ placements $ emit_opencl $ emit_glue $ estimate
+      $ sweep_arg $ shapes $ cache_dir $ stats_arg $ run_arg $ run_args
+      $ trace_arg $ profile_arg $ trace_summary_arg)
 
 let () = exit (Cmd.eval cmd)

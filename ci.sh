@@ -37,6 +37,41 @@ rows=$(echo "$warm" | grep -c " ms$" || true)
 [ "$rows" -eq 1 ] \
   || { echo "FAIL: warm sweep should re-time 1 config, got $rows"; echo "$warm"; exit 1; }
 
+echo "== parallel batch smoke test =="
+# compile every example program in one --jobs 4 batch, twice against the
+# same --cache-dir: the cold run must compile all four, the warm run must
+# load all four kernels from the on-disk artifact store
+batch_cache="$cache_dir/batch"
+manifest="$cache_dir/examples.batch"
+cat > "$manifest" <<'EOF'
+# every example program: FILE WORKER [CONFIG]
+examples/lime/nbody.lime     NBody.computeForces
+examples/lime/matmul.lime    MatMul.multiply
+examples/lime/saxpy.lime     Saxpy.run
+examples/lime/histogram.lime Hist.maxBinCount   all  # trailing comment
+EOF
+
+batch() {
+  dune exec --no-build bin/limec.exe -- \
+    --batch "$manifest" --jobs 4 --cache-dir "$batch_cache" --stats
+}
+
+cold_batch=$(batch)
+echo "$cold_batch" | grep -q "batch: 4 compiled, 0 failed (jobs 4," \
+  || { echo "FAIL: cold batch should compile all 4 examples"; echo "$cold_batch"; exit 1; }
+echo "$cold_batch" | grep -q "^lime_kcache_misses 4$" \
+  || { echo "FAIL: cold batch should miss 4 times"; echo "$cold_batch"; exit 1; }
+
+warm_batch=$(batch)
+echo "$warm_batch" | grep -q "batch: 4 compiled, 0 failed (jobs 4," \
+  || { echo "FAIL: warm batch should compile all 4 examples"; echo "$warm_batch"; exit 1; }
+echo "$warm_batch" | grep -q "^lime_kcache_disk_hits 4$" \
+  || { echo "FAIL: warm batch should load all 4 kernels from disk"; echo "$warm_batch"; exit 1; }
+for kernel in NBody.computeForces MatMul.multiply Saxpy.run Hist.maxBinCount; do
+  echo "$warm_batch" | grep -q "kernel $kernel" \
+    || { echo "FAIL: warm batch missing kernel $kernel"; echo "$warm_batch"; exit 1; }
+done
+
 echo "== trace smoke test =="
 # a traced run must produce loadable Chrome trace-event JSON covering the
 # whole stack: the compile pipeline span and the simulated PCIe leg of a
@@ -85,4 +120,5 @@ ocaml "$cache_dir/jsoncheck.ml" "$trace_json" \
   || { echo "FAIL: trace JSON is not well-formed"; exit 1; }
 
 echo "ci.sh: OK (cold sweep populated the cache; warm run served from it;"
+echo "        --jobs 4 batch recompiled all examples warm from disk;"
 echo "        traced run exported well-formed Chrome JSON)"

@@ -30,7 +30,11 @@ let () =
 
   print_endline "=== 1. A burst of identical in-flight compile requests ===";
   let burst = List.init 6 (fun _ -> Service.request ~worker source) in
-  let compiled = List.hd (Service.compile_many svc burst) in
+  let compiled =
+    match List.hd (Service.compile_many svc burst) with
+    | Ok c -> c
+    | Error d -> failwith (Lime_support.Diag.to_string d)
+  in
   let s = Service.stats svc in
   Printf.printf
     "6 requests -> %d compile (misses), %d coalesced, %d hits\n\n"

@@ -19,9 +19,20 @@ type compiled = {
 (* Observation hooks                                                   *)
 (* ------------------------------------------------------------------ *)
 
+(* Registrations are read-modify-write on an immutable assoc list, so they
+   are guarded by a mutex; notification reads a snapshot without locking
+   (a ref holding an immutable list never tears). *)
+let hooks_mu = Mutex.create ()
+
+let locked f =
+  Mutex.lock hooks_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock hooks_mu) f
+
 (** Legacy single-slot observation hook, kept for backward compatibility.
     Prefer {!on_compile}, which composes: the service metrics layer and the
-    tracer can both be installed without clobbering each other. *)
+    tracer can both be installed without clobbering each other.  The slot
+    is routed through the keyed registry under the key ["legacy"], so
+    overwriting it never clobbers keyed observers (and vice versa). *)
 let compile_observer : (worker:string -> seconds:float -> unit) ref =
   ref (fun ~worker:_ ~seconds:_ -> ())
 
@@ -30,13 +41,17 @@ let compile_hooks :
   ref []
 
 let on_compile ~key f =
-  compile_hooks := (key, f) :: List.remove_assoc key !compile_hooks
+  locked (fun () ->
+      compile_hooks := (key, f) :: List.remove_assoc key !compile_hooks)
 
 let remove_compile_observer key =
-  compile_hooks := List.remove_assoc key !compile_hooks
+  locked (fun () -> compile_hooks := List.remove_assoc key !compile_hooks)
+
+let () =
+  on_compile ~key:"legacy" (fun ~worker ~seconds ->
+      !compile_observer ~worker ~seconds)
 
 let notify_compile ~worker ~seconds =
-  !compile_observer ~worker ~seconds;
   List.iter (fun (_, f) -> f ~worker ~seconds) !compile_hooks
 
 type phase_event = [ `Begin | `End of float ]
@@ -45,10 +60,11 @@ let phase_hooks : (string * (phase:string -> phase_event -> unit)) list ref =
   ref []
 
 let on_phase ~key f =
-  phase_hooks := (key, f) :: List.remove_assoc key !phase_hooks
+  locked (fun () ->
+      phase_hooks := (key, f) :: List.remove_assoc key !phase_hooks)
 
 let remove_phase_observer key =
-  phase_hooks := List.remove_assoc key !phase_hooks
+  locked (fun () -> phase_hooks := List.remove_assoc key !phase_hooks)
 
 (** Run one named pipeline phase, notifying every phase observer of its
     begin and end (exception-safe: a diagnostic raised mid-phase still

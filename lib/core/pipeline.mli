@@ -13,9 +13,10 @@ type compiled = {
 
 val compile_observer : (worker:string -> seconds:float -> unit) ref
 (** Legacy single-slot hook, called once per completed {!compile} with the
-    elapsed CPU seconds.  Kept for backward compatibility; writing it
-    clobbers whatever was installed before.  New instrumentation should use
-    {!on_compile}, which composes. *)
+    elapsed CPU seconds.  Routed through the keyed registry under the key
+    ["legacy"], so writing it replaces only the previous slot occupant —
+    never a keyed observer.  New instrumentation should use {!on_compile},
+    which composes. *)
 
 val on_compile :
   key:string -> (worker:string -> seconds:float -> unit) -> unit
@@ -23,7 +24,8 @@ val on_compile :
     compose (all are called per compile); re-registering the same key
     replaces that observer, making installation idempotent.  The
     [lime.service] metrics layer uses key ["metrics"], the tracer
-    ["trace"]. *)
+    ["trace"], the {!compile_observer} slot ["legacy"].  Registration is
+    mutex-guarded and may be called from any domain. *)
 
 val remove_compile_observer : string -> unit
 (** Remove the compile observer registered under this key (no-op if

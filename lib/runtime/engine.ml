@@ -51,7 +51,10 @@ type offloaded = {
     firing with that firing's own phase breakdown (device firings carry
     the marshal/JNI/setup/PCIe/kernel legs; host firings only [host_s]).
     No-op by default; [lime.service] installs its metrics here.  This is
-    the legacy single-slot hook — prefer {!on_firing}, which composes. *)
+    the legacy single-slot hook — prefer {!on_firing}, which composes.
+    The slot is routed through the keyed registry under the key
+    ["legacy"], so overwriting it never clobbers keyed observers (and
+    vice versa). *)
 let firing_observer :
     (task:string -> device:bool -> phases:Comm.phases -> unit) ref =
   ref (fun ~task:_ ~device:_ ~phases:_ -> ())
@@ -71,14 +74,26 @@ type firing_info = {
 
 let firing_hooks : (string * (firing_info -> unit)) list ref = ref []
 
+(* Registration is read-modify-write on an immutable assoc list, guarded
+   by a mutex; notification reads a snapshot without locking. *)
+let hooks_mu = Mutex.create ()
+
 let on_firing ~key f =
-  firing_hooks := (key, f) :: List.remove_assoc key !firing_hooks
+  Mutex.lock hooks_mu;
+  firing_hooks := (key, f) :: List.remove_assoc key !firing_hooks;
+  Mutex.unlock hooks_mu
 
 let remove_firing_observer key =
-  firing_hooks := List.remove_assoc key !firing_hooks
+  Mutex.lock hooks_mu;
+  firing_hooks := List.remove_assoc key !firing_hooks;
+  Mutex.unlock hooks_mu
+
+let () =
+  on_firing ~key:"legacy" (fun fi ->
+      !firing_observer ~task:fi.fi_task ~device:fi.fi_device
+        ~phases:fi.fi_phases)
 
 let notify_firing (fi : firing_info) =
-  !firing_observer ~task:fi.fi_task ~device:fi.fi_device ~phases:fi.fi_phases;
   List.iter (fun (_, f) -> f fi) !firing_hooks
 
 type report = {

@@ -26,8 +26,10 @@ val firing_observer :
   (task:string -> device:bool -> phases:Comm.phases -> unit) ref
 (** Called once per task firing with that firing's own phase breakdown
     (device firings carry the marshal/JNI/setup/PCIe/kernel legs; host
-    firings only [host_s]).  Legacy single-slot hook — writing it clobbers
-    the previous occupant.  Prefer {!on_firing}, which composes. *)
+    firings only [host_s]).  Legacy single-slot hook, routed through the
+    keyed registry under the key ["legacy"]: writing it replaces only the
+    previous slot occupant, never a keyed observer.  Prefer {!on_firing},
+    which composes. *)
 
 type firing_info = {
   fi_task : string;
@@ -46,7 +48,8 @@ val on_firing : key:string -> (firing_info -> unit) -> unit
 (** Register a keyed firing observer.  Distinct keys compose (all fire per
     firing); re-registering a key replaces that observer.  The
     [lime.service] metrics layer uses key ["metrics"], the tracer
-    ["trace"]. *)
+    ["trace"], the {!firing_observer} slot ["legacy"].  Registration is
+    mutex-guarded and may be called from any domain. *)
 
 val remove_firing_observer : string -> unit
 (** Remove the firing observer registered under this key (no-op if

@@ -1,7 +1,12 @@
-(** Counter/gauge/histogram registry — see the interface. *)
+(** Counter/gauge/histogram registry — see the interface.
 
-type counter = { c_name : string; mutable c_value : int }
-type gauge = { g_name : string; mutable g_value : float }
+    Thread safety: the registry table is guarded by one mutex (registration
+    is rare), and every metric carries its own mutex guarding its value(s),
+    so two domains bumping different counters never contend and two domains
+    bumping the same counter never lose an increment. *)
+
+type counter = { c_name : string; mutable c_value : int; c_mu : Mutex.t }
+type gauge = { g_name : string; mutable g_value : float; g_mu : Mutex.t }
 
 type histogram = {
   h_name : string;
@@ -9,6 +14,7 @@ type histogram = {
   h_counts : int array;  (** one per bound, plus the +Inf bucket at the end *)
   mutable h_sum : float;
   mutable h_count : int;
+  h_mu : Mutex.t;
 }
 
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
@@ -16,28 +22,42 @@ type metric = Counter of counter | Gauge of gauge | Histogram of histogram
 type registry = {
   tbl : (string, metric) Hashtbl.t;
   help : (string, string) Hashtbl.t;
+  reg_mu : Mutex.t;
 }
 
-let create () = { tbl = Hashtbl.create 32; help = Hashtbl.create 32 }
+let create () =
+  { tbl = Hashtbl.create 32; help = Hashtbl.create 32; reg_mu = Mutex.create () }
+
 let default = create ()
 
 let default_buckets = [ 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.0 ]
 
+let with_lock mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
 let register reg ?(help = "") name make =
-  (match Hashtbl.find_opt reg.tbl name with
-  | None ->
-      Hashtbl.replace reg.tbl name (make ());
-      if help <> "" then Hashtbl.replace reg.help name help
-  | Some _ -> ());
-  Hashtbl.find reg.tbl name
+  with_lock reg.reg_mu (fun () ->
+      (match Hashtbl.find_opt reg.tbl name with
+      | None ->
+          Hashtbl.replace reg.tbl name (make ());
+          if help <> "" then Hashtbl.replace reg.help name help
+      | Some _ -> ());
+      Hashtbl.find reg.tbl name)
 
 let counter reg ?help name =
-  match register reg ?help name (fun () -> Counter { c_name = name; c_value = 0 }) with
+  match
+    register reg ?help name (fun () ->
+        Counter { c_name = name; c_value = 0; c_mu = Mutex.create () })
+  with
   | Counter c -> c
   | _ -> invalid_arg ("Metrics.counter: " ^ name ^ " is not a counter")
 
 let gauge reg ?help name =
-  match register reg ?help name (fun () -> Gauge { g_name = name; g_value = 0.0 }) with
+  match
+    register reg ?help name (fun () ->
+        Gauge { g_name = name; g_value = 0.0; g_mu = Mutex.create () })
+  with
   | Gauge g -> g
   | _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " is not a gauge")
 
@@ -56,25 +76,29 @@ let histogram reg ?help ?(buckets = default_buckets) name =
         h_counts = Array.make (Array.length bounds + 1) 0;
         h_sum = 0.0;
         h_count = 0;
+        h_mu = Mutex.create ();
       }
   in
   match register reg ?help name make with
   | Histogram h -> h
   | _ -> invalid_arg ("Metrics.histogram: " ^ name ^ " is not a histogram")
 
-let inc ?(by = 1) c = c.c_value <- c.c_value + by
-let counter_value c = c.c_value
-let set g v = g.g_value <- v
+let inc ?(by = 1) c = with_lock c.c_mu (fun () -> c.c_value <- c.c_value + by)
+let counter_value c = with_lock c.c_mu (fun () -> c.c_value)
+let set g v = with_lock g.g_mu (fun () -> g.g_value <- v)
 
 let observe h v =
-  let n = Array.length h.h_bounds in
-  let rec bucket i = if i >= n || v <= h.h_bounds.(i) then i else bucket (i + 1) in
-  h.h_counts.(bucket 0) <- h.h_counts.(bucket 0) + 1;
-  h.h_sum <- h.h_sum +. v;
-  h.h_count <- h.h_count + 1
+  with_lock h.h_mu (fun () ->
+      let n = Array.length h.h_bounds in
+      let rec bucket i =
+        if i >= n || v <= h.h_bounds.(i) then i else bucket (i + 1)
+      in
+      h.h_counts.(bucket 0) <- h.h_counts.(bucket 0) + 1;
+      h.h_sum <- h.h_sum +. v;
+      h.h_count <- h.h_count + 1)
 
-let histogram_count h = h.h_count
-let histogram_sum h = h.h_sum
+let histogram_count h = with_lock h.h_mu (fun () -> h.h_count)
+let histogram_sum h = with_lock h.h_mu (fun () -> h.h_sum)
 
 (* Escaping for HELP docstrings per the Prometheus text format: backslash
    and newline only. *)
@@ -92,52 +116,68 @@ let escape_help s =
 (* %g keeps 1e-06-style bounds and integral counts compact and stable. *)
 let expose reg =
   let buf = Buffer.create 1024 in
-  let names =
-    Hashtbl.fold (fun name _ acc -> name :: acc) reg.tbl []
-    |> List.sort String.compare
+  (* snapshot the registrations under the lock; the per-metric reads below
+     take each metric's own mutex *)
+  let entries =
+    with_lock reg.reg_mu (fun () ->
+        Hashtbl.fold
+          (fun name m acc -> (name, Hashtbl.find_opt reg.help name, m) :: acc)
+          reg.tbl []
+        |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b))
   in
   List.iter
-    (fun name ->
+    (fun (name, help, metric) ->
       (* canonical exposition order: HELP, then TYPE, then the samples —
          and a HELP line for *every* metric, registered with ~help or not,
          so scrapers see a uniform metadata block *)
-      (match Hashtbl.find_opt reg.help name with
+      (match help with
       | Some help when help <> "" ->
           Buffer.add_string buf
             (Printf.sprintf "# HELP %s %s\n" name (escape_help help))
       | _ -> Buffer.add_string buf (Printf.sprintf "# HELP %s\n" name));
-      match Hashtbl.find reg.tbl name with
+      match metric with
       | Counter c ->
           Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" name);
-          Buffer.add_string buf (Printf.sprintf "%s %d\n" c.c_name c.c_value)
+          Buffer.add_string buf
+            (Printf.sprintf "%s %d\n" c.c_name (counter_value c))
       | Gauge g ->
           Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" name);
-          Buffer.add_string buf (Printf.sprintf "%s %g\n" g.g_name g.g_value)
+          let v = with_lock g.g_mu (fun () -> g.g_value) in
+          Buffer.add_string buf (Printf.sprintf "%s %g\n" g.g_name v)
       | Histogram h ->
           Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+          let counts, sum, count =
+            with_lock h.h_mu (fun () ->
+                (Array.copy h.h_counts, h.h_sum, h.h_count))
+          in
           let cum = ref 0 in
           Array.iteri
             (fun i bound ->
-              cum := !cum + h.h_counts.(i);
+              cum := !cum + counts.(i);
               Buffer.add_string buf
                 (Printf.sprintf "%s_bucket{le=\"%g\"} %d\n" name bound !cum))
             h.h_bounds;
-          cum := !cum + h.h_counts.(Array.length h.h_bounds);
+          cum := !cum + counts.(Array.length h.h_bounds);
           Buffer.add_string buf
             (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name !cum);
-          Buffer.add_string buf (Printf.sprintf "%s_sum %g\n" name h.h_sum);
-          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name h.h_count))
-    names;
+          Buffer.add_string buf (Printf.sprintf "%s_sum %g\n" name sum);
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name count))
+    entries;
   Buffer.contents buf
 
 let reset reg =
-  Hashtbl.iter
-    (fun _ m ->
+  let metrics =
+    with_lock reg.reg_mu (fun () ->
+        Hashtbl.fold (fun _ m acc -> m :: acc) reg.tbl [])
+  in
+  List.iter
+    (fun m ->
       match m with
-      | Counter c -> c.c_value <- 0
-      | Gauge g -> g.g_value <- 0.0
+      | Counter c -> with_lock c.c_mu (fun () -> c.c_value <- 0)
+      | Gauge g -> with_lock g.g_mu (fun () -> g.g_value <- 0.0)
       | Histogram h ->
-          Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
-          h.h_sum <- 0.0;
-          h.h_count <- 0)
-    reg.tbl
+          with_lock h.h_mu (fun () ->
+              Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+              h.h_sum <- 0.0;
+              h.h_count <- 0))
+    metrics

@@ -10,7 +10,14 @@
     lets tests snapshot it.
 
     Registries are explicit values; {!default} is the process-wide one the
-    instrumentation hooks write to. *)
+    instrumentation hooks write to.
+
+    {b Thread safety}: every operation may be called from any domain.
+    Registration is guarded by one registry mutex; each metric carries its
+    own mutex, so concurrent updates to the same counter/histogram never
+    lose increments and updates to different metrics never contend.
+    {!expose} and {!reset} snapshot under the same locks, so an exposition
+    taken mid-update is always internally consistent per metric. *)
 
 type registry
 type counter

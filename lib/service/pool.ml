@@ -1,0 +1,159 @@
+(** Fixed-size domain pool — see the interface. *)
+
+type job = unit -> unit
+
+type t = {
+  p_jobs : int;
+  p_mu : Mutex.t;
+  p_nonempty : Condition.t;  (** signaled on enqueue and on shutdown *)
+  p_queue : job Queue.t;
+  mutable p_workers : unit Domain.t list;
+  mutable p_down : bool;
+}
+
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  f_pool : t;
+  f_mu : Mutex.t;
+  f_done : Condition.t;
+  mutable f_state : 'a state;
+}
+
+let jobs t = t.p_jobs
+
+(* Pop the next job, or [None] once the pool is shut down and drained.
+   Blocks while the queue is empty but the pool is still up. *)
+let worker_pop t : job option =
+  Mutex.lock t.p_mu;
+  let rec wait () =
+    if not (Queue.is_empty t.p_queue) then Some (Queue.pop t.p_queue)
+    else if t.p_down then None
+    else begin
+      Condition.wait t.p_nonempty t.p_mu;
+      wait ()
+    end
+  in
+  let j = wait () in
+  Mutex.unlock t.p_mu;
+  j
+
+(* Non-blocking variant for helpers: a job if one is queued right now. *)
+let try_pop t : job option =
+  Mutex.lock t.p_mu;
+  let j = if Queue.is_empty t.p_queue then None else Some (Queue.pop t.p_queue) in
+  Mutex.unlock t.p_mu;
+  j
+
+let worker_loop t =
+  let rec go () =
+    match worker_pop t with
+    | Some job ->
+        job ();
+        go ()
+    | None -> ()
+  in
+  go ()
+
+let create ?(jobs = 1) () =
+  let jobs = max 1 (min jobs 128) in
+  let t =
+    {
+      p_jobs = jobs;
+      p_mu = Mutex.create ();
+      p_nonempty = Condition.create ();
+      p_queue = Queue.create ();
+      p_workers = [];
+      p_down = false;
+    }
+  in
+  (* the caller is the jobs-th worker (it helps while awaiting) *)
+  t.p_workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let submit t f =
+  let fut =
+    { f_pool = t; f_mu = Mutex.create (); f_done = Condition.create (); f_state = Pending }
+  in
+  let job () =
+    let outcome =
+      match f () with
+      | v -> Done v
+      | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock fut.f_mu;
+    fut.f_state <- outcome;
+    Condition.broadcast fut.f_done;
+    Mutex.unlock fut.f_mu
+  in
+  Mutex.lock t.p_mu;
+  if t.p_down then begin
+    Mutex.unlock t.p_mu;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push job t.p_queue;
+  Condition.signal t.p_nonempty;
+  Mutex.unlock t.p_mu;
+  fut
+
+let settled fut =
+  Mutex.lock fut.f_mu;
+  let s = fut.f_state in
+  Mutex.unlock fut.f_mu;
+  s
+
+let rec await fut =
+  match settled fut with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> (
+      (* help: run a queued job in this domain rather than going idle.
+         The job we are waiting for is either still queued (we may pop and
+         run it ourselves) or already running in another domain — in which
+         case we block until its completion broadcast. *)
+      match try_pop fut.f_pool with
+      | Some job ->
+          job ();
+          await fut
+      | None ->
+          Mutex.lock fut.f_mu;
+          while (match fut.f_state with Pending -> true | _ -> false) do
+            Condition.wait fut.f_done fut.f_mu
+          done;
+          Mutex.unlock fut.f_mu;
+          await fut)
+
+let map t f xs =
+  let futs = List.map (fun x -> submit t (fun () -> f x)) xs in
+  (* settle everything first so one failure cannot orphan running jobs *)
+  let results =
+    List.map
+      (fun fut -> match await fut with v -> Ok v | exception e -> Error e)
+      futs
+  in
+  List.map (function Ok v -> v | Error e -> raise e) results
+
+let shutdown t =
+  Mutex.lock t.p_mu;
+  let workers = t.p_workers in
+  t.p_workers <- [];
+  t.p_down <- true;
+  Condition.broadcast t.p_nonempty;
+  Mutex.unlock t.p_mu;
+  (* drain any still-queued jobs here so their futures settle *)
+  let rec drain () =
+    match try_pop t with
+    | Some job ->
+        job ();
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  List.iter Domain.join workers
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,52 @@
+(** A fixed-size OCaml 5 domain pool with a shared work queue.
+
+    [create ~jobs:n ()] sizes the pool for [n]-way parallelism: [n - 1]
+    worker domains are spawned, and the calling domain is the n-th worker —
+    while it {!await}s a pending future it pops and runs queued jobs
+    itself.  That makes [~jobs:1] spawn {e no} domains at all: every job
+    runs inline in the caller, in submission order, so a single-job pool is
+    byte-for-byte equivalent to the sequential code it replaces.
+
+    Jobs are independent closures; the pool makes no attempt to run a job's
+    dependencies first, so a job must never {!await} a future of its own
+    pool (the classic thread-pool deadlock).  The compile service only
+    submits leaf work (one compile, one configuration timing), which cannot
+    deadlock.
+
+    All operations are thread-safe; futures may be awaited from any
+    domain. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** A pool sized for [jobs]-way parallelism (default 1; clamped to
+    [1..128]).  [jobs - 1] worker domains are spawned eagerly, so the cost
+    of domain creation is paid here, not on the first batch. *)
+
+val jobs : t -> int
+(** The parallelism the pool was created with (including the caller). *)
+
+type 'a future
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue a job.  Jobs start in FIFO order; an exception raised by the
+    job is captured and re-raised by {!await}. *)
+
+val await : 'a future -> 'a
+(** Block until the future's job has run, helping the pool (running other
+    queued jobs in the calling domain) while it waits.  Re-raises the
+    job's exception with its original backtrace if it failed. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map: submit one job per element, await them
+    in order.  If any job raised, the first (in list order) exception is
+    re-raised after all jobs have settled. *)
+
+val shutdown : t -> unit
+(** Drain the queue, stop and join the worker domains.  Idempotent;
+    futures already completed stay readable, but submitting to a shut-down
+    pool raises [Invalid_argument]. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and always shuts it
+    down, exception-safe. *)

@@ -4,6 +4,8 @@ module Pipeline = Lime_gpu.Pipeline
 module Memopt = Lime_gpu.Memopt
 module Comm = Lime_runtime.Comm
 module Engine = Lime_runtime.Engine
+module Diag = Lime_support.Diag
+module Loc = Lime_support.Loc
 
 type origin = Memory | Disk | Compiled
 
@@ -17,7 +19,8 @@ type t = {
   sv_kernel_dir : string option;
   sv_tunes : Tunestore.t option;
   sv_registry : Metrics.registry;
-  mutable sv_disk_hits : int;
+  sv_disk_hits : int Atomic.t;
+  sv_pool : Pool.t;
 }
 
 (* Bump when the shape of Pipeline.compiled changes: artifacts are
@@ -27,7 +30,8 @@ let artifact_magic = "lime-kernel-artifact 1\n"
 
 let mkdir_p = Tunestore.(fun dir -> ignore (open_ dir))
 
-let create ?cache_dir ?(capacity = 64) ?(registry = Metrics.default) () =
+let create ?cache_dir ?(capacity = 64) ?(registry = Metrics.default)
+    ?(jobs = 1) () =
   let sv_kernel_dir =
     Option.map
       (fun d ->
@@ -39,18 +43,25 @@ let create ?cache_dir ?(capacity = 64) ?(registry = Metrics.default) () =
   let sv_tunes =
     Option.map (fun d -> Tunestore.open_ (Filename.concat d "tune")) cache_dir
   in
+  let sv_pool = Pool.create ~jobs () in
   {
-    sv_cache = Kcache.create ~capacity ();
+    (* one stripe per job: a sequential service keeps the exact
+       single-LRU semantics, a parallel one spreads the lock *)
+    sv_cache = Kcache.create ~capacity ~stripes:(Pool.jobs sv_pool) ();
     sv_kernel_dir;
     sv_tunes;
     sv_registry = registry;
-    sv_disk_hits = 0;
+    sv_disk_hits = Atomic.make 0;
+    sv_pool;
   }
 
 let cache t = t.sv_cache
 let tunestore t = t.sv_tunes
 let registry t = t.sv_registry
 let stats t = Kcache.stats t.sv_cache
+let pool t = t.sv_pool
+let jobs t = Pool.jobs t.sv_pool
+let shutdown t = Pool.shutdown t.sv_pool
 
 let request_digest ?device ?config ~worker source =
   Digest.of_request ?device ?config ~worker source
@@ -122,7 +133,7 @@ let compile_ex t ?(config = Memopt.config_all) ?(name = "<service>") ~worker
         Kcache.find_or_add t.sv_cache (Digest.to_hex key) (fun () ->
             match disk_load t key with
             | Some c ->
-                t.sv_disk_hits <- t.sv_disk_hits + 1;
+                Atomic.incr t.sv_disk_hits;
                 origin := Disk;
                 c
             | None ->
@@ -147,39 +158,93 @@ let request ?(config = Memopt.config_all) ?(name = "<service>") ~worker
     source =
   { rq_source = source; rq_worker = worker; rq_config = config; rq_name = name }
 
-let compile_many t (reqs : request list) =
-  Kcache.find_or_add_many t.sv_cache
-    (List.map
-       (fun r ->
-         let key =
-           Digest.of_request ~config:r.rq_config ~worker:r.rq_worker
-             r.rq_source
-         in
-         ( Digest.to_hex key,
-           fun () ->
-             match disk_load t key with
-             | Some c ->
-                 t.sv_disk_hits <- t.sv_disk_hits + 1;
-                 c
-             | None ->
-                 let c =
-                   Pipeline.compile ~config:r.rq_config ~name:r.rq_name
-                     ~worker:r.rq_worker r.rq_source
-                 in
-                 disk_store t key c;
-                 c ))
-       reqs)
+(* One request, cached and fault-isolated: compiler diagnostics come back
+   as [Error]; any other exception (a corrupt artifact store, say) is
+   wrapped as a Runtime diagnostic so one bad request never aborts its
+   batch. *)
+let compile_one t (r : request) : (Pipeline.compiled, Diag.t) result =
+  let key =
+    Digest.of_request ~config:r.rq_config ~worker:r.rq_worker r.rq_source
+  in
+  try
+    Ok
+      (Kcache.find_or_add t.sv_cache (Digest.to_hex key) (fun () ->
+           match disk_load t key with
+           | Some c ->
+               Atomic.incr t.sv_disk_hits;
+               c
+           | None ->
+               let c =
+                 Pipeline.compile ~config:r.rq_config ~name:r.rq_name
+                   ~worker:r.rq_worker r.rq_source
+               in
+               disk_store t key c;
+               c))
+  with
+  | Diag.Error_exn d -> Error d
+  | exn ->
+      Error
+        (Diag.make ~phase:Diag.Runtime ~loc:Loc.dummy "%s (request %s)"
+           (Printexc.to_string exn) r.rq_name)
+
+let compile_many t (reqs : request list) :
+    (Pipeline.compiled, Diag.t) result list =
+  (* duplicates inside the batch ride the first occurrence's future — the
+     coalescing window find_or_add_many used to provide, kept across the
+     pool dispatch *)
+  let in_flight = Hashtbl.create 16 in
+  let dup = ref 0 in
+  let futures =
+    List.map
+      (fun r ->
+        let key =
+          Digest.to_hex
+            (Digest.of_request ~config:r.rq_config ~worker:r.rq_worker
+               r.rq_source)
+        in
+        match Hashtbl.find_opt in_flight key with
+        | Some fut ->
+            incr dup;
+            fut
+        | None ->
+            let fut = Pool.submit t.sv_pool (fun () -> compile_one t r) in
+            Hashtbl.replace in_flight key fut;
+            fut)
+      reqs
+  in
+  Kcache.note_coalesced t.sv_cache !dup;
+  List.map Pool.await futures
 
 (* ------------------------------------------------------------------ *)
 (* Tunestore-aware sweep                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* The Fig 8 sweep fans one timing job per configuration across the pool;
+   Pool.map preserves configuration order, so the pre-sort entry list —
+   and hence the sorted ranking — is identical to the sequential sweep. *)
+let pool_sweep t d k ~shapes ~scalars =
+  if Pool.jobs t.sv_pool <= 1 then Gpusim.Autotune.sweep d k ~shapes ~scalars
+  else
+    Pool.map t.sv_pool
+      (fun (name, cfg) ->
+        let bd = Gpusim.Autotune.time_config d k cfg ~shapes ~scalars in
+        {
+          Gpusim.Autotune.at_name = name;
+          at_config = cfg;
+          at_time_s = bd.Gpusim.Model.bd_total_s;
+          at_breakdown = bd;
+        })
+      Memopt.fig8_configs
+    |> List.sort (fun a b ->
+           Float.compare a.Gpusim.Autotune.at_time_s b.Gpusim.Autotune.at_time_s)
+
 let sweep t d ~device_key ~digest kernel ~shapes ~scalars =
+  let sweep_fn d k ~shapes ~scalars = pool_sweep t d k ~shapes ~scalars in
   match t.sv_tunes with
   | Some ts ->
-      Tunestore.cached_sweep ts d ~digest ~device:device_key kernel ~shapes
-        ~scalars
-  | None -> (Gpusim.Autotune.sweep d kernel ~shapes ~scalars, `Miss)
+      Tunestore.cached_sweep ts d ~digest ~device:device_key ~sweep:sweep_fn
+        kernel ~shapes ~scalars
+  | None -> (pool_sweep t d kernel ~shapes ~scalars, `Miss)
 
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
@@ -192,7 +257,8 @@ let export_stats t =
   Metrics.set (Metrics.gauge reg "lime_kcache_misses") (float_of_int s.Kcache.misses);
   Metrics.set (Metrics.gauge reg "lime_kcache_evictions") (float_of_int s.Kcache.evictions);
   Metrics.set (Metrics.gauge reg "lime_kcache_coalesced") (float_of_int s.Kcache.coalesced);
-  Metrics.set (Metrics.gauge reg "lime_kcache_disk_hits") (float_of_int t.sv_disk_hits);
+  Metrics.set (Metrics.gauge reg "lime_kcache_contended") (float_of_int s.Kcache.contended);
+  Metrics.set (Metrics.gauge reg "lime_kcache_disk_hits") (float_of_int (Atomic.get t.sv_disk_hits));
   Metrics.set (Metrics.gauge reg "lime_kcache_entries") (float_of_int (Kcache.length t.sv_cache))
 
 let expose t =

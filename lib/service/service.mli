@@ -8,7 +8,14 @@
     (so a *second process* starts warm) and sweep results go through the
     {!Tunestore}.  {!instrument} wires the {!Metrics} registry into
     {!Lime_gpu.Pipeline.compile}, {!Lime_runtime.Engine} firings and
-    {!Lime_runtime.Comm.phases}. *)
+    {!Lime_runtime.Comm.phases}.
+
+    A service created with [~jobs:n] owns a {!Pool} of [n - 1] worker
+    domains: {!compile_many} fans a batch across them (the sharded
+    {!Kcache}, {!Metrics} and {!Trace} are all domain-safe) and {!sweep}
+    times the eight Fig 8 configurations in parallel.  With the default
+    [~jobs:1] no domains are spawned and every entry point behaves exactly
+    like the sequential service it replaces. *)
 
 type t
 
@@ -23,16 +30,28 @@ val create :
   ?cache_dir:string ->
   ?capacity:int ->
   ?registry:Metrics.registry ->
+  ?jobs:int ->
   unit ->
   t
 (** [cache_dir] enables the on-disk artifact store ([<dir>/kernels/]) and
     the tunestore ([<dir>/tune/]); without it the service is purely
     in-memory.  [capacity] bounds the LRU (default 64).  [registry]
-    defaults to {!Metrics.default}. *)
+    defaults to {!Metrics.default}.  [jobs] (default 1) sizes the domain
+    pool for batch compilation and parallel sweeps; the kernel cache is
+    striped [jobs] ways, so [~jobs:1] keeps the exact sequential LRU
+    semantics. *)
 
 val cache : t -> Lime_gpu.Pipeline.compiled Kcache.t
 val tunestore : t -> Tunestore.t option
 val registry : t -> Metrics.registry
+
+val pool : t -> Pool.t
+val jobs : t -> int
+(** The pool's parallelism (1 = sequential, no worker domains). *)
+
+val shutdown : t -> unit
+(** Stop and join the service's worker domains (idempotent).  Only batch
+    entry points require the pool; {!compile} keeps working after. *)
 
 val request_digest :
   ?device:string ->
@@ -74,10 +93,16 @@ val request :
   string ->
   request
 
-val compile_many : t -> request list -> Lime_gpu.Pipeline.compiled list
-(** Serve a batch of in-flight requests, coalescing duplicates: N
-    identical requests perform one compile (see {!Kcache.find_or_add_many}).
-    Results are in request order. *)
+val compile_many :
+  t ->
+  request list ->
+  (Lime_gpu.Pipeline.compiled, Lime_support.Diag.t) result list
+(** Serve a batch of requests across the service's domain pool.  Results
+    are in request order; duplicates within the batch are coalesced onto
+    one compile (counted as [coalesced] in {!stats}).  Each request fails
+    independently: a compiler diagnostic (or any other exception, wrapped
+    as a [Runtime] diagnostic) comes back as [Error] for that request and
+    never aborts the rest of the batch. *)
 
 val sweep :
   t ->
@@ -91,7 +116,9 @@ val sweep :
 (** Tunestore-aware autotune sweep: with a [cache_dir], a repeated sweep of
     the same kernel digest on the same [device_key] consults the stored
     best configuration instead of re-timing all eight.  Without a
-    [cache_dir] this is exactly {!Gpusim.Autotune.sweep} (always [`Miss]). *)
+    [cache_dir] this is exactly {!Gpusim.Autotune.sweep} (always [`Miss]).
+    With [~jobs > 1] the eight configurations are timed in parallel on the
+    pool; the ranking is identical to the sequential sweep. *)
 
 val stats : t -> Kcache.stats
 

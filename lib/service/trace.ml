@@ -1,4 +1,13 @@
-(** Span-based tracer with Chrome trace-event export — see the interface. *)
+(** Span-based tracer with Chrome trace-event export — see the interface.
+
+    Concurrency model: every domain that records through a tracer gets its
+    own span buffer and its own open-span stack (domain-local storage), so
+    recording never takes a lock on the hot path beyond the shared clock.
+    Span ids come from one atomic counter — allocation order is global
+    begin order — and the per-domain buffers are merged (sorted by id) on
+    every read ({!spans}, export, views), yielding the single monotonic
+    timeline.  Parent links never cross domains: a span's parent is the
+    innermost open span {e of its own domain}. *)
 
 module Pipeline = Lime_gpu.Pipeline
 module Engine = Lime_runtime.Engine
@@ -14,61 +23,100 @@ type span = {
   mutable sp_end_us : float;
 }
 
+(** One domain's recording state: spans it began, innermost open first. *)
+type dstate = {
+  mutable ds_spans : span list;  (** reverse begin order *)
+  mutable ds_stack : span list;  (** innermost open span first *)
+}
+
 type t = {
   mutable tr_enabled : bool;
-  mutable tr_spans : span list;  (** reverse begin order *)
-  mutable tr_stack : span list;  (** innermost open span first *)
-  mutable tr_next_id : int;
-  mutable tr_last_us : float;  (** last timestamp handed out *)
+  tr_mu : Mutex.t;  (** guards the clock state and the dstate registry *)
+  tr_states : dstate list ref;  (** every domain that has recorded *)
+  tr_dls : dstate Domain.DLS.key;
+  tr_next_id : int Atomic.t;
+  mutable tr_last_us : float;  (** last timestamp handed out (under tr_mu) *)
   mutable tr_skew_us : float;  (** added to the clock by {!advance_to} *)
   mutable tr_t0 : float;
   tr_clock : unit -> float;
 }
 
 let create ?(clock = Sys.time) () =
+  let tr_mu = Mutex.create () in
+  let tr_states = ref [] in
+  let tr_dls =
+    Domain.DLS.new_key (fun () ->
+        let ds = { ds_spans = []; ds_stack = [] } in
+        Mutex.lock tr_mu;
+        tr_states := ds :: !tr_states;
+        Mutex.unlock tr_mu;
+        ds)
+  in
   {
     tr_enabled = true;
-    tr_spans = [];
-    tr_stack = [];
-    tr_next_id = 0;
+    tr_mu;
+    tr_states;
+    tr_dls;
+    tr_next_id = Atomic.make 0;
     tr_last_us = 0.0;
     tr_skew_us = 0.0;
     tr_t0 = clock ();
     tr_clock = clock;
   }
 
-let default = { (create ()) with tr_enabled = false }
+let default =
+  let t = create () in
+  t.tr_enabled <- false;
+  t
+
 let enabled t = t.tr_enabled
 let set_enabled t on = t.tr_enabled <- on
 
+let dstate t = Domain.DLS.get t.tr_dls
+
 let reset t =
-  t.tr_spans <- [];
-  t.tr_stack <- [];
-  t.tr_next_id <- 0;
+  Mutex.lock t.tr_mu;
+  List.iter
+    (fun ds ->
+      ds.ds_spans <- [];
+      ds.ds_stack <- [])
+    !(t.tr_states);
+  Atomic.set t.tr_next_id 0;
   t.tr_last_us <- 0.0;
   t.tr_skew_us <- 0.0;
-  t.tr_t0 <- t.tr_clock ()
+  t.tr_t0 <- t.tr_clock ();
+  Mutex.unlock t.tr_mu
 
-(* Strictly monotonic: coarse clocks (Sys.time often ticks in ms) are
-   nudged forward 10ns per event so span ordering is always well-formed. *)
+(* Strictly monotonic across all domains: coarse clocks (Sys.time often
+   ticks in ms) are nudged forward 10ns per event so span ordering is
+   always well-formed.  The clock state is shared, hence the mutex. *)
 let now_us t =
+  Mutex.lock t.tr_mu;
   let real = ((t.tr_clock () -. t.tr_t0) *. 1e6) +. t.tr_skew_us in
   let v = if real <= t.tr_last_us then t.tr_last_us +. 0.01 else real in
   t.tr_last_us <- v;
+  Mutex.unlock t.tr_mu;
   v
 
 let advance_to t ts_us =
+  Mutex.lock t.tr_mu;
   if ts_us > t.tr_last_us then begin
     t.tr_skew_us <- t.tr_skew_us +. (ts_us -. t.tr_last_us);
     t.tr_last_us <- ts_us
-  end
+  end;
+  Mutex.unlock t.tr_mu
 
-let push t ~cat ~args ~begin_us ~end_us name =
+let last_us t =
+  Mutex.lock t.tr_mu;
+  let v = t.tr_last_us in
+  Mutex.unlock t.tr_mu;
+  v
+
+let push t (ds : dstate) ~cat ~args ~begin_us ~end_us name =
   let sp =
     {
-      sp_id = t.tr_next_id;
-      sp_parent =
-        (match t.tr_stack with [] -> -1 | p :: _ -> p.sp_id);
+      sp_id = Atomic.fetch_and_add t.tr_next_id 1;
+      sp_parent = (match ds.ds_stack with [] -> -1 | p :: _ -> p.sp_id);
       sp_name = name;
       sp_cat = cat;
       sp_args = args;
@@ -76,33 +124,35 @@ let push t ~cat ~args ~begin_us ~end_us name =
       sp_end_us = end_us;
     }
   in
-  t.tr_next_id <- t.tr_next_id + 1;
-  t.tr_spans <- sp :: t.tr_spans;
+  ds.ds_spans <- sp :: ds.ds_spans;
   sp
 
 let begin_span t ?(cat = "") ?(args = []) ?ts_us name =
   if t.tr_enabled then begin
+    let ds = dstate t in
     let ts = match ts_us with Some ts -> ts | None -> now_us t in
-    let sp = push t ~cat ~args ~begin_us:ts ~end_us:(-1.0) name in
-    t.tr_stack <- sp :: t.tr_stack
+    let sp = push t ds ~cat ~args ~begin_us:ts ~end_us:(-1.0) name in
+    ds.ds_stack <- sp :: ds.ds_stack
   end
 
 let end_span t ?(args = []) ?ts_us name =
-  if t.tr_enabled && List.exists (fun s -> s.sp_name = name) t.tr_stack
-  then begin
-    let ts = match ts_us with Some ts -> ts | None -> now_us t in
-    advance_to t ts;
-    let rec pop = function
-      | [] -> []
-      | sp :: rest ->
-          sp.sp_end_us <- ts;
-          if sp.sp_name = name then begin
-            sp.sp_args <- sp.sp_args @ args;
-            rest
-          end
-          else pop rest (* close abandoned children at the same instant *)
-    in
-    t.tr_stack <- pop t.tr_stack
+  if t.tr_enabled then begin
+    let ds = dstate t in
+    if List.exists (fun s -> s.sp_name = name) ds.ds_stack then begin
+      let ts = match ts_us with Some ts -> ts | None -> now_us t in
+      advance_to t ts;
+      let rec pop = function
+        | [] -> []
+        | sp :: rest ->
+            sp.sp_end_us <- ts;
+            if sp.sp_name = name then begin
+              sp.sp_args <- sp.sp_args @ args;
+              rest
+            end
+            else pop rest (* close abandoned children at the same instant *)
+      in
+      ds.ds_stack <- pop ds.ds_stack
+    end
   end
 
 let with_span t ?cat ?args name f =
@@ -114,12 +164,29 @@ let with_span t ?cat ?args name f =
 
 let complete t ?(cat = "") ?(args = []) ?ts_us ~dur_us name =
   if t.tr_enabled then begin
+    let ds = dstate t in
     let ts = match ts_us with Some ts -> ts | None -> now_us t in
-    ignore (push t ~cat ~args ~begin_us:ts ~end_us:(ts +. dur_us) name)
+    ignore (push t ds ~cat ~args ~begin_us:ts ~end_us:(ts +. dur_us) name)
   end
 
-let spans t = List.rev t.tr_spans
-let open_depth t = List.length t.tr_stack
+(* Merge the per-domain buffers into the one timeline.  Ids are allocated
+   from a single atomic counter at begin time, so ascending id order *is*
+   global begin order. *)
+let spans t =
+  Mutex.lock t.tr_mu;
+  let all =
+    List.concat_map (fun ds -> ds.ds_spans) !(t.tr_states)
+  in
+  Mutex.unlock t.tr_mu;
+  List.sort (fun a b -> compare a.sp_id b.sp_id) all
+
+let open_depth t =
+  Mutex.lock t.tr_mu;
+  let n =
+    List.fold_left (fun acc ds -> acc + List.length ds.ds_stack) 0 !(t.tr_states)
+  in
+  Mutex.unlock t.tr_mu;
+  n
 
 (* ------------------------------------------------------------------ *)
 (* Chrome trace-event export                                           *)
@@ -142,7 +209,7 @@ let json_escape s =
   Buffer.contents b
 
 let to_chrome_json t =
-  let now = t.tr_last_us in
+  let now = last_us t in
   let closed_end sp = if sp.sp_end_us < 0.0 then now else sp.sp_end_us in
   let sorted =
     List.sort
@@ -187,9 +254,8 @@ let write_chrome t file =
 (* Terminal views                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let duration_us t sp =
-  (if sp.sp_end_us < 0.0 then t.tr_last_us else sp.sp_end_us)
-  -. sp.sp_begin_us
+let duration_us ~now sp =
+  (if sp.sp_end_us < 0.0 then now else sp.sp_end_us) -. sp.sp_begin_us
 
 let pretty_us us =
   if us >= 1e6 then Printf.sprintf "%.2fs" (us /. 1e6)
@@ -197,6 +263,7 @@ let pretty_us us =
   else Printf.sprintf "%.2fus" us
 
 let summary ?(top = 10) t =
+  let now = last_us t in
   let all = spans t in
   let tbl = Hashtbl.create 32 in
   List.iter
@@ -204,11 +271,11 @@ let summary ?(top = 10) t =
       let dur, n =
         Option.value (Hashtbl.find_opt tbl sp.sp_name) ~default:(0.0, 0)
       in
-      Hashtbl.replace tbl sp.sp_name (dur +. duration_us t sp, n + 1))
+      Hashtbl.replace tbl sp.sp_name (dur +. duration_us ~now sp, n + 1))
     all;
   let timeline =
     List.fold_left (fun acc sp -> Float.max acc
-        (if sp.sp_end_us < 0.0 then t.tr_last_us else sp.sp_end_us))
+        (if sp.sp_end_us < 0.0 then now else sp.sp_end_us))
       0.0 all
   in
   let rows =
@@ -232,6 +299,7 @@ let summary ?(top = 10) t =
   Buffer.contents b
 
 let flame t =
+  let now = last_us t in
   let all = spans t in
   let b = Buffer.create 512 in
   let rec walk depth parent =
@@ -242,7 +310,7 @@ let flame t =
             (Printf.sprintf "%s%s %s[%s]\n"
                (String.make (2 * depth) ' ')
                sp.sp_name
-               (pretty_us (duration_us t sp) ^ " ")
+               (pretty_us (duration_us ~now sp) ^ " ")
                (if sp.sp_cat = "" then "default" else sp.sp_cat));
           walk (depth + 1) sp.sp_id
         end)

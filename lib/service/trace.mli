@@ -21,7 +21,14 @@
     to.  It starts {e disabled}: every recording call on a disabled tracer
     is a cheap no-op, so instrumented code paths cost nothing until
     tracing is switched on.  Explicit {!create}d instances (for tests)
-    start enabled. *)
+    start enabled.
+
+    {b Thread safety}: a tracer may be written from any domain.  Each
+    domain records into its own span buffer with its own open-span stack
+    (so nesting never crosses domains); span ids come from one atomic
+    counter and the shared clock is mutex-guarded.  Readers ({!spans},
+    export, {!summary}, {!flame}) merge the per-domain buffers into a
+    single timeline ordered by span id — global begin order. *)
 
 type t
 

@@ -80,8 +80,8 @@ let load t ~digest ~device : record option =
     | _ -> None
 
 let cached_sweep t (d : Gpusim.Device.t) ~digest ~device
-    (k : Lime_gpu.Kernel.kernel) ~shapes ~scalars :
-    Gpusim.Autotune.entry list * [ `Hit of record | `Miss ] =
+    ?(sweep = Gpusim.Autotune.sweep) (k : Lime_gpu.Kernel.kernel) ~shapes
+    ~scalars : Gpusim.Autotune.entry list * [ `Hit of record | `Miss ] =
   match load t ~digest ~device with
   | Some r ->
       let bd = Gpusim.Autotune.time_config d k r.tr_config ~shapes ~scalars in
@@ -95,7 +95,7 @@ let cached_sweep t (d : Gpusim.Device.t) ~digest ~device
         ],
         `Hit r )
   | None ->
-      let entries = Gpusim.Autotune.sweep d k ~shapes ~scalars in
+      let entries = sweep d k ~shapes ~scalars in
       (match entries with
       | best :: _ ->
           store t ~digest ~device

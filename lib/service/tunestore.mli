@@ -32,6 +32,12 @@ val cached_sweep :
   Gpusim.Device.t ->
   digest:Digest.t ->
   device:string ->
+  ?sweep:
+    (Gpusim.Device.t ->
+    Lime_gpu.Kernel.kernel ->
+    shapes:(string * int array) list ->
+    scalars:(string * float) list ->
+    Gpusim.Autotune.entry list) ->
   Lime_gpu.Kernel.kernel ->
   shapes:(string * int array) list ->
   scalars:(string * float) list ->
@@ -39,4 +45,6 @@ val cached_sweep :
 (** The tunestore-aware version of {!Gpusim.Autotune.sweep}.  On a hit the
     stored best configuration is re-timed alone and returned as a single
     entry; on a miss all eight configurations are swept and the winner is
-    persisted for next time. *)
+    persisted for next time.  [sweep] (default {!Gpusim.Autotune.sweep})
+    overrides how a miss is swept — {!Service.sweep} supplies its
+    pool-parallel variant. *)

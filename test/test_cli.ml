@@ -271,6 +271,97 @@ let test_stats_unaffected_by_trace () =
   Alcotest.(check string) "identical metric counts" (deterministic_lines out1)
     (deterministic_lines out2)
 
+let test_jobs_roundtrip () =
+  skip_unless_available ();
+  (* --jobs 1 is the sequential compiler: byte-identical output *)
+  let base = nbody ^ " -w NBody.computeForces --emit-opencl" in
+  let code0, out0 = capture base in
+  let code1, out1 = capture (base ^ " --jobs 1") in
+  let code4, out4 = capture (base ^ " --jobs 4") in
+  Alcotest.(check int) "plain exit 0" 0 code0;
+  Alcotest.(check int) "--jobs 1 exit 0" 0 code1;
+  Alcotest.(check int) "--jobs 4 exit 0" 0 code4;
+  Alcotest.(check string) "--jobs 1 output identical" out0 out1;
+  Alcotest.(check string) "--jobs 4 output identical" out0 out4
+
+let test_jobs_rejected () =
+  skip_unless_available ();
+  List.iter
+    (fun n ->
+      let code, out =
+        capture (Printf.sprintf "%s -w NBody.computeForces --jobs=%d" nbody n)
+      in
+      Alcotest.(check int) (Printf.sprintf "--jobs=%d exits 2" n) 2 code;
+      Alcotest.(check bool) "names the flag" true (contains "bad --jobs" out))
+    [ 0; -3 ]
+
+let test_multi_file_batch () =
+  skip_unless_available ();
+  let matmul =
+    find
+      [
+        "../examples/lime/matmul.lime"; "examples/lime/matmul.lime";
+        "_build/default/examples/lime/matmul.lime";
+      ]
+  in
+  match matmul with
+  | None -> Alcotest.skip ()
+  | Some matmul ->
+      (* several files with one worker: per-file results, one bad file
+         fails its own request without aborting the rest *)
+      let code, out =
+        capture
+          (Printf.sprintf "%s %s -w NBody.computeForces --jobs 4" nbody matmul)
+      in
+      Alcotest.(check int) "one failure -> exit 1" 1 code;
+      Alcotest.(check bool) "nbody compiled" true
+        (contains "kernel NBody.computeForces" out);
+      Alcotest.(check bool) "matmul failed with diagnostic" true
+        (contains "unknown worker" out);
+      Alcotest.(check bool) "summary line printed" true
+        (contains "1 compiled, 1 failed" out);
+      (* batch mode refuses per-artifact actions *)
+      let code, out =
+        capture
+          (Printf.sprintf "%s %s -w NBody.computeForces --emit-opencl" nbody
+             matmul)
+      in
+      Alcotest.(check int) "per-artifact flag exits 2" 2 code;
+      Alcotest.(check bool) "explains the restriction" true
+        (contains "single FILE" out)
+
+let test_batch_manifest () =
+  skip_unless_available ();
+  let matmul =
+    find
+      [
+        "../examples/lime/matmul.lime"; "examples/lime/matmul.lime";
+        "_build/default/examples/lime/matmul.lime";
+      ]
+  in
+  match matmul with
+  | None -> Alcotest.skip ()
+  | Some matmul ->
+      let manifest = Filename.temp_file "limec_batch" ".manifest" in
+      Out_channel.with_open_text manifest (fun oc ->
+          Printf.fprintf oc
+            "# two programs, the second under an explicit config\n\
+             %s NBody.computeForces\n\n\
+             %s MatMul.multiply local+pad+vec  # inline comment\n"
+            nbody matmul);
+      let code, out =
+        capture
+          (Printf.sprintf "--batch %s --jobs 2" (Filename.quote manifest))
+      in
+      Sys.remove manifest;
+      Alcotest.(check int) "exit 0" 0 code;
+      Alcotest.(check bool) "nbody compiled" true
+        (contains "kernel NBody.computeForces" out);
+      Alcotest.(check bool) "matmul compiled" true
+        (contains "kernel MatMul.multiply" out);
+      Alcotest.(check bool) "batch summary" true
+        (contains "2 compiled, 0 failed" out)
+
 let () =
   Alcotest.run "cli"
     [
@@ -293,5 +384,10 @@ let () =
           Alcotest.test_case "profile report" `Quick test_profile_report;
           Alcotest.test_case "stats unaffected by trace" `Quick
             test_stats_unaffected_by_trace;
+          Alcotest.test_case "--jobs round-trips" `Quick test_jobs_roundtrip;
+          Alcotest.test_case "--jobs rejects non-positive" `Quick
+            test_jobs_rejected;
+          Alcotest.test_case "multi-file batch" `Quick test_multi_file_batch;
+          Alcotest.test_case "batch manifest" `Quick test_batch_manifest;
         ] );
     ]

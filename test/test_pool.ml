@@ -1,0 +1,345 @@
+(* The parallel compile service: the domain pool itself, a multi-domain
+   stress of one shared Service.t, a differential check that parallel
+   batch compilation is byte-identical to sequential, and QCheck
+   properties of the sharded Kcache. *)
+
+module Pool = Lime_service.Pool
+module Kcache = Lime_service.Kcache
+module Metrics = Lime_service.Metrics
+module Service = Lime_service.Service
+module Trace = Lime_service.Trace
+module Pipeline = Lime_gpu.Pipeline
+module Memopt = Lime_gpu.Memopt
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_sequential_inline () =
+  (* jobs=1 spawns no domains: every job runs in the caller, in
+     submission order — the sequential service path *)
+  let p = Pool.create ~jobs:1 () in
+  Alcotest.(check int) "jobs clamped" 1 (Pool.jobs p);
+  let order = ref [] in
+  let futs =
+    List.init 5 (fun i ->
+        Pool.submit p (fun () ->
+            order := i :: !order;
+            i * i))
+  in
+  let results = List.map Pool.await futs in
+  Alcotest.(check (list int)) "results in order" [ 0; 1; 4; 9; 16 ] results;
+  Alcotest.(check (list int)) "jobs ran FIFO" [ 0; 1; 2; 3; 4 ]
+    (List.rev !order);
+  Pool.shutdown p
+
+let test_pool_map_order () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      let xs = List.init 100 Fun.id in
+      Alcotest.(check (list int)) "map preserves order"
+        (List.map (fun x -> x * 2) xs)
+        (Pool.map p (fun x -> x * 2) xs))
+
+let test_pool_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun p ->
+          let fut = Pool.submit p (fun () -> failwith "boom") in
+          Alcotest.check_raises
+            (Printf.sprintf "await re-raises (jobs %d)" jobs)
+            (Failure "boom")
+            (fun () -> ignore (Pool.await fut));
+          (* one failing job must not poison the pool *)
+          Alcotest.(check int) "pool still serves" 7
+            (Pool.await (Pool.submit p (fun () -> 7)));
+          Alcotest.check_raises "map re-raises first failure"
+            (Failure "bad-2")
+            (fun () ->
+              ignore
+                (Pool.map p
+                   (fun x -> if x mod 2 = 0 then failwith ("bad-" ^ string_of_int x) else x)
+                   [ 1; 2; 3; 4 ]))))
+    [ 1; 4 ]
+
+let test_pool_shutdown () =
+  let p = Pool.create ~jobs:2 () in
+  let futs = List.init 20 (fun i -> Pool.submit p (fun () -> i)) in
+  Pool.shutdown p;
+  (* queued futures settle during shutdown and stay readable after *)
+  Alcotest.(check (list int)) "drained on shutdown" (List.init 20 Fun.id)
+    (List.map Pool.await futs);
+  Pool.shutdown p (* idempotent *);
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      ignore (Pool.submit p (fun () -> ())))
+
+(* ------------------------------------------------------------------ *)
+(* Multi-domain stress of one shared service                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Eight distinct one-kernel programs whose generated OpenCL embeds the
+   per-variant scale constant — so an artifact can be matched back to the
+   request that must have produced it. *)
+let variant_source i =
+  Printf.sprintf
+    {|
+class Scale%d {
+  static local float app(float x) { return x * %d.0f; }
+  static local float[[]] apply(float[[]] xs) { return Scale%d.app @ xs; }
+}
+|}
+    i (i + 2) i
+
+let variants = Array.init 8 (fun i -> (variant_source i, Printf.sprintf "Scale%d.app" i))
+
+let expected_opencl =
+  lazy
+    (Array.map
+       (fun (src, worker) -> (Pipeline.compile ~worker src).Pipeline.cp_opencl)
+       variants)
+
+let test_stress_shared_service () =
+  let expected = Lazy.force expected_opencl in
+  let registry = Metrics.create () in
+  Service.instrument ~registry ();
+  Fun.protect ~finally:Service.uninstrument (fun () ->
+      let svc = Service.create ~capacity:4 ~jobs:4 ~registry () in
+      let domains = 4 and rounds = 5 in
+      let errors = Atomic.make 0 in
+      let hammer d () =
+        for r = 0 to rounds - 1 do
+          (* stagger the order per domain and round so domains chase each
+             other across the stripes *)
+          for i = 0 to Array.length variants - 1 do
+            let j = (i + d + r) mod Array.length variants in
+            let src, worker = variants.(j) in
+            let c = Service.compile svc ~worker src in
+            if c.Pipeline.cp_opencl <> expected.(j) then Atomic.incr errors
+          done
+        done
+      in
+      let spawned = List.init domains (fun d -> Domain.spawn (hammer d)) in
+      List.iter Domain.join spawned;
+      Service.shutdown svc;
+      let total = domains * rounds * Array.length variants in
+      let s = Service.stats svc in
+      Alcotest.(check int) "every artifact matched its request" 0
+        (Atomic.get errors);
+      Alcotest.(check int) "hits + misses = requests" total
+        (s.Kcache.hits + s.Kcache.misses);
+      Alcotest.(check bool) "cache bounded by capacity" true
+        (Kcache.length (Service.cache svc) <= Kcache.capacity (Service.cache svc));
+      (* with compute-outside-lock every miss runs one compile, so the
+         instrumented compile counter equals the miss count exactly *)
+      Alcotest.(check int) "compile counter = misses" s.Kcache.misses
+        (Metrics.counter_value (Metrics.counter registry "lime_compile_total")))
+
+let test_stress_compile_many () =
+  (* same shared-service hammering through the batch entry point *)
+  let expected = Lazy.force expected_opencl in
+  let svc = Service.create ~capacity:4 ~jobs:4 () in
+  let reqs =
+    List.concat_map
+      (fun round ->
+        List.init
+          (Array.length variants)
+          (fun i ->
+            let j = (i + round) mod Array.length variants in
+            let src, worker = variants.(j) in
+            (j, Service.request ~worker src)))
+      [ 0; 1; 2; 3 ]
+  in
+  let results = Service.compile_many svc (List.map snd reqs) in
+  Service.shutdown svc;
+  Alcotest.(check int) "all requests answered" (List.length reqs)
+    (List.length results);
+  List.iter2
+    (fun (j, _) r ->
+      match r with
+      | Ok c ->
+          Alcotest.(check bool) "artifact matches request" true
+            (c.Pipeline.cp_opencl = expected.(j))
+      | Error d -> Alcotest.failf "request failed: %s" (Lime_support.Diag.to_string d))
+    reqs results
+
+let test_batch_error_isolation () =
+  let svc = Service.create ~jobs:4 () in
+  let src, worker = variants.(0) in
+  let reqs =
+    [
+      Service.request ~worker src;
+      Service.request ~worker:"No.Such" src;
+      Service.request ~worker "class Broken {";
+      Service.request ~worker src;
+    ]
+  in
+  (match Service.compile_many svc reqs with
+  | [ Ok _; Error _; Error _; Ok _ ] -> ()
+  | results ->
+      Alcotest.failf "unexpected batch shape: %s"
+        (String.concat ","
+           (List.map (function Ok _ -> "ok" | Error _ -> "err") results)));
+  Service.shutdown svc
+
+(* ------------------------------------------------------------------ *)
+(* Differential: parallel batch ≡ sequential, whole suite              *)
+(* ------------------------------------------------------------------ *)
+
+let test_differential_parallel_vs_sequential () =
+  let suite = Lime_benchmarks.Registry.all in
+  let request_of (b : Lime_benchmarks.Bench_def.t) =
+    Service.request ~config:b.Lime_benchmarks.Bench_def.best_config
+      ~name:b.Lime_benchmarks.Bench_def.name
+      ~worker:b.Lime_benchmarks.Bench_def.worker
+      b.Lime_benchmarks.Bench_def.source_small
+  in
+  let compile_suite jobs =
+    let svc = Service.create ~jobs () in
+    let results = Service.compile_many svc (List.map request_of suite) in
+    Service.shutdown svc;
+    List.map
+      (function
+        | Ok c -> c
+        | Error d -> Alcotest.failf "compile failed: %s" (Lime_support.Diag.to_string d))
+      results
+  in
+  let seq = compile_suite 1 and par = compile_suite 4 in
+  List.iter2
+    (fun (b : Lime_benchmarks.Bench_def.t) (s, p) ->
+      let name = b.Lime_benchmarks.Bench_def.name in
+      Alcotest.(check string)
+        (name ^ ": OpenCL byte-identical")
+        s.Pipeline.cp_opencl p.Pipeline.cp_opencl;
+      Alcotest.(check string)
+        (name ^ ": memopt decisions identical")
+        (Memopt.describe s.Pipeline.cp_decisions)
+        (Memopt.describe p.Pipeline.cp_decisions))
+    suite (List.combine seq par)
+
+(* ------------------------------------------------------------------ *)
+(* Thread-safe Metrics and Trace                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_parallel_increments () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "par_total" in
+  let h = Metrics.histogram reg "par_seconds" in
+  let per_domain = 10_000 and domains = 4 in
+  let worker () =
+    for _ = 1 to per_domain do
+      Metrics.inc c;
+      Metrics.observe h 1e-4
+    done
+  in
+  let spawned = List.init domains (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join spawned;
+  Alcotest.(check int) "no lost counter increments" (per_domain * domains)
+    (Metrics.counter_value c);
+  Alcotest.(check int) "no lost observations" (per_domain * domains)
+    (Metrics.histogram_count h)
+
+let test_trace_per_domain_buffers () =
+  let tr = Trace.create () in
+  let domains = 4 and per_domain = 50 in
+  let worker d () =
+    for i = 1 to per_domain do
+      Trace.with_span tr ~cat:"stress"
+        (Printf.sprintf "d%d.%d" d i)
+        (fun () -> ())
+    done
+  in
+  let spawned = List.init domains (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join spawned;
+  let spans = Trace.spans tr in
+  Alcotest.(check int) "every span recorded" (domains * per_domain)
+    (List.length spans);
+  Alcotest.(check int) "all spans balanced" 0 (Trace.open_depth tr);
+  (* the merged timeline is ordered by the global span-id allocation *)
+  let ids = List.map (fun s -> s.Trace.sp_id) spans in
+  Alcotest.(check bool) "merged ids strictly increasing" true
+    (List.for_all2 ( < ) (List.filteri (fun i _ -> i < List.length ids - 1) ids)
+       (List.tl ids));
+  (* export still renders a well-formed object after a parallel run *)
+  let json = Trace.to_chrome_json tr in
+  Alcotest.(check bool) "chrome export well-formed" true
+    (String.length json > 2 && json.[0] = '{')
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: sharded Kcache invariants                                   *)
+(* ------------------------------------------------------------------ *)
+
+let key_gen = QCheck.Gen.map (Printf.sprintf "k%d") (QCheck.Gen.int_bound 30)
+
+let scenario =
+  QCheck.make
+    ~print:(fun (cap, stripes, ops) ->
+      Printf.sprintf "capacity=%d stripes=%d ops=[%s]" cap stripes
+        (String.concat ";" ops))
+    QCheck.Gen.(
+      triple (int_range 1 8) (int_range 1 8) (list_size (int_bound 200) key_gen))
+
+let test_kcache_sharded_invariants =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"sharded kcache invariants" scenario
+       (fun (cap, stripes, ops) ->
+         let c = Kcache.create ~capacity:cap ~stripes () in
+         List.iter (fun k -> ignore (Kcache.find_or_add c k (fun () -> k))) ops;
+         let s = Kcache.stats c in
+         let len = Kcache.length c in
+         (* global capacity bound survives sharding *)
+         len <= cap
+         (* every op is exactly one hit or one miss *)
+         && s.Kcache.hits + s.Kcache.misses = List.length ops
+         (* sequentially, every miss inserts once: what isn't resident
+            was evicted *)
+         && s.Kcache.evictions = s.Kcache.misses - len
+         (* recency order covers exactly the resident keys *)
+         && List.length (Kcache.keys_by_recency c) = len))
+
+let test_kcache_stripes_respect_capacity =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"stripe clamping"
+       QCheck.(pair (int_range 1 16) (int_range 1 64))
+       (fun (cap, stripes) ->
+         let c = Kcache.create ~capacity:cap ~stripes () in
+         (* never more stripes than capacity: no stripe may have cap 0 *)
+         Kcache.stripes c >= 1 && Kcache.stripes c <= cap))
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "jobs=1 runs inline in order" `Quick
+            test_pool_sequential_inline;
+          Alcotest.test_case "map preserves order" `Quick test_pool_map_order;
+          Alcotest.test_case "exceptions propagate" `Quick
+            test_pool_exception_propagates;
+          Alcotest.test_case "shutdown drains and closes" `Quick
+            test_pool_shutdown;
+        ] );
+      ( "stress",
+        [
+          Alcotest.test_case "domains hammer one service" `Quick
+            test_stress_shared_service;
+          Alcotest.test_case "compile_many under contention" `Quick
+            test_stress_compile_many;
+          Alcotest.test_case "batch isolates failures" `Quick
+            test_batch_error_isolation;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "parallel ≡ sequential, whole suite" `Slow
+            test_differential_parallel_vs_sequential;
+        ] );
+      ( "shared-state",
+        [
+          Alcotest.test_case "metrics lose no updates" `Quick
+            test_metrics_parallel_increments;
+          Alcotest.test_case "trace merges domain buffers" `Quick
+            test_trace_per_domain_buffers;
+        ] );
+      ( "kcache-properties",
+        [ test_kcache_sharded_invariants; test_kcache_stripes_respect_capacity ]
+      );
+    ]
