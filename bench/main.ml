@@ -1,14 +1,18 @@
 (** Benchmark harness: regenerates every table and figure of the paper's
-    evaluation (§5) from the simulated platforms, and runs Bechamel
-    micro-benchmarks of the compiler pipeline itself.
+    evaluation (§5) from the simulated platforms, runs Bechamel
+    micro-benchmarks of the compiler pipeline itself, and emits
+    machine-readable perf results for regression tracking.
 
     Usage:
       dune exec bench/main.exe            — everything
       dune exec bench/main.exe -- table1 table2 table3 fig7a fig7b fig8 fig9
                                            marshal-ablation glue compiler
+      dune exec bench/main.exe -- --quick --json BENCH_ci.json
+      dune exec bench/main.exe -- --quick --baseline BENCH_ci.json
 *)
 
 module E = Lime_benchmarks.Experiments
+module Benchjson = Lime_benchmarks.Benchjson
 module Device = Gpusim.Device
 
 let section title =
@@ -372,11 +376,132 @@ let all_experiments =
     ("runtime", run_runtime_benches);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable perf results (--json / --baseline)                 *)
+(* ------------------------------------------------------------------ *)
+
+let usage () =
+  Printf.printf
+    "usage: bench/main.exe [FLAGS] [EXPERIMENT..]\n\n\
+     Experiments (default: all of them):\n\
+    \  %s\n\n\
+     Flags:\n\
+    \  --json FILE      collect per-benchmark per-device perf results\n\
+    \                   (modelled time, speedup vs the JVM baseline, headline\n\
+    \                   simulated hardware counters) and write them to FILE as\n\
+    \                   versioned JSON (schema %s v%d)\n\
+    \  --baseline FILE  diff the current collection against a previous --json\n\
+    \                   run; exits 1 if any benchmark regressed more than 10%%\n\
+    \  --quick          use the test-scale programs and inputs, so the JSON\n\
+    \                   harness finishes in seconds (for CI)\n\
+    \  --seed N         seed for the deterministic input builders (default 1)\n\
+    \  --help           this text\n"
+    (String.concat " " (List.map fst all_experiments))
+    Benchjson.schema_name Benchjson.schema_version
+
+type opts = {
+  mutable o_json : string option;
+  mutable o_baseline : string option;
+  mutable o_quick : bool;
+  mutable o_seed : int;
+  mutable o_names : string list;
+}
+
+let parse_args () =
+  let o =
+    { o_json = None; o_baseline = None; o_quick = false; o_seed = 1; o_names = [] }
+  in
+  let rec go = function
+    | [] -> ()
+    | "--help" :: _ | "-help" :: _ ->
+        usage ();
+        exit 0
+    | "--json" :: file :: rest ->
+        o.o_json <- Some file;
+        go rest
+    | "--baseline" :: file :: rest ->
+        o.o_baseline <- Some file;
+        go rest
+    | "--quick" :: rest ->
+        o.o_quick <- true;
+        go rest
+    | "--seed" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some seed ->
+            o.o_seed <- seed;
+            go rest
+        | None ->
+            Printf.eprintf "bad --seed %s: expected an integer\n" n;
+            exit 2)
+    | ("--json" | "--baseline" | "--seed") :: [] ->
+        Printf.eprintf "missing argument (see --help)\n";
+        exit 2
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+        Printf.eprintf "unknown flag %s (see --help)\n" arg;
+        exit 2
+    | name :: rest ->
+        o.o_names <- o.o_names @ [ name ];
+        go rest
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  o
+
+let run_perf (o : opts) =
+  let name =
+    match o.o_json with
+    | Some file ->
+        let base = Filename.remove_extension (Filename.basename file) in
+        if String.length base > 6 && String.sub base 0 6 = "BENCH_" then
+          String.sub base 6 (String.length base - 6)
+        else base
+    | None -> "bench"
+  in
+  section "Perf collection — benchmark x device, modelled";
+  Printf.printf "scale: %s, seed %d\n"
+    (if o.o_quick then "quick (test-size inputs)" else "paper")
+    o.o_seed;
+  let current = Benchjson.collect ~quick:o.o_quick ~seed:o.o_seed ~name () in
+  Printf.printf "collected %d entries (%d benchmarks x %d devices)\n"
+    (List.length current.Benchjson.r_entries)
+    (List.length Lime_benchmarks.Registry.all)
+    (List.length current.Benchjson.r_entries
+    / max 1 (List.length Lime_benchmarks.Registry.all));
+  (match o.o_json with
+  | None -> ()
+  | Some file ->
+      Benchjson.write_file file current;
+      Printf.printf "wrote %s\n" file);
+  match o.o_baseline with
+  | None -> ()
+  | Some file -> (
+      match Benchjson.read_file file with
+      | Error msg ->
+          Printf.eprintf "cannot read --baseline %s: %s\n" file msg;
+          exit 2
+      | Ok baseline ->
+          let regs = Benchjson.diff ~baseline ~current () in
+          if regs = [] then
+            Printf.printf "baseline %s: %d entries compared, no regressions\n"
+              file
+              (List.length baseline.Benchjson.r_entries)
+          else begin
+            Printf.printf "baseline %s: %d regression(s):\n" file
+              (List.length regs);
+            List.iter
+              (fun r ->
+                Printf.printf "  %s\n" (Benchjson.render_regression r))
+              regs;
+            exit 1
+          end)
+
 let () =
+  let o = parse_args () in
+  let perf_mode = o.o_json <> None || o.o_baseline <> None in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst all_experiments
+    match o.o_names with
+    | [] when perf_mode -> []
+    | [] -> List.map fst all_experiments
+    | names -> names
   in
   List.iter
     (fun name ->
@@ -386,4 +511,5 @@ let () =
           Printf.eprintf "unknown experiment %s; available: %s\n" name
             (String.concat ", " (List.map fst all_experiments));
           exit 1)
-    requested
+    requested;
+  if perf_mode then run_perf o

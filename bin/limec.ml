@@ -123,8 +123,8 @@ let finish_observers svc ~stats ~trace_out ~trace_summary =
         (List.length (Trace.spans Trace.default))
 
 let run_single file worker config_name jobs dump_ast dump_ir placements
-    emit_opencl emit_glue estimate sweep shapes cache_dir stats run_target
-    run_args trace_out profile trace_summary =
+    emit_opencl emit_glue estimate sweep counters shapes cache_dir stats
+    run_target run_args trace_out profile trace_summary =
   let source = read_source file in
   let config = lookup_config config_name in
   check_cache_dir cache_dir;
@@ -184,7 +184,37 @@ let run_single file worker config_name jobs dump_ast dump_ir placements
                 Printf.printf
                   "tunestore: miss — swept %d configurations, stored best\n"
                   (List.length entries));
-          print_endline (Gpusim.Autotune.describe entries));
+          print_endline (Gpusim.Autotune.describe entries);
+          (* why the winner wins: its headline counters, from the store on
+             a hit, recomputed on a miss *)
+          let headline =
+            match status with
+            | `Hit { Lime_service.Tunestore.tr_headline = Some h; _ } ->
+                Some
+                  ( h.Lime_service.Tunestore.th_occupancy,
+                    h.Lime_service.Tunestore.th_bank_replays,
+                    h.Lime_service.Tunestore.th_roofline )
+            | _ -> (
+                match entries with
+                | best :: _ ->
+                    let c =
+                      Gpusim.Autotune.counters_for d
+                        kernel best.Gpusim.Autotune.at_config ~shapes
+                        ~scalars:[]
+                    in
+                    Some
+                      ( c.Gpusim.Counters.ct_occupancy,
+                        c.Gpusim.Counters.ct_bank_replays,
+                        Gpusim.Counters.roofline_name
+                          (Gpusim.Counters.classify c) )
+                | [] -> None)
+          in
+          match headline with
+          | Some (occ, br, rl) ->
+              Printf.printf
+                "winner: occupancy %.2f, bank-conflict replays %g, %s\n" occ
+                br rl
+          | None -> ());
       (match estimate with
       | None -> ()
       | Some dev_name ->
@@ -215,6 +245,34 @@ let run_single file worker config_name jobs dump_ast dump_ir placements
           Format.printf "device: %s@." d.Gpusim.Device.name;
           Format.printf "profile: %s@." (Gpusim.Profile.to_string prof);
           Format.printf "estimate: %a@." Gpusim.Model.pp_breakdown bd);
+      (match counters with
+      | None -> ()
+      | Some dev_name ->
+          let d = lookup_device "--counters" dev_name in
+          let shapes = List.map parse_shape shapes in
+          if shapes = [] then begin
+            Printf.eprintf
+              "--counters requires at least one --shape name=DIMS\n";
+            exit 2
+          end;
+          let prof =
+            Gpusim.Profile.profile kernel c.Pipeline.cp_decisions ~shapes
+              ~scalars:[]
+          in
+          let bindings =
+            List.filter_map
+              (fun (name, shape) ->
+                match List.assoc_opt name kernel.Lime_gpu.Kernel.k_params with
+                | Some (Lime_ir.Ir.TArr aty) ->
+                    Some
+                      (Gpusim.Model.binding_of_shape ~name
+                         ~elem:aty.Lime_ir.Ir.elem ~shape
+                         (Memopt.placement_for c.Pipeline.cp_decisions name))
+                | _ -> None)
+              shapes
+          in
+          let _, ct = Gpusim.Model.kernel_time_ex d prof bindings in
+          print_string (Gpusim.Counters.report ct));
       if profile then begin
         let shapes = List.map parse_shape shapes in
         let prof =
@@ -254,7 +312,8 @@ let run_single file worker config_name jobs dump_ast dump_ir placements
       if
         (not dump_ast) && (not dump_ir) && (not placements)
         && (not emit_opencl) && (not emit_glue) && (not profile)
-        && estimate = None && sweep = None && run_target = None
+        && estimate = None && sweep = None && counters = None
+        && run_target = None
       then begin
         Printf.printf "compiled %s: kernel %s (%s)\n" file
           kernel.Lime_gpu.Kernel.k_name
@@ -352,8 +411,8 @@ let run_batch entries jobs cache_dir stats trace_out trace_summary =
 (* ------------------------------------------------------------------ *)
 
 let run files worker config_name jobs batch dump_ast dump_ir placements
-    emit_opencl emit_glue estimate sweep shapes cache_dir stats run_target
-    run_args trace_out profile trace_summary =
+    emit_opencl emit_glue estimate sweep counters shapes cache_dir stats
+    run_target run_args trace_out profile trace_summary =
   if jobs < 1 then begin
     Printf.eprintf "bad --jobs %d: must be at least 1\n" jobs;
     exit 2
@@ -373,18 +432,19 @@ let run files worker config_name jobs batch dump_ast dump_ir placements
       (* the one-file invocation is the classic compiler path: every
          flag applies, output is unchanged *)
       run_single file (require_worker ()) config_name jobs dump_ast dump_ir
-        placements emit_opencl emit_glue estimate sweep shapes cache_dir
-        stats run_target run_args trace_out profile trace_summary
+        placements emit_opencl emit_glue estimate sweep counters shapes
+        cache_dir stats run_target run_args trace_out profile trace_summary
   | files, batch ->
       if
         dump_ast || dump_ir || placements || emit_opencl || emit_glue
-        || profile || estimate <> None || sweep <> None || run_target <> None
+        || profile || estimate <> None || sweep <> None || counters <> None
+        || run_target <> None || shapes <> []
       then begin
         Printf.eprintf
-          "batch compilation only compiles; per-artifact actions \
+          "batch compilation only compiles; per-artifact inspection flags \
            (--dump-ast, --dump-ir, --placements, --emit-opencl, \
-           --emit-glue, --estimate, --sweep, --profile, --run) need a \
-           single FILE\n";
+           --emit-glue, --estimate, --sweep, --counters, --profile, \
+           --shape, --run) need a single FILE\n";
         exit 2
       end;
       let from_files =
@@ -477,6 +537,17 @@ let sweep_arg =
           "Explore all eight memory configurations on a device model and \
            rank them (the paper's §4.2.1 automated exploration).")
 
+let counters_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "counters" ] ~docv:"DEVICE"
+        ~doc:
+          "Print the launch's simulated hardware counters and roofline \
+           classification on a device model (gtx8800, gtx580, hd5970, \
+           corei7).  Requires --shape; composes with --profile, \
+           --trace-summary and --stats.")
+
 let shapes =
   Arg.(
     value & opt_all string []
@@ -552,7 +623,7 @@ let cmd =
     Term.(
       const run $ files $ worker $ config_name $ jobs_arg $ batch_arg
       $ dump_ast $ dump_ir $ placements $ emit_opencl $ emit_glue $ estimate
-      $ sweep_arg $ shapes $ cache_dir $ stats_arg $ run_arg $ run_args
-      $ trace_arg $ profile_arg $ trace_summary_arg)
+      $ sweep_arg $ counters_arg $ shapes $ cache_dir $ stats_arg $ run_arg
+      $ run_args $ trace_arg $ profile_arg $ trace_summary_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -119,6 +119,31 @@ EOF
 ocaml "$cache_dir/jsoncheck.ml" "$trace_json" \
   || { echo "FAIL: trace JSON is not well-formed"; exit 1; }
 
+echo "== counters smoke test =="
+counters=$(dune exec --no-build bin/limec.exe -- examples/lime/nbody.lime \
+  -w NBody.computeForces --counters gtx8800 --shape particles=4096x4)
+echo "$counters" | grep -q "roofline: " \
+  || { echo "FAIL: --counters lacks a roofline verdict"; echo "$counters"; exit 1; }
+echo "$counters" | grep -q "coalesced" \
+  || { echo "FAIL: --counters lacks the transaction split"; echo "$counters"; exit 1; }
+
+echo "== bench JSON regression gate =="
+# collect a quick perf snapshot, check it is well-formed JSON, then diff a
+# fresh collection against it: a self-diff must report zero regressions
+bench_json="$cache_dir/BENCH_ci.json"
+dune exec --no-build bench/main.exe -- --quick --seed 1 --json "$bench_json" \
+  > /dev/null
+[ -s "$bench_json" ] \
+  || { echo "FAIL: --json wrote nothing"; exit 1; }
+grep -q '"schema": "lime-bench"' "$bench_json" \
+  || { echo "FAIL: bench JSON lacks the schema header"; exit 1; }
+ocaml "$cache_dir/jsoncheck.ml" "$bench_json" \
+  || { echo "FAIL: bench JSON is not well-formed"; exit 1; }
+dune exec --no-build bench/main.exe -- --quick --seed 1 --baseline "$bench_json" \
+  > /dev/null \
+  || { echo "FAIL: self-diff against the just-written baseline regressed"; exit 1; }
+
 echo "ci.sh: OK (cold sweep populated the cache; warm run served from it;"
 echo "        --jobs 4 batch recompiled all examples warm from disk;"
-echo "        traced run exported well-formed Chrome JSON)"
+echo "        traced run exported well-formed Chrome JSON;"
+echo "        bench JSON self-diff showed zero regressions)"

@@ -31,10 +31,15 @@ type prepared = {
   p_out_shape : int array option;
 }
 
-(** Compile at paper scale and build the paper-scale input. *)
-let prepare ?config (b : B.t) : prepared =
-  let c = Registry.compile ?config b in
-  let input = b.B.input () in
+(** Compile and build the input — at paper scale by default, at the
+    test scale with [~quick:true] (the CI path of the bench JSON
+    harness).  [seed] feeds the deterministic input builders. *)
+let prepare ?config ?(quick = false) ?seed (b : B.t) : prepared =
+  let c =
+    if quick then Registry.compile_small ?config b
+    else Registry.compile ?config b
+  in
+  let input = if quick then b.B.input_small ?seed () else b.B.input ?seed () in
   let k = c.Pipeline.cp_kernel in
   (* the output-producing loop's trip count sizes the result buffer *)
   let shapes, scalars = Lime_runtime.Engine.shapes_of_args k [ input ] in

@@ -27,9 +27,10 @@ type prepared = {
   p_out_shape : int array option;
 }
 
-val prepare : ?config:Memopt.config -> B.t -> prepared
-(** Compile at paper scale (under the benchmark's best config by default)
-    and build the paper-scale input. *)
+val prepare : ?config:Memopt.config -> ?quick:bool -> ?seed:int -> B.t -> prepared
+(** Compile (under the benchmark's best config by default) and build the
+    input — at paper scale by default, at the test scale with
+    [~quick:true].  [seed] feeds the deterministic input builders. *)
 
 val profile_of : prepared -> Memopt.decision list -> Profile.t
 val bindings_of : prepared -> Memopt.decision list -> Model.array_binding list

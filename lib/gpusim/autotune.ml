@@ -63,10 +63,11 @@ let bindings_of (k : Kernel.kernel) (decisions : Memopt.decision list)
   in
   param_bindings @ local_bindings
 
-(** Time one configuration. *)
-let time_config (d : Device.t) (k : Kernel.kernel) (cfg : Memopt.config)
+(** Time one configuration, also yielding its simulated hardware
+    counters. *)
+let time_config_ex (d : Device.t) (k : Kernel.kernel) (cfg : Memopt.config)
     ~(shapes : (string * int array) list)
-    ~(scalars : (string * float) list) : Model.breakdown =
+    ~(scalars : (string * float) list) : Model.breakdown * Counters.t =
   let decisions = Memopt.optimize cfg k in
   let prof = Profile.profile k decisions ~shapes ~scalars in
   let out_shape =
@@ -81,7 +82,16 @@ let time_config (d : Device.t) (k : Kernel.kernel) (cfg : Memopt.config)
                 aty.Ir.dims))
     | _ -> None
   in
-  Model.kernel_time d prof (bindings_of k decisions ~shapes ~out_shape)
+  Model.kernel_time_ex d prof (bindings_of k decisions ~shapes ~out_shape)
+
+(** Time one configuration. *)
+let time_config d k cfg ~shapes ~scalars =
+  fst (time_config_ex d k cfg ~shapes ~scalars)
+
+(** The counters of one configuration — what {!Tunestore} persists as the
+    winner's headline. *)
+let counters_for d k cfg ~shapes ~scalars =
+  snd (time_config_ex d k cfg ~shapes ~scalars)
 
 (** Sweep the eight Fig 8 configurations; result sorted fastest first. *)
 let sweep (d : Device.t) (k : Kernel.kernel)

@@ -24,6 +24,26 @@ val time_config :
   scalars:(string * float) list ->
   Model.breakdown
 
+val time_config_ex :
+  Device.t ->
+  Lime_gpu.Kernel.kernel ->
+  Lime_gpu.Memopt.config ->
+  shapes:(string * int array) list ->
+  scalars:(string * float) list ->
+  Model.breakdown * Counters.t
+(** Like {!time_config}, but also returns the launch's simulated hardware
+    counters (see {!Model.kernel_time_ex}). *)
+
+val counters_for :
+  Device.t ->
+  Lime_gpu.Kernel.kernel ->
+  Lime_gpu.Memopt.config ->
+  shapes:(string * int array) list ->
+  scalars:(string * float) list ->
+  Counters.t
+(** The counters of one configuration — the winner's headline persisted by
+    [Tunestore]. *)
+
 val sweep :
   Device.t ->
   Lime_gpu.Kernel.kernel ->

@@ -1,0 +1,224 @@
+(** Simulated per-launch hardware counters — see the interface.  The
+    record is built by {!Model.kernel_time_ex} in the same pass that
+    computes the timing breakdown; this module only derives, classifies,
+    aggregates and renders. *)
+
+type roofline = Compute_bound | Memory_bound | Latency_bound
+
+type t = {
+  ct_device : string;
+  ct_peak_bw : float;
+  ct_peak_flops : float;
+  ct_items : float;
+  ct_work_groups : float;
+  ct_warps : float;
+  ct_occupancy : float;
+  ct_flops : float;
+  ct_issue_cycles : float;
+  ct_access_slots : float;
+  ct_reduce_elems : float;
+  ct_gtx_total : float;
+  ct_gtx_coalesced : float;
+  ct_gtx_uncoalesced : float;
+  ct_bytes_global : float;
+  ct_gslot_cycles : float;
+  ct_lat_tx : float;
+  ct_cache_hits : float;
+  ct_cache_misses : float;
+  ct_local_accesses : float;
+  ct_bank_replays : float;
+  ct_bytes_local : float;
+  ct_const_broadcast : float;
+  ct_const_serialized : float;
+  ct_bytes_constant : float;
+  ct_tex_fetches : float;
+  ct_tex_hits : float;
+  ct_tex_misses : float;
+  ct_bytes_image : float;
+  ct_compute_s : float;
+  ct_global_s : float;
+  ct_local_s : float;
+  ct_constant_s : float;
+  ct_image_s : float;
+  ct_latency_s : float;
+  ct_launch_s : float;
+  ct_reduce_s : float;
+  ct_total_s : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Derived quantities                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let mem_s c = c.ct_global_s +. c.ct_local_s +. c.ct_constant_s +. c.ct_image_s
+
+let achieved_bw c =
+  if c.ct_total_s <= 0.0 then 0.0 else c.ct_bytes_global /. c.ct_total_s
+
+let achieved_flops c =
+  if c.ct_total_s <= 0.0 then 0.0 else c.ct_flops /. c.ct_total_s
+
+let arithmetic_intensity c =
+  if c.ct_bytes_global <= 0.0 then Float.infinity
+  else c.ct_flops /. c.ct_bytes_global
+
+(* The model's total is [max(compute, mem) + latency + launch + reduce]:
+   when the additive overhead terms outweigh the overlapped throughput
+   term the launch is latency-bound; otherwise the winner of the max
+   names the bound. *)
+let classify c =
+  let overhead = c.ct_latency_s +. c.ct_launch_s +. c.ct_reduce_s in
+  let throughput = Float.max c.ct_compute_s (mem_s c) in
+  if overhead > throughput then Latency_bound
+  else if c.ct_compute_s >= mem_s c then Compute_bound
+  else Memory_bound
+
+let limiter c =
+  let contributors =
+    [
+      ("compute", c.ct_compute_s);
+      ("global-memory", c.ct_global_s);
+      ("local-memory", c.ct_local_s);
+      ("constant-memory", c.ct_constant_s);
+      ("image", c.ct_image_s);
+      ("latency", c.ct_latency_s);
+      ("launch-overhead", c.ct_launch_s +. c.ct_reduce_s);
+    ]
+  in
+  fst
+    (List.fold_left
+       (fun (bn, bv) (n, v) -> if v > bv then (n, v) else (bn, bv))
+       ("compute", neg_infinity) contributors)
+
+let roofline_name = function
+  | Compute_bound -> "compute-bound"
+  | Memory_bound -> "memory-bound"
+  | Latency_bound -> "latency-bound"
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let add a b =
+  let warps = a.ct_warps +. b.ct_warps in
+  {
+    ct_device = (if a.ct_device = b.ct_device then a.ct_device else "<mixed>");
+    ct_peak_bw = a.ct_peak_bw;
+    ct_peak_flops = a.ct_peak_flops;
+    ct_items = a.ct_items +. b.ct_items;
+    ct_work_groups = a.ct_work_groups +. b.ct_work_groups;
+    ct_warps = warps;
+    ct_occupancy =
+      (if warps <= 0.0 then a.ct_occupancy
+       else
+         ((a.ct_occupancy *. a.ct_warps) +. (b.ct_occupancy *. b.ct_warps))
+         /. warps);
+    ct_flops = a.ct_flops +. b.ct_flops;
+    ct_issue_cycles = a.ct_issue_cycles +. b.ct_issue_cycles;
+    ct_access_slots = a.ct_access_slots +. b.ct_access_slots;
+    ct_reduce_elems = a.ct_reduce_elems +. b.ct_reduce_elems;
+    ct_gtx_total = a.ct_gtx_total +. b.ct_gtx_total;
+    ct_gtx_coalesced = a.ct_gtx_coalesced +. b.ct_gtx_coalesced;
+    ct_gtx_uncoalesced = a.ct_gtx_uncoalesced +. b.ct_gtx_uncoalesced;
+    ct_bytes_global = a.ct_bytes_global +. b.ct_bytes_global;
+    ct_gslot_cycles = a.ct_gslot_cycles +. b.ct_gslot_cycles;
+    ct_lat_tx = a.ct_lat_tx +. b.ct_lat_tx;
+    ct_cache_hits = a.ct_cache_hits +. b.ct_cache_hits;
+    ct_cache_misses = a.ct_cache_misses +. b.ct_cache_misses;
+    ct_local_accesses = a.ct_local_accesses +. b.ct_local_accesses;
+    ct_bank_replays = a.ct_bank_replays +. b.ct_bank_replays;
+    ct_bytes_local = a.ct_bytes_local +. b.ct_bytes_local;
+    ct_const_broadcast = a.ct_const_broadcast +. b.ct_const_broadcast;
+    ct_const_serialized = a.ct_const_serialized +. b.ct_const_serialized;
+    ct_bytes_constant = a.ct_bytes_constant +. b.ct_bytes_constant;
+    ct_tex_fetches = a.ct_tex_fetches +. b.ct_tex_fetches;
+    ct_tex_hits = a.ct_tex_hits +. b.ct_tex_hits;
+    ct_tex_misses = a.ct_tex_misses +. b.ct_tex_misses;
+    ct_bytes_image = a.ct_bytes_image +. b.ct_bytes_image;
+    ct_compute_s = a.ct_compute_s +. b.ct_compute_s;
+    ct_global_s = a.ct_global_s +. b.ct_global_s;
+    ct_local_s = a.ct_local_s +. b.ct_local_s;
+    ct_constant_s = a.ct_constant_s +. b.ct_constant_s;
+    ct_image_s = a.ct_image_s +. b.ct_image_s;
+    ct_latency_s = a.ct_latency_s +. b.ct_latency_s;
+    ct_launch_s = a.ct_launch_s +. b.ct_launch_s;
+    ct_reduce_s = a.ct_reduce_s +. b.ct_reduce_s;
+    ct_total_s = a.ct_total_s +. b.ct_total_s;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let pct part whole = if whole <= 0.0 then 0.0 else 100.0 *. part /. whole
+
+let report (c : t) : string =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let row name v = line "  %-26s %14.6g" name v in
+  line "hardware counters — %s" c.ct_device;
+  row "work items" c.ct_items;
+  row "work groups" c.ct_work_groups;
+  row "warps launched" c.ct_warps;
+  line "  %-26s %14.2f" "occupancy" c.ct_occupancy;
+  line "  global memory:";
+  line "    %-24s %14.6g  (coalesced %.6g, uncoalesced %.6g)"
+    "transactions" c.ct_gtx_total c.ct_gtx_coalesced c.ct_gtx_uncoalesced;
+  line "    %-24s %14s" "bytes moved"
+    (Lime_support.Util.bytes_to_string
+       (int_of_float (Float.round c.ct_bytes_global)));
+  line "    %-24s %14.6g  (%.6g misses)" "cache hits" c.ct_cache_hits
+    c.ct_cache_misses;
+  line "    %-24s %14.6g" "latency-exposed tx" c.ct_lat_tx;
+  line "  local memory:";
+  line "    %-24s %14.6g" "accesses" c.ct_local_accesses;
+  line "    %-24s %14.6g" "bank-conflict replays" c.ct_bank_replays;
+  line "  constant memory:";
+  line "    %-24s %14.6g  (%.6g serialized)" "broadcast reads"
+    c.ct_const_broadcast c.ct_const_serialized;
+  line "  image:";
+  line "    %-24s %14.6g  (%.6g hits, %.6g misses)" "texture fetches"
+    c.ct_tex_fetches c.ct_tex_hits c.ct_tex_misses;
+  line "  time attribution (s):";
+  let t name v = line "    %-24s %14.4g  %5.1f%%" name v (pct v c.ct_total_s) in
+  t "compute" c.ct_compute_s;
+  t "global" c.ct_global_s;
+  t "local" c.ct_local_s;
+  t "constant" c.ct_constant_s;
+  t "image" c.ct_image_s;
+  t "latency" c.ct_latency_s;
+  t "launch+reduce" (c.ct_launch_s +. c.ct_reduce_s);
+  line "roofline: %s (limited by %s)"
+    (roofline_name (classify c))
+    (limiter c);
+  line "  %-26s %14.4g flop/byte" "arithmetic intensity"
+    (arithmetic_intensity c);
+  line "  %-26s %9.4g GB/s of %.4g peak  (%.1f%%)" "achieved bandwidth"
+    (achieved_bw c /. 1e9) (c.ct_peak_bw /. 1e9)
+    (pct (achieved_bw c) c.ct_peak_bw);
+  line "  %-26s %9.4g GFLOP/s of %.4g peak  (%.1f%%)" "achieved compute"
+    (achieved_flops c /. 1e9)
+    (c.ct_peak_flops /. 1e9)
+    (pct (achieved_flops c) c.ct_peak_flops);
+  Buffer.contents b
+
+let span_attrs (c : t) : (string * string) list =
+  let f v = Printf.sprintf "%.6g" v in
+  [
+    ("gtx_total", f c.ct_gtx_total);
+    ("gtx_coalesced", f c.ct_gtx_coalesced);
+    ("gtx_uncoalesced", f c.ct_gtx_uncoalesced);
+    ("bytes_global", f c.ct_bytes_global);
+    ("cache_hits", f c.ct_cache_hits);
+    ("cache_misses", f c.ct_cache_misses);
+    ("bank_replays", f c.ct_bank_replays);
+    ("const_serialized", f c.ct_const_serialized);
+    ("tex_fetches", f c.ct_tex_fetches);
+    ("warps", f c.ct_warps);
+    ("occupancy", Printf.sprintf "%.2f" c.ct_occupancy);
+    ("intensity_flop_per_byte", f (arithmetic_intensity c));
+    ("achieved_bw_gbs", f (achieved_bw c /. 1e9));
+    ("achieved_gflops", f (achieved_flops c /. 1e9));
+    ("roofline", roofline_name (classify c));
+    ("limiter", limiter c);
+  ]

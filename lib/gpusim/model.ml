@@ -57,8 +57,12 @@ type array_binding = {
 
 let group_size = 256
 
-let kernel_time (d : Device.t) (p : Profile.t)
-    (arrays : array_binding list) : breakdown =
+(** One pass computes both the timing breakdown and the simulated hardware
+    counters, so the two cannot disagree: every second the breakdown
+    charges is the product of a count accumulated here and a device cost
+    parameter (the consistency the counter tests reconstruct). *)
+let kernel_time_ex (d : Device.t) (p : Profile.t)
+    (arrays : array_binding list) : breakdown * Counters.t =
   let clock = d.Device.clock_ghz *. 1e9 in
   let lanes = float_of_int (d.Device.sms * d.Device.fp32_lanes) in
   let cpu_threads =
@@ -107,6 +111,24 @@ let kernel_time (d : Device.t) (p : Profile.t)
   and constant_s = ref 0.0
   and image_s = ref 0.0 in
   let global_bytes = ref 0.0 in
+  (* hardware-counter accumulators, charged next to each cost below *)
+  let gtx_coalesced = ref 0.0
+  and gtx_uncoalesced = ref 0.0
+  and gslot_cycles = ref 0.0
+  and lat_tx = ref 0.0
+  and cache_hits = ref 0.0
+  and cache_misses = ref 0.0
+  and local_accesses = ref 0.0
+  and bank_replays = ref 0.0
+  and bytes_local = ref 0.0
+  and const_broadcast = ref 0.0
+  and const_serialized = ref 0.0
+  and bytes_constant = ref 0.0
+  and tex_fetches = ref 0.0
+  and tex_hits = ref 0.0
+  and tex_misses = ref 0.0
+  and bytes_image = ref 0.0 in
+  let warp_f = float_of_int d.Device.warp in
   let bw = d.Device.global_bw_gbs *. 1e9 in
   (* exposed memory latency: each transaction stalls its warp for the full
      global latency; an SM hides up to [inflight_warps] such stalls
@@ -125,11 +147,15 @@ let kernel_time (d : Device.t) (p : Profile.t)
         | None -> ()
         | Some ab ->
             let miss = 1.0 -. d.Device.cache_hit_shared in
-            global_bytes :=
-              !global_bytes
-              +. (a.Profile.ac_count
-                 *. float_of_int ab.ab_elem_bytes
-                 *. miss))
+            let bytes =
+              a.Profile.ac_count *. float_of_int ab.ab_elem_bytes *. miss
+            in
+            global_bytes := !global_bytes +. bytes;
+            (* counters: misses fill 64B cache lines over the bus *)
+            cache_hits :=
+              !cache_hits +. (a.Profile.ac_count *. d.Device.cache_hit_shared);
+            cache_misses := !cache_misses +. (a.Profile.ac_count *. miss);
+            gtx_coalesced := !gtx_coalesced +. (bytes /. 64.0))
       p.Profile.p_accesses
   else
   List.iter
@@ -156,7 +182,10 @@ let kernel_time (d : Device.t) (p : Profile.t)
               global_s :=
                 !global_s +. (count *. 2.0 /. (lanes *. clock));
               global_bytes :=
-                !global_bytes +. float_of_int ab.ab_total_bytes
+                !global_bytes +. float_of_int ab.ab_total_bytes;
+              gslot_cycles := !gslot_cycles +. (count *. 2.0);
+              cache_hits := !cache_hits +. count;
+              gtx_coalesced := !gtx_coalesced +. (count /. warp_f)
           | Ir.MGlobal | Ir.MHost ->
               (* coalescing: bytes actually moved per useful byte *)
               let waste =
@@ -224,19 +253,31 @@ let kernel_time (d : Device.t) (p : Profile.t)
                 count /. float_of_int d.Device.warp *. tx_per_warp_access
               in
               lat_s := !lat_s +. latency_seconds transactions;
+              lat_tx := !lat_tx +. transactions;
+              (* warp accesses that replayed (> 1 segment per warp) count
+                 as uncoalesced transactions, the rest as coalesced *)
+              if tx_per_warp_access > 1.0 then
+                gtx_uncoalesced := !gtx_uncoalesced +. transactions
+              else gtx_coalesced := !gtx_coalesced +. transactions;
+              cache_hits := !cache_hits +. (count *. (1.0 -. miss));
+              cache_misses := !cache_misses +. (count *. miss);
               (* cached hits still pay an L1 access slot *)
-              if d.Device.has_l1 then
+              if d.Device.has_l1 then (
                 global_s :=
-                  !global_s +. (count *. 1.0 /. (lanes *. clock))
+                  !global_s +. (count *. 1.0 /. (lanes *. clock));
+                gslot_cycles := !gslot_cycles +. count)
           | Ir.MConstant ->
               let cost =
                 match a.Profile.ac_pattern with
                 | Profile.PStream | Profile.PBroadcast ->
+                    const_broadcast := !const_broadcast +. count;
                     d.Device.const_cost
                 | _ ->
                     (* divergent constant access serializes the warp *)
+                    const_serialized := !const_serialized +. count;
                     float_of_int d.Device.warp *. 0.5
               in
+              bytes_constant := !bytes_constant +. (count *. access_bytes);
               constant_s :=
                 !constant_s +. (count *. cost /. (lanes *. clock))
           | Ir.MLocal ->
@@ -254,13 +295,18 @@ let kernel_time (d : Device.t) (p : Profile.t)
                 !local_s
                 +. (count *. d.Device.local_cost *. conflict
                    /. (lanes *. clock));
+              local_accesses := !local_accesses +. count;
+              bank_replays := !bank_replays +. (count *. (conflict -. 1.0));
+              bytes_local := !bytes_local +. (count *. access_bytes);
               (* staging traffic: each work group streams the array through
                  its tile once *)
               let groups =
                 Float.max 1.0 (p.Profile.p_items /. float_of_int group_size)
               in
-              global_bytes :=
-                !global_bytes +. (float_of_int ab.ab_total_bytes *. groups)
+              let staging = float_of_int ab.ab_total_bytes *. groups in
+              global_bytes := !global_bytes +. staging;
+              (* staging streams coalesce into 128B segments *)
+              gtx_coalesced := !gtx_coalesced +. (staging /. 128.0)
           | Ir.MImage ->
               let hit = d.Device.tex_hit_rate in
               let texel_w =
@@ -270,11 +316,15 @@ let kernel_time (d : Device.t) (p : Profile.t)
               image_s :=
                 !image_s
                 +. (tex_count *. d.Device.tex_cost /. (lanes *. clock));
-              lat_s :=
-                !lat_s
-                +. latency_seconds
-                     (tex_count /. float_of_int d.Device.warp
-                     *. (1.0 -. hit));
+              let miss_tx = tex_count /. float_of_int d.Device.warp
+                            *. (1.0 -. hit) in
+              lat_s := !lat_s +. latency_seconds miss_tx;
+              lat_tx := !lat_tx +. miss_tx;
+              gtx_coalesced := !gtx_coalesced +. miss_tx;
+              tex_fetches := !tex_fetches +. tex_count;
+              tex_hits := !tex_hits +. (tex_count *. hit);
+              tex_misses := !tex_misses +. (tex_count *. (1.0 -. hit));
+              bytes_image := !bytes_image +. (tex_count *. elem_b *. texel_w);
               global_bytes :=
                 !global_bytes
                 +. (tex_count *. (1.0 -. hit) *. elem_b *. texel_w)
@@ -294,15 +344,68 @@ let kernel_time (d : Device.t) (p : Profile.t)
   let total =
     Float.max compute_s mem_s +. !lat_s +. launch_s +. reduce_s
   in
-  {
-    bd_compute_s = compute_s;
-    bd_global_s = global_s +. !lat_s;
-    bd_local_s = !local_s;
-    bd_constant_s = !constant_s;
-    bd_image_s = !image_s;
-    bd_launch_s = launch_s;
-    bd_total_s = total;
-  }
+  let bd =
+    {
+      bd_compute_s = compute_s;
+      bd_global_s = global_s +. !lat_s;
+      bd_local_s = !local_s;
+      bd_constant_s = !constant_s;
+      bd_image_s = !image_s;
+      bd_launch_s = launch_s;
+      bd_total_s = total;
+    }
+  in
+  (* launch geometry, same rules as {!launch_attrs} *)
+  let items = Float.max 1.0 p.Profile.p_items in
+  let groups = ceil (items /. float_of_int group_size) in
+  let warps_per_group = (group_size + d.Device.warp - 1) / d.Device.warp in
+  let total_warps = groups *. float_of_int warps_per_group in
+  let pool = float_of_int (d.Device.sms * d.Device.inflight_warps) in
+  let counters =
+    {
+      Counters.ct_device = d.Device.name;
+      ct_peak_bw = bw;
+      ct_peak_flops = Device.peak_flops d;
+      ct_items = items;
+      ct_work_groups = groups;
+      ct_warps = total_warps;
+      ct_occupancy = Float.min 1.0 (total_warps /. pool);
+      ct_flops = p.Profile.p_total_fp;
+      ct_issue_cycles = issue_slots;
+      ct_access_slots = access_slots;
+      ct_reduce_elems = p.Profile.p_reduce_elems;
+      ct_gtx_total = !gtx_coalesced +. !gtx_uncoalesced;
+      ct_gtx_coalesced = !gtx_coalesced;
+      ct_gtx_uncoalesced = !gtx_uncoalesced;
+      ct_bytes_global = !global_bytes;
+      ct_gslot_cycles = !gslot_cycles;
+      ct_lat_tx = !lat_tx;
+      ct_cache_hits = !cache_hits;
+      ct_cache_misses = !cache_misses;
+      ct_local_accesses = !local_accesses;
+      ct_bank_replays = !bank_replays;
+      ct_bytes_local = !bytes_local;
+      ct_const_broadcast = !const_broadcast;
+      ct_const_serialized = !const_serialized;
+      ct_bytes_constant = !bytes_constant;
+      ct_tex_fetches = !tex_fetches;
+      ct_tex_hits = !tex_hits;
+      ct_tex_misses = !tex_misses;
+      ct_bytes_image = !bytes_image;
+      ct_compute_s = compute_s;
+      ct_global_s = global_s;
+      ct_local_s = !local_s;
+      ct_constant_s = !constant_s;
+      ct_image_s = !image_s;
+      ct_latency_s = !lat_s;
+      ct_launch_s = launch_s;
+      ct_reduce_s = reduce_s;
+      ct_total_s = total;
+    }
+  in
+  (bd, counters)
+
+let kernel_time d p arrays = fst (kernel_time_ex d p arrays)
 
 (* ------------------------------------------------------------------ *)
 (* Launch attributes for tracing                                       *)

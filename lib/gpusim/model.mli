@@ -29,6 +29,12 @@ val group_size : int
 
 val kernel_time : Device.t -> Profile.t -> array_binding list -> breakdown
 
+val kernel_time_ex :
+  Device.t -> Profile.t -> array_binding list -> breakdown * Counters.t
+(** Like {!kernel_time}, but also returns the simulated hardware counters
+    accumulated by the *same pass*, so counter × device-cost reconstructs
+    each breakdown component exactly (see {!Counters}). *)
+
 val launch_attrs :
   Device.t -> Profile.t -> array_binding list -> (string * string) list
 (** Key/value description of one launch for trace attachments: device

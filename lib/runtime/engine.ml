@@ -69,6 +69,7 @@ type firing_info = {
   fi_dev : Gpusim.Device.t option;
   fi_profile : Gpusim.Profile.t option;
   fi_breakdown : Gpusim.Model.breakdown option;
+  fi_counters : Gpusim.Counters.t option;
   fi_bindings : Gpusim.Model.array_binding list;
 }
 
@@ -261,7 +262,7 @@ let fire_device (cfg : config) (report : report) (off : offloaded)
   let bindings =
     array_bindings k off.of_decisions args (output_shape ~rows k device_input)
   in
-  let bd = Gpusim.Model.kernel_time d prof bindings in
+  let bd, counters = Gpusim.Model.kernel_time_ex d prof bindings in
   let elem_bytes =
     match device_input with
     | Value.VArr a -> Ir.scalar_size_bytes a.Value.elem
@@ -281,6 +282,7 @@ let fire_device (cfg : config) (report : report) (off : offloaded)
       fi_dev = Some d;
       fi_profile = Some prof;
       fi_breakdown = Some bd;
+      fi_counters = Some counters;
       fi_bindings = bindings;
     };
   result
@@ -331,6 +333,7 @@ let fire_host (st : Interp.state) (report : report)
       fi_dev = None;
       fi_profile = None;
       fi_breakdown = None;
+      fi_counters = None;
       fi_bindings = [];
     };
   result

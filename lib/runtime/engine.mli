@@ -38,11 +38,14 @@ type firing_info = {
   fi_dev : Gpusim.Device.t option;  (** the device a device firing ran on *)
   fi_profile : Gpusim.Profile.t option;  (** analytic launch profile *)
   fi_breakdown : Gpusim.Model.breakdown option;  (** kernel-time breakdown *)
+  fi_counters : Gpusim.Counters.t option;
+      (** simulated hardware counters for the launch *)
   fi_bindings : Gpusim.Model.array_binding list;
       (** the launch's array bindings (empty for host firings) *)
 }
-(** Everything observable about one task firing.  [fi_dev], [fi_profile]
-    and [fi_breakdown] are [Some] exactly for device firings. *)
+(** Everything observable about one task firing.  [fi_dev], [fi_profile],
+    [fi_breakdown] and [fi_counters] are [Some] exactly for device
+    firings. *)
 
 val on_firing : key:string -> (firing_info -> unit) -> unit
 (** Register a keyed firing observer.  Distinct keys compose (all fire per

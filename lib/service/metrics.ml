@@ -86,6 +86,7 @@ let histogram reg ?help ?(buckets = default_buckets) name =
 let inc ?(by = 1) c = with_lock c.c_mu (fun () -> c.c_value <- c.c_value + by)
 let counter_value c = with_lock c.c_mu (fun () -> c.c_value)
 let set g v = with_lock g.g_mu (fun () -> g.g_value <- v)
+let add g v = with_lock g.g_mu (fun () -> g.g_value <- g.g_value +. v)
 
 let observe h v =
   with_lock h.h_mu (fun () ->

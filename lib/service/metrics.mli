@@ -47,6 +47,10 @@ val default_buckets : float list
 val inc : ?by:int -> counter -> unit
 val counter_value : counter -> int
 val set : gauge -> float -> unit
+
+(** Accumulate into a gauge — used for float-valued totals (bytes,
+    transactions) that a [counter]'s int value cannot hold. *)
+val add : gauge -> float -> unit
 val observe : histogram -> float -> unit
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float

@@ -297,6 +297,28 @@ let instrument ?(registry = Metrics.default) () =
   and pcie = leg "pcie"
   and kernel = leg "kernel"
   and host = leg "host" in
+  (* simulated hardware counters, accumulated across device firings *)
+  let ctr name help =
+    Metrics.gauge registry ~help ("lime_counters_" ^ name)
+  in
+  let ct_gtx_coalesced = ctr "gtx_coalesced" "coalesced global-memory transactions"
+  and ct_gtx_uncoalesced = ctr "gtx_uncoalesced" "uncoalesced global-memory transactions"
+  and ct_bytes_global = ctr "bytes_global" "bytes moved over the device-memory bus"
+  and ct_cache_hits = ctr "cache_hits" "L1/L2 cache hits on global accesses"
+  and ct_cache_misses = ctr "cache_misses" "L1/L2 cache misses on global accesses"
+  and ct_bank_replays = ctr "bank_replays" "local-memory bank-conflict replays"
+  and ct_const_serialized = ctr "const_serialized" "serialized (divergent) constant reads"
+  and ct_tex_fetches = ctr "tex_fetches" "texture fetches"
+  and ct_warps = ctr "warps" "warps launched"
+  and ct_occupancy = ctr "occupancy_last" "occupancy of the most recent launch" in
+  let roofline_count cls =
+    Metrics.counter registry
+      ~help:("device launches classified " ^ cls)
+      ("lime_counters_roofline_" ^ cls ^ "_total")
+  in
+  let rl_compute = roofline_count "compute"
+  and rl_memory = roofline_count "memory"
+  and rl_latency = roofline_count "latency" in
   Engine.on_firing ~key:"metrics" (fun fi ->
       let phases = fi.Engine.fi_phases in
       if fi.Engine.fi_device then begin
@@ -306,7 +328,25 @@ let instrument ?(registry = Metrics.default) () =
         Metrics.observe c_marshal phases.Comm.c_marshal_s;
         Metrics.observe setup phases.Comm.setup_s;
         Metrics.observe pcie phases.Comm.pcie_s;
-        Metrics.observe kernel phases.Comm.kernel_s
+        Metrics.observe kernel phases.Comm.kernel_s;
+        match fi.Engine.fi_counters with
+        | None -> ()
+        | Some c ->
+            Metrics.add ct_gtx_coalesced c.Gpusim.Counters.ct_gtx_coalesced;
+            Metrics.add ct_gtx_uncoalesced c.Gpusim.Counters.ct_gtx_uncoalesced;
+            Metrics.add ct_bytes_global c.Gpusim.Counters.ct_bytes_global;
+            Metrics.add ct_cache_hits c.Gpusim.Counters.ct_cache_hits;
+            Metrics.add ct_cache_misses c.Gpusim.Counters.ct_cache_misses;
+            Metrics.add ct_bank_replays c.Gpusim.Counters.ct_bank_replays;
+            Metrics.add ct_const_serialized c.Gpusim.Counters.ct_const_serialized;
+            Metrics.add ct_tex_fetches c.Gpusim.Counters.ct_tex_fetches;
+            Metrics.add ct_warps c.Gpusim.Counters.ct_warps;
+            Metrics.set ct_occupancy c.Gpusim.Counters.ct_occupancy;
+            Metrics.inc
+              (match Gpusim.Counters.classify c with
+              | Gpusim.Counters.Compute_bound -> rl_compute
+              | Gpusim.Counters.Memory_bound -> rl_memory
+              | Gpusim.Counters.Latency_bound -> rl_latency)
       end
       else begin
         Metrics.inc host_firings;

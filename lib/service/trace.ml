@@ -365,6 +365,15 @@ let emit_firing tracer (fi : Engine.firing_info) =
                   ("image_s", Printf.sprintf "%.3g" bd.Gpusim.Model.bd_image_s);
                   ("launch_s", Printf.sprintf "%.3g" bd.Gpusim.Model.bd_launch_s);
                 ]
+              |> fun base ->
+              (* counters ride along, minus keys launch_attrs already set *)
+              base
+              @ (match fi.fi_counters with
+                | Some c ->
+                    List.filter
+                      (fun (k, _) -> not (List.mem_assoc k base))
+                      (Gpusim.Counters.span_attrs c)
+                | None -> [])
           | _ -> []
         in
         complete tracer ~cat:"comm" ~args ~ts_us:!off ~dur_us ("comm." ^ leg);

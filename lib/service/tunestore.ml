@@ -2,15 +2,26 @@
 
 module Memopt = Lime_gpu.Memopt
 
+type headline = {
+  th_occupancy : float;
+  th_bank_replays : float;
+  th_roofline : string;
+}
+
 type record = {
   tr_config_name : string;
   tr_config : Memopt.config;
   tr_time_s : float;
+  tr_headline : headline option;
 }
 
 type t = { ts_root : string }
 
-let magic = "lime-tunestore 1"
+(* Format version 2 adds the winner's headline counters; version-1 files
+   (no headline lines) are still readable and load with
+   [tr_headline = None]. *)
+let magic = "lime-tunestore 2"
+let magic_v1 = "lime-tunestore 1"
 
 let mkdir_p dir =
   let rec go d =
@@ -45,7 +56,12 @@ let store t ~digest ~device (r : record) =
       Printf.fprintf oc "%s\nname %s\nconfig %s\ntime_s %.9g\n" magic
         r.tr_config_name
         (Digest.canonical_config r.tr_config)
-        r.tr_time_s)
+        r.tr_time_s;
+      match r.tr_headline with
+      | None -> ()
+      | Some h ->
+          Printf.fprintf oc "occupancy %.9g\nbank_replays %.9g\nroofline %s\n"
+            h.th_occupancy h.th_bank_replays h.th_roofline)
 
 (* "key rest-of-line" — the value may contain spaces (config names do). *)
 let field line key =
@@ -66,7 +82,7 @@ let load t ~digest ~device : record option =
       |> String.split_on_char '\n'
     in
     match lines with
-    | m :: rest when m = magic ->
+    | m :: rest when m = magic || m = magic_v1 ->
         let find key = List.find_map (fun l -> field l key) rest in
         (match (find "name", find "config", find "time_s") with
         | Some name, Some cfg, Some time -> (
@@ -74,7 +90,23 @@ let load t ~digest ~device : record option =
               (Digest.config_of_canonical cfg, float_of_string_opt time)
             with
             | Some tr_config, Some tr_time_s ->
-                Some { tr_config_name = name; tr_config; tr_time_s }
+                let tr_headline =
+                  match
+                    ( find "occupancy",
+                      find "bank_replays",
+                      find "roofline" )
+                  with
+                  | Some occ, Some br, Some rl -> (
+                      match
+                        (float_of_string_opt occ, float_of_string_opt br)
+                      with
+                      | Some th_occupancy, Some th_bank_replays ->
+                          Some
+                            { th_occupancy; th_bank_replays; th_roofline = rl }
+                      | _ -> None)
+                  | _ -> None
+                in
+                Some { tr_config_name = name; tr_config; tr_time_s; tr_headline }
             | _ -> None)
         | _ -> None)
     | _ -> None
@@ -98,11 +130,24 @@ let cached_sweep t (d : Gpusim.Device.t) ~digest ~device
       let entries = sweep d k ~shapes ~scalars in
       (match entries with
       | best :: _ ->
+          let c =
+            Gpusim.Autotune.counters_for d k best.Gpusim.Autotune.at_config
+              ~shapes ~scalars
+          in
           store t ~digest ~device
             {
               tr_config_name = best.Gpusim.Autotune.at_name;
               tr_config = best.Gpusim.Autotune.at_config;
               tr_time_s = best.Gpusim.Autotune.at_time_s;
+              tr_headline =
+                Some
+                  {
+                    th_occupancy = c.Gpusim.Counters.ct_occupancy;
+                    th_bank_replays = c.Gpusim.Counters.ct_bank_replays;
+                    th_roofline =
+                      Gpusim.Counters.roofline_name
+                        (Gpusim.Counters.classify c);
+                  };
             }
       | [] -> ());
       (entries, `Miss)

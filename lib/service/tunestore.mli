@@ -7,10 +7,20 @@
     (digest, device) pair; the format is documented in [doc/SERVICE.md]
     and any malformed file is treated as a miss. *)
 
+(** Headline counters of the winning configuration — the *why* behind the
+    stored best, shown by [limec --sweep]. *)
+type headline = {
+  th_occupancy : float;
+  th_bank_replays : float;
+  th_roofline : string;  (** {!Gpusim.Counters.roofline_name} of the winner *)
+}
+
 type record = {
   tr_config_name : string;  (** display name, e.g. ["Local+Conflicts removed"] *)
   tr_config : Lime_gpu.Memopt.config;
   tr_time_s : float;  (** modelled kernel time when the tuning was recorded *)
+  tr_headline : headline option;
+      (** [None] when loaded from a version-1 store file *)
 }
 
 type t

@@ -330,6 +330,83 @@ let test_multi_file_batch () =
       Alcotest.(check bool) "explains the restriction" true
         (contains "single FILE" out)
 
+let test_counters_report () =
+  skip_unless_available ();
+  let code, out =
+    capture
+      (nbody
+     ^ " -w NBody.computeForces --counters gtx8800 --shape particles=4096x4")
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "device named" true (contains "GTX 8800" out);
+  Alcotest.(check bool) "transactions row" true (contains "transactions" out);
+  Alcotest.(check bool) "coalesced split" true (contains "coalesced" out);
+  Alcotest.(check bool) "roofline verdict" true
+    (contains "roofline: compute-bound" out);
+  Alcotest.(check bool) "arithmetic intensity" true
+    (contains "arithmetic intensity" out);
+  Alcotest.(check bool) "achieved bandwidth" true
+    (contains "achieved bandwidth" out)
+
+let test_counters_matmul () =
+  skip_unless_available ();
+  let matmul =
+    find
+      [
+        "../examples/lime/matmul.lime"; "examples/lime/matmul.lime";
+        "_build/default/examples/lime/matmul.lime";
+      ]
+  in
+  match matmul with
+  | None -> Alcotest.skip ()
+  | Some matmul ->
+      let code, out =
+        capture
+          (matmul
+         ^ " -w MatMul.multiply --counters gtx8800 --shape packed=1024x32")
+      in
+      Alcotest.(check int) "exit 0" 0 code;
+      Alcotest.(check bool) "counter table" true
+        (contains "hardware counters" out);
+      Alcotest.(check bool) "bank-conflict row" true
+        (contains "bank-conflict replays" out);
+      Alcotest.(check bool) "roofline line" true (contains "roofline:" out)
+
+let test_counters_requires_shape () =
+  skip_unless_available ();
+  let code, out = capture (nbody ^ " -w NBody.computeForces --counters gtx8800") in
+  Alcotest.(check int) "exit 2" 2 code;
+  Alcotest.(check bool) "names the missing flag" true
+    (contains "--counters requires at least one --shape" out)
+
+let test_batch_rejects_inspection_flags () =
+  skip_unless_available ();
+  let matmul =
+    find
+      [
+        "../examples/lime/matmul.lime"; "examples/lime/matmul.lime";
+        "_build/default/examples/lime/matmul.lime";
+      ]
+  in
+  match matmul with
+  | None -> Alcotest.skip ()
+  | Some matmul ->
+      List.iter
+        (fun flags ->
+          let code, out =
+            capture
+              (Printf.sprintf "%s %s -w NBody.computeForces %s" nbody matmul
+                 flags)
+          in
+          Alcotest.(check int) (flags ^ " exits 2") 2 code;
+          Alcotest.(check bool) (flags ^ " explains the restriction") true
+            (contains "single FILE" out))
+        [
+          "--counters gtx8800 --shape particles=1024x4";
+          "--profile --shape particles=1024x4";
+          "--shape particles=1024x4";
+        ]
+
 let test_batch_manifest () =
   skip_unless_available ();
   let matmul =
@@ -388,6 +465,14 @@ let () =
           Alcotest.test_case "--jobs rejects non-positive" `Quick
             test_jobs_rejected;
           Alcotest.test_case "multi-file batch" `Quick test_multi_file_batch;
+          Alcotest.test_case "counters report (nbody)" `Quick
+            test_counters_report;
+          Alcotest.test_case "counters report (matmul)" `Quick
+            test_counters_matmul;
+          Alcotest.test_case "counters needs a shape" `Quick
+            test_counters_requires_shape;
+          Alcotest.test_case "batch rejects inspection flags" `Quick
+            test_batch_rejects_inspection_flags;
           Alcotest.test_case "batch manifest" `Quick test_batch_manifest;
         ] );
     ]

@@ -140,6 +140,13 @@ let test_tunestore_roundtrip () =
           Tunestore.tr_config_name = "Local+Conflicts removed";
           tr_config = Memopt.config_local_noconflict;
           tr_time_s = 3.25e-4;
+          tr_headline =
+            Some
+              {
+                Tunestore.th_occupancy = 0.87;
+                th_bank_replays = 1024.0;
+                th_roofline = "memory-bound";
+              };
         }
       in
       Alcotest.(check bool) "empty store misses" true
@@ -152,10 +159,34 @@ let test_tunestore_roundtrip () =
           Alcotest.(check bool) "config" true
             (r.Tunestore.tr_config = r'.Tunestore.tr_config);
           Alcotest.(check (float 1e-9)) "time" r.Tunestore.tr_time_s
-            r'.Tunestore.tr_time_s
+            r'.Tunestore.tr_time_s;
+          (match r'.Tunestore.tr_headline with
+          | Some h ->
+              Alcotest.(check (float 1e-9)) "occupancy" 0.87
+                h.Tunestore.th_occupancy;
+              Alcotest.(check (float 1e-9)) "bank replays" 1024.0
+                h.Tunestore.th_bank_replays;
+              Alcotest.(check string) "roofline" "memory-bound"
+                h.Tunestore.th_roofline
+          | None -> Alcotest.fail "headline did not round-trip")
       | None -> Alcotest.fail "stored entry did not load");
       Alcotest.(check bool) "other device misses" true
         (Tunestore.load ts ~digest ~device:"gtx580" = None);
+      (* a version-1 file (no headline lines) still loads *)
+      Out_channel.with_open_text
+        (Tunestore.path ts ~digest ~device:"gtx580")
+        (fun oc ->
+          Printf.fprintf oc "lime-tunestore 1\nname %s\nconfig %s\ntime_s %.9g\n"
+            r.Tunestore.tr_config_name
+            (Digest.canonical_config r.Tunestore.tr_config)
+            r.Tunestore.tr_time_s);
+      (match Tunestore.load ts ~digest ~device:"gtx580" with
+      | Some r1 ->
+          Alcotest.(check string) "v1 name" r.Tunestore.tr_config_name
+            r1.Tunestore.tr_config_name;
+          Alcotest.(check bool) "v1 has no headline" true
+            (r1.Tunestore.tr_headline = None)
+      | None -> Alcotest.fail "version-1 file should load");
       (* corrupt file -> miss, not crash *)
       Out_channel.with_open_text
         (Tunestore.path ts ~digest ~device:"gtx8800")
