@@ -203,6 +203,102 @@ let run_parallel () =
      host\ncores than jobs the pool degrades to time-slicing and speedup \
      stays ~1x."
 
+(* The compile daemon against the in-process service: cold and warm
+   suite passes over the socket, a concurrent multi-client pass, and the
+   per-request wire overhead relative to direct Service.compile calls on
+   an equally warm cache. *)
+let run_server () =
+  section "Compile daemon — socket round-trips vs in-process service";
+  let module Service = Lime_service.Service in
+  let module Server = Lime_server.Server in
+  let module Client = Lime_server.Client in
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let suite = Lime_benchmarks.Registry.all in
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "limed-bench-%d.sock" (Unix.getpid ()))
+  in
+  let server = Server.create (Server.default_config ~socket:sock) in
+  let dom = Domain.spawn (fun () -> Server.run server) in
+  let connect () =
+    match Client.connect sock with
+    | Ok cl -> cl
+    | Error msg ->
+        prerr_endline msg;
+        exit 1
+  in
+  let suite_via cl =
+    List.iter
+      (fun (b : Lime_benchmarks.Bench_def.t) ->
+        match
+          Client.compile cl ~name:b.Lime_benchmarks.Bench_def.name
+            ~worker:b.Lime_benchmarks.Bench_def.worker
+            b.Lime_benchmarks.Bench_def.source_small
+        with
+        | Ok _ -> ()
+        | Error f ->
+            prerr_endline (Client.failure_to_string f);
+            exit 1)
+      suite
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let cl = connect () in
+  let cold = time (fun () -> suite_via cl) in
+  let warm = time (fun () -> suite_via cl) in
+  Client.close cl;
+  let n_clients = 4 in
+  let concurrent =
+    time (fun () ->
+        let doms =
+          List.init n_clients (fun _ ->
+              Domain.spawn (fun () ->
+                  let cl = connect () in
+                  suite_via cl;
+                  Client.close cl))
+        in
+        List.iter Domain.join doms)
+  in
+  (* the same warm requests without the wire: an in-process service whose
+     cache is equally hot *)
+  let svc = Service.create ~capacity:64 () in
+  let suite_local () =
+    List.iter
+      (fun (b : Lime_benchmarks.Bench_def.t) ->
+        ignore
+          (Service.compile svc ~name:b.Lime_benchmarks.Bench_def.name
+             ~worker:b.Lime_benchmarks.Bench_def.worker
+             b.Lime_benchmarks.Bench_def.source_small))
+      suite
+  in
+  suite_local ();
+  let local_warm = time suite_local in
+  Service.shutdown svc;
+  Server.drain server;
+  Domain.join dom;
+  let r = Server.report server in
+  let n = List.length suite in
+  Printf.printf "suite: %d benchmarks over %s\n\n" n sock;
+  Printf.printf "cold pass:            %8.2f ms  (every request compiles)\n"
+    (cold *. 1e3);
+  Printf.printf "warm pass:            %8.2f ms  (every request a cache hit)\n"
+    (warm *. 1e3);
+  Printf.printf "%d concurrent clients: %8.2f ms  (%.0f req/s aggregate)\n"
+    n_clients (concurrent *. 1e3)
+    (float_of_int (n_clients * n) /. concurrent);
+  Printf.printf "in-process warm pass: %8.2f ms\n" (local_warm *. 1e3);
+  Printf.printf "wire overhead, warm:  %8.1f us/request\n"
+    ((warm -. local_warm) /. float_of_int n *. 1e6);
+  Printf.printf
+    "\ndaemon lifetime: %d requests, %d completed, %d rejected, %d \
+     deadline, %d dropped\n"
+    r.Server.rp_requests r.Server.rp_completed r.Server.rp_rejected
+    r.Server.rp_deadline r.Server.rp_dropped
+
 (* Span timeline of a cold-vs-warm compile through the service: the cold
    request shows the full pipeline phase breakdown nested under the cache
    lookup; the warm request is a bare hit with no pipeline spans at all. *)
@@ -370,6 +466,7 @@ let all_experiments =
     ("overlap", run_overlap);
     ("glue", run_glue);
     ("service", run_service);
+    ("server", run_server);
     ("parallel", run_parallel);
     ("trace", run_trace);
     ("compiler", run_compiler_benches);

@@ -8,6 +8,10 @@
     Several source files (or a --batch manifest) compile as one batch
     through the parallel compile service; --jobs picks the parallelism.
 
+    --daemon turns the process into limed, a resident compile daemon on a
+    Unix-domain socket; --connect compiles through a running daemon so
+    repeated invocations share one warm cache (see doc/SERVER.md).
+
     Examples:
 
       limec nbody.lime --worker NBody.computeForces --emit-opencl
@@ -17,6 +21,8 @@
             --shape particles=4096x4
       limec a.lime b.lime c.lime --worker Filter.run --jobs 4
       limec --batch programs.manifest --jobs 4
+      limec --daemon /tmp/limed.sock --jobs 4 --cache-dir ~/.cache/lime &
+      limec --connect /tmp/limed.sock nbody.lime -w NBody.computeForces
 *)
 
 module Memopt = Lime_gpu.Memopt
@@ -24,19 +30,11 @@ module Pipeline = Lime_gpu.Pipeline
 module Service = Lime_service.Service
 module Metrics = Lime_service.Metrics
 module Trace = Lime_service.Trace
+module Server = Lime_server.Server
+module Client = Lime_server.Client
 
-let configs =
-  [
-    ("global", Memopt.config_global);
-    ("global+vec", Memopt.config_global_vector);
-    ("local", Memopt.config_local);
-    ("local+pad", Memopt.config_local_noconflict);
-    ("local+pad+vec", Memopt.config_local_noconflict_vector);
-    ("constant", Memopt.config_constant);
-    ("constant+vec", Memopt.config_constant_vector);
-    ("texture", Memopt.config_image);
-    ("all", Memopt.config_all);
-  ]
+(* one canonical name table, shared with the daemon's wire protocol *)
+let configs = Server.configs
 
 let devices =
   [
@@ -122,14 +120,18 @@ let finish_observers svc ~stats ~trace_out ~trace_summary =
       Printf.eprintf "trace: wrote %s (%d spans)\n" f
         (List.length (Trace.spans Trace.default))
 
-let run_single file worker config_name jobs dump_ast dump_ir placements
-    emit_opencl emit_glue estimate sweep counters shapes cache_dir stats
-    run_target run_args trace_out profile trace_summary =
+let run_single file worker config_name jobs cache_capacity dump_ast dump_ir
+    placements emit_opencl emit_glue estimate sweep counters shapes cache_dir
+    stats run_target run_args trace_out profile trace_summary =
   let source = read_source file in
   let config = lookup_config config_name in
   check_cache_dir cache_dir;
   setup_observers ~stats ~trace_out ~trace_summary;
-  let svc = Service.create ?cache_dir ~capacity:16 ~jobs () in
+  let svc =
+    Service.create ?cache_dir
+      ~capacity:(Option.value cache_capacity ~default:16)
+      ~jobs ()
+  in
   match
     Lime_support.Diag.protect (fun () ->
         Service.compile_ex svc ~config ~name:file ~worker source)
@@ -335,7 +337,8 @@ type batch_entry = {
 }
 
 (* Manifest format: one "FILE WORKER [CONFIG]" entry per line; '#' starts
-   a comment, blank lines are skipped.  Documented in doc/SERVICE.md. *)
+   a comment, blank lines are skipped.  Documented in doc/SERVICE.md.
+   Every parse error names the offending manifest line as file:line. *)
 let parse_manifest file =
   let text =
     try In_channel.with_open_text file In_channel.input_all
@@ -343,16 +346,29 @@ let parse_manifest file =
       Printf.eprintf "cannot read --batch %s: %s\n" file msg;
       exit 2
   in
+  let fail_line i fmt =
+    Printf.eprintf "bad --batch %s:%d: " file (i + 1);
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2)
+      fmt
+  in
+  let check_config i name =
+    if not (List.mem_assoc name configs) then
+      fail_line i "unknown config %s; available: %s" name
+        (String.concat ", " (List.map fst configs))
+  in
   let entries = ref [] in
   List.iteri
     (fun i line ->
-      let line =
+      let payload =
         match String.index_opt line '#' with
         | Some j -> String.sub line 0 j
         | None -> line
       in
       let words =
-        String.map (fun c -> if c = '\t' then ' ' else c) line
+        String.map (fun c -> if c = '\t' then ' ' else c) payload
         |> String.split_on_char ' '
         |> List.filter (fun w -> w <> "")
       in
@@ -361,21 +377,23 @@ let parse_manifest file =
       | [ bt_file; bt_worker ] ->
           entries := { bt_file; bt_worker; bt_config_name = "all" } :: !entries
       | [ bt_file; bt_worker; bt_config_name ] ->
+          check_config i bt_config_name;
           entries := { bt_file; bt_worker; bt_config_name } :: !entries
       | _ ->
-          Printf.eprintf
-            "bad --batch %s line %d: expected FILE WORKER [CONFIG]\n" file
-            (i + 1);
-          exit 2)
+          fail_line i "expected FILE WORKER [CONFIG], got %S"
+            (String.trim line))
     (String.split_on_char '\n' text);
   List.rev !entries
 
-let run_batch entries jobs cache_dir stats trace_out trace_summary =
+let run_batch entries jobs cache_capacity cache_dir stats trace_out
+    trace_summary =
   check_cache_dir cache_dir;
   setup_observers ~stats ~trace_out ~trace_summary;
   let svc =
     Service.create ?cache_dir
-      ~capacity:(max 16 (List.length entries))
+      ~capacity:
+        (Option.value cache_capacity
+           ~default:(max 16 (List.length entries)))
       ~jobs ()
   in
   let reqs =
@@ -407,16 +425,158 @@ let run_batch entries jobs cache_dir stats trace_out trace_summary =
   if !failed > 0 then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Daemon and client modes                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_daemon socket jobs cache_capacity max_queue idle_timeout cache_dir =
+  check_cache_dir cache_dir;
+  if max_queue < 1 then begin
+    Printf.eprintf "bad --max-queue %d: must be at least 1\n" max_queue;
+    exit 2
+  end;
+  if idle_timeout <= 0.0 then begin
+    Printf.eprintf "bad --idle-timeout %g: must be positive seconds\n"
+      idle_timeout;
+    exit 2
+  end;
+  let cfg =
+    {
+      Server.sc_socket = socket;
+      sc_jobs = jobs;
+      sc_max_inflight = max_queue;
+      sc_idle_timeout_s = idle_timeout;
+      sc_cache_dir = cache_dir;
+      sc_cache_capacity = Option.value cache_capacity ~default:64;
+    }
+  in
+  let server =
+    try Server.create cfg
+    with Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "cannot listen on %s: %s\n" socket (Unix.error_message e);
+      exit 1
+  in
+  (* SIGTERM/SIGINT request a graceful drain: finish in-flight work,
+     flush every reply, remove the socket, exit 0 *)
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> Server.drain server));
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> Server.drain server));
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Printf.eprintf "limed: listening on %s (jobs %d, max in-flight %d)\n%!"
+    socket jobs max_queue;
+  Server.run server;
+  let r = Server.report server in
+  Printf.eprintf
+    "limed: drained — %d requests, %d completed, %d overloaded, %d \
+     deadline-exceeded, %d dropped\n%!"
+    r.Server.rp_requests r.Server.rp_completed r.Server.rp_rejected
+    r.Server.rp_deadline r.Server.rp_dropped;
+  exit 0
+
+let connect_exit_code (e : Lime_server.Wire.server_error) =
+  match e.Lime_server.Wire.er_code with
+  | Lime_server.Wire.Overloaded | Lime_server.Wire.Draining -> 75
+      (* EX_TEMPFAIL: retry later *)
+  | Lime_server.Wire.Deadline_exceeded -> 124 (* like timeout(1) *)
+  | Lime_server.Wire.Compile_error | Lime_server.Wire.Protocol_error -> 1
+
+let run_connect socket files worker config_name deadline_ms emit_opencl
+    placements stats drain_req =
+  let cl =
+    match Client.connect socket with
+    | Ok cl -> cl
+    | Error msg ->
+        Printf.eprintf "limec: %s\n" msg;
+        exit 1
+  in
+  let finally () = Client.close cl in
+  Fun.protect ~finally (fun () ->
+      if drain_req then begin
+        match Client.drain cl with
+        | Ok d ->
+            Printf.printf "drained: %d completed while draining, %d dropped\n"
+              d.Lime_server.Wire.da_completed d.Lime_server.Wire.da_dropped;
+            if d.Lime_server.Wire.da_dropped > 0 then exit 1
+        | Error f ->
+            Printf.eprintf "limec: drain: %s\n" (Client.failure_to_string f);
+            exit 1
+      end
+      else begin
+        (match (files, worker) with
+        | [], None when stats -> ()
+        | [], _ when not stats ->
+            Printf.eprintf
+              "no input: pass a FILE to compile over --connect (or --stats \
+               / --drain)\n";
+            exit 2
+        | [], _ -> ()
+        | [ file ], Some w -> (
+            ignore (lookup_config config_name);
+            let source = read_source file in
+            match
+              Client.compile cl ?deadline_ms ~config:config_name ~name:file
+                ~worker:w source
+            with
+            | Error (Client.Server_error e) ->
+                Printf.eprintf "limec: %s\n"
+                  (Client.failure_to_string (Client.Server_error e));
+                exit (connect_exit_code e)
+            | Error (Client.Transport _ as f) ->
+                Printf.eprintf "limec: %s\n" (Client.failure_to_string f);
+                exit 1
+            | Ok a ->
+                (* provenance goes to stderr so stdout stays byte-identical
+                   to a local compile *)
+                Printf.eprintf "server cache: %s (%s)\n"
+                  (if a.Lime_server.Wire.ar_origin = "compiled" then "miss"
+                   else "hit")
+                  a.Lime_server.Wire.ar_origin;
+                if emit_opencl then
+                  print_string a.Lime_server.Wire.ar_opencl;
+                if placements then
+                  print_endline a.Lime_server.Wire.ar_placements;
+                if (not emit_opencl) && not placements then begin
+                  Printf.printf "compiled %s: kernel %s (%s)\n" file
+                    a.Lime_server.Wire.ar_kernel
+                    (if a.Lime_server.Wire.ar_parallel then "data-parallel"
+                     else "sequential");
+                  print_endline a.Lime_server.Wire.ar_placements
+                end)
+        | [ _ ], None ->
+            Printf.eprintf "missing --worker CLASS.METHOD\n";
+            exit 2
+        | _ ->
+            Printf.eprintf "--connect compiles a single FILE per invocation\n";
+            exit 2);
+        if stats then begin
+          match Client.stats cl with
+          | Ok text ->
+              print_endline "--- server metrics ---";
+              print_string text
+          | Error f ->
+              Printf.eprintf "limec: stats: %s\n" (Client.failure_to_string f);
+              exit 1
+        end
+      end)
+
+(* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let run files worker config_name jobs batch dump_ast dump_ir placements
-    emit_opencl emit_glue estimate sweep counters shapes cache_dir stats
-    run_target run_args trace_out profile trace_summary =
+let run files worker config_name jobs batch daemon connect drain_req
+    deadline_ms max_queue idle_timeout cache_capacity dump_ast dump_ir
+    placements emit_opencl emit_glue estimate sweep counters shapes cache_dir
+    stats run_target run_args trace_out profile trace_summary =
   if jobs < 1 then begin
     Printf.eprintf "bad --jobs %d: must be at least 1\n" jobs;
     exit 2
   end;
+  (match cache_capacity with
+  | Some n when n < 1 ->
+      Printf.eprintf
+        "bad --cache-capacity %d: must be a positive number of cached \
+         kernels\n"
+        n;
+      exit 2
+  | _ -> ());
   let require_worker () =
     match worker with
     | Some w -> w
@@ -424,44 +584,85 @@ let run files worker config_name jobs batch dump_ast dump_ir placements
         Printf.eprintf "missing --worker CLASS.METHOD\n";
         exit 2
   in
-  match (files, batch) with
-  | [], None ->
-      Printf.eprintf "no input: pass a FILE ('-' for stdin) or --batch\n";
+  let reject_over what flag_set =
+    if flag_set then begin
+      Printf.eprintf
+        "%s runs on the daemon; per-artifact inspection flags (--dump-ast, \
+         --dump-ir, --estimate, --sweep, --counters, --profile, --shape, \
+         --run, --trace, --trace-summary, --emit-glue, --batch, \
+         --cache-dir) are local-only\n"
+        what;
       exit 2
-  | [ file ], None ->
-      (* the one-file invocation is the classic compiler path: every
-         flag applies, output is unchanged *)
-      run_single file (require_worker ()) config_name jobs dump_ast dump_ir
-        placements emit_opencl emit_glue estimate sweep counters shapes
-        cache_dir stats run_target run_args trace_out profile trace_summary
-  | files, batch ->
-      if
-        dump_ast || dump_ir || placements || emit_opencl || emit_glue
-        || profile || estimate <> None || sweep <> None || counters <> None
-        || run_target <> None || shapes <> []
-      then begin
-        Printf.eprintf
-          "batch compilation only compiles; per-artifact inspection flags \
-           (--dump-ast, --dump-ir, --placements, --emit-opencl, \
-           --emit-glue, --estimate, --sweep, --counters, --profile, \
-           --shape, --run) need a single FILE\n";
+    end
+  in
+  match (daemon, connect) with
+  | Some _, Some _ ->
+      Printf.eprintf "--daemon and --connect are mutually exclusive\n";
+      exit 2
+  | Some socket, None ->
+      reject_over "--daemon"
+        (dump_ast || dump_ir || placements || emit_opencl || emit_glue
+        || profile || trace_summary || drain_req || stats
+        || estimate <> None || sweep <> None || counters <> None
+        || run_target <> None || shapes <> [] || trace_out <> None
+        || batch <> None || files <> []);
+      run_daemon socket jobs cache_capacity max_queue idle_timeout cache_dir
+  | None, Some socket ->
+      reject_over "--connect"
+        (dump_ast || dump_ir || emit_glue || profile || trace_summary
+        || estimate <> None || sweep <> None || counters <> None
+        || run_target <> None || shapes <> [] || trace_out <> None
+        || batch <> None || cache_dir <> None);
+      run_connect socket files worker config_name deadline_ms emit_opencl
+        placements stats drain_req
+  | None, None -> (
+      if drain_req then begin
+        Printf.eprintf "--drain needs --connect SOCK\n";
         exit 2
       end;
-      let from_files =
-        match files with
-        | [] -> []
-        | _ ->
-            let w = require_worker () in
-            List.map
-              (fun f ->
-                { bt_file = f; bt_worker = w; bt_config_name = config_name })
-              files
-      in
-      let from_manifest =
-        match batch with Some m -> parse_manifest m | None -> []
-      in
-      run_batch (from_files @ from_manifest) jobs cache_dir stats trace_out
-        trace_summary
+      if deadline_ms <> None then begin
+        Printf.eprintf "--deadline-ms needs --connect SOCK\n";
+        exit 2
+      end;
+      match (files, batch) with
+      | [], None ->
+          Printf.eprintf "no input: pass a FILE ('-' for stdin) or --batch\n";
+          exit 2
+      | [ file ], None ->
+          (* the one-file invocation is the classic compiler path: every
+             flag applies, output is unchanged *)
+          run_single file (require_worker ()) config_name jobs cache_capacity
+            dump_ast dump_ir placements emit_opencl emit_glue estimate sweep
+            counters shapes cache_dir stats run_target run_args trace_out
+            profile trace_summary
+      | files, batch ->
+          if
+            dump_ast || dump_ir || placements || emit_opencl || emit_glue
+            || profile || estimate <> None || sweep <> None
+            || counters <> None || run_target <> None || shapes <> []
+          then begin
+            Printf.eprintf
+              "batch compilation only compiles; per-artifact inspection \
+               flags (--dump-ast, --dump-ir, --placements, --emit-opencl, \
+               --emit-glue, --estimate, --sweep, --counters, --profile, \
+               --shape, --run) need a single FILE\n";
+            exit 2
+          end;
+          let from_files =
+            match files with
+            | [] -> []
+            | _ ->
+                let w = require_worker () in
+                List.map
+                  (fun f ->
+                    { bt_file = f; bt_worker = w; bt_config_name = config_name })
+                  files
+          in
+          let from_manifest =
+            match batch with Some m -> parse_manifest m | None -> []
+          in
+          run_batch (from_files @ from_manifest) jobs cache_capacity cache_dir
+            stats trace_out trace_summary)
 
 open Cmdliner
 
@@ -616,13 +817,82 @@ let trace_summary_arg =
           "Print a human-readable aggregate of the recorded spans (per-name \
            inclusive time, share, count) after the requested actions.")
 
+let daemon_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "daemon" ] ~docv:"SOCK"
+        ~doc:
+          "Run as the resident compile daemon (limed) listening on the \
+           Unix-domain socket SOCK.  One process owns the warm kernel \
+           cache; clients compile through it with --connect.  SIGTERM \
+           drains gracefully: in-flight requests finish, replies flush, \
+           the socket is removed, and the daemon exits 0.")
+
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"SOCK"
+        ~doc:
+          "Compile through the daemon listening on SOCK instead of \
+           locally.  Output on stdout is byte-identical to a local \
+           compile; cache provenance is reported on stderr.")
+
+let drain_arg =
+  Arg.(
+    value & flag
+    & info [ "drain" ]
+        ~doc:
+          "With --connect: ask the daemon to drain gracefully and report \
+           how many in-flight requests completed or were dropped.")
+
+let deadline_ms_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "With --connect: give the request a deadline of MS milliseconds \
+           from admission; the daemon abandons work it cannot answer in \
+           time and replies deadline_exceeded (exit 124).")
+
+let max_queue_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-queue" ] ~docv:"N"
+        ~doc:
+          "With --daemon: admission bound — at most N requests queued or \
+           running; the next one is refused with an overloaded reply \
+           carrying a retry-after hint.")
+
+let idle_timeout_arg =
+  Arg.(
+    value & opt float 300.0
+    & info [ "idle-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "With --daemon: close a client connection after SECONDS with no \
+           traffic and no in-flight requests.")
+
+let cache_capacity_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache-capacity" ] ~docv:"N"
+        ~doc:
+          "In-memory kernel-cache capacity (LRU entries).  Default: 16 \
+           for a single file, the batch size (at least 16) for --batch, \
+           64 for --daemon.")
+
 let cmd =
   let doc = "Lime-for-GPUs compiler (PLDI 2012 reproduction)" in
   Cmd.v
     (Cmd.info "limec" ~version:"1.0.0" ~doc)
     Term.(
       const run $ files $ worker $ config_name $ jobs_arg $ batch_arg
-      $ dump_ast $ dump_ir $ placements $ emit_opencl $ emit_glue $ estimate
+      $ daemon_arg $ connect_arg $ drain_arg $ deadline_ms_arg
+      $ max_queue_arg $ idle_timeout_arg $ cache_capacity_arg $ dump_ast
+      $ dump_ir $ placements $ emit_opencl $ emit_glue $ estimate
       $ sweep_arg $ counters_arg $ shapes $ cache_dir $ stats_arg $ run_arg
       $ run_args $ trace_arg $ profile_arg $ trace_summary_arg)
 

@@ -127,6 +127,61 @@ echo "$counters" | grep -q "roofline: " \
 echo "$counters" | grep -q "coalesced" \
   || { echo "FAIL: --counters lacks the transaction split"; echo "$counters"; exit 1; }
 
+echo "== compile-daemon smoke test =="
+# launch the daemon, compile through it twice (the second request must be
+# served from the daemon's warm cache), then SIGTERM it: a graceful drain
+# must remove the socket and exit 0
+daemon_sock="$cache_dir/limed.sock"
+daemon_cache="$cache_dir/daemon"
+daemon_log="$cache_dir/limed.log"
+dune exec --no-build bin/limec.exe -- --daemon "$daemon_sock" \
+  --cache-dir "$daemon_cache" > "$daemon_log" 2>&1 &
+daemon_pid=$!
+
+# wait (bounded) for the listening socket to appear
+i=0
+while [ ! -S "$daemon_sock" ]; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] \
+    || { echo "FAIL: daemon never opened $daemon_sock"; cat "$daemon_log"; exit 1; }
+  kill -0 "$daemon_pid" 2>/dev/null \
+    || { echo "FAIL: daemon died during startup"; cat "$daemon_log"; exit 1; }
+  sleep 0.1
+done
+
+connect() {
+  dune exec --no-build bin/limec.exe -- --connect "$daemon_sock" \
+    examples/lime/nbody.lime -w NBody.computeForces
+}
+
+cold_connect=$(connect 2> "$cache_dir/connect1.err")
+echo "$cold_connect" | grep -q "kernel NBody.computeForces" \
+  || { echo "FAIL: daemon compile missing the kernel"; echo "$cold_connect"; exit 1; }
+grep -q "server cache: miss (compiled)" "$cache_dir/connect1.err" \
+  || { echo "FAIL: first daemon request should compile"; cat "$cache_dir/connect1.err"; exit 1; }
+
+warm_connect=$(connect 2> "$cache_dir/connect2.err")
+grep -q "server cache: hit (memory)" "$cache_dir/connect2.err" \
+  || { echo "FAIL: second daemon request should hit the warm cache"; cat "$cache_dir/connect2.err"; exit 1; }
+[ "$cold_connect" = "$warm_connect" ] \
+  || { echo "FAIL: warm daemon output differs from cold"; exit 1; }
+
+# byte-identical to a local compile of the same program
+local_out=$(dune exec --no-build bin/limec.exe -- examples/lime/nbody.lime \
+  -w NBody.computeForces)
+[ "$local_out" = "$cold_connect" ] \
+  || { echo "FAIL: daemon output differs from local compilation"; exit 1; }
+
+kill -TERM "$daemon_pid"
+daemon_status=0
+wait "$daemon_pid" || daemon_status=$?
+[ "$daemon_status" -eq 0 ] \
+  || { echo "FAIL: daemon exit $daemon_status after SIGTERM"; cat "$daemon_log"; exit 1; }
+[ ! -S "$daemon_sock" ] \
+  || { echo "FAIL: drained daemon left its socket behind"; exit 1; }
+grep -q "limed: drained" "$daemon_log" \
+  || { echo "FAIL: daemon log lacks the drain report"; cat "$daemon_log"; exit 1; }
+
 echo "== bench JSON regression gate =="
 # collect a quick perf snapshot, check it is well-formed JSON, then diff a
 # fresh collection against it: a self-diff must report zero regressions
@@ -146,4 +201,5 @@ dune exec --no-build bench/main.exe -- --quick --seed 1 --baseline "$bench_json"
 echo "ci.sh: OK (cold sweep populated the cache; warm run served from it;"
 echo "        --jobs 4 batch recompiled all examples warm from disk;"
 echo "        traced run exported well-formed Chrome JSON;"
+echo "        daemon served a warm cache hit and drained cleanly on SIGTERM;"
 echo "        bench JSON self-diff showed zero regressions)"

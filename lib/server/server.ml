@@ -1,0 +1,682 @@
+(** Unix-domain-socket compile daemon — see the interface. *)
+
+module Service = Lime_service.Service
+module Pool = Lime_service.Pool
+module Metrics = Lime_service.Metrics
+module Trace = Lime_service.Trace
+module Digest = Lime_service.Digest
+module Diag = Lime_support.Diag
+module Memopt = Lime_gpu.Memopt
+module Pipeline = Lime_gpu.Pipeline
+
+type config = {
+  sc_socket : string;
+  sc_jobs : int;
+  sc_max_inflight : int;
+  sc_idle_timeout_s : float;
+  sc_cache_dir : string option;
+  sc_cache_capacity : int;
+}
+
+let default_config ~socket =
+  {
+    sc_socket = socket;
+    sc_jobs = 1;
+    sc_max_inflight = 64;
+    sc_idle_timeout_s = 300.0;
+    sc_cache_dir = None;
+    sc_cache_capacity = 64;
+  }
+
+let configs =
+  [
+    ("global", Memopt.config_global);
+    ("global+vec", Memopt.config_global_vector);
+    ("local", Memopt.config_local);
+    ("local+pad", Memopt.config_local_noconflict);
+    ("local+pad+vec", Memopt.config_local_noconflict_vector);
+    ("constant", Memopt.config_constant);
+    ("constant+vec", Memopt.config_constant_vector);
+    ("texture", Memopt.config_image);
+    ("all", Memopt.config_all);
+  ]
+
+let config_of_name name = List.assoc_opt name configs
+
+(* ------------------------------------------------------------------ *)
+(* State                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type conn = {
+  cn_fd : Unix.file_descr;
+  cn_reader : Wire.reader;
+  mutable cn_out : string;  (** bytes queued for write *)
+  mutable cn_off : int;  (** how much of [cn_out] is already written *)
+  mutable cn_last : float;  (** last read activity *)
+  mutable cn_greeted : bool;
+  mutable cn_closing : bool;  (** flush what is queued, then close *)
+  mutable cn_open : bool;
+}
+
+type pending = {
+  pd_conn : conn;
+  pd_id : int;
+  pd_worker : string;
+  pd_admitted : float;  (** wall clock at admission *)
+  pd_admit_us : float;  (** trace timeline at admission *)
+  pd_deadline : float option;  (** absolute wall clock *)
+  pd_started : float Atomic.t;  (** set by the job when it begins; 0 = queued *)
+  pd_future : (Wire.artifact, Diag.t) result Pool.future;
+  mutable pd_abandoned : bool;
+      (** the client was already answered (deadline) or is gone; discard
+          the eventual result *)
+}
+
+type counters = {
+  m_connections : Metrics.counter;
+  m_requests : Metrics.counter;
+  m_rejects : Metrics.counter;
+  m_deadline : Metrics.counter;
+  m_completed : Metrics.counter;
+  m_protocol_errors : Metrics.counter;
+  m_queue_depth : Metrics.gauge;
+  m_request_seconds : Metrics.histogram;
+  m_queue_wait_seconds : Metrics.histogram;
+}
+
+type report = {
+  rp_requests : int;
+  rp_rejected : int;
+  rp_deadline : int;
+  rp_completed : int;
+  rp_dropped : int;
+}
+
+type t = {
+  sr_cfg : config;
+  sr_svc : Service.t;
+  sr_owns_svc : bool;
+  sr_listen : Unix.file_descr;
+  sr_pipe_r : Unix.file_descr;  (** self-pipe: wakes select on completions *)
+  sr_pipe_w : Unix.file_descr;
+  sr_metrics : counters;
+  sr_drain_req : bool Atomic.t;  (** set by {!drain} / signal handlers *)
+  mutable sr_conns : conn list;
+  mutable sr_active : pending list;
+  mutable sr_draining : bool;
+  mutable sr_drain_acks : (conn * int) list;  (** Drain frames to answer *)
+  mutable sr_drain_completed : int;
+  mutable sr_ewma_s : float;  (** smoothed request latency, for retry hints *)
+  mutable sr_ran : bool;
+  mutable sr_requests : int;
+  mutable sr_rejected : int;
+  mutable sr_deadline : int;
+  mutable sr_completed : int;
+  mutable sr_dropped : int;
+}
+
+let now () = Unix.gettimeofday ()
+
+let register_metrics reg =
+  {
+    m_connections =
+      Metrics.counter reg ~help:"client connections accepted"
+        "lime_server_connections_total";
+    m_requests =
+      Metrics.counter reg ~help:"compile requests admitted"
+        "lime_server_requests_total";
+    m_rejects =
+      Metrics.counter reg ~help:"compile requests shed with Overloaded"
+        "lime_server_rejects_total";
+    m_deadline =
+      Metrics.counter reg ~help:"requests answered DeadlineExceeded"
+        "lime_server_deadline_total";
+    m_completed =
+      Metrics.counter reg ~help:"requests answered (result or diagnostic)"
+        "lime_server_completed_total";
+    m_protocol_errors =
+      Metrics.counter reg ~help:"malformed frames / protocol violations"
+        "lime_server_protocol_errors_total";
+    m_queue_depth =
+      Metrics.gauge reg ~help:"requests queued or running right now"
+        "lime_server_queue_depth";
+    m_request_seconds =
+      Metrics.histogram reg ~help:"admission-to-reply latency, seconds"
+        "lime_server_request_seconds";
+    m_queue_wait_seconds =
+      Metrics.histogram reg ~help:"admission-to-start queue wait, seconds"
+        "lime_server_queue_wait_seconds";
+  }
+
+let create ?service cfg =
+  if cfg.sc_max_inflight < 1 then
+    invalid_arg "Server.create: sc_max_inflight must be at least 1";
+  if cfg.sc_idle_timeout_s <= 0.0 then
+    invalid_arg "Server.create: sc_idle_timeout_s must be positive";
+  let svc, owns =
+    match service with
+    | Some s -> (s, false)
+    | None ->
+        ( Service.create ?cache_dir:cfg.sc_cache_dir
+            ~capacity:cfg.sc_cache_capacity ~jobs:cfg.sc_jobs (),
+          true )
+  in
+  (* replace a stale socket file from a crashed predecessor *)
+  (try Unix.unlink cfg.sc_socket with Unix.Unix_error _ -> ());
+  let listen = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen (Unix.ADDR_UNIX cfg.sc_socket);
+     Unix.listen listen 64;
+     Unix.set_nonblock listen
+   with e ->
+     (try Unix.close listen with Unix.Unix_error _ -> ());
+     raise e);
+  let pipe_r, pipe_w = Unix.pipe () in
+  Unix.set_nonblock pipe_r;
+  Unix.set_nonblock pipe_w;
+  {
+    sr_cfg = cfg;
+    sr_svc = svc;
+    sr_owns_svc = owns;
+    sr_listen = listen;
+    sr_pipe_r = pipe_r;
+    sr_pipe_w = pipe_w;
+    sr_metrics = register_metrics (Service.registry svc);
+    sr_drain_req = Atomic.make false;
+    sr_conns = [];
+    sr_active = [];
+    sr_draining = false;
+    sr_drain_acks = [];
+    sr_drain_completed = 0;
+    sr_ewma_s = 0.0;
+    sr_ran = false;
+    sr_requests = 0;
+    sr_rejected = 0;
+    sr_deadline = 0;
+    sr_completed = 0;
+    sr_dropped = 0;
+  }
+
+let service t = t.sr_svc
+let socket_path t = t.sr_cfg.sc_socket
+
+let wake t =
+  try ignore (Unix.write_substring t.sr_pipe_w "w" 0 1)
+  with Unix.Unix_error _ -> ()
+  (* EAGAIN: the pipe already holds a wakeup *)
+
+let drain t =
+  Atomic.set t.sr_drain_req true;
+  wake t
+
+let report t =
+  {
+    rp_requests = t.sr_requests;
+    rp_rejected = t.sr_rejected;
+    rp_deadline = t.sr_deadline;
+    rp_completed = t.sr_completed;
+    rp_dropped = t.sr_dropped;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Connection IO                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let kill_conn c =
+  if c.cn_open then begin
+    c.cn_open <- false;
+    try Unix.close c.cn_fd with Unix.Unix_error _ -> ()
+  end
+
+let flush_conn c =
+  if c.cn_open then begin
+    let continue = ref true in
+    while !continue && c.cn_off < String.length c.cn_out do
+      match
+        Unix.write_substring c.cn_fd c.cn_out c.cn_off
+          (String.length c.cn_out - c.cn_off)
+      with
+      | 0 -> continue := false
+      | n -> c.cn_off <- c.cn_off + n
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          continue := false
+      | exception Unix.Unix_error _ -> kill_conn c; continue := false
+    done;
+    if c.cn_open && c.cn_off >= String.length c.cn_out then begin
+      c.cn_out <- "";
+      c.cn_off <- 0;
+      if c.cn_closing then kill_conn c
+    end
+  end
+
+let send c frame =
+  if c.cn_open && not c.cn_closing then begin
+    c.cn_out <- String.sub c.cn_out c.cn_off (String.length c.cn_out - c.cn_off)
+                ^ Wire.encode frame;
+    c.cn_off <- 0;
+    flush_conn c
+  end
+
+let send_error t c ~id ~code ?(retry_after_ms = 0) msg =
+  (match code with
+  | Wire.Overloaded -> Metrics.inc t.sr_metrics.m_rejects
+  | Wire.Deadline_exceeded -> Metrics.inc t.sr_metrics.m_deadline
+  | Wire.Protocol_error -> Metrics.inc t.sr_metrics.m_protocol_errors
+  | _ -> ());
+  send c
+    (Wire.Err
+       { er_id = id; er_code = code; er_retry_after_ms = retry_after_ms; er_msg = msg })
+
+(* ------------------------------------------------------------------ *)
+(* Request lifecycle                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let retry_after_ms t =
+  let per_request = if t.sr_ewma_s > 0.0 then t.sr_ewma_s else 0.005 in
+  let hint = per_request *. float_of_int (List.length t.sr_active + 1) *. 1e3 in
+  max 1 (min 60_000 (int_of_float hint))
+
+let expired pd t_now =
+  match pd.pd_deadline with None -> false | Some d -> t_now >= d
+
+(* Everything the reply needs is computed inside the pool job, so worker
+   domains do the heavy lifting and the reactor only forwards bytes. *)
+let admit t (c : conn) (r : Wire.compile_req) config =
+  let svc = t.sr_svc in
+  let t_now = now () in
+  let pd_started = Atomic.make 0.0 in
+  let job () =
+    Atomic.set pd_started (now ());
+    let res =
+      match
+        Diag.protect (fun () ->
+            Service.compile_ex svc ~config ~name:r.Wire.cr_name
+              ~worker:r.Wire.cr_worker r.Wire.cr_source)
+      with
+      | Error d -> Error d
+      | Ok (c, origin) ->
+          let digest =
+            Service.request_digest ~config ~worker:r.Wire.cr_worker
+              r.Wire.cr_source
+          in
+          let kernel = c.Pipeline.cp_kernel in
+          Ok
+            {
+              Wire.ar_id = r.Wire.cr_id;
+              ar_origin = Service.origin_name origin;
+              ar_digest = Digest.to_hex digest;
+              ar_kernel = kernel.Lime_gpu.Kernel.k_name;
+              ar_parallel = kernel.Lime_gpu.Kernel.k_parallel;
+              ar_opencl = c.Pipeline.cp_opencl;
+              ar_placements = Memopt.describe c.Pipeline.cp_decisions;
+            }
+    in
+    wake t;
+    res
+  in
+  let pd =
+    {
+      pd_conn = c;
+      pd_id = r.Wire.cr_id;
+      pd_worker = r.Wire.cr_worker;
+      pd_admitted = t_now;
+      pd_admit_us = Trace.now_us Trace.default;
+      pd_deadline =
+        Option.map (fun ms -> t_now +. (float_of_int ms /. 1e3)) r.Wire.cr_deadline_ms;
+      pd_started;
+      pd_future = Pool.submit (Service.pool svc) job;
+      pd_abandoned = false;
+    }
+  in
+  Metrics.inc t.sr_metrics.m_requests;
+  t.sr_requests <- t.sr_requests + 1;
+  t.sr_active <- t.sr_active @ [ pd ]
+
+let handle_frame t (c : conn) (frame : Wire.frame) =
+  match frame with
+  | Wire.Hello v ->
+      if c.cn_greeted then begin
+        send_error t c ~id:0 ~code:Wire.Protocol_error "duplicate hello";
+        c.cn_closing <- true
+      end
+      else if v <> Wire.version then begin
+        send_error t c ~id:0 ~code:Wire.Protocol_error
+          (Printf.sprintf "unsupported protocol version %d (speaking %d)" v
+             Wire.version);
+        c.cn_closing <- true
+      end
+      else begin
+        c.cn_greeted <- true;
+        send c (Wire.Hello_ack Wire.version)
+      end
+  | _ when not c.cn_greeted ->
+      send_error t c ~id:0 ~code:Wire.Protocol_error
+        "first frame must be a hello";
+      c.cn_closing <- true
+  | Wire.Compile r ->
+      if t.sr_draining then
+        send_error t c ~id:r.Wire.cr_id ~code:Wire.Draining
+          "server is draining"
+      else begin
+        match config_of_name r.Wire.cr_config with
+        | None ->
+            send_error t c ~id:r.Wire.cr_id ~code:Wire.Compile_error
+              (Printf.sprintf "unknown config %s; available: %s"
+                 r.Wire.cr_config
+                 (String.concat ", " (List.map fst configs)))
+        | Some config ->
+            if List.length t.sr_active >= t.sr_cfg.sc_max_inflight then begin
+              t.sr_rejected <- t.sr_rejected + 1;
+              send_error t c ~id:r.Wire.cr_id ~code:Wire.Overloaded
+                ~retry_after_ms:(retry_after_ms t)
+                (Printf.sprintf "admission queue full (%d in flight)"
+                   (List.length t.sr_active))
+            end
+            else admit t c r config
+      end
+  | Wire.Stats id ->
+      Metrics.set t.sr_metrics.m_queue_depth
+        (float_of_int (List.length t.sr_active));
+      send c (Wire.Stats_reply (id, Service.expose t.sr_svc))
+  | Wire.Drain id ->
+      t.sr_draining <- true;
+      t.sr_drain_acks <- t.sr_drain_acks @ [ (c, id) ]
+  | Wire.Hello_ack _ | Wire.Result _ | Wire.Err _ | Wire.Stats_reply _
+  | Wire.Drain_ack _ ->
+      send_error t c ~id:0 ~code:Wire.Protocol_error
+        "server-to-client frame on the request path";
+      c.cn_closing <- true
+
+let read_conn t (c : conn) =
+  let buf = Bytes.create 65536 in
+  let eof = ref false in
+  (try
+     let continue = ref true in
+     while !continue do
+       match Unix.read c.cn_fd buf 0 (Bytes.length buf) with
+       | 0 ->
+           eof := true;
+           continue := false
+       | n ->
+           c.cn_last <- now ();
+           Wire.feed c.cn_reader buf n;
+           (* keep draining the fd until EAGAIN so one select round picks
+              up everything a pipelining client sent *)
+           if n < Bytes.length buf then continue := false
+     done
+   with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | Unix.Unix_error _ -> eof := true);
+  (* parse every complete frame from this read before running any work:
+     admission decisions depend only on arrival order *)
+  let parsing = ref (c.cn_open && not c.cn_closing) in
+  while !parsing do
+    match Wire.next c.cn_reader with
+    | Ok (Some frame) ->
+        handle_frame t c frame;
+        if c.cn_closing || not c.cn_open then parsing := false
+    | Ok None -> parsing := false
+    | Error e ->
+        send_error t c ~id:0 ~code:Wire.Protocol_error (Wire.error_to_string e);
+        c.cn_closing <- true;
+        parsing := false
+  done;
+  if !eof then begin
+    (* the peer is gone: discard any result still in flight for it *)
+    List.iter
+      (fun pd -> if pd.pd_conn == c then pd.pd_abandoned <- true)
+      t.sr_active;
+    kill_conn c
+  end
+
+let accept_loop t =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept ~cloexec:true t.sr_listen with
+    | fd, _ ->
+        Trace.with_span Trace.default ~cat:"server" "server.accept" (fun () ->
+            Unix.set_nonblock fd;
+            Metrics.inc t.sr_metrics.m_connections;
+            t.sr_conns <-
+              t.sr_conns
+              @ [
+                  {
+                    cn_fd = fd;
+                    cn_reader = Wire.reader ();
+                    cn_out = "";
+                    cn_off = 0;
+                    cn_last = now ();
+                    cn_greeted = false;
+                    cn_closing = false;
+                    cn_open = true;
+                  };
+                ])
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> continue := false
+  done
+
+(* Answer one settled (or expired) pending request.  Returns [true] when
+   the entry is finished and should leave the active list. *)
+let reap_one t pd =
+  let t_now = now () in
+  let finish ~status reply =
+    let dur_s = t_now -. pd.pd_admitted in
+    (match reply with
+    | Some frame ->
+        send pd.pd_conn frame;
+        Metrics.observe t.sr_metrics.m_request_seconds dur_s;
+        t.sr_ewma_s <-
+          (if t.sr_ewma_s = 0.0 then dur_s
+           else (0.8 *. t.sr_ewma_s) +. (0.2 *. dur_s))
+    | None -> ());
+    let started = Atomic.get pd.pd_started in
+    let wait_s =
+      if started > 0.0 then started -. pd.pd_admitted else dur_s
+    in
+    Metrics.observe t.sr_metrics.m_queue_wait_seconds wait_s;
+    Trace.complete Trace.default ~cat:"server" ~ts_us:pd.pd_admit_us
+      ~dur_us:(wait_s *. 1e6) "server.queue_wait";
+    Trace.complete Trace.default ~cat:"server"
+      ~args:[ ("worker", pd.pd_worker); ("status", status) ]
+      ~ts_us:pd.pd_admit_us ~dur_us:(dur_s *. 1e6) "server.request";
+    if t.sr_draining then t.sr_drain_completed <- t.sr_drain_completed + 1;
+    true
+  in
+  match Pool.poll pd.pd_future with
+  | None ->
+      (* still queued or running; enforce the deadline *)
+      if pd.pd_abandoned || not (expired pd t_now) then false
+      else if Pool.cancel pd.pd_future then begin
+        t.sr_deadline <- t.sr_deadline + 1;
+        send_error t pd.pd_conn ~id:pd.pd_id ~code:Wire.Deadline_exceeded
+          "deadline expired before the request started";
+        finish ~status:"deadline" None
+      end
+      else begin
+        (* already running: answer now, discard the result later *)
+        t.sr_deadline <- t.sr_deadline + 1;
+        send_error t pd.pd_conn ~id:pd.pd_id ~code:Wire.Deadline_exceeded
+          "deadline expired while the request was running";
+        pd.pd_abandoned <- true;
+        false
+      end
+  | Some outcome ->
+      if pd.pd_abandoned then begin
+        (* reply already sent (deadline) or client is gone *)
+        if not pd.pd_conn.cn_open then t.sr_dropped <- t.sr_dropped + 1;
+        finish ~status:"abandoned" None
+      end
+      else if expired pd t_now then begin
+        t.sr_deadline <- t.sr_deadline + 1;
+        send_error t pd.pd_conn ~id:pd.pd_id ~code:Wire.Deadline_exceeded
+          "deadline expired before the result was ready";
+        finish ~status:"deadline" None
+      end
+      else
+        match outcome with
+        | Ok (Ok artifact) ->
+            Metrics.inc t.sr_metrics.m_completed;
+            t.sr_completed <- t.sr_completed + 1;
+            finish ~status:"ok" (Some (Wire.Result artifact))
+        | Ok (Error diag) ->
+            Metrics.inc t.sr_metrics.m_completed;
+            t.sr_completed <- t.sr_completed + 1;
+            finish ~status:"compile-error"
+              (Some
+                 (Wire.Err
+                    {
+                      er_id = pd.pd_id;
+                      er_code = Wire.Compile_error;
+                      er_retry_after_ms = 0;
+                      er_msg = Diag.to_string diag;
+                    }))
+        | Error Pool.Cancelled ->
+            (* cancelled by the deadline scan; already answered *)
+            finish ~status:"cancelled" None
+        | Error exn ->
+            Metrics.inc t.sr_metrics.m_completed;
+            t.sr_completed <- t.sr_completed + 1;
+            finish ~status:"error"
+              (Some
+                 (Wire.Err
+                    {
+                      er_id = pd.pd_id;
+                      er_code = Wire.Compile_error;
+                      er_retry_after_ms = 0;
+                      er_msg = Printexc.to_string exn;
+                    }))
+
+(* ------------------------------------------------------------------ *)
+(* The reactor                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let drain_pipe t =
+  let buf = Bytes.create 64 in
+  let continue = ref true in
+  while !continue do
+    match Unix.read t.sr_pipe_r buf 0 (Bytes.length buf) with
+    | 0 -> continue := false
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let select_timeout t =
+  let helping =
+    Service.jobs t.sr_svc = 1 && Service.queue_depth t.sr_svc > 0
+  in
+  if helping then 0.0
+  else if t.sr_active <> [] then 0.01
+  else if t.sr_draining then 0.01
+  else
+    (* bound idle detection without busy-waiting *)
+    min 0.25 (max 0.01 (t.sr_cfg.sc_idle_timeout_s /. 4.0))
+
+let final_flush t =
+  (* best-effort: give slow readers one second to take their replies *)
+  let deadline = now () +. 1.0 in
+  let pending () =
+    List.filter
+      (fun c -> c.cn_open && c.cn_off < String.length c.cn_out)
+      t.sr_conns
+  in
+  let continue = ref true in
+  while !continue do
+    match pending () with
+    | [] -> continue := false
+    | cs ->
+        if now () >= deadline then continue := false
+        else begin
+          (match
+             Unix.select [] (List.map (fun c -> c.cn_fd) cs) [] 0.05
+           with
+          | _, ws, _ ->
+              List.iter
+                (fun c -> if List.mem c.cn_fd ws then flush_conn c)
+                cs
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+        end
+  done
+
+let shutdown_sockets t =
+  List.iter kill_conn t.sr_conns;
+  (try Unix.close t.sr_listen with Unix.Unix_error _ -> ());
+  (try Unix.close t.sr_pipe_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.sr_pipe_w with Unix.Unix_error _ -> ());
+  (try Unix.unlink t.sr_cfg.sc_socket with Unix.Unix_error _ -> ())
+
+let run t =
+  if t.sr_ran then invalid_arg "Server.run: already ran";
+  t.sr_ran <- true;
+  let finished = ref false in
+  while not !finished do
+    t.sr_conns <- List.filter (fun c -> c.cn_open) t.sr_conns;
+    let rds =
+      t.sr_pipe_r
+      :: (if t.sr_draining then [] else [ t.sr_listen ])
+      @ List.map (fun c -> c.cn_fd) t.sr_conns
+    in
+    let wrs =
+      List.filter_map
+        (fun c ->
+          if c.cn_off < String.length c.cn_out then Some c.cn_fd else None)
+        t.sr_conns
+    in
+    let rready, wready =
+      match Unix.select rds wrs [] (select_timeout t) with
+      | r, w, _ -> (r, w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
+    in
+    if List.mem t.sr_pipe_r rready then drain_pipe t;
+    if Atomic.get t.sr_drain_req then t.sr_draining <- true;
+    List.iter
+      (fun c -> if List.mem c.cn_fd wready then flush_conn c)
+      t.sr_conns;
+    if (not t.sr_draining) && List.mem t.sr_listen rready then accept_loop t;
+    List.iter
+      (fun c -> if c.cn_open && List.mem c.cn_fd rready then read_conn t c)
+      t.sr_conns;
+    (* a ~jobs:1 service has no worker domains: the reactor runs one
+       queued compile per turn so IO and deadline scans stay interleaved *)
+    if Service.jobs t.sr_svc = 1 then
+      ignore (Pool.run_one (Service.pool t.sr_svc));
+    t.sr_active <- List.filter (fun pd -> not (reap_one t pd)) t.sr_active;
+    (* connections that finished flushing after being marked closing *)
+    List.iter
+      (fun c ->
+        if c.cn_closing && c.cn_off >= String.length c.cn_out then kill_conn c)
+      t.sr_conns;
+    (* idle-client timeout: no traffic, nothing in flight *)
+    let t_now = now () in
+    List.iter
+      (fun c ->
+        if
+          c.cn_open && (not c.cn_closing)
+          && t_now -. c.cn_last > t.sr_cfg.sc_idle_timeout_s
+          && (not (List.exists (fun pd -> pd.pd_conn == c) t.sr_active))
+          && c.cn_out = ""
+        then kill_conn c)
+      t.sr_conns;
+    Metrics.set t.sr_metrics.m_queue_depth
+      (float_of_int (List.length t.sr_active));
+    if t.sr_draining && t.sr_active = [] then begin
+      List.iter
+        (fun (c, id) ->
+          send c
+            (Wire.Drain_ack
+               {
+                 da_id = id;
+                 da_completed = t.sr_drain_completed;
+                 da_dropped = t.sr_dropped;
+               }))
+        t.sr_drain_acks;
+      t.sr_drain_acks <- [];
+      final_flush t;
+      shutdown_sockets t;
+      if t.sr_owns_svc then Service.shutdown t.sr_svc;
+      finished := true
+    end
+  done

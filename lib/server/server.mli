@@ -1,0 +1,83 @@
+(** [limed] — the networked compile daemon.
+
+    A {!t} listens on a Unix-domain socket and multiplexes any number of
+    {!Client}s onto one shared {!Lime_service.Service.t}: one resident
+    process owns the warm kernel cache, the artifact store and the domain
+    pool, and every [limec --connect] round-trip is served from it at
+    cache speed instead of paying a cold process start.
+
+    The loop is a single-threaded [select] reactor with real robustness
+    semantics rather than best-effort queueing:
+
+    - {b admission control} — at most [sc_max_inflight] requests may be
+      queued or running; the next one is refused {e immediately} with an
+      [Overloaded] reply carrying a retry-after hint (scaled from the
+      EWMA of recent request latency), so a burst degrades into explicit
+      backpressure instead of an unbounded queue;
+    - {b deadlines} — a request may carry a client-chosen deadline
+      (milliseconds from admission).  Work that would start past its
+      deadline is cancelled in the queue ({!Lime_service.Pool.cancel});
+      work already running is abandoned — the client gets
+      [Deadline_exceeded] and the eventual result is discarded;
+    - {b idle timeouts} — a connection with no traffic and no in-flight
+      requests for [sc_idle_timeout_s] is closed, so leaked clients
+      cannot pin the daemon's fd table;
+    - {b graceful drain} — on SIGTERM (via {!drain}, which is
+      signal-safe) or a [Drain] frame the server stops accepting,
+      finishes every in-flight request, flushes every reply, answers the
+      drainer with a [Drain_ack] carrying the completed/dropped counts,
+      removes the socket and returns from {!run}.
+
+    Every request flows through the {!Lime_service.Trace} timeline
+    ([server.accept], [server.queue_wait], [server.request] spans) and
+    the [lime_server_*] metric families of the service's registry. *)
+
+type config = {
+  sc_socket : string;  (** Unix-domain socket path *)
+  sc_jobs : int;  (** pool parallelism of an owned service (default 1) *)
+  sc_max_inflight : int;
+      (** admission bound: queued + running requests (default 64) *)
+  sc_idle_timeout_s : float;  (** idle-connection timeout (default 300) *)
+  sc_cache_dir : string option;
+  sc_cache_capacity : int;  (** LRU capacity of an owned service *)
+}
+
+val default_config : socket:string -> config
+
+val configs : (string * Lime_gpu.Memopt.config) list
+(** The canonical configuration-name table shared by [limec] and the
+    wire protocol (["global"], ["local+pad+vec"], …, ["all"]). *)
+
+val config_of_name : string -> Lime_gpu.Memopt.config option
+
+type t
+
+val create : ?service:Lime_service.Service.t -> config -> t
+(** Bind and listen on [sc_socket] (a stale socket file is replaced) and
+    register the [lime_server_*] metrics.  When [service] is given the
+    daemon serves from it and does not shut it down; otherwise it owns a
+    fresh service built from the config.  Raises [Unix.Unix_error] if
+    the socket cannot be bound.  Clients may connect as soon as this
+    returns, even before {!run} starts picking requests up. *)
+
+val service : t -> Lime_service.Service.t
+val socket_path : t -> string
+
+val run : t -> unit
+(** The reactor loop.  Blocks until a drain completes; single-shot
+    ([Invalid_argument] on reuse). *)
+
+val drain : t -> unit
+(** Request a graceful drain from any domain or from a signal handler:
+    stop accepting, finish in-flight work, flush, exit {!run}. *)
+
+type report = {
+  rp_requests : int;  (** compile requests admitted *)
+  rp_rejected : int;  (** refused with [Overloaded] *)
+  rp_deadline : int;  (** answered [Deadline_exceeded] *)
+  rp_completed : int;  (** answered [Result] or [Compile_error] *)
+  rp_dropped : int;  (** reaped with no reply sent (dead client) *)
+}
+
+val report : t -> report
+(** Lifetime totals; stable once {!run} has returned. *)

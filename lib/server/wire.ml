@@ -1,0 +1,290 @@
+(** Length-prefixed binary frame codec — see the interface. *)
+
+let version = 1
+let max_frame = 16 * 1024 * 1024
+
+(* u32 sentinel for "no deadline": a real deadline of ~49.7 days is not a
+   deadline anyone means *)
+let no_deadline = 0xFFFF_FFFF
+
+type compile_req = {
+  cr_id : int;
+  cr_deadline_ms : int option;
+  cr_name : string;
+  cr_worker : string;
+  cr_config : string;
+  cr_source : string;
+}
+
+type artifact = {
+  ar_id : int;
+  ar_origin : string;
+  ar_digest : string;
+  ar_kernel : string;
+  ar_parallel : bool;
+  ar_opencl : string;
+  ar_placements : string;
+}
+
+type error_code =
+  | Overloaded
+  | Deadline_exceeded
+  | Compile_error
+  | Protocol_error
+  | Draining
+
+let error_code_name = function
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline-exceeded"
+  | Compile_error -> "compile-error"
+  | Protocol_error -> "protocol-error"
+  | Draining -> "draining"
+
+let error_code_byte = function
+  | Overloaded -> 1
+  | Deadline_exceeded -> 2
+  | Compile_error -> 3
+  | Protocol_error -> 4
+  | Draining -> 5
+
+let error_code_of_byte = function
+  | 1 -> Some Overloaded
+  | 2 -> Some Deadline_exceeded
+  | 3 -> Some Compile_error
+  | 4 -> Some Protocol_error
+  | 5 -> Some Draining
+  | _ -> None
+
+type server_error = {
+  er_id : int;
+  er_code : error_code;
+  er_retry_after_ms : int;
+  er_msg : string;
+}
+
+type drain_ack = { da_id : int; da_completed : int; da_dropped : int }
+
+type frame =
+  | Hello of int
+  | Hello_ack of int
+  | Compile of compile_req
+  | Result of artifact
+  | Err of server_error
+  | Stats of int
+  | Stats_reply of int * string
+  | Drain of int
+  | Drain_ack of drain_ack
+
+type error = Oversized of int | Unknown_tag of int | Malformed of string
+
+let error_to_string = function
+  | Oversized n -> Printf.sprintf "declared frame length %d exceeds %d" n max_frame
+  | Unknown_tag t -> Printf.sprintf "unknown frame tag %d" t
+  | Malformed msg -> "malformed frame: " ^ msg
+
+let tag_of = function
+  | Hello _ -> 1
+  | Hello_ack _ -> 2
+  | Compile _ -> 3
+  | Result _ -> 4
+  | Err _ -> 5
+  | Stats _ -> 6
+  | Stats_reply _ -> 7
+  | Drain _ -> 8
+  | Drain_ack _ -> 9
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let put_u16 b v =
+  put_u8 b (v lsr 8);
+  put_u8 b v
+
+let put_u32 b v =
+  put_u8 b (v lsr 24);
+  put_u8 b (v lsr 16);
+  put_u8 b (v lsr 8);
+  put_u8 b v
+
+let put_string b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let encode frame =
+  let b = Buffer.create 256 in
+  put_u8 b (tag_of frame);
+  (match frame with
+  | Hello v | Hello_ack v -> put_u16 b v
+  | Compile r ->
+      put_u32 b r.cr_id;
+      put_u32 b (Option.value r.cr_deadline_ms ~default:no_deadline);
+      put_string b r.cr_name;
+      put_string b r.cr_worker;
+      put_string b r.cr_config;
+      put_string b r.cr_source
+  | Result a ->
+      put_u32 b a.ar_id;
+      put_u8 b (if a.ar_parallel then 1 else 0);
+      put_string b a.ar_origin;
+      put_string b a.ar_digest;
+      put_string b a.ar_kernel;
+      put_string b a.ar_opencl;
+      put_string b a.ar_placements
+  | Err e ->
+      put_u32 b e.er_id;
+      put_u8 b (error_code_byte e.er_code);
+      put_u32 b e.er_retry_after_ms;
+      put_string b e.er_msg
+  | Stats id | Drain id -> put_u32 b id
+  | Stats_reply (id, text) ->
+      put_u32 b id;
+      put_string b text
+  | Drain_ack d ->
+      put_u32 b d.da_id;
+      put_u32 b d.da_completed;
+      put_u32 b d.da_dropped);
+  let payload = Buffer.contents b in
+  let framed = Buffer.create (String.length payload + 4) in
+  put_u32 framed (String.length payload);
+  Buffer.add_string framed payload;
+  Buffer.contents framed
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string
+
+type cursor = { cu_data : string; mutable cu_pos : int }
+
+let need cu n what =
+  if cu.cu_pos + n > String.length cu.cu_data then
+    raise (Bad (Printf.sprintf "truncated %s (%d bytes short)" what
+                  (cu.cu_pos + n - String.length cu.cu_data)))
+
+let get_u8 cu what =
+  need cu 1 what;
+  let v = Char.code cu.cu_data.[cu.cu_pos] in
+  cu.cu_pos <- cu.cu_pos + 1;
+  v
+
+let get_u16 cu what =
+  let hi = get_u8 cu what in
+  let lo = get_u8 cu what in
+  (hi lsl 8) lor lo
+
+let get_u32 cu what =
+  let a = get_u8 cu what in
+  let b = get_u8 cu what in
+  let c = get_u8 cu what in
+  let d = get_u8 cu what in
+  (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+let get_string cu what =
+  let n = get_u32 cu (what ^ " length") in
+  need cu n what;
+  let s = String.sub cu.cu_data cu.cu_pos n in
+  cu.cu_pos <- cu.cu_pos + n;
+  s
+
+let decode payload : (frame, error) result =
+  let cu = { cu_data = payload; cu_pos = 0 } in
+  match get_u8 cu "tag" with
+  | exception Bad msg -> Error (Malformed msg)
+  | tag -> (
+      let frame () =
+        match tag with
+        | 1 -> Hello (get_u16 cu "hello version")
+        | 2 -> Hello_ack (get_u16 cu "hello-ack version")
+        | 3 ->
+            let cr_id = get_u32 cu "compile id" in
+            let dl = get_u32 cu "compile deadline" in
+            let cr_deadline_ms = if dl = no_deadline then None else Some dl in
+            let cr_name = get_string cu "compile name" in
+            let cr_worker = get_string cu "compile worker" in
+            let cr_config = get_string cu "compile config" in
+            let cr_source = get_string cu "compile source" in
+            Compile { cr_id; cr_deadline_ms; cr_name; cr_worker; cr_config; cr_source }
+        | 4 ->
+            let ar_id = get_u32 cu "result id" in
+            let ar_parallel = get_u8 cu "result parallel flag" <> 0 in
+            let ar_origin = get_string cu "result origin" in
+            let ar_digest = get_string cu "result digest" in
+            let ar_kernel = get_string cu "result kernel" in
+            let ar_opencl = get_string cu "result opencl" in
+            let ar_placements = get_string cu "result placements" in
+            Result { ar_id; ar_origin; ar_digest; ar_kernel; ar_parallel;
+                     ar_opencl; ar_placements }
+        | 5 ->
+            let er_id = get_u32 cu "error id" in
+            let code = get_u8 cu "error code" in
+            let er_code =
+              match error_code_of_byte code with
+              | Some c -> c
+              | None -> raise (Bad (Printf.sprintf "bad error code %d" code))
+            in
+            let er_retry_after_ms = get_u32 cu "error retry-after" in
+            let er_msg = get_string cu "error message" in
+            Err { er_id; er_code; er_retry_after_ms; er_msg }
+        | 6 -> Stats (get_u32 cu "stats id")
+        | 7 ->
+            let id = get_u32 cu "stats-reply id" in
+            let text = get_string cu "stats-reply text" in
+            Stats_reply (id, text)
+        | 8 -> Drain (get_u32 cu "drain id")
+        | 9 ->
+            let da_id = get_u32 cu "drain-ack id" in
+            let da_completed = get_u32 cu "drain-ack completed" in
+            let da_dropped = get_u32 cu "drain-ack dropped" in
+            Drain_ack { da_id; da_completed; da_dropped }
+        | t -> raise (Bad (Printf.sprintf "tag %d" t))
+      in
+      if tag < 1 || tag > 9 then Error (Unknown_tag tag)
+      else
+        match frame () with
+        | f ->
+            if cu.cu_pos <> String.length payload then
+              Error
+                (Malformed
+                   (Printf.sprintf "%d trailing bytes after frame"
+                      (String.length payload - cu.cu_pos)))
+            else Ok f
+        | exception Bad msg -> Error (Malformed msg))
+
+(* ------------------------------------------------------------------ *)
+(* Incremental framing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type reader = { rd_acc : Buffer.t; mutable rd_pos : int }
+
+let reader () = { rd_acc = Buffer.create 4096; rd_pos = 0 }
+
+let feed r buf n = Buffer.add_subbytes r.rd_acc buf 0 n
+let feed_string r s = Buffer.add_string r.rd_acc s
+let buffered r = Buffer.length r.rd_acc - r.rd_pos
+
+let compact r =
+  if r.rd_pos > 0 && r.rd_pos = Buffer.length r.rd_acc then begin
+    Buffer.clear r.rd_acc;
+    r.rd_pos <- 0
+  end
+
+let next r : (frame option, error) result =
+  if buffered r < 4 then Ok None
+  else begin
+    let byte i = Char.code (Buffer.nth r.rd_acc (r.rd_pos + i)) in
+    let len = (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3 in
+    if len > max_frame then Error (Oversized len)
+    else if buffered r < 4 + len then Ok None
+    else begin
+      let payload = Buffer.sub r.rd_acc (r.rd_pos + 4) len in
+      r.rd_pos <- r.rd_pos + 4 + len;
+      compact r;
+      match decode payload with
+      | Ok f -> Ok (Some f)
+      | Error e -> Error e
+    end
+  end

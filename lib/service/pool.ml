@@ -1,12 +1,15 @@
 (** Fixed-size domain pool — see the interface. *)
 
-type job = unit -> unit
+(* A queued closure; returns whether it actually ran (a job cancelled
+   before any worker claimed it pops as a no-op and reports [false]). *)
+type job = unit -> bool
 
 type t = {
   p_jobs : int;
   p_mu : Mutex.t;
   p_nonempty : Condition.t;  (** signaled on enqueue and on shutdown *)
   p_queue : job Queue.t;
+  mutable p_live : int;  (** queued jobs not yet claimed or cancelled *)
   mutable p_workers : unit Domain.t list;
   mutable p_down : bool;
 }
@@ -20,8 +23,12 @@ type 'a future = {
   f_pool : t;
   f_mu : Mutex.t;
   f_done : Condition.t;
+  f_claim : bool Atomic.t;
+      (** set by the first of: a worker starting the job, or {!cancel} *)
   mutable f_state : 'a state;
 }
+
+exception Cancelled
 
 let jobs t = t.p_jobs
 
@@ -52,7 +59,7 @@ let worker_loop t =
   let rec go () =
     match worker_pop t with
     | Some job ->
-        job ();
+        ignore (job ());
         go ()
     | None -> ()
   in
@@ -66,6 +73,7 @@ let create ?(jobs = 1) () =
       p_mu = Mutex.create ();
       p_nonempty = Condition.create ();
       p_queue = Queue.create ();
+      p_live = 0;
       p_workers = [];
       p_down = false;
     }
@@ -74,20 +82,43 @@ let create ?(jobs = 1) () =
   t.p_workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
+let adjust_live t by =
+  Mutex.lock t.p_mu;
+  t.p_live <- t.p_live + by;
+  Mutex.unlock t.p_mu
+
+let queue_length t =
+  Mutex.lock t.p_mu;
+  let n = t.p_live in
+  Mutex.unlock t.p_mu;
+  n
+
 let submit t f =
   let fut =
-    { f_pool = t; f_mu = Mutex.create (); f_done = Condition.create (); f_state = Pending }
+    {
+      f_pool = t;
+      f_mu = Mutex.create ();
+      f_done = Condition.create ();
+      f_claim = Atomic.make false;
+      f_state = Pending;
+    }
   in
   let job () =
-    let outcome =
-      match f () with
-      | v -> Done v
-      | exception e -> Failed (e, Printexc.get_raw_backtrace ())
-    in
-    Mutex.lock fut.f_mu;
-    fut.f_state <- outcome;
-    Condition.broadcast fut.f_done;
-    Mutex.unlock fut.f_mu
+    if not (Atomic.compare_and_set fut.f_claim false true) then false
+      (* cancelled while queued: the future already settled *)
+    else begin
+      adjust_live t (-1);
+      let outcome =
+        match f () with
+        | v -> Done v
+        | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock fut.f_mu;
+      fut.f_state <- outcome;
+      Condition.broadcast fut.f_done;
+      Mutex.unlock fut.f_mu;
+      true
+    end
   in
   Mutex.lock t.p_mu;
   if t.p_down then begin
@@ -95,6 +126,7 @@ let submit t f =
     invalid_arg "Pool.submit: pool is shut down"
   end;
   Queue.push job t.p_queue;
+  t.p_live <- t.p_live + 1;
   Condition.signal t.p_nonempty;
   Mutex.unlock t.p_mu;
   fut
@@ -104,6 +136,29 @@ let settled fut =
   let s = fut.f_state in
   Mutex.unlock fut.f_mu;
   s
+
+let poll fut =
+  match settled fut with
+  | Pending -> None
+  | Done v -> Some (Ok v)
+  | Failed (e, _) -> Some (Error e)
+
+let cancel fut =
+  if Atomic.compare_and_set fut.f_claim false true then begin
+    adjust_live fut.f_pool (-1);
+    let bt = Printexc.get_callstack 0 in
+    Mutex.lock fut.f_mu;
+    fut.f_state <- Failed (Cancelled, bt);
+    Condition.broadcast fut.f_done;
+    Mutex.unlock fut.f_mu;
+    true
+  end
+  else false
+
+let rec run_one t =
+  match try_pop t with
+  | None -> false
+  | Some job -> if job () then true else run_one t
 
 let rec await fut =
   match settled fut with
@@ -116,7 +171,7 @@ let rec await fut =
          case we block until its completion broadcast. *)
       match try_pop fut.f_pool with
       | Some job ->
-          job ();
+          ignore (job ());
           await fut
       | None ->
           Mutex.lock fut.f_mu;
@@ -147,7 +202,7 @@ let shutdown t =
   let rec drain () =
     match try_pop t with
     | Some job ->
-        job ();
+        ignore (job ());
         drain ()
     | None -> ()
   in

@@ -37,6 +37,33 @@ val await : 'a future -> 'a
     queued jobs in the calling domain) while it waits.  Re-raises the
     job's exception with its original backtrace if it failed. *)
 
+exception Cancelled
+(** The settled state of a future whose job was {!cancel}ed before any
+    worker claimed it; {!await} and {!poll} surface it like any other
+    job failure. *)
+
+val poll : 'a future -> ('a, exn) result option
+(** Non-blocking status: [None] while the job is queued or running,
+    [Some (Ok v)] once done, [Some (Error e)] if it raised (or was
+    cancelled).  Never helps and never blocks — the probe an event loop
+    multiplexing many futures needs. *)
+
+val cancel : 'a future -> bool
+(** Try to withdraw a still-queued job.  Returns [true] when the job had
+    not been claimed by any worker: it will never run and the future
+    settles as [Failed Cancelled].  Returns [false] when the job is
+    already running (or finished) — a running job cannot be interrupted,
+    only abandoned by its submitter. *)
+
+val queue_length : t -> int
+(** Jobs submitted but not yet claimed by a worker (cancelled jobs still
+    in the queue are not counted). *)
+
+val run_one : t -> bool
+(** Claim and run one queued job in the calling domain, if any; [false]
+    when the queue is empty.  This is how a [~jobs:1] event loop (no
+    worker domains) makes progress without blocking in {!await}. *)
+
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel map: submit one job per element, await them
     in order.  If any job raised, the first (in list order) exception is

@@ -61,6 +61,7 @@ let registry t = t.sv_registry
 let stats t = Kcache.stats t.sv_cache
 let pool t = t.sv_pool
 let jobs t = Pool.jobs t.sv_pool
+let queue_depth t = Pool.queue_length t.sv_pool
 let shutdown t = Pool.shutdown t.sv_pool
 
 let request_digest ?device ?config ~worker source =

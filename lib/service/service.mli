@@ -49,6 +49,11 @@ val pool : t -> Pool.t
 val jobs : t -> int
 (** The pool's parallelism (1 = sequential, no worker domains). *)
 
+val queue_depth : t -> int
+(** Jobs submitted to the pool but not yet claimed by a worker — the
+    admission-queue gauge the compile daemon ({!Lime_server.Server})
+    exports as [lime_server_queue_depth]. *)
+
 val shutdown : t -> unit
 (** Stop and join the service's worker domains (idempotent).  Only batch
     entry points require the pool; {!compile} keeps working after. *)

@@ -439,6 +439,64 @@ let test_batch_manifest () =
       Alcotest.(check bool) "batch summary" true
         (contains "2 compiled, 0 failed" out)
 
+let test_cache_capacity_rejected () =
+  skip_unless_available ();
+  List.iter
+    (fun n ->
+      let code, out =
+        capture
+          (Printf.sprintf "%s -w NBody.computeForces --cache-capacity=%d"
+             nbody n)
+      in
+      Alcotest.(check int) (Printf.sprintf "--cache-capacity=%d exits 2" n) 2
+        code;
+      Alcotest.(check bool) "names the flag" true
+        (contains "bad --cache-capacity" out);
+      Alcotest.(check bool) "states the requirement" true
+        (contains "positive" out))
+    [ 0; -4 ]
+
+let test_cache_capacity_accepted () =
+  skip_unless_available ();
+  (* an explicit capacity changes nothing about a single compile's output *)
+  let base = nbody ^ " -w NBody.computeForces --emit-opencl" in
+  let code0, out0 = capture base in
+  let code1, out1 = capture (base ^ " --cache-capacity 3") in
+  Alcotest.(check int) "plain exit 0" 0 code0;
+  Alcotest.(check int) "capped exit 0" 0 code1;
+  Alcotest.(check string) "output identical" out0 out1
+
+let test_batch_manifest_malformed () =
+  skip_unless_available ();
+  (* a bad line must be reported as FILE:LINE, 1-based, before any
+     compilation starts *)
+  let manifest = Filename.temp_file "limec_batch" ".manifest" in
+  Out_channel.with_open_text manifest (fun oc ->
+      Printf.fprintf oc
+        "# header comment\n%s NBody.computeForces\ntoo many words on this \
+         line here\n"
+        nbody);
+  let code, out = capture (Printf.sprintf "--batch %s" (Filename.quote manifest)) in
+  Alcotest.(check int) "exit 2" 2 code;
+  Alcotest.(check bool) "names file and line" true
+    (contains (Filename.basename manifest ^ ":3") out);
+  Alcotest.(check bool) "shows the expected grammar" true
+    (contains "expected FILE WORKER [CONFIG]" out);
+  Alcotest.(check bool) "quotes the offending line" true
+    (contains "too many words" out);
+  Alcotest.(check bool) "nothing compiled" false (contains "kernel " out);
+  (* an unknown config name is caught at parse time with the same shape *)
+  Out_channel.with_open_text manifest (fun oc ->
+      Printf.fprintf oc "%s NBody.computeForces warp-speed\n" nbody);
+  let code, out = capture (Printf.sprintf "--batch %s" (Filename.quote manifest)) in
+  Sys.remove manifest;
+  Alcotest.(check int) "unknown config exits 2" 2 code;
+  Alcotest.(check bool) "line 1 named" true
+    (contains (Filename.basename manifest ^ ":1") out);
+  Alcotest.(check bool) "config named" true (contains "warp-speed" out);
+  Alcotest.(check bool) "alternatives listed" true
+    (contains "local+pad+vec" out)
+
 let () =
   Alcotest.run "cli"
     [
@@ -474,5 +532,11 @@ let () =
           Alcotest.test_case "batch rejects inspection flags" `Quick
             test_batch_rejects_inspection_flags;
           Alcotest.test_case "batch manifest" `Quick test_batch_manifest;
+          Alcotest.test_case "--cache-capacity rejects non-positive" `Quick
+            test_cache_capacity_rejected;
+          Alcotest.test_case "--cache-capacity round-trips" `Quick
+            test_cache_capacity_accepted;
+          Alcotest.test_case "malformed manifest names file:line" `Quick
+            test_batch_manifest_malformed;
         ] );
     ]

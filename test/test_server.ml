@@ -1,0 +1,541 @@
+(* End-to-end tests of the compile daemon: an in-process server on a real
+   Unix-domain socket, driven by real clients.  Every robustness path —
+   overload shedding, deadlines, graceful drain, protocol garbage — is
+   exercised without a single sleep-as-synchronization: determinism comes
+   from the protocol (a deadline of 0 can never be met; a blocked worker
+   pins queued work in place; pipelined frames are admitted in order). *)
+
+module Server = Lime_server.Server
+module Client = Lime_server.Client
+module Wire = Lime_server.Wire
+module Service = Lime_service.Service
+module Pool = Lime_service.Pool
+module Memopt = Lime_gpu.Memopt
+module Pipeline = Lime_gpu.Pipeline
+module Registry = Lime_benchmarks.Registry
+module Bench_def = Lime_benchmarks.Bench_def
+
+(* either side may write to a peer that already closed (the drain tests
+   do it on purpose); that must surface as EPIPE, not kill the process *)
+let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+let doubler_source =
+  {|
+class Doubler {
+  static local float twice(float x) { return x * 2.0f; }
+  static local float[[]] apply(float[[]] xs) { return Doubler.twice @ xs; }
+}
+|}
+
+let fresh_sock =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "limed-test-%d-%d.sock" (Unix.getpid ()) !n)
+
+(* Run [f sock server] against a live in-process daemon; the server
+   domain is always drained and joined, and the socket file must be gone
+   once [run] has returned. *)
+let with_server ?service ?(reshape = fun c -> c) f =
+  let sock = fresh_sock () in
+  let cfg = reshape (Server.default_config ~socket:sock) in
+  let server = Server.create ?service cfg in
+  let dom = Domain.spawn (fun () -> Server.run server) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.drain server;
+      Domain.join dom;
+      Alcotest.(check bool) "socket removed after drain" false
+        (Sys.file_exists sock))
+    (fun () -> f sock server)
+
+let connect_exn sock =
+  match Client.connect ~timeout_s:60.0 sock with
+  | Ok cl -> cl
+  | Error msg -> Alcotest.failf "connect: %s" msg
+
+let compile_exn cl ?deadline_ms ~name ~worker source =
+  match Client.compile cl ?deadline_ms ~name ~worker source with
+  | Ok a -> a
+  | Error f -> Alcotest.failf "%s: %s" name (Client.failure_to_string f)
+
+(* ------------------------------------------------------------------ *)
+(* Raw socket access, for speaking garbage the Client refuses to send   *)
+(* ------------------------------------------------------------------ *)
+
+let raw_connect sock =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  fd
+
+let raw_send fd s = ignore (Unix.write_substring fd s 0 (String.length s))
+
+type raw_reply = Frame of Wire.frame | Eof | Timeout
+
+let raw_next =
+  let buf = Bytes.create 4096 in
+  fun fd reader ->
+    let deadline = Unix.gettimeofday () +. 30.0 in
+    let rec go () =
+      match Wire.next reader with
+      | Ok (Some f) -> Frame f
+      | Error e -> Alcotest.failf "client-side framing: %s" (Wire.error_to_string e)
+      | Ok None ->
+          if Unix.gettimeofday () >= deadline then Timeout
+          else begin
+            match Unix.select [ fd ] [] [] 1.0 with
+            | [], _, _ -> go ()
+            | _ -> (
+                match Unix.read fd buf 0 (Bytes.length buf) with
+                | 0 -> Eof
+                | n ->
+                    Wire.feed reader buf n;
+                    go ()
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+          end
+    in
+    go ()
+
+let expect_protocol_error what fd reader =
+  (match raw_next fd reader with
+  | Frame (Wire.Err e) ->
+      Alcotest.(check bool)
+        (what ^ " answered protocol_error")
+        true
+        (e.Wire.er_code = Wire.Protocol_error)
+  | Frame _ -> Alcotest.failf "%s: unexpected frame" what
+  | Eof -> Alcotest.failf "%s: server closed without an error frame" what
+  | Timeout -> Alcotest.failf "%s: no reply" what);
+  (* the offending connection is closed... *)
+  match raw_next fd reader with
+  | Eof -> ()
+  | Frame _ -> Alcotest.failf "%s: traffic after the error" what
+  | Timeout -> Alcotest.failf "%s: connection left open" what
+
+(* ------------------------------------------------------------------ *)
+(* Round-trip fidelity                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* every program in the benchmark registry must come back from the daemon
+   byte-identical to a local compilation *)
+let test_registry_roundtrip () =
+  let local = Service.create () in
+  Fun.protect
+    ~finally:(fun () -> Service.shutdown local)
+    (fun () ->
+      with_server (fun sock _server ->
+          let cl = connect_exn sock in
+          Fun.protect
+            ~finally:(fun () -> Client.close cl)
+            (fun () ->
+              List.iter
+                (fun (b : Bench_def.t) ->
+                  let a =
+                    compile_exn cl ~name:b.Bench_def.name
+                      ~worker:b.Bench_def.worker b.Bench_def.source_small
+                  in
+                  let c, _ =
+                    Service.compile_ex local ~config:Memopt.config_all
+                      ~name:b.Bench_def.name ~worker:b.Bench_def.worker
+                      b.Bench_def.source_small
+                  in
+                  let kernel = c.Pipeline.cp_kernel in
+                  Alcotest.(check string)
+                    (b.Bench_def.name ^ " opencl byte-identical")
+                    c.Pipeline.cp_opencl a.Wire.ar_opencl;
+                  Alcotest.(check string)
+                    (b.Bench_def.name ^ " placements identical")
+                    (Memopt.describe c.Pipeline.cp_decisions)
+                    a.Wire.ar_placements;
+                  Alcotest.(check string)
+                    (b.Bench_def.name ^ " kernel name")
+                    kernel.Lime_gpu.Kernel.k_name a.Wire.ar_kernel;
+                  Alcotest.(check bool)
+                    (b.Bench_def.name ^ " parallel flag")
+                    kernel.Lime_gpu.Kernel.k_parallel a.Wire.ar_parallel;
+                  Alcotest.(check string)
+                    (b.Bench_def.name ^ " digest")
+                    (Lime_service.Digest.to_hex
+                       (Service.request_digest ~config:Memopt.config_all
+                          ~worker:b.Bench_def.worker b.Bench_def.source_small))
+                    a.Wire.ar_digest)
+                Registry.all)))
+
+let test_cache_provenance () =
+  with_server (fun sock _server ->
+      let cl = connect_exn sock in
+      Fun.protect
+        ~finally:(fun () -> Client.close cl)
+        (fun () ->
+          let a1 =
+            compile_exn cl ~name:"doubler" ~worker:"Doubler.apply"
+              doubler_source
+          in
+          let a2 =
+            compile_exn cl ~name:"doubler" ~worker:"Doubler.apply"
+              doubler_source
+          in
+          Alcotest.(check string) "cold request compiled" "compiled"
+            a1.Wire.ar_origin;
+          Alcotest.(check string) "warm request served from memory" "memory"
+            a2.Wire.ar_origin;
+          Alcotest.(check string) "same artifact" a1.Wire.ar_opencl
+            a2.Wire.ar_opencl;
+          Alcotest.(check string) "same digest" a1.Wire.ar_digest
+            a2.Wire.ar_digest))
+
+let test_concurrent_clients () =
+  (* several clients, one per domain, all compiling at once; everyone
+     gets the right artifact back on their own connection *)
+  let progs =
+    List.filteri (fun i _ -> i < 3) Registry.all
+  in
+  with_server (fun sock _server ->
+      let doms =
+        List.map
+          (fun (b : Bench_def.t) ->
+            Domain.spawn (fun () ->
+                let cl = connect_exn sock in
+                Fun.protect
+                  ~finally:(fun () -> Client.close cl)
+                  (fun () ->
+                    (* two requests per client: the repeat must hit *)
+                    let a =
+                      compile_exn cl ~name:b.Bench_def.name
+                        ~worker:b.Bench_def.worker b.Bench_def.source_small
+                    in
+                    let a' =
+                      compile_exn cl ~name:b.Bench_def.name
+                        ~worker:b.Bench_def.worker b.Bench_def.source_small
+                    in
+                    (b, a, a'))))
+          progs
+      in
+      List.iter
+        (fun d ->
+          let (b : Bench_def.t), a, a' = Domain.join d in
+          Alcotest.(check bool)
+            (b.Bench_def.name ^ " kernel named after the worker")
+            true
+            (a.Wire.ar_kernel = b.Bench_def.worker);
+          Alcotest.(check string)
+            (b.Bench_def.name ^ " repeat identical")
+            a.Wire.ar_opencl a'.Wire.ar_opencl;
+          Alcotest.(check string)
+            (b.Bench_def.name ^ " repeat from memory")
+            "memory" a'.Wire.ar_origin)
+        doms)
+
+(* ------------------------------------------------------------------ *)
+(* Overload, deadlines, drain                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_overload_deadline_drain () =
+  (* the test owns the service so it can pin the pool's single worker
+     domain: with ~jobs:2 the server never runs pool work itself, so
+     while the gate is shut nothing admitted can start *)
+  let svc = Service.create ~jobs:2 () in
+  let gate = Atomic.make false in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set gate true;
+      Service.shutdown svc)
+    (fun () ->
+      let report = ref None in
+      with_server ~service:svc
+        ~reshape:(fun c -> { c with Server.sc_max_inflight = 2 })
+        (fun sock server ->
+          let blocker =
+            Pool.submit (Service.pool svc) (fun () ->
+                while not (Atomic.get gate) do
+                  Domain.cpu_relax ()
+                done)
+          in
+          let cl = connect_exn sock in
+          Fun.protect
+            ~finally:(fun () -> Client.close cl)
+            (fun () ->
+              let send frame =
+                match Client.send_frame cl frame with
+                | Ok () -> ()
+                | Error msg -> Alcotest.failf "send: %s" msg
+              in
+              let recv () =
+                match Client.recv_frame cl with
+                | Ok f -> f
+                | Error msg -> Alcotest.failf "recv: %s" msg
+              in
+              let compile id deadline_ms =
+                Wire.Compile
+                  {
+                    cr_id = id;
+                    cr_deadline_ms = deadline_ms;
+                    cr_name = "doubler";
+                    cr_worker = "Doubler.apply";
+                    cr_config = "all";
+                    cr_source = doubler_source;
+                  }
+              in
+              (* pipeline three requests while the worker is pinned:
+                 #1 fills a slot, #2 (deadline 0: unmeetable by
+                 construction) fills the other, #3 must be shed *)
+              send (compile 1 None);
+              send (compile 2 (Some 0));
+              send (compile 3 None);
+              (match recv () with
+              | Wire.Err e ->
+                  Alcotest.(check int) "the third request is shed" 3
+                    e.Wire.er_id;
+                  Alcotest.(check bool) "code overloaded" true
+                    (e.Wire.er_code = Wire.Overloaded);
+                  Alcotest.(check bool) "retry hint present" true
+                    (e.Wire.er_retry_after_ms > 0)
+              | _ -> Alcotest.fail "expected an overload reply first");
+              (* #2 is cancelled in the queue by the deadline scan — the
+                 worker never saw it *)
+              (match recv () with
+              | Wire.Err e ->
+                  Alcotest.(check int) "the deadline request answered" 2
+                    e.Wire.er_id;
+                  Alcotest.(check bool) "code deadline_exceeded" true
+                    (e.Wire.er_code = Wire.Deadline_exceeded)
+              | _ -> Alcotest.fail "expected a deadline reply second");
+              (* open the gate: #1 runs to completion *)
+              Atomic.set gate true;
+              (match recv () with
+              | Wire.Result a ->
+                  Alcotest.(check int) "the first request completes" 1
+                    a.Wire.ar_id;
+                  Alcotest.(check string) "freshly compiled" "compiled"
+                    a.Wire.ar_origin
+              | _ -> Alcotest.fail "expected the first result last");
+              ignore (Pool.await blocker);
+              (* graceful drain over the wire: nothing is in flight, the
+                 ack reports a clean shutdown *)
+              (match Client.drain cl with
+              | Ok d ->
+                  Alcotest.(check int) "nothing dropped" 0 d.Wire.da_dropped
+              | Error f ->
+                  Alcotest.failf "drain: %s" (Client.failure_to_string f));
+              report := Some (Server.report server)));
+      match !report with
+      | None -> Alcotest.fail "no report"
+      | Some r ->
+          Alcotest.(check int) "two admitted" 2 r.Server.rp_requests;
+          Alcotest.(check int) "one shed" 1 r.Server.rp_rejected;
+          Alcotest.(check int) "one deadline" 1 r.Server.rp_deadline;
+          Alcotest.(check int) "one completed" 1 r.Server.rp_completed;
+          Alcotest.(check int) "none dropped" 0 r.Server.rp_dropped)
+
+let test_drain_completes_inflight () =
+  (* a Drain pipelined after a Compile: the compile still completes, the
+     ack counts it, nothing is dropped *)
+  with_server (fun sock _server ->
+      let cl = connect_exn sock in
+      Fun.protect
+        ~finally:(fun () -> Client.close cl)
+        (fun () ->
+          let id = Client.fresh_id cl in
+          let did = Client.fresh_id cl in
+          (match
+             Client.send_frame cl
+               (Wire.Compile
+                  {
+                    cr_id = id;
+                    cr_deadline_ms = None;
+                    cr_name = "doubler";
+                    cr_worker = "Doubler.apply";
+                    cr_config = "all";
+                    cr_source = doubler_source;
+                  })
+           with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "send: %s" msg);
+          (match Client.send_frame cl (Wire.Drain did) with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "send: %s" msg);
+          (match Client.recv_frame cl with
+          | Ok (Wire.Result a) ->
+              Alcotest.(check int) "the in-flight compile completed" id
+                a.Wire.ar_id
+          | Ok _ -> Alcotest.fail "expected the compile result first"
+          | Error msg -> Alcotest.failf "recv: %s" msg);
+          match Client.recv_frame cl with
+          | Ok (Wire.Drain_ack d) ->
+              Alcotest.(check int) "ack echoes the drain id" did
+                d.Wire.da_id;
+              Alcotest.(check int) "the compile counted as completed" 1
+                d.Wire.da_completed;
+              Alcotest.(check int) "nothing dropped" 0 d.Wire.da_dropped
+          | Ok _ -> Alcotest.fail "expected the drain ack last"
+          | Error msg -> Alcotest.failf "recv: %s" msg))
+
+let test_draining_refuses_new_work () =
+  with_server (fun sock _server ->
+      let cl = connect_exn sock in
+      Fun.protect
+        ~finally:(fun () -> Client.close cl)
+        (fun () ->
+          let did = Client.fresh_id cl in
+          (match Client.send_frame cl (Wire.Drain did) with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "send: %s" msg);
+          (* pipelined behind the drain: must be refused, not queued *)
+          (match
+             Client.send_frame cl
+               (Wire.Compile
+                  {
+                    cr_id = 99;
+                    cr_deadline_ms = None;
+                    cr_name = "doubler";
+                    cr_worker = "Doubler.apply";
+                    cr_config = "all";
+                    cr_source = doubler_source;
+                  })
+           with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "send: %s" msg);
+          match Client.recv_frame cl with
+          | Ok (Wire.Err e) ->
+              Alcotest.(check int) "refusal names the request" 99
+                e.Wire.er_id;
+              Alcotest.(check bool) "code draining" true
+                (e.Wire.er_code = Wire.Draining)
+          | Ok (Wire.Drain_ack _) ->
+              (* also acceptable ordering if the refusal raced the ack —
+                 but the refusal is sent during frame handling, strictly
+                 before the ack, so reaching here is a bug *)
+              Alcotest.fail "drain ack arrived before the refusal"
+          | Ok _ -> Alcotest.fail "unexpected frame"
+          | Error msg -> Alcotest.failf "recv: %s" msg))
+
+(* ------------------------------------------------------------------ *)
+(* Protocol robustness                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_unknown_config () =
+  with_server (fun sock _server ->
+      let cl = connect_exn sock in
+      Fun.protect
+        ~finally:(fun () -> Client.close cl)
+        (fun () ->
+          match
+            Client.compile cl ~config:"warp-speed" ~worker:"Doubler.apply"
+              doubler_source
+          with
+          | Error (Client.Server_error e) ->
+              Alcotest.(check bool) "compile_error" true
+                (e.Wire.er_code = Wire.Compile_error);
+              Alcotest.(check bool) "alternatives listed" true
+                (Lime_support.Util.contains_substring ~sub:"local+pad+vec"
+                   e.Wire.er_msg)
+          | Error (Client.Transport msg) ->
+              Alcotest.failf "transport failure: %s" msg
+          | Ok _ -> Alcotest.fail "unknown config accepted"))
+
+let test_garbage_resilience () =
+  with_server (fun sock _server ->
+      (* a hostile length prefix: refused, connection dropped, server
+         lives on *)
+      let fd = raw_connect sock in
+      raw_send fd "\xFF\xFF\xFF\xFFgarbage";
+      expect_protocol_error "oversized length" fd (Wire.reader ());
+      Unix.close fd;
+      (* a version the server does not speak *)
+      let fd = raw_connect sock in
+      raw_send fd (Wire.encode (Wire.Hello 99));
+      expect_protocol_error "version mismatch" fd (Wire.reader ());
+      Unix.close fd;
+      (* a compile before the hello *)
+      let fd = raw_connect sock in
+      raw_send fd (Wire.encode (Wire.Stats 1));
+      expect_protocol_error "missing hello" fd (Wire.reader ());
+      Unix.close fd;
+      (* a server-to-client frame on the request path *)
+      let fd = raw_connect sock in
+      let rd = Wire.reader () in
+      raw_send fd (Wire.encode (Wire.Hello Wire.version));
+      (match raw_next fd rd with
+      | Frame (Wire.Hello_ack v) ->
+          Alcotest.(check int) "ack version" Wire.version v
+      | _ -> Alcotest.fail "no hello ack");
+      raw_send fd (Wire.encode (Wire.Hello_ack 1));
+      expect_protocol_error "reversed frame" fd rd;
+      Unix.close fd;
+      (* an unknown tag after a valid handshake *)
+      let fd = raw_connect sock in
+      let rd = Wire.reader () in
+      raw_send fd (Wire.encode (Wire.Hello Wire.version));
+      (match raw_next fd rd with
+      | Frame (Wire.Hello_ack _) -> ()
+      | _ -> Alcotest.fail "no hello ack");
+      raw_send fd "\x00\x00\x00\x05\xEEabcd";
+      expect_protocol_error "unknown tag" fd rd;
+      Unix.close fd;
+      (* after all that abuse, an honest client still gets served *)
+      let cl = connect_exn sock in
+      Fun.protect
+        ~finally:(fun () -> Client.close cl)
+        (fun () ->
+          let a =
+            compile_exn cl ~name:"doubler" ~worker:"Doubler.apply"
+              doubler_source
+          in
+          Alcotest.(check bool) "kernel compiled" true
+            (a.Wire.ar_kernel = "Doubler.apply")))
+
+let test_stats_over_the_wire () =
+  with_server (fun sock _server ->
+      let cl = connect_exn sock in
+      Fun.protect
+        ~finally:(fun () -> Client.close cl)
+        (fun () ->
+          ignore
+            (compile_exn cl ~name:"doubler" ~worker:"Doubler.apply"
+               doubler_source);
+          match Client.stats cl with
+          | Ok text ->
+              List.iter
+                (fun family ->
+                  Alcotest.(check bool) (family ^ " exposed") true
+                    (Lime_support.Util.contains_substring ~sub:family text))
+                [
+                  "lime_server_requests_total";
+                  "lime_server_connections_total";
+                  "lime_server_queue_depth";
+                  "lime_server_request_seconds_bucket";
+                  "lime_server_queue_wait_seconds_count";
+                  "lime_kcache_entries";
+                ]
+          | Error f -> Alcotest.failf "stats: %s" (Client.failure_to_string f)))
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "fidelity",
+        [
+          Alcotest.test_case "registry round-trips byte-identical" `Quick
+            test_registry_roundtrip;
+          Alcotest.test_case "cache provenance on the wire" `Quick
+            test_cache_provenance;
+          Alcotest.test_case "concurrent clients" `Quick
+            test_concurrent_clients;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "overload, deadline, drain" `Quick
+            test_overload_deadline_drain;
+          Alcotest.test_case "drain completes in-flight work" `Quick
+            test_drain_completes_inflight;
+          Alcotest.test_case "draining refuses new work" `Quick
+            test_draining_refuses_new_work;
+          Alcotest.test_case "unknown config" `Quick test_unknown_config;
+          Alcotest.test_case "garbage does not kill the daemon" `Quick
+            test_garbage_resilience;
+          Alcotest.test_case "stats over the wire" `Quick
+            test_stats_over_the_wire;
+        ] );
+    ]

@@ -1,0 +1,217 @@
+(* The daemon's frame codec: every frame round-trips through
+   encode/decode and through the incremental reader, and every byte-level
+   attack (truncation, hostile length prefix, unknown tag, trailing
+   garbage) maps to a total [Error] — never an exception. *)
+
+module Wire = Lime_server.Wire
+
+let u32 = QCheck.Gen.int_range 0 0xFFFF_FFFF
+let short_str = QCheck.Gen.(string_size (int_range 0 64))
+let long_str = QCheck.Gen.(string_size (int_range 0 2048))
+
+let gen_frame =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun v -> Wire.Hello v) (int_range 0 0xFF);
+        map (fun v -> Wire.Hello_ack v) (int_range 0 0xFF);
+        map
+          (fun (id, dl, (name, worker, config, source)) ->
+            Wire.Compile
+              {
+                cr_id = id;
+                cr_deadline_ms = dl;
+                cr_name = name;
+                cr_worker = worker;
+                cr_config = config;
+                cr_source = source;
+              })
+          (triple u32
+             (opt (int_range 0 0xFFFF_FFFE))
+             (quad short_str short_str short_str long_str));
+        map
+          (fun (id, par, (origin, digest, kernel), (opencl, placements)) ->
+            Wire.Result
+              {
+                ar_id = id;
+                ar_origin = origin;
+                ar_digest = digest;
+                ar_kernel = kernel;
+                ar_parallel = par;
+                ar_opencl = opencl;
+                ar_placements = placements;
+              })
+          (quad u32 bool
+             (triple short_str short_str short_str)
+             (pair long_str long_str));
+        map
+          (fun (id, code, retry, msg) ->
+            Wire.Err
+              {
+                er_id = id;
+                er_code = code;
+                er_retry_after_ms = retry;
+                er_msg = msg;
+              })
+          (quad u32
+             (oneofl
+                [
+                  Wire.Overloaded; Wire.Deadline_exceeded; Wire.Compile_error;
+                  Wire.Protocol_error; Wire.Draining;
+                ])
+             (int_range 0 0xFFFF_FFFF) long_str);
+        map (fun id -> Wire.Stats id) u32;
+        map (fun (id, text) -> Wire.Stats_reply (id, text)) (pair u32 long_str);
+        map (fun id -> Wire.Drain id) u32;
+        map
+          (fun (id, c, d) ->
+            Wire.Drain_ack { da_id = id; da_completed = c; da_dropped = d })
+          (triple u32 u32 u32);
+      ])
+
+let arb_frame = QCheck.make gen_frame
+
+let payload frame =
+  let s = Wire.encode frame in
+  String.sub s 4 (String.length s - 4)
+
+let roundtrip =
+  QCheck.Test.make ~count:500 ~name:"encode/decode round-trips" arb_frame
+    (fun frame -> Wire.decode (payload frame) = Ok frame)
+
+let reader_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"reader yields the fed frame" arb_frame
+    (fun frame ->
+      let r = Wire.reader () in
+      Wire.feed_string r (Wire.encode frame);
+      Wire.next r = Ok (Some frame) && Wire.next r = Ok None)
+
+(* the reader must assemble frames regardless of how the bytes are
+   chopped up by the transport — feed one byte at a time *)
+let reader_byte_at_a_time =
+  QCheck.Test.make ~count:100 ~name:"reader survives 1-byte reads" arb_frame
+    (fun frame ->
+      let s = Wire.encode frame in
+      let r = Wire.reader () in
+      let ok = ref true in
+      String.iteri
+        (fun i c ->
+          Wire.feed_string r (String.make 1 c);
+          match Wire.next r with
+          | Ok None -> if i = String.length s - 1 then ok := false
+          | Ok (Some f) -> if i <> String.length s - 1 || f <> frame then ok := false
+          | Error _ -> ok := false)
+        s;
+      !ok)
+
+(* any truncation of a valid payload is Malformed, never an exception *)
+let truncation_total =
+  QCheck.Test.make ~count:200 ~name:"truncated payloads are rejected"
+    arb_frame (fun frame ->
+      let p = payload frame in
+      String.length p = 0
+      ||
+      let cut = String.length p / 2 in
+      match Wire.decode (String.sub p 0 cut) with
+      | Error _ -> true
+      | Ok _ -> false)
+
+let put_u32 b v =
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char b (Char.chr (v land 0xFF))
+
+let test_oversized_length () =
+  (* a hostile length prefix is refused before any allocation; the huge
+     payload is never waited for *)
+  let b = Buffer.create 8 in
+  put_u32 b (Wire.max_frame + 1);
+  Buffer.add_string b "x";
+  let r = Wire.reader () in
+  Wire.feed_string r (Buffer.contents b);
+  (match Wire.next r with
+  | Error (Wire.Oversized n) ->
+      Alcotest.(check int) "declared length reported" (Wire.max_frame + 1) n
+  | Error e -> Alcotest.failf "wrong error: %s" (Wire.error_to_string e)
+  | Ok _ -> Alcotest.fail "oversized frame accepted");
+  (* 4 GiB-1, the largest declarable length, same story *)
+  let b = Buffer.create 4 in
+  put_u32 b 0xFFFF_FFFF;
+  let r = Wire.reader () in
+  Wire.feed_string r (Buffer.contents b);
+  match Wire.next r with
+  | Error (Wire.Oversized _) -> ()
+  | _ -> Alcotest.fail "4GiB declared length accepted"
+
+let test_unknown_tag () =
+  let payload = "\xEE" ^ "rest" in
+  (match Wire.decode payload with
+  | Error (Wire.Unknown_tag 0xEE) -> ()
+  | _ -> Alcotest.fail "unknown tag not reported");
+  (* and through the reader *)
+  let b = Buffer.create 16 in
+  put_u32 b (String.length payload);
+  Buffer.add_string b payload;
+  let r = Wire.reader () in
+  Wire.feed_string r (Buffer.contents b);
+  match Wire.next r with
+  | Error (Wire.Unknown_tag 0xEE) -> ()
+  | _ -> Alcotest.fail "unknown tag not reported incrementally"
+
+let test_trailing_bytes () =
+  let p = payload (Wire.Hello Wire.version) ^ "\x00" in
+  match Wire.decode p with
+  | Error (Wire.Malformed _) -> ()
+  | _ -> Alcotest.fail "trailing bytes accepted"
+
+let test_empty_payload () =
+  match Wire.decode "" with
+  | Error (Wire.Malformed _) -> ()
+  | _ -> Alcotest.fail "empty payload accepted"
+
+let test_bad_error_code () =
+  (* an Err frame with an out-of-range code byte *)
+  let p = payload (Wire.Err { er_id = 7; er_code = Wire.Overloaded;
+                              er_retry_after_ms = 0; er_msg = "" }) in
+  let b = Bytes.of_string p in
+  Bytes.set b 5 '\xFF' (* code byte follows tag + u32 id *);
+  match Wire.decode (Bytes.to_string b) with
+  | Error (Wire.Malformed _) -> ()
+  | _ -> Alcotest.fail "bad error code accepted"
+
+let test_pipelined_frames () =
+  (* several frames in one feed come out in order *)
+  let frames =
+    [ Wire.Hello 1; Wire.Stats 2; Wire.Drain 3; Wire.Hello_ack 1 ]
+  in
+  let r = Wire.reader () in
+  Wire.feed_string r (String.concat "" (List.map Wire.encode frames));
+  List.iter
+    (fun f ->
+      match Wire.next r with
+      | Ok (Some g) when g = f -> ()
+      | _ -> Alcotest.fail "pipelined frame lost or reordered")
+    frames;
+  Alcotest.(check bool) "drained" true (Wire.next r = Ok None);
+  Alcotest.(check int) "no residue" 0 (Wire.buffered r)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ roundtrip; reader_roundtrip; reader_byte_at_a_time; truncation_total ]
+
+let () =
+  Alcotest.run "wire"
+    [
+      ("roundtrip", qsuite);
+      ( "adversarial",
+        [
+          Alcotest.test_case "oversized declared length" `Quick
+            test_oversized_length;
+          Alcotest.test_case "unknown tag" `Quick test_unknown_tag;
+          Alcotest.test_case "trailing bytes" `Quick test_trailing_bytes;
+          Alcotest.test_case "empty payload" `Quick test_empty_payload;
+          Alcotest.test_case "bad error code" `Quick test_bad_error_code;
+          Alcotest.test_case "pipelined frames" `Quick test_pipelined_frames;
+        ] );
+    ]
