@@ -54,6 +54,43 @@ let run_marshal_ablation () =
   section "Marshaling ablation (§4.3)";
   print_endline (E.render_marshal_ablation (E.marshal_ablation Device.gtx580))
 
+(* set by --quick before experiments run; the optimize experiment honors
+   it so the CI gate stays fast *)
+let quick_mode = ref false
+
+(* Beam-searched rewrite schedules vs the Fig 8 sweep, every registry
+   workload x every Table 2 device.  Doubles as a gate: the beam winner
+   must never model slower than the best Fig 8 configuration (it is
+   seeded with the canned sequences), and on the TMatMul showcase it must
+   be strictly faster — that workload exists because the Fig 8 space
+   cannot optimize it. *)
+let run_optimize () =
+  section "Optimizer — beam-searched schedules vs best Fig 8 config";
+  let failed = ref false in
+  List.iter
+    (fun d ->
+      let rows = E.optimize_rows ~quick:!quick_mode d in
+      print_endline (E.render_optimize d rows);
+      print_newline ();
+      List.iter
+        (fun (r : E.optimize_row) ->
+          if r.E.op_beam_s > r.E.op_fig8_s +. 1e-15 then begin
+            Printf.printf "FAIL: %s on %s: beam %.3e > fig8 %.3e\n"
+              r.E.op_bench d.Device.name r.E.op_beam_s r.E.op_fig8_s;
+            failed := true
+          end;
+          if r.E.op_bench = "TMatMul" && r.E.op_beam_s >= r.E.op_fig8_s
+          then begin
+            Printf.printf
+              "FAIL: TMatMul on %s: beam %.3e not strictly better than \
+               fig8 %.3e\n"
+              d.Device.name r.E.op_beam_s r.E.op_fig8_s;
+            failed := true
+          end)
+        rows)
+    (E.gpu_devices @ [ Device.core_i7 ]);
+  if !failed then exit 1
+
 (* Correctness evidence in the bench log: run the differential checks at
    test scale for all nine benchmarks. *)
 let run_validate () =
@@ -79,7 +116,7 @@ let run_validate () =
       Printf.printf "%-22s %10s
 " b.name (if ok then "ok" else "MISMATCH");
       if not ok then exit 1)
-    Lime_benchmarks.Registry.all
+    Lime_benchmarks.Registry.workloads
 
 let run_overlap () =
   section "Future work (§5.3) — overlap + direct marshaling ablation";
@@ -463,6 +500,7 @@ let all_experiments =
     ("fig8", run_fig8);
     ("fig9", run_fig9);
     ("marshal-ablation", run_marshal_ablation);
+    ("optimize", run_optimize);
     ("overlap", run_overlap);
     ("glue", run_glue);
     ("service", run_service);
@@ -560,9 +598,9 @@ let run_perf (o : opts) =
   let current = Benchjson.collect ~quick:o.o_quick ~seed:o.o_seed ~name () in
   Printf.printf "collected %d entries (%d benchmarks x %d devices)\n"
     (List.length current.Benchjson.r_entries)
-    (List.length Lime_benchmarks.Registry.all)
+    (List.length Lime_benchmarks.Registry.workloads)
     (List.length current.Benchjson.r_entries
-    / max 1 (List.length Lime_benchmarks.Registry.all));
+    / max 1 (List.length Lime_benchmarks.Registry.workloads));
   (match o.o_json with
   | None -> ()
   | Some file ->
@@ -593,6 +631,7 @@ let run_perf (o : opts) =
 
 let () =
   let o = parse_args () in
+  quick_mode := o.o_quick;
   let perf_mode = o.o_json <> None || o.o_baseline <> None in
   let requested =
     match o.o_names with

@@ -19,6 +19,8 @@
             --placements
       limec nbody.lime --worker NBody.computeForces --estimate gtx580 \
             --shape particles=4096x4
+      limec matmul.lime --worker MatMul.multiply --optimize beam \
+            --device gtx8800 --shape packed=1024x32 --explain
       limec a.lime b.lime c.lime --worker Filter.run --jobs 4
       limec --batch programs.manifest --jobs 4
       limec --daemon /tmp/limed.sock --jobs 4 --cache-dir ~/.cache/lime &
@@ -32,6 +34,8 @@ module Metrics = Lime_service.Metrics
 module Trace = Lime_service.Trace
 module Server = Lime_server.Server
 module Client = Lime_server.Client
+module Rewrite = Lime_rewrite.Rewrite
+module Search = Lime_rewrite.Search
 
 (* one canonical name table, shared with the daemon's wire protocol *)
 let configs = Server.configs
@@ -122,7 +126,8 @@ let finish_observers svc ~stats ~trace_out ~trace_summary =
 
 let run_single file worker config_name jobs cache_capacity dump_ast dump_ir
     placements emit_opencl emit_glue estimate sweep counters shapes cache_dir
-    stats run_target run_args trace_out profile trace_summary =
+    stats run_target run_args trace_out profile trace_summary optimize
+    opt_device beam_width beam_depth explain =
   let source = read_source file in
   let config = lookup_config config_name in
   check_cache_dir cache_dir;
@@ -153,11 +158,81 @@ let run_single file worker config_name jobs cache_capacity dump_ast dump_ir
         List.iter
           (fun s -> print_endline (Lime_ir.Ir.stmt_str s))
           kernel.Lime_gpu.Kernel.k_body;
-      if placements then
+      (* with --optimize, the placements/OpenCL printed are the optimized
+         artifact's — the optimize block below owns them *)
+      if placements && optimize = None then
         print_endline (Memopt.describe c.Pipeline.cp_decisions);
-      if emit_opencl then print_string c.Pipeline.cp_opencl;
+      if emit_opencl && optimize = None then
+        print_string c.Pipeline.cp_opencl;
       if emit_glue then
         print_string (Lime_gpu.Hostgen.generate kernel);
+      (match optimize with
+      | None -> ()
+      | Some mode ->
+          let d = lookup_device "--optimize" opt_device in
+          let opt_shapes = List.map parse_shape shapes in
+          if opt_shapes = [] then begin
+            Printf.eprintf "--optimize requires at least one --shape\n";
+            exit 2
+          end;
+          let digest =
+            Service.request_digest ~device:opt_device ~config ~worker source
+          in
+          let optimized =
+            match mode with
+            | `Fig8 -> (
+                (* the paper's sweep: winner config, placements and OpenCL
+                   byte-identical to --sweep + --config <winner> *)
+                let entries, status =
+                  Service.sweep svc d ~device_key:opt_device ~digest kernel
+                    ~shapes:opt_shapes ~scalars:[]
+                in
+                if cache_dir <> None then
+                  Printf.printf "tunestore: %s\n"
+                    (match status with
+                    | `Hit _ -> "hit — re-timed stored best only"
+                    | `Miss -> "miss — swept all configurations");
+                match entries with
+                | [] ->
+                    Printf.eprintf "--optimize fig8: empty sweep\n";
+                    exit 1
+                | best :: _ ->
+                    Printf.printf
+                      "optimize fig8 on %s: winner %s (%.3e s modeled)\n"
+                      d.Gpusim.Device.name best.Gpusim.Autotune.at_name
+                      best.Gpusim.Autotune.at_time_s;
+                    if explain then
+                      print_endline (Gpusim.Autotune.describe entries);
+                    Pipeline.reoptimize c best.Gpusim.Autotune.at_config)
+            | `Beam ->
+                let best, how =
+                  Service.beam_schedule svc d ~device_key:opt_device ~digest
+                    ~width:beam_width ~depth:beam_depth kernel
+                    ~shapes:opt_shapes ~scalars:[]
+                in
+                if cache_dir <> None then
+                  Printf.printf "tunestore: %s\n"
+                    (match how with
+                    | `Replayed -> "hit — replayed stored schedule"
+                    | `Searched _ -> "miss — searched, stored best schedule");
+                Printf.printf "optimize beam on %s: %s (%.3e s modeled, %s)\n"
+                  d.Gpusim.Device.name
+                  (Search.seq_str best.Search.sc_sequence)
+                  best.Search.sc_time_s
+                  (match how with
+                  | `Replayed -> "replayed"
+                  | `Searched o ->
+                      Printf.sprintf "%d evaluations" o.Search.so_evals);
+                (match how with
+                | `Searched o when explain -> print_string (Search.explain o)
+                | _ -> ());
+                Pipeline.reschedule c
+                  ~schedule:best.Search.sc_sequence
+                  best.Search.sc_state.Rewrite.st_kernel
+                  best.Search.sc_state.Rewrite.st_config
+          in
+          print_endline (Memopt.describe optimized.Pipeline.cp_decisions);
+          if emit_opencl then print_string optimized.Pipeline.cp_opencl);
       (match sweep with
       | None -> ()
       | Some dev_name ->
@@ -315,7 +390,7 @@ let run_single file worker config_name jobs cache_capacity dump_ast dump_ir
         (not dump_ast) && (not dump_ir) && (not placements)
         && (not emit_opencl) && (not emit_glue) && (not profile)
         && estimate = None && sweep = None && counters = None
-        && run_target = None
+        && run_target = None && optimize = None
       then begin
         Printf.printf "compiled %s: kernel %s (%s)\n" file
           kernel.Lime_gpu.Kernel.k_name
@@ -564,7 +639,8 @@ let run_connect socket files worker config_name deadline_ms emit_opencl
 let run files worker config_name jobs batch daemon connect drain_req
     deadline_ms max_queue idle_timeout cache_capacity dump_ast dump_ir
     placements emit_opencl emit_glue estimate sweep counters shapes cache_dir
-    stats run_target run_args trace_out profile trace_summary =
+    stats run_target run_args trace_out profile trace_summary optimize
+    opt_device beam_width beam_depth explain =
   if jobs < 1 then begin
     Printf.eprintf "bad --jobs %d: must be at least 1\n" jobs;
     exit 2
@@ -590,11 +666,19 @@ let run files worker config_name jobs batch daemon connect drain_req
         "%s runs on the daemon; per-artifact inspection flags (--dump-ast, \
          --dump-ir, --estimate, --sweep, --counters, --profile, --shape, \
          --run, --trace, --trace-summary, --emit-glue, --batch, \
-         --cache-dir) are local-only\n"
+         --cache-dir, --optimize, --explain) are local-only\n"
         what;
       exit 2
     end
   in
+  if beam_width < 1 then begin
+    Printf.eprintf "bad --beam-width %d: must be at least 1\n" beam_width;
+    exit 2
+  end;
+  if beam_depth < 0 then begin
+    Printf.eprintf "bad --beam-depth %d: must not be negative\n" beam_depth;
+    exit 2
+  end;
   match (daemon, connect) with
   | Some _, Some _ ->
       Printf.eprintf "--daemon and --connect are mutually exclusive\n";
@@ -602,17 +686,18 @@ let run files worker config_name jobs batch daemon connect drain_req
   | Some socket, None ->
       reject_over "--daemon"
         (dump_ast || dump_ir || placements || emit_opencl || emit_glue
-        || profile || trace_summary || drain_req || stats
+        || profile || trace_summary || drain_req || stats || explain
         || estimate <> None || sweep <> None || counters <> None
         || run_target <> None || shapes <> [] || trace_out <> None
-        || batch <> None || files <> []);
+        || batch <> None || files <> [] || optimize <> None);
       run_daemon socket jobs cache_capacity max_queue idle_timeout cache_dir
   | None, Some socket ->
       reject_over "--connect"
         (dump_ast || dump_ir || emit_glue || profile || trace_summary
+        || explain
         || estimate <> None || sweep <> None || counters <> None
         || run_target <> None || shapes <> [] || trace_out <> None
-        || batch <> None || cache_dir <> None);
+        || batch <> None || cache_dir <> None || optimize <> None);
       run_connect socket files worker config_name deadline_ms emit_opencl
         placements stats drain_req
   | None, None -> (
@@ -634,18 +719,20 @@ let run files worker config_name jobs batch daemon connect drain_req
           run_single file (require_worker ()) config_name jobs cache_capacity
             dump_ast dump_ir placements emit_opencl emit_glue estimate sweep
             counters shapes cache_dir stats run_target run_args trace_out
-            profile trace_summary
+            profile trace_summary optimize opt_device beam_width beam_depth
+            explain
       | files, batch ->
           if
             dump_ast || dump_ir || placements || emit_opencl || emit_glue
             || profile || estimate <> None || sweep <> None
             || counters <> None || run_target <> None || shapes <> []
+            || optimize <> None
           then begin
             Printf.eprintf
               "batch compilation only compiles; per-artifact inspection \
                flags (--dump-ast, --dump-ir, --placements, --emit-opencl, \
                --emit-glue, --estimate, --sweep, --counters, --profile, \
-               --shape, --run) need a single FILE\n";
+               --shape, --run, --optimize) need a single FILE\n";
             exit 2
           end;
           let from_files =
@@ -884,6 +971,50 @@ let cache_capacity_arg =
            for a single file, the batch size (at least 16) for --batch, \
            64 for --daemon.")
 
+let optimize_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("fig8", `Fig8); ("beam", `Beam) ])) None
+    & info [ "optimize" ] ~docv:"MODE"
+        ~doc:
+          "Pick an optimization schedule on the --device model and print \
+           the optimized placements (and, with --emit-opencl, the \
+           optimized kernel).  'fig8' sweeps the paper's eight memory \
+           configurations and takes the winner; 'beam' runs the rewrite \
+           engine's beam search over composable kernel rewrites, which is \
+           never worse than fig8 under the cost model.  Requires --shape; \
+           with --cache-dir the winning schedule persists in the \
+           tunestore and warm reruns replay it without re-searching.")
+
+let opt_device_arg =
+  Arg.(
+    value & opt string "gtx580"
+    & info [ "device" ] ~docv:"DEVICE"
+        ~doc:
+          "Device model --optimize scores against: gtx8800, gtx580, \
+           hd5970, corei7 (default gtx580).")
+
+let beam_width_arg =
+  Arg.(
+    value & opt int Search.default_width
+    & info [ "beam-width" ] ~docv:"N"
+        ~doc:"With --optimize beam: states kept per beam level.")
+
+let beam_depth_arg =
+  Arg.(
+    value & opt int Search.default_depth
+    & info [ "beam-depth" ] ~docv:"N"
+        ~doc:"With --optimize beam: maximum rewrite-sequence length.")
+
+let explain_arg =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "With --optimize: report how the winner was found — the full \
+           ranking for fig8, the baseline/fig8/beam comparison with \
+           evaluation counts for beam.")
+
 let cmd =
   let doc = "Lime-for-GPUs compiler (PLDI 2012 reproduction)" in
   Cmd.v
@@ -894,6 +1025,8 @@ let cmd =
       $ max_queue_arg $ idle_timeout_arg $ cache_capacity_arg $ dump_ast
       $ dump_ir $ placements $ emit_opencl $ emit_glue $ estimate
       $ sweep_arg $ counters_arg $ shapes $ cache_dir $ stats_arg $ run_arg
-      $ run_args $ trace_arg $ profile_arg $ trace_summary_arg)
+      $ run_args $ trace_arg $ profile_arg $ trace_summary_arg
+      $ optimize_arg $ opt_device_arg $ beam_width_arg $ beam_depth_arg
+      $ explain_arg)
 
 let () = exit (Cmd.eval cmd)

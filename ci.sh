@@ -197,9 +197,49 @@ ocaml "$cache_dir/jsoncheck.ml" "$bench_json" \
 dune exec --no-build bench/main.exe -- --quick --seed 1 --baseline "$bench_json" \
   > /dev/null \
   || { echo "FAIL: self-diff against the just-written baseline regressed"; exit 1; }
+# the optimizer experiment is its own gate: it exits non-zero if the beam
+# ever loses to the best Fig 8 configuration, or merely ties it on TMatMul
+dune exec --no-build bench/main.exe -- optimize --quick > /dev/null \
+  || { echo "FAIL: optimize experiment gate (beam vs fig8) regressed"; exit 1; }
+
+echo "== optimizer smoke test =="
+# a cold beam search must store its schedule; the warm rerun must replay it
+# (not re-search) with identical output; and the beam must never lose to
+# the best Fig 8 configuration on the same kernel
+opt_cache="$cache_dir/opt"
+optimize() {
+  dune exec --no-build bin/limec.exe -- examples/lime/matmul.lime \
+    -w MatMul.multiply --optimize "$1" --device gtx8800 \
+    --shape packed=1024x32 --cache-dir "$opt_cache"
+}
+
+cold_opt=$(optimize beam)
+echo "$cold_opt" | grep -q "tunestore: miss — searched, stored best schedule" \
+  || { echo "FAIL: cold beam run should search and store"; echo "$cold_opt"; exit 1; }
+
+warm_opt=$(optimize beam)
+echo "$warm_opt" | grep -q "tunestore: hit — replayed stored schedule" \
+  || { echo "FAIL: warm beam run should replay, not re-search"; echo "$warm_opt"; exit 1; }
+# modulo provenance (cache lines, eval count vs "replayed"), the warm
+# replay must reproduce the cold search byte-for-byte
+strip_provenance() {
+  grep -v '^tunestore:' | grep -v '^kernel cache:' \
+    | sed -e 's/, [0-9]* evaluations)$/)/' -e 's/, replayed)$/)/'
+}
+[ "$(echo "$cold_opt" | strip_provenance)" = "$(echo "$warm_opt" | strip_provenance)" ] \
+  || { echo "FAIL: warm beam output differs from cold"; exit 1; }
+
+fig8_opt=$(optimize fig8)
+beam_s=$(echo "$warm_opt" | sed -n 's/^optimize beam on .*: .* (\([0-9.e+-]*\) s modeled.*/\1/p')
+fig8_s=$(echo "$fig8_opt" | sed -n 's/^optimize fig8 on .*: winner .* (\([0-9.e+-]*\) s modeled.*/\1/p')
+[ -n "$beam_s" ] && [ -n "$fig8_s" ] \
+  || { echo "FAIL: could not parse modeled times"; echo "$warm_opt"; echo "$fig8_opt"; exit 1; }
+awk "BEGIN { exit !($beam_s <= $fig8_s) }" \
+  || { echo "FAIL: beam ($beam_s s) lost to the Fig 8 winner ($fig8_s s)"; exit 1; }
 
 echo "ci.sh: OK (cold sweep populated the cache; warm run served from it;"
 echo "        --jobs 4 batch recompiled all examples warm from disk;"
 echo "        traced run exported well-formed Chrome JSON;"
 echo "        daemon served a warm cache hit and drained cleanly on SIGTERM;"
-echo "        bench JSON self-diff showed zero regressions)"
+echo "        bench JSON self-diff and the beam-vs-fig8 gate showed no"
+echo "        regressions; beam schedule stored cold and replayed warm)"

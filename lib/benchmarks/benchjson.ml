@@ -67,7 +67,7 @@ let collect ?(quick = false) ?(seed = 1) ~name () : run =
               e_roofline = Counters.roofline_name (Counters.classify c);
             })
           devices)
-      Registry.all
+      Registry.workloads
   in
   { r_name = name; r_quick = quick; r_seed = seed; r_entries = entries }
 

@@ -501,3 +501,62 @@ let render_overlap ?(firings = 32) (d : Device.t) (rows : overlap_row list) :
     :: Printf.sprintf "%-22s %10s %9s %13s %13s" "Benchmark" "serial ms"
          "comm%" "pipelined" "+direct"
     :: lines)
+
+(* ------------------------------------------------------------------ *)
+(* Optimizer — beam-searched rewrite schedules vs the Fig 8 sweep      *)
+(* ------------------------------------------------------------------ *)
+
+type optimize_row = {
+  op_bench : string;
+  op_baseline_s : float;
+  op_fig8_name : string;
+  op_fig8_s : float;
+  op_beam_s : float;
+  op_sequence : string list;
+  op_evals : int;
+}
+
+(** One row per registry workload: modeled kernel time of the untouched
+    kernel, the best Fig 8 configuration, and the beam-searched rewrite
+    schedule on device [d].  Beam seeding guarantees
+    [op_beam_s <= op_fig8_s]; on the TMatMul showcase the inequality is
+    strict (the point of the rewrite engine). *)
+let optimize_rows ?width ?depth ?(quick = false) ?seed (d : Device.t) :
+    optimize_row list =
+  List.map
+    (fun (b : B.t) ->
+      let p = prepare ~quick ?seed b in
+      let k = p.p_compiled.Pipeline.cp_kernel in
+      let shapes, scalars =
+        Lime_runtime.Engine.shapes_of_args k [ p.p_input ]
+      in
+      let o = Lime_rewrite.Search.search ?width ?depth d k ~shapes ~scalars in
+      let op_fig8_name, f8 = o.Lime_rewrite.Search.so_fig8_best in
+      {
+        op_bench = b.B.name;
+        op_baseline_s = o.Lime_rewrite.Search.so_baseline.sc_time_s;
+        op_fig8_name;
+        op_fig8_s = f8.Lime_rewrite.Search.sc_time_s;
+        op_beam_s = o.Lime_rewrite.Search.so_best.sc_time_s;
+        op_sequence = o.Lime_rewrite.Search.so_best.sc_sequence;
+        op_evals = o.Lime_rewrite.Search.so_evals;
+      })
+    Registry.workloads
+
+let render_optimize (d : Device.t) (rows : optimize_row list) : string =
+  let lines =
+    List.map
+      (fun r ->
+        Printf.sprintf "%-22s %11.3e %11.3e %11.3e %7.2fx %6d  %s" r.op_bench
+          r.op_baseline_s r.op_fig8_s r.op_beam_s
+          (r.op_fig8_s /. r.op_beam_s)
+          r.op_evals
+          (Lime_rewrite.Search.seq_str r.op_sequence))
+      rows
+  in
+  String.concat "\n"
+    (Printf.sprintf "beam-searched schedules on %s (seconds, modeled)"
+       d.Device.name
+    :: Printf.sprintf "%-22s %11s %11s %11s %8s %6s  %s" "Benchmark"
+         "baseline" "fig8 best" "beam" "vs fig8" "evals" "sequence"
+    :: lines)

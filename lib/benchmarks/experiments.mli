@@ -119,3 +119,22 @@ type overlap_row = {
 
 val overlap : ?firings:int -> Device.t -> overlap_row list
 val render_overlap : ?firings:int -> Device.t -> overlap_row list -> string
+
+(** {2 Optimizer — beam-searched rewrite schedules vs the Fig 8 sweep} *)
+
+type optimize_row = {
+  op_bench : string;
+  op_baseline_s : float;  (** untouched kernel, global placements *)
+  op_fig8_name : string;  (** best canned Fig 8 configuration *)
+  op_fig8_s : float;
+  op_beam_s : float;  (** beam winner; always [<= op_fig8_s] *)
+  op_sequence : string list;  (** winning rewrite schedule *)
+  op_evals : int;  (** cost-model evaluations spent *)
+}
+
+val optimize_rows :
+  ?width:int -> ?depth:int -> ?quick:bool -> ?seed:int -> Device.t ->
+  optimize_row list
+(** One row per {!Registry.workloads} entry on the given device. *)
+
+val render_optimize : Device.t -> optimize_row list -> string

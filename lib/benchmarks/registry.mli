@@ -1,7 +1,14 @@
 (** The nine-benchmark suite of Table 3, in the paper's order. *)
 
 val all : Bench_def.t list
+
+val workloads : Bench_def.t list
+(** [all] plus non-paper workloads (the rewrite engine's TMatMul
+    showcase); what the bench harness and the optimizer experiments
+    iterate. *)
+
 val find : string -> Bench_def.t option
+(** Looks up by name across {!workloads}. *)
 
 val fig8 : Bench_def.t list
 (** The five benchmarks of the Fig 8 kernel-quality comparison. *)

@@ -1,0 +1,89 @@
+(** TMatMul: dense matrix multiply in the classic ikj "spill" form — the
+    rewrite engine's showcase workload (not part of the paper's Table 3
+    suite).
+
+    Each work item computes one row of [C = A * B]: a per-thread row
+    accumulator [c] is updated [c[j] += A(i,k) * b[k][j]] with [k] outer
+    and [j] inner, so every accumulator element is read and written
+    [N] times from global memory — [A] is procedurally generated (exact
+    small-integer values), so the kernel's traffic is dominated by [c] and
+    [b].
+
+    No Fig 8 memory configuration helps: [c] is written, so it can never
+    move to constant/image memory, and at 160 floats it exceeds the
+    private-memory threshold; [b]'s 102400 bytes overflow the constant
+    budget, and its dynamic innermost index defeats both the image format
+    and the vectorizer.  Loop rewrites do help: interchanging [k] and [j]
+    makes [c[j]] innermost-invariant (the backend hoists the load/store
+    out of the [k] loop), and tiling [j] then unrolling the tile turns
+    [b]'s innermost index into an affine lane [jt*4 + jj] the vectorizer
+    accepts.  Beam search finds exactly that chain, which is the strict
+    improvement over the Fig 8 sweep the optimizer tests assert. *)
+
+open Bench_def
+module Value = Lime_ir.Value
+module Memopt = Lime_gpu.Memopt
+
+(* One scale only: at [n <= 128] elements the row accumulator would fit
+   the private-memory threshold and the Fig 8 space could already fix it,
+   which would defeat the workload's purpose. *)
+let n = 160
+
+let source =
+  let ret =
+    String.concat ", " (List.init n (fun j -> Printf.sprintf "c[%d]" j))
+  in
+  Printf.sprintf
+    {|
+class TMatMul {
+  static final int N = %d;
+
+  static local float[[%d]] row(float[[%d][%d]] b, int i) {
+    float[] c = new float[%d];
+    for (int k = 0; k < N; k++) {
+      for (int j = 0; j < N; j++) {
+        c[j] = c[j] + (float) (i - k) * b[k][j];
+      }
+    }
+    return { %s };
+  }
+
+  static local float[[][%d]] multiply(float[[%d][%d]] b) {
+    return TMatMul.row(b) @ Lime.range(N);
+  }
+}
+|}
+    n n n n n ret n n n
+
+let input_of ?(seed = 7) () : Value.t =
+  rand_matrix ~seed ~rows:n ~cols:n ~lo:(-1.0) ~hi:1.0 ()
+
+(* A(i,k): mirrors the kernel's generator expression; exact in f32 *)
+let gen i k = float_of_int (i - k)
+
+(* Mirrors the kernel's accumulation order (k outer, j inner) with f32
+   rounding at every step, so the unrewritten kernel matches
+   bit-for-bit. *)
+let reference (input : Value.t) : Value.t =
+  let b = arr_of input in
+  let out = Value.make_arr ~is_value:true Lime_ir.Ir.SFloat [| n; n |] in
+  for i = 0 to n - 1 do
+    let c = Array.make n 0.0 in
+    for k = 0 to n - 1 do
+      let aik = gen i k in
+      for j = 0 to n - 1 do
+        c.(j) <- f32 (c.(j) +. f32 (aik *. get2 b k j))
+      done
+    done;
+    for j = 0 to n - 1 do
+      Value.store out [ i; j ] (Value.VFloat c.(j))
+    done
+  done;
+  Value.VArr out
+
+let bench : Bench_def.t =
+  mk ~name:"TMatMul" ~description:"Tiled matrix multiply (rewrite showcase)"
+    ~source ~worker:"TMatMul.multiply" ~datatype:"Float"
+    ~input:(fun ?(seed = 7) () -> input_of ~seed ())
+    ~input_small:(fun ?(seed = 7) () -> input_of ~seed ())
+    ~reference ~best_config:Memopt.config_global ()

@@ -129,6 +129,10 @@ type array_info = {
   ai_innermost_static : bool;
       (** true iff every access supplies constant indices for the innermost
           dimension (needed for image + vectorization) *)
+  ai_lane_mod : int;
+      (** alignment modulus of affine innermost indices ([v*m + c]): the gcd
+          of the [m]s observed, 0 when every innermost index is a plain
+          constant.  Only populated under [~affine_lanes:true]. *)
   ai_load_sites : int;
   ai_store_sites : int;
 }
@@ -178,15 +182,35 @@ type acc = {
   mutable a_alloc_in_parfor : bool;
   mutable a_classes : access_class list;
   mutable a_innermost_static : bool;
+  mutable a_lane_mod : int;
   mutable a_loads : int;
   mutable a_stores : int;
   mutable a_rank_full : int;  (** rank of the root array *)
 }
 
+(** Recognize an affine innermost index [v*m + c] (either operand order)
+    with a compile-time modulus [m >= 2] and offset [0 <= c < m]: the lane
+    within an [m]-aligned group is statically known even though the index
+    itself is dynamic.  Loop unrolling produces exactly this shape, which
+    is what makes rewritten kernels vectorizable. *)
+let affine_lane (e : Ir.expr) : (int * int) option =
+  let mul = function
+    | Ir.Bin (Lime_frontend.Ast.Mul, _, _, Ir.Const (Ir.CInt m))
+    | Ir.Bin (Lime_frontend.Ast.Mul, _, Ir.Const (Ir.CInt m), _) ->
+        Some m
+    | _ -> None
+  in
+  let check m c = if m >= 2 && c >= 0 && c < m then Some (m, c) else None in
+  match e with
+  | Ir.Bin (Lime_frontend.Ast.Add, _, a, Ir.Const (Ir.CInt c))
+  | Ir.Bin (Lime_frontend.Ast.Add, _, Ir.Const (Ir.CInt c), a) -> (
+      match mul a with Some m -> check m c | None -> None)
+  | _ -> ( match mul e with Some m -> check m 0 | None -> None)
+
 (** Analyze every array in a kernel.  Views created by partial indexing
     ([float\[\[4\]\] q = particles\[j\]]) are traced back to their root array:
     an access to the view contributes the combined index list. *)
-let analyze (k : Kernel.kernel) : array_info list =
+let analyze ?(affine_lanes = false) (k : Kernel.kernel) : array_info list =
   let arrays : (string, acc) Hashtbl.t = Hashtbl.create 16 in
   (* view alias: var -> (root, prefix indices, defining loop ctx) *)
   let views : (string, string * Ir.expr list) Hashtbl.t = Hashtbl.create 16 in
@@ -202,6 +226,7 @@ let analyze (k : Kernel.kernel) : array_info list =
             a_alloc_in_parfor = false;
             a_classes = [];
             a_innermost_static = true;
+            a_lane_mod = 0;
             a_loads = 0;
             a_stores = 0;
             a_rank_full = 0;
@@ -248,7 +273,12 @@ let analyze (k : Kernel.kernel) : array_info list =
        the innermost dimension of the root *)
     if a.a_rank_full > 1 && List.length full_idx = a.a_rank_full then begin
       let last = List.nth full_idx (List.length full_idx - 1) in
-      if not (is_const_expr last) then a.a_innermost_static <- false
+      if not (is_const_expr last) then
+        match (if affine_lanes then affine_lane last else None) with
+        | Some (m, _) ->
+            let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+            a.a_lane_mod <- (if a.a_lane_mod = 0 then m else gcd a.a_lane_mod m)
+        | None -> a.a_innermost_static <- false
     end
     else if a.a_rank_full > 1 && List.length full_idx < a.a_rank_full then
       (* a view escapes without reaching the innermost dim: conservative *)
@@ -399,6 +429,7 @@ let analyze (k : Kernel.kernel) : array_info list =
                  ai_classes = a.a_classes;
                  ai_innermost_static =
                    a.a_innermost_static && List.length ty.Ir.dims > 1;
+                 ai_lane_mod = a.a_lane_mod;
                  ai_load_sites = a.a_loads;
                  ai_store_sites = a.a_stores;
                })
@@ -421,9 +452,17 @@ let vector_width_for cfg (ai : array_info) =
   else
     match Ir.innermost_fixed ai.ai_ty with
     | Some n when n = 2 || n = 4 || n = 8 || n = 16 -> n
+    | Some n
+      when (ai.ai_lane_mod = 2 || ai.ai_lane_mod = 4 || ai.ai_lane_mod = 8
+           || ai.ai_lane_mod = 16)
+           && n mod ai.ai_lane_mod = 0 ->
+        (* wide rows accessed through affine lanes: vector groups of
+           [lane_mod] consecutive elements are statically aligned *)
+        ai.ai_lane_mod
     | _ -> 1
 
-let decide cfg (ai : array_info) : decision =
+let decide ?(constant_left = constant_budget_bytes) cfg (ai : array_info) :
+    decision =
   let mk ?(padded = false) ?(vw = 1) space reason =
     {
       d_array = ai.ai_name;
@@ -462,7 +501,7 @@ let decide cfg (ai : array_info) : decision =
   else if
     cfg.use_constant && shared_stream
     && (match static_bytes with
-       | Some b -> b <= constant_budget_bytes
+       | Some b -> b <= constant_left
        | None -> true (* checked against the live size at launch time *))
   then mk Ir.MConstant ~vw "broadcast access in parallel loop: constant memory"
   else if cfg.use_local && shared_stream then
@@ -470,9 +509,29 @@ let decide cfg (ai : array_info) : decision =
       "data reuse across threads in nested loop: local memory tile"
   else mk Ir.MGlobal ~vw "default: global memory"
 
-(** Compute the placement table for a kernel under [cfg]. *)
-let optimize cfg (k : Kernel.kernel) : decision list =
-  List.map (decide cfg) (analyze k)
+(** Compute the placement table for a kernel under [cfg].
+
+    The constant-memory budget is accounted cumulatively: each array placed
+    in constant memory debits its static size, so a set of broadcast arrays
+    that individually fit but together exceed [constant_budget_bytes] does
+    not overcommit the space (earlier arrays, in declaration order, win). *)
+let optimize ?(affine_lanes = false) cfg (k : Kernel.kernel) : decision list =
+  let _, rev =
+    List.fold_left
+      (fun (left, acc) ai ->
+        let d = decide ~constant_left:left cfg ai in
+        let left =
+          if d.d_placement.Ir.space = Ir.MConstant then
+            match ai.ai_static_elems with
+            | Some n -> left - (n * Ir.scalar_size_bytes ai.ai_ty.Ir.elem)
+            | None -> left
+          else left
+        in
+        (left, d :: acc))
+      (constant_budget_bytes, [])
+      (analyze ~affine_lanes k)
+  in
+  List.rev rev
 
 let placements (ds : decision list) : (string * Ir.placement) list =
   List.map (fun d -> (d.d_array, d.d_placement)) ds

@@ -55,13 +55,27 @@ type array_info = {
   ai_classes : access_class list;  (** deduplicated observed classes *)
   ai_innermost_static : bool;
       (** all innermost-dimension indices are compile-time constants *)
+  ai_lane_mod : int;
+      (** alignment modulus of affine innermost indices ([v*m + c]); 0 when
+          all innermost indices are plain constants.  Populated only under
+          [~affine_lanes:true]. *)
   ai_load_sites : int;
   ai_store_sites : int;
 }
 
-val analyze : Kernel.kernel -> array_info list
+val affine_lane : Lime_ir.Ir.expr -> (int * int) option
+(** [affine_lane e] recognizes an index of the shape [v*m + c] (with
+    [m >= 2], [0 <= c < m]) and returns [(m, c)]: the lane within an
+    [m]-aligned group is statically known.  Unrolled tiled loops produce
+    exactly these indices. *)
+
+val analyze : ?affine_lanes:bool -> Kernel.kernel -> array_info list
 (** Access analysis for every array in a kernel, tracing views created by
-    partial indexing back to their root arrays. *)
+    partial indexing back to their root arrays.  [~affine_lanes:true]
+    (default false) additionally treats affine [v*m + c] innermost indices
+    as statically-known lanes, which lets {!decide} vectorize arrays whose
+    rows are wider than a vector — the rewrite engine's scorer turns this
+    on; the Fig 8 paper path never does, keeping its output unchanged. *)
 
 type decision = {
   d_array : string;
@@ -70,8 +84,16 @@ type decision = {
   d_info : array_info;
 }
 
-val decide : config -> array_info -> decision
-val optimize : config -> Kernel.kernel -> decision list
+val decide : ?constant_left:int -> config -> array_info -> decision
+(** Placement decision for one array.  [constant_left] (default the full
+    {!constant_budget_bytes}) is the constant-memory budget still
+    available; {!optimize} threads the cumulative balance through it. *)
+
+val optimize :
+  ?affine_lanes:bool -> config -> Kernel.kernel -> decision list
+(** Placement table for a kernel under [cfg].  Constant-memory placements
+    debit a cumulative budget so multiple broadcast arrays cannot
+    overcommit the 64KB space. *)
 
 val placements : decision list -> (string * Lime_ir.Ir.placement) list
 val placement_for : decision list -> string -> Lime_ir.Ir.placement

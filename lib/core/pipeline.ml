@@ -13,7 +13,11 @@ type compiled = {
   cp_decisions : Memopt.decision list;
   cp_opencl : string;
   cp_config : Memopt.config;
+  cp_schedule : string list;
 }
+
+type optimizer =
+  Kernel.kernel -> Memopt.config -> Kernel.kernel * Memopt.config * string list
 
 (* ------------------------------------------------------------------ *)
 (* Observation hooks                                                   *)
@@ -95,7 +99,7 @@ let probe_phase (phase : string) (f : unit -> unit) : unit =
     ["Class.method"], under the given optimization configuration.
     [simplify] (default on) runs constant folding and dead-code
     elimination over the extracted kernel. *)
-let compile ?(config = Memopt.config_all) ?(simplify = true)
+let compile ?(config = Memopt.config_all) ?(simplify = true) ?optimizer
     ?(name = "<inline>") ~(worker : string) (source : string) : compiled =
   let t0 = Sys.time () in
   run_phase "compile" (fun () ->
@@ -115,8 +119,19 @@ let compile ?(config = Memopt.config_all) ?(simplify = true)
         if simplify then run_phase "simplify" (fun () -> Simplify.kernel kernel)
         else kernel
       in
+      let kernel, config, schedule =
+        match optimizer with
+        | None -> (kernel, config, [])
+        | Some strategy ->
+            run_phase "rewrite" (fun () -> strategy kernel config)
+      in
+      (* the rewrite engine prices placements with affine-lane recognition
+         on; when a strategy ran, place the same way so the artifact
+         matches what the search scored.  The plain path keeps the
+         paper's analysis exactly. *)
+      let affine_lanes = Option.is_some optimizer in
       let decisions =
-        run_phase "memopt" (fun () -> Memopt.optimize config kernel)
+        run_phase "memopt" (fun () -> Memopt.optimize ~affine_lanes config kernel)
       in
       let opencl =
         run_phase "codegen" (fun () -> Opencl.generate kernel decisions)
@@ -130,6 +145,7 @@ let compile ?(config = Memopt.config_all) ?(simplify = true)
         cp_decisions = decisions;
         cp_opencl = opencl;
         cp_config = config;
+        cp_schedule = schedule;
       })
 
 (** Re-optimize an already compiled program under a different memory
@@ -146,3 +162,19 @@ let reoptimize (c : compiled) (config : Memopt.config) : compiled =
 (** All Fig 8 variants of a compiled program. *)
 let sweep (c : compiled) : (string * compiled) list =
   List.map (fun (n, cfg) -> (n, reoptimize c cfg)) Memopt.fig8_configs
+
+(** Swap in an externally rewritten kernel (from the [lime.rewrite]
+    engine) and redo placement + codegen for it. *)
+let reschedule (c : compiled) ~(schedule : string list)
+    (kernel : Kernel.kernel) (config : Memopt.config) : compiled =
+  (* affine-lane recognition on: reschedule only ever receives rewritten
+     kernels, whose placements the search priced with it enabled *)
+  let decisions = Memopt.optimize ~affine_lanes:true config kernel in
+  {
+    c with
+    cp_kernel = kernel;
+    cp_decisions = decisions;
+    cp_opencl = Opencl.generate kernel decisions;
+    cp_config = config;
+    cp_schedule = schedule;
+  }

@@ -76,6 +76,16 @@ type ctx = {
   mutable approx : bool;
   mutable par_vars : string list;
   mutable seq_vars : string list;
+  mutable seq_loops : (string * float) list;
+      (** enclosing sequential loops, innermost first, with trip counts —
+          used by the invariant-hoisting extension *)
+  hoist : bool;
+      (** model loop-invariant code motion: an access whose index does not
+          mention the innermost enclosing sequential loops is issued once
+          per outer iteration, not once per inner iteration *)
+  affine : bool;
+      (** treat affine [v*m + c] innermost indices as statically-known
+          lanes (see {!Lime_gpu.Memopt.affine_lane}) *)
   thread_vars : (string, unit) Hashtbl.t;
   (* local (non-param) array shapes discovered from declarations *)
   local_shapes : (string, int array) Hashtbl.t;
@@ -164,6 +174,22 @@ let classify ctx (idx : Ir.expr) : pattern =
   else PBroadcast
 
 let record_access ctx ~mult root (full : Ir.expr list) ~store =
+  let mult =
+    (* LICM: divide by the trips of the maximal contiguous run of innermost
+       sequential loops whose variables the address does not mention — the
+       backend compiler keeps such a value in a register across them.
+       Applies to loads and to stores (accumulator promotion). *)
+    if not ctx.hoist then mult
+    else begin
+      let idx_vars = List.concat_map expr_vars full in
+      let rec invariant_trips = function
+        | (v, t) :: rest when not (List.mem v idx_vars) ->
+            Float.max 1.0 t *. invariant_trips rest
+        | _ -> 1.0
+      in
+      mult /. invariant_trips ctx.seq_loops
+    end
+  in
   let p = placement_of ctx root in
   if p.Ir.space = Ir.MPrivate then
     ctx.private_accs <- ctx.private_accs +. mult
@@ -179,7 +205,10 @@ let record_access ctx ~mult root (full : Ir.expr list) ~store =
     in
     let last_const =
       match List.rev full with
-      | Ir.Const _ :: _ when List.length full > 1 -> true
+      | last :: _ when List.length full > 1 -> (
+          match last with
+          | Ir.Const _ -> true
+          | _ -> ctx.affine && Lime_gpu.Memopt.affine_lane last <> None)
       | _ -> false
     in
     let key = (root, pattern, store, last_const) in
@@ -361,7 +390,9 @@ let rec walk_stmt ctx ~mult (s : Ir.stmt) : unit =
       in
       ctx.alu <- ctx.alu +. (mult *. trips);  (* loop increment+compare *)
       ctx.seq_vars <- v :: ctx.seq_vars;
+      ctx.seq_loops <- (v, trips) :: ctx.seq_loops;
       List.iter (walk_stmt ctx ~mult:(mult *. trips)) b;
+      ctx.seq_loops <- List.tl ctx.seq_loops;
       ctx.seq_vars <- List.tl ctx.seq_vars
   | Ir.SParFor p ->
       let trips =
@@ -413,7 +444,8 @@ let rec walk_stmt ctx ~mult (s : Ir.stmt) : unit =
 
     [shapes] gives the actual shape of each array argument; [scalars] gives
     the value of scalar arguments that appear in loop bounds. *)
-let profile (k : Lime_gpu.Kernel.kernel)
+let profile ?(hoist_invariant = false) ?(affine_lanes = false)
+    (k : Lime_gpu.Kernel.kernel)
     (decisions : Lime_gpu.Memopt.decision list)
     ~(shapes : (string * int array) list)
     ~(scalars : (string * float) list) : t =
@@ -438,6 +470,9 @@ let profile (k : Lime_gpu.Kernel.kernel)
       approx = false;
       par_vars = [];
       seq_vars = [];
+      seq_loops = [];
+      hoist = hoist_invariant;
+      affine = affine_lanes;
       local_shapes = Hashtbl.create 8;
       scalar_env = Hashtbl.create 8;
       thread_vars = Lime_gpu.Taint.thread_dependent k.Lime_gpu.Kernel.k_body;

@@ -41,6 +41,8 @@ val double_frac : t -> float
 (** Fraction of floating-point work executed in double precision. *)
 
 val profile :
+  ?hoist_invariant:bool ->
+  ?affine_lanes:bool ->
   Lime_gpu.Kernel.kernel ->
   Lime_gpu.Memopt.decision list ->
   shapes:(string * int array) list ->
@@ -48,7 +50,16 @@ val profile :
   t
 (** [profile kernel decisions ~shapes ~scalars] profiles one launch;
     [shapes] gives each array argument's shape, [scalars] the value of
-    scalar arguments appearing in loop bounds. *)
+    scalar arguments appearing in loop bounds.
+
+    [~hoist_invariant:true] (default false) models the backend compiler's
+    loop-invariant code motion: an access whose address does not mention
+    the innermost enclosing sequential loops is counted once per outer
+    iteration.  [~affine_lanes:true] (default false) marks affine
+    [v*m + c] innermost indices as const-lane accesses.  Both default off
+    so the paper-fidelity Fig 8 path is bit-identical; the rewrite
+    engine's scorer turns both on to see the effect of loop
+    restructuring. *)
 
 val to_string : t -> string
 

@@ -6,6 +6,7 @@ module Comm = Lime_runtime.Comm
 module Engine = Lime_runtime.Engine
 module Diag = Lime_support.Diag
 module Loc = Lime_support.Loc
+module Search = Lime_rewrite.Search
 
 type origin = Memory | Disk | Compiled
 
@@ -26,7 +27,7 @@ type t = {
 (* Bump when the shape of Pipeline.compiled changes: artifacts are
    Stdlib.Marshal snapshots and must not be read across layouts.  A stale
    or unreadable artifact is simply a miss. *)
-let artifact_magic = "lime-kernel-artifact 1\n"
+let artifact_magic = "lime-kernel-artifact 2\n"
 
 let mkdir_p = Tunestore.(fun dir -> ignore (open_ dir))
 
@@ -248,6 +249,61 @@ let sweep t d ~device_key ~digest kernel ~shapes ~scalars =
   | None -> (pool_sweep t d kernel ~shapes ~scalars, `Miss)
 
 (* ------------------------------------------------------------------ *)
+(* Tunestore-aware beam schedule                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Beam results live in the tunestore beside the Fig 8 sweep records,
+   under a ".beam"-suffixed device key so the two kinds of record never
+   clobber each other. *)
+let beam_device_key device = device ^ ".beam"
+
+let beam_schedule t (d : Gpusim.Device.t) ~device_key ~digest ?width ?depth
+    (k : Lime_gpu.Kernel.kernel) ~shapes ~scalars :
+    Search.candidate * [ `Replayed | `Searched of Search.outcome ] =
+  let device = beam_device_key device_key in
+  let search_and_store () =
+    let o = Search.search ?width ?depth d k ~shapes ~scalars in
+    let best = o.Search.so_best in
+    (match t.sv_tunes with
+    | None -> ()
+    | Some ts ->
+        let c = best.Search.sc_counters in
+        Tunestore.store ts ~digest ~device
+          {
+            Tunestore.tr_config_name = "beam";
+            tr_config = best.Search.sc_state.Lime_rewrite.Rewrite.st_config;
+            tr_time_s = best.Search.sc_time_s;
+            tr_headline =
+              Some
+                {
+                  Tunestore.th_occupancy = c.Gpusim.Counters.ct_occupancy;
+                  th_bank_replays = c.Gpusim.Counters.ct_bank_replays;
+                  th_roofline =
+                    Gpusim.Counters.roofline_name (Gpusim.Counters.classify c);
+                };
+            tr_sequence = Some best.Search.sc_sequence;
+          });
+    (best, `Searched o)
+  in
+  let stored =
+    match t.sv_tunes with
+    | None -> None
+    | Some ts -> (
+        match Tunestore.load ts ~digest ~device with
+        | Some { Tunestore.tr_sequence = Some seq; _ } -> Some seq
+        | _ -> None)
+  in
+  match stored with
+  | None -> search_and_store ()
+  | Some seq -> (
+      match Search.replay d k seq ~shapes ~scalars with
+      | Ok c -> (c, `Replayed)
+      | Error _ ->
+          (* a schedule that no longer replays (store written against a
+             different kernel shape) is treated as a miss *)
+          search_and_store ())
+
+(* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -278,6 +334,39 @@ let instrument ?(registry = Metrics.default) () =
   Pipeline.on_compile ~key:"metrics" (fun ~worker:_ ~seconds ->
       Metrics.inc compile_total;
       Metrics.observe compile_seconds seconds);
+  (* the rewrite engine's beam search and stored-schedule replays *)
+  let rewrite_searches =
+    Metrics.counter registry ~help:"beam searches run"
+      "lime_rewrite_searches_total"
+  in
+  let rewrite_evals =
+    Metrics.counter registry ~help:"cost-model evaluations spent by beam search"
+      "lime_rewrite_evals_total"
+  in
+  let rewrite_improved =
+    Metrics.counter registry
+      ~help:"beam searches that beat the best Fig 8 configuration"
+      "lime_rewrite_improved_total"
+  in
+  let rewrite_replays =
+    Metrics.counter registry
+      ~help:"stored rewrite schedules replayed without re-searching"
+      "lime_rewrite_replays_total"
+  in
+  let rewrite_best_time =
+    Metrics.gauge registry
+      ~help:"modeled kernel seconds of the most recent search's best schedule"
+      "lime_rewrite_best_time_s"
+  in
+  Search.on_search ~key:"metrics" (fun ev ->
+      match ev with
+      | Search.EBegin _ | Search.ELevel _ -> ()
+      | Search.EEnd { evals; best_time_s; improved; _ } ->
+          Metrics.inc rewrite_searches;
+          Metrics.inc ~by:evals rewrite_evals;
+          Metrics.set rewrite_best_time best_time_s;
+          if improved then Metrics.inc rewrite_improved
+      | Search.EReplay { ok; _ } -> if ok then Metrics.inc rewrite_replays);
   let device_firings =
     Metrics.counter registry ~help:"task firings offloaded to the device"
       "lime_firings_device_total"
@@ -356,4 +445,5 @@ let instrument ?(registry = Metrics.default) () =
 
 let uninstrument () =
   Pipeline.remove_compile_observer "metrics";
-  Engine.remove_firing_observer "metrics"
+  Engine.remove_firing_observer "metrics";
+  Search.remove_search_observer "metrics"

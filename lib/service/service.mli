@@ -125,6 +125,27 @@ val sweep :
     With [~jobs > 1] the eight configurations are timed in parallel on the
     pool; the ranking is identical to the sequential sweep. *)
 
+val beam_schedule :
+  t ->
+  Gpusim.Device.t ->
+  device_key:string ->
+  digest:Digest.t ->
+  ?width:int ->
+  ?depth:int ->
+  Lime_gpu.Kernel.kernel ->
+  shapes:(string * int array) list ->
+  scalars:(string * float) list ->
+  Lime_rewrite.Search.candidate
+  * [ `Replayed | `Searched of Lime_rewrite.Search.outcome ]
+(** Tunestore-aware beam search over the rewrite catalog
+    ({!Lime_rewrite.Search.search}).  With a [cache_dir], the winning
+    schedule persists as a format-3 tunestore record (device key suffixed
+    [".beam"], so beam records never collide with Fig 8 sweep records); a
+    warm call replays the stored sequence ({!Lime_rewrite.Search.replay} —
+    one cost-model evaluation, [`Replayed]) instead of re-searching.  A
+    stored schedule that no longer applies falls back to a fresh search.
+    Without a [cache_dir] every call searches ([`Searched]). *)
+
 val stats : t -> Kcache.stats
 
 val expose : t -> string
@@ -133,11 +154,14 @@ val expose : t -> string
 
 val instrument : ?registry:Metrics.registry -> unit -> unit
 (** Install the metrics observers (keyed ["metrics"]) through
-    {!Lime_gpu.Pipeline.on_compile} and {!Lime_runtime.Engine.on_firing}:
-    compile counts/latency histograms, firing counters, and one histogram
-    per {!Lime_runtime.Comm.phases} leg.  Keyed registration makes this
-    idempotent and lets it compose with the tracer's observers
-    ({!Trace.install}) — metrics and tracing can be on at once. *)
+    {!Lime_gpu.Pipeline.on_compile}, {!Lime_runtime.Engine.on_firing} and
+    {!Lime_rewrite.Search.on_search}: compile counts/latency histograms,
+    firing counters, one histogram per {!Lime_runtime.Comm.phases} leg,
+    and the [lime_rewrite_*] beam-search family (searches, cost-model
+    evaluations, improvements over Fig 8, stored-schedule replays, best
+    modeled time).  Keyed registration makes this idempotent and lets it
+    compose with the tracer's observers ({!Trace.install}) — metrics and
+    tracing can be on at once. *)
 
 val uninstrument : unit -> unit
 (** Remove the observers {!instrument} registered. *)

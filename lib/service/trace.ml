@@ -12,6 +12,7 @@
 module Pipeline = Lime_gpu.Pipeline
 module Engine = Lime_runtime.Engine
 module Comm = Lime_runtime.Comm
+module Search = Lime_rewrite.Search
 
 type span = {
   sp_id : int;
@@ -391,11 +392,58 @@ let install ?(tracer = default) () =
           end_span tracer
             ~args:[ ("cpu_s", Printf.sprintf "%.3g" seconds) ]
             ("pipeline." ^ phase));
-  Engine.on_firing ~key:"trace" (emit_firing tracer)
+  Engine.on_firing ~key:"trace" (emit_firing tracer);
+  (* rewrite.* spans: the beam search brackets as one wall-clock span with
+     an instant child per level; a replay of a stored schedule is a single
+     instant.  All carry their key facts as args. *)
+  Search.on_search ~key:"trace" (fun ev ->
+      let seq_arg seq = ("sequence", Search.seq_str seq) in
+      match ev with
+      | Search.EBegin { kernel; device; width; depth } ->
+          begin_span tracer ~cat:"rewrite"
+            ~args:
+              [
+                ("kernel", kernel);
+                ("device", device);
+                ("width", string_of_int width);
+                ("depth", string_of_int depth);
+              ]
+            "rewrite.search"
+      | Search.ELevel { level; frontier; evals; best_time_s; best_sequence } ->
+          complete tracer ~cat:"rewrite" ~dur_us:1.0
+            ~args:
+              [
+                ("level", string_of_int level);
+                ("frontier", string_of_int frontier);
+                ("evals", string_of_int evals);
+                ("best_time_s", Printf.sprintf "%.3e" best_time_s);
+                seq_arg best_sequence;
+              ]
+            "rewrite.level"
+      | Search.EEnd { evals; best_time_s; best_sequence; improved } ->
+          end_span tracer
+            ~args:
+              [
+                ("evals", string_of_int evals);
+                ("best_time_s", Printf.sprintf "%.3e" best_time_s);
+                seq_arg best_sequence;
+                ("improved", string_of_bool improved);
+              ]
+            "rewrite.search"
+      | Search.EReplay { kernel; sequence; ok } ->
+          complete tracer ~cat:"rewrite" ~dur_us:1.0
+            ~args:
+              [
+                ("kernel", kernel);
+                seq_arg sequence;
+                ("ok", string_of_bool ok);
+              ]
+            "rewrite.replay")
 
 let uninstall () =
   Pipeline.remove_phase_observer "trace";
-  Engine.remove_firing_observer "trace"
+  Engine.remove_firing_observer "trace";
+  Search.remove_search_observer "trace"
 
 let with_observers ?(tracer = default) f =
   let was = tracer.tr_enabled in

@@ -123,8 +123,12 @@ val install : ?tracer:t -> unit -> unit
     under [pipeline.compile]) and every firing becomes a model-time span
     ([firing.<task>]) with one child span per {!Lime_runtime.Comm.phases}
     leg ([comm.java_marshal] … [comm.host]); device firings attach the
-    launch attributes from {!Gpusim.Model.launch_attrs}.  Keyed
-    registration composes with the metrics observers and is idempotent. *)
+    launch attributes from {!Gpusim.Model.launch_attrs}.  The rewrite
+    engine's beam search ({!Lime_rewrite.Search.on_search}) traces as a
+    [rewrite.search] span with one instant [rewrite.level] child per beam
+    level and [rewrite.replay] instants for stored-schedule replays.
+    Keyed registration composes with the metrics observers and is
+    idempotent. *)
 
 val uninstall : unit -> unit
 (** Remove the observers {!install} registered. *)

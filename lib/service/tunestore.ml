@@ -13,15 +13,28 @@ type record = {
   tr_config : Memopt.config;
   tr_time_s : float;
   tr_headline : headline option;
+  tr_sequence : string list option;
 }
 
 type t = { ts_root : string }
 
-(* Format version 2 adds the winner's headline counters; version-1 files
-   (no headline lines) are still readable and load with
-   [tr_headline = None]. *)
-let magic = "lime-tunestore 2"
+(* Format version 3 adds the winning rewrite schedule (a [sequence] line,
+   ";"-separated step names, "-" for the empty schedule); version 2 added
+   the winner's headline counters.  Older files are still readable: a v1
+   file loads with [tr_headline = None], v1/v2 with [tr_sequence = None]. *)
+let magic = "lime-tunestore 3"
+let magic_v2 = "lime-tunestore 2"
 let magic_v1 = "lime-tunestore 1"
+
+(* [Some []] (searched, baseline won) must round-trip distinctly from
+   [None] (never searched), so the empty schedule gets a sentinel. *)
+let sequence_to_line = function
+  | [] -> "-"
+  | seq -> String.concat ";" seq
+
+let sequence_of_line = function
+  | "-" -> []
+  | s -> String.split_on_char ';' s
 
 let mkdir_p dir =
   let rec go d =
@@ -57,11 +70,15 @@ let store t ~digest ~device (r : record) =
         r.tr_config_name
         (Digest.canonical_config r.tr_config)
         r.tr_time_s;
-      match r.tr_headline with
+      (match r.tr_headline with
       | None -> ()
       | Some h ->
           Printf.fprintf oc "occupancy %.9g\nbank_replays %.9g\nroofline %s\n"
-            h.th_occupancy h.th_bank_replays h.th_roofline)
+            h.th_occupancy h.th_bank_replays h.th_roofline);
+      match r.tr_sequence with
+      | None -> ()
+      | Some seq ->
+          Printf.fprintf oc "sequence %s\n" (sequence_to_line seq))
 
 (* "key rest-of-line" — the value may contain spaces (config names do). *)
 let field line key =
@@ -82,7 +99,7 @@ let load t ~digest ~device : record option =
       |> String.split_on_char '\n'
     in
     match lines with
-    | m :: rest when m = magic || m = magic_v1 ->
+    | m :: rest when m = magic || m = magic_v2 || m = magic_v1 ->
         let find key = List.find_map (fun l -> field l key) rest in
         (match (find "name", find "config", find "time_s") with
         | Some name, Some cfg, Some time -> (
@@ -106,7 +123,17 @@ let load t ~digest ~device : record option =
                       | _ -> None)
                   | _ -> None
                 in
-                Some { tr_config_name = name; tr_config; tr_time_s; tr_headline }
+                let tr_sequence =
+                  Option.map sequence_of_line (find "sequence")
+                in
+                Some
+                  {
+                    tr_config_name = name;
+                    tr_config;
+                    tr_time_s;
+                    tr_headline;
+                    tr_sequence;
+                  }
             | _ -> None)
         | _ -> None)
     | _ -> None
@@ -139,6 +166,7 @@ let cached_sweep t (d : Gpusim.Device.t) ~digest ~device
               tr_config_name = best.Gpusim.Autotune.at_name;
               tr_config = best.Gpusim.Autotune.at_config;
               tr_time_s = best.Gpusim.Autotune.at_time_s;
+              tr_sequence = None;
               tr_headline =
                 Some
                   {

@@ -3,9 +3,12 @@
     Maps kernel digest × device to the best {!Gpusim.Autotune} entry found
     by a previous sweep, so a second run of the same kernel on the same
     device starts from the known-best memory configuration instead of
-    re-timing all eight Fig 8 configurations.  One small text file per
-    (digest, device) pair; the format is documented in [doc/SERVICE.md]
-    and any malformed file is treated as a miss. *)
+    re-timing all eight Fig 8 configurations.  Format version 3 can also
+    carry the winning rewrite schedule of a beam search, so a warm compile
+    replays the stored sequence instead of re-searching.  One small text
+    file per (digest, device) pair; the format is documented in
+    [doc/OPTIMIZER.md] and [doc/SERVICE.md], older versions load with the
+    missing fields [None], and any malformed file is treated as a miss. *)
 
 (** Headline counters of the winning configuration — the *why* behind the
     stored best, shown by [limec --sweep]. *)
@@ -21,6 +24,11 @@ type record = {
   tr_time_s : float;  (** modelled kernel time when the tuning was recorded *)
   tr_headline : headline option;
       (** [None] when loaded from a version-1 store file *)
+  tr_sequence : string list option;
+      (** winning rewrite schedule found by {!Lime_rewrite.Search} —
+          [Some []] means a search ran and the baseline won; [None] means
+          no search was recorded (plain Fig 8 sweeps, and any file written
+          before format version 3) *)
 }
 
 type t

@@ -187,6 +187,37 @@ let test_constant_size_budget () =
   Alcotest.(check bool) "stream access seen" true
     (List.mem Memopt.AStream big.Memopt.ai_classes)
 
+let test_constant_budget_cumulative () =
+  (* two broadcast arrays that fit the 64KB constant space individually
+     but not together: the first (declaration order) wins the budget, the
+     second must fall back instead of overcommitting *)
+  let k =
+    kernel_of
+      {|class K {
+  static final int N = 12000;
+  static local float one(float[[12000]] a, float[[12000]] b, int i) {
+    float s = 0.0f;
+    for (int j = 0; j < N; j++) { s += a[j] + b[j]; }
+    return s;
+  }
+  static local float[[]] work(float[[12000]] a, float[[12000]] b) {
+    return K.one(a, b) @ Lime.range(64);
+  }
+}|}
+      ~worker:"K.work"
+  in
+  let ds = Memopt.optimize Memopt.config_constant k in
+  Alcotest.(check string) "first broadcast array goes constant" "constant"
+    (Ir.mem_space_name (space_of ds "a"));
+  Alcotest.(check bool) "second array is pushed out of constant" true
+    (Ir.mem_space_name (space_of ds "b") <> "constant");
+  (* with local also enabled the loser lands in local, not global *)
+  let ds =
+    Memopt.optimize { Memopt.config_constant with Memopt.use_local = true } k
+  in
+  Alcotest.(check string) "loser falls back to the next tier" "local"
+    (Ir.mem_space_name (space_of ds "b"))
+
 let test_fig8_configs_distinct () =
   Alcotest.(check int) "eight configurations" 8
     (List.length Memopt.fig8_configs);
@@ -220,6 +251,8 @@ let () =
         [
           Alcotest.test_case "stream classification" `Quick
             test_constant_size_budget;
+          Alcotest.test_case "constant budget is cumulative" `Quick
+            test_constant_budget_cumulative;
           Alcotest.test_case "fig8 configs" `Quick test_fig8_configs_distinct;
         ] );
     ]

@@ -147,6 +147,7 @@ let test_tunestore_roundtrip () =
                 th_bank_replays = 1024.0;
                 th_roofline = "memory-bound";
               };
+          tr_sequence = None;
         }
       in
       Alcotest.(check bool) "empty store misses" true
