@@ -34,6 +34,7 @@ module Metrics = Lime_service.Metrics
 module Trace = Lime_service.Trace
 module Server = Lime_server.Server
 module Client = Lime_server.Client
+module Wire = Lime_server.Wire
 module Rewrite = Lime_rewrite.Rewrite
 module Search = Lime_rewrite.Search
 
@@ -503,7 +504,8 @@ let run_batch entries jobs cache_capacity cache_dir stats trace_out
 (* Daemon and client modes                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_daemon socket jobs cache_capacity max_queue idle_timeout cache_dir =
+let run_daemon socket jobs cache_capacity max_queue idle_timeout cache_dir
+    http_port access_log drain_grace =
   check_cache_dir cache_dir;
   if max_queue < 1 then begin
     Printf.eprintf "bad --max-queue %d: must be at least 1\n" max_queue;
@@ -514,6 +516,15 @@ let run_daemon socket jobs cache_capacity max_queue idle_timeout cache_dir =
       idle_timeout;
     exit 2
   end;
+  (match http_port with
+  | Some p when p < 0 || p > 0xFFFF ->
+      Printf.eprintf "bad --http %d: must be a port number (0 = ephemeral)\n" p;
+      exit 2
+  | _ -> ());
+  if drain_grace < 0.0 then begin
+    Printf.eprintf "bad --drain-grace %g: must not be negative\n" drain_grace;
+    exit 2
+  end;
   let cfg =
     {
       Server.sc_socket = socket;
@@ -522,13 +533,21 @@ let run_daemon socket jobs cache_capacity max_queue idle_timeout cache_dir =
       sc_idle_timeout_s = idle_timeout;
       sc_cache_dir = cache_dir;
       sc_cache_capacity = Option.value cache_capacity ~default:64;
+      sc_http_port = http_port;
+      sc_access_log = access_log;
+      sc_drain_grace_s = drain_grace;
     }
   in
   let server =
     try Server.create cfg
-    with Unix.Unix_error (e, _, _) ->
-      Printf.eprintf "cannot listen on %s: %s\n" socket (Unix.error_message e);
-      exit 1
+    with
+    | Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "cannot listen on %s: %s\n" socket
+          (Unix.error_message e);
+        exit 1
+    | Sys_error msg ->
+        Printf.eprintf "limed: %s\n" msg;
+        exit 1
   in
   (* SIGTERM/SIGINT request a graceful drain: finish in-flight work,
      flush every reply, remove the socket, exit 0 *)
@@ -537,6 +556,9 @@ let run_daemon socket jobs cache_capacity max_queue idle_timeout cache_dir =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   Printf.eprintf "limed: listening on %s (jobs %d, max in-flight %d)\n%!"
     socket jobs max_queue;
+  (match Server.http_port server with
+  | Some p -> Printf.eprintf "limed: http on 127.0.0.1:%d\n%!" p
+  | None -> ());
   Server.run server;
   let r = Server.report server in
   Printf.eprintf
@@ -554,7 +576,9 @@ let connect_exit_code (e : Lime_server.Wire.server_error) =
   | Lime_server.Wire.Compile_error | Lime_server.Wire.Protocol_error -> 1
 
 let run_connect socket files worker config_name deadline_ms emit_opencl
-    placements stats drain_req =
+    placements stats drain_req trace_out =
+  let tracer = Trace.default in
+  if trace_out <> None then Trace.set_enabled tracer true;
   let cl =
     match Client.connect socket with
     | Ok cl -> cl
@@ -586,18 +610,67 @@ let run_connect socket files worker config_name deadline_ms emit_opencl
         | [ file ], Some w -> (
             ignore (lookup_config config_name);
             let source = read_source file in
+            (* distributed tracing: open the client-side request span and
+               propagate (trace id, parent span) in the Compile frame; the
+               daemon's spans come home in the Result for grafting *)
+            let trace =
+              if trace_out = None then None
+              else begin
+                Trace.begin_span tracer ~cat:"client"
+                  ~args:
+                    [
+                      ("file", file);
+                      ("worker", w);
+                      ("config", config_name);
+                      ("socket", socket);
+                    ]
+                  "client.request";
+                Some
+                  {
+                    Wire.tc_trace_id = Trace.trace_id tracer;
+                    tc_parent_span = Trace.current_span_id tracer;
+                  }
+              end
+            in
+            let graft_base_us = Trace.now_us tracer in
+            let finish_trace a =
+              (match (trace, a) with
+              | Some ctx, Some a when a.Wire.ar_spans <> "" -> (
+                  match Trace.spans_of_wire a.Wire.ar_spans with
+                  | Ok spans ->
+                      ignore
+                        (Trace.graft tracer ~at_us:graft_base_us
+                           ~parent:ctx.Wire.tc_parent_span spans)
+                  | Error msg ->
+                      Printf.eprintf
+                        "limec: ignoring malformed span buffer from server: \
+                         %s\n"
+                        msg)
+              | _ -> ());
+              if trace <> None then Trace.end_span tracer "client.request";
+              match trace_out with
+              | None -> ()
+              | Some f ->
+                  Trace.write_chrome tracer f;
+                  Printf.eprintf "trace: wrote %s (%d spans, trace id %s)\n" f
+                    (List.length (Trace.spans tracer))
+                    (Trace.trace_id tracer)
+            in
             match
               Client.compile cl ?deadline_ms ~config:config_name ~name:file
-                ~worker:w source
+                ?trace ~worker:w source
             with
             | Error (Client.Server_error e) ->
+                finish_trace None;
                 Printf.eprintf "limec: %s\n"
                   (Client.failure_to_string (Client.Server_error e));
                 exit (connect_exit_code e)
             | Error (Client.Transport _ as f) ->
+                finish_trace None;
                 Printf.eprintf "limec: %s\n" (Client.failure_to_string f);
                 exit 1
             | Ok a ->
+                finish_trace (Some a);
                 (* provenance goes to stderr so stdout stays byte-identical
                    to a local compile *)
                 Printf.eprintf "server cache: %s (%s)\n"
@@ -637,10 +710,10 @@ let run_connect socket files worker config_name deadline_ms emit_opencl
 (* ------------------------------------------------------------------ *)
 
 let run files worker config_name jobs batch daemon connect drain_req
-    deadline_ms max_queue idle_timeout cache_capacity dump_ast dump_ir
-    placements emit_opencl emit_glue estimate sweep counters shapes cache_dir
-    stats run_target run_args trace_out profile trace_summary optimize
-    opt_device beam_width beam_depth explain =
+    deadline_ms max_queue idle_timeout cache_capacity http_port access_log
+    drain_grace dump_ast dump_ir placements emit_opencl emit_glue estimate
+    sweep counters shapes cache_dir stats run_target run_args trace_out
+    profile trace_summary optimize opt_device beam_width beam_depth explain =
   if jobs < 1 then begin
     Printf.eprintf "bad --jobs %d: must be at least 1\n" jobs;
     exit 2
@@ -665,8 +738,9 @@ let run files worker config_name jobs batch daemon connect drain_req
       Printf.eprintf
         "%s runs on the daemon; per-artifact inspection flags (--dump-ast, \
          --dump-ir, --estimate, --sweep, --counters, --profile, --shape, \
-         --run, --trace, --trace-summary, --emit-glue, --batch, \
-         --cache-dir, --optimize, --explain) are local-only\n"
+         --run, --trace-summary, --emit-glue, --batch, --cache-dir, \
+         --optimize, --explain) are local-only (--trace additionally \
+         composes with --connect)\n"
         what;
       exit 2
     end
@@ -679,6 +753,14 @@ let run files worker config_name jobs batch daemon connect drain_req
     Printf.eprintf "bad --beam-depth %d: must not be negative\n" beam_depth;
     exit 2
   end;
+  let reject_daemon_only () =
+    if http_port <> None || access_log <> None || drain_grace <> None then begin
+      Printf.eprintf
+        "--http, --access-log and --drain-grace configure the daemon; they \
+         need --daemon SOCK\n";
+      exit 2
+    end
+  in
   match (daemon, connect) with
   | Some _, Some _ ->
       Printf.eprintf "--daemon and --connect are mutually exclusive\n";
@@ -691,16 +773,20 @@ let run files worker config_name jobs batch daemon connect drain_req
         || run_target <> None || shapes <> [] || trace_out <> None
         || batch <> None || files <> [] || optimize <> None);
       run_daemon socket jobs cache_capacity max_queue idle_timeout cache_dir
+        http_port access_log
+        (Option.value drain_grace ~default:0.0)
   | None, Some socket ->
+      reject_daemon_only ();
       reject_over "--connect"
         (dump_ast || dump_ir || emit_glue || profile || trace_summary
         || explain
         || estimate <> None || sweep <> None || counters <> None
-        || run_target <> None || shapes <> [] || trace_out <> None
+        || run_target <> None || shapes <> []
         || batch <> None || cache_dir <> None || optimize <> None);
       run_connect socket files worker config_name deadline_ms emit_opencl
-        placements stats drain_req
+        placements stats drain_req trace_out
   | None, None -> (
+      reject_daemon_only ();
       if drain_req then begin
         Printf.eprintf "--drain needs --connect SOCK\n";
         exit 2
@@ -961,6 +1047,39 @@ let idle_timeout_arg =
           "With --daemon: close a client connection after SECONDS with no \
            traffic and no in-flight requests.")
 
+let http_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "http" ] ~docv:"PORT"
+        ~doc:
+          "With --daemon: serve the observability plane on loopback TCP \
+           port PORT — GET /metrics (Prometheus exposition), /healthz \
+           (200 ok, 503 once draining) and /statusz (JSON status \
+           snapshot).  PORT 0 binds an ephemeral port, reported on \
+           stderr at startup.")
+
+let access_log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "access-log" ] ~docv:"FILE"
+        ~doc:
+          "With --daemon: append one JSON line per answered compile \
+           request to FILE (timestamp, request id, worker, config, \
+           digest, queue wait, duration, outcome, cache origin, trace \
+           id).")
+
+let drain_grace_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "drain-grace" ] ~docv:"SECONDS"
+        ~doc:
+          "With --daemon: keep the observability plane up for SECONDS \
+           after a drain completes, so health checkers observe the \
+           /healthz flip to draining before the process exits.")
+
 let cache_capacity_arg =
   Arg.(
     value
@@ -1022,7 +1141,8 @@ let cmd =
     Term.(
       const run $ files $ worker $ config_name $ jobs_arg $ batch_arg
       $ daemon_arg $ connect_arg $ drain_arg $ deadline_ms_arg
-      $ max_queue_arg $ idle_timeout_arg $ cache_capacity_arg $ dump_ast
+      $ max_queue_arg $ idle_timeout_arg $ cache_capacity_arg $ http_arg
+      $ access_log_arg $ drain_grace_arg $ dump_ast
       $ dump_ir $ placements $ emit_opencl $ emit_glue $ estimate
       $ sweep_arg $ counters_arg $ shapes $ cache_dir $ stats_arg $ run_arg
       $ run_args $ trace_arg $ profile_arg $ trace_summary_arg

@@ -182,6 +182,99 @@ wait "$daemon_pid" || daemon_status=$?
 grep -q "limed: drained" "$daemon_log" \
   || { echo "FAIL: daemon log lacks the drain report"; cat "$daemon_log"; exit 1; }
 
+echo "== observability-plane smoke test =="
+# relaunch the daemon with the HTTP plane, an access log and a drain
+# grace, run one traced compile through it, and check the whole
+# observability surface: /healthz, /metrics, the access log's trace id
+# appearing in the merged client trace, and the readiness flip on SIGTERM
+obs_sock="$cache_dir/limed-obs.sock"
+obs_log="$cache_dir/limed-obs.log"
+access_log="$cache_dir/access.jsonl"
+obs_trace="$cache_dir/connect-trace.json"
+# a fresh cache dir: the traced compile must be cold, so the merged
+# trace contains the daemon's pipeline spans, not just a cache hit
+obs_cache="$cache_dir/obs-daemon"
+dune exec --no-build bin/limec.exe -- --daemon "$obs_sock" \
+  --cache-dir "$obs_cache" --http 0 --access-log "$access_log" \
+  --drain-grace 2 > "$obs_log" 2>&1 &
+obs_pid=$!
+
+i=0
+while [ ! -S "$obs_sock" ]; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] \
+    || { echo "FAIL: observed daemon never opened $obs_sock"; cat "$obs_log"; exit 1; }
+  kill -0 "$obs_pid" 2>/dev/null \
+    || { echo "FAIL: observed daemon died during startup"; cat "$obs_log"; exit 1; }
+  sleep 0.1
+done
+
+# the daemon logs the ephemeral port it bound: "limed: http on 127.0.0.1:PORT"
+i=0
+http_port=""
+while [ -z "$http_port" ]; do
+  http_port=$(sed -n 's/^limed: http on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' "$obs_log")
+  [ -n "$http_port" ] && break
+  i=$((i + 1))
+  [ "$i" -le 100 ] \
+    || { echo "FAIL: daemon never logged its HTTP port"; cat "$obs_log"; exit 1; }
+  sleep 0.1
+done
+
+health=$(curl -fsS "http://127.0.0.1:$http_port/healthz")
+[ "$health" = "ok" ] \
+  || { echo "FAIL: /healthz said '$health', wanted 'ok'"; exit 1; }
+
+dune exec --no-build bin/limec.exe -- --connect "$obs_sock" \
+  examples/lime/nbody.lime -w NBody.computeForces --trace "$obs_trace" \
+  > /dev/null 2> "$cache_dir/connect-trace.err"
+
+[ -s "$obs_trace" ] \
+  || { echo "FAIL: traced --connect wrote no trace"; cat "$cache_dir/connect-trace.err"; exit 1; }
+ocaml "$cache_dir/jsoncheck.ml" "$obs_trace" \
+  || { echo "FAIL: merged trace JSON is not well-formed"; exit 1; }
+# the merged timeline spans both processes: client + daemon spans
+for span in '"client.request"' '"server.request"' '"pipeline.compile"'; do
+  grep -q "$span" "$obs_trace" \
+    || { echo "FAIL: merged trace lacks the $span span"; exit 1; }
+done
+
+metrics=$(curl -fsS "http://127.0.0.1:$http_port/metrics")
+for family in lime_server_requests_total lime_build_info; do
+  echo "$metrics" | grep -q "$family" \
+    || { echo "FAIL: /metrics lacks $family"; echo "$metrics"; exit 1; }
+done
+
+[ -f "$access_log" ] \
+  || { echo "FAIL: daemon wrote no access log"; exit 1; }
+[ "$(wc -l < "$access_log")" -eq 1 ] \
+  || { echo "FAIL: access log should hold exactly 1 record"; cat "$access_log"; exit 1; }
+ocaml "$cache_dir/jsoncheck.ml" "$access_log" \
+  || { echo "FAIL: access-log record is not well-formed JSON"; cat "$access_log"; exit 1; }
+# the record is correlated with the distributed trace we just merged
+trace_id=$(sed -n 's/.*"trace_id":"\([0-9a-f]*\)".*/\1/p' "$access_log")
+[ -n "$trace_id" ] \
+  || { echo "FAIL: access-log record lacks a trace id"; cat "$access_log"; exit 1; }
+grep -q "$trace_id" "$obs_trace" \
+  || { echo "FAIL: access-log trace id $trace_id not in the merged trace"; exit 1; }
+
+# SIGTERM: the readiness probe must flip to draining within the grace
+kill -TERM "$obs_pid"
+i=0
+drain_health=""
+while [ "$drain_health" != "draining" ]; do
+  drain_health=$(curl -s "http://127.0.0.1:$http_port/healthz" || true)
+  [ "$drain_health" = "draining" ] && break
+  i=$((i + 1))
+  [ "$i" -le 100 ] \
+    || { echo "FAIL: /healthz never flipped to draining (last: '$drain_health')"; cat "$obs_log"; exit 1; }
+  sleep 0.02
+done
+obs_status=0
+wait "$obs_pid" || obs_status=$?
+[ "$obs_status" -eq 0 ] \
+  || { echo "FAIL: observed daemon exit $obs_status after SIGTERM"; cat "$obs_log"; exit 1; }
+
 echo "== bench JSON regression gate =="
 # collect a quick perf snapshot, check it is well-formed JSON, then diff a
 # fresh collection against it: a self-diff must report zero regressions
@@ -241,5 +334,8 @@ echo "ci.sh: OK (cold sweep populated the cache; warm run served from it;"
 echo "        --jobs 4 batch recompiled all examples warm from disk;"
 echo "        traced run exported well-formed Chrome JSON;"
 echo "        daemon served a warm cache hit and drained cleanly on SIGTERM;"
+echo "        the observability plane answered /healthz and /metrics, logged"
+echo "        one trace-correlated access record, merged the cross-process"
+echo "        trace, and flipped readiness while draining;"
 echo "        bench JSON self-diff and the beam-vs-fig8 gate showed no"
 echo "        regressions; beam schedule stored cold and replayed warm)"

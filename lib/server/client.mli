@@ -23,22 +23,34 @@ type failure =
 val failure_to_string : failure -> string
 
 val connect : ?timeout_s:float -> string -> (t, string) result
-(** Dial [socket], exchange [Hello]/[Hello_ack] (version-checked).
-    [timeout_s] (default 30) bounds every subsequent receive. *)
+(** Dial [socket] and negotiate a protocol version: the client offers
+    {!Wire.version}, a current daemon acks the highest version both
+    sides speak, and a pre-negotiation daemon (which rejects unknown
+    versions outright) is redialed once speaking version 1.  The
+    negotiated version is {!version}; [timeout_s] (default 30) bounds
+    every subsequent receive. *)
 
 val close : t -> unit
+
+val version : t -> int
+(** The negotiated protocol version for this connection. *)
 
 val compile :
   t ->
   ?deadline_ms:int ->
   ?config:string ->
   ?name:string ->
+  ?trace:Wire.trace_ctx ->
   worker:string ->
   string ->
   (Wire.artifact, failure) result
 (** Compile [source] on the daemon.  [config] is a configuration name
     (default ["all"]); [deadline_ms] asks the server to abandon the
-    request if it cannot be answered in time. *)
+    request if it cannot be answered in time.  [trace] propagates the
+    caller's trace context: the daemon records its own spans under the
+    given parent and returns them in [ar_spans] for the caller to
+    {!Lime_service.Trace.graft} into one merged timeline.  Silently
+    dropped when the negotiated version predates trace propagation. *)
 
 val stats : t -> (string, failure) result
 (** The daemon's metrics exposition ([lime_server_*] families included). *)

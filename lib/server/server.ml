@@ -16,6 +16,9 @@ type config = {
   sc_idle_timeout_s : float;
   sc_cache_dir : string option;
   sc_cache_capacity : int;
+  sc_http_port : int option;
+  sc_access_log : string option;
+  sc_drain_grace_s : float;
 }
 
 let default_config ~socket =
@@ -26,7 +29,13 @@ let default_config ~socket =
     sc_idle_timeout_s = 300.0;
     sc_cache_dir = None;
     sc_cache_capacity = 64;
+    sc_http_port = None;
+    sc_access_log = None;
+    sc_drain_grace_s = 0.0;
   }
+
+(* Version string baked into [lime_build_info]; matches the CLI's. *)
+let build_version = "1.0.0"
 
 let configs =
   [
@@ -54,18 +63,37 @@ type conn = {
   mutable cn_off : int;  (** how much of [cn_out] is already written *)
   mutable cn_last : float;  (** last read activity *)
   mutable cn_greeted : bool;
+  mutable cn_version : int;  (** negotiated protocol version; 0 pre-hello *)
   mutable cn_closing : bool;  (** flush what is queued, then close *)
   mutable cn_open : bool;
+}
+
+(** One observability-plane HTTP connection: accumulate the request head,
+    serve one response, close ([Connection: close]). *)
+type hconn = {
+  hc_fd : Unix.file_descr;
+  hc_buf : Buffer.t;
+  mutable hc_out : string;
+  mutable hc_off : int;
+  mutable hc_last : float;
+  mutable hc_open : bool;
 }
 
 type pending = {
   pd_conn : conn;
   pd_id : int;
   pd_worker : string;
+  pd_name : string;
+  pd_config : string;
+  pd_digest : string;  (** content-addressed request digest, hex *)
+  pd_trace : Wire.trace_ctx option;  (** propagated client trace context *)
+  pd_deadline_ms : int option;
   pd_admitted : float;  (** wall clock at admission *)
   pd_admit_us : float;  (** trace timeline at admission *)
   pd_deadline : float option;  (** absolute wall clock *)
   pd_started : float Atomic.t;  (** set by the job when it begins; 0 = queued *)
+  pd_spans : Trace.span list ref;
+      (** spans the job recorded, filled by the worker before the wake *)
   pd_future : (Wire.artifact, Diag.t) result Pool.future;
   mutable pd_abandoned : bool;
       (** the client was already answered (deadline) or is gone; discard
@@ -82,6 +110,8 @@ type counters = {
   m_queue_depth : Metrics.gauge;
   m_request_seconds : Metrics.histogram;
   m_queue_wait_seconds : Metrics.histogram;
+  m_http_requests : Metrics.counter;
+  m_dropped_spans : Metrics.counter;
 }
 
 type report = {
@@ -97,16 +127,26 @@ type t = {
   sr_svc : Service.t;
   sr_owns_svc : bool;
   sr_listen : Unix.file_descr;
+  sr_http : Unix.file_descr option;  (** TCP listener, observability plane *)
   sr_pipe_r : Unix.file_descr;  (** self-pipe: wakes select on completions *)
   sr_pipe_w : Unix.file_descr;
   sr_metrics : counters;
   sr_drain_req : bool Atomic.t;  (** set by {!drain} / signal handlers *)
+  sr_access : out_channel option;  (** JSONL access log *)
+  sr_started : float;  (** wall clock at creation, for /statusz uptime *)
   mutable sr_conns : conn list;
+  mutable sr_hconns : hconn list;
   mutable sr_active : pending list;
   mutable sr_draining : bool;
+  mutable sr_drain_done_at : float option;
+      (** when in-flight work hit zero while draining; the reactor lingers
+          [sc_drain_grace_s] past this, serving HTTP only, so load
+          balancers can observe /healthz flip to draining *)
   mutable sr_drain_acks : (conn * int) list;  (** Drain frames to answer *)
   mutable sr_drain_completed : int;
   mutable sr_ewma_s : float;  (** smoothed request latency, for retry hints *)
+  mutable sr_dropped_spans_seen : int;
+      (** high-water of [Trace.dropped_spans] already exported *)
   mutable sr_ran : bool;
   mutable sr_requests : int;
   mutable sr_rejected : int;
@@ -146,6 +186,13 @@ let register_metrics reg =
     m_queue_wait_seconds =
       Metrics.histogram reg ~help:"admission-to-start queue wait, seconds"
         "lime_server_queue_wait_seconds";
+    m_http_requests =
+      Metrics.counter reg ~help:"observability-plane HTTP requests served"
+        "lime_server_http_requests_total";
+    m_dropped_spans =
+      Metrics.counter reg
+        ~help:"trace spans evicted by the bounded span retention ring"
+        "lime_trace_dropped_spans";
   }
 
 let create ?service cfg =
@@ -174,21 +221,71 @@ let create ?service cfg =
   let pipe_r, pipe_w = Unix.pipe () in
   Unix.set_nonblock pipe_r;
   Unix.set_nonblock pipe_w;
+  (* observability plane: a loopback TCP listener (port 0 = ephemeral,
+     read back the bound port with {!http_port}) *)
+  let http =
+    match cfg.sc_http_port with
+    | None -> None
+    | Some port ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (try
+           Unix.setsockopt fd Unix.SO_REUSEADDR true;
+           Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+           Unix.listen fd 64;
+           Unix.set_nonblock fd
+         with e ->
+           (try Unix.close fd with Unix.Unix_error _ -> ());
+           (try Unix.close listen with Unix.Unix_error _ -> ());
+           (try Unix.unlink cfg.sc_socket with Unix.Unix_error _ -> ());
+           raise e);
+        Some fd
+  in
+  let access =
+    Option.map
+      (fun file ->
+        open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 file)
+      cfg.sc_access_log
+  in
+  let metrics = register_metrics (Service.registry svc) in
+  (* always-on tracing: traced Compile frames need the pipeline/rewrite
+     observers recording into the default tracer the moment they arrive;
+     the retention ring bounds the cost of keeping it on (the bench gate
+     holds the overhead under 5%) *)
+  Trace.set_enabled Trace.default true;
+  Trace.install ();
+  (* fleet-identity gauge: constant 1, identity in the labels *)
+  Metrics.set
+    (Metrics.gauge (Service.registry svc)
+       ~help:"build/version identity of this server (always 1)"
+       ~labels:
+         [
+           ("version", build_version);
+           ("protocol", string_of_int Wire.version);
+           ("ocaml", Sys.ocaml_version);
+         ]
+       "lime_build_info")
+    1.0;
   {
     sr_cfg = cfg;
     sr_svc = svc;
     sr_owns_svc = owns;
     sr_listen = listen;
+    sr_http = http;
     sr_pipe_r = pipe_r;
     sr_pipe_w = pipe_w;
-    sr_metrics = register_metrics (Service.registry svc);
+    sr_metrics = metrics;
     sr_drain_req = Atomic.make false;
+    sr_access = access;
+    sr_started = Unix.gettimeofday ();
     sr_conns = [];
+    sr_hconns = [];
     sr_active = [];
     sr_draining = false;
+    sr_drain_done_at = None;
     sr_drain_acks = [];
     sr_drain_completed = 0;
     sr_ewma_s = 0.0;
+    sr_dropped_spans_seen = 0;
     sr_ran = false;
     sr_requests = 0;
     sr_rejected = 0;
@@ -199,6 +296,14 @@ let create ?service cfg =
 
 let service t = t.sr_svc
 let socket_path t = t.sr_cfg.sc_socket
+
+let http_port t =
+  Option.map
+    (fun fd ->
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, port) -> port
+      | _ -> 0)
+    t.sr_http
 
 let wake t =
   try ignore (Unix.write_substring t.sr_pipe_w "w" 0 1)
@@ -217,6 +322,212 @@ let report t =
     rp_completed = t.sr_completed;
     rp_dropped = t.sr_dropped;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Access log                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* One JSONL record per answered request, flushed per line so a tailer
+   (or the ci smoke) sees records as they happen.  [trace_id] is the
+   propagated distributed-trace id — the join key into the client's
+   merged Chrome trace and the /statusz table. *)
+let log_access t ~id ~name ~worker ~config ~digest ~deadline_ms ~wait_s ~dur_s
+    ~outcome ~origin ~trace_id =
+  match t.sr_access with
+  | None -> ()
+  | Some oc ->
+      let e = Http.json_escape in
+      Printf.fprintf oc
+        "{\"ts\":%.6f,\"id\":%d,\"name\":\"%s\",\"worker\":\"%s\",\
+         \"config\":\"%s\",\"digest\":\"%s\",\"deadline_ms\":%s,\
+         \"queue_wait_s\":%.6f,\"duration_s\":%.6f,\"outcome\":\"%s\",\
+         \"origin\":\"%s\",\"trace_id\":\"%s\"}\n%!"
+        (now ()) id (e name) (e worker) (e config) (e digest)
+        (match deadline_ms with
+        | None -> "null"
+        | Some ms -> string_of_int ms)
+        wait_s dur_s (e outcome) (e origin) (e trace_id)
+
+let trace_id_of pd =
+  match pd.pd_trace with None -> "" | Some tc -> tc.Wire.tc_trace_id
+
+(* ------------------------------------------------------------------ *)
+(* Exposition and /statusz                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Fold tracer-side drops into the Prometheus counter: a counter only
+   goes up, so export the delta since the last sync. *)
+let sync_trace_metrics t =
+  let dropped = Trace.dropped_spans Trace.default in
+  if dropped > t.sr_dropped_spans_seen then begin
+    Metrics.inc t.sr_metrics.m_dropped_spans
+      ~by:(dropped - t.sr_dropped_spans_seen);
+    t.sr_dropped_spans_seen <- dropped
+  end
+
+let exposition t =
+  sync_trace_metrics t;
+  Metrics.set t.sr_metrics.m_queue_depth
+    (float_of_int (List.length t.sr_active));
+  Service.expose t.sr_svc
+
+let statusz_json t =
+  let t_now = now () in
+  let e = Http.json_escape in
+  let stats = Service.stats t.sr_svc in
+  let hits = stats.Lime_service.Kcache.hits
+  and misses = stats.Lime_service.Kcache.misses in
+  let hit_rate =
+    if hits + misses = 0 then 0.0
+    else float_of_int hits /. float_of_int (hits + misses)
+  in
+  let requests =
+    t.sr_active
+    |> List.map (fun pd ->
+           let state =
+             if Atomic.get pd.pd_started > 0.0 then "running" else "queued"
+           in
+           Printf.sprintf
+             "{\"id\":%d,\"worker\":\"%s\",\"name\":\"%s\",\
+              \"digest\":\"%s\",\"state\":\"%s\",\"age_s\":%.6f,\
+              \"deadline_in_s\":%s,\"trace_id\":\"%s\"}"
+             pd.pd_id (e pd.pd_worker) (e pd.pd_name) (e pd.pd_digest) state
+             (t_now -. pd.pd_admitted)
+             (match pd.pd_deadline with
+             | None -> "null"
+             | Some d -> Printf.sprintf "%.6f" (d -. t_now))
+             (e (trace_id_of pd)))
+    |> String.concat ","
+  in
+  Printf.sprintf
+    "{\"uptime_s\":%.3f,\"draining\":%b,\"protocol_version\":%d,\
+     \"version\":\"%s\",\"jobs\":%d,\"in_flight\":%d,\"max_inflight\":%d,\
+     \"pool_queue_depth\":%d,\"ewma_service_s\":%.6f,\
+     \"totals\":{\"admitted\":%d,\"completed\":%d,\"rejected\":%d,\
+     \"deadline\":%d,\"dropped\":%d},\
+     \"cache\":{\"hits\":%d,\"misses\":%d,\"disk_hits\":%d,\
+     \"evictions\":%d,\"coalesced\":%d,\"hit_rate\":%.4f},\
+     \"tunestore\":{\"configured\":%b},\
+     \"trace\":{\"trace_id\":\"%s\",\"retention\":%d,\"dropped_spans\":%d},\
+     \"requests\":[%s]}\n"
+    (t_now -. t.sr_started) t.sr_draining Wire.version (e build_version)
+    (Service.jobs t.sr_svc)
+    (List.length t.sr_active)
+    t.sr_cfg.sc_max_inflight
+    (Service.queue_depth t.sr_svc)
+    t.sr_ewma_s t.sr_requests t.sr_completed t.sr_rejected t.sr_deadline
+    t.sr_dropped hits misses (Service.disk_hits t.sr_svc)
+    stats.Lime_service.Kcache.evictions stats.Lime_service.Kcache.coalesced
+    hit_rate
+    (Service.tunestore t.sr_svc <> None)
+    (e (Trace.trace_id Trace.default))
+    (Trace.retention Trace.default)
+    (Trace.dropped_spans Trace.default)
+    requests
+
+let http_respond t (req : Http.request) =
+  Metrics.inc t.sr_metrics.m_http_requests;
+  if req.Http.hr_meth <> "GET" then
+    Http.response 405 "only GET is served here\n"
+  else
+    match req.Http.hr_path with
+    | "/metrics" ->
+        Http.ok ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+          (exposition t)
+    | "/healthz" ->
+        if t.sr_draining then Http.response 503 "draining\n"
+        else Http.ok "ok\n"
+    | "/statusz" ->
+        Http.ok ~content_type:"application/json" (statusz_json t)
+    | _ -> Http.response 404 "not found; try /metrics /healthz /statusz\n"
+
+(* ------------------------------------------------------------------ *)
+(* HTTP connection IO                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let kill_hconn hc =
+  if hc.hc_open then begin
+    hc.hc_open <- false;
+    try Unix.close hc.hc_fd with Unix.Unix_error _ -> ()
+  end
+
+let flush_hconn hc =
+  if hc.hc_open && hc.hc_out <> "" then begin
+    let continue = ref true in
+    while !continue && hc.hc_off < String.length hc.hc_out do
+      match
+        Unix.write_substring hc.hc_fd hc.hc_out hc.hc_off
+          (String.length hc.hc_out - hc.hc_off)
+      with
+      | 0 -> continue := false
+      | n -> hc.hc_off <- hc.hc_off + n
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          continue := false
+      | exception Unix.Unix_error _ ->
+          kill_hconn hc;
+          continue := false
+    done;
+    (* one response per connection: done writing = done *)
+    if hc.hc_open && hc.hc_off >= String.length hc.hc_out then kill_hconn hc
+  end
+
+let read_hconn t hc =
+  let buf = Bytes.create 4096 in
+  let eof = ref false in
+  (try
+     let continue = ref true in
+     while !continue do
+       match Unix.read hc.hc_fd buf 0 (Bytes.length buf) with
+       | 0 ->
+           eof := true;
+           continue := false
+       | n ->
+           hc.hc_last <- now ();
+           Buffer.add_subbytes hc.hc_buf buf 0 n;
+           if n < Bytes.length buf then continue := false
+     done
+   with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | Unix.Unix_error _ -> eof := true);
+  if hc.hc_open && hc.hc_out = "" then begin
+    match Http.parse (Buffer.contents hc.hc_buf) with
+    | Http.Partial -> if !eof then kill_hconn hc
+    | Http.Request req ->
+        hc.hc_out <- Http.to_string (http_respond t req);
+        flush_hconn hc
+    | Http.Bad msg ->
+        hc.hc_out <- Http.to_string (Http.response 400 (msg ^ "\n"));
+        flush_hconn hc
+  end
+  else if !eof then kill_hconn hc
+
+let accept_http t =
+  match t.sr_http with
+  | None -> ()
+  | Some listen ->
+      let continue = ref true in
+      while !continue do
+        match Unix.accept ~cloexec:true listen with
+        | fd, _ ->
+            Unix.set_nonblock fd;
+            t.sr_hconns <-
+              t.sr_hconns
+              @ [
+                  {
+                    hc_fd = fd;
+                    hc_buf = Buffer.create 256;
+                    hc_out = "";
+                    hc_off = 0;
+                    hc_last = now ();
+                    hc_open = true;
+                  };
+                ]
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            continue := false
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error _ -> continue := false
+      done
 
 (* ------------------------------------------------------------------ *)
 (* Connection IO                                                       *)
@@ -285,9 +596,18 @@ let admit t (c : conn) (r : Wire.compile_req) config =
   let svc = t.sr_svc in
   let t_now = now () in
   let pd_started = Atomic.make 0.0 in
+  let pd_spans = ref [] in
+  let digest =
+    Digest.to_hex
+      (Service.request_digest ~config ~worker:r.Wire.cr_worker
+         r.Wire.cr_source)
+  in
+  (* only collect spans for requests that propagated a trace context —
+     untraced traffic pays nothing for the hand-off *)
+  let want_spans = r.Wire.cr_trace <> None in
   let job () =
     Atomic.set pd_started (now ());
-    let res =
+    let compute () =
       match
         Diag.protect (fun () ->
             Service.compile_ex svc ~config ~name:r.Wire.cr_name
@@ -295,21 +615,26 @@ let admit t (c : conn) (r : Wire.compile_req) config =
       with
       | Error d -> Error d
       | Ok (c, origin) ->
-          let digest =
-            Service.request_digest ~config ~worker:r.Wire.cr_worker
-              r.Wire.cr_source
-          in
           let kernel = c.Pipeline.cp_kernel in
           Ok
             {
               Wire.ar_id = r.Wire.cr_id;
               ar_origin = Service.origin_name origin;
-              ar_digest = Digest.to_hex digest;
+              ar_digest = digest;
               ar_kernel = kernel.Lime_gpu.Kernel.k_name;
               ar_parallel = kernel.Lime_gpu.Kernel.k_parallel;
               ar_opencl = c.Pipeline.cp_opencl;
               ar_placements = Memopt.describe c.Pipeline.cp_decisions;
+              ar_spans = "";
             }
+    in
+    let res =
+      if want_spans then begin
+        let res, spans = Trace.collect Trace.default compute in
+        pd_spans := spans;
+        res
+      end
+      else compute ()
     in
     wake t;
     res
@@ -319,11 +644,17 @@ let admit t (c : conn) (r : Wire.compile_req) config =
       pd_conn = c;
       pd_id = r.Wire.cr_id;
       pd_worker = r.Wire.cr_worker;
+      pd_name = r.Wire.cr_name;
+      pd_config = r.Wire.cr_config;
+      pd_digest = digest;
+      pd_trace = r.Wire.cr_trace;
+      pd_deadline_ms = r.Wire.cr_deadline_ms;
       pd_admitted = t_now;
       pd_admit_us = Trace.now_us Trace.default;
       pd_deadline =
         Option.map (fun ms -> t_now +. (float_of_int ms /. 1e3)) r.Wire.cr_deadline_ms;
       pd_started;
+      pd_spans;
       pd_future = Pool.submit (Service.pool svc) job;
       pd_abandoned = false;
     }
@@ -339,45 +670,60 @@ let handle_frame t (c : conn) (frame : Wire.frame) =
         send_error t c ~id:0 ~code:Wire.Protocol_error "duplicate hello";
         c.cn_closing <- true
       end
-      else if v <> Wire.version then begin
+      else if v < 1 then begin
         send_error t c ~id:0 ~code:Wire.Protocol_error
           (Printf.sprintf "unsupported protocol version %d (speaking %d)" v
              Wire.version);
         c.cn_closing <- true
       end
       else begin
+        (* negotiate down to the older endpoint: the client sends the
+           highest version it speaks, the ack picks the conversation
+           version.  A v1-negotiated reply never carries v2 fields. *)
         c.cn_greeted <- true;
-        send c (Wire.Hello_ack Wire.version)
+        c.cn_version <- min v Wire.version;
+        send c (Wire.Hello_ack c.cn_version)
       end
   | _ when not c.cn_greeted ->
       send_error t c ~id:0 ~code:Wire.Protocol_error
         "first frame must be a hello";
       c.cn_closing <- true
   | Wire.Compile r ->
-      if t.sr_draining then
+      let log_shed outcome =
+        log_access t ~id:r.Wire.cr_id ~name:r.Wire.cr_name
+          ~worker:r.Wire.cr_worker ~config:r.Wire.cr_config ~digest:""
+          ~deadline_ms:r.Wire.cr_deadline_ms ~wait_s:0.0 ~dur_s:0.0 ~outcome
+          ~origin:""
+          ~trace_id:
+            (match r.Wire.cr_trace with
+            | None -> ""
+            | Some tc -> tc.Wire.tc_trace_id)
+      in
+      if t.sr_draining then begin
         send_error t c ~id:r.Wire.cr_id ~code:Wire.Draining
-          "server is draining"
+          "server is draining";
+        log_shed "draining"
+      end
       else begin
         match config_of_name r.Wire.cr_config with
         | None ->
             send_error t c ~id:r.Wire.cr_id ~code:Wire.Compile_error
               (Printf.sprintf "unknown config %s; available: %s"
                  r.Wire.cr_config
-                 (String.concat ", " (List.map fst configs)))
+                 (String.concat ", " (List.map fst configs)));
+            log_shed "unknown-config"
         | Some config ->
             if List.length t.sr_active >= t.sr_cfg.sc_max_inflight then begin
               t.sr_rejected <- t.sr_rejected + 1;
               send_error t c ~id:r.Wire.cr_id ~code:Wire.Overloaded
                 ~retry_after_ms:(retry_after_ms t)
                 (Printf.sprintf "admission queue full (%d in flight)"
-                   (List.length t.sr_active))
+                   (List.length t.sr_active));
+              log_shed "overloaded"
             end
             else admit t c r config
       end
-  | Wire.Stats id ->
-      Metrics.set t.sr_metrics.m_queue_depth
-        (float_of_int (List.length t.sr_active));
-      send c (Wire.Stats_reply (id, Service.expose t.sr_svc))
+  | Wire.Stats id -> send c (Wire.Stats_reply (id, exposition t))
   | Wire.Drain id ->
       t.sr_draining <- true;
       t.sr_drain_acks <- t.sr_drain_acks @ [ (c, id) ]
@@ -447,6 +793,7 @@ let accept_loop t =
                     cn_off = 0;
                     cn_last = now ();
                     cn_greeted = false;
+                    cn_version = 0;
                     cn_closing = false;
                     cn_open = true;
                   };
@@ -457,11 +804,76 @@ let accept_loop t =
     | exception Unix.Unix_error _ -> continue := false
   done
 
+(* The span buffer a traced request ships home inside its Result frame:
+   a synthetic [server.request] root covering admission-to-reply (0 =
+   admission), a [server.queue_wait] child, and every span the job
+   recorded — rebased to admission and clamped into the root's window
+   (the trace clock is CPU time, which can run ahead of the wall-clock
+   request duration), with job-side roots reparented under the synthetic
+   root so the client grafts one well-nested subtree. *)
+let span_buffer pd ~t_now =
+  let dur_us = Float.max 1.0 ((t_now -. pd.pd_admitted) *. 1e6) in
+  let clamp v = Float.min (Float.max 0.0 v) dur_us in
+  let rebased =
+    List.map
+      (fun sp ->
+        let b = clamp (sp.Trace.sp_begin_us -. pd.pd_admit_us) in
+        let e =
+          if sp.Trace.sp_end_us < 0.0 then b
+          else clamp (sp.Trace.sp_end_us -. pd.pd_admit_us)
+        in
+        { sp with Trace.sp_begin_us = b; sp_end_us = Float.max b e })
+      !(pd.pd_spans)
+  in
+  let ids = List.map (fun sp -> sp.Trace.sp_id) rebased in
+  let max_id = List.fold_left (fun a sp -> max a sp.Trace.sp_id) 0 rebased in
+  let root_id = max_id + 1 and qw_id = max_id + 2 in
+  let reparented =
+    List.map
+      (fun sp ->
+        if List.mem sp.Trace.sp_parent ids then sp
+        else { sp with Trace.sp_parent = root_id })
+      rebased
+  in
+  let started = Atomic.get pd.pd_started in
+  let wait_us =
+    clamp
+      (if started > 0.0 then (started -. pd.pd_admitted) *. 1e6 else dur_us)
+  in
+  let root =
+    {
+      Trace.sp_id = root_id;
+      sp_parent = -1;
+      sp_name = "server.request";
+      sp_cat = "server";
+      sp_args =
+        [
+          ("worker", pd.pd_worker);
+          ("request_id", string_of_int pd.pd_id);
+          ("trace_id", trace_id_of pd);
+        ];
+      sp_begin_us = 0.0;
+      sp_end_us = dur_us;
+    }
+  in
+  let queue_wait =
+    {
+      Trace.sp_id = qw_id;
+      sp_parent = root_id;
+      sp_name = "server.queue_wait";
+      sp_cat = "server";
+      sp_args = [];
+      sp_begin_us = 0.0;
+      sp_end_us = wait_us;
+    }
+  in
+  Trace.spans_to_wire (root :: queue_wait :: reparented)
+
 (* Answer one settled (or expired) pending request.  Returns [true] when
    the entry is finished and should leave the active list. *)
 let reap_one t pd =
   let t_now = now () in
-  let finish ~status reply =
+  let finish ~status ?(origin = "") reply =
     let dur_s = t_now -. pd.pd_admitted in
     (match reply with
     | Some frame ->
@@ -481,6 +893,10 @@ let reap_one t pd =
     Trace.complete Trace.default ~cat:"server"
       ~args:[ ("worker", pd.pd_worker); ("status", status) ]
       ~ts_us:pd.pd_admit_us ~dur_us:(dur_s *. 1e6) "server.request";
+    log_access t ~id:pd.pd_id ~name:pd.pd_name ~worker:pd.pd_worker
+      ~config:pd.pd_config ~digest:pd.pd_digest
+      ~deadline_ms:pd.pd_deadline_ms ~wait_s ~dur_s ~outcome:status ~origin
+      ~trace_id:(trace_id_of pd);
     if t.sr_draining then t.sr_drain_completed <- t.sr_drain_completed + 1;
     true
   in
@@ -519,7 +935,15 @@ let reap_one t pd =
         | Ok (Ok artifact) ->
             Metrics.inc t.sr_metrics.m_completed;
             t.sr_completed <- t.sr_completed + 1;
-            finish ~status:"ok" (Some (Wire.Result artifact))
+            let artifact =
+              (* ship the request's spans home iff the client asked (sent
+                 a trace context) and the daemon tracer is recording *)
+              if pd.pd_trace <> None && Trace.enabled Trace.default then
+                { artifact with Wire.ar_spans = span_buffer pd ~t_now }
+              else artifact
+            in
+            finish ~status:"ok" ~origin:artifact.Wire.ar_origin
+              (Some (Wire.Result artifact))
         | Ok (Error diag) ->
             Metrics.inc t.sr_metrics.m_completed;
             t.sr_completed <- t.sr_completed + 1;
@@ -603,6 +1027,13 @@ let final_flush t =
 
 let shutdown_sockets t =
   List.iter kill_conn t.sr_conns;
+  List.iter kill_hconn t.sr_hconns;
+  (match t.sr_http with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  (match t.sr_access with
+  | Some oc -> ( try close_out oc with Sys_error _ -> ())
+  | None -> ());
   (try Unix.close t.sr_listen with Unix.Unix_error _ -> ());
   (try Unix.close t.sr_pipe_r with Unix.Unix_error _ -> ());
   (try Unix.close t.sr_pipe_w with Unix.Unix_error _ -> ());
@@ -614,16 +1045,29 @@ let run t =
   let finished = ref false in
   while not !finished do
     t.sr_conns <- List.filter (fun c -> c.cn_open) t.sr_conns;
+    t.sr_hconns <- List.filter (fun hc -> hc.hc_open) t.sr_hconns;
     let rds =
       t.sr_pipe_r
       :: (if t.sr_draining then [] else [ t.sr_listen ])
+      (* the observability plane stays up while draining: that is when a
+         load balancer most needs /healthz *)
+      @ (match t.sr_http with Some fd -> [ fd ] | None -> [])
       @ List.map (fun c -> c.cn_fd) t.sr_conns
+      @ List.filter_map
+          (fun hc -> if hc.hc_out = "" then Some hc.hc_fd else None)
+          t.sr_hconns
     in
     let wrs =
       List.filter_map
         (fun c ->
           if c.cn_off < String.length c.cn_out then Some c.cn_fd else None)
         t.sr_conns
+      @ List.filter_map
+          (fun hc ->
+            if hc.hc_out <> "" && hc.hc_off < String.length hc.hc_out then
+              Some hc.hc_fd
+            else None)
+          t.sr_hconns
     in
     let rready, wready =
       match Unix.select rds wrs [] (select_timeout t) with
@@ -635,10 +1079,20 @@ let run t =
     List.iter
       (fun c -> if List.mem c.cn_fd wready then flush_conn c)
       t.sr_conns;
+    List.iter
+      (fun hc -> if List.mem hc.hc_fd wready then flush_hconn hc)
+      t.sr_hconns;
     if (not t.sr_draining) && List.mem t.sr_listen rready then accept_loop t;
+    (match t.sr_http with
+    | Some fd when List.mem fd rready -> accept_http t
+    | _ -> ());
     List.iter
       (fun c -> if c.cn_open && List.mem c.cn_fd rready then read_conn t c)
       t.sr_conns;
+    List.iter
+      (fun hc ->
+        if hc.hc_open && List.mem hc.hc_fd rready then read_hconn t hc)
+      t.sr_hconns;
     (* a ~jobs:1 service has no worker domains: the reactor runs one
        queued compile per turn so IO and deadline scans stay interleaved *)
     if Service.jobs t.sr_svc = 1 then
@@ -660,23 +1114,38 @@ let run t =
           && c.cn_out = ""
         then kill_conn c)
       t.sr_conns;
+    (* http peers get a short leash: one request, seconds to send it *)
+    List.iter
+      (fun hc ->
+        if hc.hc_open && t_now -. hc.hc_last > 10.0 then kill_hconn hc)
+      t.sr_hconns;
     Metrics.set t.sr_metrics.m_queue_depth
       (float_of_int (List.length t.sr_active));
     if t.sr_draining && t.sr_active = [] then begin
-      List.iter
-        (fun (c, id) ->
-          send c
-            (Wire.Drain_ack
-               {
-                 da_id = id;
-                 da_completed = t.sr_drain_completed;
-                 da_dropped = t.sr_dropped;
-               }))
-        t.sr_drain_acks;
-      t.sr_drain_acks <- [];
-      final_flush t;
-      shutdown_sockets t;
-      if t.sr_owns_svc then Service.shutdown t.sr_svc;
-      finished := true
+      (match t.sr_drain_done_at with
+      | None ->
+          List.iter
+            (fun (c, id) ->
+              send c
+                (Wire.Drain_ack
+                   {
+                     da_id = id;
+                     da_completed = t.sr_drain_completed;
+                     da_dropped = t.sr_dropped;
+                   }))
+            t.sr_drain_acks;
+          t.sr_drain_acks <- [];
+          t.sr_drain_done_at <- Some (now ())
+      | Some _ -> ());
+      (* linger for the drain-grace window, serving the observability
+         plane only, so /healthz observably flips to draining before the
+         process exits *)
+      let done_at = Option.value t.sr_drain_done_at ~default:t_now in
+      if now () -. done_at >= t.sr_cfg.sc_drain_grace_s then begin
+        final_flush t;
+        shutdown_sockets t;
+        if t.sr_owns_svc then Service.shutdown t.sr_svc;
+        finished := true
+      end
     end
   done

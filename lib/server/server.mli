@@ -30,7 +30,28 @@
 
     Every request flows through the {!Lime_service.Trace} timeline
     ([server.accept], [server.queue_wait], [server.request] spans) and
-    the [lime_server_*] metric families of the service's registry. *)
+    the [lime_server_*] metric families of the service's registry.
+
+    {b Distributed tracing}: a Compile frame may carry a
+    {!Wire.trace_ctx}.  For such requests the worker collects every span
+    the job records ({!Lime_service.Trace.collect}), rebases them to
+    admission time, roots them under a synthetic [server.request] span
+    (with a [server.queue_wait] child) and ships the serialized buffer
+    home in the Result frame — the client grafts it under its own request
+    span for one merged timeline.  Untraced requests skip all of it.
+
+    {b Observability plane}: with [sc_http_port] set, a loopback TCP
+    listener is multiplexed into the same reactor speaking just enough
+    HTTP/1.0 ({!Http}) for three endpoints — [GET /metrics] (canonical
+    exposition, including [lime_build_info] and
+    [lime_trace_dropped_spans]), [GET /healthz] ([200 ok] normally,
+    [503 draining] once a drain begins) and [GET /statusz] (a JSON
+    snapshot: uptime, in-flight table with trace ids, queue depth, EWMA
+    service time, cache-tier hit counts).  The plane stays up while
+    draining and for [sc_drain_grace_s] after the last request finishes,
+    so load balancers observe the readiness flip.  With [sc_access_log]
+    set, every answered request appends one JSON line correlated to its
+    trace id. *)
 
 type config = {
   sc_socket : string;  (** Unix-domain socket path *)
@@ -40,6 +61,15 @@ type config = {
   sc_idle_timeout_s : float;  (** idle-connection timeout (default 300) *)
   sc_cache_dir : string option;
   sc_cache_capacity : int;  (** LRU capacity of an owned service *)
+  sc_http_port : int option;
+      (** loopback TCP port for the observability plane; [Some 0] binds
+          an ephemeral port (read it back with {!http_port}); [None] =
+          no HTTP listener (default) *)
+  sc_access_log : string option;
+      (** append one JSON line per answered request to this file *)
+  sc_drain_grace_s : float;
+      (** seconds to keep serving the observability plane after a drain
+          completes, before the process exits (default 0) *)
 }
 
 val default_config : socket:string -> config
@@ -62,6 +92,13 @@ val create : ?service:Lime_service.Service.t -> config -> t
 
 val service : t -> Lime_service.Service.t
 val socket_path : t -> string
+
+val http_port : t -> int option
+(** The bound observability-plane port ([None] when [sc_http_port] is
+    [None]) — the actual port even when configured as ephemeral [0]. *)
+
+val build_version : string
+(** Human version string exported in [lime_build_info]. *)
 
 val run : t -> unit
 (** The reactor loop.  Blocks until a drain completes; single-shot

@@ -1,11 +1,16 @@
 (** Length-prefixed binary frame codec — see the interface. *)
 
-let version = 1
+let version = 2
 let max_frame = 16 * 1024 * 1024
 
 (* u32 sentinel for "no deadline": a real deadline of ~49.7 days is not a
    deadline anyone means *)
 let no_deadline = 0xFFFF_FFFF
+
+(* u32 sentinel for "no parent span" in a propagated trace context *)
+let no_parent_span = 0xFFFF_FFFF
+
+type trace_ctx = { tc_trace_id : string; tc_parent_span : int }
 
 type compile_req = {
   cr_id : int;
@@ -14,6 +19,7 @@ type compile_req = {
   cr_worker : string;
   cr_config : string;
   cr_source : string;
+  cr_trace : trace_ctx option;
 }
 
 type artifact = {
@@ -24,6 +30,7 @@ type artifact = {
   ar_parallel : bool;
   ar_opencl : string;
   ar_placements : string;
+  ar_spans : string;
 }
 
 type error_code =
@@ -82,11 +89,17 @@ let error_to_string = function
   | Unknown_tag t -> Printf.sprintf "unknown frame tag %d" t
   | Malformed msg -> "malformed frame: " ^ msg
 
+(* Version-2 frames reuse the version-1 layouts and append the new fields
+   under fresh tags (10/11), chosen at encode time by field presence: a
+   Compile with no trace context and a Result with no span buffer encode
+   exactly as a version-1 peer would emit them.  That makes mixed-version
+   conversations mechanical — a v2 endpoint talking to a v1 peer simply
+   leaves the new fields empty. *)
 let tag_of = function
   | Hello _ -> 1
   | Hello_ack _ -> 2
-  | Compile _ -> 3
-  | Result _ -> 4
+  | Compile r -> if r.cr_trace = None then 3 else 10
+  | Result a -> if a.ar_spans = "" then 4 else 11
   | Err _ -> 5
   | Stats _ -> 6
   | Stats_reply _ -> 7
@@ -118,13 +131,20 @@ let encode frame =
   put_u8 b (tag_of frame);
   (match frame with
   | Hello v | Hello_ack v -> put_u16 b v
-  | Compile r ->
+  | Compile r -> (
       put_u32 b r.cr_id;
       put_u32 b (Option.value r.cr_deadline_ms ~default:no_deadline);
       put_string b r.cr_name;
       put_string b r.cr_worker;
       put_string b r.cr_config;
-      put_string b r.cr_source
+      put_string b r.cr_source;
+      match r.cr_trace with
+      | None -> ()
+      | Some tc ->
+          put_string b tc.tc_trace_id;
+          put_u32 b
+            (if tc.tc_parent_span < 0 then no_parent_span
+             else tc.tc_parent_span land 0xFFFF_FFFF))
   | Result a ->
       put_u32 b a.ar_id;
       put_u8 b (if a.ar_parallel then 1 else 0);
@@ -132,7 +152,8 @@ let encode frame =
       put_string b a.ar_digest;
       put_string b a.ar_kernel;
       put_string b a.ar_opencl;
-      put_string b a.ar_placements
+      put_string b a.ar_placements;
+      if a.ar_spans <> "" then put_string b a.ar_spans
   | Err e ->
       put_u32 b e.er_id;
       put_u8 b (error_code_byte e.er_code);
@@ -199,7 +220,7 @@ let decode payload : (frame, error) result =
         match tag with
         | 1 -> Hello (get_u16 cu "hello version")
         | 2 -> Hello_ack (get_u16 cu "hello-ack version")
-        | 3 ->
+        | 3 | 10 ->
             let cr_id = get_u32 cu "compile id" in
             let dl = get_u32 cu "compile deadline" in
             let cr_deadline_ms = if dl = no_deadline then None else Some dl in
@@ -207,8 +228,18 @@ let decode payload : (frame, error) result =
             let cr_worker = get_string cu "compile worker" in
             let cr_config = get_string cu "compile config" in
             let cr_source = get_string cu "compile source" in
-            Compile { cr_id; cr_deadline_ms; cr_name; cr_worker; cr_config; cr_source }
-        | 4 ->
+            let cr_trace =
+              if tag = 3 then None
+              else begin
+                let tc_trace_id = get_string cu "compile trace id" in
+                let p = get_u32 cu "compile parent span" in
+                let tc_parent_span = if p = no_parent_span then -1 else p in
+                Some { tc_trace_id; tc_parent_span }
+              end
+            in
+            Compile { cr_id; cr_deadline_ms; cr_name; cr_worker; cr_config;
+                      cr_source; cr_trace }
+        | 4 | 11 ->
             let ar_id = get_u32 cu "result id" in
             let ar_parallel = get_u8 cu "result parallel flag" <> 0 in
             let ar_origin = get_string cu "result origin" in
@@ -216,8 +247,11 @@ let decode payload : (frame, error) result =
             let ar_kernel = get_string cu "result kernel" in
             let ar_opencl = get_string cu "result opencl" in
             let ar_placements = get_string cu "result placements" in
+            let ar_spans =
+              if tag = 4 then "" else get_string cu "result span buffer"
+            in
             Result { ar_id; ar_origin; ar_digest; ar_kernel; ar_parallel;
-                     ar_opencl; ar_placements }
+                     ar_opencl; ar_placements; ar_spans }
         | 5 ->
             let er_id = get_u32 cu "error id" in
             let code = get_u8 cu "error code" in
@@ -242,7 +276,7 @@ let decode payload : (frame, error) result =
             Drain_ack { da_id; da_completed; da_dropped }
         | t -> raise (Bad (Printf.sprintf "tag %d" t))
       in
-      if tag < 1 || tag > 9 then Error (Unknown_tag tag)
+      if tag < 1 || tag > 11 then Error (Unknown_tag tag)
       else
         match frame () with
         | f ->

@@ -22,11 +22,25 @@
     bytes. *)
 
 val version : int
-(** Protocol version spoken by this build; exchanged in
-    [Hello]/[Hello_ack]. *)
+(** Highest protocol version spoken by this build; exchanged in
+    [Hello]/[Hello_ack].  Version 2 added the distributed-tracing fields:
+    a Compile frame may carry a {!trace_ctx} (tag 10) and a Result frame
+    may carry the server's serialized span buffer (tag 11).  Both encode
+    as their version-1 layouts (tags 3/4) when the new fields are absent,
+    so a v2 endpoint negotiated down to v1 emits byte-identical v1
+    traffic. *)
 
 val max_frame : int
 (** Upper bound on a payload's declared length (16 MiB). *)
+
+type trace_ctx = {
+  tc_trace_id : string;
+      (** 128-bit distributed trace id as 32 lowercase hex characters
+          ({!Lime_service.Trace.valid_trace_id}) *)
+  tc_parent_span : int;
+      (** span id of the client-side parent span; [-1] for none (wire
+          sentinel [0xFFFF_FFFF]) *)
+}
 
 type compile_req = {
   cr_id : int;  (** request id, echoed on the reply (u32) *)
@@ -39,6 +53,8 @@ type compile_req = {
   cr_worker : string;
   cr_config : string;  (** configuration name, e.g. ["all"] *)
   cr_source : string;
+  cr_trace : trace_ctx option;
+      (** propagated trace context; [Some _] encodes as tag 10 (v2) *)
 }
 
 type artifact = {
@@ -49,6 +65,10 @@ type artifact = {
   ar_parallel : bool;
   ar_opencl : string;  (** the compiled OpenCL, byte-identical to local *)
   ar_placements : string;  (** [Memopt.describe] of the decisions *)
+  ar_spans : string;
+      (** the server's span buffer for this request
+          ({!Lime_service.Trace.spans_to_wire}, timestamps relative to
+          admission); [""] = none, non-empty encodes as tag 11 (v2) *)
 }
 
 type error_code =

@@ -36,30 +36,68 @@ let with_lock mu f =
   Mutex.lock mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
 
+(* Label values escape backslash, double quote and newline, per the
+   Prometheus text format. *)
+let escape_label_value s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* The full sample name: [family{k="v",...}].  Static labels are part of
+   a metric's identity — same family + different labels = distinct
+   metrics sharing one HELP/TYPE block in the exposition. *)
+let render_name name labels =
+  match labels with
+  | [] -> name
+  | ls ->
+      Printf.sprintf "%s{%s}" name
+        (String.concat ","
+           (List.map
+              (fun (k, v) ->
+                Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+              ls))
+
+(* Family name (HELP/TYPE unit): the sample name up to the label braces. *)
+let family_of name =
+  match String.index_opt name '{' with
+  | None -> name
+  | Some i -> String.sub name 0 i
+
 let register reg ?(help = "") name make =
+  let family = family_of name in
   with_lock reg.reg_mu (fun () ->
       (match Hashtbl.find_opt reg.tbl name with
       | None ->
           Hashtbl.replace reg.tbl name (make ());
-          if help <> "" then Hashtbl.replace reg.help name help
+          if help <> "" && not (Hashtbl.mem reg.help family) then
+            Hashtbl.replace reg.help family help
       | Some _ -> ());
       Hashtbl.find reg.tbl name)
 
-let counter reg ?help name =
+let counter reg ?help ?(labels = []) name =
+  let key = render_name name labels in
   match
-    register reg ?help name (fun () ->
-        Counter { c_name = name; c_value = 0; c_mu = Mutex.create () })
+    register reg ?help key (fun () ->
+        Counter { c_name = key; c_value = 0; c_mu = Mutex.create () })
   with
   | Counter c -> c
-  | _ -> invalid_arg ("Metrics.counter: " ^ name ^ " is not a counter")
+  | _ -> invalid_arg ("Metrics.counter: " ^ key ^ " is not a counter")
 
-let gauge reg ?help name =
+let gauge reg ?help ?(labels = []) name =
+  let key = render_name name labels in
   match
-    register reg ?help name (fun () ->
-        Gauge { g_name = name; g_value = 0.0; g_mu = Mutex.create () })
+    register reg ?help key (fun () ->
+        Gauge { g_name = key; g_value = 0.0; g_mu = Mutex.create () })
   with
   | Gauge g -> g
-  | _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " is not a gauge")
+  | _ -> invalid_arg ("Metrics.gauge: " ^ key ^ " is not a gauge")
 
 let histogram reg ?help ?(buckets = default_buckets) name =
   let make () =
@@ -122,31 +160,43 @@ let expose reg =
   let entries =
     with_lock reg.reg_mu (fun () ->
         Hashtbl.fold
-          (fun name m acc -> (name, Hashtbl.find_opt reg.help name, m) :: acc)
+          (fun name m acc ->
+            (name, Hashtbl.find_opt reg.help (family_of name), m) :: acc)
           reg.tbl []
         |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b))
   in
+  let last_family = ref "" in
   List.iter
     (fun (name, help, metric) ->
       (* canonical exposition order: HELP, then TYPE, then the samples —
          and a HELP line for *every* metric, registered with ~help or not,
-         so scrapers see a uniform metadata block *)
-      (match help with
-      | Some help when help <> "" ->
+         so scrapers see a uniform metadata block.  Labeled samples of one
+         family are adjacent after the sort and share one metadata
+         block. *)
+      let family = family_of name in
+      let metadata kind =
+        if family <> !last_family then begin
+          last_family := family;
+          (match help with
+          | Some help when help <> "" ->
+              Buffer.add_string buf
+                (Printf.sprintf "# HELP %s %s\n" family (escape_help help))
+          | _ -> Buffer.add_string buf (Printf.sprintf "# HELP %s\n" family));
           Buffer.add_string buf
-            (Printf.sprintf "# HELP %s %s\n" name (escape_help help))
-      | _ -> Buffer.add_string buf (Printf.sprintf "# HELP %s\n" name));
+            (Printf.sprintf "# TYPE %s %s\n" family kind)
+        end
+      in
       match metric with
       | Counter c ->
-          Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" name);
+          metadata "counter";
           Buffer.add_string buf
             (Printf.sprintf "%s %d\n" c.c_name (counter_value c))
       | Gauge g ->
-          Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" name);
+          metadata "gauge";
           let v = with_lock g.g_mu (fun () -> g.g_value) in
           Buffer.add_string buf (Printf.sprintf "%s %g\n" g.g_name v)
       | Histogram h ->
-          Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+          metadata "histogram";
           let counts, sum, count =
             with_lock h.h_mu (fun () ->
                 (Array.copy h.h_counts, h.h_sum, h.h_count))

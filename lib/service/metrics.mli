@@ -29,12 +29,22 @@ val create : unit -> registry
 val default : registry
 (** The process-wide registry used by {!Service.instrument}. *)
 
-val counter : registry -> ?help:string -> string -> counter
+val counter :
+  registry -> ?help:string -> ?labels:(string * string) list -> string ->
+  counter
 (** Register (or retrieve) the counter of that name.  Re-registration with
     the same name returns the existing metric; registering a name already
-    used by a different metric kind raises [Invalid_argument]. *)
+    used by a different metric kind raises [Invalid_argument].
 
-val gauge : registry -> ?help:string -> string -> gauge
+    [labels] are {e static} key/value pairs baked into the metric's
+    identity: the sample renders as [name{k="v",...} value] (values
+    escaped per the text format), and several label sets of one family
+    share a single [# HELP]/[# TYPE] block — e.g. the server's
+    [lime_build_info{version=...,protocol=...,ocaml=...} 1]. *)
+
+val gauge :
+  registry -> ?help:string -> ?labels:(string * string) list -> string ->
+  gauge
 
 val histogram :
   registry -> ?help:string -> ?buckets:float list -> string -> histogram

@@ -60,6 +60,7 @@ let cache t = t.sv_cache
 let tunestore t = t.sv_tunes
 let registry t = t.sv_registry
 let stats t = Kcache.stats t.sv_cache
+let disk_hits t = Atomic.get t.sv_disk_hits
 let pool t = t.sv_pool
 let jobs t = Pool.jobs t.sv_pool
 let queue_depth t = Pool.queue_length t.sv_pool

@@ -148,6 +148,9 @@ val beam_schedule :
 
 val stats : t -> Kcache.stats
 
+val disk_hits : t -> int
+(** Artifacts served from the on-disk store (the second cache tier). *)
+
 val expose : t -> string
 (** Refresh the cache gauges and render the service's registry
     ({!Metrics.expose}). *)

@@ -28,6 +28,7 @@ type span = {
 type dstate = {
   mutable ds_spans : span list;  (** reverse begin order *)
   mutable ds_stack : span list;  (** innermost open span first *)
+  mutable ds_count : int;  (** [List.length ds_spans], kept incrementally *)
 }
 
 type t = {
@@ -40,14 +41,41 @@ type t = {
   mutable tr_skew_us : float;  (** added to the clock by {!advance_to} *)
   mutable tr_t0 : float;
   tr_clock : unit -> float;
+  mutable tr_trace_id : string;  (** 32 lowercase hex chars *)
+  tr_limit : int Atomic.t;  (** per-domain retained-span cap, 0 = unbounded *)
+  tr_dropped : int Atomic.t;  (** spans evicted by the retention cap *)
 }
+
+(* 128-bit trace identity.  [Random.State.make_self_init] seeds from
+   time + pid; the global counter breaks ties between ids minted in the
+   same clock tick. *)
+let trace_id_ctr = Atomic.make 0
+
+let fresh_trace_id () =
+  let st = Random.State.make_self_init () in
+  let mix =
+    Int64.mul 0x9E3779B97F4A7C15L
+      (Int64.of_int (1 + Atomic.fetch_and_add trace_id_ctr 1))
+  in
+  Printf.sprintf "%016Lx%016Lx"
+    (Int64.logxor (Random.State.bits64 st) mix)
+    (Random.State.bits64 st)
+  |> String.lowercase_ascii
+
+let valid_trace_id s =
+  String.length s = 32
+  && String.for_all
+       (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+       s
+
+let default_retention = 65536
 
 let create ?(clock = Sys.time) () =
   let tr_mu = Mutex.create () in
   let tr_states = ref [] in
   let tr_dls =
     Domain.DLS.new_key (fun () ->
-        let ds = { ds_spans = []; ds_stack = [] } in
+        let ds = { ds_spans = []; ds_stack = []; ds_count = 0 } in
         Mutex.lock tr_mu;
         tr_states := ds :: !tr_states;
         Mutex.unlock tr_mu;
@@ -63,6 +91,9 @@ let create ?(clock = Sys.time) () =
     tr_skew_us = 0.0;
     tr_t0 = clock ();
     tr_clock = clock;
+    tr_trace_id = fresh_trace_id ();
+    tr_limit = Atomic.make default_retention;
+    tr_dropped = Atomic.make 0;
   }
 
 let default =
@@ -73,6 +104,21 @@ let default =
 let enabled t = t.tr_enabled
 let set_enabled t on = t.tr_enabled <- on
 
+let trace_id t =
+  Mutex.lock t.tr_mu;
+  let id = t.tr_trace_id in
+  Mutex.unlock t.tr_mu;
+  id
+
+let set_trace_id t id =
+  Mutex.lock t.tr_mu;
+  t.tr_trace_id <- (if valid_trace_id id then id else fresh_trace_id ());
+  Mutex.unlock t.tr_mu
+
+let retention t = Atomic.get t.tr_limit
+let set_retention t n = Atomic.set t.tr_limit (max 0 n)
+let dropped_spans t = Atomic.get t.tr_dropped
+
 let dstate t = Domain.DLS.get t.tr_dls
 
 let reset t =
@@ -80,12 +126,15 @@ let reset t =
   List.iter
     (fun ds ->
       ds.ds_spans <- [];
-      ds.ds_stack <- [])
+      ds.ds_stack <- [];
+      ds.ds_count <- 0)
     !(t.tr_states);
   Atomic.set t.tr_next_id 0;
+  Atomic.set t.tr_dropped 0;
   t.tr_last_us <- 0.0;
   t.tr_skew_us <- 0.0;
   t.tr_t0 <- t.tr_clock ();
+  t.tr_trace_id <- fresh_trace_id ();
   Mutex.unlock t.tr_mu
 
 (* Strictly monotonic across all domains: coarse clocks (Sys.time often
@@ -113,6 +162,32 @@ let last_us t =
   Mutex.unlock t.tr_mu;
   v
 
+(* Retention ring: when a domain's buffer outgrows the cap, drop the
+   oldest *closed* spans down to 7/8 of the cap (open spans survive — the
+   stack still references them).  Amortized O(1) per push: an O(n) sweep
+   runs only once per [limit/8] pushes. *)
+let enforce_limit t (ds : dstate) =
+  let limit = Atomic.get t.tr_limit in
+  if limit > 0 && ds.ds_count > limit then begin
+    let keep = limit - (limit / 8) in
+    let kept = ref 0 and dropped = ref 0 in
+    let rec go = function
+      | [] -> []
+      | sp :: rest ->
+          if !kept < keep || sp.sp_end_us < 0.0 then begin
+            incr kept;
+            sp :: go rest
+          end
+          else begin
+            incr dropped;
+            go rest
+          end
+    in
+    ds.ds_spans <- go ds.ds_spans;
+    ds.ds_count <- !kept;
+    if !dropped > 0 then ignore (Atomic.fetch_and_add t.tr_dropped !dropped)
+  end
+
 let push t (ds : dstate) ~cat ~args ~begin_us ~end_us name =
   let sp =
     {
@@ -126,6 +201,8 @@ let push t (ds : dstate) ~cat ~args ~begin_us ~end_us name =
     }
   in
   ds.ds_spans <- sp :: ds.ds_spans;
+  ds.ds_count <- ds.ds_count + 1;
+  enforce_limit t ds;
   sp
 
 let begin_span t ?(cat = "") ?(args = []) ?ts_us name =
@@ -169,6 +246,220 @@ let complete t ?(cat = "") ?(args = []) ?ts_us ~dur_us name =
     let ts = match ts_us with Some ts -> ts | None -> now_us t in
     ignore (push t ds ~cat ~args ~begin_us:ts ~end_us:(ts +. dur_us) name)
   end
+
+let current_span_id t =
+  if not t.tr_enabled then -1
+  else
+    match (dstate t).ds_stack with [] -> -1 | sp :: _ -> sp.sp_id
+
+(* ------------------------------------------------------------------ *)
+(* Cross-process span hand-off                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* [collect] brackets [f] with an id watermark: anything this domain
+   recorded with an id at or past the mark was begun during [f].  The
+   walk starts from the new buffer head and stops at the pre-[f] head —
+   O(spans recorded during [f]), not O(buffer) — with the id guard
+   covering the case where the retention ring rebuilt the list (physical
+   equality alone would not terminate early then). *)
+let collect t f =
+  let ds = dstate t in
+  let mark = Atomic.get t.tr_next_id in
+  let old_head = ds.ds_spans in
+  let r = f () in
+  let rec take acc l =
+    if l == old_head then acc
+    else
+      match l with
+      | [] -> acc
+      | sp :: rest -> if sp.sp_id >= mark then take (sp :: acc) rest else acc
+  in
+  (r, List.sort (fun a b -> compare a.sp_id b.sp_id) (take [] ds.ds_spans))
+
+let graft t ?at_us ~parent spans =
+  if (not t.tr_enabled) || spans = [] then 0
+  else begin
+    let ds = dstate t in
+    let base = match at_us with Some v -> v | None -> now_us t in
+    (* Remote span ids live in the remote process's id space: remint every
+       id locally, rewire parents through the map, and hang remote roots
+       (or spans with dangling parents) off [parent]. *)
+    let map = Hashtbl.create 16 in
+    List.iter
+      (fun sp ->
+        Hashtbl.replace map sp.sp_id (Atomic.fetch_and_add t.tr_next_id 1))
+      spans;
+    let max_end = ref base in
+    let grafted =
+      List.map
+        (fun sp ->
+          let id = Hashtbl.find map sp.sp_id in
+          let p =
+            match Hashtbl.find_opt map sp.sp_parent with
+            | Some p -> p
+            | None -> parent
+          in
+          let b = Float.max 0.0 sp.sp_begin_us in
+          let e = if sp.sp_end_us < b then b else sp.sp_end_us in
+          let sp' =
+            {
+              sp with
+              sp_id = id;
+              sp_parent = p;
+              sp_begin_us = base +. b;
+              sp_end_us = base +. e;
+            }
+          in
+          if sp'.sp_end_us > !max_end then max_end := sp'.sp_end_us;
+          sp')
+        spans
+    in
+    List.iter
+      (fun sp ->
+        ds.ds_spans <- sp :: ds.ds_spans;
+        ds.ds_count <- ds.ds_count + 1)
+      grafted;
+    enforce_limit t ds;
+    advance_to t !max_end;
+    List.length grafted
+  end
+
+(* Binary span-buffer codec — the payload the daemon ships back inside a
+   Result frame.  Format (all integers big-endian):
+     u8  format version (1)
+     u32 span count
+     per span: u32 id · u32 parent (0xffffffff = -1) · 8-byte IEEE-754
+       begin/end (microseconds) · name · cat · u16 arg count · per arg
+       key/value — strings as u32 length + bytes.
+   [spans_of_wire] is total: every malformed input maps to [Error _]. *)
+
+let wire_format_version = 1
+let max_wire_spans = 1_000_000
+
+let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let put_u16 b v =
+  put_u8 b (v lsr 8);
+  put_u8 b v
+
+let put_u32 b v =
+  put_u16 b (v lsr 16);
+  put_u16 b v
+
+let put_str b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let put_f64 b v =
+  let bits = Int64.bits_of_float v in
+  for i = 7 downto 0 do
+    put_u8 b (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff)
+  done
+
+let spans_to_wire spans =
+  let spans =
+    if List.length spans > max_wire_spans then
+      List.filteri (fun i _ -> i < max_wire_spans) spans
+    else spans
+  in
+  let b = Buffer.create 1024 in
+  put_u8 b wire_format_version;
+  put_u32 b (List.length spans);
+  List.iter
+    (fun sp ->
+      put_u32 b (sp.sp_id land 0xffffffff);
+      put_u32 b (if sp.sp_parent < 0 then 0xffffffff else sp.sp_parent land 0xffffffff);
+      put_f64 b sp.sp_begin_us;
+      put_f64 b sp.sp_end_us;
+      put_str b sp.sp_name;
+      put_str b sp.sp_cat;
+      put_u16 b (min 0xffff (List.length sp.sp_args));
+      List.iteri
+        (fun i (k, v) ->
+          if i < 0xffff then begin
+            put_str b k;
+            put_str b v
+          end)
+        sp.sp_args)
+    spans;
+  Buffer.contents b
+
+exception Bad_buf of string
+
+let spans_of_wire s =
+  let len = String.length s in
+  let pos = ref 0 in
+  let need n what =
+    if len - !pos < n then raise (Bad_buf ("truncated " ^ what))
+  in
+  let get_u8 what =
+    need 1 what;
+    let v = Char.code s.[!pos] in
+    incr pos;
+    v
+  in
+  let get_u16 what =
+    let hi = get_u8 what in
+    (hi lsl 8) lor get_u8 what
+  in
+  let get_u32 what =
+    let hi = get_u16 what in
+    (hi lsl 16) lor get_u16 what
+  in
+  let get_str what =
+    let n = get_u32 what in
+    need n what;
+    let v = String.sub s !pos n in
+    pos := !pos + n;
+    v
+  in
+  let get_f64 what =
+    need 8 what;
+    let bits = ref 0L in
+    for _ = 1 to 8 do
+      bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (get_u8 what))
+    done;
+    Int64.float_of_bits !bits
+  in
+  try
+    let v = get_u8 "format version" in
+    if v <> wire_format_version then
+      raise (Bad_buf (Printf.sprintf "unsupported span format %d" v));
+    let count = get_u32 "span count" in
+    if count > max_wire_spans then raise (Bad_buf "span count out of range");
+    let out = ref [] in
+    for _ = 1 to count do
+      let sp_id = get_u32 "span id" in
+      let parent = get_u32 "span parent" in
+      let sp_parent = if parent = 0xffffffff then -1 else parent in
+      let sp_begin_us = get_f64 "span begin" in
+      let sp_end_us = get_f64 "span end" in
+      let sp_name = get_str "span name" in
+      let sp_cat = get_str "span cat" in
+      let nargs = get_u16 "arg count" in
+      let args = ref [] in
+      for _ = 1 to nargs do
+        let k = get_str "arg key" in
+        let v = get_str "arg value" in
+        args := (k, v) :: !args
+      done;
+      if Float.is_nan sp_begin_us || Float.is_nan sp_end_us then
+        raise (Bad_buf "non-finite span timestamp");
+      out :=
+        {
+          sp_id;
+          sp_parent;
+          sp_name;
+          sp_cat;
+          sp_args = List.rev !args;
+          sp_begin_us;
+          sp_end_us;
+        }
+        :: !out
+    done;
+    if !pos <> len then raise (Bad_buf "trailing bytes in span buffer");
+    Ok (List.rev !out)
+  with Bad_buf msg -> Error msg
 
 (* Merge the per-domain buffers into the one timeline.  Ids are allocated
    from a single atomic counter at begin time, so ascending id order *is*
@@ -218,7 +509,11 @@ let to_chrome_json t =
       (spans t)
   in
   let b = Buffer.create 4096 in
-  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"traceId\":\"%s\"},\
+        \"traceEvents\":["
+       (json_escape (trace_id t)));
   Buffer.add_string b
     "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"process_name\",\
      \"args\":{\"name\":\"lime\"}}";

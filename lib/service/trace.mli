@@ -53,7 +53,46 @@ val enabled : t -> bool
 val set_enabled : t -> bool -> unit
 
 val reset : t -> unit
-(** Drop all recorded spans and re-zero the timeline. *)
+(** Drop all recorded spans, re-zero the timeline, zero the dropped-span
+    counter, and mint a fresh trace id. *)
+
+(** {1 Trace identity}
+
+    Every tracer carries a 128-bit trace id (32 lowercase hex characters)
+    minted at creation.  The id travels across the [limec --connect] ⇄
+    [limed] wire so client and daemon spans belong to one distributed
+    trace, and it is stamped into the Chrome export
+    ([otherData.traceId]). *)
+
+val trace_id : t -> string
+(** This tracer's 128-bit trace id as 32 lowercase hex characters. *)
+
+val set_trace_id : t -> string -> unit
+(** Adopt a propagated trace id.  Invalid ids (wrong length, non-hex) are
+    replaced with a freshly minted one rather than accepted. *)
+
+val valid_trace_id : string -> bool
+(** [true] iff the string is exactly 32 lowercase hex characters. *)
+
+val fresh_trace_id : unit -> string
+(** Mint a new random 128-bit trace id (32 lowercase hex characters). *)
+
+(** {1 Span retention}
+
+    Long-running processes (the [limed] daemon traces always-on) must not
+    accumulate spans without bound: each domain's buffer is capped.  When
+    a buffer outgrows the cap, the oldest closed spans are dropped down to
+    7/8 of the cap and counted in {!dropped_spans} (exported by the server
+    as the [lime_trace_dropped_spans] metric).  Open spans are never
+    dropped. *)
+
+val retention : t -> int
+(** Per-domain retained-span cap; [0] means unbounded.  Default 65536. *)
+
+val set_retention : t -> int -> unit
+
+val dropped_spans : t -> int
+(** Total spans evicted by the retention cap since creation/{!reset}. *)
 
 val now_us : t -> float
 (** Current trace time in microseconds; strictly monotonic across calls. *)
@@ -87,6 +126,42 @@ val advance_to : t -> float -> unit
 (** Move the trace clock forward to at least this microsecond mark, so
     wall-clock events recorded after a batch of model-time spans land
     after them. *)
+
+val current_span_id : t -> int
+(** Id of the calling domain's innermost open span, or [-1] when none is
+    open (or the tracer is disabled) — the parent to propagate in an
+    outgoing trace context. *)
+
+(** {1 Cross-process span hand-off}
+
+    The daemon collects the spans a request recorded, serializes them
+    with {!spans_to_wire} (timestamps rebased so 0 = request admission),
+    and ships the buffer back inside the Result frame.  The client
+    decodes with {!spans_of_wire} and {!graft}s them under its own
+    request span, yielding one merged, well-nested timeline. *)
+
+val collect : t -> (unit -> 'a) -> 'a * span list
+(** [collect t f] runs [f] and returns its result together with every
+    span the {e calling domain} recorded during [f], in begin order.
+    Spans opened before [f] (still-enclosing parents) are excluded. *)
+
+val graft : t -> ?at_us:float -> parent:int -> span list -> int
+(** [graft t ~parent spans] inserts foreign spans into this tracer:
+    every id is re-minted locally, parent links are rewired through the
+    id map (foreign roots and dangling parents attach to [parent]),
+    and timestamps — interpreted as microseconds relative to the foreign
+    buffer's origin — are offset by [at_us] (default: the current trace
+    time).  The clock is advanced past the last grafted end so subsequent
+    local events stay monotonic.  Returns the number of spans grafted. *)
+
+val spans_to_wire : span list -> string
+(** Serialize a span buffer to the compact binary wire form (at most
+    1,000,000 spans; extras are silently truncated). *)
+
+val spans_of_wire : string -> (span list, string) result
+(** Total decoder for {!spans_to_wire}'s format: any malformed buffer —
+    truncation anywhere, bad format version, NaN timestamps, trailing
+    bytes — yields [Error]. *)
 
 (** {1 Inspection and export} *)
 

@@ -14,6 +14,8 @@ module Memopt = Lime_gpu.Memopt
 module Pipeline = Lime_gpu.Pipeline
 module Registry = Lime_benchmarks.Registry
 module Bench_def = Lime_benchmarks.Bench_def
+module Trace = Lime_service.Trace
+module Util = Lime_support.Util
 
 (* either side may write to a peer that already closed (the drain tests
    do it on purpose); that must surface as EPIPE, not kill the process *)
@@ -277,6 +279,7 @@ let test_overload_deadline_drain () =
                     cr_worker = "Doubler.apply";
                     cr_config = "all";
                     cr_source = doubler_source;
+                    cr_trace = None;
                   }
               in
               (* pipeline three requests while the worker is pinned:
@@ -332,16 +335,22 @@ let test_overload_deadline_drain () =
 
 let test_drain_completes_inflight () =
   (* a Drain pipelined after a Compile: the compile still completes, the
-     ack counts it, nothing is dropped *)
+     ack counts it, nothing is dropped.  Both frames go out in ONE write
+     so the server provably reads them in one batch — the drain is in
+     force before the compile can be reaped. *)
   with_server (fun sock _server ->
-      let cl = connect_exn sock in
+      let id = 1 and did = 2 in
+      let fd = raw_connect sock in
       Fun.protect
-        ~finally:(fun () -> Client.close cl)
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
         (fun () ->
-          let id = Client.fresh_id cl in
-          let did = Client.fresh_id cl in
-          (match
-             Client.send_frame cl
+          let rd = Wire.reader () in
+          raw_send fd (Wire.encode (Wire.Hello Wire.version));
+          (match raw_next fd rd with
+          | Frame (Wire.Hello_ack _) -> ()
+          | _ -> Alcotest.fail "no hello ack");
+          raw_send fd
+            (Wire.encode
                (Wire.Compile
                   {
                     cr_id = id;
@@ -350,67 +359,63 @@ let test_drain_completes_inflight () =
                     cr_worker = "Doubler.apply";
                     cr_config = "all";
                     cr_source = doubler_source;
+                    cr_trace = None;
                   })
-           with
-          | Ok () -> ()
-          | Error msg -> Alcotest.failf "send: %s" msg);
-          (match Client.send_frame cl (Wire.Drain did) with
-          | Ok () -> ()
-          | Error msg -> Alcotest.failf "send: %s" msg);
-          (match Client.recv_frame cl with
-          | Ok (Wire.Result a) ->
+            ^ Wire.encode (Wire.Drain did));
+          (match raw_next fd rd with
+          | Frame (Wire.Result a) ->
               Alcotest.(check int) "the in-flight compile completed" id
                 a.Wire.ar_id
-          | Ok _ -> Alcotest.fail "expected the compile result first"
-          | Error msg -> Alcotest.failf "recv: %s" msg);
-          match Client.recv_frame cl with
-          | Ok (Wire.Drain_ack d) ->
+          | _ -> Alcotest.fail "expected the compile result first");
+          match raw_next fd rd with
+          | Frame (Wire.Drain_ack d) ->
               Alcotest.(check int) "ack echoes the drain id" did
                 d.Wire.da_id;
               Alcotest.(check int) "the compile counted as completed" 1
                 d.Wire.da_completed;
               Alcotest.(check int) "nothing dropped" 0 d.Wire.da_dropped
-          | Ok _ -> Alcotest.fail "expected the drain ack last"
-          | Error msg -> Alcotest.failf "recv: %s" msg))
+          | _ -> Alcotest.fail "expected the drain ack last"))
 
 let test_draining_refuses_new_work () =
   with_server (fun sock _server ->
-      let cl = connect_exn sock in
+      let fd = raw_connect sock in
       Fun.protect
-        ~finally:(fun () -> Client.close cl)
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
         (fun () ->
-          let did = Client.fresh_id cl in
-          (match Client.send_frame cl (Wire.Drain did) with
-          | Ok () -> ()
-          | Error msg -> Alcotest.failf "send: %s" msg);
-          (* pipelined behind the drain: must be refused, not queued *)
-          (match
-             Client.send_frame cl
-               (Wire.Compile
-                  {
-                    cr_id = 99;
-                    cr_deadline_ms = None;
-                    cr_name = "doubler";
-                    cr_worker = "Doubler.apply";
-                    cr_config = "all";
-                    cr_source = doubler_source;
-                  })
-           with
-          | Ok () -> ()
-          | Error msg -> Alcotest.failf "send: %s" msg);
-          match Client.recv_frame cl with
-          | Ok (Wire.Err e) ->
+          let rd = Wire.reader () in
+          raw_send fd (Wire.encode (Wire.Hello Wire.version));
+          (match raw_next fd rd with
+          | Frame (Wire.Hello_ack _) -> ()
+          | _ -> Alcotest.fail "no hello ack");
+          (* one write: the compile is pipelined behind the drain and must
+             be refused, not queued *)
+          raw_send fd
+            (Wire.encode (Wire.Drain 1)
+            ^ Wire.encode
+                (Wire.Compile
+                   {
+                     cr_id = 99;
+                     cr_deadline_ms = None;
+                     cr_name = "doubler";
+                     cr_worker = "Doubler.apply";
+                     cr_config = "all";
+                     cr_source = doubler_source;
+                     cr_trace = None;
+                   }));
+          match raw_next fd rd with
+          | Frame (Wire.Err e) ->
               Alcotest.(check int) "refusal names the request" 99
                 e.Wire.er_id;
               Alcotest.(check bool) "code draining" true
                 (e.Wire.er_code = Wire.Draining)
-          | Ok (Wire.Drain_ack _) ->
+          | Frame (Wire.Drain_ack _) ->
               (* also acceptable ordering if the refusal raced the ack —
                  but the refusal is sent during frame handling, strictly
                  before the ack, so reaching here is a bug *)
               Alcotest.fail "drain ack arrived before the refusal"
-          | Ok _ -> Alcotest.fail "unexpected frame"
-          | Error msg -> Alcotest.failf "recv: %s" msg))
+          | Frame _ -> Alcotest.fail "unexpected frame"
+          | Eof -> Alcotest.fail "server closed before the refusal"
+          | Timeout -> Alcotest.fail "no refusal"))
 
 (* ------------------------------------------------------------------ *)
 (* Protocol robustness                                                  *)
@@ -444,10 +449,11 @@ let test_garbage_resilience () =
       raw_send fd "\xFF\xFF\xFF\xFFgarbage";
       expect_protocol_error "oversized length" fd (Wire.reader ());
       Unix.close fd;
-      (* a version the server does not speak *)
+      (* a version below the floor (a future version negotiates down
+         instead — see the negotiation tests) *)
       let fd = raw_connect sock in
-      raw_send fd (Wire.encode (Wire.Hello 99));
-      expect_protocol_error "version mismatch" fd (Wire.reader ());
+      raw_send fd (Wire.encode (Wire.Hello 0));
+      expect_protocol_error "version below the floor" fd (Wire.reader ());
       Unix.close fd;
       (* a compile before the hello *)
       let fd = raw_connect sock in
@@ -512,6 +518,463 @@ let test_stats_over_the_wire () =
                 ]
           | Error f -> Alcotest.failf "stats: %s" (Client.failure_to_string f)))
 
+(* ------------------------------------------------------------------ *)
+(* Version negotiation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let plain_compile id =
+  Wire.Compile
+    {
+      cr_id = id;
+      cr_deadline_ms = None;
+      cr_name = "doubler";
+      cr_worker = "Doubler.apply";
+      cr_config = "all";
+      cr_source = doubler_source;
+      cr_trace = None;
+    }
+
+(* an old (v1-speaking) client against the new server: the ack negotiates
+   down to 1 and the reply is the v1 frame — no span buffer *)
+let test_old_client_new_server () =
+  with_server (fun sock _server ->
+      let fd = raw_connect sock in
+      let rd = Wire.reader () in
+      raw_send fd (Wire.encode (Wire.Hello 1));
+      (match raw_next fd rd with
+      | Frame (Wire.Hello_ack v) ->
+          Alcotest.(check int) "negotiated down to the client" 1 v
+      | _ -> Alcotest.fail "no hello ack");
+      raw_send fd (Wire.encode (plain_compile 5));
+      (match raw_next fd rd with
+      | Frame (Wire.Result a) ->
+          Alcotest.(check int) "result id" 5 a.Wire.ar_id;
+          Alcotest.(check string) "no span buffer in a v1 conversation" ""
+            a.Wire.ar_spans;
+          (* the reply must be byte-identical to the v1 encoding: its tag
+             is 4, not 11 *)
+          Alcotest.(check char) "v1 result tag" '\x04'
+            (Wire.encode (Wire.Result a)).[4]
+      | _ -> Alcotest.fail "no result");
+      Unix.close fd;
+      (* a future client (higher version than the server) also negotiates
+         down — to the server's version *)
+      let fd = raw_connect sock in
+      let rd = Wire.reader () in
+      raw_send fd (Wire.encode (Wire.Hello 99));
+      (match raw_next fd rd with
+      | Frame (Wire.Hello_ack v) ->
+          Alcotest.(check int) "negotiated down to the server" Wire.version v
+      | _ -> Alcotest.fail "no hello ack for the future client");
+      Unix.close fd)
+
+(* the new client against an old (pre-negotiation, v1-only) server: the
+   version reject triggers one redial speaking v1, and compile silently
+   drops the trace context the old peer could not decode *)
+let test_new_client_old_server () =
+  let sock = fresh_sock () in
+  let listen = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen (Unix.ADDR_UNIX sock);
+  Unix.listen listen 4;
+  let served_trace = ref (Some { Wire.tc_trace_id = "?"; tc_parent_span = 0 }) in
+  let dom =
+    Domain.spawn (fun () ->
+        (* a faithful v1 daemon: rejects any Hello above 1 outright with
+           the historical error message, then serves one plain compile *)
+        let serve_conn fd =
+          let rd = Wire.reader () in
+          let rec next () =
+            match Wire.next rd with
+            | Ok (Some f) -> f
+            | Ok None ->
+                let buf = Bytes.create 4096 in
+                let n = Unix.read fd buf 0 (Bytes.length buf) in
+                if n = 0 then failwith "eof";
+                Wire.feed rd buf n;
+                next ()
+            | Error e -> failwith (Wire.error_to_string e)
+          in
+          (match next () with
+          | Wire.Hello 1 -> raw_send fd (Wire.encode (Wire.Hello_ack 1))
+          | Wire.Hello v ->
+              raw_send fd
+                (Wire.encode
+                   (Wire.Err
+                      {
+                        er_id = 0;
+                        er_code = Wire.Protocol_error;
+                        er_retry_after_ms = 0;
+                        er_msg =
+                          Printf.sprintf
+                            "unsupported protocol version %d (speaking 1)" v;
+                      }));
+              raise Exit
+          | _ -> failwith "expected a hello");
+          match next () with
+          | Wire.Compile r ->
+              served_trace := r.Wire.cr_trace;
+              raw_send fd
+                (Wire.encode
+                   (Wire.Result
+                      {
+                        ar_id = r.Wire.cr_id;
+                        ar_origin = "compiled";
+                        ar_digest = "";
+                        ar_kernel = r.Wire.cr_worker;
+                        ar_parallel = true;
+                        ar_opencl = "";
+                        ar_placements = "";
+                        ar_spans = "";
+                      }))
+          | _ -> failwith "expected a compile"
+        in
+        (* first connection: version reject; second: the v1 redial *)
+        for _ = 1 to 2 do
+          let fd, _ = Unix.accept listen in
+          (try serve_conn fd with _ -> ());
+          try Unix.close fd with Unix.Unix_error _ -> ()
+        done)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.join dom;
+      (try Unix.close listen with Unix.Unix_error _ -> ());
+      try Sys.remove sock with Sys_error _ -> ())
+    (fun () ->
+      let cl = connect_exn sock in
+      Fun.protect
+        ~finally:(fun () -> Client.close cl)
+        (fun () ->
+          Alcotest.(check int) "fell back to protocol 1" 1 (Client.version cl);
+          let trace =
+            { Wire.tc_trace_id = Trace.fresh_trace_id (); tc_parent_span = 3 }
+          in
+          match
+            Client.compile cl ~name:"doubler" ~trace ~worker:"Doubler.apply"
+              doubler_source
+          with
+          | Ok a ->
+              Alcotest.(check string) "served by the fake v1 daemon"
+                "Doubler.apply" a.Wire.ar_kernel;
+              Alcotest.(check bool)
+                "trace context dropped from the v1 conversation" true
+                (!served_trace = None)
+          | Error f -> Alcotest.failf "compile: %s" (Client.failure_to_string f)))
+
+(* ------------------------------------------------------------------ *)
+(* Distributed tracing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* a traced compile returns the server's span buffer: decodable, rooted
+   at a single server.request span, well-nested and monotonic *)
+let test_merged_trace_well_nested () =
+  with_server (fun sock _server ->
+      let cl = connect_exn sock in
+      Fun.protect
+        ~finally:(fun () -> Client.close cl)
+        (fun () ->
+          let trace =
+            { Wire.tc_trace_id = Trace.fresh_trace_id (); tc_parent_span = 7 }
+          in
+          let a =
+            match
+              Client.compile cl ~name:"doubler" ~trace ~worker:"Doubler.apply"
+                doubler_source
+            with
+            | Ok a -> a
+            | Error f -> Alcotest.failf "compile: %s" (Client.failure_to_string f)
+          in
+          Alcotest.(check bool) "span buffer returned" true
+            (a.Wire.ar_spans <> "");
+          let spans =
+            match Trace.spans_of_wire a.Wire.ar_spans with
+            | Ok spans -> spans
+            | Error msg -> Alcotest.failf "span buffer malformed: %s" msg
+          in
+          let roots =
+            List.filter (fun sp -> sp.Trace.sp_parent < 0) spans
+          in
+          (match roots with
+          | [ root ] ->
+              Alcotest.(check string) "rooted at server.request"
+                "server.request" root.Trace.sp_name;
+              Alcotest.(check bool) "root starts the timeline" true
+                (root.Trace.sp_begin_us = 0.0)
+          | _ -> Alcotest.failf "%d roots, expected 1" (List.length roots));
+          Alcotest.(check bool) "queue-wait child present" true
+            (List.exists
+               (fun sp -> sp.Trace.sp_name = "server.queue_wait")
+               spans);
+          Alcotest.(check bool) "pipeline spans present" true
+            (List.exists
+               (fun sp -> sp.Trace.sp_name = "pipeline.compile")
+               spans);
+          (* well-nested: every child's interval lies inside its parent's;
+             monotonic: every span is closed and non-negative *)
+          let by_id = Hashtbl.create 64 in
+          List.iter
+            (fun sp -> Hashtbl.replace by_id sp.Trace.sp_id sp)
+            spans;
+          List.iter
+            (fun sp ->
+              Alcotest.(check bool)
+                (sp.Trace.sp_name ^ " closed, forward in time") true
+                (sp.Trace.sp_begin_us >= 0.0
+                && sp.Trace.sp_end_us >= sp.Trace.sp_begin_us);
+              if sp.Trace.sp_parent >= 0 then
+                match Hashtbl.find_opt by_id sp.Trace.sp_parent with
+                | None ->
+                    Alcotest.failf "%s has a dangling parent"
+                      sp.Trace.sp_name
+                | Some parent ->
+                    Alcotest.(check bool)
+                      (sp.Trace.sp_name ^ " nested inside "
+                     ^ parent.Trace.sp_name)
+                      true
+                      (parent.Trace.sp_begin_us <= sp.Trace.sp_begin_us
+                      && sp.Trace.sp_end_us <= parent.Trace.sp_end_us))
+            spans;
+          (* an untraced request on the same connection stays span-free *)
+          let b =
+            compile_exn cl ~name:"doubler" ~worker:"Doubler.apply"
+              doubler_source
+          in
+          Alcotest.(check string) "untraced request returns no spans" ""
+            b.Wire.ar_spans))
+
+(* ------------------------------------------------------------------ *)
+(* The HTTP observability plane                                         *)
+(* ------------------------------------------------------------------ *)
+
+let http_get port req =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      raw_send fd req;
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let deadline = Unix.gettimeofday () +. 30.0 in
+      let rec go () =
+        if Unix.gettimeofday () >= deadline then
+          Alcotest.fail "http response never completed";
+        match Unix.select [ fd ] [] [] 1.0 with
+        | [], _, _ -> go ()
+        | _ -> (
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> Buffer.contents buf
+            | n ->
+                Buffer.add_subbytes buf chunk 0 n;
+                go ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+      in
+      go ())
+
+let http_port_exn server =
+  match Server.http_port server with
+  | Some p -> p
+  | None -> Alcotest.fail "no http port bound"
+
+let test_http_endpoints () =
+  (* an isolated registry: the exposed counter values must be exactly
+     this server's, not the process-wide accumulation of other tests *)
+  let svc =
+    Service.create ~registry:(Lime_service.Metrics.create ()) ()
+  in
+  Fun.protect ~finally:(fun () -> Service.shutdown svc) @@ fun () ->
+  with_server ~service:svc
+    ~reshape:(fun c -> { c with Server.sc_http_port = Some 0 })
+    (fun sock server ->
+      let port = http_port_exn server in
+      (* healthy before any drain *)
+      let health = http_get port "GET /healthz HTTP/1.0\r\n\r\n" in
+      Alcotest.(check bool) "healthz 200" true
+        (Util.contains_substring ~sub:"200 OK" health);
+      Alcotest.(check bool) "healthz body" true
+        (Util.contains_substring ~sub:"ok" health);
+      (* drive one compile so the counters move *)
+      let cl = connect_exn sock in
+      Fun.protect
+        ~finally:(fun () -> Client.close cl)
+        (fun () ->
+          ignore
+            (compile_exn cl ~name:"doubler" ~worker:"Doubler.apply"
+               doubler_source));
+      let metrics = http_get port "GET /metrics HTTP/1.0\r\n\r\n" in
+      List.iter
+        (fun sub ->
+          Alcotest.(check bool) (sub ^ " in /metrics") true
+            (Util.contains_substring ~sub metrics))
+        [
+          "200 OK";
+          "text/plain; version=0.0.4";
+          "lime_build_info{";
+          "protocol=\"2\"";
+          "lime_server_requests_total 1";
+          "lime_trace_dropped_spans";
+        ];
+      let status = http_get port "GET /statusz HTTP/1.0\r\n\r\n" in
+      List.iter
+        (fun sub ->
+          Alcotest.(check bool) (sub ^ " in /statusz") true
+            (Util.contains_substring ~sub status))
+        [
+          "200 OK";
+          "application/json";
+          "\"draining\":false";
+          "\"protocol_version\":2";
+          "\"admitted\":1";
+          "\"trace_id\":\"";
+        ];
+      (* unknown path and unsupported method *)
+      Alcotest.(check bool) "404 for an unknown path" true
+        (Util.contains_substring ~sub:"404 Not Found"
+           (http_get port "GET /nope HTTP/1.0\r\n\r\n"));
+      Alcotest.(check bool) "405 for POST" true
+        (Util.contains_substring ~sub:"405 Method Not Allowed"
+           (http_get port "POST /metrics HTTP/1.0\r\n\r\n"));
+      (* malformed request line *)
+      Alcotest.(check bool) "400 for garbage" true
+        (Util.contains_substring ~sub:"400 Bad Request"
+           (http_get port "????\r\n\r\n")))
+
+let test_healthz_flips_while_draining () =
+  (* pin the worker so a drain cannot complete while we probe /healthz *)
+  let svc = Service.create ~jobs:2 () in
+  let gate = Atomic.make false in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set gate true;
+      Service.shutdown svc)
+    (fun () ->
+      with_server ~service:svc
+        ~reshape:(fun c -> { c with Server.sc_http_port = Some 0 })
+        (fun sock server ->
+          let port = http_port_exn server in
+          let blocker =
+            Pool.submit (Service.pool svc) (fun () ->
+                while not (Atomic.get gate) do
+                  Domain.cpu_relax ()
+                done)
+          in
+          let cl = connect_exn sock in
+          Fun.protect
+            ~finally:(fun () ->
+              Atomic.set gate true;
+              ignore (Pool.await blocker);
+              Client.close cl)
+            (fun () ->
+              (* a compile pinned behind the blocked worker keeps the
+                 drain in flight for as long as we need *)
+              (match Client.send_frame cl (plain_compile 1) with
+              | Ok () -> ()
+              | Error msg -> Alcotest.failf "send: %s" msg);
+              (* the drain must come AFTER the compile is admitted, or it
+                 would be refused and the drain would finish instantly;
+                 /statusz makes admission observable *)
+              let deadline = Unix.gettimeofday () +. 30.0 in
+              let rec await_admission () =
+                let status =
+                  try Some (http_get port "GET /statusz HTTP/1.0\r\n\r\n")
+                  with Unix.Unix_error _ -> None
+                in
+                match status with
+                | Some s when Util.contains_substring ~sub:"\"in_flight\":1" s
+                  ->
+                    ()
+                | _ when Unix.gettimeofday () >= deadline ->
+                    Alcotest.fail "the pinned compile was never admitted"
+                | _ -> await_admission ()
+              in
+              await_admission ();
+              Server.drain server;
+              (* the reactor notices the drain request at its next wakeup;
+                 wait (bounded) for readiness to flip rather than sleeping *)
+              let deadline = Unix.gettimeofday () +. 30.0 in
+              let rec await_flip () =
+                (* rapid connect/close cycles against the one-response
+                   listener can surface as a transient reset; retry *)
+                let health =
+                  try Some (http_get port "GET /healthz HTTP/1.0\r\n\r\n")
+                  with Unix.Unix_error _ -> None
+                in
+                match health with
+                | Some health
+                  when Util.contains_substring ~sub:"503" health ->
+                    health
+                | _ when Unix.gettimeofday () >= deadline ->
+                    Alcotest.fail "healthz never flipped to 503"
+                | _ -> await_flip ()
+              in
+              let health = await_flip () in
+              Alcotest.(check bool) "healthz says draining" true
+                (Util.contains_substring ~sub:"draining" health);
+              Alcotest.(check bool) "statusz agrees" true
+                (Util.contains_substring ~sub:"\"draining\":true"
+                   (http_get port "GET /statusz HTTP/1.0\r\n\r\n"));
+              (* let the pinned compile finish; the drain then completes
+                 and with_server's finally joins the reactor *)
+              Atomic.set gate true;
+              match Client.recv_frame cl with
+              | Ok (Wire.Result _) -> ()
+              | Ok _ -> Alcotest.fail "expected the pinned result"
+              | Error msg -> Alcotest.failf "recv: %s" msg)))
+
+(* ------------------------------------------------------------------ *)
+(* The access log                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_access_log () =
+  let log_file =
+    Filename.temp_file "limed-access" ".jsonl"
+  in
+  let trace =
+    { Wire.tc_trace_id = Trace.fresh_trace_id (); tc_parent_span = -1 }
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove log_file with Sys_error _ -> ())
+    (fun () ->
+      with_server
+        ~reshape:(fun c -> { c with Server.sc_access_log = Some log_file })
+        (fun sock _server ->
+          let cl = connect_exn sock in
+          Fun.protect
+            ~finally:(fun () -> Client.close cl)
+            (fun () ->
+              match
+                Client.compile cl ~name:"doubler" ~trace
+                  ~worker:"Doubler.apply" doubler_source
+              with
+              | Ok _ -> ()
+              | Error f ->
+                  Alcotest.failf "compile: %s" (Client.failure_to_string f)));
+      (* with_server has drained and joined: the log is complete *)
+      let lines =
+        In_channel.with_open_text log_file In_channel.input_all
+        |> String.split_on_char '\n'
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      match lines with
+      | [ line ] ->
+          List.iter
+            (fun sub ->
+              Alcotest.(check bool) (sub ^ " in the access line") true
+                (Util.contains_substring ~sub line))
+            [
+              "\"id\":1";
+              "\"name\":\"doubler\"";
+              "\"worker\":\"Doubler.apply\"";
+              "\"config\":\"all\"";
+              "\"outcome\":\"ok\"";
+              "\"origin\":\"compiled\"";
+              "\"trace_id\":\"" ^ trace.Wire.tc_trace_id ^ "\"";
+              "\"deadline_ms\":null";
+            ]
+      | _ ->
+          Alcotest.failf "expected exactly one access-log line, got %d"
+            (List.length lines))
+
 let () =
   Alcotest.run "server"
     [
@@ -537,5 +1000,24 @@ let () =
             test_garbage_resilience;
           Alcotest.test_case "stats over the wire" `Quick
             test_stats_over_the_wire;
+        ] );
+      ( "negotiation",
+        [
+          Alcotest.test_case "old client, new server" `Quick
+            test_old_client_new_server;
+          Alcotest.test_case "new client, old server" `Quick
+            test_new_client_old_server;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "merged trace is well-nested" `Quick
+            test_merged_trace_well_nested;
+        ] );
+      ( "observability plane",
+        [
+          Alcotest.test_case "http endpoints" `Quick test_http_endpoints;
+          Alcotest.test_case "healthz flips while draining" `Quick
+            test_healthz_flips_while_draining;
+          Alcotest.test_case "access log" `Quick test_access_log;
         ] );
     ]

@@ -275,6 +275,43 @@ let test_metric_kind_collision () =
     (Invalid_argument "Metrics.gauge: m is not a gauge") (fun () ->
       ignore (Metrics.gauge reg "m"))
 
+let test_metrics_labeled_family () =
+  (* static labels are baked into the metric's identity: several label
+     sets of one family render as adjacent samples sharing one HELP/TYPE
+     block, with label values escaped per the text format *)
+  let reg = Metrics.create () in
+  let g1 =
+    Metrics.gauge reg ~help:"build identity"
+      ~labels:[ ("version", "1.0.0"); ("proto", "2") ]
+      "svc_build_info"
+  in
+  Metrics.set g1 1.0;
+  let g2 =
+    Metrics.gauge reg
+      ~labels:[ ("version", "0.9\"q\\b\nnl"); ("proto", "1") ]
+      "svc_build_info"
+  in
+  Metrics.set g2 1.0;
+  let want =
+    "# HELP svc_build_info build identity\n\
+     # TYPE svc_build_info gauge\n\
+     svc_build_info{version=\"0.9\\\"q\\\\b\\nnl\",proto=\"1\"} 1\n\
+     svc_build_info{version=\"1.0.0\",proto=\"2\"} 1\n"
+  in
+  Alcotest.(check string) "one metadata block, escaped label values" want
+    (Metrics.expose reg);
+  (* same name + same labels is the same metric, not a new sample *)
+  let g1' =
+    Metrics.gauge reg
+      ~labels:[ ("version", "1.0.0"); ("proto", "2") ]
+      "svc_build_info"
+  in
+  Metrics.set g1' 5.0;
+  Alcotest.(check bool) "re-registration returns the existing metric" true
+    (Lime_support.Util.contains_substring
+       ~sub:"svc_build_info{version=\"1.0.0\",proto=\"2\"} 5"
+       (Metrics.expose reg))
+
 let test_metrics_help_escaping () =
   let reg = Metrics.create () in
   ignore (Metrics.counter reg ~help:"line one\nback\\slash" "esc_total");
@@ -404,6 +441,8 @@ let () =
             test_metrics_exposition_snapshot;
           Alcotest.test_case "kind collision" `Quick test_metric_kind_collision;
           Alcotest.test_case "help escaping" `Quick test_metrics_help_escaping;
+          Alcotest.test_case "labeled family" `Quick
+            test_metrics_labeled_family;
         ] );
       ( "service",
         [

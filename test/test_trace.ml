@@ -304,6 +304,165 @@ let test_summary_and_flame () =
   Alcotest.(check bool) "flame shows a firing" true
     (contains ~sub:"firing.NBody.computeForces" flame)
 
+(* ------------------------------------------------------------------ *)
+(* Cross-process hand-off: retention, collect, graft, span codec       *)
+(* ------------------------------------------------------------------ *)
+
+let test_retention_ring () =
+  let tr = Trace.create ~clock:(ticking ()) () in
+  Trace.set_retention tr 64;
+  Alcotest.(check int) "retention readable" 64 (Trace.retention tr);
+  (* an open span predating the flood must survive every eviction — the
+     stack still references it *)
+  Trace.begin_span tr "long-lived";
+  for i = 1 to 200 do
+    Trace.complete tr ~dur_us:1.0 (Printf.sprintf "s%d" i)
+  done;
+  let spans = Trace.spans tr in
+  Alcotest.(check bool) "buffer bounded" true (List.length spans <= 65);
+  Alcotest.(check bool) "drops counted" true (Trace.dropped_spans tr > 0);
+  Alcotest.(check int) "kept + dropped = recorded" 201
+    (List.length spans + Trace.dropped_spans tr);
+  Alcotest.(check bool) "open span survives eviction" true
+    (List.exists (fun s -> s.Trace.sp_name = "long-lived") spans);
+  (* the ring drops the oldest closed spans: the newest completion is
+     always retained *)
+  Alcotest.(check bool) "newest span retained" true
+    (List.exists (fun s -> s.Trace.sp_name = "s200") spans);
+  Alcotest.(check bool) "oldest closed span evicted" false
+    (List.exists (fun s -> s.Trace.sp_name = "s1") spans)
+
+let test_retention_zero_unbounded () =
+  let tr = Trace.create ~clock:(ticking ()) () in
+  Trace.set_retention tr 0;
+  for i = 1 to 300 do
+    Trace.complete tr ~dur_us:1.0 (Printf.sprintf "s%d" i)
+  done;
+  Alcotest.(check int) "nothing evicted" 300 (List.length (Trace.spans tr));
+  Alcotest.(check int) "nothing counted dropped" 0 (Trace.dropped_spans tr)
+
+let test_collect_watermark () =
+  let tr = Trace.create ~clock:(ticking ()) () in
+  Trace.complete tr ~dur_us:1.0 "before";
+  let r, got =
+    Trace.collect tr (fun () ->
+        Trace.with_span tr "during" (fun () ->
+            Trace.complete tr ~dur_us:1.0 "child");
+        42)
+  in
+  Alcotest.(check int) "result threaded through" 42 r;
+  Alcotest.(check (list string)) "only spans begun inside f, begin order"
+    [ "during"; "child" ]
+    (List.map (fun s -> s.Trace.sp_name) got);
+  (* and the collected spans are still in the tracer's own buffer *)
+  Alcotest.(check int) "buffer keeps everything" 3
+    (List.length (Trace.spans tr))
+
+let mk_span ?(cat = "r") ?(args = []) id parent b e name =
+  {
+    Trace.sp_id = id;
+    sp_parent = parent;
+    sp_name = name;
+    sp_cat = cat;
+    sp_args = args;
+    sp_begin_us = b;
+    sp_end_us = e;
+  }
+
+let test_graft_remints_and_reparents () =
+  let tr = Trace.create ~clock:(ticking ()) () in
+  Trace.begin_span tr "local.parent";
+  let parent = Trace.current_span_id tr in
+  let remote =
+    [
+      mk_span 5 (-1) 0.0 10.0 "remote.root";
+      mk_span 6 5 2.0 8.0 "remote.child";
+      mk_span 7 99 3.0 4.0 "remote.dangling";
+      (* hostile timestamps: negative begin, end before begin *)
+      mk_span 8 (-1) (-5.0) (-6.0) "remote.clamped";
+    ]
+  in
+  let n = Trace.graft tr ~at_us:100.0 ~parent remote in
+  Alcotest.(check int) "all spans grafted" 4 n;
+  let spans = Trace.spans tr in
+  let find name = List.find (fun s -> s.Trace.sp_name = name) spans in
+  let root = find "remote.root" in
+  let child = find "remote.child" in
+  let dangling = find "remote.dangling" in
+  let clamped = find "remote.clamped" in
+  Alcotest.(check int) "foreign root hangs off the local parent" parent
+    root.Trace.sp_parent;
+  Alcotest.(check int) "child rewired through the id map" root.Trace.sp_id
+    child.Trace.sp_parent;
+  Alcotest.(check int) "dangling parent attaches to the local parent"
+    parent dangling.Trace.sp_parent;
+  (* remote ids are re-minted into the local id space *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (s.Trace.sp_name ^ " id re-minted") false
+        (List.mem s.Trace.sp_id [ 5; 6; 7; 8 ]))
+    [ root; child; dangling; clamped ];
+  Alcotest.(check (float 1e-9)) "timestamps offset by at_us" 102.0
+    child.Trace.sp_begin_us;
+  Alcotest.(check (float 1e-9)) "negative begin clamps to the base" 100.0
+    clamped.Trace.sp_begin_us;
+  Alcotest.(check bool) "end never precedes begin" true
+    (clamped.Trace.sp_end_us >= clamped.Trace.sp_begin_us);
+  (* the clock advanced past the last grafted end: new spans come after *)
+  Alcotest.(check bool) "clock advanced past the graft" true
+    (Trace.now_us tr > 110.0)
+
+let test_span_codec_roundtrip () =
+  let spans =
+    [
+      mk_span ~cat:"server" 0 (-1) 0.0 12.5 "server.request";
+      mk_span ~args:[ ("k", "v"); ("empty", "") ] 1 0 1.25 3.75 "pipeline";
+      mk_span ~cat:"" 0xFFFF_FFFE 1 2.0 2.0 "zero-width";
+    ]
+  in
+  (match Trace.spans_of_wire (Trace.spans_to_wire spans) with
+  | Ok got -> Alcotest.(check bool) "roundtrip exact" true (got = spans)
+  | Error e -> Alcotest.failf "roundtrip rejected: %s" e);
+  match Trace.spans_of_wire (Trace.spans_to_wire []) with
+  | Ok [] -> ()
+  | _ -> Alcotest.fail "empty buffer must roundtrip"
+
+let test_span_codec_total () =
+  let buf =
+    Trace.spans_to_wire
+      [
+        mk_span ~args:[ ("k", "v") ] 1 (-1) 0.0 5.0 "a";
+        mk_span 2 1 1.0 2.0 "b";
+      ]
+  in
+  (* every proper prefix is a clean Error, never an exception *)
+  for cut = 0 to String.length buf - 1 do
+    match Trace.spans_of_wire (String.sub buf 0 cut) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "prefix of %d/%d bytes accepted" cut
+                (String.length buf)
+  done;
+  (match Trace.spans_of_wire (buf ^ "\x00") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing bytes accepted");
+  (* a foreign format version is refused outright *)
+  let bad_version = "\x02" ^ String.sub buf 1 (String.length buf - 1) in
+  (match Trace.spans_of_wire bad_version with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown format version accepted");
+  (* a hostile span count is refused before any per-span reads *)
+  (match Trace.spans_of_wire "\x01\xFF\xFF\xFF\xFF" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "hostile span count accepted");
+  (* NaN timestamps do not survive decoding *)
+  match
+    Trace.spans_of_wire
+      (Trace.spans_to_wire [ mk_span 1 (-1) Float.nan 1.0 "nan" ])
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "NaN timestamp accepted"
+
 let () =
   Alcotest.run "trace"
     [
@@ -340,5 +499,19 @@ let () =
           Alcotest.test_case "metrics and trace compose" `Quick
             test_metrics_and_trace_compose;
           Alcotest.test_case "summary and flame" `Quick test_summary_and_flame;
+        ] );
+      ( "hand-off",
+        [
+          Alcotest.test_case "retention ring bounds the buffer" `Quick
+            test_retention_ring;
+          Alcotest.test_case "retention 0 means unbounded" `Quick
+            test_retention_zero_unbounded;
+          Alcotest.test_case "collect watermark" `Quick test_collect_watermark;
+          Alcotest.test_case "graft re-mints and re-parents" `Quick
+            test_graft_remints_and_reparents;
+          Alcotest.test_case "span codec roundtrip" `Quick
+            test_span_codec_roundtrip;
+          Alcotest.test_case "span codec is total" `Quick
+            test_span_codec_total;
         ] );
     ]

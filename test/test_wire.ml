@@ -9,6 +9,16 @@ let u32 = QCheck.Gen.int_range 0 0xFFFF_FFFF
 let short_str = QCheck.Gen.(string_size (int_range 0 64))
 let long_str = QCheck.Gen.(string_size (int_range 0 2048))
 
+(* propagated trace context: any string travels as the trace id (the
+   codec does not validate identity — the tracer does), and the parent
+   span is -1 (none, the wire sentinel) or any u32 below the sentinel *)
+let gen_trace_ctx =
+  QCheck.Gen.(
+    map
+      (fun (tid, parent) ->
+        { Wire.tc_trace_id = tid; tc_parent_span = parent })
+      (pair short_str (int_range (-1) 0xFFFF_FFFE)))
+
 let gen_frame =
   QCheck.Gen.(
     oneof
@@ -16,7 +26,7 @@ let gen_frame =
         map (fun v -> Wire.Hello v) (int_range 0 0xFF);
         map (fun v -> Wire.Hello_ack v) (int_range 0 0xFF);
         map
-          (fun (id, dl, (name, worker, config, source)) ->
+          (fun (id, dl, (name, worker, config, source), trace) ->
             Wire.Compile
               {
                 cr_id = id;
@@ -25,12 +35,14 @@ let gen_frame =
                 cr_worker = worker;
                 cr_config = config;
                 cr_source = source;
+                cr_trace = trace;
               })
-          (triple u32
+          (quad u32
              (opt (int_range 0 0xFFFF_FFFE))
-             (quad short_str short_str short_str long_str));
+             (quad short_str short_str short_str long_str)
+             (opt gen_trace_ctx));
         map
-          (fun (id, par, (origin, digest, kernel), (opencl, placements)) ->
+          (fun (id, par, (origin, digest, kernel), (opencl, placements, spans)) ->
             Wire.Result
               {
                 ar_id = id;
@@ -40,10 +52,11 @@ let gen_frame =
                 ar_parallel = par;
                 ar_opencl = opencl;
                 ar_placements = placements;
+                ar_spans = spans;
               })
           (quad u32 bool
              (triple short_str short_str short_str)
-             (pair long_str long_str));
+             (triple long_str long_str long_str));
         map
           (fun (id, code, retry, msg) ->
             Wire.Err
@@ -196,6 +209,78 @@ let test_pipelined_frames () =
   Alcotest.(check bool) "drained" true (Wire.next r = Ok None);
   Alcotest.(check int) "no residue" 0 (Wire.buffered r)
 
+(* version-bump discipline: the traced Compile / span-carrying Result use
+   the new tags (10/11) only when the new fields are present, so v2
+   traffic without them is byte-identical to what a v1 endpoint emits *)
+let sample_compile trace =
+  Wire.Compile
+    {
+      cr_id = 7;
+      cr_deadline_ms = Some 250;
+      cr_name = "n";
+      cr_worker = "W.m";
+      cr_config = "all";
+      cr_source = "src";
+      cr_trace = trace;
+    }
+
+let sample_result spans =
+  Wire.Result
+    {
+      ar_id = 7;
+      ar_origin = "memory";
+      ar_digest = "d";
+      ar_kernel = "k";
+      ar_parallel = true;
+      ar_opencl = "cl";
+      ar_placements = "p";
+      ar_spans = spans;
+    }
+
+let sample_ctx =
+  { Wire.tc_trace_id = String.make 32 'a'; tc_parent_span = 42 }
+
+let test_version_tags () =
+  Alcotest.(check int) "protocol version" 2 Wire.version;
+  Alcotest.(check char) "plain Compile keeps the v1 tag" '\x03'
+    (payload (sample_compile None)).[0];
+  Alcotest.(check char) "traced Compile uses the v2 tag" '\x0A'
+    (payload (sample_compile (Some sample_ctx))).[0];
+  Alcotest.(check char) "span-free Result keeps the v1 tag" '\x04'
+    (payload (sample_result "")).[0];
+  Alcotest.(check char) "span-carrying Result uses the v2 tag" '\x0B'
+    (payload (sample_result "spans")).[0];
+  (* the v1 prefix of the traced frame is exactly the untraced frame: the
+     new fields are strictly appended *)
+  let plain = payload (sample_compile None) in
+  let traced = payload (sample_compile (Some sample_ctx)) in
+  Alcotest.(check string) "trace ctx is appended, not interleaved"
+    (String.sub plain 1 (String.length plain - 1))
+    (String.sub traced 1 (String.length plain - 1))
+
+let test_no_parent_sentinel () =
+  (* parent -1 crosses the wire as the u32 sentinel and comes back -1 *)
+  let f =
+    sample_compile (Some { Wire.tc_trace_id = "t"; tc_parent_span = -1 })
+  in
+  Alcotest.(check bool) "rootless trace ctx round-trips" true
+    (Wire.decode (payload f) = Ok f)
+
+(* adversarial truncation inside the NEW fields specifically: every
+   proper prefix of a tag-10/tag-11 payload must be a total Error *)
+let test_new_field_truncation () =
+  let check_prefixes what p =
+    for cut = 1 to String.length p - 1 do
+      match Wire.decode (String.sub p 0 cut) with
+      | Error _ -> ()
+      | Ok _ ->
+          Alcotest.failf "%s truncated at %d/%d bytes accepted" what cut
+            (String.length p)
+    done
+  in
+  check_prefixes "traced Compile" (payload (sample_compile (Some sample_ctx)));
+  check_prefixes "span-carrying Result" (payload (sample_result "0123456789"))
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [ roundtrip; reader_roundtrip; reader_byte_at_a_time; truncation_total ]
@@ -213,5 +298,14 @@ let () =
           Alcotest.test_case "empty payload" `Quick test_empty_payload;
           Alcotest.test_case "bad error code" `Quick test_bad_error_code;
           Alcotest.test_case "pipelined frames" `Quick test_pipelined_frames;
+        ] );
+      ( "trace context",
+        [
+          Alcotest.test_case "version and tag selection" `Quick
+            test_version_tags;
+          Alcotest.test_case "no-parent sentinel" `Quick
+            test_no_parent_sentinel;
+          Alcotest.test_case "truncation in the new fields" `Quick
+            test_new_field_truncation;
         ] );
     ]
