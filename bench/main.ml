@@ -58,6 +58,10 @@ let run_marshal_ablation () =
    it so the CI gate stays fast *)
 let quick_mode = ref false
 
+(* --workload NAME restricts the registry-driven experiments; names are
+   validated against the registry up front (see Registry.find_or_err). *)
+let workload_filter = ref Lime_benchmarks.Registry.workloads
+
 (* Beam-searched rewrite schedules vs the Fig 8 sweep, every registry
    workload x every Table 2 device.  Doubles as a gate: the beam winner
    must never model slower than the best Fig 8 configuration (it is
@@ -116,7 +120,7 @@ let run_validate () =
       Printf.printf "%-22s %10s
 " b.name (if ok then "ok" else "MISMATCH");
       if not ok then exit 1)
-    Lime_benchmarks.Registry.workloads
+    !workload_filter
 
 let run_overlap () =
   section "Future work (§5.3) — overlap + direct marshaling ablation";
@@ -585,6 +589,103 @@ let run_runtime_benches () =
          Printf.printf "%-44s %14.1f ns/run
 " name est)
 
+(* Generated-program traffic against the daemon (--fuzz N): a
+   zipf-weighted stream drawn from a lime.fuzz corpus, the precursor to
+   the fleet bench.  Unlike the registry suites, the program mix is
+   novel by construction — the head of the distribution hits the cache
+   tiers, the tail forces cold compiles — so this measures the daemon's
+   tail latency under realistic cache pressure. *)
+let run_fuzz_traffic ~count ~seed () =
+  section "Compile daemon — generated-program traffic (lime.fuzz)";
+  let module Server = Lime_server.Server in
+  let module Client = Lime_server.Client in
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let pool = max 4 (min 64 (count / 4)) in
+  let items =
+    Lime_fuzz.Gen.corpus ~seed pool
+    |> List.map (fun p ->
+           ( List.hd (List.rev (Lime_fuzz.Gen.workers p)),
+             Lime_fuzz.Gen.to_source p ))
+    |> Array.of_list
+  in
+  (* zipf(1.1) over pool ranks, inverse-cdf sampled from the
+     deterministic Prng so a seed fully determines the traffic *)
+  let weights =
+    Array.init pool (fun r -> 1.0 /. (float_of_int (r + 1) ** 1.1))
+  in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let rng = Lime_support.Prng.create (0x5a69 lxor (seed * 2654435761)) in
+  let pick () =
+    let x = Lime_support.Prng.float01 rng *. total in
+    let acc = ref 0.0 and hit = ref (pool - 1) in
+    (try
+       Array.iteri
+         (fun r w ->
+           acc := !acc +. w;
+           if x < !acc then begin
+             hit := r;
+             raise Exit
+           end)
+         weights
+     with Exit -> ());
+    !hit
+  in
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "limed-fuzz-%d.sock" (Unix.getpid ()))
+  in
+  let server = Server.create (Server.default_config ~socket:sock) in
+  let dom = Domain.spawn (fun () -> Server.run server) in
+  let cl =
+    match Client.connect sock with
+    | Ok cl -> cl
+    | Error msg ->
+        prerr_endline msg;
+        exit 1
+  in
+  let lats = Array.make count 0.0 in
+  let origins = Hashtbl.create 4 in
+  let errors = ref 0 in
+  let t_all = Unix.gettimeofday () in
+  for i = 0 to count - 1 do
+    let worker, source = items.(pick ()) in
+    let t0 = Unix.gettimeofday () in
+    (match Client.compile cl ~name:"fuzz" ~worker source with
+    | Ok art ->
+        let o = art.Lime_server.Wire.ar_origin in
+        Hashtbl.replace origins o
+          (1 + Option.value ~default:0 (Hashtbl.find_opt origins o))
+    | Error f ->
+        incr errors;
+        prerr_endline (Client.failure_to_string f));
+    lats.(i) <- Unix.gettimeofday () -. t0
+  done;
+  let wall = Unix.gettimeofday () -. t_all in
+  Client.close cl;
+  Server.drain server;
+  Domain.join dom;
+  Array.sort compare lats;
+  let pct p = lats.(min (count - 1) (p * count / 100)) in
+  let origin o = Option.value ~default:0 (Hashtbl.find_opt origins o) in
+  let compiled = origin "compiled" in
+  let hits = origin "memory" + origin "disk" in
+  Printf.printf
+    "pool: %d generated programs (seed %d), %d requests, zipf 1.1\n" pool
+    seed count;
+  Printf.printf
+    "cold compiles: %d   cache hits: %d (%.0f%%: %d memory, %d disk)   \
+     errors: %d\n"
+    compiled hits
+    (100.0 *. float_of_int hits /. float_of_int (max 1 count))
+    (origin "memory") (origin "disk") !errors;
+  Printf.printf
+    "latency: p50 %.2f ms  p99 %.2f ms  max %.2f ms  (%.0f req/s)\n"
+    (pct 50 *. 1e3) (pct 99 *. 1e3)
+    (lats.(count - 1) *. 1e3)
+    (float_of_int count /. wall);
+  if !errors > 0 then exit 1
+
 let all_experiments =
   [
     ("validate", run_validate);
@@ -626,6 +727,11 @@ let usage () =
     \  --quick          use the test-scale programs and inputs, so the JSON\n\
     \                   harness finishes in seconds (for CI)\n\
     \  --seed N         seed for the deterministic input builders (default 1)\n\
+    \  --fuzz N         drive N zipf-weighted generated-program requests\n\
+    \                   (lime.fuzz corpus, seeded by --seed) against an\n\
+    \                   in-process daemon; reports cache hit rate and p50/p99\n\
+    \  --workload NAME  restrict registry-driven experiments to NAME (repeat\n\
+    \                   for several); unknown names list what is available\n\
     \  --help           this text\n"
     (String.concat " " (List.map fst all_experiments))
     Benchjson.schema_name Benchjson.schema_version
@@ -636,11 +742,21 @@ type opts = {
   mutable o_quick : bool;
   mutable o_seed : int;
   mutable o_names : string list;
+  mutable o_fuzz : int option;
+  mutable o_workloads : string list;
 }
 
 let parse_args () =
   let o =
-    { o_json = None; o_baseline = None; o_quick = false; o_seed = 1; o_names = [] }
+    {
+      o_json = None;
+      o_baseline = None;
+      o_quick = false;
+      o_seed = 1;
+      o_names = [];
+      o_fuzz = None;
+      o_workloads = [];
+    }
   in
   let rec go = function
     | [] -> ()
@@ -664,7 +780,18 @@ let parse_args () =
         | None ->
             Printf.eprintf "bad --seed %s: expected an integer\n" n;
             exit 2)
-    | ("--json" | "--baseline" | "--seed") :: [] ->
+    | "--fuzz" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some count when count > 0 ->
+            o.o_fuzz <- Some count;
+            go rest
+        | _ ->
+            Printf.eprintf "bad --fuzz %s: expected a positive integer\n" n;
+            exit 2)
+    | "--workload" :: name :: rest ->
+        o.o_workloads <- o.o_workloads @ [ name ];
+        go rest
+    | ("--json" | "--baseline" | "--seed" | "--fuzz" | "--workload") :: [] ->
         Printf.eprintf "missing argument (see --help)\n";
         exit 2
     | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
@@ -728,10 +855,25 @@ let run_perf (o : opts) =
 let () =
   let o = parse_args () in
   quick_mode := o.o_quick;
+  (match o.o_workloads with
+  | [] -> ()
+  | names ->
+      workload_filter :=
+        List.map
+          (fun n ->
+            match Lime_benchmarks.Registry.find_or_err n with
+            | Ok b -> b
+            | Error msg ->
+                prerr_endline msg;
+                exit 2)
+          names);
+  (match o.o_fuzz with
+  | Some count -> run_fuzz_traffic ~count ~seed:o.o_seed ()
+  | None -> ());
   let perf_mode = o.o_json <> None || o.o_baseline <> None in
   let requested =
     match o.o_names with
-    | [] when perf_mode -> []
+    | [] when perf_mode || o.o_fuzz <> None -> []
     | [] -> List.map fst all_experiments
     | names -> names
   in

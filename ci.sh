@@ -295,6 +295,26 @@ dune exec --no-build bench/main.exe -- --quick --seed 1 --baseline "$bench_json"
 dune exec --no-build bench/main.exe -- optimize --quick > /dev/null \
   || { echo "FAIL: optimize experiment gate (beam vs fig8) regressed"; exit 1; }
 
+echo "== fuzz smoke test =="
+# a fixed-seed budget through the three-way differential oracle: any
+# interpreter/engine/OpenCL disagreement fails the build with a shrunk
+# counterexample (the long-budget run is `dune build @fuzz`)
+fuzz_out=$(dune exec --no-build bin/limefuzz.exe -- --count 40 --seed 1 --schedules 2)
+echo "$fuzz_out" | grep -q "40 generated programs, 0 disagreements" \
+  || { echo "FAIL: fuzz smoke found a disagreement"; echo "$fuzz_out"; exit 1; }
+# the harness-has-teeth check: a deliberately nudged reference must be
+# caught and shrunk — if the oracle goes blind, CI fails here, not later
+dune exec --no-build bin/limefuzz.exe -- --selftest --count 10 --seed 1 \
+  | grep -q "selftest ok" \
+  || { echo "FAIL: fuzz oracle did not catch a nudged reference"; exit 1; }
+# generated programs double as daemon traffic: a zipf-weighted stream
+# must complete without request errors and report its tail latency
+fuzz_traffic=$(dune exec --no-build bench/main.exe -- --fuzz 30 --seed 2)
+echo "$fuzz_traffic" | grep -q "errors: 0" \
+  || { echo "FAIL: fuzz traffic run had request errors"; echo "$fuzz_traffic"; exit 1; }
+echo "$fuzz_traffic" | grep -q "p99" \
+  || { echo "FAIL: fuzz traffic run reported no tail latency"; echo "$fuzz_traffic"; exit 1; }
+
 echo "== optimizer smoke test =="
 # a cold beam search must store its schedule; the warm rerun must replay it
 # (not re-search) with identical output; and the beam must never lose to
@@ -338,4 +358,7 @@ echo "        the observability plane answered /healthz and /metrics, logged"
 echo "        one trace-correlated access record, merged the cross-process"
 echo "        trace, and flipped readiness while draining;"
 echo "        bench JSON self-diff and the beam-vs-fig8 gate showed no"
-echo "        regressions; beam schedule stored cold and replayed warm)"
+echo "        regressions; the differential fuzz smoke agreed three ways,"
+echo "        its selftest caught a nudged reference, and generated traffic"
+echo "        drove the daemon cleanly;"
+echo "        beam schedule stored cold and replayed warm)"

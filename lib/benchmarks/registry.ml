@@ -21,6 +21,18 @@ let workloads : Bench_def.t list = all @ [ Tmatmul.bench ]
 let find name =
   List.find_opt (fun (b : Bench_def.t) -> b.Bench_def.name = name) workloads
 
+let names = List.map (fun (b : Bench_def.t) -> b.Bench_def.name) workloads
+
+(* Same miss UX as the CLI's device-name validation: a typo'd workload
+   answers with everything it could have been. *)
+let find_or_err name =
+  match find name with
+  | Some b -> Ok b
+  | None ->
+      Error
+        (Printf.sprintf "unknown workload %s; available: %s" name
+           (String.concat ", " names))
+
 (** The five benchmarks of the Fig 8 kernel-quality comparison. *)
 let fig8 = List.filter (fun (b : Bench_def.t) -> b.Bench_def.in_fig8) all
 

@@ -10,6 +10,14 @@ val workloads : Bench_def.t list
 val find : string -> Bench_def.t option
 (** Looks up by name across {!workloads}. *)
 
+val names : string list
+(** The names of {!workloads}, in registry order. *)
+
+val find_or_err : string -> (Bench_def.t, string) result
+(** Like {!find}, but a miss reports the available workload names
+    (the device-name validation UX): ["unknown workload X; available:
+    NBody-single, ..."]. *)
+
 val fig8 : Bench_def.t list
 (** The five benchmarks of the Fig 8 kernel-quality comparison. *)
 

@@ -187,7 +187,13 @@ let rec expr_c g (e : Ir.expr) : string =
       | Some (root, _) -> (
           match root_aty g root with
           | Some aty -> dim_len_c (root_cname g root) aty d
-          | None -> Printf.sprintf "%s_len%d" (cname (expr_c g a)) d)
+          | None -> (
+              (* not a kernel parameter: a body-declared intermediate (whose
+                 dynamic lengths are args-struct fields, like the scratch
+                 buffers) or the _out alias *)
+              match local_array_aty g root with
+              | Some aty -> dim_len_c (root_cname g root) aty d
+              | None -> Printf.sprintf "args.%s_len%d" (root_cname g root) d))
       | None -> "/*len?*/0")
   | Ir.Intrinsic (b, s, args) ->
       Printf.sprintf "%s(%s)" (intrinsic_c b s)

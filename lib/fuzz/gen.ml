@@ -1,0 +1,357 @@
+(* Property-based generator of well-typed Lime task graphs.
+
+   A generated program is a pipeline over a deterministic float vector:
+   an on-device data generator stage ([genCell] hashed from an integer
+   seed baked into the source), one to three filter stages (pointwise
+   maps and sliding-window gathers), an optional terminal reduction, all
+   wired through a [task .. => task .. => ..] graph with a field-writing
+   sink.  Every program the generator emits must be accepted by the
+   frontend, classifiable by the kernel extractor, and total at runtime
+   (no NaN sources, index arithmetic always wrapped by [% xs.length]) —
+   any rejection or crash downstream is a finding, not generator noise.
+
+   The shape mirrors what the paper's nine workloads exercise (map over
+   [Lime.range], [@] partial application, [+ !]/[Math.max !] reduces,
+   multi-task graphs) but explores the space the hand-written suite
+   cannot: deep expression trees, window/stride combinations, map chains
+   that force scratch buffers through codegen, and split-vs-fused task
+   boundaries. *)
+
+(* ------------------------------------------------------------------ *)
+(* Program shapes                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Scalar expression over the element [x] and a per-stage captured
+   constant [c].  Total by construction: [Sqrt1p e] renders as
+   [sqrt(e*e + 1)] so its argument is always >= 1, and there is no
+   division. *)
+type fexpr =
+  | X
+  | C
+  | Lit of float  (** small multiple of 0.25, so f32 arithmetic is exact-ish *)
+  | Add of fexpr * fexpr
+  | Sub of fexpr * fexpr
+  | Mul of fexpr * fexpr
+  | Neg of fexpr
+  | Abs of fexpr
+  | Sqrt1p of fexpr
+  | Min of fexpr * fexpr
+  | Max of fexpr * fexpr
+  | Cond of fexpr * fexpr * fexpr * fexpr  (** [a < b ? t : e] *)
+
+type stage =
+  | Map of { cap : float; body : fexpr }
+      (** [Gen.eK(cap) @ xs] — pointwise *)
+  | Window of { w : int; stride : int; cap : float; body : fexpr }
+      (** gather over [w] neighbours at [i*stride + j], wrapped mod
+          length, summed — an indexed map over [Lime.range] *)
+
+type reduce = RSum | RMax | RMin
+
+type prog = {
+  p_data : int;  (** seed literal baked into the [genCell] input stage *)
+  p_n : int;  (** input vector length (>= 2) *)
+  p_stages : stage list;  (** >= 1 *)
+  p_reduce : reduce option;  (** [None] = the graph moves an array to the sink *)
+  p_split : bool;  (** split stages across two task-graph workers *)
+  p_steps : int;  (** [finish(steps)] *)
+}
+
+let split_effective (p : prog) = p.p_split && List.length p.p_stages >= 2
+
+(* ------------------------------------------------------------------ *)
+(* Source rendering                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let lit (f : float) : string = Printf.sprintf "%.2ff" f
+
+let rec fexpr_c (e : fexpr) : string =
+  let bin op a b = Printf.sprintf "(%s %s %s)" (fexpr_c a) op (fexpr_c b) in
+  let call2 fn a b = Printf.sprintf "%s(%s, %s)" fn (fexpr_c a) (fexpr_c b) in
+  match e with
+  | X -> "x"
+  | C -> "c"
+  | Lit f -> lit f
+  | Add (a, b) -> bin "+" a b
+  | Sub (a, b) -> bin "-" a b
+  | Mul (a, b) -> bin "*" a b
+  | Neg a -> Printf.sprintf "(0.0f - %s)" (fexpr_c a)
+  | Abs a -> Printf.sprintf "Math.abs(%s)" (fexpr_c a)
+  | Sqrt1p a ->
+      let s = fexpr_c a in
+      Printf.sprintf "Math.sqrt((%s * %s) + 1.0f)" s s
+  | Min (a, b) -> call2 "Math.min" a b
+  | Max (a, b) -> call2 "Math.max" a b
+  | Cond (a, b, t, f) ->
+      Printf.sprintf "((%s < %s) ? %s : %s)" (fexpr_c a) (fexpr_c b)
+        (fexpr_c t) (fexpr_c f)
+
+(* The element function for stage [k] and the [@]-application of that
+   stage to the array identifier [arr]. *)
+let stage_fn (k : int) (s : stage) : string =
+  match s with
+  | Map { body; _ } ->
+      Printf.sprintf
+        "  static local float e%d(float c, float x) {\n    return %s;\n  }\n" k
+        (fexpr_c body)
+  | Window { w; stride; body; _ } ->
+      Printf.sprintf
+        "  static local float w%d(float[[]] xs, float c, int i) {\n\
+        \    float acc = 0.0f;\n\
+        \    for (int j = 0; j < %d; j++) {\n\
+        \      float x = xs[(i * %d + j) %% xs.length];\n\
+        \      acc = acc + %s;\n\
+        \    }\n\
+        \    return acc;\n\
+        \  }\n"
+        k w stride (fexpr_c body)
+
+let stage_app (k : int) (s : stage) (arr : string) : string =
+  match s with
+  | Map { cap; _ } -> Printf.sprintf "Gen.e%d(%s) @ %s" k (lit cap) arr
+  | Window { cap; _ } ->
+      Printf.sprintf "Gen.w%d(%s, %s) @ Lime.range(%s.length)" k arr (lit cap)
+        arr
+
+let reduce_op = function
+  | RSum -> "+"
+  | RMax -> "Math.max"
+  | RMin -> "Math.min"
+
+(* One worker covering stages [lo, hi) of [stages] (global indices keep
+   the [eK]/[wK] names stable across the split), reducing iff [red]. *)
+let worker_fn (name : string) (stages : (int * stage) list)
+    (red : reduce option) : string =
+  let buf = Buffer.create 256 in
+  let ret_ty = match red with Some _ -> "float" | None -> "float[[]]" in
+  Buffer.add_string buf
+    (Printf.sprintf "  static local %s %s(float[[]] xs) {\n" ret_ty name);
+  let n = List.length stages in
+  let arr_of i = if i = 0 then "xs" else Printf.sprintf "t%d" (i - 1) in
+  List.iteri
+    (fun i (k, s) ->
+      let app = stage_app k s (arr_of i) in
+      let last = i = n - 1 in
+      match red with
+      | None when last -> Buffer.add_string buf ("    return " ^ app ^ ";\n")
+      | _ ->
+          Buffer.add_string buf
+            (Printf.sprintf "    float[[]] t%d = %s;\n" i app))
+    stages;
+  (match red with
+  | Some r ->
+      Buffer.add_string buf
+        (Printf.sprintf "    return %s ! t%d;\n" (reduce_op r) (n - 1))
+  | None -> ());
+  Buffer.add_string buf "  }\n";
+  Buffer.contents buf
+
+(* The worker method names, in pipeline order, that [to_source] emits —
+   exactly what must be fed to [Pipeline.compile ~worker]. *)
+let workers (p : prog) : string list =
+  if split_effective p then [ "Gen.workA"; "Gen.workB" ] else [ "Gen.work" ]
+
+let to_source (p : prog) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "class Gen {\n";
+  List.iteri (fun k s -> Buffer.add_string buf (stage_fn k s)) p.p_stages;
+  Buffer.add_string buf
+    "  static local float genCell(int seed, int i) {\n\
+    \    int h = (i * 48271 + seed) ^ (i >>> 7);\n\
+    \    return (float) (h & 1023) / 1024.0f - 0.5f;\n\
+    \  }\n";
+  let indexed = List.mapi (fun k s -> (k, s)) p.p_stages in
+  (if split_effective p then begin
+     let m = max 1 (List.length indexed / 2) in
+     let a = List.filteri (fun i _ -> i < m) indexed in
+     let b = List.filteri (fun i _ -> i >= m) indexed in
+     Buffer.add_string buf (worker_fn "workA" a None);
+     Buffer.add_string buf (worker_fn "workB" b p.p_reduce)
+   end
+   else Buffer.add_string buf (worker_fn "work" indexed p.p_reduce));
+  Buffer.add_string buf "}\n";
+  let out_ty = match p.p_reduce with Some _ -> "float" | None -> "float[[]]" in
+  let graph =
+    String.concat " => "
+      (("task GenApp(size).gen"
+       :: List.map (fun w -> "task " ^ w) (workers p))
+      @ [ "task GenApp(size).collect" ])
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "class GenApp {\n\
+       \  int n;\n\
+       \  %s out;\n\
+       \  GenApp(int size) { n = size; }\n\
+       \  local float[[]] gen() {\n\
+       \    return Gen.genCell(%d) @ Lime.range(n);\n\
+       \  }\n\
+       \  void collect(%s v) { out = v; }\n\
+       \  static void main(int size, int steps) {\n\
+       \    (%s).finish(steps);\n\
+       \  }\n\
+        }\n"
+       out_ty p.p_data out_ty graph);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* QCheck generation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let quarter k = float_of_int k *. 0.25
+
+let gen_fexpr : fexpr QCheck.Gen.t =
+  let open QCheck.Gen in
+  sized
+  @@ fix (fun self n ->
+         let leaf =
+           frequency
+             [
+               (3, return X);
+               (2, return C);
+               (2, map (fun k -> Lit (quarter k)) (int_range (-8) 8));
+             ]
+         in
+         if n <= 0 then leaf
+         else
+           let sub = self (n / 2) in
+           frequency
+             [
+               (2, leaf);
+               (3, map2 (fun a b -> Add (a, b)) sub sub);
+               (2, map2 (fun a b -> Sub (a, b)) sub sub);
+               (3, map2 (fun a b -> Mul (a, b)) sub sub);
+               (1, map (fun a -> Neg a) sub);
+               (1, map (fun a -> Abs a) sub);
+               (1, map (fun a -> Sqrt1p a) sub);
+               (1, map2 (fun a b -> Min (a, b)) sub sub);
+               (1, map2 (fun a b -> Max (a, b)) sub sub);
+               ( 1,
+                 map2
+                   (fun (a, b) (t, f) -> Cond (a, b, t, f))
+                   (pair sub sub) (pair sub sub) );
+             ])
+
+let gen_stage : stage QCheck.Gen.t =
+  let open QCheck.Gen in
+  let cap = map quarter (int_range (-6) 6) in
+  frequency
+    [
+      (3, map2 (fun cap body -> Map { cap; body }) cap gen_fexpr);
+      ( 1,
+        map2
+          (fun (w, stride) (cap, body) -> Window { w; stride; cap; body })
+          (pair (int_range 2 4) (int_range 1 3))
+          (pair cap gen_fexpr) );
+    ]
+
+let gen_prog : prog QCheck.Gen.t =
+  let open QCheck.Gen in
+  int_range 0 9999 >>= fun p_data ->
+  int_range 2 24 >>= fun p_n ->
+  list_size (int_range 1 3) gen_stage >>= fun p_stages ->
+  option (oneofl [ RSum; RMax; RMin ]) >>= fun p_reduce ->
+  bool >>= fun p_split ->
+  int_range 1 2 >>= fun p_steps ->
+  return { p_data; p_n; p_stages; p_reduce; p_split; p_steps }
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Structural: a shrunk candidate is always a strictly smaller tree, so
+   shrinking terminates.  Subterms come first — the classic "replace the
+   node by one of its children" descent — then each child is shrunk in
+   place. *)
+let rec shrink_fexpr (e : fexpr) : fexpr QCheck.Iter.t =
+  let open QCheck.Iter in
+  let bin mk a b =
+    of_list [ a; b ]
+    <+> (shrink_fexpr a >|= fun a' -> mk a' b)
+    <+> (shrink_fexpr b >|= fun b' -> mk a b')
+  in
+  let un mk a = return a <+> (shrink_fexpr a >|= mk) in
+  match e with
+  | X | C -> empty
+  | Lit f -> if f = 0.0 then empty else return (Lit 0.0)
+  | Add (a, b) -> bin (fun a b -> Add (a, b)) a b
+  | Sub (a, b) -> bin (fun a b -> Sub (a, b)) a b
+  | Mul (a, b) -> bin (fun a b -> Mul (a, b)) a b
+  | Min (a, b) -> bin (fun a b -> Min (a, b)) a b
+  | Max (a, b) -> bin (fun a b -> Max (a, b)) a b
+  | Neg a -> un (fun a -> Neg a) a
+  | Abs a -> un (fun a -> Abs a) a
+  | Sqrt1p a -> un (fun a -> Sqrt1p a) a
+  | Cond (a, b, t, f) ->
+      of_list [ t; f; a; b ]
+      <+> (shrink_fexpr a >|= fun a' -> Cond (a', b, t, f))
+      <+> (shrink_fexpr b >|= fun b' -> Cond (a, b', t, f))
+      <+> (shrink_fexpr t >|= fun t' -> Cond (a, b, t', f))
+      <+> (shrink_fexpr f >|= fun f' -> Cond (a, b, t, f'))
+
+let shrink_stage (s : stage) : stage QCheck.Iter.t =
+  let open QCheck.Iter in
+  match s with
+  | Map { cap; body } ->
+      (if cap = 0.0 then empty else return (Map { cap = 0.0; body }))
+      <+> (shrink_fexpr body >|= fun body -> Map { cap; body })
+  | Window { w; stride; cap; body } ->
+      return (Map { cap; body })
+      <+> (if w > 2 then return (Window { w = 2; stride; cap; body }) else empty)
+      <+> (if stride > 1 then return (Window { w; stride = 1; cap; body })
+           else empty)
+      <+> (shrink_fexpr body >|= fun body -> Window { w; stride; cap; body })
+
+(* Every list with one element removed (never emptying the list). *)
+let drop_one (xs : 'a list) : 'a list QCheck.Iter.t =
+  if List.length xs <= 1 then QCheck.Iter.empty
+  else
+    QCheck.Iter.of_list
+      (List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) xs) xs)
+
+let shrink_in_place (shr : 'a -> 'a QCheck.Iter.t) (xs : 'a list) :
+    'a list QCheck.Iter.t =
+  let open QCheck.Iter in
+  List.mapi
+    (fun i x ->
+      shr x >|= fun x' -> List.mapi (fun j y -> if j = i then x' else y) xs)
+    xs
+  |> List.fold_left ( <+> ) empty
+
+let shrink_prog (p : prog) : prog QCheck.Iter.t =
+  let open QCheck.Iter in
+  (if p.p_n > 2 then
+     of_list
+       (List.sort_uniq compare
+          [ { p with p_n = 2 }; { p with p_n = p.p_n / 2 } ])
+   else empty)
+  <+> (drop_one p.p_stages >|= fun p_stages -> { p with p_stages })
+  <+> (if p.p_reduce <> None then return { p with p_reduce = None } else empty)
+  <+> (if split_effective p then return { p with p_split = false } else empty)
+  <+> (if p.p_steps > 1 then return { p with p_steps = 1 } else empty)
+  <+> (if p.p_data <> 0 then return { p with p_data = 0 } else empty)
+  <+> (shrink_in_place shrink_stage p.p_stages >|= fun p_stages ->
+       { p with p_stages })
+
+(* ------------------------------------------------------------------ *)
+(* Arbitrary + corpus helpers                                          *)
+(* ------------------------------------------------------------------ *)
+
+let print_prog (p : prog) : string =
+  Printf.sprintf
+    "// lime.fuzz program: n=%d steps=%d stages=%d reduce=%s split=%b\n%s"
+    p.p_n p.p_steps
+    (List.length p.p_stages)
+    (match p.p_reduce with
+    | None -> "none"
+    | Some r -> reduce_op r)
+    (split_effective p) (to_source p)
+
+let arbitrary : prog QCheck.arbitrary =
+  QCheck.make gen_prog ~print:print_prog ~shrink:shrink_prog
+
+(* A reproducible corpus: the bench harness uses this as its traffic
+   pool, the CI gate as its fixed-seed budget. *)
+let corpus ~seed (count : int) : prog list =
+  let rand = Random.State.make [| seed; 0x4c696d65 |] in
+  List.init count (fun _ -> QCheck.Gen.generate1 ~rand gen_prog)

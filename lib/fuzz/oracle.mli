@@ -1,0 +1,49 @@
+(** Three-way differential oracle over generated Lime programs.
+
+    Per program: (1) the reference interpreter result of the worker
+    chain, (2) the task-graph engine's sink value on every simulated
+    device plus pure bytecode — compared bit-exactly against (1) — and
+    (3) Clcheck well-formedness of the generated OpenCL under the
+    compile config and all eight Fig 8 sweep configurations.  A schedule
+    mode additionally replays random [lime.rewrite] catalog sequences
+    against each worker's kernel and demands result preservation plus
+    well-formed rescheduled OpenCL.  See [doc/FUZZING.md]. *)
+
+type disagreement = { d_layer : string; d_detail : string }
+(** [d_layer] is one of ["frontend"], ["opencl"], ["opencl-sweep"],
+    ["reference"], ["engine"], ["schedule"], ["schedule-opencl"]. *)
+
+val disagreement_to_string : disagreement -> string
+
+val check :
+  ?devices:Gpusim.Device.t list ->
+  ?schedules:int ->
+  ?sched_seed:int ->
+  ?perturb_reference:(Lime_ir.Value.t -> Lime_ir.Value.t) ->
+  Gen.prog ->
+  (unit, disagreement) result
+(** Run every oracle layer on one generated program.  [devices] defaults
+    to all four simulated devices (bytecode is always added);
+    [schedules] (default 2) is the number of random rewrite sequences
+    replayed per worker kernel, 0 to disable; [sched_seed] makes the
+    sequence choice deterministic per program.  [perturb_reference] maps
+    the layer-1 reference value before the engine comparison — the
+    oracle's self-test hook: a perturbed oracle must report an ["engine"]
+    disagreement on (nearly) every program, proving the harness has
+    teeth (see [doc/FUZZING.md] and [limefuzz --selftest]). *)
+
+val nudge : Lime_ir.Value.t -> Lime_ir.Value.t
+(** The canonical [perturb_reference]: adds 1.0 to a scalar reference
+    value or to an array's first element, so a healthy engine must
+    disagree on every generated program — the oracle's self-test. *)
+
+val run_kernel : Lime_gpu.Kernel.kernel -> Lime_ir.Value.t -> Lime_ir.Value.t
+(** Execute a kernel standalone (interpreter over [Kernel.to_module]) —
+    the rewrite replay path's executable form. *)
+
+val counterexample : ?disagreement:disagreement -> seed:int -> Gen.prog -> string
+(** Render a shrunk program as a loadable [.lime] compilation unit with
+    a comment header naming the disagreement and the reproducing seed. *)
+
+val save :
+  ?disagreement:disagreement -> seed:int -> path:string -> Gen.prog -> unit

@@ -290,6 +290,11 @@ let rec approx_equal ?(rtol = 1e-5) ?(atol = 1e-6) a b =
   | VInt x, VInt y -> x = y
   | VLong x, VLong y -> Int64.equal x y
   | (VFloat x | VDouble x), (VFloat y | VDouble y) ->
+      (* identical values first: the tolerance formula yields nan (hence
+         false) for inf vs inf, and two nans agree for a differential
+         comparison even though [<=] says otherwise *)
+      Float.compare x y = 0
+      ||
       let d = Float.abs (x -. y) in
       d <= atol || d <= rtol *. Float.max (Float.abs x) (Float.abs y)
   | VArr x, VArr y ->

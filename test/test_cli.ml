@@ -497,6 +497,72 @@ let test_batch_manifest_malformed () =
   Alcotest.(check bool) "alternatives listed" true
     (contains "local+pad+vec" out)
 
+(* ------------------------------------------------------------------ *)
+(* bench/main.exe: workload validation and fuzz-traffic flags          *)
+(* ------------------------------------------------------------------ *)
+
+let bench =
+  find
+    [
+      "../bench/main.exe"; "bench/main.exe"; "_build/default/bench/main.exe";
+    ]
+
+let bench_available = bench <> None
+let bench = Option.value bench ~default:"bench/main.exe"
+
+let capture_bench args =
+  let out = Filename.temp_file "bench" ".out" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1" (Filename.quote bench) args
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let text = In_channel.with_open_text out In_channel.input_all in
+  Sys.remove out;
+  (code, text)
+
+let skip_unless_bench () = if not bench_available then Alcotest.skip ()
+
+(* the registry-miss UX: a typo'd workload lists what exists, exit 2 *)
+let test_unknown_workload () =
+  skip_unless_bench ();
+  let code, out = capture_bench "--workload warp-speed validate" in
+  Alcotest.(check int) "exit 2" 2 code;
+  Alcotest.(check bool) "names the unknown workload" true
+    (contains "unknown workload warp-speed" out);
+  Alcotest.(check bool) "lists the available names" true
+    (contains "available:" out && contains "TMatMul" out
+    && contains "Mosaic" out);
+  Alcotest.(check bool) "nothing validated" false (contains "Benchmark" out)
+
+let test_workload_filter () =
+  skip_unless_bench ();
+  let code, out = capture_bench "--workload TMatMul validate" in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "selected workload ran" true (contains "TMatMul" out);
+  Alcotest.(check bool) "others filtered out" false (contains "Mosaic" out)
+
+(* a tiny generated-traffic run against the in-process daemon: the
+   report must carry the cache and tail-latency lines and exit clean *)
+let test_fuzz_traffic_smoke () =
+  skip_unless_bench ();
+  let code, out = capture_bench "--fuzz 12 --seed 2" in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "names the traffic source" true
+    (contains "generated programs" out);
+  Alcotest.(check bool) "reports cache provenance" true
+    (contains "cache hits:" out);
+  Alcotest.(check bool) "reports tail latency" true
+    (contains "p99" out && contains "p50" out);
+  Alcotest.(check bool) "no request errors" true (contains "errors: 0" out)
+
+let test_fuzz_rejects_bad_count () =
+  skip_unless_bench ();
+  let code, out = capture_bench "--fuzz zero" in
+  Alcotest.(check int) "exit 2" 2 code;
+  Alcotest.(check bool) "explains the expectation" true
+    (contains "expected a positive integer" out)
+
 let () =
   Alcotest.run "cli"
     [
@@ -538,5 +604,15 @@ let () =
             test_cache_capacity_accepted;
           Alcotest.test_case "malformed manifest names file:line" `Quick
             test_batch_manifest_malformed;
+        ] );
+      ( "bench",
+        [
+          Alcotest.test_case "unknown workload lists available" `Quick
+            test_unknown_workload;
+          Alcotest.test_case "workload filter" `Quick test_workload_filter;
+          Alcotest.test_case "fuzz traffic smoke" `Quick
+            test_fuzz_traffic_smoke;
+          Alcotest.test_case "fuzz rejects bad count" `Quick
+            test_fuzz_rejects_bad_count;
         ] );
     ]

@@ -163,7 +163,7 @@ let arb_case =
       Printf.sprintf "n=%d device=%d config=%d" n di ci)
 
 let qcheck_invariants =
-  QCheck_alcotest.to_alcotest
+  Testutil.to_alcotest
     (QCheck.Test.make ~count:120 ~name:"counter invariants under random cases"
        arb_case (fun (n, di, ci) ->
          let k = Lazy.force nbody_kernel in

@@ -1,0 +1,127 @@
+(* CI gate for the lime.fuzz generator + differential oracle: a bounded
+   fixed-seed budget so every `dune runtest` exercises the generator,
+   plus determinism, harness-has-teeth, and counterexample-loadability
+   checks.  The long-budget run is the opt-in `dune build @fuzz`. *)
+
+module Gen = Lime_fuzz.Gen
+module Oracle = Lime_fuzz.Oracle
+module Pipeline = Lime_gpu.Pipeline
+
+let gate_seed = 42
+let gate_budget = 25
+
+(* The fixed-seed corpus must clear every oracle layer.  Budget and seed
+   are pinned: a failure here is a regression in the compiler stack (or
+   the generator), never flakiness. *)
+let test_gate () =
+  List.iteri
+    (fun i p ->
+      match Oracle.check ~schedules:1 ~sched_seed:gate_seed p with
+      | Ok () -> ()
+      | Error d ->
+          Alcotest.failf "fixed-seed corpus program %d disagrees: %s\n%s" i
+            (Oracle.disagreement_to_string d)
+            (Gen.to_source p))
+    (Gen.corpus ~seed:gate_seed gate_budget)
+
+let test_corpus_deterministic () =
+  let sources seed = List.map Gen.to_source (Gen.corpus ~seed 10) in
+  Alcotest.(check (list string))
+    "same seed, same corpus" (sources 7) (sources 7);
+  Alcotest.(check bool)
+    "different seeds differ" true
+    (sources 7 <> sources 8)
+
+(* The acceptance-criteria teeth check: run the oracle with the
+   reference deliberately nudged; QCheck must fail AND hand back a
+   shrunk program that still witnesses the nudge while passing the
+   healthy oracle. *)
+let test_teeth () =
+  let nudged p =
+    Oracle.check ~schedules:0 ~perturb_reference:Oracle.nudge p
+  in
+  let cell =
+    QCheck.Test.make_cell ~count:10 ~name:"nudged reference" Gen.arbitrary
+      (fun p -> Result.is_ok (nudged p))
+  in
+  let state =
+    QCheck.TestResult.get_state
+      (QCheck.Test.check_cell ~rand:(Random.State.make [| 5 |]) cell)
+  in
+  match state with
+  | QCheck.TestResult.Failed { instances = inst :: _ } -> (
+      let p = inst.QCheck.TestResult.instance in
+      (match Oracle.check ~schedules:0 p with
+      | Ok () -> ()
+      | Error d ->
+          Alcotest.failf "shrunk witness fails the healthy oracle too: %s"
+            (Oracle.disagreement_to_string d));
+      match nudged p with
+      | Error { Oracle.d_layer = "engine"; _ } -> ()
+      | Error d ->
+          Alcotest.failf "nudge surfaced at layer %s, expected engine"
+            d.Oracle.d_layer
+      | Ok () -> Alcotest.fail "shrunk program no longer witnesses the nudge")
+  | QCheck.TestResult.Success ->
+      Alcotest.fail
+        "oracle accepted a nudged reference: the harness has no teeth"
+  | _ -> Alcotest.fail "teeth run ended without a counterexample"
+
+(* A saved counterexample is a loadable compilation unit: every worker
+   of the program recompiles from the file contents alone. *)
+let test_counterexample_loadable () =
+  let p = List.hd (Gen.corpus ~seed:3 1) in
+  let path = Filename.temp_file "limefuzz-ce" ".lime" in
+  Oracle.save
+    ~disagreement:{ Oracle.d_layer = "engine"; d_detail = "synthetic" }
+    ~seed:3 ~path p;
+  let source = In_channel.with_open_text path In_channel.input_all in
+  Sys.remove path;
+  let contains sub text = Lime_support.Util.contains_substring ~sub text in
+  Alcotest.(check bool) "header names the layer" true (contains "engine" source);
+  Alcotest.(check bool) "header names the seed" true (contains "--seed 3" source);
+  List.iter
+    (fun w ->
+      match
+        Lime_support.Diag.protect (fun () -> Pipeline.compile ~worker:w source)
+      with
+      | Ok _ -> ()
+      | Error d ->
+          Alcotest.failf "counterexample file not loadable for %s: %s" w
+            (Lime_support.Diag.to_string d))
+    (Gen.workers p)
+
+(* Every program the generator can emit is frontend-clean, for every
+   worker it names — the generator's own well-typedness contract,
+   shrunk on failure like any property. *)
+let prop_workers_compile =
+  QCheck.Test.make ~count:15 ~name:"generated programs always compile"
+    Gen.arbitrary (fun p ->
+      let source = Gen.to_source p in
+      List.for_all
+        (fun w ->
+          match
+            Lime_support.Diag.protect (fun () ->
+                Pipeline.compile ~worker:w source)
+          with
+          | Ok _ -> true
+          | Error d ->
+              QCheck.Test.fail_reportf "%s rejected: %s\n%s" w
+                (Lime_support.Diag.to_string d)
+                source)
+        (Gen.workers p))
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "fixed-seed gate" `Quick test_gate;
+          Alcotest.test_case "corpus deterministic" `Quick
+            test_corpus_deterministic;
+          Alcotest.test_case "harness has teeth" `Quick test_teeth;
+          Alcotest.test_case "counterexample loadable" `Quick
+            test_counterexample_loadable;
+        ] );
+      Testutil.qsuite "generator" [ prop_workers_compile ];
+    ]

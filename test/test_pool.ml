@@ -279,7 +279,7 @@ let scenario =
       triple (int_range 1 8) (int_range 1 8) (list_size (int_bound 200) key_gen))
 
 let test_kcache_sharded_invariants =
-  QCheck_alcotest.to_alcotest
+  Testutil.to_alcotest
     (QCheck.Test.make ~count:300 ~name:"sharded kcache invariants" scenario
        (fun (cap, stripes, ops) ->
          let c = Kcache.create ~capacity:cap ~stripes () in
@@ -297,7 +297,7 @@ let test_kcache_sharded_invariants =
          && List.length (Kcache.keys_by_recency c) = len))
 
 let test_kcache_stripes_respect_capacity =
-  QCheck_alcotest.to_alcotest
+  Testutil.to_alcotest
     (QCheck.Test.make ~count:100 ~name:"stripe clamping"
        QCheck.(pair (int_range 1 16) (int_range 1 64))
        (fun (cap, stripes) ->

@@ -6,8 +6,7 @@ module Ir = Lime_ir.Ir
 module V = Lime_ir.Value
 module M = Lime_runtime.Marshal
 
-let qsuite name tests =
-  (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+let qsuite = Testutil.qsuite
 
 (* ------------------------------------------------------------------ *)
 (* Java numeric semantics                                               *)

@@ -15,8 +15,7 @@ module Interp = Lime_ir.Interp
 module Ir = Lime_ir.Ir
 module V = Lime_ir.Value
 
-let qsuite name tests =
-  (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+let qsuite = Testutil.qsuite
 
 (* ------------------------------------------------------------------ *)
 (* Random kernel descriptions                                          *)

@@ -413,6 +413,27 @@ let test_graft_remints_and_reparents () =
   Alcotest.(check bool) "clock advanced past the graft" true
     (Trace.now_us tr > 110.0)
 
+(* Grafting an empty span buffer (a daemon reply that recorded nothing,
+   or a zero-length ar_spans field) must be a true no-op: nothing
+   inserted, the buffer untouched, and the local clock still usable. *)
+let test_graft_empty_buffer () =
+  let tr = Trace.create ~clock:(ticking ()) () in
+  Trace.begin_span tr "local.parent";
+  let parent = Trace.current_span_id tr in
+  let before = List.length (Trace.spans tr) in
+  let n = Trace.graft tr ~at_us:100.0 ~parent [] in
+  Alcotest.(check int) "zero spans grafted" 0 n;
+  Alcotest.(check int) "buffer untouched" before (List.length (Trace.spans tr));
+  (* the tracer keeps working normally afterwards *)
+  Trace.complete tr ~dur_us:1.0 "after";
+  let spans = Trace.spans tr in
+  Alcotest.(check bool) "later spans still record" true
+    (List.exists (fun s -> s.Trace.sp_name = "after") spans);
+  Alcotest.(check bool) "no foreign spans appeared" true
+    (List.for_all
+       (fun s -> s.Trace.sp_name = "local.parent" || s.Trace.sp_name = "after")
+       spans)
+
 let test_span_codec_roundtrip () =
   let spans =
     [
@@ -509,6 +530,8 @@ let () =
           Alcotest.test_case "collect watermark" `Quick test_collect_watermark;
           Alcotest.test_case "graft re-mints and re-parents" `Quick
             test_graft_remints_and_reparents;
+          Alcotest.test_case "graft of an empty span buffer" `Quick
+            test_graft_empty_buffer;
           Alcotest.test_case "span codec roundtrip" `Quick
             test_span_codec_roundtrip;
           Alcotest.test_case "span codec is total" `Quick

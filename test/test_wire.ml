@@ -281,8 +281,32 @@ let test_new_field_truncation () =
   check_prefixes "traced Compile" (payload (sample_compile (Some sample_ctx)));
   check_prefixes "span-carrying Result" (payload (sample_result "0123456789"))
 
+(* A peer may legally emit the v2 Result tag with a zero-length span
+   buffer (our encoder always downgrades to tag 4, but the decoder must
+   not assume that): handcraft such a frame by swapping the span field
+   of a tag-11 payload for a u32 zero length, and check it decodes to
+   the same artifact as the canonical tag-4 form. *)
+let test_zero_length_span_buffer () =
+  let p1 = payload (sample_result "x") in
+  (* trailing field of tag 11 is the span string: u32 length + bytes *)
+  let stem = String.sub p1 0 (String.length p1 - 5) in
+  let p0 = stem ^ String.make 4 '\x00' in
+  Alcotest.(check char) "handcrafted frame keeps tag 11" '\x0B' p0.[0];
+  (match Wire.decode p0 with
+  | Ok (Wire.Result a) ->
+      Alcotest.(check string) "span buffer decodes empty" "" a.Wire.ar_spans;
+      Alcotest.(check bool) "artifact otherwise intact" true
+        (Wire.Result a = sample_result "")
+  | Ok _ -> Alcotest.fail "decoded to a non-Result frame"
+  | Error e ->
+      Alcotest.failf "zero-length span buffer rejected: %s"
+        (Wire.error_to_string e));
+  (* and the canonical encoding of that artifact is the v1 tag *)
+  Alcotest.(check char) "re-encode downgrades to tag 4" '\x04'
+    (payload (sample_result "")).[0]
+
 let qsuite =
-  List.map QCheck_alcotest.to_alcotest
+  List.map Testutil.to_alcotest
     [ roundtrip; reader_roundtrip; reader_byte_at_a_time; truncation_total ]
 
 let () =
@@ -307,5 +331,7 @@ let () =
             test_no_parent_sentinel;
           Alcotest.test_case "truncation in the new fields" `Quick
             test_new_field_truncation;
+          Alcotest.test_case "zero-length span buffer in tag 11" `Quick
+            test_zero_length_span_buffer;
         ] );
     ]
