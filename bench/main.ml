@@ -14,6 +14,13 @@
 module E = Lime_benchmarks.Experiments
 module Benchjson = Lime_benchmarks.Benchjson
 module Device = Gpusim.Device
+module Sketch = Lime_service.Sketch
+
+(* Streaming percentiles without retaining the stream: the same sketch
+   the daemon serves from /metrics, so bench and daemon quote the same
+   estimator (offline sorts survive only in the agreement gate). *)
+let sketch_pct sk q =
+  match Sketch.quantile sk q with Some v -> v | None -> 0.0
 
 let section title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
@@ -288,21 +295,46 @@ let run_server () =
     f ();
     Unix.gettimeofday () -. t0
   in
+  (* per-request latencies of a pass, recorded into a quantile sketch *)
+  let suite_via_sketched cl sk =
+    List.iter
+      (fun (b : Lime_benchmarks.Bench_def.t) ->
+        let t0 = Unix.gettimeofday () in
+        (match
+           Client.compile cl ~name:b.Lime_benchmarks.Bench_def.name
+             ~worker:b.Lime_benchmarks.Bench_def.worker
+             b.Lime_benchmarks.Bench_def.source_small
+         with
+        | Ok _ -> ()
+        | Error f ->
+            prerr_endline (Client.failure_to_string f);
+            exit 1);
+        Sketch.add sk (Unix.gettimeofday () -. t0))
+      suite
+  in
   let cl = connect () in
   let cold = time (fun () -> suite_via cl) in
   let warm = time (fun () -> suite_via cl) in
   Client.close cl;
   let n_clients = 4 in
+  (* each client domain records into its own sketch; the merged view is
+     exact (bucket counts add), which is the point of a mergeable
+     estimator — no cross-domain latency array to assemble *)
+  let con_sk = Sketch.create () in
   let concurrent =
     time (fun () ->
         let doms =
           List.init n_clients (fun _ ->
               Domain.spawn (fun () ->
                   let cl = connect () in
-                  suite_via cl;
-                  Client.close cl))
+                  let sk = Sketch.create () in
+                  suite_via_sketched cl sk;
+                  Client.close cl;
+                  sk))
         in
-        List.iter Domain.join doms)
+        List.iter
+          (fun d -> Sketch.merge ~into:con_sk (Domain.join d))
+          doms)
   in
   (* the same warm requests without the wire: an in-process service whose
      cache is equally hot *)
@@ -331,6 +363,13 @@ let run_server () =
   Printf.printf "%d concurrent clients: %8.2f ms  (%.0f req/s aggregate)\n"
     n_clients (concurrent *. 1e3)
     (float_of_int (n_clients * n) /. concurrent);
+  Printf.printf
+    "concurrent latency:   p50 %.2f ms  p99 %.2f ms  max %.2f ms  (merged \
+     sketch, alpha %g)\n"
+    (sketch_pct con_sk 0.5 *. 1e3)
+    (sketch_pct con_sk 0.99 *. 1e3)
+    (Sketch.max_seen con_sk *. 1e3)
+    (Sketch.alpha con_sk);
   Printf.printf "in-process warm pass: %8.2f ms\n" (local_warm *. 1e3);
   Printf.printf "wire overhead, warm:  %8.1f us/request\n"
     ((warm -. local_warm) /. float_of_int n *. 1e6);
@@ -367,8 +406,16 @@ let run_server () =
   in
   (* best-of-R warm passes against a dedicated daemon; [observe] keeps
      the daemon's default observability on (plus an access log), the
-     baseline strips both after creation *)
-  let measure ~observe ~pass =
+     baseline strips both after creation.  Each measured pass replays
+     the suite [reps] times — one 9-request pass lasts ~1 ms, below what
+     best-of-7 wall clocks resolve against scheduler noise — and because
+     the gate compares separately-spawned daemons, each side takes the
+     best across [trials] daemon instances so one unluckily-scheduled
+     reactor/worker pairing can't masquerade as overhead. *)
+  let reps = 20 in
+  let trials = 3 in
+  let measure_once ~observe ~pass =
+    let pass cl = for _ = 1 to reps do pass cl done in
     let sock2 = sock ^ if observe then ".obs" else ".base" in
     let cfg = Server.default_config ~socket:sock2 in
     let cfg =
@@ -400,18 +447,26 @@ let run_server () =
     Domain.join dom;
     !best
   in
-  let base = measure ~observe:false ~pass:suite_via in
-  let plain = measure ~observe:true ~pass:suite_via in
-  let traced = measure ~observe:true ~pass:suite_traced in
+  (* interleave the three configurations across rounds so slow
+     machine-wide drift hits all of them alike, and keep the per-config
+     minimum *)
+  let base = ref infinity and plain = ref infinity and traced = ref infinity in
+  for _ = 1 to trials do
+    let keep r dt = if dt < !r then r := dt in
+    keep base (measure_once ~observe:false ~pass:suite_via);
+    keep plain (measure_once ~observe:true ~pass:suite_via);
+    keep traced (measure_once ~observe:true ~pass:suite_traced)
+  done;
+  let base = !base and plain = !plain and traced = !traced in
   (* the bench ran three in-process daemons; leave the process-global
      tracer the way a fresh process starts, for the experiments after us *)
   Trace.uninstall ();
   Trace.set_enabled Trace.default false;
   (try Sys.remove log_file with Sys_error _ -> ());
-  let per_req dt = (dt -. base) /. float_of_int n *. 1e6 in
+  let per_req dt = (dt -. base) /. float_of_int (n * reps) *. 1e6 in
   let pct dt = (dt -. base) /. base *. 100.0 in
-  Printf.printf "baseline warm pass (observability off): %8.2f ms\n"
-    (base *. 1e3);
+  Printf.printf "baseline warm pass (observability off, x%d): %8.2f ms\n"
+    reps (base *. 1e3);
   Printf.printf
     "always-on (observers + access log):     %8.2f ms  (%+.1f%%, %+.1f \
      us/request)\n"
@@ -635,7 +690,16 @@ let run_fuzz_traffic ~count ~seed () =
       (Filename.get_temp_dir_name ())
       (Printf.sprintf "limed-fuzz-%d.sock" (Unix.getpid ()))
   in
-  let server = Server.create (Server.default_config ~socket:sock) in
+  (* the daemon keeps its own access log: the server-side exact
+     durations the agreement gate below replays offline *)
+  let log_file = Filename.temp_file "limed-fuzz-access" ".jsonl" in
+  let server =
+    Server.create
+      {
+        (Server.default_config ~socket:sock) with
+        Server.sc_access_log = Some log_file;
+      }
+  in
   let dom = Domain.spawn (fun () -> Server.run server) in
   let cl =
     match Client.connect sock with
@@ -644,11 +708,11 @@ let run_fuzz_traffic ~count ~seed () =
         prerr_endline msg;
         exit 1
   in
-  let lats = Array.make count 0.0 in
+  let sk = Sketch.create () in
   let origins = Hashtbl.create 4 in
   let errors = ref 0 in
   let t_all = Unix.gettimeofday () in
-  for i = 0 to count - 1 do
+  for _ = 1 to count do
     let worker, source = items.(pick ()) in
     let t0 = Unix.gettimeofday () in
     (match Client.compile cl ~name:"fuzz" ~worker source with
@@ -659,14 +723,20 @@ let run_fuzz_traffic ~count ~seed () =
     | Error f ->
         incr errors;
         prerr_endline (Client.failure_to_string f));
-    lats.(i) <- Unix.gettimeofday () -. t0
+    Sketch.add sk (Unix.gettimeofday () -. t0)
   done;
   let wall = Unix.gettimeofday () -. t_all in
+  (* scrape the daemon's windowed quantiles while it is still up *)
+  let stats_text =
+    match Client.stats cl with
+    | Ok text -> text
+    | Error f ->
+        prerr_endline (Client.failure_to_string f);
+        exit 1
+  in
   Client.close cl;
   Server.drain server;
   Domain.join dom;
-  Array.sort compare lats;
-  let pct p = lats.(min (count - 1) (p * count / 100)) in
   let origin o = Option.value ~default:0 (Hashtbl.find_opt origins o) in
   let compiled = origin "compiled" in
   let hits = origin "memory" + origin "disk" in
@@ -680,11 +750,117 @@ let run_fuzz_traffic ~count ~seed () =
     (100.0 *. float_of_int hits /. float_of_int (max 1 count))
     (origin "memory") (origin "disk") !errors;
   Printf.printf
-    "latency: p50 %.2f ms  p99 %.2f ms  max %.2f ms  (%.0f req/s)\n"
-    (pct 50 *. 1e3) (pct 99 *. 1e3)
-    (lats.(count - 1) *. 1e3)
-    (float_of_int count /. wall);
-  if !errors > 0 then exit 1
+    "latency: p50 %.2f ms  p99 %.2f ms  max %.2f ms  (%.0f req/s, sketch \
+     alpha %g)\n"
+    (sketch_pct sk 0.5 *. 1e3)
+    (sketch_pct sk 0.99 *. 1e3)
+    (Sketch.max_seen sk *. 1e3)
+    (float_of_int count /. wall)
+    (Sketch.alpha sk);
+  (* -------------------------------------------------------------- *)
+  (* Agreement gate: the daemon's own windowed p50/p99 (streaming
+     sketch over server-side durations) must agree with the exact
+     quantiles of the same durations, replayed offline from the access
+     log with the shared rank convention, within the sketch's
+     documented relative-error bound. *)
+  let find_sub s pat =
+    let n = String.length s and m = String.length pat in
+    let rec go i =
+      if i + m > n then None
+      else if String.sub s i m = pat then Some (i + m)
+      else go (i + 1)
+    in
+    go 0
+  in
+  let json_field_string line key =
+    Option.bind (find_sub line ("\"" ^ key ^ "\":\"")) (fun start ->
+        Option.map
+          (fun stop -> String.sub line start (stop - start))
+          (String.index_from_opt line start '"'))
+  in
+  let json_field_float line key =
+    Option.bind (find_sub line ("\"" ^ key ^ "\":")) (fun start ->
+        let stop = ref start in
+        while
+          !stop < String.length line
+          && not (List.mem line.[!stop] [ ','; '}' ])
+        do
+          incr stop
+        done;
+        float_of_string_opt (String.sub line start (!stop - start)))
+  in
+  (* only outcomes that were answered with a reply feed the summary *)
+  let observed = [ "ok"; "compile-error"; "error" ] in
+  let exact =
+    In_channel.with_open_text log_file In_channel.input_lines
+    |> List.filter_map (fun line ->
+           match json_field_string line "outcome" with
+           | Some o when List.mem o observed -> json_field_float line "duration_s"
+           | _ -> None)
+    |> Array.of_list
+  in
+  (try Sys.remove log_file with Sys_error _ -> ());
+  Array.sort compare exact;
+  let n_obs = Array.length exact in
+  let sample name =
+    let prefix = name ^ " " in
+    String.split_on_char '\n' stats_text
+    |> List.find_map (fun line ->
+           let pl = String.length prefix in
+           if String.length line > pl && String.sub line 0 pl = prefix then
+             float_of_string_opt
+               (String.trim (String.sub line pl (String.length line - pl)))
+           else None)
+  in
+  let alpha = Sketch.default_alpha in
+  let failed = ref false in
+  (match sample "lime_server_request_seconds_summary_count" with
+  | Some c when int_of_float c = n_obs -> ()
+  | reported ->
+      Printf.printf
+        "FAIL: daemon summary count %s != %d access-log observations\n"
+        (match reported with
+        | Some c -> string_of_int (int_of_float c)
+        | None -> "(missing)")
+        n_obs;
+      failed := true);
+  if n_obs = 0 then begin
+    print_endline "FAIL: no observed requests in the access log";
+    failed := true
+  end
+  else
+    List.iter
+      (fun q ->
+        let name =
+          Printf.sprintf
+            "lime_server_request_seconds_summary{window=\"5m\",quantile=\"%g\"}"
+            q
+        in
+        match sample name with
+        | None ->
+            Printf.printf "FAIL: exposition lacks %s\n" name;
+            failed := true
+        | Some est ->
+            let x = exact.(Sketch.rank_of q n_obs - 1) in
+            let rel = Float.abs (est -. x) /. x in
+            Printf.printf
+              "agreement p%g: daemon %.3f ms  offline exact %.3f ms  \
+               (relative error %.4f, bound %g)\n"
+              (q *. 100.0) (est *. 1e3) (x *. 1e3) rel alpha;
+            (* the %g exposition rounds to 6 significant digits; allow
+               that on top of the sketch bound *)
+            if rel > alpha +. 1e-4 then begin
+              Printf.printf "FAIL: p%g disagrees beyond the sketch bound\n"
+                (q *. 100.0);
+              failed := true
+            end)
+      [ 0.5; 0.99 ];
+  if !failed || !errors > 0 then exit 1
+  else
+    Printf.printf
+      "gate: daemon windowed quantiles within alpha=%g of offline exact — \
+       ok\n"
+      alpha
 
 let all_experiments =
   [

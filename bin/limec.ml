@@ -32,6 +32,7 @@ module Pipeline = Lime_gpu.Pipeline
 module Service = Lime_service.Service
 module Metrics = Lime_service.Metrics
 module Trace = Lime_service.Trace
+module Slo = Lime_service.Slo
 module Server = Lime_server.Server
 module Client = Lime_server.Client
 module Wire = Lime_server.Wire
@@ -505,7 +506,7 @@ let run_batch entries jobs cache_capacity cache_dir stats trace_out
 (* ------------------------------------------------------------------ *)
 
 let run_daemon socket jobs cache_capacity max_queue idle_timeout cache_dir
-    http_port access_log drain_grace =
+    http_port access_log drain_grace flight_capacity flight_dump slo_specs =
   check_cache_dir cache_dir;
   if max_queue < 1 then begin
     Printf.eprintf "bad --max-queue %d: must be at least 1\n" max_queue;
@@ -525,6 +526,23 @@ let run_daemon socket jobs cache_capacity max_queue idle_timeout cache_dir
     Printf.eprintf "bad --drain-grace %g: must not be negative\n" drain_grace;
     exit 2
   end;
+  let flight_capacity = Option.value flight_capacity ~default:32 in
+  if flight_capacity < 1 then begin
+    Printf.eprintf
+      "bad --flight-capacity %d: must retain at least 1 request per ring\n"
+      flight_capacity;
+    exit 2
+  end;
+  let slos =
+    List.map
+      (fun spec ->
+        match Slo.parse_spec spec with
+        | Ok d -> d
+        | Error msg ->
+            Printf.eprintf "bad --slo: %s; expected %s\n" msg Slo.spec_syntax;
+            exit 2)
+      slo_specs
+  in
   let cfg =
     {
       Server.sc_socket = socket;
@@ -536,6 +554,9 @@ let run_daemon socket jobs cache_capacity max_queue idle_timeout cache_dir
       sc_http_port = http_port;
       sc_access_log = access_log;
       sc_drain_grace_s = drain_grace;
+      sc_flight_capacity = flight_capacity;
+      sc_flight_dump = flight_dump;
+      sc_slos = slos;
     }
   in
   let server =
@@ -553,6 +574,10 @@ let run_daemon socket jobs cache_capacity max_queue idle_timeout cache_dir
      flush every reply, remove the socket, exit 0 *)
   Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> Server.drain server));
   Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> Server.drain server));
+  (* SIGQUIT asks for a flight-recorder post-mortem dump without taking
+     the daemon down — the operator's "explain yourself" signal *)
+  Sys.set_signal Sys.sigquit
+    (Sys.Signal_handle (fun _ -> Server.request_flight_dump server));
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   Printf.eprintf "limed: listening on %s (jobs %d, max in-flight %d)\n%!"
     socket jobs max_queue;
@@ -711,7 +736,8 @@ let run_connect socket files worker config_name deadline_ms emit_opencl
 
 let run files worker config_name jobs batch daemon connect drain_req
     deadline_ms max_queue idle_timeout cache_capacity http_port access_log
-    drain_grace dump_ast dump_ir placements emit_opencl emit_glue estimate
+    drain_grace flight_capacity flight_dump slo_specs dump_ast dump_ir
+    placements emit_opencl emit_glue estimate
     sweep counters shapes cache_dir stats run_target run_args trace_out
     profile trace_summary optimize opt_device beam_width beam_depth explain =
   if jobs < 1 then begin
@@ -754,10 +780,14 @@ let run files worker config_name jobs batch daemon connect drain_req
     exit 2
   end;
   let reject_daemon_only () =
-    if http_port <> None || access_log <> None || drain_grace <> None then begin
+    if
+      http_port <> None || access_log <> None || drain_grace <> None
+      || flight_capacity <> None || flight_dump <> None || slo_specs <> []
+    then begin
       Printf.eprintf
-        "--http, --access-log and --drain-grace configure the daemon; they \
-         need --daemon SOCK\n";
+        "--http, --access-log, --drain-grace, --flight-capacity, \
+         --flight-dump and --slo configure the daemon; they need --daemon \
+         SOCK\n";
       exit 2
     end
   in
@@ -775,6 +805,7 @@ let run files worker config_name jobs batch daemon connect drain_req
       run_daemon socket jobs cache_capacity max_queue idle_timeout cache_dir
         http_port access_log
         (Option.value drain_grace ~default:0.0)
+        flight_capacity flight_dump slo_specs
   | None, Some socket ->
       reject_daemon_only ();
       reject_over "--connect"
@@ -1080,6 +1111,39 @@ let drain_grace_arg =
            after a drain completes, so health checkers observe the \
            /healthz flip to draining before the process exits.")
 
+let flight_capacity_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "flight-capacity" ] ~docv:"N"
+        ~doc:
+          "With --daemon: retain the last N errored requests and the N \
+           slowest requests (span trees included) in the flight recorder \
+           serving /debug/errors and /debug/slow (default 32).")
+
+let flight_dump_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-dump" ] ~docv:"FILE"
+        ~doc:
+          "With --daemon: append the flight recorder's retained requests \
+           to FILE as JSONL on SIGQUIT and on graceful drain — a \
+           post-mortem that survives the process.")
+
+let slo_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "slo" ] ~docv:"SPEC"
+        ~doc:
+          "With --daemon: watch a service-level objective, evaluated with \
+           fast/slow burn-rate windows and served at /alertz and as \
+           lime_slo_* metrics.  SPEC is [NAME=]KIND:OBJECTIVE[:THRESHOLD] \
+           — e.g. 'latency:0.95:1.0' (95% of answered requests under \
+           1.0s) or 'availability:0.99'.  Repeatable; default: \
+           availability:0.99 and latency:0.95:1.0.")
+
 let cache_capacity_arg =
   Arg.(
     value
@@ -1142,7 +1206,8 @@ let cmd =
       const run $ files $ worker $ config_name $ jobs_arg $ batch_arg
       $ daemon_arg $ connect_arg $ drain_arg $ deadline_ms_arg
       $ max_queue_arg $ idle_timeout_arg $ cache_capacity_arg $ http_arg
-      $ access_log_arg $ drain_grace_arg $ dump_ast
+      $ access_log_arg $ drain_grace_arg $ flight_capacity_arg
+      $ flight_dump_arg $ slo_arg $ dump_ast
       $ dump_ir $ placements $ emit_opencl $ emit_glue $ estimate
       $ sweep_arg $ counters_arg $ shapes $ cache_dir $ stats_arg $ run_arg
       $ run_args $ trace_arg $ profile_arg $ trace_summary_arg

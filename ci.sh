@@ -194,8 +194,10 @@ obs_trace="$cache_dir/connect-trace.json"
 # a fresh cache dir: the traced compile must be cold, so the merged
 # trace contains the daemon's pipeline spans, not just a cache hit
 obs_cache="$cache_dir/obs-daemon"
+flight_dump="$cache_dir/flight.jsonl"
 dune exec --no-build bin/limec.exe -- --daemon "$obs_sock" \
   --cache-dir "$obs_cache" --http 0 --access-log "$access_log" \
+  --flight-dump "$flight_dump" --slo availability:0.99 \
   --drain-grace 2 > "$obs_log" 2>&1 &
 obs_pid=$!
 
@@ -257,6 +259,83 @@ trace_id=$(sed -n 's/.*"trace_id":"\([0-9a-f]*\)".*/\1/p' "$access_log")
   || { echo "FAIL: access-log record lacks a trace id"; cat "$access_log"; exit 1; }
 grep -q "$trace_id" "$obs_trace" \
   || { echo "FAIL: access-log trace id $trace_id not in the merged trace"; exit 1; }
+
+# the SLO plane: after one good request the burn rate is zero and the
+# daemon reports itself healthy
+alertz=$(curl -fsS "http://127.0.0.1:$http_port/alertz")
+echo "$alertz" | grep -q '"healthy":true' \
+  || { echo "FAIL: /alertz not healthy after good traffic"; echo "$alertz"; exit 1; }
+echo "$alertz" | grep -q '"name":"availability"' \
+  || { echo "FAIL: /alertz lacks the availability SLO"; echo "$alertz"; exit 1; }
+
+# induce an error burn: deadline-0 requests are admitted and expire before
+# compilation, each counting as a bad event in both burn windows — on a
+# freshly started daemon a 6/7 bad fraction trips the fast AND slow
+# windows at once, so the availability alert fires immediately
+burn=0
+while [ "$burn" -lt 6 ]; do
+  burn=$((burn + 1))
+  if dune exec --no-build bin/limec.exe -- --connect "$obs_sock" \
+       examples/lime/nbody.lime -w NBody.computeForces --deadline-ms 0 \
+       > /dev/null 2>&1; then
+    echo "FAIL: deadline-0 compile #$burn unexpectedly succeeded"; exit 1
+  fi
+done
+i=0
+while :; do
+  alertz=$(curl -s "http://127.0.0.1:$http_port/alertz" || true)
+  echo "$alertz" | grep -q '"healthy":false' && break
+  i=$((i + 1))
+  [ "$i" -le 100 ] \
+    || { echo "FAIL: /alertz never fired under the deadline-0 burn"; echo "$alertz"; exit 1; }
+  sleep 0.05
+done
+echo "$alertz" | grep -q '"state":"firing"' \
+  || { echo "FAIL: /alertz is unhealthy but no SLO is firing"; echo "$alertz"; exit 1; }
+
+# the alert doubles as a metric family, and the latency summary carries
+# trace-id exemplars on its histogram buckets
+metrics=$(curl -fsS "http://127.0.0.1:$http_port/metrics")
+for family in lime_slo_state lime_slo_burn_rate \
+              lime_server_request_seconds_summary \
+              lime_process_start_time_seconds; do
+  echo "$metrics" | grep -q "$family" \
+    || { echo "FAIL: /metrics lacks $family"; exit 1; }
+done
+echo "$metrics" | grep -q '# {trace_id=' \
+  || { echo "FAIL: /metrics buckets carry no trace exemplar"; exit 1; }
+
+# the flight recorder retained the slowest request (the traced cold
+# compile) with its span tree, and the deadline casualties as errors
+slow=$(curl -fsS "http://127.0.0.1:$http_port/debug/slow")
+echo "$slow" | grep -q "$trace_id" \
+  || { echo "FAIL: /debug/slow lost the slowest request's trace"; echo "$slow"; exit 1; }
+errors=$(curl -fsS "http://127.0.0.1:$http_port/debug/errors")
+echo "$errors" | grep -q '"outcome":"deadline"' \
+  || { echo "FAIL: /debug/errors lacks the deadline casualties"; echo "$errors"; exit 1; }
+curl -fsS "http://127.0.0.1:$http_port/statusz" | grep -q '"flight":{' \
+  || { echo "FAIL: /statusz lacks the flight-recorder block"; exit 1; }
+
+# SIGQUIT: a post-mortem flight dump, while the daemon keeps serving
+kill -QUIT "$obs_pid"
+i=0
+while ! { [ -s "$flight_dump" ] && grep -q "$trace_id" "$flight_dump"; } 2>/dev/null; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] \
+    || { echo "FAIL: SIGQUIT wrote no flight dump holding $trace_id"; cat "$flight_dump" 2>/dev/null; exit 1; }
+  sleep 0.05
+done
+grep '"ring":"slow"' "$flight_dump" | grep -q "$trace_id" \
+  || { echo "FAIL: slowest request $trace_id not in the dump's slow ring"; cat "$flight_dump"; exit 1; }
+grep -q '"ring":"errors"' "$flight_dump" \
+  || { echo "FAIL: flight dump has no errors-ring entries"; cat "$flight_dump"; exit 1; }
+grep -q '"server.request"' "$flight_dump" \
+  || { echo "FAIL: flight dump entries lack their span trees"; cat "$flight_dump"; exit 1; }
+kill -0 "$obs_pid" 2>/dev/null \
+  || { echo "FAIL: daemon died on SIGQUIT"; cat "$obs_log"; exit 1; }
+post_quit=$(curl -fsS "http://127.0.0.1:$http_port/healthz")
+[ "$post_quit" = "ok" ] \
+  || { echo "FAIL: daemon not serving after SIGQUIT ('$post_quit')"; exit 1; }
 
 # SIGTERM: the readiness probe must flip to draining within the grace
 kill -TERM "$obs_pid"
@@ -357,6 +436,9 @@ echo "        daemon served a warm cache hit and drained cleanly on SIGTERM;"
 echo "        the observability plane answered /healthz and /metrics, logged"
 echo "        one trace-correlated access record, merged the cross-process"
 echo "        trace, and flipped readiness while draining;"
+echo "        /alertz fired on a deadline-0 burn, the summary exposed"
+echo "        exemplars, and SIGQUIT dumped the flight recorder with the"
+echo "        slowest request's trace id while the daemon kept serving;"
 echo "        bench JSON self-diff and the beam-vs-fig8 gate showed no"
 echo "        regressions; the differential fuzz smoke agreed three ways,"
 echo "        its selftest caught a nudged reference, and generated traffic"

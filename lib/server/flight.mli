@@ -1,0 +1,71 @@
+(** Tail-sampling flight recorder for the daemon.
+
+    Sampling on the head of the distribution (ship spans only when the
+    client asked) answers "what does a typical request look like", but
+    the questions that page people are about the tail: {e which} request
+    blew the p99, {e why} did that one error.  The flight recorder keeps
+    two bounded rings over finished requests — every errored request
+    (FIFO, oldest evicted) and the rolling K slowest (fastest evicted) —
+    each entry retaining the complete grafted span tree, the wire
+    metadata, and the access-log fields, so the answer is served from
+    memory at [/debug/errors] and [/debug/slow] without reproducing the
+    request.
+
+    On SIGQUIT and on graceful drain the daemon appends every retained
+    entry to a JSONL post-mortem file ([--flight-dump]), one entry per
+    line, loadable after the process is gone.
+
+    The recorder is owned by the reactor thread: no internal locking. *)
+
+type entry = {
+  fe_ts : float;  (** wall clock when the request finished *)
+  fe_id : int;
+  fe_worker : string;
+  fe_name : string;
+  fe_config : string;
+  fe_digest : string;
+  fe_trace_id : string;  (** propagated trace id; [""] when untraced *)
+  fe_deadline_ms : int option;
+  fe_wait_s : float;  (** admission-to-start queue wait *)
+  fe_dur_s : float;  (** admission-to-reply latency *)
+  fe_outcome : string;  (** access-log outcome: ok, compile-error, ... *)
+  fe_origin : string;  (** cache tier that served it; [""] otherwise *)
+  fe_spans : Lime_service.Trace.span list;
+      (** the grafted tree: synthetic [server.request] root, queue-wait
+          child, and every span the job recorded, rebased to admission *)
+}
+
+type t
+
+val create : capacity:int -> t
+(** [capacity] bounds {e each} ring (errors and slowest) — it must be at
+    least 1 ([Invalid_argument] otherwise). *)
+
+val capacity : t -> int
+
+val record : t -> ?spans:(unit -> Lime_service.Trace.span list) -> entry -> unit
+(** File a finished request: into the errors ring when [fe_outcome] is
+    not ["ok"], and into the slowest ring when it is among the K slowest
+    seen so far.  [spans] is forced only when the entry is actually
+    retained (replacing [fe_spans]) — so on the steady-state fast path a
+    request that neither errored nor ranks in the tail never pays for
+    building its span tree. *)
+
+val errors : t -> entry list
+(** Retained errored requests, most recent first. *)
+
+val slowest : t -> entry list
+(** Retained slowest requests, slowest first. *)
+
+val occupancy : t -> int
+(** Entries currently retained across both rings. *)
+
+val evictions : t -> int
+(** Entries pushed out of either ring since creation. *)
+
+val entry_json : entry -> string
+(** One entry as a self-contained JSON object (spans included). *)
+
+val dump : t -> out_channel -> unit
+(** Append every retained entry as JSONL: errors (oldest first), then
+    slowest (slowest first), each line tagged with its ring. *)

@@ -5,6 +5,7 @@ module Pool = Lime_service.Pool
 module Metrics = Lime_service.Metrics
 module Trace = Lime_service.Trace
 module Digest = Lime_service.Digest
+module Slo = Lime_service.Slo
 module Diag = Lime_support.Diag
 module Memopt = Lime_gpu.Memopt
 module Pipeline = Lime_gpu.Pipeline
@@ -19,7 +20,20 @@ type config = {
   sc_http_port : int option;
   sc_access_log : string option;
   sc_drain_grace_s : float;
+  sc_flight_capacity : int;
+  sc_flight_dump : string option;
+  sc_slos : Slo.def list;
 }
+
+(* The objectives a daemon watches when none are configured: five nines
+   would be dishonest for a simulator, but 99% availability and 95% of
+   successful requests under a second are tight enough that tests and ci
+   can trip them deliberately (deadline-0 traffic, overload). *)
+let default_slos =
+  [
+    { Slo.d_name = "availability"; d_kind = Slo.Availability; d_objective = 0.99 };
+    { Slo.d_name = "latency"; d_kind = Slo.Latency 1.0; d_objective = 0.95 };
+  ]
 
 let default_config ~socket =
   {
@@ -32,6 +46,9 @@ let default_config ~socket =
     sc_http_port = None;
     sc_access_log = None;
     sc_drain_grace_s = 0.0;
+    sc_flight_capacity = 32;
+    sc_flight_dump = None;
+    sc_slos = default_slos;
   }
 
 (* Version string baked into [lime_build_info]; matches the CLI's. *)
@@ -112,6 +129,19 @@ type counters = {
   m_queue_wait_seconds : Metrics.histogram;
   m_http_requests : Metrics.counter;
   m_dropped_spans : Metrics.counter;
+  m_request_summary : Metrics.summary;
+      (** windowed streaming quantiles over the same latencies as
+          [m_request_seconds] *)
+}
+
+(** Per-SLO gauges, refreshed from {!Slo.evaluate} before every
+    exposition and [/alertz] answer. *)
+type slo_gauges = {
+  sg_fast : Metrics.gauge;
+  sg_slow : Metrics.gauge;
+  sg_state : Metrics.gauge;  (** 0 = ok, 1 = warn, 2 = firing *)
+  sg_good : Metrics.gauge;
+  sg_bad : Metrics.gauge;
 }
 
 type report = {
@@ -131,7 +161,12 @@ type t = {
   sr_pipe_r : Unix.file_descr;  (** self-pipe: wakes select on completions *)
   sr_pipe_w : Unix.file_descr;
   sr_metrics : counters;
+  sr_slo : Slo.t;
+  sr_slo_gauges : (Slo.def * slo_gauges) list;
+  sr_flight : Flight.t;
   sr_drain_req : bool Atomic.t;  (** set by {!drain} / signal handlers *)
+  sr_flight_dump_req : bool Atomic.t;
+      (** set by {!request_flight_dump} (SIGQUIT); served by the reactor *)
   sr_access : out_channel option;  (** JSONL access log *)
   sr_started : float;  (** wall clock at creation, for /statusz uptime *)
   mutable sr_conns : conn list;
@@ -193,13 +228,82 @@ let register_metrics reg =
       Metrics.counter reg
         ~help:"trace spans evicted by the bounded span retention ring"
         "lime_trace_dropped_spans";
+    m_request_summary =
+      Metrics.summary reg
+        ~help:
+          "streaming quantiles of admission-to-reply latency, cumulative \
+           and over rolling 1m/5m/1h windows"
+        ~clock:Unix.gettimeofday "lime_server_request_seconds_summary";
   }
+
+let register_slo_gauges reg defs =
+  List.map
+    (fun def ->
+      let name = def.Slo.d_name in
+      Metrics.set
+        (Metrics.gauge reg
+           ~help:"the good-fraction objective of this SLO"
+           ~labels:[ ("slo", name) ] "lime_slo_objective")
+        def.Slo.d_objective;
+      ( def,
+        {
+          sg_fast =
+            Metrics.gauge reg
+              ~help:"error-budget burn rate per SLO and alert window"
+              ~labels:[ ("slo", name); ("window", "fast") ]
+              "lime_slo_burn_rate";
+          sg_slow =
+            Metrics.gauge reg
+              ~labels:[ ("slo", name); ("window", "slow") ]
+              "lime_slo_burn_rate";
+          sg_state =
+            Metrics.gauge reg
+              ~help:"alert state per SLO: 0 = ok, 1 = warn, 2 = firing"
+              ~labels:[ ("slo", name) ] "lime_slo_state";
+          sg_good =
+            Metrics.gauge reg
+              ~help:"events counted for/against each SLO since start"
+              ~labels:[ ("slo", name); ("result", "good") ]
+              "lime_slo_events";
+          sg_bad =
+            Metrics.gauge reg
+              ~labels:[ ("slo", name); ("result", "bad") ]
+              "lime_slo_events";
+        } ))
+    defs
+
+(* Refresh the lime_slo_* gauges from the evaluator and return the
+   statuses, so /metrics and /alertz always agree. *)
+let sync_slo_metrics t =
+  let statuses = Slo.evaluate t.sr_slo in
+  List.iter
+    (fun st ->
+      match
+        List.find_opt
+          (fun (d, _) -> d.Slo.d_name = st.Slo.st_def.Slo.d_name)
+          t.sr_slo_gauges
+      with
+      | None -> ()
+      | Some (_, g) ->
+          Metrics.set g.sg_fast st.Slo.st_fast_burn;
+          Metrics.set g.sg_slow st.Slo.st_slow_burn;
+          Metrics.set g.sg_state
+            (match st.Slo.st_state with
+            | Slo.Healthy -> 0.0
+            | Slo.Warn -> 1.0
+            | Slo.Firing -> 2.0);
+          Metrics.set g.sg_good (float_of_int st.Slo.st_good);
+          Metrics.set g.sg_bad (float_of_int st.Slo.st_bad))
+    statuses;
+  statuses
 
 let create ?service cfg =
   if cfg.sc_max_inflight < 1 then
     invalid_arg "Server.create: sc_max_inflight must be at least 1";
   if cfg.sc_idle_timeout_s <= 0.0 then
     invalid_arg "Server.create: sc_idle_timeout_s must be positive";
+  if cfg.sc_flight_capacity < 1 then
+    invalid_arg "Server.create: sc_flight_capacity must be at least 1";
   let svc, owns =
     match service with
     | Some s -> (s, false)
@@ -265,6 +369,15 @@ let create ?service cfg =
          ]
        "lime_build_info")
     1.0;
+  (* lets dashboards compute uptime and detect restarts from a scrape *)
+  Metrics.set
+    (Metrics.gauge (Service.registry svc)
+       ~help:"unix time this process started" "lime_process_start_time_seconds")
+    (Unix.gettimeofday ());
+  let slo =
+    Slo.create ~clock:Unix.gettimeofday
+      (if cfg.sc_slos = [] then default_slos else cfg.sc_slos)
+  in
   {
     sr_cfg = cfg;
     sr_svc = svc;
@@ -274,7 +387,11 @@ let create ?service cfg =
     sr_pipe_r = pipe_r;
     sr_pipe_w = pipe_w;
     sr_metrics = metrics;
+    sr_slo = slo;
+    sr_slo_gauges = register_slo_gauges (Service.registry svc) (Slo.defs slo);
+    sr_flight = Flight.create ~capacity:cfg.sc_flight_capacity;
     sr_drain_req = Atomic.make false;
+    sr_flight_dump_req = Atomic.make false;
     sr_access = access;
     sr_started = Unix.gettimeofday ();
     sr_conns = [];
@@ -313,6 +430,25 @@ let wake t =
 let drain t =
   Atomic.set t.sr_drain_req true;
   wake t
+
+(* async-signal-safe, like {!drain}: the SIGQUIT handler only flips the
+   flag and pokes the self-pipe; the reactor does the file IO *)
+let request_flight_dump t =
+  Atomic.set t.sr_flight_dump_req true;
+  wake t
+
+let dump_flight t =
+  match t.sr_cfg.sc_flight_dump with
+  | None -> ()
+  | Some file -> (
+      try
+        let oc =
+          open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 file
+        in
+        Fun.protect
+          ~finally:(fun () -> try close_out oc with Sys_error _ -> ())
+          (fun () -> Flight.dump t.sr_flight oc)
+      with Sys_error _ -> ())
 
 let report t =
   {
@@ -367,6 +503,7 @@ let sync_trace_metrics t =
 
 let exposition t =
   sync_trace_metrics t;
+  ignore (sync_slo_metrics t);
   Metrics.set t.sr_metrics.m_queue_depth
     (float_of_int (List.length t.sr_active));
   Service.expose t.sr_svc
@@ -409,6 +546,7 @@ let statusz_json t =
      \"evictions\":%d,\"coalesced\":%d,\"hit_rate\":%.4f},\
      \"tunestore\":{\"configured\":%b},\
      \"trace\":{\"trace_id\":\"%s\",\"retention\":%d,\"dropped_spans\":%d},\
+     \"flight\":{\"capacity\":%d,\"occupancy\":%d,\"evictions\":%d},\
      \"requests\":[%s]}\n"
     (t_now -. t.sr_started) t.sr_draining Wire.version (e build_version)
     (Service.jobs t.sr_svc)
@@ -423,7 +561,40 @@ let statusz_json t =
     (e (Trace.trace_id Trace.default))
     (Trace.retention Trace.default)
     (Trace.dropped_spans Trace.default)
+    (Flight.capacity t.sr_flight)
+    (Flight.occupancy t.sr_flight)
+    (Flight.evictions t.sr_flight)
     requests
+
+let alertz_json t =
+  let statuses = sync_slo_metrics t in
+  let e = Http.json_escape in
+  let slo_json st =
+    let d = st.Slo.st_def in
+    Printf.sprintf
+      "{\"name\":\"%s\",\"kind\":\"%s\",\"objective\":%g,%s\"state\":\"%s\",\
+       \"fast_burn\":%.4f,\"slow_burn\":%.4f,\"good\":%d,\"bad\":%d}"
+      (e d.Slo.d_name)
+      (match d.Slo.d_kind with
+      | Slo.Latency _ -> "latency"
+      | Slo.Availability -> "availability")
+      d.Slo.d_objective
+      (match d.Slo.d_kind with
+      | Slo.Latency thr -> Printf.sprintf "\"threshold_s\":%g," thr
+      | Slo.Availability -> "")
+      (Slo.state_name st.Slo.st_state)
+      st.Slo.st_fast_burn st.Slo.st_slow_burn st.Slo.st_good st.Slo.st_bad
+  in
+  let firing = List.exists (fun st -> st.Slo.st_state = Slo.Firing) statuses in
+  Printf.sprintf
+    "{\"ts\":%.6f,\"healthy\":%b,\"fast_window_s\":%g,\"slow_window_s\":%g,\
+     \"burn_factor\":%g,\"slos\":[%s]}\n"
+    (now ()) (not firing) (Slo.fast_s t.sr_slo) (Slo.slow_s t.sr_slo)
+    (Slo.burn_factor t.sr_slo)
+    (String.concat "," (List.map slo_json statuses))
+
+let flight_json entries =
+  "[" ^ String.concat ",\n" (List.map Flight.entry_json entries) ^ "]\n"
 
 let http_respond t (req : Http.request) =
   Metrics.inc t.sr_metrics.m_http_requests;
@@ -439,7 +610,18 @@ let http_respond t (req : Http.request) =
         else Http.ok "ok\n"
     | "/statusz" ->
         Http.ok ~content_type:"application/json" (statusz_json t)
-    | _ -> Http.response 404 "not found; try /metrics /healthz /statusz\n"
+    | "/alertz" ->
+        Http.ok ~content_type:"application/json" (alertz_json t)
+    | "/debug/slow" ->
+        Http.ok ~content_type:"application/json"
+          (flight_json (Flight.slowest t.sr_flight))
+    | "/debug/errors" ->
+        Http.ok ~content_type:"application/json"
+          (flight_json (Flight.errors t.sr_flight))
+    | _ ->
+        Http.response 404
+          "not found; try /metrics /healthz /statusz /alertz /debug/slow \
+           /debug/errors\n"
 
 (* ------------------------------------------------------------------ *)
 (* HTTP connection IO                                                  *)
@@ -602,9 +784,11 @@ let admit t (c : conn) (r : Wire.compile_req) config =
       (Service.request_digest ~config ~worker:r.Wire.cr_worker
          r.Wire.cr_source)
   in
-  (* only collect spans for requests that propagated a trace context —
-     untraced traffic pays nothing for the hand-off *)
-  let want_spans = r.Wire.cr_trace <> None in
+  (* spans are collected for every request — the flight recorder must be
+     able to explain the slowest/errored request after the fact, traced
+     or not; the bench overhead gate holds the always-on cost under the
+     5% / 25µs budget.  They are only shipped home when the client
+     propagated a trace context. *)
   let job () =
     Atomic.set pd_started (now ());
     let compute () =
@@ -628,14 +812,8 @@ let admit t (c : conn) (r : Wire.compile_req) config =
               ar_spans = "";
             }
     in
-    let res =
-      if want_spans then begin
-        let res, spans = Trace.collect Trace.default compute in
-        pd_spans := spans;
-        res
-      end
-      else compute ()
-    in
+    let res, spans = Trace.collect Trace.default compute in
+    pd_spans := spans;
     wake t;
     res
   in
@@ -690,6 +868,9 @@ let handle_frame t (c : conn) (frame : Wire.frame) =
       c.cn_closing <- true
   | Wire.Compile r ->
       let log_shed outcome =
+        (* a shed request is a broken promise too: it burns the
+           availability budget even though it never entered the queue *)
+        Slo.record t.sr_slo ~ok:false ~duration_s:0.0;
         log_access t ~id:r.Wire.cr_id ~name:r.Wire.cr_name
           ~worker:r.Wire.cr_worker ~config:r.Wire.cr_config ~digest:""
           ~deadline_ms:r.Wire.cr_deadline_ms ~wait_s:0.0 ~dur_s:0.0 ~outcome
@@ -810,8 +991,10 @@ let accept_loop t =
    recorded — rebased to admission and clamped into the root's window
    (the trace clock is CPU time, which can run ahead of the wall-clock
    request duration), with job-side roots reparented under the synthetic
-   root so the client grafts one well-nested subtree. *)
-let span_buffer pd ~t_now =
+   root so the client grafts one well-nested subtree.  The same tree is
+   what the flight recorder retains for /debug and the post-mortem
+   dump. *)
+let span_tree pd ~t_now =
   let dur_us = Float.max 1.0 ((t_now -. pd.pd_admitted) *. 1e6) in
   let clamp v = Float.min (Float.max 0.0 v) dur_us in
   let rebased =
@@ -867,7 +1050,9 @@ let span_buffer pd ~t_now =
       sp_end_us = wait_us;
     }
   in
-  Trace.spans_to_wire (root :: queue_wait :: reparented)
+  root :: queue_wait :: reparented
+
+let span_buffer pd ~t_now = Trace.spans_to_wire (span_tree pd ~t_now)
 
 (* Answer one settled (or expired) pending request.  Returns [true] when
    the entry is finished and should leave the active list. *)
@@ -878,7 +1063,11 @@ let reap_one t pd =
     (match reply with
     | Some frame ->
         send pd.pd_conn frame;
-        Metrics.observe t.sr_metrics.m_request_seconds dur_s;
+        let exemplar =
+          match trace_id_of pd with "" -> None | tid -> Some tid
+        in
+        Metrics.observe ?exemplar t.sr_metrics.m_request_seconds dur_s;
+        Metrics.observe_summary t.sr_metrics.m_request_summary dur_s;
         t.sr_ewma_s <-
           (if t.sr_ewma_s = 0.0 then dur_s
            else (0.8 *. t.sr_ewma_s) +. (0.2 *. dur_s))
@@ -897,6 +1086,24 @@ let reap_one t pd =
       ~config:pd.pd_config ~digest:pd.pd_digest
       ~deadline_ms:pd.pd_deadline_ms ~wait_s ~dur_s ~outcome:status ~origin
       ~trace_id:(trace_id_of pd);
+    Slo.record t.sr_slo ~ok:(status = "ok") ~duration_s:dur_s;
+    Flight.record t.sr_flight
+      ~spans:(fun () -> span_tree pd ~t_now)
+      {
+        Flight.fe_ts = t_now;
+        fe_id = pd.pd_id;
+        fe_worker = pd.pd_worker;
+        fe_name = pd.pd_name;
+        fe_config = pd.pd_config;
+        fe_digest = pd.pd_digest;
+        fe_trace_id = trace_id_of pd;
+        fe_deadline_ms = pd.pd_deadline_ms;
+        fe_wait_s = wait_s;
+        fe_dur_s = dur_s;
+        fe_outcome = status;
+        fe_origin = origin;
+        fe_spans = [];
+      };
     if t.sr_draining then t.sr_drain_completed <- t.sr_drain_completed + 1;
     true
   in
@@ -1076,6 +1283,10 @@ let run t =
     in
     if List.mem t.sr_pipe_r rready then drain_pipe t;
     if Atomic.get t.sr_drain_req then t.sr_draining <- true;
+    if Atomic.get t.sr_flight_dump_req then begin
+      Atomic.set t.sr_flight_dump_req false;
+      dump_flight t
+    end;
     List.iter
       (fun c -> if List.mem c.cn_fd wready then flush_conn c)
       t.sr_conns;
@@ -1142,6 +1353,8 @@ let run t =
          process exits *)
       let done_at = Option.value t.sr_drain_done_at ~default:t_now in
       if now () -. done_at >= t.sr_cfg.sc_drain_grace_s then begin
+        (* the post-mortem a drained process leaves behind *)
+        dump_flight t;
         final_flush t;
         shutdown_sockets t;
         if t.sr_owns_svc then Service.shutdown t.sr_svc;

@@ -42,15 +42,19 @@
 
     {b Observability plane}: with [sc_http_port] set, a loopback TCP
     listener is multiplexed into the same reactor speaking just enough
-    HTTP/1.0 ({!Http}) for three endpoints — [GET /metrics] (canonical
-    exposition, including [lime_build_info] and
-    [lime_trace_dropped_spans]), [GET /healthz] ([200 ok] normally,
-    [503 draining] once a drain begins) and [GET /statusz] (a JSON
-    snapshot: uptime, in-flight table with trace ids, queue depth, EWMA
-    service time, cache-tier hit counts).  The plane stays up while
-    draining and for [sc_drain_grace_s] after the last request finishes,
-    so load balancers observe the readiness flip.  With [sc_access_log]
-    set, every answered request appends one JSON line correlated to its
+    HTTP/1.0 ({!Http}) for six endpoints — [GET /metrics] (canonical
+    exposition, including windowed latency quantiles, exemplar-annotated
+    histograms and the [lime_slo_*] family), [GET /healthz] ([200 ok]
+    normally, [503 draining] once a drain begins), [GET /statusz] (a
+    JSON snapshot: uptime, in-flight table with trace ids, queue depth,
+    EWMA service time, cache-tier hit counts, flight-recorder
+    occupancy), [GET /alertz] (SLO burn rates and alert states, see
+    {!Lime_service.Slo}) and [GET /debug/slow] / [GET /debug/errors]
+    (the flight recorder's retained requests with their span trees, see
+    {!Flight}).  The plane stays up while draining and for
+    [sc_drain_grace_s] after the last request finishes, so load
+    balancers observe the readiness flip.  With [sc_access_log] set,
+    every answered request appends one JSON line correlated to its
     trace id. *)
 
 type config = {
@@ -70,6 +74,16 @@ type config = {
   sc_drain_grace_s : float;
       (** seconds to keep serving the observability plane after a drain
           completes, before the process exits (default 0) *)
+  sc_flight_capacity : int;
+      (** bound of each {!Flight} ring — errored and slowest requests
+          retained for /debug and the post-mortem dump (default 32;
+          must be at least 1) *)
+  sc_flight_dump : string option;
+      (** append the flight recorder's JSONL post-mortem to this file on
+          SIGQUIT ({!request_flight_dump}) and on graceful drain *)
+  sc_slos : Lime_service.Slo.def list;
+      (** objectives evaluated over answered requests; [[]] selects the
+          built-in defaults (99% availability, 95% under 1s) *)
 }
 
 val default_config : socket:string -> config
@@ -107,6 +121,12 @@ val run : t -> unit
 val drain : t -> unit
 (** Request a graceful drain from any domain or from a signal handler:
     stop accepting, finish in-flight work, flush, exit {!run}. *)
+
+val request_flight_dump : t -> unit
+(** Ask the reactor to append the flight recorder's retained entries to
+    [sc_flight_dump] (a no-op when unset).  Async-signal-safe like
+    {!drain} — this is what the SIGQUIT handler calls; the daemon keeps
+    running afterwards. *)
 
 type report = {
   rp_requests : int;  (** compile requests admitted *)

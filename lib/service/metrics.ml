@@ -12,12 +12,25 @@ type histogram = {
   h_name : string;
   h_bounds : float array;  (** ascending upper bounds, excluding +Inf *)
   h_counts : int array;  (** one per bound, plus the +Inf bucket at the end *)
+  h_exemplars : (float * string) option array;
+      (** per bucket, the latest exemplared observation: (value, trace id) *)
   mutable h_sum : float;
   mutable h_count : int;
   h_mu : Mutex.t;
 }
 
-type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+type summary = {
+  s_name : string;
+  s_quantiles : float list;
+  s_windows : (string * float) list;  (** label, span in seconds *)
+  s_window : Sketch.window;  (** ring + all-time totals; self-locking *)
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+  | Summary of summary
 
 type registry = {
   tbl : (string, metric) Hashtbl.t;
@@ -112,6 +125,7 @@ let histogram reg ?help ?(buckets = default_buckets) name =
         h_name = name;
         h_bounds = bounds;
         h_counts = Array.make (Array.length bounds + 1) 0;
+        h_exemplars = Array.make (Array.length bounds + 1) None;
         h_sum = 0.0;
         h_count = 0;
         h_mu = Mutex.create ();
@@ -121,20 +135,59 @@ let histogram reg ?help ?(buckets = default_buckets) name =
   | Histogram h -> h
   | _ -> invalid_arg ("Metrics.histogram: " ^ name ^ " is not a histogram")
 
+(* The default window geometry: a ring of 60 one-minute sub-sketches, so
+   one summary serves 1m/5m/1h views of its stream at once. *)
+let default_windows = [ ("1m", 60.0); ("5m", 300.0); ("1h", 3600.0) ]
+
+let summary reg ?help ?(alpha = Sketch.default_alpha)
+    ?(quantiles = [ 0.5; 0.9; 0.99 ]) ?(windows = default_windows)
+    ?(clock = Sys.time) name =
+  List.iter
+    (fun q ->
+      if q < 0.0 || q > 1.0 then
+        invalid_arg ("Metrics.summary: quantile outside [0,1]: " ^ name))
+    quantiles;
+  let make () =
+    Summary
+      {
+        s_name = name;
+        s_quantiles = quantiles;
+        s_windows = windows;
+        s_window = Sketch.window ~alpha ~clock ();
+      }
+  in
+  match register reg ?help name make with
+  | Summary s -> s
+  | _ -> invalid_arg ("Metrics.summary: " ^ name ^ " is not a summary")
+
 let inc ?(by = 1) c = with_lock c.c_mu (fun () -> c.c_value <- c.c_value + by)
 let counter_value c = with_lock c.c_mu (fun () -> c.c_value)
 let set g v = with_lock g.g_mu (fun () -> g.g_value <- v)
 let add g v = with_lock g.g_mu (fun () -> g.g_value <- g.g_value +. v)
 
-let observe h v =
+let observe ?exemplar h v =
   with_lock h.h_mu (fun () ->
       let n = Array.length h.h_bounds in
       let rec bucket i =
         if i >= n || v <= h.h_bounds.(i) then i else bucket (i + 1)
       in
-      h.h_counts.(bucket 0) <- h.h_counts.(bucket 0) + 1;
+      let b = bucket 0 in
+      h.h_counts.(b) <- h.h_counts.(b) + 1;
+      (match exemplar with
+      | Some trace_id when trace_id <> "" ->
+          h.h_exemplars.(b) <- Some (v, trace_id)
+      | _ -> ());
       h.h_sum <- h.h_sum +. v;
       h.h_count <- h.h_count + 1)
+
+let observe_summary s v = Sketch.window_add s.s_window v
+let summary_count s = Sketch.window_count s.s_window
+let summary_sum s = Sketch.window_sum s.s_window
+
+let summary_quantile s ?window_s q =
+  match window_s with
+  | None -> Sketch.quantile (Sketch.window_total s.s_window) q
+  | Some span -> Sketch.window_quantile s.s_window span q
 
 let histogram_count h = with_lock h.h_mu (fun () -> h.h_count)
 let histogram_sum h = with_lock h.h_mu (fun () -> h.h_sum)
@@ -197,22 +250,66 @@ let expose reg =
           Buffer.add_string buf (Printf.sprintf "%s %g\n" g.g_name v)
       | Histogram h ->
           metadata "histogram";
-          let counts, sum, count =
+          let counts, exemplars, sum, count =
             with_lock h.h_mu (fun () ->
-                (Array.copy h.h_counts, h.h_sum, h.h_count))
+                ( Array.copy h.h_counts,
+                  Array.copy h.h_exemplars,
+                  h.h_sum,
+                  h.h_count ))
+          in
+          (* an OpenMetrics exemplar rides its bucket line:
+             [.. # {trace_id="…"} value] — the join key from a scraped
+             tail bucket to a concrete distributed trace *)
+          let exemplar_suffix i =
+            match exemplars.(i) with
+            | None -> ""
+            | Some (v, trace_id) ->
+                Printf.sprintf " # {trace_id=\"%s\"} %g"
+                  (escape_label_value trace_id)
+                  v
           in
           let cum = ref 0 in
           Array.iteri
             (fun i bound ->
               cum := !cum + counts.(i);
               Buffer.add_string buf
-                (Printf.sprintf "%s_bucket{le=\"%g\"} %d\n" name bound !cum))
+                (Printf.sprintf "%s_bucket{le=\"%g\"} %d%s\n" name bound !cum
+                   (exemplar_suffix i)))
             h.h_bounds;
-          cum := !cum + counts.(Array.length h.h_bounds);
+          let last = Array.length h.h_bounds in
+          cum := !cum + counts.(last);
           Buffer.add_string buf
-            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name !cum);
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d%s\n" name !cum
+               (exemplar_suffix last));
           Buffer.add_string buf (Printf.sprintf "%s_sum %g\n" name sum);
-          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name count))
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name count)
+      | Summary s ->
+          metadata "summary";
+          (* cumulative quantiles first, then one block per rolling
+             window; empty sketches emit no quantile samples (rather
+             than NaN), so a fresh registry still snapshots cleanly *)
+          let quantile_lines labels sk =
+            List.iter
+              (fun q ->
+                match Sketch.quantile sk q with
+                | None -> ()
+                | Some v ->
+                    Buffer.add_string buf
+                      (Printf.sprintf "%s{%squantile=\"%g\"} %g\n" name
+                         labels q v))
+              s.s_quantiles
+          in
+          quantile_lines "" (Sketch.window_total s.s_window);
+          List.iter
+            (fun (label, span) ->
+              quantile_lines
+                (Printf.sprintf "window=\"%s\"," (escape_label_value label))
+                (Sketch.window_sketch s.s_window span))
+            s.s_windows;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum %g\n" name (summary_sum s));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count %d\n" name (summary_count s)))
     entries;
   Buffer.contents buf
 
@@ -229,6 +326,8 @@ let reset reg =
       | Histogram h ->
           with_lock h.h_mu (fun () ->
               Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+              Array.fill h.h_exemplars 0 (Array.length h.h_exemplars) None;
               h.h_sum <- 0.0;
-              h.h_count <- 0))
+              h.h_count <- 0)
+      | Summary s -> Sketch.window_clear s.s_window)
     metrics

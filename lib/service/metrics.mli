@@ -23,6 +23,7 @@ type registry
 type counter
 type gauge
 type histogram
+type summary
 
 val create : unit -> registry
 
@@ -54,6 +55,24 @@ val histogram :
 
 val default_buckets : float list
 
+val summary :
+  registry -> ?help:string -> ?alpha:float -> ?quantiles:float list ->
+  ?windows:(string * float) list -> ?clock:(unit -> float) -> string ->
+  summary
+(** Register (or retrieve) a streaming-quantile summary backed by a
+    {!Sketch.window} ring.  Exposition emits one
+    [name{quantile="q"} v] sample per quantile over {e all} values ever
+    observed, plus one [name{window="label",quantile="q"} v] sample per
+    rolling window in [windows] (label, span in seconds — default
+    {!default_windows}), then [_sum] and [_count]; empty sketches emit no
+    quantile samples.  [alpha] is the sketch's relative-error bound
+    (default {!Sketch.default_alpha}); [clock] supplies "now" in seconds
+    for window rotation (the daemon passes [Unix.gettimeofday]). *)
+
+val default_windows : (string * float) list
+(** [["1m", 60.; "5m", 300.; "1h", 3600.]] — the multi-resolution views a
+    summary exposes by default. *)
+
 val inc : ?by:int -> counter -> unit
 val counter_value : counter -> int
 val set : gauge -> float -> unit
@@ -61,9 +80,24 @@ val set : gauge -> float -> unit
 (** Accumulate into a gauge — used for float-valued totals (bytes,
     transactions) that a [counter]'s int value cannot hold. *)
 val add : gauge -> float -> unit
-val observe : histogram -> float -> unit
+
+val observe : ?exemplar:string -> histogram -> float -> unit
+(** Record a value.  [exemplar] is a trace id: the bucket the value lands
+    in remembers the latest [(value, trace_id)] pair and exposition
+    renders it as an OpenMetrics suffix
+    [name_bucket{le="0.1"} 3 # {trace_id="..."} 0.043], linking a scraped
+    tail bucket to a concrete trace. *)
+
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
+val observe_summary : summary -> float -> unit
+val summary_count : summary -> int
+val summary_sum : summary -> float
+
+val summary_quantile : summary -> ?window_s:float -> float -> float option
+(** [summary_quantile s q]: the cumulative quantile estimate (all values
+    ever observed); with [~window_s] the estimate over the last
+    [window_s] seconds.  [None] when the covering sketch is empty. *)
 
 val expose : registry -> string
 (** The full registry as deterministic exposition text. *)

@@ -1,0 +1,210 @@
+(** Multi-window burn-rate SLO evaluation — see the interface. *)
+
+type kind = Latency of float | Availability
+type def = { d_name : string; d_kind : kind; d_objective : float }
+type state = Healthy | Warn | Firing
+
+type status = {
+  st_def : def;
+  st_state : state;
+  st_fast_burn : float;
+  st_slow_burn : float;
+  st_good : int;
+  st_bad : int;
+}
+
+let spec_syntax = "[NAME=]KIND:OBJECTIVE[:THRESHOLD] with KIND one of latency (requires THRESHOLD seconds) or availability"
+
+let parse_float s = float_of_string_opt (String.trim s)
+
+let parse_spec spec =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let name, body =
+    match String.index_opt spec '=' with
+    | Some i ->
+        ( String.sub spec 0 i,
+          String.sub spec (i + 1) (String.length spec - i - 1) )
+    | None -> ("", spec)
+  in
+  match String.split_on_char ':' body with
+  | kind :: rest -> begin
+      let kind = String.lowercase_ascii (String.trim kind) in
+      let name = if name = "" then kind else String.trim name in
+      if name = "" then err "empty SLO name in %S" spec
+      else
+        let objective obj =
+          match parse_float obj with
+          | Some o when o > 0.0 && o < 1.0 -> Ok o
+          | _ -> err "SLO objective must be in (0, 1): %S" spec
+        in
+        match (kind, rest) with
+        | "latency", [ obj; thr ] -> begin
+            match (objective obj, parse_float thr) with
+            | Ok o, Some t when t > 0.0 ->
+                Ok { d_name = name; d_kind = Latency t; d_objective = o }
+            | (Error _ as e), _ -> e
+            | _ -> err "latency SLO threshold must be positive seconds: %S" spec
+          end
+        | "latency", _ ->
+            err "latency SLO needs OBJECTIVE:THRESHOLD (e.g. latency:0.95:1.0): %S"
+              spec
+        | "availability", [ obj ] -> begin
+            match objective obj with
+            | Ok o -> Ok { d_name = name; d_kind = Availability; d_objective = o }
+            | Error _ as e -> e
+          end
+        | "availability", _ ->
+            err "availability SLO takes only OBJECTIVE (e.g. availability:0.99): %S"
+              spec
+        | _ -> err "unknown SLO kind %S (expected latency or availability)" kind
+    end
+  | [] -> err "empty SLO spec"
+
+let render_spec d =
+  match d.d_kind with
+  | Latency t -> Printf.sprintf "%s=latency:%g:%g" d.d_name d.d_objective t
+  | Availability -> Printf.sprintf "%s=availability:%g" d.d_name d.d_objective
+
+(* ------------------------------------------------------------------ *)
+(* Per-objective good/bad ring                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* One slot per minute, enough slots to cover the slow window; the slot
+   owning a rotated-out interval is lazily re-zeroed, as in Sketch. *)
+type ring = {
+  rg_good : int array;
+  rg_bad : int array;
+  rg_ids : int array;  (* interval id each slot holds; -1 = never used *)
+  mutable rg_total_good : int;
+  mutable rg_total_bad : int;
+}
+
+let interval_s = 60.0
+
+type t = {
+  t_defs : def list;
+  t_fast : float;
+  t_slow : float;
+  t_factor : float;
+  t_clock : unit -> float;
+  t_rings : ring array;  (* one per def, in order *)
+  t_mu : Mutex.t;
+}
+
+let with_lock mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let create ?(fast_s = 300.0) ?(slow_s = 3600.0) ?(burn_factor = 14.4) ~clock
+    defs =
+  if fast_s <= 0.0 || slow_s < fast_s then
+    invalid_arg "Slo.create: need 0 < fast_s <= slow_s";
+  if burn_factor <= 0.0 then invalid_arg "Slo.create: burn_factor must be positive";
+  let slots = max 2 (1 + int_of_float (Float.ceil (slow_s /. interval_s))) in
+  {
+    t_defs = defs;
+    t_fast = fast_s;
+    t_slow = slow_s;
+    t_factor = burn_factor;
+    t_clock = clock;
+    t_rings =
+      Array.init (List.length defs) (fun _ ->
+          {
+            rg_good = Array.make slots 0;
+            rg_bad = Array.make slots 0;
+            rg_ids = Array.make slots (-1);
+            rg_total_good = 0;
+            rg_total_bad = 0;
+          });
+    t_mu = Mutex.create ();
+  }
+
+let defs t = t.t_defs
+let fast_s t = t.t_fast
+let slow_s t = t.t_slow
+let burn_factor t = t.t_factor
+
+let interval_id t = int_of_float (Float.floor (t.t_clock () /. interval_s))
+
+(* call with [t_mu] held *)
+let slot_for r e =
+  let n = Array.length r.rg_ids in
+  let i = ((e mod n) + n) mod n in
+  if r.rg_ids.(i) <> e then begin
+    r.rg_good.(i) <- 0;
+    r.rg_bad.(i) <- 0;
+    r.rg_ids.(i) <- e
+  end;
+  i
+
+let good_for def ~ok ~duration_s =
+  match def.d_kind with
+  | Availability -> ok
+  | Latency thr -> ok && duration_s <= thr
+
+let record t ~ok ~duration_s =
+  with_lock t.t_mu (fun () ->
+      let e = interval_id t in
+      List.iteri
+        (fun i def ->
+          let r = t.t_rings.(i) in
+          let s = slot_for r e in
+          if good_for def ~ok ~duration_s then begin
+            r.rg_good.(s) <- r.rg_good.(s) + 1;
+            r.rg_total_good <- r.rg_total_good + 1
+          end
+          else begin
+            r.rg_bad.(s) <- r.rg_bad.(s) + 1;
+            r.rg_total_bad <- r.rg_total_bad + 1
+          end)
+        t.t_defs)
+
+(* good/bad over the last [span_s] seconds: the current (partial)
+   interval plus enough full ones to cover the span.  Call with [t_mu]
+   held. *)
+let window_counts r ~now_e span_s =
+  let back = int_of_float (Float.ceil (span_s /. interval_s)) in
+  let good = ref 0 and bad = ref 0 in
+  Array.iteri
+    (fun i id ->
+      if id >= now_e - back && id <= now_e then begin
+        good := !good + r.rg_good.(i);
+        bad := !bad + r.rg_bad.(i)
+      end)
+    r.rg_ids;
+  (!good, !bad)
+
+let burn_rate def (good, bad) =
+  let total = good + bad in
+  if total = 0 then 0.0
+  else
+    let bad_fraction = float_of_int bad /. float_of_int total in
+    bad_fraction /. (1.0 -. def.d_objective)
+
+let evaluate t =
+  with_lock t.t_mu (fun () ->
+      let e = interval_id t in
+      List.mapi
+        (fun i def ->
+          let r = t.t_rings.(i) in
+          let fast = burn_rate def (window_counts r ~now_e:e t.t_fast) in
+          let slow = burn_rate def (window_counts r ~now_e:e t.t_slow) in
+          let state =
+            if fast >= t.t_factor && slow >= t.t_factor then Firing
+            else if fast >= t.t_factor then Warn
+            else Healthy
+          in
+          {
+            st_def = def;
+            st_state = state;
+            st_fast_burn = fast;
+            st_slow_burn = slow;
+            st_good = r.rg_total_good;
+            st_bad = r.rg_total_bad;
+          })
+        t.t_defs)
+
+let state_name = function
+  | Healthy -> "ok"
+  | Warn -> "warn"
+  | Firing -> "firing"

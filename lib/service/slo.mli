@@ -1,0 +1,81 @@
+(** Declarative service-level objectives with multi-window burn-rate
+    alerting.
+
+    An SLO names a fraction of {e good} requests the service promises
+    over time: an availability objective counts a request good when it
+    succeeds; a latency objective additionally requires it to finish
+    under a threshold.  The error budget is [1 - objective], and the
+    {e burn rate} of a window is the window's bad fraction divided by
+    that budget — burn 1.0 spends the budget exactly at the promised
+    pace, burn 14.4 exhausts a 30-day budget in ~2 days.
+
+    Alerting follows the multi-window pattern (Google SRE workbook): an
+    alert {b fires} only when both a fast window (default 5m — catches
+    the onset quickly) and a slow window (default 1h — proves it is not
+    a blip) burn at or above the factor; the fast window alone burning
+    is a {b warn}.  Both windows healthy is {b ok}.
+
+    Events are recorded into a ring of per-minute good/bad counters (the
+    same lazy-rotation scheme as {!Sketch} windows), so evaluation reads
+    the last 5m/1h without unbounded state.
+
+    {b Thread safety}: every operation may be called from any domain;
+    one mutex guards each evaluator. *)
+
+type kind =
+  | Latency of float
+      (** good iff the request succeeded {e and} took at most this many
+          seconds *)
+  | Availability  (** good iff the request succeeded *)
+
+type def = { d_name : string; d_kind : kind; d_objective : float }
+
+type state = Healthy | Warn | Firing
+
+type status = {
+  st_def : def;
+  st_state : state;
+  st_fast_burn : float;  (** burn rate over the fast window *)
+  st_slow_burn : float;  (** burn rate over the slow window *)
+  st_good : int;  (** all-time good events *)
+  st_bad : int;  (** all-time bad events *)
+}
+
+val spec_syntax : string
+(** One-line grammar for [--slo] specs, used in CLI usage errors. *)
+
+val parse_spec : string -> (def, string) result
+(** Parse a [\[NAME=\]KIND:OBJECTIVE\[:THRESHOLD\]] spec —
+    [latency:0.95:1.0] (95% of successful requests under 1.0s),
+    [availability:0.99], [compile=latency:0.99:0.25].  The objective must
+    be in (0, 1); a latency spec requires a positive threshold in
+    seconds; an availability spec must not carry one. *)
+
+val render_spec : def -> string
+(** The spec string that parses back to this definition. *)
+
+type t
+
+val create :
+  ?fast_s:float -> ?slow_s:float -> ?burn_factor:float ->
+  clock:(unit -> float) -> def list -> t
+(** An evaluator over the given objectives.  [fast_s] (default 300) and
+    [slow_s] (default 3600) are the two alerting windows; [burn_factor]
+    (default 14.4) is the burn rate at which they trip.  [clock]
+    supplies "now" in seconds. *)
+
+val defs : t -> def list
+val fast_s : t -> float
+val slow_s : t -> float
+val burn_factor : t -> float
+
+val record : t -> ok:bool -> duration_s:float -> unit
+(** Classify one finished request against every objective and record it
+    into the current interval. *)
+
+val evaluate : t -> status list
+(** Current burn rates and alert states, in definition order.  Empty
+    windows burn 0. *)
+
+val state_name : state -> string
+(** ["ok"], ["warn"], or ["firing"]. *)

@@ -497,6 +497,67 @@ let test_batch_manifest_malformed () =
   Alcotest.(check bool) "alternatives listed" true
     (contains "local+pad+vec" out)
 
+(* daemon flag validation: every bad value must exit 2 with a usage
+   message before the socket is ever bound *)
+
+let dead_sock () =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "limed-cli-%d.sock" (Unix.getpid ()))
+
+let test_daemon_bad_http_port () =
+  skip_unless_available ();
+  List.iter
+    (fun p ->
+      let code, out =
+        capture (Printf.sprintf "--daemon %s --http=%d" (dead_sock ()) p)
+      in
+      Alcotest.(check int) (Printf.sprintf "--http=%d exits 2" p) 2 code;
+      Alcotest.(check bool) "names the flag" true (contains "bad --http" out);
+      Alcotest.(check bool) "explains the range" true
+        (contains "port" out))
+    [ -1; 65536; 100000 ]
+
+let test_daemon_bad_flight_capacity () =
+  skip_unless_available ();
+  let code, out =
+    capture
+      (Printf.sprintf "--daemon %s --flight-capacity 0" (dead_sock ()))
+  in
+  Alcotest.(check int) "--flight-capacity 0 exits 2" 2 code;
+  Alcotest.(check bool) "names the flag" true
+    (contains "bad --flight-capacity" out);
+  Alcotest.(check bool) "states the requirement" true
+    (contains "at least 1" out)
+
+let test_daemon_bad_slo_spec () =
+  skip_unless_available ();
+  List.iter
+    (fun spec ->
+      let code, out =
+        capture
+          (Printf.sprintf "--daemon %s --slo %s" (dead_sock ())
+             (Filename.quote spec))
+      in
+      Alcotest.(check int) (spec ^ " exits 2") 2 code;
+      Alcotest.(check bool) "names the flag" true (contains "bad --slo" out);
+      Alcotest.(check bool) "shows the grammar" true
+        (contains "[NAME=]" out))
+    [ "throughput:0.9"; "latency:0.95"; "availability:2" ]
+
+let test_daemon_flags_need_daemon () =
+  skip_unless_available ();
+  List.iter
+    (fun flags ->
+      let code, out =
+        capture
+          (Printf.sprintf "%s -w NBody.computeForces %s" nbody flags)
+      in
+      Alcotest.(check int) (flags ^ " exits 2") 2 code;
+      Alcotest.(check bool) (flags ^ " points at --daemon") true
+        (contains "--daemon" out))
+    [ "--flight-capacity 8"; "--flight-dump /tmp/fr.jsonl";
+      "--slo availability:0.99" ]
+
 (* ------------------------------------------------------------------ *)
 (* bench/main.exe: workload validation and fuzz-traffic flags          *)
 (* ------------------------------------------------------------------ *)
@@ -604,6 +665,14 @@ let () =
             test_cache_capacity_accepted;
           Alcotest.test_case "malformed manifest names file:line" `Quick
             test_batch_manifest_malformed;
+          Alcotest.test_case "--http rejects bad ports" `Quick
+            test_daemon_bad_http_port;
+          Alcotest.test_case "--flight-capacity rejects 0" `Quick
+            test_daemon_bad_flight_capacity;
+          Alcotest.test_case "--slo rejects bad specs" `Quick
+            test_daemon_bad_slo_spec;
+          Alcotest.test_case "daemon flags need --daemon" `Quick
+            test_daemon_flags_need_daemon;
         ] );
       ( "bench",
         [

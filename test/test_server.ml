@@ -975,6 +975,163 @@ let test_access_log () =
           Alcotest.failf "expected exactly one access-log line, got %d"
             (List.length lines))
 
+(* ------------------------------------------------------------------ *)
+(* SLOs, /alertz, and the flight recorder                              *)
+(* ------------------------------------------------------------------ *)
+
+(* deadline-0 traffic is the deterministic burn generator: such a request
+   can never be answered in time, so every one lands as a bad event in
+   both alerting windows and as an entry in the errors ring *)
+let test_alertz_flips_under_burn () =
+  let svc = Service.create ~registry:(Lime_service.Metrics.create ()) () in
+  Fun.protect ~finally:(fun () -> Service.shutdown svc) @@ fun () ->
+  with_server ~service:svc
+    ~reshape:(fun c -> { c with Server.sc_http_port = Some 0 })
+    (fun sock server ->
+      let port = http_port_exn server in
+      let contains sub s = Util.contains_substring ~sub s in
+      (* before any traffic: healthy, with the default objectives named *)
+      let alertz () = http_get port "GET /alertz HTTP/1.0\r\n\r\n" in
+      let a0 = alertz () in
+      List.iter
+        (fun sub ->
+          Alcotest.(check bool) (sub ^ " in /alertz") true (contains sub a0))
+        [
+          "200 OK"; "application/json"; "\"healthy\":true";
+          "\"name\":\"availability\""; "\"kind\":\"latency\"";
+          "\"threshold_s\":"; "\"burn_factor\":14.4"; "\"state\":\"ok\"";
+        ];
+      let trace =
+        { Wire.tc_trace_id = Trace.fresh_trace_id (); tc_parent_span = -1 }
+      in
+      let cl = connect_exn sock in
+      Fun.protect
+        ~finally:(fun () -> Client.close cl)
+        (fun () ->
+          (* one good request, then an all-bad burst: the daemon is
+             seconds old, so both alerting windows hold the same burst
+             and the availability SLO must fire *)
+          (match
+             Client.compile cl ~name:"good" ~trace ~worker:"Doubler.apply"
+               doubler_source
+           with
+          | Ok _ -> ()
+          | Error f -> Alcotest.failf "good: %s" (Client.failure_to_string f));
+          for i = 1 to 6 do
+            match
+              Client.compile cl ~deadline_ms:0
+                ~name:(Printf.sprintf "doomed-%d" i)
+                ~worker:"Doubler.apply" doubler_source
+            with
+            | Ok _ -> Alcotest.fail "a deadline-0 request cannot succeed"
+            | Error _ -> ()
+          done);
+      let a1 = alertz () in
+      Alcotest.(check bool) "burn flips /alertz unhealthy" true
+        (contains "\"healthy\":false" a1);
+      Alcotest.(check bool) "the availability objective fires" true
+        (contains "\"state\":\"firing\"" a1);
+      Alcotest.(check bool) "bad events tallied" true (contains "\"bad\":6" a1);
+      (* the same state machine is exposed as metrics *)
+      let metrics = http_get port "GET /metrics HTTP/1.0\r\n\r\n" in
+      List.iter
+        (fun sub ->
+          Alcotest.(check bool) (sub ^ " in /metrics") true
+            (contains sub metrics))
+        [
+          "lime_slo_state{slo=\"availability\"} 2";
+          "lime_slo_burn_rate{slo=\"availability\",window=\"fast\"}";
+          "lime_slo_events{slo=\"availability\",result=\"bad\"} 6";
+          "lime_slo_objective{slo=\"availability\"} 0.99";
+          "lime_process_start_time_seconds";
+          (* the latency summary saw exactly the answered request *)
+          "lime_server_request_seconds_summary_count 1";
+          "lime_server_request_seconds_summary{quantile=\"0.5\"}";
+          (* the traced request left its id as a histogram exemplar *)
+          "# {trace_id=\"" ^ trace.Wire.tc_trace_id ^ "\"}";
+        ];
+      (* the flight recorder: the good request is among the slowest, the
+         doomed ones are errors, each with its grafted span tree *)
+      let slow = http_get port "GET /debug/slow HTTP/1.0\r\n\r\n" in
+      Alcotest.(check bool) "/debug/slow serves the good request" true
+        (contains "\"name\":\"good\"" slow);
+      Alcotest.(check bool) "slow entry carries the span tree" true
+        (contains "server.request" slow
+        && contains "server.queue_wait" slow);
+      Alcotest.(check bool) "slow entry keeps the trace id" true
+        (contains trace.Wire.tc_trace_id slow);
+      let errors = http_get port "GET /debug/errors HTTP/1.0\r\n\r\n" in
+      Alcotest.(check bool) "/debug/errors holds the doomed requests" true
+        (contains "\"outcome\":\"deadline\"" errors
+        && contains "doomed-6" errors);
+      (* statusz reports the recorder's occupancy next to the trace
+         buffer's drop counter *)
+      let status = http_get port "GET /statusz HTTP/1.0\r\n\r\n" in
+      List.iter
+        (fun sub ->
+          Alcotest.(check bool) (sub ^ " in /statusz") true
+            (contains sub status))
+        [ "\"flight\":{\"capacity\":32,\"occupancy\":"; "\"dropped_spans\":" ])
+
+(* a graceful drain writes the post-mortem file without being asked *)
+let test_flight_dump_on_drain () =
+  let dump_file = Filename.temp_file "limed-flight" ".jsonl" in
+  Sys.remove dump_file;
+  let trace =
+    { Wire.tc_trace_id = Trace.fresh_trace_id (); tc_parent_span = -1 }
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove dump_file with Sys_error _ -> ())
+    (fun () ->
+      with_server
+        ~reshape:(fun c -> { c with Server.sc_flight_dump = Some dump_file })
+        (fun sock _server ->
+          let cl = connect_exn sock in
+          Fun.protect
+            ~finally:(fun () -> Client.close cl)
+            (fun () ->
+              (match
+                 Client.compile cl ~name:"kept" ~trace
+                   ~worker:"Doubler.apply" doubler_source
+               with
+              | Ok _ -> ()
+              | Error f ->
+                  Alcotest.failf "kept: %s" (Client.failure_to_string f));
+              match
+                Client.compile cl ~deadline_ms:0 ~name:"lost"
+                  ~worker:"Doubler.apply" doubler_source
+              with
+              | Ok _ -> Alcotest.fail "deadline-0 cannot succeed"
+              | Error _ -> ()));
+      (* with_server has drained and joined: the dump is complete *)
+      let lines =
+        In_channel.with_open_text dump_file In_channel.input_lines
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "entries dumped (%d lines)" (List.length lines))
+        true
+        (List.length lines >= 2);
+      List.iter
+        (fun l ->
+          Alcotest.(check bool) "line is a json object" true
+            (String.length l > 2
+            && l.[0] = '{'
+            && l.[String.length l - 1] = '}');
+          Alcotest.(check bool) "line names its ring" true
+            (Util.contains_substring ~sub:"\"ring\":\"errors\"" l
+            || Util.contains_substring ~sub:"\"ring\":\"slow\"" l))
+        lines;
+      let whole = String.concat "\n" lines in
+      Alcotest.(check bool) "the answered request is in the dump" true
+        (Util.contains_substring ~sub:"\"name\":\"kept\"" whole);
+      Alcotest.(check bool) "its trace id survives into the post-mortem" true
+        (Util.contains_substring ~sub:trace.Wire.tc_trace_id whole);
+      Alcotest.(check bool) "the doomed request is in the errors ring" true
+        (Util.contains_substring ~sub:"\"outcome\":\"deadline\"" whole);
+      Alcotest.(check bool) "span trees survive into the post-mortem" true
+        (Util.contains_substring ~sub:"server.request" whole))
+
 let () =
   Alcotest.run "server"
     [
@@ -1019,5 +1176,9 @@ let () =
           Alcotest.test_case "healthz flips while draining" `Quick
             test_healthz_flips_while_draining;
           Alcotest.test_case "access log" `Quick test_access_log;
+          Alcotest.test_case "alertz flips under deadline-0 burn" `Quick
+            test_alertz_flips_under_burn;
+          Alcotest.test_case "flight dump on drain" `Quick
+            test_flight_dump_on_drain;
         ] );
     ]

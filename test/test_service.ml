@@ -6,6 +6,7 @@ module Digest = Lime_service.Digest
 module Kcache = Lime_service.Kcache
 module Tunestore = Lime_service.Tunestore
 module Metrics = Lime_service.Metrics
+module Sketch = Lime_service.Sketch
 module Service = Lime_service.Service
 module Memopt = Lime_gpu.Memopt
 
@@ -312,6 +313,92 @@ let test_metrics_labeled_family () =
        ~sub:"svc_build_info{version=\"1.0.0\",proto=\"2\"} 5"
        (Metrics.expose reg))
 
+let test_metrics_exemplar_exposition () =
+  (* an exemplared observation rides its bucket line as an OpenMetrics
+     [# {trace_id="…"} value] suffix, with the id escaped; buckets that
+     never saw an exemplar render exactly as before *)
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg ~buckets:[ 0.1 ] "ex_latency_seconds" in
+  Metrics.observe h 0.05;
+  Metrics.observe ~exemplar:"trace\"1" h 0.07;
+  Metrics.observe ~exemplar:"big" h 7.0;
+  let want =
+    "# HELP ex_latency_seconds\n\
+     # TYPE ex_latency_seconds histogram\n\
+     ex_latency_seconds_bucket{le=\"0.1\"} 2 # {trace_id=\"trace\\\"1\"} 0.07\n\
+     ex_latency_seconds_bucket{le=\"+Inf\"} 3 # {trace_id=\"big\"} 7\n\
+     ex_latency_seconds_sum 7.12\n\
+     ex_latency_seconds_count 3\n"
+  in
+  Alcotest.(check string) "exemplar suffixes, escaped" want
+    (Metrics.expose reg);
+  (* an empty exemplar is ignored, and reset clears the stored ones *)
+  Metrics.observe ~exemplar:"" h 0.01;
+  Metrics.reset reg;
+  Metrics.observe h 0.02;
+  Alcotest.(check bool) "no exemplars after reset" false
+    (Lime_support.Util.contains_substring ~sub:"trace_id"
+       (Metrics.expose reg))
+
+let test_metrics_summary_exposition () =
+  let reg = Metrics.create () in
+  let now = ref 0.0 in
+  let s =
+    Metrics.summary reg ~help:"request latency"
+      ~quantiles:[ 0.5; 0.99 ]
+      ~windows:[ ("1m", 60.0) ]
+      ~clock:(fun () -> !now)
+      "svc_latency_summary"
+  in
+  (* a fresh summary exposes metadata and totals but no quantile
+     samples (never NaN) *)
+  let exposed = Metrics.expose reg in
+  let contains sub = Lime_support.Util.contains_substring ~sub exposed in
+  Alcotest.(check bool) "summary TYPE" true
+    (contains "# TYPE svc_latency_summary summary");
+  Alcotest.(check bool) "no quantiles while empty" false
+    (contains "quantile=");
+  Alcotest.(check bool) "zero count while empty" true
+    (contains "svc_latency_summary_count 0");
+  (* 100 observations of 1ms..100ms: the medians must land within the
+     sketch's relative-error bound of the exact rank *)
+  for i = 1 to 100 do
+    Metrics.observe_summary s (float_of_int i /. 1000.0)
+  done;
+  let exposed = Metrics.expose reg in
+  let contains sub = Lime_support.Util.contains_substring ~sub exposed in
+  Alcotest.(check bool) "cumulative quantile line" true
+    (contains "svc_latency_summary{quantile=\"0.5\"}");
+  Alcotest.(check bool) "windowed quantile line" true
+    (contains "svc_latency_summary{window=\"1m\",quantile=\"0.99\"}");
+  Alcotest.(check bool) "count line" true
+    (contains "svc_latency_summary_count 100");
+  (match Metrics.summary_quantile s 0.5 with
+  | Some v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "median %.4f within 1%% of 0.050" v)
+        true
+        (Float.abs (v -. 0.050) <= 0.050 *. Sketch.default_alpha +. 1e-9)
+  | None -> Alcotest.fail "cumulative quantile empty");
+  (match Metrics.summary_quantile s ~window_s:60.0 0.99 with
+  | Some v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "windowed p99 %.4f within 1%% of 0.099" v)
+        true
+        (Float.abs (v -. 0.099) <= 0.099 *. Sketch.default_alpha +. 1e-9)
+  | None -> Alcotest.fail "windowed quantile empty");
+  (* five minutes later the 1m window has rotated empty: its quantile
+     lines vanish while the cumulative ones survive *)
+  now := 300.0;
+  let exposed = Metrics.expose reg in
+  let contains sub = Lime_support.Util.contains_substring ~sub exposed in
+  Alcotest.(check bool) "rotated window emits no quantiles" false
+    (contains "window=\"1m\"");
+  Alcotest.(check bool) "cumulative quantiles survive rotation" true
+    (contains "svc_latency_summary{quantile=\"0.5\"}");
+  Metrics.reset reg;
+  Alcotest.(check int) "reset zeroes the summary" 0 (Metrics.summary_count s)
+
 let test_metrics_help_escaping () =
   let reg = Metrics.create () in
   ignore (Metrics.counter reg ~help:"line one\nback\\slash" "esc_total");
@@ -443,6 +530,10 @@ let () =
           Alcotest.test_case "help escaping" `Quick test_metrics_help_escaping;
           Alcotest.test_case "labeled family" `Quick
             test_metrics_labeled_family;
+          Alcotest.test_case "exemplar exposition" `Quick
+            test_metrics_exemplar_exposition;
+          Alcotest.test_case "summary exposition" `Quick
+            test_metrics_summary_exposition;
         ] );
       ( "service",
         [

@@ -1,0 +1,154 @@
+(* The SLO evaluator (lib/service/slo): spec parsing, burn-rate math, and
+   the multi-window alert state machine, all under a manual clock. *)
+
+module Slo = Lime_service.Slo
+
+let def = Alcotest.testable (Fmt.of_to_string Slo.render_spec) ( = )
+
+let parse_ok spec =
+  match Slo.parse_spec spec with
+  | Ok d -> d
+  | Error msg -> Alcotest.failf "%s should parse, got: %s" spec msg
+
+let parse_err spec =
+  match Slo.parse_spec spec with
+  | Ok d -> Alcotest.failf "%s should be rejected, parsed %s" spec (Slo.render_spec d)
+  | Error msg -> msg
+
+let test_parse_spec () =
+  Alcotest.check def "availability"
+    { Slo.d_name = "availability"; d_kind = Slo.Availability; d_objective = 0.99 }
+    (parse_ok "availability:0.99");
+  Alcotest.check def "latency with threshold"
+    { Slo.d_name = "latency"; d_kind = Slo.Latency 1.0; d_objective = 0.95 }
+    (parse_ok "latency:0.95:1.0");
+  Alcotest.check def "explicit name"
+    { Slo.d_name = "compile"; d_kind = Slo.Latency 0.25; d_objective = 0.999 }
+    (parse_ok "compile=latency:0.999:0.25");
+  (* every rejection names what is wrong *)
+  let contains sub s = Lime_support.Util.contains_substring ~sub s in
+  Alcotest.(check bool) "unknown kind named" true
+    (contains "kind" (parse_err "throughput:0.9"));
+  Alcotest.(check bool) "objective 0 rejected" true
+    (contains "objective" (parse_err "availability:0"));
+  Alcotest.(check bool) "objective 1 rejected" true
+    (contains "objective" (parse_err "availability:1"));
+  Alcotest.(check bool) "latency needs a threshold" true
+    (contains "THRESHOLD" (parse_err "latency:0.95"));
+  Alcotest.(check bool) "negative threshold rejected" true
+    (contains "threshold" (parse_err "latency:0.95:-1"));
+  Alcotest.(check bool) "availability takes no threshold" true
+    (contains "takes only OBJECTIVE" (parse_err "availability:0.99:1.0"));
+  Alcotest.(check bool) "garbage rejected" true ("" <> parse_err "nonsense")
+
+let test_render_roundtrip () =
+  List.iter
+    (fun spec ->
+      Alcotest.check def (spec ^ " round-trips") (parse_ok spec)
+        (parse_ok (Slo.render_spec (parse_ok spec))))
+    [ "availability:0.99"; "latency:0.95:1.0"; "compile=latency:0.999:0.25" ]
+
+(* drive the evaluator with a manual clock through the full alert
+   lifecycle: healthy -> warn (fast window burning) -> firing (slow
+   window catches up) -> healthy again as the bad period rotates out *)
+let test_alert_lifecycle () =
+  let now = ref 0.0 in
+  let t =
+    Slo.create ~fast_s:300.0 ~slow_s:3600.0 ~burn_factor:14.4
+      ~clock:(fun () -> !now)
+      [ { Slo.d_name = "avail"; d_kind = Slo.Availability; d_objective = 0.99 } ]
+  in
+  let status () =
+    match Slo.evaluate t with [ s ] -> s | _ -> Alcotest.fail "one status"
+  in
+  (* an empty window burns nothing *)
+  let s = status () in
+  Alcotest.(check bool) "empty evaluator is healthy" true
+    (s.Slo.st_state = Slo.Healthy);
+  Alcotest.(check (float 1e-9)) "empty burn is 0" 0.0 s.Slo.st_fast_burn;
+  (* an hour of good traffic, ten per minute *)
+  for m = 0 to 59 do
+    now := float_of_int m *. 60.0;
+    for _ = 1 to 10 do
+      Slo.record t ~ok:true ~duration_s:0.01
+    done
+  done;
+  Alcotest.(check bool) "good traffic stays healthy" true
+    ((status ()).Slo.st_state = Slo.Healthy);
+  (* now every request fails: the fast window saturates within 5
+     minutes (burn = 1.0 / 0.01 = 100 >= 14.4) while the slow window,
+     still mostly good, lags below the factor -> Warn *)
+  for m = 60 to 64 do
+    now := float_of_int m *. 60.0;
+    for _ = 1 to 10 do
+      Slo.record t ~ok:false ~duration_s:0.01
+    done
+  done;
+  let s = status () in
+  Alcotest.(check bool)
+    (Printf.sprintf "fast burn %.1f over the factor" s.Slo.st_fast_burn)
+    true
+    (s.Slo.st_fast_burn >= 14.4);
+  Alcotest.(check bool)
+    (Printf.sprintf "slow burn %.1f still under" s.Slo.st_slow_burn)
+    true
+    (s.Slo.st_slow_burn < 14.4);
+  Alcotest.(check bool) "fast-only burn is a warn" true
+    (s.Slo.st_state = Slo.Warn);
+  (* keep failing until the slow window crosses too: 14.4% of an hour *)
+  for m = 65 to 75 do
+    now := float_of_int m *. 60.0;
+    for _ = 1 to 10 do
+      Slo.record t ~ok:false ~duration_s:0.01
+    done
+  done;
+  let s = status () in
+  Alcotest.(check bool) "both windows burning fires" true
+    (s.Slo.st_state = Slo.Firing);
+  Alcotest.(check int) "good events tallied" 600 s.Slo.st_good;
+  Alcotest.(check int) "bad events tallied" 160 s.Slo.st_bad;
+  (* silence: two hours later every failure has rotated out of both
+     windows, and empty windows burn 0 *)
+  now := !now +. 7200.0;
+  Alcotest.(check bool) "alert clears after rotation" true
+    ((status ()).Slo.st_state = Slo.Healthy)
+
+let test_latency_objective () =
+  let now = ref 0.0 in
+  let t =
+    Slo.create ~clock:(fun () -> !now)
+      [ { Slo.d_name = "lat"; d_kind = Slo.Latency 0.5; d_objective = 0.9 } ]
+  in
+  (* a slow success is bad under a latency objective, good under none *)
+  Slo.record t ~ok:true ~duration_s:0.1;
+  Slo.record t ~ok:true ~duration_s:2.0;
+  Slo.record t ~ok:false ~duration_s:0.1;
+  let s = List.hd (Slo.evaluate t) in
+  Alcotest.(check int) "fast success is good" 1 s.Slo.st_good;
+  Alcotest.(check int) "slow success and failure are bad" 2 s.Slo.st_bad;
+  (* bad fraction 2/3 against a 10% budget: burn ~6.7 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "burn %.2f ~ 6.67" s.Slo.st_fast_burn)
+    true
+    (Float.abs (s.Slo.st_fast_burn -. (2.0 /. 3.0 /. 0.1)) < 1e-6)
+
+let test_state_names () =
+  Alcotest.(check string) "ok" "ok" (Slo.state_name Slo.Healthy);
+  Alcotest.(check string) "warn" "warn" (Slo.state_name Slo.Warn);
+  Alcotest.(check string) "firing" "firing" (Slo.state_name Slo.Firing)
+
+let () =
+  Alcotest.run "slo"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "parse" `Quick test_parse_spec;
+          Alcotest.test_case "render round-trip" `Quick test_render_roundtrip;
+        ] );
+      ( "alerting",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_alert_lifecycle;
+          Alcotest.test_case "latency objective" `Quick test_latency_objective;
+          Alcotest.test_case "state names" `Quick test_state_names;
+        ] );
+    ]
