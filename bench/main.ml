@@ -102,6 +102,48 @@ let run_optimize () =
     (E.gpu_devices @ [ Device.core_i7 ]);
   if !failed then exit 1
 
+(* Multi-device placement vs the best single device, every pipelined
+   registry workload.  Doubles as a gate: the searched placement must
+   never model slower than the best single device (the search is seeded
+   with the single-device baselines), it must be strictly faster on at
+   least one workload (N-Body Pipe exists because a single device cannot
+   overlap its two n² kernels), and the placed engine's sink values must
+   be bit-exact against the single-device engine. *)
+let run_multidev () =
+  section "Multi-device — placement search vs best single device";
+  let rows = E.multidev_rows ~quick:!quick_mode () in
+  print_endline (E.render_multidev rows);
+  print_newline ();
+  let failed = ref false in
+  let strict = ref 0 in
+  List.iter
+    (fun (r : E.multidev_row) ->
+      if r.E.md_placed_s > r.E.md_single_s +. 1e-15 then begin
+        Printf.printf "FAIL: %s: placed %.3e slower than best single %s %.3e\n"
+          r.E.md_bench r.E.md_placed_s r.E.md_best_single r.E.md_single_s;
+        failed := true
+      end;
+      if r.E.md_placed_s < r.E.md_single_s -. 1e-15 then incr strict;
+      if not r.E.md_bitexact then begin
+        Printf.printf
+          "FAIL: %s: multi-device sink drifts from the single-device engine\n"
+          r.E.md_bench;
+        failed := true
+      end)
+    rows;
+  if !strict = 0 then begin
+    print_endline
+      "FAIL: no workload where the placement strictly beats the best \
+       single device";
+    failed := true
+  end
+  else
+    Printf.printf
+      "gate: placed <= best single on all %d workloads, strictly better on \
+       %d, sinks bit-exact — ok\n"
+      (List.length rows) !strict;
+  if !failed then exit 1
+
 (* Correctness evidence in the bench log: run the differential checks at
    test scale for all nine benchmarks. *)
 let run_validate () =
@@ -874,6 +916,7 @@ let all_experiments =
     ("fig9", run_fig9);
     ("marshal-ablation", run_marshal_ablation);
     ("optimize", run_optimize);
+    ("multidev", run_multidev);
     ("overlap", run_overlap);
     ("glue", run_glue);
     ("service", run_service);
@@ -994,12 +1037,17 @@ let run_perf (o : opts) =
   Printf.printf "scale: %s, seed %d\n"
     (if o.o_quick then "quick (test-size inputs)" else "paper")
     o.o_seed;
-  let current = Benchjson.collect ~quick:o.o_quick ~seed:o.o_seed ~name () in
-  Printf.printf "collected %d entries (%d benchmarks x %d devices)\n"
+  let current =
+    Benchjson.collect ~quick:o.o_quick ~seed:o.o_seed ~multidev:true ~name ()
+  in
+  Printf.printf "collected %d entries (%d benchmarks x %d devices + %d multi-device)\n"
     (List.length current.Benchjson.r_entries)
     (List.length Lime_benchmarks.Registry.workloads)
-    (List.length current.Benchjson.r_entries
-    / max 1 (List.length Lime_benchmarks.Registry.workloads));
+    (List.length Lime_benchmarks.Benchjson.devices)
+    (List.length
+       (List.filter
+          (fun (e : Benchjson.entry) -> e.Benchjson.e_device = "multi-device")
+          current.Benchjson.r_entries));
   (match o.o_json with
   | None -> ()
   | Some file ->

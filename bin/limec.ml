@@ -38,6 +38,9 @@ module Client = Lime_server.Client
 module Wire = Lime_server.Wire
 module Rewrite = Lime_rewrite.Rewrite
 module Search = Lime_rewrite.Search
+module SPlacement = Lime_sched.Placement
+module SSearch = Lime_sched.Search
+module SExec = Lime_sched.Exec
 
 (* one canonical name table, shared with the daemon's wire protocol *)
 let configs = Server.configs
@@ -69,6 +72,21 @@ let parse_shape s =
       in
       (name, shape)
   | _ -> fail "missing NAME= or DIMS"
+
+(* the Table 2 platform roster, one row per simulated device — what
+   --estimate/--sweep/--device/--multi-device accept *)
+let print_devices () =
+  Printf.printf "%-8s %-28s %4s %6s %6s %9s %6s %8s %6s %6s %6s\n" "name"
+    "model" "SMs" "lanes" "clock" "PCIe" "const" "local" "L1" "L2" "L3";
+  List.iter
+    (fun (short, d) ->
+      Printf.printf "%-8s %-28s %4d %6d %5.2fG %7.1fGB/s %6s %8s %6s %6s %6s\n"
+        short d.Gpusim.Device.name d.Gpusim.Device.sms
+        d.Gpusim.Device.fp32_lanes d.Gpusim.Device.clock_ghz
+        d.Gpusim.Device.pcie_gbs d.Gpusim.Device.info_const_mem
+        d.Gpusim.Device.info_local_mem d.Gpusim.Device.info_l1
+        d.Gpusim.Device.info_l2 d.Gpusim.Device.info_l3)
+    devices
 
 let lookup_device flag dev_name =
   match List.assoc_opt dev_name devices with
@@ -129,7 +147,7 @@ let finish_observers svc ~stats ~trace_out ~trace_summary =
 let run_single file worker config_name jobs cache_capacity dump_ast dump_ir
     placements emit_opencl emit_glue estimate sweep counters shapes cache_dir
     stats run_target run_args trace_out profile trace_summary optimize
-    opt_device beam_width beam_depth explain =
+    opt_device beam_width beam_depth multi_device explain =
   let source = read_source file in
   let config = lookup_config config_name in
   check_cache_dir cache_dir;
@@ -374,18 +392,115 @@ let run_single file worker config_name jobs cache_capacity dump_ast dump_ir
             List.map (fun i -> Lime_ir.Value.VInt i) run_args
           in
           let ecfg = Lime_runtime.Engine.default_config in
-          let _, report =
-            try
-              Lime_runtime.Engine.run_program ecfg c.Pipeline.cp_module ~cls
-                ~meth args
-            with Lime_ir.Interp.Runtime_error msg ->
-              Printf.eprintf "cannot run %s: %s\n" target msg;
-              exit 1
+          let spec_of_engine placed =
+            SPlacement.to_spec
+              (List.map
+                 (fun (task, d) ->
+                   ( task,
+                     match d with
+                     | None -> SPlacement.Host
+                     | Some d -> SPlacement.On d ))
+                 placed)
+          in
+          let report =
+            match multi_device with
+            | None ->
+                let _, report =
+                  try
+                    Lime_runtime.Engine.run_program ecfg c.Pipeline.cp_module
+                      ~cls ~meth args
+                  with Lime_ir.Interp.Runtime_error msg ->
+                    Printf.eprintf "cannot run %s: %s\n" target msg;
+                    exit 1
+                in
+                report
+            | Some mode ->
+                (* parse the mode before the program runs so a bad SPEC is
+                   a usage error, not a mid-run failure *)
+                let mode =
+                  if mode = "auto" then `Auto
+                  else
+                    match SPlacement.of_spec mode with
+                    | Ok p -> `Spec p
+                    | Error msg ->
+                        Printf.eprintf "bad --multi-device: %s\n" msg;
+                        exit 2
+                in
+                let digest =
+                  Service.request_digest ~device:"multi" ~config ~worker
+                    source
+                in
+                let explain_replay (c : SSearch.candidate) stages ~firings =
+                  if explain then begin
+                    let singles, best_single =
+                      SSearch.singles ~firings stages
+                    in
+                    Printf.printf "placement replay: %s\n%s"
+                      (SPlacement.to_spec c.SSearch.pc_placement)
+                      (SSearch.explain_table ~singles ~best_single c)
+                  end
+                in
+                let choose stages ~firings =
+                  match mode with
+                  | `Auto when cache_dir <> None ->
+                      let best, how =
+                        Service.sched_placement svc ~digest ~firings stages
+                      in
+                      Printf.printf "tunestore: %s\n"
+                        (match how with
+                        | `Replayed -> "hit — replayed stored placement"
+                        | `Searched o ->
+                            Printf.sprintf
+                              "miss — searched %d placements, stored best"
+                              o.SSearch.po_evals);
+                      (match how with
+                      | `Searched o when explain ->
+                          print_string (SSearch.explain o)
+                      | `Replayed -> explain_replay best stages ~firings
+                      | _ -> ());
+                      best.SSearch.pc_placement
+                  | `Auto ->
+                      let o = SSearch.search ~firings stages in
+                      if explain then print_string (SSearch.explain o);
+                      o.SSearch.po_best.SSearch.pc_placement
+                  | `Spec p -> (
+                      match SSearch.replay ~firings stages p with
+                      | Error msg ->
+                          Printf.eprintf "bad --multi-device: %s\n" msg;
+                          exit 2
+                      | Ok c ->
+                          explain_replay c stages ~firings;
+                          c.SSearch.pc_placement)
+                in
+                let _, report, decisions =
+                  try
+                    SExec.run_program ecfg ~choose c.Pipeline.cp_module ~cls
+                      ~meth args
+                  with Lime_ir.Interp.Runtime_error msg ->
+                    Printf.eprintf "cannot run %s: %s\n" target msg;
+                    exit 1
+                in
+                List.iter
+                  (fun dc ->
+                    Printf.printf "placement %s (%d firings)\n"
+                      (SPlacement.to_spec dc.SExec.dc_placement)
+                      dc.SExec.dc_firings)
+                  decisions;
+                report
           in
           Printf.printf "run %s: %d firings (%d offloaded, %d host tasks)\n"
             target report.Lime_runtime.Engine.firings
             (List.length report.Lime_runtime.Engine.offloaded_tasks)
             (List.length report.Lime_runtime.Engine.host_tasks);
+          if (stats || multi_device <> None)
+             && report.Lime_runtime.Engine.placements <> []
+          then
+            Printf.printf "placements: %s\n"
+              (spec_of_engine report.Lime_runtime.Engine.placements);
+          if multi_device <> None then
+            Printf.printf "overlapped: %.3e s (serial %.3e s)\n"
+              report.Lime_runtime.Engine.overlapped_s
+              (Lime_runtime.Comm.total report.Lime_runtime.Engine.phases);
           Format.printf "phases: %a@." Lime_runtime.Comm.pp
             report.Lime_runtime.Engine.phases);
       if
@@ -739,7 +854,16 @@ let run files worker config_name jobs batch daemon connect drain_req
     drain_grace flight_capacity flight_dump slo_specs dump_ast dump_ir
     placements emit_opencl emit_glue estimate
     sweep counters shapes cache_dir stats run_target run_args trace_out
-    profile trace_summary optimize opt_device beam_width beam_depth explain =
+    profile trace_summary optimize opt_device beam_width beam_depth
+    list_devices multi_device explain =
+  if list_devices then begin
+    print_devices ();
+    exit 0
+  end;
+  if multi_device <> None && run_target = None then begin
+    Printf.eprintf "--multi-device needs --run CLASS.METHOD\n";
+    exit 2
+  end;
   if jobs < 1 then begin
     Printf.eprintf "bad --jobs %d: must be at least 1\n" jobs;
     exit 2
@@ -764,9 +888,9 @@ let run files worker config_name jobs batch daemon connect drain_req
       Printf.eprintf
         "%s runs on the daemon; per-artifact inspection flags (--dump-ast, \
          --dump-ir, --estimate, --sweep, --counters, --profile, --shape, \
-         --run, --trace-summary, --emit-glue, --batch, --cache-dir, \
-         --optimize, --explain) are local-only (--trace additionally \
-         composes with --connect)\n"
+         --run, --multi-device, --trace-summary, --emit-glue, --batch, \
+         --cache-dir, --optimize, --explain) are local-only (--trace \
+         additionally composes with --connect)\n"
         what;
       exit 2
     end
@@ -801,7 +925,8 @@ let run files worker config_name jobs batch daemon connect drain_req
         || profile || trace_summary || drain_req || stats || explain
         || estimate <> None || sweep <> None || counters <> None
         || run_target <> None || shapes <> [] || trace_out <> None
-        || batch <> None || files <> [] || optimize <> None);
+        || batch <> None || files <> [] || optimize <> None
+        || multi_device <> None);
       run_daemon socket jobs cache_capacity max_queue idle_timeout cache_dir
         http_port access_log
         (Option.value drain_grace ~default:0.0)
@@ -813,7 +938,8 @@ let run files worker config_name jobs batch daemon connect drain_req
         || explain
         || estimate <> None || sweep <> None || counters <> None
         || run_target <> None || shapes <> []
-        || batch <> None || cache_dir <> None || optimize <> None);
+        || batch <> None || cache_dir <> None || optimize <> None
+        || multi_device <> None);
       run_connect socket files worker config_name deadline_ms emit_opencl
         placements stats drain_req trace_out
   | None, None -> (
@@ -837,19 +963,20 @@ let run files worker config_name jobs batch daemon connect drain_req
             dump_ast dump_ir placements emit_opencl emit_glue estimate sweep
             counters shapes cache_dir stats run_target run_args trace_out
             profile trace_summary optimize opt_device beam_width beam_depth
-            explain
+            multi_device explain
       | files, batch ->
           if
             dump_ast || dump_ir || placements || emit_opencl || emit_glue
             || profile || estimate <> None || sweep <> None
             || counters <> None || run_target <> None || shapes <> []
-            || optimize <> None
+            || optimize <> None || multi_device <> None
           then begin
             Printf.eprintf
               "batch compilation only compiles; per-artifact inspection \
                flags (--dump-ast, --dump-ir, --placements, --emit-opencl, \
                --emit-glue, --estimate, --sweep, --counters, --profile, \
-               --shape, --run, --optimize) need a single FILE\n";
+               --shape, --run, --multi-device, --optimize) need a single \
+               FILE\n";
             exit 2
           end;
           let from_files =
@@ -1189,6 +1316,29 @@ let beam_depth_arg =
     & info [ "beam-depth" ] ~docv:"N"
         ~doc:"With --optimize beam: maximum rewrite-sequence length.")
 
+let devices_arg =
+  Arg.(
+    value & flag
+    & info [ "devices" ]
+        ~doc:
+          "Print the simulated device table (Table 2 roster: name, SMs, \
+           FP32 lanes, clock, PCIe bandwidth, memory spaces) and exit.")
+
+let multi_device_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "multi-device" ] ~docv:"auto|SPEC"
+        ~doc:
+          "With --run: execute the task pipeline across multiple devices \
+           under a placement.  'auto' probes the pipeline and searches for \
+           the placement with the best modeled overlapped makespan (with \
+           --cache-dir the winner persists in the tunestore and warm \
+           reruns replay it); a SPEC 'task=device,...' pins stages \
+           explicitly (devices: gtx8800, gtx580, hd5970, corei7, host; \
+           unmentioned tasks stay on the host).  --explain prints the \
+           scored placement table.")
+
 let explain_arg =
   Arg.(
     value & flag
@@ -1196,7 +1346,8 @@ let explain_arg =
         ~doc:
           "With --optimize: report how the winner was found — the full \
            ranking for fig8, the baseline/fig8/beam comparison with \
-           evaluation counts for beam.")
+           evaluation counts for beam.  With --multi-device: the scored \
+           placement table.")
 
 let cmd =
   let doc = "Lime-for-GPUs compiler (PLDI 2012 reproduction)" in
@@ -1212,6 +1363,6 @@ let cmd =
       $ sweep_arg $ counters_arg $ shapes $ cache_dir $ stats_arg $ run_arg
       $ run_args $ trace_arg $ profile_arg $ trace_summary_arg
       $ optimize_arg $ opt_device_arg $ beam_width_arg $ beam_depth_arg
-      $ explain_arg)
+      $ devices_arg $ multi_device_arg $ explain_arg)
 
 let () = exit (Cmd.eval cmd)

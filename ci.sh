@@ -373,6 +373,10 @@ dune exec --no-build bench/main.exe -- --quick --seed 1 --baseline "$bench_json"
 # ever loses to the best Fig 8 configuration, or merely ties it on TMatMul
 dune exec --no-build bench/main.exe -- optimize --quick > /dev/null \
   || { echo "FAIL: optimize experiment gate (beam vs fig8) regressed"; exit 1; }
+# so is the multi-device experiment: placed must never lose to the best
+# single device, must strictly beat it somewhere, and sinks stay bit-exact
+dune exec --no-build bench/main.exe -- multidev --quick > /dev/null \
+  || { echo "FAIL: multidev experiment gate (placed vs single) regressed"; exit 1; }
 
 echo "== fuzz smoke test =="
 # a fixed-seed budget through the three-way differential oracle: any
@@ -429,6 +433,47 @@ fig8_s=$(echo "$fig8_opt" | sed -n 's/^optimize fig8 on .*: winner .* (\([0-9.e+
 awk "BEGIN { exit !($beam_s <= $fig8_s) }" \
   || { echo "FAIL: beam ($beam_s s) lost to the Fig 8 winner ($fig8_s s)"; exit 1; }
 
+echo "== multi-device smoke test =="
+# a cold --multi-device auto run must search placements and store the
+# winner; the warm rerun must replay it from the tunestore — and modulo
+# provenance lines, reproduce the cold run byte-for-byte
+sched_cache="$cache_dir/sched"
+multidev() {
+  dune exec --no-build bin/limec.exe -- examples/lime/nbody.lime \
+    -w NBody.computeForces --run NBodyApp.main --arg 64 --arg 2 \
+    --multi-device auto --explain --cache-dir "$sched_cache"
+}
+
+cold_md=$(multidev)
+echo "$cold_md" | grep -q "tunestore: miss — searched .* placements, stored best" \
+  || { echo "FAIL: cold multi-device run should search and store"; echo "$cold_md"; exit 1; }
+echo "$cold_md" | grep -q "^placement " \
+  || { echo "FAIL: cold multi-device run printed no placement"; echo "$cold_md"; exit 1; }
+
+warm_md=$(multidev)
+echo "$warm_md" | grep -q "tunestore: hit — replayed stored placement" \
+  || { echo "FAIL: warm multi-device run should replay, not re-search"; echo "$warm_md"; exit 1; }
+strip_sched_provenance() {
+  grep -v '^tunestore:' | grep -v '^kernel cache:' \
+    | grep -v '^placement search:' | grep -v '^placement replay:' \
+    | grep -v '^placement '
+}
+[ "$(echo "$cold_md" | strip_sched_provenance)" = "$(echo "$warm_md" | strip_sched_provenance)" ] \
+  || { echo "FAIL: warm multi-device output differs from cold"; exit 1; }
+
+# a pinned SPEC must be honoured verbatim, and --devices must list the
+# placement targets the searcher chooses from
+spec_md=$(dune exec --no-build bin/limec.exe -- examples/lime/nbody.lime \
+  -w NBody.computeForces --run NBodyApp.main --arg 64 --arg 2 \
+  --multi-device "NBody.computeForces=gtx580")
+echo "$spec_md" | grep -q "placements: .*NBody.computeForces=gtx580" \
+  || { echo "FAIL: pinned placement SPEC not honoured"; echo "$spec_md"; exit 1; }
+devices_out=$(dune exec --no-build bin/limec.exe -- --devices)
+for dev in gtx8800 gtx580 hd5970 corei7; do
+  echo "$devices_out" | grep -q "$dev" \
+    || { echo "FAIL: --devices lacks $dev"; echo "$devices_out"; exit 1; }
+done
+
 echo "ci.sh: OK (cold sweep populated the cache; warm run served from it;"
 echo "        --jobs 4 batch recompiled all examples warm from disk;"
 echo "        traced run exported well-formed Chrome JSON;"
@@ -443,4 +488,7 @@ echo "        bench JSON self-diff and the beam-vs-fig8 gate showed no"
 echo "        regressions; the differential fuzz smoke agreed three ways,"
 echo "        its selftest caught a nudged reference, and generated traffic"
 echo "        drove the daemon cleanly;"
-echo "        beam schedule stored cold and replayed warm)"
+echo "        beam schedule stored cold and replayed warm;"
+echo "        multi-device placement stored cold, replayed warm byte-"
+echo "        identically, honoured a pinned SPEC, and --devices listed"
+echo "        every placement target)"

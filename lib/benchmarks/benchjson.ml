@@ -34,7 +34,31 @@ type run = {
 let devices =
   [ Device.gtx8800; Device.gtx580; Device.hd5970; Device.core_i7 ]
 
-let collect ?(quick = false) ?(seed = 1) ~name () : run =
+(* The multi-device placement rows ride along under a pseudo-device so the
+   regression diff covers the scheduler too: time is the placed makespan
+   per firing, speedup is vs the best single device, and the roofline slot
+   records the search mode. *)
+let multidev_entries ~quick () : entry list =
+  List.map
+    (fun (r : Experiments.multidev_row) ->
+      {
+        e_bench = r.Experiments.md_bench;
+        e_device = "multi-device";
+        e_time_s = r.Experiments.md_placed_s /. float_of_int r.Experiments.md_firings;
+        e_kernel_s = 0.0;
+        e_speedup =
+          (if r.Experiments.md_placed_s > 0.0 then
+             r.Experiments.md_single_s /. r.Experiments.md_placed_s
+           else 0.0);
+        e_occupancy = 0.0;
+        e_bank_replays = 0.0;
+        e_intensity = -1.0;
+        e_roofline =
+          (if r.Experiments.md_exhaustive then "exhaustive" else "beam");
+      })
+    (Experiments.multidev_rows ~quick ())
+
+let collect ?(quick = false) ?(seed = 1) ?(multidev = false) ~name () : run =
   let entries =
     List.concat_map
       (fun (b : Bench_def.t) ->
@@ -68,6 +92,9 @@ let collect ?(quick = false) ?(seed = 1) ~name () : run =
             })
           devices)
       Registry.workloads
+  in
+  let entries =
+    if multidev then entries @ multidev_entries ~quick () else entries
   in
   { r_name = name; r_quick = quick; r_seed = seed; r_entries = entries }
 

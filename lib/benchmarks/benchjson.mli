@@ -32,10 +32,19 @@ type run = {
   r_entries : entry list;
 }
 
-val collect : ?quick:bool -> ?seed:int -> name:string -> unit -> run
+val devices : Gpusim.Device.t list
+(** The per-device columns of a run: the three GPUs plus the Core i7. *)
+
+val collect :
+  ?quick:bool -> ?seed:int -> ?multidev:bool -> name:string -> unit -> run
 (** Run the whole registry on every built-in device and collect one entry
     per pair.  [quick] uses the test-scale programs and inputs; [seed]
-    feeds the deterministic input builders (default 1). *)
+    feeds the deterministic input builders (default 1).  [multidev]
+    (default false — it probes and searches every pipeline, which costs
+    seconds) appends one {!Experiments.multidev_rows} entry per pipelined
+    workload under the pseudo-device ["multi-device"]: time is the placed
+    makespan per firing, speedup is vs the best single device, and the
+    roofline slot records the search mode. *)
 
 val to_json : run -> string
 val of_json : string -> (run, string) result

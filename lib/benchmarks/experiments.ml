@@ -543,6 +543,180 @@ let optimize_rows ?width ?depth ?(quick = false) ?seed (d : Device.t) :
       })
     Registry.workloads
 
+(* ------------------------------------------------------------------ *)
+(* Multi-device placement (lib/sched) vs the best single device        *)
+(* ------------------------------------------------------------------ *)
+
+module SPlacement = Lime_sched.Placement
+module SProbe = Lime_sched.Probe
+module SSearch = Lime_sched.Search
+module SExec = Lime_sched.Exec
+
+type multidev_row = {
+  md_bench : string;
+  md_firings : int;
+  md_singles : (string * float) list;
+      (** all-host and all-on-one-device baselines, modeled seconds *)
+  md_best_single : string;
+  md_single_s : float;
+  md_placed_s : float;  (** the searched placement's modeled makespan *)
+  md_spec : string;
+  md_evals : int;
+  md_exhaustive : bool;
+  md_split : bool;  (** kernels spread over more than one device *)
+  md_bitexact : bool;
+      (** multi-device engine sink equals the single-device engine sink *)
+}
+
+(** The class holding the program's static pipeline [main], and its
+    parameter count (the registry mains are [main(count, steps)] except
+    N-Body Pipe's [main(steps)]). *)
+let entry_of (md : Ir.modul) : string * int =
+  match
+    Hashtbl.fold
+      (fun _ (f : Ir.func) acc ->
+        if f.Ir.fn_method = "main" && f.Ir.fn_static then
+          Some (f.Ir.fn_class, List.length f.Ir.fn_params)
+        else acc)
+      md.Ir.md_funcs None
+  with
+  | Some e -> e
+  | None -> invalid_arg "program has no static main"
+
+(* Mosaic's [count] includes the 512-tile reference library (its kernel
+   ranges over [count - LIB]); every other main takes [count] work items
+   directly. *)
+let multidev_count (b : B.t) ~(base : int) : int =
+  if b.B.name = "Mosaic" then Mosaic.lib_tiles + base else base
+
+let main_args ~params ~count ~steps =
+  match params with
+  | 1 -> [ Value.VInt steps ]
+  | _ -> [ Value.VInt count; Value.VInt steps ]
+
+(* Probe a pipeline without firing it: a finish hook that records the
+   stages and returns (same trick as test/test_sched.ml). *)
+let probe_stages (c : Pipeline.compiled) (args : Value.t list) :
+    SProbe.stage list =
+  let md = c.Pipeline.cp_module in
+  let cls, _ = entry_of md in
+  let stages = ref [] in
+  let st = Lime_ir.Interp.create md in
+  st.Lime_ir.Interp.finish_hook <-
+    (fun st' graph _iters -> stages := SProbe.probe st'.Lime_ir.Interp.md graph);
+  ignore (Lime_ir.Interp.run st ~cls ~meth:"main" args);
+  !stages
+
+(** The pipelined registry workloads: everything with a [=>] graph main
+    (the paper's nine plus N-Body Pipe; TMatMul is kernel-only).  Each
+    yields the compiled program probed for *scoring* — the single-kernel
+    suite scaled by the main's count argument, N-Body Pipe recompiled at
+    a count where its two n² kernels dominate the transfers, which is
+    where a cross-device split beats any single device. *)
+let multidev_workloads : B.t list =
+  List.filter (fun (b : B.t) -> b.B.name <> "TMatMul") Registry.workloads
+
+let multidev_scoring ~(quick : bool) (b : B.t) :
+    Pipeline.compiled * Value.t list * int =
+  let firings = 16 in
+  if b.B.name = "N-Body Pipe" then begin
+    let n = if quick then 1024 else 2048 in
+    let src = Nbody_pipe.source_for n in
+    let c = Lime_gpu.Pipeline.compile ~worker:b.B.worker src in
+    (c, [ Value.VInt firings ], firings)
+  end
+  else begin
+    let c = Registry.compile_small b in
+    let _, params = entry_of c.Pipeline.cp_module in
+    let count = multidev_count b ~base:(if quick then 64 else 256) in
+    (c, main_args ~params ~count ~steps:firings, firings)
+  end
+
+(* Sink agreement at test scale: the placement-aware engine must deliver
+   exactly the single-device engine's sink value. *)
+let multidev_bitexact (b : B.t) (choose : SProbe.stage list -> firings:int -> SPlacement.t) : bool =
+  let c =
+    if b.B.name = "N-Body Pipe" then
+      Lime_gpu.Pipeline.compile ~worker:b.B.worker (Nbody_pipe.source_for 64)
+    else Registry.compile_small b
+  in
+  let md = c.Pipeline.cp_module in
+  let cls, params = entry_of md in
+  let args = main_args ~params ~count:(multidev_count b ~base:64) ~steps:2 in
+  let _, legacy =
+    Lime_runtime.Engine.run_program Lime_runtime.Engine.default_config md
+      ~cls ~meth:"main" args
+  in
+  let _, placed, _ =
+    SExec.run_program Lime_runtime.Engine.default_config ~choose md ~cls
+      ~meth:"main" args
+  in
+  Value.approx_equal ~rtol:0.0 ~atol:0.0
+    legacy.Lime_runtime.Engine.last_value
+    placed.Lime_runtime.Engine.last_value
+
+let multidev_rows ?(quick = false) () : multidev_row list =
+  List.map
+    (fun (b : B.t) ->
+      let c, args, firings = multidev_scoring ~quick b in
+      let stages = probe_stages c args in
+      let o = SSearch.search ~firings stages in
+      let best = o.SSearch.po_best in
+      let sname, single = o.SSearch.po_best_single in
+      let devices_used =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun (_, a) ->
+               match a with
+               | SPlacement.On d -> Some d.Device.name
+               | SPlacement.Host -> None)
+             best.SSearch.pc_placement)
+      in
+      let bitexact =
+        multidev_bitexact b (fun stages ~firings ->
+            (SSearch.search ~firings stages).SSearch.po_best
+              .SSearch.pc_placement)
+      in
+      {
+        md_bench = b.B.name;
+        md_firings = firings;
+        md_singles =
+          List.map
+            (fun (n, (cand : SSearch.candidate)) ->
+              (n, cand.SSearch.pc_time_s))
+            o.SSearch.po_singles;
+        md_best_single = sname;
+        md_single_s = single.SSearch.pc_time_s;
+        md_placed_s = best.SSearch.pc_time_s;
+        md_spec = SPlacement.to_spec best.SSearch.pc_placement;
+        md_evals = o.SSearch.po_evals;
+        md_exhaustive = o.SSearch.po_exhaustive;
+        md_split = List.length devices_used > 1;
+        md_bitexact = bitexact;
+      })
+    multidev_workloads
+
+let render_multidev (rows : multidev_row list) : string =
+  let lines =
+    List.map
+      (fun r ->
+        Printf.sprintf "%-22s %11.3e %11.3e %7.2fx %5d %-10s %-5s %s"
+          r.md_bench r.md_single_s r.md_placed_s
+          (r.md_single_s /. r.md_placed_s)
+          r.md_evals
+          (if r.md_exhaustive then "exhaustive" else "beam")
+          (if r.md_bitexact then "ok" else "DRIFT")
+          r.md_spec)
+      rows
+  in
+  String.concat "\n"
+    (Printf.sprintf
+       "multi-device placement vs best single device (%d firings, modeled)"
+       (match rows with r :: _ -> r.md_firings | [] -> 0)
+    :: Printf.sprintf "%-22s %11s %11s %8s %5s %-10s %-5s %s" "Benchmark"
+         "best single" "placed" "speedup" "evals" "mode" "sink" "placement"
+    :: lines)
+
 let render_optimize (d : Device.t) (rows : optimize_row list) : string =
   let lines =
     List.map

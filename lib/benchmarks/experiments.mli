@@ -138,3 +138,37 @@ val optimize_rows :
 (** One row per {!Registry.workloads} entry on the given device. *)
 
 val render_optimize : Device.t -> optimize_row list -> string
+
+(** {2 Multi-device placement — lib/sched vs the best single device} *)
+
+type multidev_row = {
+  md_bench : string;
+  md_firings : int;
+  md_singles : (string * float) list;
+      (** the all-host and all-on-one-device baselines, modeled seconds *)
+  md_best_single : string;
+  md_single_s : float;
+  md_placed_s : float;  (** the searched placement's modeled makespan *)
+  md_spec : string;  (** winning [task=device,...] placement *)
+  md_evals : int;
+  md_exhaustive : bool;
+  md_split : bool;  (** kernels spread over more than one device *)
+  md_bitexact : bool;
+      (** multi-device engine sink equals the single-device engine sink *)
+}
+
+val multidev_workloads : B.t list
+(** The pipelined registry workloads: everything whose program builds a
+    [=>] task graph (the paper's nine plus N-Body Pipe; TMatMul is
+    kernel-only and has no pipeline to place). *)
+
+val multidev_rows : ?quick:bool -> unit -> multidev_row list
+(** One row per {!multidev_workloads} entry: probe the pipeline, search
+    placements ({!Lime_sched.Search.search}), and check the sink value of
+    a placed engine run against the single-device engine at test scale.
+    The search is seeded with the single-device baselines, so
+    [md_placed_s <= md_single_s] always; on N-Body Pipe (two n² kernels)
+    the inequality is strict — the workload multi-device placement exists
+    for. *)
+
+val render_multidev : multidev_row list -> string

@@ -1,0 +1,117 @@
+(** Two-kernel N-Body pipeline: force calculation followed by an n²
+    force-smoothing pass, with host generation and accumulation around
+    them.
+
+    The single-kernel suite pins every pipeline's period to one kernel,
+    so a single device is always optimal.  This workload has two
+    compute-heavy offloadable stages; placing them on different devices
+    halves the steady-state period (period = max of the two kernels
+    instead of their sum), which is what the multi-device placement
+    search exists to find.  Not part of [Registry.all] — the paper
+    tables stay the paper's nine. *)
+
+open Bench_def
+module Value = Lime_ir.Value
+module Memopt = Lime_gpu.Memopt
+
+let source_for n =
+  Printf.sprintf
+    {|
+class NBodyP {
+  static final float EPS = 1.0e-9f;
+
+  static local float[[3]] forceOne(float[[][4]] particles, float[[4]] p) {
+    float fx = 0.0f; float fy = 0.0f; float fz = 0.0f;
+    for (int j = 0; j < particles.length; j++) {
+      float[[4]] q = particles[j];
+      float dx = q[0] - p[0];
+      float dy = q[1] - p[1];
+      float dz = q[2] - p[2];
+      float r2 = dx*dx + dy*dy + dz*dz + EPS;
+      float inv = 1.0f / Math.sqrt(r2*r2*r2);
+      float s = q[3] * inv;
+      fx += s * dx; fy += s * dy; fz += s * dz;
+    }
+    return { fx, fy, fz };
+  }
+
+  static local float[[][3]] computeForces(float[[][4]] particles) {
+    return NBodyP.forceOne(particles) @ particles;
+  }
+
+  static local float[[3]] smoothOne(float[[][3]] forces, float[[3]] f) {
+    float sx = 0.0f; float sy = 0.0f; float sz = 0.0f;
+    float wsum = 0.0f;
+    for (int j = 0; j < forces.length; j++) {
+      float[[3]] g = forces[j];
+      float dx = g[0] - f[0];
+      float dy = g[1] - f[1];
+      float dz = g[2] - f[2];
+      float w = 1.0f / (1.0f + dx*dx + dy*dy + dz*dz);
+      sx += w * g[0]; sy += w * g[1]; sz += w * g[2];
+      wsum += w;
+    }
+    return { sx / wsum, sy / wsum, sz / wsum };
+  }
+
+  static local float[[][3]] smooth(float[[][3]] forces) {
+    return NBodyP.smoothOne(forces) @ forces;
+  }
+
+  static local float[[4]] genOne(int seed, int i) {
+    int h = i * 1103515245 + seed;
+    h = (h ^ (h >>> 16)) * 65599 + i;
+    int hx = h & 1023;
+    int hy = (h >>> 10) & 1023;
+    int hz = (h >>> 20) & 1023;
+    float x = (float)hx / 512.0f - 1.0f;
+    float y = (float)hy / 512.0f - 1.0f;
+    float z = (float)hz / 512.0f - 1.0f;
+    float m = 1.0f + (float)(h & 255) / 256.0f;
+    return { x, y, z, m };
+  }
+}
+
+class NBodyPSim {
+  int n;
+  int seed;
+  float total;
+
+  NBodyPSim(int count) {
+    n = count;
+    seed = 12345;
+  }
+
+  local float[[][4]] particleGen() {
+    return NBodyP.genOne(seed) @ Lime.range(n);
+  }
+
+  void accumulate(float[[][3]] forces) {
+    float t = 0.0f;
+    for (int i = 0; i < forces.length; i++) {
+      t += forces[i][0] + forces[i][1] + forces[i][2];
+    }
+    total = t;
+  }
+
+  static void main(int steps) {
+    (task NBodyPSim(%d).particleGen
+       => task NBodyP.computeForces
+       => task NBodyP.smooth
+       => task NBodyPSim(%d).accumulate).finish(steps);
+  }
+}
+|}
+    n n
+
+let bench : Bench_def.t =
+  mk ~name:"N-Body Pipe"
+    ~description:"Two-kernel N-Body pipeline (forces then smoothing)"
+    ~source:(source_for 4096) ~source_small:(source_for 64)
+    ~worker:"NBodyP.computeForces" ~datatype:"Float"
+    ~input:(fun ?(seed = 42) () ->
+      Nbody.input_of ~elem:Lime_ir.Ir.SFloat ~n:4096 ~seed ())
+    ~input_small:(fun ?(seed = 42) () ->
+      Nbody.input_of ~elem:Lime_ir.Ir.SFloat ~n:64 ~seed ())
+    ~reference:(Nbody.reference_of ~single:true)
+    ~best_config:Memopt.config_local_noconflict_vector ()

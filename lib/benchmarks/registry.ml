@@ -16,7 +16,7 @@ let all : Bench_def.t list =
 (** Everything the harness can run: the paper suite plus workloads added
     for subsystems grown since (the rewrite engine's TMatMul showcase).
     [all] stays the paper's nine so the fidelity tables are unchanged. *)
-let workloads : Bench_def.t list = all @ [ Tmatmul.bench ]
+let workloads : Bench_def.t list = all @ [ Tmatmul.bench; Nbody_pipe.bench ]
 
 let find name =
   List.find_opt (fun (b : Bench_def.t) -> b.Bench_def.name = name) workloads

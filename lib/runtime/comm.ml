@@ -65,20 +65,29 @@ let pcie_seconds (d : Gpusim.Device.t) (bytes : int) : float =
   else
     8.0e-6 +. (float_of_int bytes /. (d.Gpusim.Device.pcie_gbs *. 1e9))
 
-(** Cost of one offloaded firing, excluding the kernel itself. *)
+(** Cost of moving one value across the host↔device boundary in ONE
+    direction: Java marshal, one JNI crossing, C marshal, buffer setup and
+    the PCIe leg.  An offloaded firing is two of these (up + down); the
+    multi-device scheduler prices each pipeline edge with exactly one per
+    crossing, so a device→device edge is honestly two (down + up). *)
+let transfer_phases (d : Gpusim.Device.t) ?(serializer = Marshal.Custom)
+    ?(elem_bytes = 4) ~(bytes : int) () : phases =
+  let p = zero () in
+  p.java_marshal_s <- Marshal.java_marshal_seconds ~serializer ~elem_bytes bytes;
+  p.jni_s <- Marshal.jni_seconds;
+  p.c_marshal_s <-
+    (if Marshal.needs_c_marshal serializer then Marshal.c_marshal_seconds bytes
+     else 0.0);
+  p.setup_s <- setup_seconds bytes;
+  p.pcie_s <- pcie_seconds d bytes;
+  p
+
+(** Cost of one offloaded firing, excluding the kernel itself: the upload
+    of [in_bytes] plus the download of [out_bytes]. *)
 let offload_phases (d : Gpusim.Device.t) ?(serializer = Marshal.Custom)
     ?(elem_bytes = 4) ~(in_bytes : int) ~(out_bytes : int) () : phases =
-  let p = zero () in
-  p.java_marshal_s <-
-    Marshal.java_marshal_seconds ~serializer ~elem_bytes in_bytes
-    +. Marshal.java_marshal_seconds ~serializer ~elem_bytes out_bytes;
-  p.jni_s <- 2.0 *. Marshal.jni_seconds;
-  p.c_marshal_s <-
-    (if Marshal.needs_c_marshal serializer then
-       Marshal.c_marshal_seconds in_bytes +. Marshal.c_marshal_seconds out_bytes
-     else 0.0);
-  p.setup_s <- setup_seconds in_bytes +. setup_seconds out_bytes;
-  p.pcie_s <- pcie_seconds d in_bytes +. pcie_seconds d out_bytes;
+  let p = transfer_phases d ~serializer ~elem_bytes ~bytes:in_bytes () in
+  add p (transfer_phases d ~serializer ~elem_bytes ~bytes:out_bytes ());
   p
 
 let pp ppf p =

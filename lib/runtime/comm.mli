@@ -25,6 +25,17 @@ val setup_seconds : int -> float
 
 val pcie_seconds : Gpusim.Device.t -> int -> float
 
+val transfer_phases :
+  Gpusim.Device.t ->
+  ?serializer:Marshal.serializer ->
+  ?elem_bytes:int ->
+  bytes:int ->
+  unit ->
+  phases
+(** One direction of the host↔device crossing (Java marshal, one JNI hop,
+    C marshal, setup, PCIe).  {!offload_phases} is two of these; the
+    multi-device scheduler prices pipeline edges with one per crossing. *)
+
 val offload_phases :
   Gpusim.Device.t ->
   ?serializer:Marshal.serializer ->

@@ -31,6 +31,13 @@ type config = {
       (** execute offloaded kernels for real (validation) rather than
           producing a zero-filled result of the right shape *)
   serializer : Marshal.serializer;
+  placement : (string * Gpusim.Device.t option) list option;
+      (** per-task placement (task name → device, [None] = host).  When
+          set, it overrides [device] per stage: each offloadable task runs
+          on its own assigned device, tasks absent from the list stay on
+          the host, and adjacent stages sharing a device keep the value
+          resident (no transfer charged on that edge).  [None] = the
+          legacy single-device mode. *)
 }
 
 let default_config =
@@ -39,12 +46,14 @@ let default_config =
     opt_config = Memopt.config_all;
     functional = true;
     serializer = Marshal.Custom;
+    placement = None;
   }
 
 type offloaded = {
   of_kernel : Kernel.kernel;
   of_decisions : Memopt.decision list;
   of_module : Ir.modul;  (** kernel wrapped for functional execution *)
+  of_device : Gpusim.Device.t;  (** the device this stage fires on *)
 }
 
 (** Observation hook for service instrumentation: called once per task
@@ -101,8 +110,15 @@ type report = {
   mutable firings : int;
   mutable offloaded_tasks : string list;
   mutable host_tasks : string list;
+  mutable placements : (string * Gpusim.Device.t option) list;
+      (** per-task placement ground truth, in pipeline order: the device a
+          task actually fired on, [None] for host tasks *)
   phases : Comm.phases;
   mutable last_value : Value.t;  (** value that reached the sink last *)
+  mutable overlapped_s : float;
+      (** simulated wall-clock of the firings with double-buffered overlap
+          ({!Schedule.overlapped_makespan}); [Comm.total phases] is the
+          serial clock *)
 }
 
 let fresh_report () =
@@ -110,8 +126,10 @@ let fresh_report () =
     firings = 0;
     offloaded_tasks = [];
     host_tasks = [];
+    placements = [];
     phases = Comm.zero ();
     last_value = Value.VUnit;
+    overlapped_s = 0.0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -209,10 +227,15 @@ let array_bindings (k : Kernel.kernel) (decisions : Memopt.decision list)
   in
   param_bindings @ local_bindings
 
-(** Simulate (and optionally functionally execute) one kernel firing. *)
+(** Simulate (and optionally functionally execute) one kernel firing.
+    [transfer_in]/[transfer_out] say whether the input (output) actually
+    crosses the host↔device boundary; an edge whose both ends share this
+    stage's device keeps the value resident and charges nothing.  Returns
+    the result and the firing's resource legs for the overlap clock. *)
 let fire_device (cfg : config) (report : report) (off : offloaded)
-    (input : Value.t) : Value.t =
-  let d = Option.get cfg.device in
+    ?(transfer_in = true) ?(transfer_out = true) (input : Value.t) :
+    Value.t * Schedule.leg list =
+  let d = off.of_device in
   let k = off.of_kernel in
   (* 1. Java-side marshal, 2. JNI, 3. C-side decode.  The Direct
      serializer emits device layout, skipping the wire header and the
@@ -268,12 +291,38 @@ let fire_device (cfg : config) (report : report) (off : offloaded)
     | Value.VArr a -> Ir.scalar_size_bytes a.Value.elem
     | _ -> 4
   in
-  let ph =
-    Comm.offload_phases d ~serializer:cfg.serializer ~elem_bytes ~in_bytes
-      ~out_bytes ()
+  let transfer bytes =
+    Comm.transfer_phases d ~serializer:cfg.serializer ~elem_bytes ~bytes ()
   in
+  let ph_in = if transfer_in then transfer in_bytes else Comm.zero () in
+  let ph_out = if transfer_out then transfer out_bytes else Comm.zero () in
+  let ph = Comm.zero () in
+  Comm.add ph ph_in;
+  Comm.add ph ph_out;
   ph.Comm.kernel_s <- bd.Gpusim.Model.bd_total_s;
   Comm.add report.phases ph;
+  (* the firing's legs in execution order, for the overlap clock: host-side
+     marshal work on the host thread, PCIe on this device's link, the
+     kernel on this device *)
+  let host_leg p = Comm.total p -. p.Comm.pcie_s in
+  let link = "link:" ^ d.Gpusim.Device.name
+  and dev = "dev:" ^ d.Gpusim.Device.name in
+  let legs =
+    (if transfer_in then
+       [
+         { Schedule.lg_resource = "host"; lg_seconds = host_leg ph_in };
+         { Schedule.lg_resource = link; lg_seconds = ph_in.Comm.pcie_s };
+       ]
+     else [])
+    @ [ { Schedule.lg_resource = dev; lg_seconds = ph.Comm.kernel_s } ]
+    @
+    if transfer_out then
+      [
+        { Schedule.lg_resource = link; lg_seconds = ph_out.Comm.pcie_s };
+        { Schedule.lg_resource = "host"; lg_seconds = host_leg ph_out };
+      ]
+    else []
+  in
   notify_firing
     {
       fi_task = k.Kernel.k_name;
@@ -285,7 +334,7 @@ let fire_device (cfg : config) (report : report) (off : offloaded)
       fi_counters = Some counters;
       fi_bindings = bindings;
     };
-  result
+  (result, legs)
 
 (* ------------------------------------------------------------------ *)
 (* Host-side execution of one firing                                   *)
@@ -312,7 +361,8 @@ let counters_delta (before : Interp.counters) (after : Interp.counters) :
   }
 
 let fire_host (st : Interp.state) (report : report)
-    (node : Value.task_node) (input : Value.t) : Value.t =
+    (node : Value.task_node) (input : Value.t) : Value.t * Schedule.leg list
+    =
   let td = node.Value.tk_desc in
   let fname = Ir.qualify td.Ir.td_class td.Ir.td_method in
   let args = match td.Ir.td_in with Ir.TUnit -> [] | _ -> [ input ] in
@@ -336,7 +386,7 @@ let fire_host (st : Interp.state) (report : report)
       fi_counters = None;
       fi_bindings = [];
     };
-  result
+  (result, [ { Schedule.lg_resource = "host"; lg_seconds = host_s } ])
 
 (* ------------------------------------------------------------------ *)
 (* Graph execution                                                     *)
@@ -352,45 +402,88 @@ let prepare (cfg : config) (md : Ir.modul) (report : report)
     (fun node ->
       let td = node.Value.tk_desc in
       let name = Ir.qualify td.Ir.td_class td.Ir.td_method in
-      match (cfg.device, Kernel.classify md td) with
-      | Some _, Kernel.Offloadable ->
+      (* the device this stage wants: the placement's per-task assignment
+         when one is set (absent tasks stay on the host), else the global
+         single-device config *)
+      let want =
+        match cfg.placement with
+        | None -> cfg.device
+        | Some map -> Option.join (List.assoc_opt name map)
+      in
+      match (want, Kernel.classify md td) with
+      | Some d, Kernel.Offloadable ->
           let kernel = Kernel.extract md ~worker:name in
           let decisions = Memopt.optimize cfg.opt_config kernel in
           report.offloaded_tasks <- report.offloaded_tasks @ [ name ];
+          report.placements <- report.placements @ [ (name, Some d) ];
           Log.debug (fun m ->
-              m "offloading %s:@.%s" name (Memopt.describe decisions));
+              m "offloading %s to %s:@.%s" name d.Gpusim.Device.name
+                (Memopt.describe decisions));
           P_device
             ( node,
               {
                 of_kernel = kernel;
                 of_decisions = decisions;
                 of_module = Kernel.to_module kernel;
+                of_device = d;
               } )
       | _, verdict ->
-          if cfg.device <> None then
+          if want <> None then
             Log.debug (fun m ->
                 m "task %s stays on host (%s)" name
                   (Kernel.verdict_name verdict));
           report.host_tasks <- report.host_tasks @ [ name ];
+          report.placements <- report.placements @ [ (name, None) ];
           P_host node)
     graph
 
 let run_prepared (cfg : config) (st : Interp.state) (report : report)
     (pipeline : prepared list) ~(iters : int) : unit =
-  for _ = 1 to iters do
+  (* Residency: under an explicit placement, an edge whose both ends sit on
+     the same device skips its transfer; the legacy single-device mode
+     keeps the paper's accounting (every device firing pays both
+     directions). *)
+  let dev_of = function
+    | P_host _ -> None
+    | P_device (_, off) -> Some off.of_device.Gpusim.Device.name
+  in
+  let stages = Array.of_list pipeline in
+  let resident k =
+    cfg.placement <> None
+    && k >= 0
+    && k < Array.length stages
+    && dev_of stages.(k) <> None
+  in
+  let same_dev j k =
+    resident j && resident k && dev_of stages.(j) = dev_of stages.(k)
+  in
+  let first_legs : Schedule.leg list list ref = ref [] in
+  for iter = 1 to iters do
     report.firings <- report.firings + 1;
     let v = ref Value.VUnit in
-    List.iter
-      (fun p ->
-        match p with
-        | P_host node ->
-            report.last_value <- !v;
-            v := fire_host st report node !v
-        | P_device (_, off) ->
-            report.last_value <- !v;
-            v := fire_device cfg report off !v)
-      pipeline
-  done
+    Array.iteri
+      (fun k p ->
+        let result, legs =
+          match p with
+          | P_host node ->
+              report.last_value <- !v;
+              fire_host st report node !v
+          | P_device (_, off) ->
+              report.last_value <- !v;
+              fire_device cfg report off
+                ~transfer_in:(not (same_dev (k - 1) k))
+                ~transfer_out:(not (same_dev k (k + 1)))
+                !v
+        in
+        v := result;
+        if iter = 1 then first_legs := legs :: !first_legs)
+      stages
+  done;
+  (* all firings are identical, so the overlap clock replays the first
+     firing's legs [iters] times through the wavefront simulator *)
+  report.overlapped_s <-
+    report.overlapped_s
+    +. Schedule.overlapped_makespan ~firings:iters (List.rev !first_legs)
 
 (** Attach this engine to an interpreter state: Lime-level
     [graph.finish(n)] calls will execute through the engine and accumulate

@@ -11,15 +11,23 @@ type config = {
       (** execute offloaded kernels for real (validation) rather than
           producing a zero-filled result of the right shape *)
   serializer : Marshal.serializer;
+  placement : (string * Gpusim.Device.t option) list option;
+      (** per-task placement (task name → device, [None] = host).  When
+          set it overrides [device] per stage; tasks absent from the list
+          stay on the host, and adjacent stages sharing a device keep the
+          value resident (no transfer charged on that edge).  [None] = the
+          legacy single-device mode. *)
 }
 
 val default_config : config
-(** GTX 580, all optimizations, functional execution, custom serializer. *)
+(** GTX 580, all optimizations, functional execution, custom serializer,
+    no multi-device placement. *)
 
 type offloaded = {
   of_kernel : Lime_gpu.Kernel.kernel;
   of_decisions : Lime_gpu.Memopt.decision list;
   of_module : Lime_ir.Ir.modul;
+  of_device : Gpusim.Device.t;  (** the device this stage fires on *)
 }
 
 val firing_observer :
@@ -62,9 +70,16 @@ type report = {
   mutable firings : int;
   mutable offloaded_tasks : string list;
   mutable host_tasks : string list;
+  mutable placements : (string * Gpusim.Device.t option) list;
+      (** per-task placement ground truth, in pipeline order: the device a
+          task actually fired on, [None] for host tasks *)
   phases : Comm.phases;  (** accumulated across firings *)
   mutable last_value : Lime_ir.Value.t;
       (** the value that reached the final (sink) task *)
+  mutable overlapped_s : float;
+      (** simulated wall-clock of the firings with double-buffered overlap
+          ({!Schedule.overlapped_makespan}); [Comm.total phases] is the
+          serial clock *)
 }
 
 val fresh_report : unit -> report
@@ -85,6 +100,26 @@ val array_bindings :
   Lime_ir.Value.t list ->
   int array option ->
   Gpusim.Model.array_binding list
+
+type prepared =
+  | P_host of Lime_ir.Value.task_node
+  | P_device of Lime_ir.Value.task_node * offloaded
+
+val prepare :
+  config ->
+  Lime_ir.Ir.modul ->
+  report ->
+  Lime_ir.Value.task_node list ->
+  prepared list
+(** Classify and compile each stage of a graph for its placement,
+    recording the outcome in the report ([offloaded_tasks]/[host_tasks]/
+    [placements]).  Exposed so schedulers can decide a placement from the
+    graph at [finish] time and then drive execution themselves. *)
+
+val run_prepared :
+  config -> Lime_ir.Interp.state -> report -> prepared list -> iters:int -> unit
+(** Fire a prepared pipeline [iters] times, accumulating into the
+    report (phases, sink value, overlap clock). *)
 
 val attach : config -> Lime_ir.Interp.state -> report
 (** Install the engine as the interpreter's [finish] hook; Lime-level

@@ -23,3 +23,17 @@ val overlap_speedup : firings:int -> stages -> float
 val worthwhile : ?threshold:float -> firings:int -> stages -> bool
 (** Should the runtime enable pipelining?  True when the projected gain
     exceeds [threshold] (default 1.1). *)
+
+type leg = {
+  lg_resource : string;
+      (** serialized resource the leg occupies ("host", "link:<dev>",
+          "dev:<dev>") *)
+  lg_seconds : float;
+}
+
+val overlapped_makespan : firings:int -> leg list list -> float
+(** Wall-clock of [firings] identical passes through a placed pipeline
+    (one leg list per stage, legs in execution order) with double-buffered
+    overlap across firings: firing [f+1]'s legs run as soon as their
+    resource frees, so transfers overlap kernels.  Generalizes
+    {!pipelined_time} to per-device links and compute resources. *)

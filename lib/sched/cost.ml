@@ -1,0 +1,175 @@
+(** Analytic makespan model for a placed pipeline.
+
+    The pipeline's resources are the host thread (marshaling plus
+    host-resident task work), one PCIe link per device and one compute
+    queue per device.  A candidate placement charges:
+
+    - each host stage's bytecode time to the host thread,
+    - each device stage's kernel time (from {!Gpusim.Model.kernel_time_ex}
+      over the probe's device-independent profile) to that device,
+    - each edge whose ends differ to the crossing's legs: the marshal/JNI/
+      setup work to the host thread and the PCIe leg to the producing or
+      consuming device's link.  A device→device edge is honestly
+      device→host→device: a download on the producer's link plus an upload
+      on the consumer's link.  Same-placement edges are free (the value
+      stays resident).
+
+    The makespan is the same wavefront simulation the engine's overlap
+    clock runs ({!Lime_runtime.Schedule.overlapped_makespan}) over the
+    same per-stage resource legs the engine emits, so a candidate's
+    modeled time and the engine's [overlapped_s] for that placement agree
+    by construction — the closed form [fill + (n-1) * period] undershoots
+    when the host thread is touched at both ends of every crossing.  The
+    breakdown still reports the busiest resource as the steady-state
+    bottleneck. *)
+
+module Device = Gpusim.Device
+module Comm = Lime_runtime.Comm
+module Marshal_ = Lime_runtime.Marshal
+module Schedule = Lime_runtime.Schedule
+
+type breakdown = {
+  cb_occupancy : (string * float) list;
+      (** per-firing busy seconds per resource ("host", "link:<dev>",
+          "dev:<dev>"), in first-use order *)
+  cb_fill_s : float;  (** one serial pass through every leg *)
+  cb_period_s : float;  (** steady-state period: the busiest resource *)
+  cb_bottleneck : string;  (** the resource setting the period *)
+  cb_transfer_s : float;  (** edge-crossing share of the fill *)
+}
+
+(** Kernel times priced once per (stage, device): the probe's profile and
+    bindings are device-independent, so the search never re-profiles. *)
+let kernel_seconds (st : Probe.stage) (d : Device.t) : float =
+  match st.Probe.st_profile with
+  | None -> invalid_arg ("Cost.kernel_seconds: host-only stage " ^ st.Probe.st_task)
+  | Some prof ->
+      let bd, _ = Gpusim.Model.kernel_time_ex d prof st.Probe.st_bindings in
+      bd.Gpusim.Model.bd_total_s
+
+type table = {
+  tb_stages : Probe.stage array;
+  tb_kernel_s : (string * float) list array;
+      (** per stage: device short-name → kernel seconds (offloadable
+          stages only) *)
+}
+
+let table (stages : Probe.stage list) : table =
+  let tb_stages = Array.of_list stages in
+  let tb_kernel_s =
+    Array.map
+      (fun st ->
+        if st.Probe.st_offloadable then
+          List.map
+            (fun (name, d) -> (name, kernel_seconds st d))
+            Placement.devices
+        else [])
+      tb_stages
+  in
+  { tb_stages; tb_kernel_s }
+
+(** The per-stage resource legs of one firing under [assigns], in the
+    engine's execution order: the upload (host marshal then PCIe) when
+    the input is not already resident on the stage's device, the kernel,
+    the download when the consumer lives elsewhere.  Host stages are one
+    host leg.  Mirrors {!Lime_runtime.Engine}'s residency rules, so the
+    model prices exactly the legs the engine will emit. *)
+let stage_legs ?(serializer = Marshal_.Custom) (tb : table)
+    (assigns : Placement.assignment array) :
+    Schedule.leg list list * float =
+  let n = Array.length tb.tb_stages in
+  if Array.length assigns <> n then
+    invalid_arg "Cost.price: placement arity mismatch";
+  let transfer_s = ref 0.0 in
+  let same k k' =
+    k >= 0 && k < n && k' >= 0 && k' < n
+    &&
+    match (assigns.(k), assigns.(k')) with
+    | Placement.On a, Placement.On b -> a.Device.name = b.Device.name
+    | _ -> false
+  in
+  let legs =
+    List.init n (fun k ->
+        let st = tb.tb_stages.(k) in
+        match assigns.(k) with
+        | Placement.Host ->
+            [
+              {
+                Schedule.lg_resource = "host";
+                lg_seconds = st.Probe.st_host_s;
+              };
+            ]
+        | Placement.On d ->
+            let link = "link:" ^ d.Device.name
+            and dev = "dev:" ^ d.Device.name in
+            let crossing bytes =
+              let p =
+                Comm.transfer_phases d ~serializer
+                  ~elem_bytes:st.Probe.st_elem_bytes ~bytes ()
+              in
+              transfer_s := !transfer_s +. Comm.total p;
+              p
+            in
+            (if same (k - 1) k then []
+             else
+               let p = crossing st.Probe.st_in_bytes in
+               [
+                 {
+                   Schedule.lg_resource = "host";
+                   lg_seconds = Comm.total p -. p.Comm.pcie_s;
+                 };
+                 { Schedule.lg_resource = link; lg_seconds = p.Comm.pcie_s };
+               ])
+            @ [
+                {
+                  Schedule.lg_resource = dev;
+                  lg_seconds =
+                    List.assoc (Placement.short_name d) tb.tb_kernel_s.(k);
+                };
+              ]
+            @
+            if same k (k + 1) then []
+            else
+              let p = crossing st.Probe.st_out_bytes in
+              [
+                { Schedule.lg_resource = link; lg_seconds = p.Comm.pcie_s };
+                {
+                  Schedule.lg_resource = "host";
+                  lg_seconds = Comm.total p -. p.Comm.pcie_s;
+                };
+              ])
+  in
+  (legs, !transfer_s)
+
+(** Makespan of [firings] firings under [assigns] (one assignment per
+    stage), plus the per-resource breakdown. *)
+let price ?(serializer = Marshal_.Custom) ~(firings : int) (tb : table)
+    (assigns : Placement.assignment array) : float * breakdown =
+  let legs, transfer_s = stage_legs ~serializer tb assigns in
+  (* occupancy accumulates in an assoc kept in first-use order *)
+  let occ : (string * float ref) list ref = ref [] in
+  let charge r s =
+    match List.assoc_opt r !occ with
+    | Some cell -> cell := !cell +. s
+    | None -> occ := !occ @ [ (r, ref s) ]
+  in
+  List.iter
+    (List.iter (fun l -> charge l.Schedule.lg_resource l.Schedule.lg_seconds))
+    legs;
+  let occupancy = List.map (fun (r, c) -> (r, !c)) !occ in
+  let fill = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 occupancy in
+  let bottleneck, period =
+    List.fold_left
+      (fun ((_, bs) as best) ((_, s) as cur) ->
+        if s > bs then cur else best)
+      ("host", 0.0) occupancy
+  in
+  let makespan = Schedule.overlapped_makespan ~firings legs in
+  ( makespan,
+    {
+      cb_occupancy = occupancy;
+      cb_fill_s = fill;
+      cb_period_s = period;
+      cb_bottleneck = bottleneck;
+      cb_transfer_s = transfer_s;
+    } )

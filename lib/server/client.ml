@@ -164,11 +164,13 @@ let rec await_reply t id ~on_frame =
                 (Transport "unexpected frame while waiting for a reply")))
 
 let compile t ?deadline_ms ?(config = "all") ?(name = "<client>") ?trace
-    ~worker source =
+    ?placement ~worker source =
   let id = fresh_id t in
   (* a v1 peer cannot decode the traced Compile frame; silently send the
-     plain one (the caller just gets no remote spans back) *)
+     plain one (the caller just gets no remote spans back).  Likewise a
+     pre-v3 peer cannot decode the placement-provenance frame. *)
   let trace = if t.cl_version >= 2 then trace else None in
+  let placement = if t.cl_version >= 3 then placement else None in
   let req =
     Wire.Compile
       {
@@ -179,6 +181,7 @@ let compile t ?deadline_ms ?(config = "all") ?(name = "<client>") ?trace
         cr_config = config;
         cr_source = source;
         cr_trace = trace;
+        cr_placement = placement;
       }
   in
   match send_frame t req with

@@ -41,6 +41,7 @@ val compile :
   ?config:string ->
   ?name:string ->
   ?trace:Wire.trace_ctx ->
+  ?placement:string ->
   worker:string ->
   string ->
   (Wire.artifact, failure) result
@@ -49,8 +50,11 @@ val compile :
     request if it cannot be answered in time.  [trace] propagates the
     caller's trace context: the daemon records its own spans under the
     given parent and returns them in [ar_spans] for the caller to
-    {!Lime_service.Trace.graft} into one merged timeline.  Silently
-    dropped when the negotiated version predates trace propagation. *)
+    {!Lime_service.Trace.graft} into one merged timeline.  [placement]
+    reports the multi-device placement SPEC the artifact runs under;
+    the daemon surfaces it in its access log.  Both are silently
+    dropped when the negotiated version predates them (trace: v2,
+    placement: v3). *)
 
 val stats : t -> (string, failure) result
 (** The daemon's metrics exposition ([lime_server_*] families included). *)

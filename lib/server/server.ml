@@ -104,6 +104,7 @@ type pending = {
   pd_config : string;
   pd_digest : string;  (** content-addressed request digest, hex *)
   pd_trace : Wire.trace_ctx option;  (** propagated client trace context *)
+  pd_placement : string option;  (** client-reported placement SPEC *)
   pd_deadline_ms : int option;
   pd_admitted : float;  (** wall clock at admission *)
   pd_admit_us : float;  (** trace timeline at admission *)
@@ -468,7 +469,7 @@ let report t =
    propagated distributed-trace id — the join key into the client's
    merged Chrome trace and the /statusz table. *)
 let log_access t ~id ~name ~worker ~config ~digest ~deadline_ms ~wait_s ~dur_s
-    ~outcome ~origin ~trace_id =
+    ~outcome ~origin ~trace_id ~placement =
   match t.sr_access with
   | None -> ()
   | Some oc ->
@@ -477,12 +478,15 @@ let log_access t ~id ~name ~worker ~config ~digest ~deadline_ms ~wait_s ~dur_s
         "{\"ts\":%.6f,\"id\":%d,\"name\":\"%s\",\"worker\":\"%s\",\
          \"config\":\"%s\",\"digest\":\"%s\",\"deadline_ms\":%s,\
          \"queue_wait_s\":%.6f,\"duration_s\":%.6f,\"outcome\":\"%s\",\
-         \"origin\":\"%s\",\"trace_id\":\"%s\"}\n%!"
+         \"origin\":\"%s\",\"trace_id\":\"%s\",\"placement\":%s}\n%!"
         (now ()) id (e name) (e worker) (e config) (e digest)
         (match deadline_ms with
         | None -> "null"
         | Some ms -> string_of_int ms)
         wait_s dur_s (e outcome) (e origin) (e trace_id)
+        (match placement with
+        | None -> "null"
+        | Some spec -> Printf.sprintf "\"%s\"" (e spec))
 
 let trace_id_of pd =
   match pd.pd_trace with None -> "" | Some tc -> tc.Wire.tc_trace_id
@@ -826,6 +830,7 @@ let admit t (c : conn) (r : Wire.compile_req) config =
       pd_config = r.Wire.cr_config;
       pd_digest = digest;
       pd_trace = r.Wire.cr_trace;
+      pd_placement = r.Wire.cr_placement;
       pd_deadline_ms = r.Wire.cr_deadline_ms;
       pd_admitted = t_now;
       pd_admit_us = Trace.now_us Trace.default;
@@ -879,6 +884,7 @@ let handle_frame t (c : conn) (frame : Wire.frame) =
             (match r.Wire.cr_trace with
             | None -> ""
             | Some tc -> tc.Wire.tc_trace_id)
+          ~placement:r.Wire.cr_placement
       in
       if t.sr_draining then begin
         send_error t c ~id:r.Wire.cr_id ~code:Wire.Draining
@@ -1085,7 +1091,7 @@ let reap_one t pd =
     log_access t ~id:pd.pd_id ~name:pd.pd_name ~worker:pd.pd_worker
       ~config:pd.pd_config ~digest:pd.pd_digest
       ~deadline_ms:pd.pd_deadline_ms ~wait_s ~dur_s ~outcome:status ~origin
-      ~trace_id:(trace_id_of pd);
+      ~trace_id:(trace_id_of pd) ~placement:pd.pd_placement;
     Slo.record t.sr_slo ~ok:(status = "ok") ~duration_s:dur_s;
     Flight.record t.sr_flight
       ~spans:(fun () -> span_tree pd ~t_now)

@@ -1,6 +1,6 @@
 (** Length-prefixed binary frame codec — see the interface. *)
 
-let version = 2
+let version = 3
 let max_frame = 16 * 1024 * 1024
 
 (* u32 sentinel for "no deadline": a real deadline of ~49.7 days is not a
@@ -20,6 +20,10 @@ type compile_req = {
   cr_config : string;
   cr_source : string;
   cr_trace : trace_ctx option;
+  cr_placement : string option;
+      (** placement provenance: the [task=device,...] SPEC the client ran
+          (or intends to run) this artifact under, surfaced in the
+          daemon's access log *)
 }
 
 type artifact = {
@@ -94,11 +98,16 @@ let error_to_string = function
    Compile with no trace context and a Result with no span buffer encode
    exactly as a version-1 peer would emit them.  That makes mixed-version
    conversations mechanical — a v2 endpoint talking to a v1 peer simply
-   leaves the new fields empty. *)
+   leaves the new fields empty.  Version 3 continues the discipline with
+   tag 12: the version-1 layout, then a u8 trace-presence flag and the
+   trace fields when present, then the placement-provenance string. *)
 let tag_of = function
   | Hello _ -> 1
   | Hello_ack _ -> 2
-  | Compile r -> if r.cr_trace = None then 3 else 10
+  | Compile r -> (
+      match r.cr_placement with
+      | Some p when p <> "" -> 12
+      | _ -> if r.cr_trace = None then 3 else 10)
   | Result a -> if a.ar_spans = "" then 4 else 11
   | Err _ -> 5
   | Stats _ -> 6
@@ -131,20 +140,23 @@ let encode frame =
   put_u8 b (tag_of frame);
   (match frame with
   | Hello v | Hello_ack v -> put_u16 b v
-  | Compile r -> (
+  | Compile r ->
+      let placed = tag_of (Compile r) = 12 in
       put_u32 b r.cr_id;
       put_u32 b (Option.value r.cr_deadline_ms ~default:no_deadline);
       put_string b r.cr_name;
       put_string b r.cr_worker;
       put_string b r.cr_config;
       put_string b r.cr_source;
-      match r.cr_trace with
+      if placed then put_u8 b (if r.cr_trace = None then 0 else 1);
+      (match r.cr_trace with
       | None -> ()
       | Some tc ->
           put_string b tc.tc_trace_id;
           put_u32 b
             (if tc.tc_parent_span < 0 then no_parent_span
-             else tc.tc_parent_span land 0xFFFF_FFFF))
+             else tc.tc_parent_span land 0xFFFF_FFFF));
+      if placed then put_string b (Option.value r.cr_placement ~default:"")
   | Result a ->
       put_u32 b a.ar_id;
       put_u8 b (if a.ar_parallel then 1 else 0);
@@ -220,7 +232,7 @@ let decode payload : (frame, error) result =
         match tag with
         | 1 -> Hello (get_u16 cu "hello version")
         | 2 -> Hello_ack (get_u16 cu "hello-ack version")
-        | 3 | 10 ->
+        | 3 | 10 | 12 ->
             let cr_id = get_u32 cu "compile id" in
             let dl = get_u32 cu "compile deadline" in
             let cr_deadline_ms = if dl = no_deadline then None else Some dl in
@@ -228,8 +240,14 @@ let decode payload : (frame, error) result =
             let cr_worker = get_string cu "compile worker" in
             let cr_config = get_string cu "compile config" in
             let cr_source = get_string cu "compile source" in
+            let traced =
+              match tag with
+              | 3 -> false
+              | 10 -> true
+              | _ -> get_u8 cu "compile trace flag" <> 0
+            in
             let cr_trace =
-              if tag = 3 then None
+              if not traced then None
               else begin
                 let tc_trace_id = get_string cu "compile trace id" in
                 let p = get_u32 cu "compile parent span" in
@@ -237,8 +255,15 @@ let decode payload : (frame, error) result =
                 Some { tc_trace_id; tc_parent_span }
               end
             in
+            let cr_placement =
+              if tag <> 12 then None
+              else
+                match get_string cu "compile placement" with
+                | "" -> None
+                | spec -> Some spec
+            in
             Compile { cr_id; cr_deadline_ms; cr_name; cr_worker; cr_config;
-                      cr_source; cr_trace }
+                      cr_source; cr_trace; cr_placement }
         | 4 | 11 ->
             let ar_id = get_u32 cu "result id" in
             let ar_parallel = get_u8 cu "result parallel flag" <> 0 in
@@ -276,7 +301,7 @@ let decode payload : (frame, error) result =
             Drain_ack { da_id; da_completed; da_dropped }
         | t -> raise (Bad (Printf.sprintf "tag %d" t))
       in
-      if tag < 1 || tag > 11 then Error (Unknown_tag tag)
+      if tag < 1 || tag > 12 then Error (Unknown_tag tag)
       else
         match frame () with
         | f ->

@@ -28,7 +28,10 @@ val version : int
     may carry the server's serialized span buffer (tag 11).  Both encode
     as their version-1 layouts (tags 3/4) when the new fields are absent,
     so a v2 endpoint negotiated down to v1 emits byte-identical v1
-    traffic. *)
+    traffic.  Version 3 adds placement provenance: a Compile frame may
+    carry the multi-device placement SPEC the client runs the artifact
+    under (tag 12: the v1 layout, a trace-presence flag plus the trace
+    fields, then the SPEC), surfaced in the daemon's access log. *)
 
 val max_frame : int
 (** Upper bound on a payload's declared length (16 MiB). *)
@@ -55,6 +58,10 @@ type compile_req = {
   cr_source : string;
   cr_trace : trace_ctx option;
       (** propagated trace context; [Some _] encodes as tag 10 (v2) *)
+  cr_placement : string option;
+      (** placement provenance: the [task=device,...] SPEC
+          ({!Lime_sched.Placement.to_spec}) the client runs the artifact
+          under; [Some _] (non-empty) encodes as tag 12 (v3) *)
 }
 
 type artifact = {

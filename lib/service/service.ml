@@ -283,6 +283,7 @@ let beam_schedule t (d : Gpusim.Device.t) ~device_key ~digest ?width ?depth
                     Gpusim.Counters.roofline_name (Gpusim.Counters.classify c);
                 };
             tr_sequence = Some best.Search.sc_sequence;
+            tr_placement = None;
           });
     (best, `Searched o)
   in
@@ -303,6 +304,61 @@ let beam_schedule t (d : Gpusim.Device.t) ~device_key ~digest ?width ?depth
           (* a schedule that no longer replays (store written against a
              different kernel shape) is treated as a miss *)
           search_and_store ())
+
+(* ------------------------------------------------------------------ *)
+(* Tunestore-aware multi-device placement                              *)
+(* ------------------------------------------------------------------ *)
+
+module Sched = Lime_sched
+
+(* Placement records live under a fixed pseudo-device key: a placement
+   spans all devices, so no single device name applies, and the constant
+   keeps placement records from clobbering sweep or beam records. *)
+let sched_device_key = "multi.sched"
+
+let sched_placement t ~digest ?serializer ~firings
+    (stages : Sched.Probe.stage list) :
+    Sched.Search.candidate
+    * [ `Replayed | `Searched of Sched.Search.outcome ] =
+  let device = sched_device_key in
+  let search_and_store () =
+    let o = Sched.Search.search ?serializer ~firings stages in
+    let best = o.Sched.Search.po_best in
+    (match t.sv_tunes with
+    | None -> ()
+    | Some ts ->
+        Tunestore.store ts ~digest ~device
+          {
+            Tunestore.tr_config_name = "sched";
+            tr_config = Lime_gpu.Memopt.config_all;
+            tr_time_s = best.Sched.Search.pc_time_s;
+            tr_headline = None;
+            tr_sequence = None;
+            tr_placement =
+              Some (Sched.Placement.to_spec best.Sched.Search.pc_placement);
+          });
+    (best, `Searched o)
+  in
+  let stored =
+    match t.sv_tunes with
+    | None -> None
+    | Some ts -> (
+        match Tunestore.load ts ~digest ~device with
+        | Some { Tunestore.tr_placement = Some spec; _ } -> Some spec
+        | _ -> None)
+  in
+  match stored with
+  | None -> search_and_store ()
+  | Some spec -> (
+      match Sched.Placement.of_spec spec with
+      | Error _ -> search_and_store ()
+      | Ok p -> (
+          match Sched.Search.replay ?serializer ~firings stages p with
+          | Ok c -> (c, `Replayed)
+          | Error _ ->
+              (* a placement that no longer fits (store written against a
+                 different pipeline) is treated as a miss *)
+              search_and_store ()))
 
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
@@ -368,6 +424,43 @@ let instrument ?(registry = Metrics.default) () =
           Metrics.set rewrite_best_time best_time_s;
           if improved then Metrics.inc rewrite_improved
       | Search.EReplay { ok; _ } -> if ok then Metrics.inc rewrite_replays);
+  (* the multi-device placement search and stored-placement replays *)
+  let sched_searches =
+    Metrics.counter registry ~help:"multi-device placement searches run"
+      "lime_sched_searches_total"
+  in
+  let sched_evals =
+    Metrics.counter registry
+      ~help:"cost-model evaluations spent by placement search"
+      "lime_sched_evals_total"
+  in
+  let sched_improved =
+    Metrics.counter registry
+      ~help:"placement searches that beat the best single device"
+      "lime_sched_improved_total"
+  in
+  let sched_replays =
+    Metrics.counter registry
+      ~help:"stored placements replayed without re-searching"
+      "lime_sched_replays_total"
+  in
+  let sched_best_time =
+    Metrics.gauge registry
+      ~help:
+        "modeled overlapped makespan of the most recent search's best \
+         placement"
+      "lime_sched_best_time_s"
+  in
+  Sched.Search.on_search ~key:"metrics" (fun ev ->
+      match ev with
+      | Sched.Search.SBegin _ -> ()
+      | Sched.Search.SEnd { evals; best_time_s; improved; _ } ->
+          Metrics.inc sched_searches;
+          Metrics.inc ~by:evals sched_evals;
+          Metrics.set sched_best_time best_time_s;
+          if improved then Metrics.inc sched_improved
+      | Sched.Search.SReplay { ok; _ } ->
+          if ok then Metrics.inc sched_replays);
   let device_firings =
     Metrics.counter registry ~help:"task firings offloaded to the device"
       "lime_firings_device_total"
@@ -447,4 +540,5 @@ let instrument ?(registry = Metrics.default) () =
 let uninstrument () =
   Pipeline.remove_compile_observer "metrics";
   Engine.remove_firing_observer "metrics";
-  Search.remove_search_observer "metrics"
+  Search.remove_search_observer "metrics";
+  Sched.Search.remove_search_observer "metrics"

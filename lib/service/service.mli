@@ -146,6 +146,24 @@ val beam_schedule :
     stored schedule that no longer applies falls back to a fresh search.
     Without a [cache_dir] every call searches ([`Searched]). *)
 
+val sched_placement :
+  t ->
+  digest:Digest.t ->
+  ?serializer:Lime_runtime.Marshal.serializer ->
+  firings:int ->
+  Lime_sched.Probe.stage list ->
+  Lime_sched.Search.candidate
+  * [ `Replayed | `Searched of Lime_sched.Search.outcome ]
+(** Tunestore-aware multi-device placement search
+    ({!Lime_sched.Search.search}).  With a [cache_dir], the winning
+    placement persists as a format-4 tunestore record under the fixed
+    pseudo-device key ["multi.sched"] (a placement spans all devices, so
+    no single device name applies); a warm call replays the stored spec
+    ({!Lime_sched.Search.replay} — one cost-model evaluation,
+    [`Replayed]) instead of re-searching.  A stored placement that no
+    longer fits the probed pipeline falls back to a fresh search.
+    Without a [cache_dir] every call searches ([`Searched]). *)
+
 val stats : t -> Kcache.stats
 
 val disk_hits : t -> int

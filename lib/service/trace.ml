@@ -640,10 +640,15 @@ let emit_firing tracer (fi : Engine.firing_info) =
     let t0 = now_us tracer in
     begin_span tracer ~cat:"firing" ~ts_us:t0
       ~args:
-        [
-          ("task", fi.fi_task);
-          ("device", if fi.fi_device then "true" else "false");
-        ]
+        ([
+           ("task", fi.fi_task);
+           ("device", if fi.fi_device then "true" else "false");
+         ]
+        @
+        (* which device, so multi-device runs attribute firings per device *)
+        match fi.fi_dev with
+        | Some d -> [ ("dev", d.Gpusim.Device.name) ]
+        | None -> [])
       ("firing." ^ fi.fi_task);
     let off = ref t0 in
     List.iter
@@ -733,12 +738,42 @@ let install ?(tracer = default) () =
                 seq_arg sequence;
                 ("ok", string_of_bool ok);
               ]
-            "rewrite.replay")
+            "rewrite.replay");
+  (* sched.* spans: the placement search brackets as one wall-clock span;
+     a replay of a stored (or user-specified) placement is an instant. *)
+  let module PS = Lime_sched.Search in
+  PS.on_search ~key:"trace" (fun ev ->
+      match ev with
+      | PS.SBegin { stages; placeable; firings; exhaustive } ->
+          begin_span tracer ~cat:"sched"
+            ~args:
+              [
+                ("stages", string_of_int stages);
+                ("placeable", string_of_int placeable);
+                ("firings", string_of_int firings);
+                ("exhaustive", string_of_bool exhaustive);
+              ]
+            "sched.search"
+      | PS.SEnd { evals; best_time_s; best_spec; improved } ->
+          end_span tracer
+            ~args:
+              [
+                ("evals", string_of_int evals);
+                ("best_time_s", Printf.sprintf "%.3e" best_time_s);
+                ("placement", best_spec);
+                ("improved", string_of_bool improved);
+              ]
+            "sched.search"
+      | PS.SReplay { spec; ok } ->
+          complete tracer ~cat:"sched" ~dur_us:1.0
+            ~args:[ ("placement", spec); ("ok", string_of_bool ok) ]
+            "sched.replay")
 
 let uninstall () =
   Pipeline.remove_phase_observer "trace";
   Engine.remove_firing_observer "trace";
-  Search.remove_search_observer "trace"
+  Search.remove_search_observer "trace";
+  Lime_sched.Search.remove_search_observer "trace"
 
 let with_observers ?(tracer = default) f =
   let was = tracer.tr_enabled in

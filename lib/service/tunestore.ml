@@ -14,15 +14,20 @@ type record = {
   tr_time_s : float;
   tr_headline : headline option;
   tr_sequence : string list option;
+  tr_placement : string option;
 }
 
 type t = { ts_root : string }
 
-(* Format version 3 adds the winning rewrite schedule (a [sequence] line,
-   ";"-separated step names, "-" for the empty schedule); version 2 added
-   the winner's headline counters.  Older files are still readable: a v1
-   file loads with [tr_headline = None], v1/v2 with [tr_sequence = None]. *)
-let magic = "lime-tunestore 3"
+(* Format version 4 adds the multi-device placement (a [placement] line,
+   the task=device,... SPEC the scheduler chose); version 3 added the
+   winning rewrite schedule (a [sequence] line, ";"-separated step names,
+   "-" for the empty schedule); version 2 added the winner's headline
+   counters.  Older files are still readable: a v1 file loads with
+   [tr_headline = None], v1/v2 with [tr_sequence = None], v1-v3 with
+   [tr_placement = None]. *)
+let magic = "lime-tunestore 4"
+let magic_v3 = "lime-tunestore 3"
 let magic_v2 = "lime-tunestore 2"
 let magic_v1 = "lime-tunestore 1"
 
@@ -75,10 +80,13 @@ let store t ~digest ~device (r : record) =
       | Some h ->
           Printf.fprintf oc "occupancy %.9g\nbank_replays %.9g\nroofline %s\n"
             h.th_occupancy h.th_bank_replays h.th_roofline);
-      match r.tr_sequence with
+      (match r.tr_sequence with
       | None -> ()
       | Some seq ->
-          Printf.fprintf oc "sequence %s\n" (sequence_to_line seq))
+          Printf.fprintf oc "sequence %s\n" (sequence_to_line seq));
+      match r.tr_placement with
+      | None -> ()
+      | Some spec -> Printf.fprintf oc "placement %s\n" spec)
 
 (* "key rest-of-line" — the value may contain spaces (config names do). *)
 let field line key =
@@ -99,7 +107,8 @@ let load t ~digest ~device : record option =
       |> String.split_on_char '\n'
     in
     match lines with
-    | m :: rest when m = magic || m = magic_v2 || m = magic_v1 ->
+    | m :: rest
+      when m = magic || m = magic_v3 || m = magic_v2 || m = magic_v1 ->
         let find key = List.find_map (fun l -> field l key) rest in
         (match (find "name", find "config", find "time_s") with
         | Some name, Some cfg, Some time -> (
@@ -126,6 +135,7 @@ let load t ~digest ~device : record option =
                 let tr_sequence =
                   Option.map sequence_of_line (find "sequence")
                 in
+                let tr_placement = find "placement" in
                 Some
                   {
                     tr_config_name = name;
@@ -133,6 +143,7 @@ let load t ~digest ~device : record option =
                     tr_time_s;
                     tr_headline;
                     tr_sequence;
+                    tr_placement;
                   }
             | _ -> None)
         | _ -> None)
@@ -167,6 +178,7 @@ let cached_sweep t (d : Gpusim.Device.t) ~digest ~device
               tr_config = best.Gpusim.Autotune.at_config;
               tr_time_s = best.Gpusim.Autotune.at_time_s;
               tr_sequence = None;
+              tr_placement = None;
               tr_headline =
                 Some
                   {

@@ -5,10 +5,13 @@
     device starts from the known-best memory configuration instead of
     re-timing all eight Fig 8 configurations.  Format version 3 can also
     carry the winning rewrite schedule of a beam search, so a warm compile
-    replays the stored sequence instead of re-searching.  One small text
-    file per (digest, device) pair; the format is documented in
-    [doc/OPTIMIZER.md] and [doc/SERVICE.md], older versions load with the
-    missing fields [None], and any malformed file is treated as a miss. *)
+    replays the stored sequence instead of re-searching; version 4 can
+    carry the multi-device placement chosen by {!Lime_sched.Search}, so a
+    warm [--multi-device auto] run replays the stored placement.  One
+    small text file per (digest, device) pair; the format is documented in
+    [doc/OPTIMIZER.md], [doc/SERVICE.md] and [doc/SCHEDULER.md], older
+    versions load with the missing fields [None], and any malformed file
+    is treated as a miss. *)
 
 (** Headline counters of the winning configuration — the *why* behind the
     stored best, shown by [limec --sweep]. *)
@@ -29,6 +32,11 @@ type record = {
           [Some []] means a search ran and the baseline won; [None] means
           no search was recorded (plain Fig 8 sweeps, and any file written
           before format version 3) *)
+  tr_placement : string option;
+      (** winning multi-device placement ({!Lime_sched.Placement.to_spec})
+          found by {!Lime_sched.Search} — [None] for records that are not
+          placement records, and any file written before format
+          version 4 *)
 }
 
 type t

@@ -617,6 +617,61 @@ let test_fuzz_traffic_smoke () =
     (contains "p99" out && contains "p50" out);
   Alcotest.(check bool) "no request errors" true (contains "errors: 0" out)
 
+let test_devices_table () =
+  skip_unless_available ();
+  let code, out = capture "--devices" in
+  Alcotest.(check int) "exit 0" 0 code;
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " listed") true (contains name out))
+    [ "gtx8800"; "gtx580"; "hd5970"; "corei7" ];
+  Alcotest.(check bool) "PCIe column" true (contains "PCIe" out)
+
+let test_multi_device_auto_run () =
+  skip_unless_available ();
+  let code, out =
+    capture
+      (nbody
+     ^ " -w NBody.computeForces --run NBodyApp.main --arg 24 --arg 1 \
+        --multi-device auto")
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "placement line" true (contains "placement " out);
+  Alcotest.(check bool) "overlap report" true (contains "overlapped: " out)
+
+let test_multi_device_spec_run () =
+  skip_unless_available ();
+  let code, out =
+    capture
+      (nbody
+     ^ " -w NBody.computeForces --run NBodyApp.main --arg 24 --arg 1 \
+        --multi-device NBody.computeForces=gtx580")
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "pinned device honoured" true
+    (contains "NBody.computeForces=gtx580" out)
+
+let test_multi_device_needs_run () =
+  skip_unless_available ();
+  let code, out =
+    capture (nbody ^ " -w NBody.computeForces --multi-device auto")
+  in
+  Alcotest.(check int) "exit 2" 2 code;
+  Alcotest.(check bool) "explains the requirement" true
+    (contains "--multi-device needs --run" out)
+
+let test_multi_device_bad_spec () =
+  skip_unless_available ();
+  let code, out =
+    capture
+      (nbody
+     ^ " -w NBody.computeForces --run NBodyApp.main --arg 24 --arg 1 \
+        --multi-device NBody.computeForces=nodev")
+  in
+  Alcotest.(check int) "exit 2" 2 code;
+  Alcotest.(check bool) "names the bad device" true
+    (contains "bad --multi-device" out)
+
 let test_fuzz_rejects_bad_count () =
   skip_unless_bench ();
   let code, out = capture_bench "--fuzz zero" in
@@ -673,6 +728,15 @@ let () =
             test_daemon_bad_slo_spec;
           Alcotest.test_case "daemon flags need --daemon" `Quick
             test_daemon_flags_need_daemon;
+          Alcotest.test_case "--devices table" `Quick test_devices_table;
+          Alcotest.test_case "multi-device auto run" `Quick
+            test_multi_device_auto_run;
+          Alcotest.test_case "multi-device pinned spec" `Quick
+            test_multi_device_spec_run;
+          Alcotest.test_case "multi-device needs --run" `Quick
+            test_multi_device_needs_run;
+          Alcotest.test_case "multi-device rejects bad spec" `Quick
+            test_multi_device_bad_spec;
         ] );
       ( "bench",
         [

@@ -251,6 +251,7 @@ let record ?(sequence = None) () =
     tr_time_s = 1.25e-4;
     tr_headline = None;
     tr_sequence = sequence;
+    tr_placement = None;
   }
 
 let test_tunestore_v3_sequence_roundtrip () =

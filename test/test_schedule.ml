@@ -87,6 +87,86 @@ let test_engine_direct_results_identical () =
   Alcotest.(check bool) "direct = custom results" true
     (V.approx_equal ~rtol:0.0 ~atol:0.0 (run M.Custom) (run M.Direct))
 
+(* ------------------------------------------------------------------ *)
+(* Properties: overlap never hurts, and never beats the bottleneck      *)
+(* ------------------------------------------------------------------ *)
+
+let stages_gen =
+  QCheck.map
+    (fun (h, l, k, s) ->
+      { S.st_host_s = h; st_link_s = l; st_kernel_s = k; st_source_sink_s = s })
+    (QCheck.quad
+       (QCheck.float_range 0.0 5.0)
+       (QCheck.float_range 0.0 5.0)
+       (QCheck.float_range 0.0 5.0)
+       (QCheck.float_range 0.0 5.0))
+
+let firings_gen = QCheck.int_range 1 64
+
+let prop_pipelined_never_slower =
+  QCheck.Test.make ~name:"pipelined <= serial for any stages" ~count:500
+    (QCheck.pair firings_gen stages_gen)
+    (fun (firings, s) ->
+      S.pipelined_time ~firings s <= S.serial_time ~firings s +. 1e-9)
+
+let prop_pipelined_bottleneck_bound =
+  QCheck.Test.make ~name:"pipelined >= firings x slowest stage" ~count:500
+    (QCheck.pair firings_gen stages_gen)
+    (fun (firings, s) ->
+      let slowest =
+        List.fold_left max 0.0
+          [ s.S.st_host_s; s.S.st_link_s; s.S.st_kernel_s; s.S.st_source_sink_s ]
+      in
+      S.pipelined_time ~firings s >= (float_of_int firings *. slowest) -. 1e-9)
+
+(* random placed pipelines for the generalized simulator: a few stages,
+   each a leg sequence over a small resource alphabet *)
+let legs_gen =
+  let resource =
+    QCheck.oneofl [ "host"; "link:a"; "dev:a"; "link:b"; "dev:b" ]
+  in
+  let leg =
+    QCheck.map
+      (fun (r, s) -> { S.lg_resource = r; lg_seconds = s })
+      (QCheck.pair resource (QCheck.float_range 0.0 3.0))
+  in
+  QCheck.list_of_size (QCheck.Gen.int_range 1 4)
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 5) leg)
+
+let serial_sum ~firings stages =
+  float_of_int firings
+  *. List.fold_left
+       (fun acc legs ->
+         List.fold_left (fun a (l : S.leg) -> a +. l.S.lg_seconds) acc legs)
+       0.0 stages
+
+let busiest_resource ~firings stages =
+  let per = Hashtbl.create 8 in
+  List.iter
+    (List.iter (fun (l : S.leg) ->
+         let prev =
+           Option.value ~default:0.0 (Hashtbl.find_opt per l.S.lg_resource)
+         in
+         Hashtbl.replace per l.S.lg_resource (prev +. l.S.lg_seconds)))
+    stages;
+  float_of_int firings *. Hashtbl.fold (fun _ v acc -> max v acc) per 0.0
+
+let prop_makespan_between_bounds =
+  QCheck.Test.make
+    ~name:"busiest-resource bound <= makespan <= serial sum" ~count:300
+    (QCheck.pair firings_gen legs_gen)
+    (fun (firings, stages) ->
+      let t = S.overlapped_makespan ~firings stages in
+      t <= serial_sum ~firings stages +. 1e-9
+      && t >= busiest_resource ~firings stages -. 1e-9)
+
+let prop_makespan_monotone_in_firings =
+  QCheck.Test.make ~name:"makespan is monotone in firings" ~count:300
+    (QCheck.pair (QCheck.int_range 1 32) legs_gen)
+    (fun (firings, stages) ->
+      S.overlapped_makespan ~firings stages
+      <= S.overlapped_makespan ~firings:(firings + 1) stages +. 1e-9)
+
 let test_overlap_experiment_shape () =
   (* gains concentrate where communication share is high *)
   let rows = E.overlap ~firings:32 Gpusim.Device.gtx580 in
@@ -130,4 +210,11 @@ let () =
         ] );
       ( "experiment",
         [ Alcotest.test_case "overlap shape" `Slow test_overlap_experiment_shape ] );
+      Testutil.qsuite "properties"
+        [
+          prop_pipelined_never_slower;
+          prop_pipelined_bottleneck_bound;
+          prop_makespan_between_bounds;
+          prop_makespan_monotone_in_firings;
+        ];
     ]

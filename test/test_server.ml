@@ -280,6 +280,7 @@ let test_overload_deadline_drain () =
                     cr_config = "all";
                     cr_source = doubler_source;
                     cr_trace = None;
+                    cr_placement = None;
                   }
               in
               (* pipeline three requests while the worker is pinned:
@@ -360,6 +361,7 @@ let test_drain_completes_inflight () =
                     cr_config = "all";
                     cr_source = doubler_source;
                     cr_trace = None;
+                    cr_placement = None;
                   })
             ^ Wire.encode (Wire.Drain did));
           (match raw_next fd rd with
@@ -401,6 +403,7 @@ let test_draining_refuses_new_work () =
                      cr_config = "all";
                      cr_source = doubler_source;
                      cr_trace = None;
+                     cr_placement = None;
                    }));
           match raw_next fd rd with
           | Frame (Wire.Err e) ->
@@ -532,6 +535,7 @@ let plain_compile id =
       cr_config = "all";
       cr_source = doubler_source;
       cr_trace = None;
+      cr_placement = None;
     }
 
 (* an old (v1-speaking) client against the new server: the ack negotiates
@@ -810,7 +814,7 @@ let test_http_endpoints () =
           "200 OK";
           "text/plain; version=0.0.4";
           "lime_build_info{";
-          "protocol=\"2\"";
+          "protocol=\"3\"";
           "lime_server_requests_total 1";
           "lime_trace_dropped_spans";
         ];
@@ -823,7 +827,7 @@ let test_http_endpoints () =
           "200 OK";
           "application/json";
           "\"draining\":false";
-          "\"protocol_version\":2";
+          "\"protocol_version\":3";
           "\"admitted\":1";
           "\"trace_id\":\"";
         ];

@@ -149,6 +149,7 @@ let test_tunestore_roundtrip () =
                 th_roofline = "memory-bound";
               };
           tr_sequence = None;
+          tr_placement = None;
         }
       in
       Alcotest.(check bool) "empty store misses" true

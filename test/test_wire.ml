@@ -26,7 +26,7 @@ let gen_frame =
         map (fun v -> Wire.Hello v) (int_range 0 0xFF);
         map (fun v -> Wire.Hello_ack v) (int_range 0 0xFF);
         map
-          (fun (id, dl, (name, worker, config, source), trace) ->
+          (fun (id, dl, (name, worker, config, source), (trace, placement)) ->
             Wire.Compile
               {
                 cr_id = id;
@@ -36,11 +36,16 @@ let gen_frame =
                 cr_config = config;
                 cr_source = source;
                 cr_trace = trace;
+                cr_placement = placement;
               })
           (quad u32
              (opt (int_range 0 0xFFFF_FFFE))
              (quad short_str short_str short_str long_str)
-             (opt gen_trace_ctx));
+             (pair (opt gen_trace_ctx)
+                (* a placement SPEC is never empty (the parser rejects
+                   ""), and an empty one would not round-trip: the
+                   encoder treats it as absent *)
+                (opt (map (fun s -> "t=" ^ s) short_str))));
         map
           (fun (id, par, (origin, digest, kernel), (opencl, placements, spans)) ->
             Wire.Result
@@ -212,7 +217,7 @@ let test_pipelined_frames () =
 (* version-bump discipline: the traced Compile / span-carrying Result use
    the new tags (10/11) only when the new fields are present, so v2
    traffic without them is byte-identical to what a v1 endpoint emits *)
-let sample_compile trace =
+let sample_compile ?placement trace =
   Wire.Compile
     {
       cr_id = 7;
@@ -222,6 +227,7 @@ let sample_compile trace =
       cr_config = "all";
       cr_source = "src";
       cr_trace = trace;
+      cr_placement = placement;
     }
 
 let sample_result spans =
@@ -241,11 +247,13 @@ let sample_ctx =
   { Wire.tc_trace_id = String.make 32 'a'; tc_parent_span = 42 }
 
 let test_version_tags () =
-  Alcotest.(check int) "protocol version" 2 Wire.version;
+  Alcotest.(check int) "protocol version" 3 Wire.version;
   Alcotest.(check char) "plain Compile keeps the v1 tag" '\x03'
     (payload (sample_compile None)).[0];
   Alcotest.(check char) "traced Compile uses the v2 tag" '\x0A'
     (payload (sample_compile (Some sample_ctx))).[0];
+  Alcotest.(check char) "placed Compile uses the v3 tag" '\x0C'
+    (payload (sample_compile ~placement:"W.m=gtx580" None)).[0];
   Alcotest.(check char) "span-free Result keeps the v1 tag" '\x04'
     (payload (sample_result "")).[0];
   Alcotest.(check char) "span-carrying Result uses the v2 tag" '\x0B'
@@ -279,7 +287,27 @@ let test_new_field_truncation () =
     done
   in
   check_prefixes "traced Compile" (payload (sample_compile (Some sample_ctx)));
+  check_prefixes "placed Compile"
+    (payload (sample_compile ~placement:"W.m=gtx580" (Some sample_ctx)));
   check_prefixes "span-carrying Result" (payload (sample_result "0123456789"))
+
+(* the v3 placement field round-trips in all four trace/placement
+   combinations, and the empty placement downgrades to the old tags *)
+let test_placement_field () =
+  let check what f =
+    Alcotest.(check bool) what true (Wire.decode (payload f) = Ok f)
+  in
+  check "placement alone" (sample_compile ~placement:"A.f=hd5970" None);
+  check "placement plus trace"
+    (sample_compile ~placement:"A.f=hd5970,B.g=host" (Some sample_ctx));
+  (* a trace ctx with an empty id must survive tag 12's presence flag *)
+  check "placement plus empty-id trace"
+    (sample_compile ~placement:"A.f=corei7"
+       (Some { Wire.tc_trace_id = ""; tc_parent_span = -1 }));
+  Alcotest.(check char) "empty placement downgrades to the v1 tag" '\x03'
+    (payload (sample_compile ~placement:"" None)).[0];
+  Alcotest.(check char) "empty placement downgrades to the v2 tag" '\x0A'
+    (payload (sample_compile ~placement:"" (Some sample_ctx))).[0]
 
 (* A peer may legally emit the v2 Result tag with a zero-length span
    buffer (our encoder always downgrades to tag 4, but the decoder must
@@ -333,5 +361,7 @@ let () =
             test_new_field_truncation;
           Alcotest.test_case "zero-length span buffer in tag 11" `Quick
             test_zero_length_span_buffer;
+          Alcotest.test_case "placement provenance in tag 12" `Quick
+            test_placement_field;
         ] );
     ]
